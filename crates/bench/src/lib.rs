@@ -1,0 +1,80 @@
+//! Shared helpers for the experiment binaries (E1–E12).
+//!
+//! Each `src/bin/exp_*.rs` binary regenerates one experiment from
+//! EXPERIMENTS.md; this library holds the flag parsing and the standard job
+//! mixes they share so the binaries stay declarative.
+
+use faucets_core::money::Money;
+use faucets_grid::workload::JobMix;
+use faucets_sim::dist::{LogNormal, UniformDist};
+
+/// Read `--name value` from the command line, falling back to `default`.
+pub fn flag<T: std::str::FromStr>(name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == &format!("--{name}"))
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("bad --{name} value '{v}': {e:?}")))
+        .unwrap_or(default)
+}
+
+/// True when `--name` is present as a bare switch.
+pub fn switch(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+/// The standard mixed workload used by most experiments: 1–64 min-PE jobs,
+/// heavy-tailed runtimes, comfortable deadlines, fully adaptive.
+pub fn standard_mix() -> JobMix {
+    JobMix { log2_min_pes: (0, 6), ..JobMix::default() }
+}
+
+/// A deadline-pressure mix for the profit experiments: tight slack, stiff
+/// penalties, valuable jobs.
+pub fn deadline_tight_mix() -> JobMix {
+    JobMix {
+        log2_min_pes: (0, 5),
+        slack: UniformDist::new(1.2, 2.5),
+        hard_over_soft: 1.5,
+        payoff_rate: Money::from_units_f64(0.05),
+        penalty_fraction: 1.0,
+        work: LogNormal::with_median(8_000.0, 1.2),
+        work_clamp: (120.0, 4.0e5),
+        ..JobMix::default()
+    }
+}
+
+/// Print the table and, with `--csv`, its CSV form too.
+pub fn emit(table: &faucets_grid::report::Table) {
+    println!("{table}");
+    if switch("csv") {
+        println!("{}", table.to_csv());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_validate() {
+        use faucets_sim::time::SimTime;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        for mix in [standard_mix(), deadline_tight_mix()] {
+            for _ in 0..100 {
+                assert!(mix.draw(SimTime::from_secs(10), &mut rng).validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn flag_default_used_without_args() {
+        assert_eq!(flag::<u32>("definitely-not-passed", 7), 7);
+        assert!(!switch("also-not-passed"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Accounts, billing, and the ledger.
+//!
+//! §1: *"Users pay for the compute power used via the billing services, or
+//! barter the unused compute power of their own Compute Server via an
+//! accounting service."* The [`Ledger`] is generic over the currency so the
+//! same machinery settles Dollar contracts (§5.5.1), Service-Unit quotas
+//! (§5.5.2), and bartering credits (§5.5.3 — see [`crate::barter`]).
+
+use crate::error::{FaucetsError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::ops::{AddAssign, Neg, SubAssign};
+
+/// Anything that can sit in a ledger: fixed-point currencies.
+pub trait Amount:
+    Copy + Default + PartialOrd + AddAssign + SubAssign + Neg<Output = Self> + Debug
+{
+    /// Raw micro-units, for error messages and conservation checks.
+    fn micros(self) -> i64;
+}
+
+impl Amount for crate::money::Money {
+    fn micros(self) -> i64 {
+        self.0
+    }
+}
+impl Amount for crate::money::ServiceUnits {
+    fn micros(self) -> i64 {
+        self.0
+    }
+}
+
+/// The parties that hold accounts.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AccountId {
+    /// An end user's account.
+    User(crate::ids::UserId),
+    /// A Compute Server's revenue account.
+    Cluster(crate::ids::ClusterId),
+    /// An organization (bartering pool member).
+    Org(crate::ids::OrgId),
+    /// The system's own account (fees, regularization buffers).
+    System,
+}
+
+impl std::fmt::Display for AccountId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccountId::User(u) => write!(f, "{u}"),
+            AccountId::Cluster(c) => write!(f, "{c}"),
+            AccountId::Org(o) => write!(f, "{o}"),
+            AccountId::System => write!(f, "system"),
+        }
+    }
+}
+
+/// One ledger entry, for the audit trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry<A> {
+    /// Source account.
+    pub from: AccountId,
+    /// Destination account.
+    pub to: AccountId,
+    /// Amount moved.
+    pub amount: A,
+    /// Free-form memo ("contract-7 settlement", …).
+    pub memo: String,
+}
+
+/// A double-entry ledger: balances plus an audit trail. Transfers conserve
+/// the total; overdrafts are rejected unless the account allows them.
+#[derive(Debug, Default)]
+pub struct Ledger<A: Amount> {
+    balances: BTreeMap<AccountId, A>,
+    overdraft_allowed: BTreeMap<AccountId, bool>,
+    journal: Vec<LedgerEntry<A>>,
+}
+
+impl<A: Amount> Ledger<A> {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Ledger { balances: BTreeMap::new(), overdraft_allowed: BTreeMap::new(), journal: vec![] }
+    }
+
+    /// Open an account with an initial balance (idempotent: re-opening adds
+    /// nothing and is an error).
+    pub fn open(&mut self, id: AccountId, initial: A) -> Result<()> {
+        if self.balances.contains_key(&id) {
+            return Err(FaucetsError::AlreadyExists(format!("account {id}")));
+        }
+        self.balances.insert(id, initial);
+        Ok(())
+    }
+
+    /// Allow (or forbid) overdrafts on an account. The System account is the
+    /// usual overdraft-permitted party (it mints payoffs/penalties).
+    pub fn set_overdraft(&mut self, id: AccountId, allowed: bool) {
+        self.overdraft_allowed.insert(id, allowed);
+    }
+
+    /// Current balance; zero for unknown accounts.
+    pub fn balance(&self, id: &AccountId) -> A {
+        self.balances.get(id).copied().unwrap_or_default()
+    }
+
+    /// Whether the account exists.
+    pub fn has_account(&self, id: &AccountId) -> bool {
+        self.balances.contains_key(id)
+    }
+
+    /// Move `amount` (must be non-negative) from one account to another.
+    pub fn transfer(&mut self, from: AccountId, to: AccountId, amount: A, memo: impl Into<String>) -> Result<()> {
+        let zero = A::default();
+        assert!(amount >= zero, "transfer amounts must be non-negative: {amount:?}");
+        let from_bal = *self.balances.get(&from).ok_or_else(|| {
+            FaucetsError::InsufficientFunds { account: from.to_string(), needed: amount.micros(), available: 0 }
+        })?;
+        if !self.balances.contains_key(&to) {
+            return Err(FaucetsError::InsufficientFunds {
+                account: to.to_string(),
+                needed: 0,
+                available: 0,
+            });
+        }
+        let mut after = from_bal;
+        after -= amount;
+        if after < zero && !self.overdraft_allowed.get(&from).copied().unwrap_or(false) {
+            return Err(FaucetsError::InsufficientFunds {
+                account: from.to_string(),
+                needed: amount.micros(),
+                available: from_bal.micros(),
+            });
+        }
+        *self.balances.get_mut(&from).unwrap() -= amount;
+        *self.balances.get_mut(&to).unwrap() += amount;
+        self.journal.push(LedgerEntry { from, to, amount, memo: memo.into() });
+        Ok(())
+    }
+
+    /// Sum of all balances in micro-units — constant under transfers, the
+    /// conservation invariant property-tested in the suite.
+    pub fn total_micros(&self) -> i64 {
+        self.balances.values().map(|a| a.micros()).sum()
+    }
+
+    /// The audit trail.
+    pub fn journal(&self) -> &[LedgerEntry<A>] {
+        &self.journal
+    }
+
+    /// Number of accounts.
+    pub fn accounts(&self) -> usize {
+        self.balances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClusterId, UserId};
+    use crate::money::Money;
+
+    fn ledger() -> Ledger<Money> {
+        let mut l = Ledger::new();
+        l.open(AccountId::User(UserId(1)), Money::from_units(100)).unwrap();
+        l.open(AccountId::Cluster(ClusterId(1)), Money::ZERO).unwrap();
+        l.open(AccountId::System, Money::ZERO).unwrap();
+        l.set_overdraft(AccountId::System, true);
+        l
+    }
+
+    #[test]
+    fn transfer_moves_money_and_conserves_total() {
+        let mut l = ledger();
+        let before = l.total_micros();
+        l.transfer(
+            AccountId::User(UserId(1)),
+            AccountId::Cluster(ClusterId(1)),
+            Money::from_units(30),
+            "contract settlement",
+        )
+        .unwrap();
+        assert_eq!(l.balance(&AccountId::User(UserId(1))), Money::from_units(70));
+        assert_eq!(l.balance(&AccountId::Cluster(ClusterId(1))), Money::from_units(30));
+        assert_eq!(l.total_micros(), before);
+        assert_eq!(l.journal().len(), 1);
+        assert_eq!(l.journal()[0].memo, "contract settlement");
+    }
+
+    #[test]
+    fn overdraft_rejected_by_default() {
+        let mut l = ledger();
+        let err = l
+            .transfer(
+                AccountId::User(UserId(1)),
+                AccountId::Cluster(ClusterId(1)),
+                Money::from_units(101),
+                "too much",
+            )
+            .unwrap_err();
+        assert!(matches!(err, FaucetsError::InsufficientFunds { .. }));
+        // Nothing moved.
+        assert_eq!(l.balance(&AccountId::User(UserId(1))), Money::from_units(100));
+        assert!(l.journal().is_empty());
+    }
+
+    #[test]
+    fn system_account_may_overdraft() {
+        let mut l = ledger();
+        l.transfer(AccountId::System, AccountId::User(UserId(1)), Money::from_units(500), "payoff")
+            .unwrap();
+        assert_eq!(l.balance(&AccountId::System), Money::from_units(-500));
+        assert_eq!(l.balance(&AccountId::User(UserId(1))), Money::from_units(600));
+    }
+
+    #[test]
+    fn unknown_accounts_error() {
+        let mut l = ledger();
+        assert!(l
+            .transfer(AccountId::User(UserId(9)), AccountId::System, Money::ZERO, "")
+            .is_err());
+        assert!(l
+            .transfer(AccountId::System, AccountId::User(UserId(9)), Money::ZERO, "")
+            .is_err());
+    }
+
+    #[test]
+    fn reopening_account_is_error() {
+        let mut l = ledger();
+        assert!(l.open(AccountId::User(UserId(1)), Money::ZERO).is_err());
+    }
+
+    #[test]
+    fn exact_balance_transfer_is_allowed() {
+        let mut l = ledger();
+        l.transfer(
+            AccountId::User(UserId(1)),
+            AccountId::Cluster(ClusterId(1)),
+            Money::from_units(100),
+            "",
+        )
+        .unwrap();
+        assert_eq!(l.balance(&AccountId::User(UserId(1))), Money::ZERO);
+    }
+
+    #[test]
+    fn works_for_service_units_too() {
+        use crate::ids::OrgId;
+        use crate::money::ServiceUnits;
+        let mut l: Ledger<ServiceUnits> = Ledger::new();
+        l.open(AccountId::Org(OrgId(1)), ServiceUnits::from_units(1000)).unwrap();
+        l.open(AccountId::Org(OrgId(2)), ServiceUnits::from_units(1000)).unwrap();
+        l.transfer(AccountId::Org(OrgId(1)), AccountId::Org(OrgId(2)), ServiceUnits::from_units(250), "barter")
+            .unwrap();
+        assert_eq!(l.balance(&AccountId::Org(OrgId(2))), ServiceUnits::from_units(1250));
+        assert_eq!(l.total_micros(), 2000 * 1_000_000);
+    }
+}

@@ -1,0 +1,164 @@
+//! Bids and bid requests.
+//!
+//! §5.2: a request-for-bids carries the job's QoS requirements; each Compute
+//! Server's bidding algorithm answers with a *multiplier*, which is converted
+//! to a Dollar amount by multiplying the CPU-seconds needed for the job by a
+//! normalized cost and the multiplier. A daemon may instead decline.
+
+use crate::ids::{BidId, ClusterId, JobId, UserId};
+use crate::money::Money;
+use crate::qos::QosContract;
+use faucets_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A request for bids broadcast to (filtered) Compute Servers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BidRequest {
+    /// The job seeking a home.
+    pub job: JobId,
+    /// Submitting user (for authentication checks at the daemon).
+    pub user: UserId,
+    /// The full QoS contract.
+    pub qos: QosContract,
+    /// When the request was issued.
+    pub issued_at: SimTime,
+}
+
+/// A bid returned by a Compute Server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bid {
+    /// Bid identity.
+    pub id: BidId,
+    /// The bidding cluster.
+    pub cluster: ClusterId,
+    /// The job bid on.
+    pub job: JobId,
+    /// The raw multiplier produced by the bidding algorithm.
+    pub multiplier: f64,
+    /// The resulting price (multiplier × normalized cost × CPU-seconds).
+    pub price: Money,
+    /// The completion time the cluster promises.
+    pub promised_completion: SimTime,
+    /// Processors the cluster plans to devote (within the QoS range).
+    pub planned_pes: u32,
+}
+
+impl Bid {
+    /// Construct a bid from a multiplier, applying the paper's
+    /// bid-to-dollar conversion.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_multiplier(
+        id: BidId,
+        cluster: ClusterId,
+        job: JobId,
+        multiplier: f64,
+        cpu_seconds: f64,
+        normalized_cost: Money,
+        promised_completion: SimTime,
+        planned_pes: u32,
+    ) -> Self {
+        Bid {
+            id,
+            cluster,
+            job,
+            multiplier,
+            price: Money::for_cpu_seconds(cpu_seconds, normalized_cost, multiplier),
+            promised_completion,
+            planned_pes,
+        }
+    }
+}
+
+/// Why a Compute Server declined to bid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeclineReason {
+    /// The job cannot be scheduled before its deadline.
+    CannotMeetDeadline,
+    /// The machine is too small or lacks memory.
+    InsufficientResources,
+    /// The application is not in the server's exported list (§2.2).
+    UnknownApplication,
+    /// Accepting would lose money (displaced payoff exceeds gain, §4.1).
+    Unprofitable,
+    /// Administrative policy (user class, maintenance window, …).
+    Policy(String),
+}
+
+/// A Compute Server's answer to a bid request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BidResponse {
+    /// Here is our bid.
+    Offer(Bid),
+    /// We decline, and why.
+    Decline(DeclineReason),
+}
+
+impl BidResponse {
+    /// The bid, if this is an offer.
+    pub fn offer(&self) -> Option<&Bid> {
+        match self {
+            BidResponse::Offer(b) => Some(b),
+            BidResponse::Decline(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_multiplier_applies_conversion() {
+        let b = Bid::from_multiplier(
+            BidId(1),
+            ClusterId(2),
+            JobId(3),
+            1.5,
+            1000.0,
+            Money::from_units_f64(0.02),
+            SimTime::from_secs(500),
+            32,
+        );
+        // 1000 cpu-s * $0.02 * 1.5 = $30.
+        assert_eq!(b.price, Money::from_units(30));
+        assert_eq!(b.planned_pes, 32);
+    }
+
+    #[test]
+    fn baseline_multiplier_of_one_is_list_price() {
+        let b = Bid::from_multiplier(
+            BidId(0),
+            ClusterId(0),
+            JobId(0),
+            1.0,
+            3600.0,
+            Money::from_units_f64(0.01),
+            SimTime::ZERO,
+            1,
+        );
+        assert_eq!(b.price, Money::from_units(36));
+    }
+
+    #[test]
+    fn response_offer_accessor() {
+        let b = Bid::from_multiplier(
+            BidId(0),
+            ClusterId(0),
+            JobId(0),
+            1.0,
+            1.0,
+            Money::from_units(1),
+            SimTime::ZERO,
+            1,
+        );
+        assert!(BidResponse::Offer(b).offer().is_some());
+        assert!(BidResponse::Decline(DeclineReason::Unprofitable).offer().is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = BidResponse::Decline(DeclineReason::Policy("maintenance".into()));
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<BidResponse>(&json).unwrap(), r);
+    }
+}

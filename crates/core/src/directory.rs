@@ -1,0 +1,335 @@
+//! The Compute Server directory kept by the Faucets Central Server (§2, §5.1).
+//!
+//! The FS *"maintains the list of available Compute Servers and refreshes
+//! the list by periodically polling the corresponding FDs … a database
+//! \[stores\] the directory of available Compute Servers and some information
+//! about each one, such as the maximum number of processors it has, the
+//! available memory, CPU type, and the address and port number of the FD."*
+//!
+//! §5.1's scalable-identification mechanism is the [`Directory::candidates`]
+//! filter: static properties (processors, memory, exported applications) and
+//! dynamic properties (liveness, current availability) eliminate Compute
+//! Servers from the request-for-bids broadcast. Experiment E9 measures the
+//! message savings.
+
+use crate::ids::ClusterId;
+use crate::qos::QosContract;
+use faucets_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// Static properties of a Compute Server, as registered by its daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerInfo {
+    /// Cluster identity.
+    pub cluster: ClusterId,
+    /// Human-readable name ("turing", "lemieux", …).
+    pub name: String,
+    /// Maximum number of processors.
+    pub total_pes: u32,
+    /// Memory per processor, MB.
+    pub mem_per_pe_mb: u64,
+    /// CPU type ("x86-64", "power4", …).
+    pub cpu_type: String,
+    /// Useful FLOP/s per processor.
+    pub flops_per_pe_sec: f64,
+    /// Address of the Faucets Daemon.
+    pub fd_addr: String,
+    /// Port the FD listens on ("a well-known port").
+    pub fd_port: u16,
+}
+
+/// Dynamic status reported in each poll/heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ServerStatus {
+    /// Processors currently idle.
+    pub free_pes: u32,
+    /// Jobs waiting in the local queue.
+    pub queue_len: u32,
+    /// Whether the server is accepting new work at all.
+    pub accepting: bool,
+}
+
+/// Directory entry: static info + latest dynamic status + exported apps.
+#[derive(Debug, Clone)]
+pub struct DirectoryEntry {
+    /// Registration data.
+    pub info: ServerInfo,
+    /// Latest heartbeat payload.
+    pub status: ServerStatus,
+    /// When the FS last heard from the FD.
+    pub last_heard: SimTime,
+    /// "Known Applications" this server exports (§2.2).
+    pub exported_apps: HashSet<String>,
+}
+
+/// How much filtering [`Directory::candidates`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterLevel {
+    /// Broadcast to every live server (the paper's "current implementation").
+    None,
+    /// Filter on static properties only (processors, memory, application).
+    Static,
+    /// Static plus dynamic properties (accepting, has any availability).
+    StaticAndDynamic,
+}
+
+/// Outcome counters for one candidate query, for the E9 message accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Servers considered (live).
+    pub considered: u64,
+    /// Servers eliminated by static properties.
+    pub static_rejected: u64,
+    /// Servers eliminated by dynamic properties.
+    pub dynamic_rejected: u64,
+    /// Servers that would receive the request-for-bids.
+    pub selected: u64,
+}
+
+/// The FS-side directory of Compute Servers.
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: BTreeMap<ClusterId, DirectoryEntry>,
+    /// Heartbeats older than this mark a server dead.
+    liveness_timeout: SimDuration,
+    /// Cumulative filter statistics.
+    pub stats: FilterStats,
+}
+
+impl Directory {
+    /// A directory that considers a server dead after `liveness_timeout`
+    /// without a heartbeat.
+    pub fn new(liveness_timeout: SimDuration) -> Self {
+        Directory { entries: BTreeMap::new(), liveness_timeout, stats: FilterStats::default() }
+    }
+
+    /// Register (or re-register) a server; called when an FD starts up.
+    pub fn register(&mut self, info: ServerInfo, exported_apps: impl IntoIterator<Item = String>, now: SimTime) {
+        let id = info.cluster;
+        self.entries.insert(
+            id,
+            DirectoryEntry {
+                info,
+                status: ServerStatus { free_pes: 0, queue_len: 0, accepting: true },
+                last_heard: now,
+                exported_apps: exported_apps.into_iter().collect(),
+            },
+        );
+    }
+
+    /// Remove a server (administrative deregistration).
+    pub fn deregister(&mut self, cluster: ClusterId) -> bool {
+        self.entries.remove(&cluster).is_some()
+    }
+
+    /// Record a heartbeat/poll response.
+    pub fn heartbeat(&mut self, cluster: ClusterId, status: ServerStatus, now: SimTime) -> bool {
+        match self.entries.get_mut(&cluster) {
+            Some(e) => {
+                e.status = status;
+                e.last_heard = now;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Is the server live (recent heartbeat) at `now`?
+    pub fn is_live(&self, cluster: ClusterId, now: SimTime) -> bool {
+        self.entries
+            .get(&cluster)
+            .is_some_and(|e| now.since(e.last_heard) <= self.liveness_timeout)
+    }
+
+    /// Look up an entry.
+    pub fn get(&self, cluster: ClusterId) -> Option<&DirectoryEntry> {
+        self.entries.get(&cluster)
+    }
+
+    /// All registered clusters (live or not), in id order.
+    pub fn all(&self) -> impl Iterator<Item = &DirectoryEntry> {
+        self.entries.values()
+    }
+
+    /// Number of registered servers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Does the entry pass the static property filter for `qos`?
+    fn static_ok(e: &DirectoryEntry, qos: &QosContract) -> bool {
+        e.info.total_pes >= qos.min_pes
+            && qos.fits_node_memory(e.info.mem_per_pe_mb)
+            && e.exported_apps.contains(&qos.env.app)
+    }
+
+    /// Does the entry pass the dynamic property filter for `qos`?
+    ///
+    /// A server with a deep queue is still a candidate (the scheduler may
+    /// find a window); only explicit non-acceptance or a machine entirely
+    /// too busy to ever free `min_pes` before a near deadline is screened
+    /// out. We keep the test conservative: accepting + not over-committed.
+    fn dynamic_ok(e: &DirectoryEntry, qos: &QosContract) -> bool {
+        e.status.accepting && e.status.queue_len < 4 * (e.info.total_pes / qos.min_pes.max(1)).max(1)
+    }
+
+    /// The servers that should receive the request-for-bids for `qos`,
+    /// under the given filter level, considering only live servers.
+    /// Updates the cumulative [`FilterStats`].
+    pub fn candidates(&mut self, qos: &QosContract, level: FilterLevel, now: SimTime) -> Vec<ClusterId> {
+        let timeout = self.liveness_timeout;
+        let mut out = vec![];
+        for e in self.entries.values() {
+            if now.since(e.last_heard) > timeout {
+                continue;
+            }
+            self.stats.considered += 1;
+            if matches!(level, FilterLevel::Static | FilterLevel::StaticAndDynamic)
+                && !Self::static_ok(e, qos)
+            {
+                self.stats.static_rejected += 1;
+                continue;
+            }
+            if matches!(level, FilterLevel::StaticAndDynamic) && !Self::dynamic_ok(e, qos) {
+                self.stats.dynamic_rejected += 1;
+                continue;
+            }
+            self.stats.selected += 1;
+            out.push(e.info.cluster);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::QosBuilder;
+
+    fn info(id: u64, pes: u32, mem: u64) -> ServerInfo {
+        ServerInfo {
+            cluster: ClusterId(id),
+            name: format!("cs{id}"),
+            total_pes: pes,
+            mem_per_pe_mb: mem,
+            cpu_type: "x86-64".into(),
+            flops_per_pe_sec: 1e9,
+            fd_addr: "127.0.0.1".into(),
+            fd_port: 9000 + id as u16,
+        }
+    }
+
+    fn dir() -> Directory {
+        let mut d = Directory::new(SimDuration::from_secs(60));
+        d.register(info(1, 64, 1024), ["namd".to_string(), "cfd".to_string()], SimTime::ZERO);
+        d.register(info(2, 1024, 512), ["namd".to_string()], SimTime::ZERO);
+        d.register(info(3, 16, 4096), ["qmc".to_string()], SimTime::ZERO);
+        d
+    }
+
+    fn qos(app: &str, min_pes: u32, mem: u64) -> QosContract {
+        QosBuilder::new(app, min_pes, min_pes.max(32), 100.0)
+            .mem_per_pe_mb(mem)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn register_heartbeat_liveness() {
+        let mut d = dir();
+        assert_eq!(d.len(), 3);
+        assert!(d.is_live(ClusterId(1), SimTime::from_secs(30)));
+        assert!(!d.is_live(ClusterId(1), SimTime::from_secs(120)));
+        assert!(d.heartbeat(
+            ClusterId(1),
+            ServerStatus { free_pes: 10, queue_len: 0, accepting: true },
+            SimTime::from_secs(100)
+        ));
+        assert!(d.is_live(ClusterId(1), SimTime::from_secs(120)));
+        assert!(!d.heartbeat(ClusterId(9), ServerStatus::default(), SimTime::ZERO));
+    }
+
+    #[test]
+    fn broadcast_level_returns_all_live() {
+        let mut d = dir();
+        let c = d.candidates(&qos("namd", 8, 256), FilterLevel::None, SimTime::from_secs(10));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn static_filter_screens_size_memory_and_app() {
+        let mut d = dir();
+        // namd, needs 32 pes min, 256MB/pe: cs1 (64pes,1024MB,namd) ok;
+        // cs2 (1024pes,512MB,namd) ok; cs3 lacks namd and pes.
+        let c = d.candidates(&qos("namd", 32, 256), FilterLevel::Static, SimTime::from_secs(1));
+        assert_eq!(c, vec![ClusterId(1), ClusterId(2)]);
+        // Memory-hungry job: only cs3 has 4GB/pe but no namd → nobody.
+        let c = d.candidates(&qos("namd", 8, 2048), FilterLevel::Static, SimTime::from_secs(1));
+        assert!(c.is_empty());
+        // Huge job: only cs2 is big enough.
+        let c = d.candidates(&qos("namd", 512, 256), FilterLevel::Static, SimTime::from_secs(1));
+        assert_eq!(c, vec![ClusterId(2)]);
+    }
+
+    #[test]
+    fn dynamic_filter_screens_non_accepting() {
+        let mut d = dir();
+        d.heartbeat(
+            ClusterId(1),
+            ServerStatus { free_pes: 64, queue_len: 0, accepting: false },
+            SimTime::from_secs(5),
+        );
+        d.heartbeat(
+            ClusterId(2),
+            ServerStatus { free_pes: 0, queue_len: 0, accepting: true },
+            SimTime::from_secs(5),
+        );
+        let c = d.candidates(&qos("namd", 8, 256), FilterLevel::StaticAndDynamic, SimTime::from_secs(6));
+        assert_eq!(c, vec![ClusterId(2)]);
+    }
+
+    #[test]
+    fn dynamic_filter_screens_hopeless_queues() {
+        let mut d = dir();
+        d.heartbeat(
+            ClusterId(2),
+            ServerStatus { free_pes: 0, queue_len: 100_000, accepting: true },
+            SimTime::from_secs(5),
+        );
+        let c = d.candidates(&qos("namd", 8, 256), FilterLevel::StaticAndDynamic, SimTime::from_secs(6));
+        assert!(!c.contains(&ClusterId(2)));
+    }
+
+    #[test]
+    fn dead_servers_never_selected() {
+        let mut d = dir();
+        // Only cs1 stays live.
+        d.heartbeat(ClusterId(1), ServerStatus { free_pes: 1, queue_len: 0, accepting: true }, SimTime::from_secs(100));
+        let c = d.candidates(&qos("namd", 8, 256), FilterLevel::None, SimTime::from_secs(120));
+        assert_eq!(c, vec![ClusterId(1)]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = dir();
+        d.candidates(&qos("namd", 32, 256), FilterLevel::Static, SimTime::from_secs(1));
+        assert_eq!(d.stats.considered, 3);
+        assert_eq!(d.stats.static_rejected, 1);
+        assert_eq!(d.stats.selected, 2);
+    }
+
+    #[test]
+    fn deregister() {
+        let mut d = dir();
+        assert!(d.deregister(ClusterId(3)));
+        assert!(!d.deregister(ClusterId(3)));
+        assert_eq!(d.len(), 2);
+        assert!(d.get(ClusterId(3)).is_none());
+    }
+}

@@ -1,0 +1,140 @@
+//! Auction mechanisms for comparing market designs (§6, Related Work).
+//!
+//! Faucets itself runs a *first-price reverse auction*: Compute Servers
+//! submit asks, the client pays the ask it selects. Spawn (Waldspurger et
+//! al. 1992), discussed in the paper's related work, uses *sealed
+//! second-price* auctions. Experiment E12 compares the two mechanisms on
+//! identical workloads; this module implements both over the same bid type.
+
+use crate::bid::Bid;
+use crate::money::Money;
+use serde::{Deserialize, Serialize};
+
+/// Which payment rule settles a reverse auction over asks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Lowest ask wins, winner is paid *their own* ask (Faucets default).
+    FirstPrice,
+    /// Lowest ask wins, winner is paid the *second-lowest* ask
+    /// (Vickrey / Spawn-style; incentive-compatible for sellers).
+    SecondPrice,
+}
+
+/// Result of running an auction over a bid slate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuctionResult {
+    /// Index of the winning bid within the input slate.
+    pub winner: usize,
+    /// What the client pays the winner.
+    pub payment: Money,
+}
+
+/// Run a reverse auction by price over the slate. Ties break by cluster id
+/// for determinism. Returns `None` for an empty slate.
+///
+/// Under [`Mechanism::SecondPrice`] with a single bidder, the winner is paid
+/// their own ask (there is no second price to clamp to).
+pub fn run_reverse_auction(bids: &[Bid], mechanism: Mechanism) -> Option<AuctionResult> {
+    if bids.is_empty() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..bids.len()).collect();
+    order.sort_by(|&a, &b| {
+        bids[a]
+            .price
+            .cmp(&bids[b].price)
+            .then(bids[a].cluster.cmp(&bids[b].cluster))
+    });
+    let winner = order[0];
+    let payment = match mechanism {
+        Mechanism::FirstPrice => bids[winner].price,
+        Mechanism::SecondPrice => order.get(1).map_or(bids[winner].price, |&i| bids[i].price),
+    };
+    Some(AuctionResult { winner, payment })
+}
+
+/// The seller's optimal ask under each mechanism, given their true cost.
+///
+/// Under second price, truth-telling is optimal (`cost`). Under first price,
+/// sellers shade *up*: a standard equilibrium approximation with `n`
+/// symmetric bidders and costs uniform on `[cost, cost_max]` asks
+/// `cost + (cost_max - cost) / n`. Used by E12's strategic bidders.
+pub fn equilibrium_ask(mechanism: Mechanism, cost: Money, cost_max: Money, n_bidders: usize) -> Money {
+    match mechanism {
+        Mechanism::SecondPrice => cost,
+        Mechanism::FirstPrice => {
+            let n = n_bidders.max(1) as f64;
+            cost + (cost_max - cost).mul_f64(1.0 / n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{BidId, ClusterId, JobId};
+    use faucets_sim::time::SimTime;
+
+    fn bid(cluster: u64, price: f64) -> Bid {
+        Bid {
+            id: BidId(cluster),
+            cluster: ClusterId(cluster),
+            job: JobId(0),
+            multiplier: 1.0,
+            price: Money::from_units_f64(price),
+            promised_completion: SimTime::ZERO,
+            planned_pes: 1,
+        }
+    }
+
+    #[test]
+    fn first_price_pays_own_ask() {
+        let bids = [bid(1, 30.0), bid(2, 10.0), bid(3, 20.0)];
+        let r = run_reverse_auction(&bids, Mechanism::FirstPrice).unwrap();
+        assert_eq!(r.winner, 1);
+        assert_eq!(r.payment, Money::from_units(10));
+    }
+
+    #[test]
+    fn second_price_pays_runner_up() {
+        let bids = [bid(1, 30.0), bid(2, 10.0), bid(3, 20.0)];
+        let r = run_reverse_auction(&bids, Mechanism::SecondPrice).unwrap();
+        assert_eq!(r.winner, 1);
+        assert_eq!(r.payment, Money::from_units(20));
+    }
+
+    #[test]
+    fn single_bidder_second_price_pays_own() {
+        let bids = [bid(1, 30.0)];
+        let r = run_reverse_auction(&bids, Mechanism::SecondPrice).unwrap();
+        assert_eq!(r.payment, Money::from_units(30));
+    }
+
+    #[test]
+    fn empty_slate_no_result() {
+        assert!(run_reverse_auction(&[], Mechanism::FirstPrice).is_none());
+    }
+
+    #[test]
+    fn ties_break_by_cluster_id() {
+        let bids = [bid(7, 10.0), bid(3, 10.0)];
+        let r = run_reverse_auction(&bids, Mechanism::FirstPrice).unwrap();
+        assert_eq!(bids[r.winner].cluster, ClusterId(3));
+    }
+
+    #[test]
+    fn equilibrium_asks() {
+        let cost = Money::from_units(10);
+        let cmax = Money::from_units(30);
+        assert_eq!(equilibrium_ask(Mechanism::SecondPrice, cost, cmax, 4), cost);
+        // First price with 4 bidders: 10 + 20/4 = 15.
+        assert_eq!(
+            equilibrium_ask(Mechanism::FirstPrice, cost, cmax, 4),
+            Money::from_units(15)
+        );
+        // More competition shades less.
+        let a2 = equilibrium_ask(Mechanism::FirstPrice, cost, cmax, 2);
+        let a10 = equilibrium_ask(Mechanism::FirstPrice, cost, cmax, 10);
+        assert!(a10 < a2);
+    }
+}

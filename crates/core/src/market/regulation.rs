@@ -1,0 +1,158 @@
+//! Market regulation (§5.5.1).
+//!
+//! *"It may be necessary to have regulatory mechanisms in place to avoid
+//! misuse of markets: limits on how far the bids can be from some notion of
+//! 'normal' price can be one such mechanism. It may also be necessary to
+//! have additional priority to jobs of national importance to prevent
+//! denial-of-service attacks on such systems."*
+//!
+//! The [`Regulator`] screens bid slates before client-side evaluation: bids
+//! whose multiplier strays more than a band factor from the grid's price
+//! index (the "normal price", from [`crate::market::history`]) are either
+//! rejected or clamped to the band edge. National-importance jobs bypass
+//! price screening entirely and are flagged for head-of-queue treatment.
+
+use crate::bid::Bid;
+use serde::{Deserialize, Serialize};
+
+/// What to do with a bid that violates the price band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BandAction {
+    /// Drop the bid from the slate.
+    Reject,
+    /// Pull the bid's multiplier (and price, proportionally) to the nearest
+    /// band edge.
+    Clamp,
+}
+
+/// The §5.5.1 price-band regulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Regulator {
+    /// Allowed multiplier range is `normal / band_factor ..= normal ×
+    /// band_factor`; must be ≥ 1.
+    pub band_factor: f64,
+    /// Policy for violators.
+    pub action: BandAction,
+}
+
+impl Default for Regulator {
+    fn default() -> Self {
+        Regulator { band_factor: 3.0, action: BandAction::Reject }
+    }
+}
+
+/// Outcome counters for one screening pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScreenStats {
+    /// Bids that passed unmodified.
+    pub passed: usize,
+    /// Bids rejected for leaving the band.
+    pub rejected: usize,
+    /// Bids clamped to the band edge.
+    pub clamped: usize,
+}
+
+impl Regulator {
+    /// Screen a bid slate against the normal price. With no price history
+    /// yet (`normal_price` None) the market is too young to regulate and
+    /// everything passes.
+    pub fn screen(&self, bids: &[Bid], normal_price: Option<f64>) -> (Vec<Bid>, ScreenStats) {
+        let mut stats = ScreenStats::default();
+        let Some(normal) = normal_price.filter(|n| *n > 0.0) else {
+            stats.passed = bids.len();
+            return (bids.to_vec(), stats);
+        };
+        let factor = self.band_factor.max(1.0);
+        let (lo, hi) = (normal / factor, normal * factor);
+        let mut out = vec![];
+        for b in bids {
+            if b.multiplier >= lo && b.multiplier <= hi {
+                stats.passed += 1;
+                out.push(*b);
+                continue;
+            }
+            match self.action {
+                BandAction::Reject => stats.rejected += 1,
+                BandAction::Clamp => {
+                    stats.clamped += 1;
+                    let clamped_mult = b.multiplier.clamp(lo, hi);
+                    let mut nb = *b;
+                    // Price scales with the multiplier (the §5.2 conversion
+                    // is linear in it).
+                    if b.multiplier > 0.0 {
+                        nb.price = b.price.mul_f64(clamped_mult / b.multiplier);
+                    }
+                    nb.multiplier = clamped_mult;
+                    out.push(nb);
+                }
+            }
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{BidId, ClusterId, JobId};
+    use crate::money::Money;
+    use faucets_sim::time::SimTime;
+
+    fn bid(cluster: u64, multiplier: f64) -> Bid {
+        Bid {
+            id: BidId(cluster),
+            cluster: ClusterId(cluster),
+            job: JobId(0),
+            multiplier,
+            price: Money::from_units_f64(100.0 * multiplier),
+            promised_completion: SimTime::ZERO,
+            planned_pes: 1,
+        }
+    }
+
+    #[test]
+    fn gouging_rejected_lowballing_rejected() {
+        let r = Regulator { band_factor: 2.0, action: BandAction::Reject };
+        let bids = [bid(1, 1.0), bid(2, 5.0), bid(3, 0.2), bid(4, 1.9)];
+        let (kept, stats) = r.screen(&bids, Some(1.0));
+        let clusters: Vec<u64> = kept.iter().map(|b| b.cluster.raw()).collect();
+        assert_eq!(clusters, vec![1, 4]);
+        assert_eq!(stats, ScreenStats { passed: 2, rejected: 2, clamped: 0 });
+    }
+
+    #[test]
+    fn clamping_pulls_to_band_edge_and_reprices() {
+        let r = Regulator { band_factor: 2.0, action: BandAction::Clamp };
+        let bids = [bid(1, 5.0), bid(2, 0.2)];
+        let (kept, stats) = r.screen(&bids, Some(1.0));
+        assert_eq!(stats.clamped, 2);
+        assert!((kept[0].multiplier - 2.0).abs() < 1e-12);
+        assert_eq!(kept[0].price, Money::from_units(200));
+        assert!((kept[1].multiplier - 0.5).abs() < 1e-12);
+        assert_eq!(kept[1].price, Money::from_units(50));
+    }
+
+    #[test]
+    fn young_market_passes_everything() {
+        let r = Regulator::default();
+        let bids = [bid(1, 100.0)];
+        let (kept, stats) = r.screen(&bids, None);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(stats.passed, 1);
+    }
+
+    #[test]
+    fn band_edges_are_inclusive() {
+        let r = Regulator { band_factor: 2.0, action: BandAction::Reject };
+        let bids = [bid(1, 2.0), bid(2, 0.5)];
+        let (kept, _) = r.screen(&bids, Some(1.0));
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn band_factor_below_one_is_sanitized() {
+        let r = Regulator { band_factor: 0.1, action: BandAction::Reject };
+        let (kept, _) = r.screen(&[bid(1, 1.0)], Some(1.0));
+        assert_eq!(kept.len(), 1, "factor clamps to 1: only exactly-normal passes");
+    }
+}

@@ -1,0 +1,18 @@
+//! Quality-of-service contracts for parallel jobs (§2.1 of the paper).
+//!
+//! A [`contract::QosContract`] bundles the job's resource requirements
+//! (processor range, memory, work), its completion-time model
+//! ([`speedup::SpeedupModel`]), and its economics
+//! ([`payoff::PayoffFn`] — the payoff as a function of completion time, with
+//! soft and hard deadlines). Phased applications are described by
+//! [`phases::PhaseStructure`].
+
+pub mod contract;
+pub mod payoff;
+pub mod phases;
+pub mod speedup;
+
+pub use contract::{Environment, QosBuilder, QosContract, WorkSpec};
+pub use payoff::PayoffFn;
+pub use phases::{Phase, PhaseStructure};
+pub use speedup::SpeedupModel;

@@ -1,0 +1,173 @@
+//! Completion-time-vs-processors models.
+//!
+//! §2.1: *"the amount of time needed to complete the job, and some notion of
+//! how this changes with the number of processors … optionally the
+//! efficiency with minimum and maximum number of processors (with linear
+//! interpolation assumed)."* The linear-efficiency model is the paper's
+//! "current implementation"; Amdahl and perfect scaling are the
+//! "more sophisticated models" it mentions as a research knob, and are used
+//! in ablations.
+
+use serde::{Deserialize, Serialize};
+
+/// How a job's parallel efficiency varies over its processor range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpeedupModel {
+    /// Efficiency linearly interpolated between `eff_min` at the job's
+    /// minimum processor count and `eff_max` at its maximum (the paper's
+    /// default; typically `eff_min >= eff_max` since efficiency degrades).
+    LinearEfficiency {
+        /// Efficiency at `min_pes` (0, 1].
+        eff_min: f64,
+        /// Efficiency at `max_pes` (0, 1].
+        eff_max: f64,
+    },
+    /// Amdahl's law with the given serial fraction in [0, 1).
+    Amdahl {
+        /// Fraction of the work that cannot be parallelized.
+        serial_fraction: f64,
+    },
+    /// Perfect (linear) speedup: efficiency 1 everywhere.
+    Perfect,
+}
+
+impl SpeedupModel {
+    /// Validate parameters, returning a human-readable complaint on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            SpeedupModel::LinearEfficiency { eff_min, eff_max } => {
+                for (name, e) in [("eff_min", eff_min), ("eff_max", eff_max)] {
+                    if !(e > 0.0 && e <= 1.0) {
+                        return Err(format!("{name} must be in (0,1], got {e}"));
+                    }
+                }
+                Ok(())
+            }
+            SpeedupModel::Amdahl { serial_fraction } => {
+                if !(0.0..1.0).contains(&serial_fraction) {
+                    Err(format!("serial_fraction must be in [0,1), got {serial_fraction}"))
+                } else {
+                    Ok(())
+                }
+            }
+            SpeedupModel::Perfect => Ok(()),
+        }
+    }
+
+    /// Parallel efficiency on `pes` processors for a job whose valid range is
+    /// `[min_pes, max_pes]`. `pes` is clamped into the range.
+    pub fn efficiency(&self, pes: u32, min_pes: u32, max_pes: u32) -> f64 {
+        debug_assert!(min_pes >= 1 && min_pes <= max_pes);
+        let p = pes.clamp(min_pes, max_pes);
+        match *self {
+            SpeedupModel::LinearEfficiency { eff_min, eff_max } => {
+                if max_pes == min_pes {
+                    eff_min
+                } else {
+                    let t = (p - min_pes) as f64 / (max_pes - min_pes) as f64;
+                    eff_min + t * (eff_max - eff_min)
+                }
+            }
+            SpeedupModel::Amdahl { serial_fraction } => {
+                // speedup(p) = 1 / (s + (1-s)/p); efficiency = speedup/p.
+                let p = p as f64;
+                1.0 / (serial_fraction * p + (1.0 - serial_fraction))
+            }
+            SpeedupModel::Perfect => 1.0,
+        }
+    }
+
+    /// Wall-clock seconds to execute `work` CPU-seconds of sequential work on
+    /// `pes` processors: `work / (pes * efficiency)`.
+    pub fn wall_seconds(&self, work: f64, pes: u32, min_pes: u32, max_pes: u32) -> f64 {
+        debug_assert!(work >= 0.0);
+        let p = pes.clamp(min_pes, max_pes);
+        work / (p as f64 * self.efficiency(p, min_pes, max_pes))
+    }
+
+    /// The execution *rate* in CPU-seconds of useful work per wall-clock
+    /// second on `pes` processors. Used by the running-job integrator when
+    /// jobs shrink and expand mid-flight.
+    pub fn work_rate(&self, pes: u32, min_pes: u32, max_pes: u32) -> f64 {
+        let p = pes.clamp(min_pes, max_pes);
+        p as f64 * self.efficiency(p, min_pes, max_pes)
+    }
+}
+
+impl Default for SpeedupModel {
+    fn default() -> Self {
+        SpeedupModel::LinearEfficiency { eff_min: 1.0, eff_max: 0.7 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_efficiency_interpolates() {
+        let m = SpeedupModel::LinearEfficiency { eff_min: 1.0, eff_max: 0.5 };
+        assert!((m.efficiency(10, 10, 110) - 1.0).abs() < 1e-12);
+        assert!((m.efficiency(110, 10, 110) - 0.5).abs() < 1e-12);
+        assert!((m.efficiency(60, 10, 110) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_range_uses_eff_min() {
+        let m = SpeedupModel::LinearEfficiency { eff_min: 0.9, eff_max: 0.5 };
+        assert!((m.efficiency(8, 8, 8) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_pes_clamp() {
+        let m = SpeedupModel::LinearEfficiency { eff_min: 1.0, eff_max: 0.5 };
+        assert_eq!(m.efficiency(1, 10, 20), m.efficiency(10, 10, 20));
+        assert_eq!(m.efficiency(100, 10, 20), m.efficiency(20, 10, 20));
+    }
+
+    #[test]
+    fn wall_time_decreases_with_more_pes_when_efficient() {
+        let m = SpeedupModel::LinearEfficiency { eff_min: 1.0, eff_max: 0.8 };
+        let t16 = m.wall_seconds(3600.0, 16, 16, 64);
+        let t64 = m.wall_seconds(3600.0, 64, 16, 64);
+        assert!(t64 < t16, "more procs should be faster: {t64} !< {t16}");
+        // On 16 pes at eff 1.0, 3600 cpu-s takes 225 wall-s.
+        assert!((t16 - 225.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amdahl_limits() {
+        let m = SpeedupModel::Amdahl { serial_fraction: 0.1 };
+        // Efficiency at p=1 is 1.
+        assert!((m.efficiency(1, 1, 1024) - 1.0).abs() < 1e-12);
+        // Speedup saturates at 1/s = 10: wall time on huge p ≈ work * s.
+        let w = m.wall_seconds(1000.0, 1024, 1, 1024);
+        assert!(w > 100.0 && w < 110.0, "wall {w} should approach 100");
+    }
+
+    #[test]
+    fn perfect_scaling() {
+        let m = SpeedupModel::Perfect;
+        assert_eq!(m.efficiency(512, 1, 1024), 1.0);
+        assert!((m.wall_seconds(1000.0, 10, 1, 1024) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_rate_matches_wall_time() {
+        let m = SpeedupModel::LinearEfficiency { eff_min: 0.95, eff_max: 0.6 };
+        let work = 5000.0;
+        let pes = 37;
+        let rate = m.work_rate(pes, 10, 100);
+        let wall = m.wall_seconds(work, pes, 10, 100);
+        assert!((rate * wall - work).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SpeedupModel::LinearEfficiency { eff_min: 0.0, eff_max: 0.5 }.validate().is_err());
+        assert!(SpeedupModel::LinearEfficiency { eff_min: 0.5, eff_max: 1.1 }.validate().is_err());
+        assert!(SpeedupModel::Amdahl { serial_fraction: 1.0 }.validate().is_err());
+        assert!(SpeedupModel::Amdahl { serial_fraction: 0.0 }.validate().is_ok());
+        assert!(SpeedupModel::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests for the core market machinery: payoff monotonicity, bid
+//! conversion, contract-book state safety, selection optimality, history
+//! windows, and ledger conservation under arbitrary transfer programs.
+
+use faucets_core::accounting::{AccountId, Ledger};
+use faucets_core::bid::Bid;
+use faucets_core::ids::{BidId, ClusterId, JobId, UserId};
+use faucets_core::market::{ContractBook, ContractState, SelectionPolicy};
+use faucets_core::money::Money;
+use faucets_core::qos::{PayoffFn, QosBuilder, SpeedupModel};
+use faucets_sim::time::SimTime;
+use proptest::prelude::*;
+
+fn payoff_strategy() -> impl Strategy<Value = PayoffFn> {
+    (0u64..100_000, 0u64..100_000, 0i64..10_000, 0i64..10_000, 0i64..5_000).prop_map(
+        |(soft, extra, pay_soft, pay_drop, penalty)| PayoffFn {
+            soft_deadline: SimTime::from_secs(soft),
+            hard_deadline: SimTime::from_secs(soft + extra),
+            payoff_soft: Money::from_units(pay_soft),
+            payoff_hard: Money::from_units((pay_soft - pay_drop).max(0).min(pay_soft)),
+            penalty_late: Money::from_units(penalty),
+        },
+    )
+}
+
+proptest! {
+    /// Payoff is non-increasing in completion time — finishing earlier can
+    /// never pay less. (The economic sanity every scheduler relies on.)
+    #[test]
+    fn payoff_monotone_nonincreasing(p in payoff_strategy(), times in prop::collection::vec(0u64..300_000, 2..50)) {
+        prop_assert!(p.validate().is_ok(), "{:?}", p.validate());
+        let mut ts = times;
+        ts.sort_unstable();
+        let mut prev = p.payoff_at(SimTime::from_secs(ts[0]));
+        for &t in &ts[1..] {
+            let v = p.payoff_at(SimTime::from_secs(t));
+            prop_assert!(v <= prev, "payoff rose from {prev} to {v} at t={t}");
+            prev = v;
+        }
+    }
+
+    /// Wall time and work rate are mutually consistent (rate × wall = work)
+    /// at every size, and out-of-range requests clamp to the boundary.
+    /// (Note: wall time is *not* necessarily monotone in processors — a
+    /// steep efficiency decay legitimately makes extra processors a loss,
+    /// which is exactly why the QoS carries a `max_pes` bound.)
+    #[test]
+    fn wall_time_consistent_with_rate(
+        min_pes in 1u32..64,
+        extra in 1u32..192,
+        work in 10.0f64..1e6,
+        eff_hi in 0.5f64..1.0,
+        eff_drop in 0.0f64..0.45,
+    ) {
+        let max_pes = min_pes + extra;
+        let qos = QosBuilder::new("x", min_pes, max_pes, work)
+            .efficiency(eff_hi, eff_hi - eff_drop)
+            .build()
+            .unwrap();
+        for pes in [min_pes, min_pes + extra / 2, max_pes] {
+            let rate = qos.speedup.work_rate(pes, min_pes, max_pes);
+            let wall = qos.speedup.wall_seconds(work, pes, min_pes, max_pes);
+            prop_assert!((rate * wall - work).abs() / work < 1e-9, "rate×wall != work at {pes}");
+        }
+        // Clamping: asking for more than max or fewer than min is the same
+        // as asking for the boundary.
+        prop_assert_eq!(
+            qos.wall_time_on(max_pes + 1000, 1.0),
+            qos.wall_time_on(max_pes, 1.0)
+        );
+        prop_assert_eq!(qos.wall_time_on(0, 1.0), qos.wall_time_on(min_pes, 1.0));
+    }
+
+    /// The selection winner really is arg-min of its criterion.
+    #[test]
+    fn selection_winner_is_optimal(prices in prop::collection::vec((1i64..10_000, 1u64..100_000), 1..20)) {
+        let bids: Vec<Bid> = prices
+            .iter()
+            .enumerate()
+            .map(|(i, &(price, completion))| Bid {
+                id: BidId(i as u64),
+                cluster: ClusterId(i as u64),
+                job: JobId(0),
+                multiplier: 1.0,
+                price: Money::from_units(price),
+                promised_completion: SimTime::from_secs(completion),
+                planned_pes: 1,
+            })
+            .collect();
+        let flat = PayoffFn::flat(Money::from_units(1_000_000));
+        let w = SelectionPolicy::LeastCost.select(&bids, &flat).unwrap();
+        prop_assert!(bids.iter().all(|b| w.price <= b.price));
+        let w = SelectionPolicy::EarliestCompletion.select(&bids, &flat).unwrap();
+        prop_assert!(bids.iter().all(|b| w.promised_completion <= b.promised_completion));
+        // rank() is a permutation whose head equals select().
+        let ranked = SelectionPolicy::LeastCost.rank(&bids, &flat);
+        prop_assert_eq!(ranked.len(), bids.len());
+        prop_assert_eq!(
+            ranked[0].cluster,
+            SelectionPolicy::LeastCost.select(&bids, &flat).unwrap().cluster
+        );
+    }
+
+    /// The contract book never reaches an illegal state no matter the order
+    /// of operations thrown at it, and completed contracts are settled.
+    #[test]
+    fn contract_book_state_safety(ops in prop::collection::vec((0u8..5, 0u64..6), 1..80)) {
+        let mut book = ContractBook::new();
+        let mut ids = vec![];
+        for (op, job) in ops {
+            let t = SimTime::from_secs(ids.len() as u64);
+            match op {
+                0 => {
+                    let bid = Bid {
+                        id: BidId(job),
+                        cluster: ClusterId(job),
+                        job: JobId(job),
+                        multiplier: 1.0,
+                        price: Money::from_units(1),
+                        promised_completion: t,
+                        planned_pes: 1,
+                    };
+                    if let Ok(id) = book.award(bid, t) {
+                        ids.push(id);
+                    }
+                }
+                1 => {
+                    if let Some(&id) = ids.last() {
+                        let _ = book.confirm(id);
+                    }
+                }
+                2 => {
+                    if let Some(&id) = ids.first() {
+                        let _ = book.renege(id);
+                    }
+                }
+                3 => {
+                    if let Some(&id) = ids.last() {
+                        let _ = book.cancel(id);
+                    }
+                }
+                _ => {
+                    if let Some(&id) = ids.first() {
+                        let _ = book.complete(id, t, Money::from_units(1));
+                    }
+                }
+            }
+        }
+        // Invariants: every completed contract has settlement data; every
+        // job's live contract is unique.
+        for &id in &ids {
+            let c = book.get(id).unwrap();
+            if c.state == ContractState::Completed {
+                prop_assert!(c.settled_amount.is_some() && c.completed_at.is_some());
+            }
+        }
+    }
+
+    /// Ledger totals are invariant under arbitrary (attempted) transfers,
+    /// and no non-overdraft account ever goes negative.
+    #[test]
+    fn ledger_invariants(ops in prop::collection::vec((0u64..4, 0u64..4, 0i64..500), 1..100)) {
+        let mut l: Ledger<Money> = Ledger::new();
+        for i in 0..4u64 {
+            l.open(AccountId::User(UserId(i)), Money::from_units(100)).unwrap();
+        }
+        let initial = l.total_micros();
+        for (from, to, amt) in ops {
+            let _ = l.transfer(
+                AccountId::User(UserId(from)),
+                AccountId::User(UserId(to)),
+                Money::from_units(amt),
+                "prop",
+            );
+            prop_assert_eq!(l.total_micros(), initial);
+            for i in 0..4u64 {
+                prop_assert!(!l.balance(&AccountId::User(UserId(i))).is_negative());
+            }
+        }
+    }
+
+    /// Speedup models never produce zero or negative execution rates inside
+    /// the valid range.
+    #[test]
+    fn work_rate_positive(
+        min in 1u32..128,
+        extra in 0u32..128,
+        model in prop_oneof![
+            (0.01f64..1.0, 0.01f64..1.0).prop_map(|(a, b)| SpeedupModel::LinearEfficiency { eff_min: a, eff_max: b }),
+            (0.0f64..0.99).prop_map(|s| SpeedupModel::Amdahl { serial_fraction: s }),
+            Just(SpeedupModel::Perfect),
+        ],
+    ) {
+        let max = min + extra;
+        for pes in [min, (min + max) / 2, max] {
+            let r = model.work_rate(pes, min, max);
+            prop_assert!(r > 0.0 && r.is_finite(), "rate {r} at {pes} pes for {model:?}");
+        }
+    }
+}

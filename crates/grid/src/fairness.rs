@@ -1,0 +1,52 @@
+//! Fair-usage metrics (§5.5.4).
+//!
+//! *"some elements of the bartering scheme may be incorporated in order to
+//! allow individual departments or users from getting 'fair usage' from
+//! resources, so that high priority jobs do not forever starve a subset of
+//! users"* — starvation is measurable: Jain's fairness index over per-user
+//! delivered service is 1.0 when everyone gets an equal share and tends to
+//! `1/n` when one user takes everything.
+
+/// Jain's fairness index: `(Σx)² / (n · Σx²)` over non-negative service
+/// figures. Returns 1.0 for an empty or all-zero population (nobody is
+/// being starved *relative to others*).
+pub fn jain_index(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_shares_are_perfectly_fair() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monopolies_score_one_over_n() {
+        let idx = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mild_skew_lands_in_between() {
+        let idx = jain_index(&[4.0, 2.0]);
+        assert!(idx > 0.5 && idx < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+}

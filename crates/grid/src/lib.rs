@@ -1,0 +1,55 @@
+//! # faucets-grid — the whole-grid simulation of §5.4
+//!
+//! *"To evaluate the scalability of the framework and to compare the
+//! effectiveness of alternative bidding strategies, we have built a
+//! simulation framework: each entity in the Faucets system — clients,
+//! Compute Servers, Faucets-Server …, job schedulers with their
+//! bid-generation algorithms, and application programs — is represented by
+//! an object, and discrete-event simulation is carried out over patterns of
+//! job submissions under study."*
+//!
+//! This crate is that framework: [`world::GridWorld`] holds the entity
+//! objects (from `faucets-core` and `faucets-sched`) and dispatches the §2
+//! protocol over the `faucets-sim` engine; [`workload`] generates the job
+//! submission patterns; [`scenario::ScenarioBuilder`] assembles experiments;
+//! [`report`] renders their tables.
+//!
+//! # Example: a tiny grid, end to end
+//!
+//! ```
+//! use faucets_grid::prelude::*;
+//! use faucets_core::market::SelectionPolicy;
+//! use faucets_sim::time::SimDuration;
+//!
+//! let sim = ScenarioBuilder::new(1)
+//!     .cluster(64, "equipartition", "util-interp")
+//!     .cluster(64, "fcfs", "baseline")
+//!     .users(3)
+//!     .mode(MarketMode::Bidding(SelectionPolicy::LeastCost))
+//!     .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(600) })
+//!     .mix(JobMix { log2_min_pes: (0, 3), ..JobMix::default() })
+//!     .horizon(SimDuration::from_hours(2))
+//!     .build();
+//! let world = run_scenario(sim);
+//! assert!(world.stats.submitted > 0);
+//! assert_eq!(world.stats.completed + world.stats.rejected, world.stats.submitted);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fairness;
+pub mod report;
+pub mod scenario;
+pub mod trace;
+pub mod workload;
+pub mod world;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::fairness::jain_index;
+    pub use crate::report::{f2, f3, pct, Table};
+    pub use crate::scenario::{policy_by_name, run_scenario, strategy_by_name, ScenarioBuilder};
+    pub use crate::trace::{parse_swf, record_to_qos, workload_from_swf, TraceConfig, TraceRecord};
+    pub use crate::workload::{ArrivalProcess, JobMix, Workload};
+    pub use crate::world::{GridEvent, GridStats, GridWorld, MarketMode, Node};
+}

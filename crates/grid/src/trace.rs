@@ -1,0 +1,234 @@
+//! Standard Workload Format (SWF) trace loading.
+//!
+//! §5.4 runs the simulation "over patterns of job submissions under study";
+//! the community's canonical pattern source is the Parallel Workloads
+//! Archive's SWF logs. This module parses the SWF subset the simulation
+//! needs — submit time, runtime, processor request, requested user — and
+//! lifts each record into a QoS contract under a [`TraceConfig`] that
+//! supplies the fields 2004 traces do not carry (efficiency curve,
+//! adaptivity, payoff/deadline economics).
+//!
+//! SWF refresher: whitespace-separated records of 18 fields, `;` comments;
+//! field 1 = job id, 2 = submit time (s), 4 = run time (s), 5 = allocated
+//! processors (8 = requested processors as fallback), 12 = user id.
+//! Missing values are `-1`.
+
+use crate::workload::Workload;
+use faucets_core::ids::UserId;
+use faucets_core::money::Money;
+use faucets_core::qos::{PayoffFn, QosBuilder, QosContract, SpeedupModel};
+use faucets_sim::time::{SimDuration, SimTime};
+
+/// One parsed SWF record (the subset the simulation consumes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// SWF job number.
+    pub job: u64,
+    /// Submission time, seconds from trace start.
+    pub submit_secs: u64,
+    /// Recorded runtime, seconds.
+    pub runtime_secs: f64,
+    /// Processors used (or requested).
+    pub procs: u32,
+    /// Submitting user (SWF field 12; 0 when absent).
+    pub user: u64,
+}
+
+/// How trace records become QoS contracts.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// `min_pes = procs / shrink_factor` (≥ 1): how far adaptive jobs may
+    /// shrink below their recorded size.
+    pub shrink_factor: u32,
+    /// `max_pes = procs × grow_factor`: adaptivity headroom above it.
+    pub grow_factor: u32,
+    /// Efficiency at min/max processors.
+    pub efficiency: (f64, f64),
+    /// Fraction of jobs treated as adaptive (by job id hash).
+    pub adaptive_fraction: f64,
+    /// Soft deadline = submit + runtime × slack.
+    pub slack: f64,
+    /// Hard deadline = soft × this factor.
+    pub hard_over_soft: f64,
+    /// Dollars per CPU-second of recorded work.
+    pub payoff_rate: Money,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            shrink_factor: 2,
+            grow_factor: 2,
+            efficiency: (0.95, 0.75),
+            adaptive_fraction: 1.0,
+            slack: 4.0,
+            hard_over_soft: 2.0,
+            payoff_rate: Money::from_units_f64(0.02),
+        }
+    }
+}
+
+/// Parse SWF text. Records with missing submit/runtime/procs are skipped
+/// (as is conventional); malformed lines are reported as errors.
+pub fn parse_swf(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut out = vec![];
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if f.len() < 5 {
+            return Err(format!("line {}: only {} fields", lineno + 1, f.len()));
+        }
+        let get = |i: usize| -> f64 { f.get(i).and_then(|v| v.parse().ok()).unwrap_or(-1.0) };
+        let job = get(0);
+        let submit = get(1);
+        let runtime = get(3);
+        let mut procs = get(4);
+        if procs <= 0.0 {
+            procs = get(7); // requested processors fallback
+        }
+        if submit < 0.0 || runtime <= 0.0 || procs <= 0.0 {
+            continue; // cancelled/failed/incomplete records
+        }
+        let user = get(11).max(0.0);
+        out.push(TraceRecord {
+            job: job.max(0.0) as u64,
+            submit_secs: submit as u64,
+            runtime_secs: runtime,
+            procs: procs as u32,
+            user: user as u64,
+        });
+    }
+    Ok(out)
+}
+
+/// Lift one record into a QoS contract under `cfg`.
+pub fn record_to_qos(rec: &TraceRecord, cfg: &TraceConfig) -> QosContract {
+    let at = SimTime::from_secs(rec.submit_secs);
+    let min_pes = (rec.procs / cfg.shrink_factor.max(1)).max(1);
+    let max_pes = (rec.procs * cfg.grow_factor.max(1)).max(min_pes);
+    // Recorded runtime × recorded procs ≈ delivered CPU-seconds; back out
+    // the sequential work through the efficiency at the recorded size.
+    let speedup = SpeedupModel::LinearEfficiency { eff_min: cfg.efficiency.0, eff_max: cfg.efficiency.1 };
+    let eff_at_rec = speedup.efficiency(rec.procs, min_pes, max_pes);
+    let work = rec.runtime_secs * rec.procs as f64 * eff_at_rec;
+
+    let soft = at.saturating_add(SimDuration::from_secs_f64(rec.runtime_secs * cfg.slack));
+    let hard = at.saturating_add(SimDuration::from_secs_f64(
+        rec.runtime_secs * cfg.slack * cfg.hard_over_soft,
+    ));
+    let payoff_soft = cfg.payoff_rate.mul_f64(work);
+    // Deterministic adaptivity assignment by job id.
+    let hash_unit = ((rec.job.wrapping_mul(0x9E3779B97F4A7C15) >> 40) as f64) / (1u64 << 24) as f64;
+    let adaptive = hash_unit < cfg.adaptive_fraction;
+
+    let mut b = QosBuilder::new("trace-app", min_pes, max_pes, work)
+        .efficiency(cfg.efficiency.0, cfg.efficiency.1)
+        .payoff(PayoffFn {
+            soft_deadline: soft,
+            hard_deadline: hard,
+            payoff_soft,
+            payoff_hard: payoff_soft.mul_f64(0.4),
+            penalty_late: payoff_soft.mul_f64(0.25),
+        });
+    if adaptive {
+        b = b.adaptive();
+    }
+    b.build().expect("trace QoS validates")
+}
+
+/// Build a replay [`Workload`] from SWF text.
+pub fn workload_from_swf(text: &str, cfg: &TraceConfig, horizon: SimTime) -> Result<Workload, String> {
+    let records = parse_swf(text)?;
+    let jobs = records
+        .iter()
+        .map(|r| (SimTime::from_secs(r.submit_secs), UserId(r.user), record_to_qos(r, cfg)))
+        .collect();
+    Ok(Workload::from_trace(jobs, horizon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; SWF sample (comment)
+;
+1 0    10 3600  64 -1 -1  64 7200 -1 1 3 2 1 1 1 -1 -1
+2 120  -1 1800  -1 -1 -1 128 3600 -1 1 4 2 1 1 1 -1 -1
+3 300  5  -1    32 -1 -1  32 600  -1 0 5 2 1 1 1 -1 -1
+4 450  0  60    16 -1 -1  16 120  -1 1 6 2 1 1 1 -1 -1
+";
+
+    #[test]
+    fn parses_and_skips_incomplete_records() {
+        let recs = parse_swf(SAMPLE).unwrap();
+        // Job 3 has runtime -1 → skipped. Job 2 has procs -1 → falls back
+        // to requested (128).
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0], TraceRecord { job: 1, submit_secs: 0, runtime_secs: 3600.0, procs: 64, user: 3 });
+        assert_eq!(recs[1].procs, 128);
+        assert_eq!(recs[2].job, 4);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(parse_swf("1 2").is_err());
+        assert!(parse_swf("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn record_lifts_to_valid_qos() {
+        let recs = parse_swf(SAMPLE).unwrap();
+        let cfg = TraceConfig::default();
+        for r in &recs {
+            let q = record_to_qos(r, &cfg);
+            assert!(q.validate().is_ok());
+            assert!(q.min_pes <= r.procs && r.procs <= q.max_pes);
+            // Work backs out so the recorded shape is reproducible: wall
+            // time at the recorded size ≈ recorded runtime.
+            let wall = q.wall_time_on(r.procs, 1.0).as_secs_f64();
+            assert!(
+                (wall - r.runtime_secs).abs() / r.runtime_secs < 1e-6,
+                "wall {wall} vs recorded {}",
+                r.runtime_secs
+            );
+            assert!(q.deadline() > SimTime::from_secs(r.submit_secs));
+        }
+    }
+
+    #[test]
+    fn workload_replays_in_order() {
+        let mut w = workload_from_swf(SAMPLE, &TraceConfig::default(), SimTime::from_hours(2)).unwrap();
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((at, _, qos)) = w.next_job(last) {
+            assert!(at >= last);
+            assert!(qos.validate().is_ok());
+            last = at;
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn horizon_truncates_replay() {
+        let mut w = workload_from_swf(SAMPLE, &TraceConfig::default(), SimTime::from_secs(200)).unwrap();
+        let mut n = 0;
+        while w.next_job(SimTime::ZERO).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2, "job at t=450 is past the horizon");
+    }
+
+    #[test]
+    fn adaptive_fraction_zero_is_rigid() {
+        let cfg = TraceConfig { adaptive_fraction: 0.0, ..TraceConfig::default() };
+        let recs = parse_swf(SAMPLE).unwrap();
+        assert!(recs.iter().all(|r| !record_to_qos(r, &cfg).adaptive));
+        let cfg = TraceConfig { adaptive_fraction: 1.0, ..TraceConfig::default() };
+        assert!(recs.iter().all(|r| record_to_qos(r, &cfg).adaptive));
+    }
+}

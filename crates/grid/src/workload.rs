@@ -1,0 +1,363 @@
+//! Synthetic "patterns of job submissions" (§5.4).
+//!
+//! The generator follows the parallel-workload modelling tradition the
+//! paper's community used: Poisson (optionally day/night-modulated)
+//! arrivals, log-uniform power-of-two processor requests, log-normal
+//! runtimes with a heavy tail, deadline slack proportional to runtime, and
+//! a configurable fraction of adaptive jobs. Every knob is explicit so the
+//! E1–E12 experiments can state their workloads precisely.
+
+use faucets_core::ids::UserId;
+use faucets_core::money::Money;
+use faucets_core::qos::{PayoffFn, QosBuilder, QosContract, SpeedupModel};
+use faucets_sim::dist::{Dist, Exp, LogNormal, UniformDist};
+use faucets_sim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson with the given mean inter-arrival time.
+    Poisson {
+        /// Mean time between submissions.
+        mean_interarrival: SimDuration,
+    },
+    /// Poisson modulated by a 24 h day/night cycle: the instantaneous rate
+    /// swings by ±`amplitude` (0..1) around the base rate, peaking at noon.
+    DailyCycle {
+        /// Mean inter-arrival time at the average rate.
+        mean_interarrival: SimDuration,
+        /// Relative swing in [0, 1).
+        amplitude: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Draw the next arrival after `now` (thinning for the modulated case).
+    pub fn next_after(&self, now: SimTime, rng: &mut StdRng) -> SimTime {
+        match *self {
+            ArrivalProcess::Poisson { mean_interarrival } => {
+                let d = Exp::with_mean(mean_interarrival.as_secs_f64()).sample(rng);
+                now.saturating_add(SimDuration::from_secs_f64(d))
+            }
+            ArrivalProcess::DailyCycle { mean_interarrival, amplitude } => {
+                // Thinning against the peak rate.
+                let base_rate = 1.0 / mean_interarrival.as_secs_f64();
+                let peak = base_rate * (1.0 + amplitude);
+                let mut t = now;
+                loop {
+                    let d = Exp::new(peak).sample(rng);
+                    t = t.saturating_add(SimDuration::from_secs_f64(d));
+                    let phase = (t.as_secs_f64() % 86_400.0) / 86_400.0;
+                    // Rate peaks at noon (phase 0.5).
+                    let rate = base_rate
+                        * (1.0 + amplitude * (std::f64::consts::TAU * (phase - 0.25)).sin());
+                    if rng.random::<f64>() < rate / peak {
+                        return t;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The job-population mix.
+#[derive(Debug, Clone)]
+pub struct JobMix {
+    /// Applications to draw from (uniformly).
+    pub apps: Vec<String>,
+    /// Log2 of the minimum processor request is uniform in this range
+    /// (e.g. (0, 7) → min_pes in 1..=128 as powers of two).
+    pub log2_min_pes: (u32, u32),
+    /// `max_pes = min_pes ×` this factor (adaptivity headroom).
+    pub max_over_min: u32,
+    /// Work distribution, CPU-seconds of sequential work.
+    pub work: LogNormal,
+    /// Bounds on the drawn work.
+    pub work_clamp: (f64, f64),
+    /// Efficiency at min/max processors (linear interpolation, §2.1).
+    pub efficiency: (f64, f64),
+    /// Probability a job is adaptive.
+    pub adaptive_fraction: f64,
+    /// Soft deadline = arrival + runtime-at-max × this factor (drawn
+    /// uniformly from the range).
+    pub slack: UniformDist,
+    /// Hard deadline = soft deadline × this factor.
+    pub hard_over_soft: f64,
+    /// Payoff per CPU-second of work, dollars.
+    pub payoff_rate: Money,
+    /// Late penalty as a fraction of the soft payoff.
+    pub penalty_fraction: f64,
+    /// Memory per processor, MB.
+    pub mem_per_pe_mb: u64,
+}
+
+impl Default for JobMix {
+    fn default() -> Self {
+        JobMix {
+            apps: vec!["namd".into(), "cfd".into(), "qmc".into()],
+            log2_min_pes: (0, 6),
+            max_over_min: 4,
+            work: LogNormal::with_median(4.0_f64.exp2() * 900.0, 1.4),
+            work_clamp: (60.0, 2.0e6),
+            efficiency: (0.95, 0.75),
+            adaptive_fraction: 1.0,
+            slack: UniformDist::new(2.0, 8.0),
+            hard_over_soft: 2.0,
+            payoff_rate: Money::from_units_f64(0.02),
+            penalty_fraction: 0.25,
+            mem_per_pe_mb: 512,
+        }
+    }
+}
+
+impl JobMix {
+    /// Draw one QoS contract for a job arriving at `at`.
+    pub fn draw(&self, at: SimTime, rng: &mut StdRng) -> QosContract {
+        let app = &self.apps[rng.random_range(0..self.apps.len())];
+        let min_pes = 1u32 << rng.random_range(self.log2_min_pes.0..=self.log2_min_pes.1);
+        let max_pes = min_pes * self.max_over_min;
+        let work = self.work.sample(rng).clamp(self.work_clamp.0, self.work_clamp.1);
+
+        // Runtime at max size under the declared efficiency model.
+        let speedup = SpeedupModel::LinearEfficiency { eff_min: self.efficiency.0, eff_max: self.efficiency.1 };
+        let runtime_at_max = speedup.wall_seconds(work, max_pes, min_pes, max_pes);
+        let slack = self.slack.sample(rng);
+        let soft = at.saturating_add(SimDuration::from_secs_f64(runtime_at_max * slack));
+        let hard = at.saturating_add(SimDuration::from_secs_f64(
+            runtime_at_max * slack * self.hard_over_soft,
+        ));
+        let payoff_soft = self.payoff_rate.mul_f64(work);
+        let payoff = PayoffFn {
+            soft_deadline: soft,
+            hard_deadline: hard,
+            payoff_soft,
+            payoff_hard: payoff_soft.mul_f64(0.4),
+            penalty_late: payoff_soft.mul_f64(self.penalty_fraction),
+        };
+
+        let mut b = QosBuilder::new(app.clone(), min_pes, max_pes, work)
+            .efficiency(self.efficiency.0, self.efficiency.1)
+            .mem_per_pe_mb(self.mem_per_pe_mb)
+            .payoff(payoff);
+        if rng.random::<f64>() < self.adaptive_fraction {
+            b = b.adaptive();
+        }
+        b.build().expect("generated QoS must validate")
+    }
+}
+
+/// Where a workload's jobs come from.
+#[derive(Debug, Clone)]
+enum Source {
+    /// Synthetic: arrival process × job mix. (Boxed: the mix dwarfs the
+    /// trace variant's handle.)
+    Generative {
+        arrivals: ArrivalProcess,
+        mix: Box<JobMix>,
+        rng: Box<StdRng>,
+    },
+    /// Replay of a pre-built submission list (e.g. a parsed SWF trace),
+    /// sorted by arrival time.
+    Trace {
+        jobs: std::collections::VecDeque<(SimTime, UserId, QosContract)>,
+    },
+}
+
+/// A streaming workload: a job source plus a user population and horizon.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    source: Source,
+    /// Users submitting (drawn uniformly per job in generative mode).
+    pub users: Vec<UserId>,
+    /// Stop generating at this time.
+    pub horizon: SimTime,
+}
+
+impl Workload {
+    /// A synthetic workload with its own RNG stream.
+    pub fn new(arrivals: ArrivalProcess, mix: JobMix, users: Vec<UserId>, horizon: SimTime, seed: u64) -> Self {
+        assert!(!users.is_empty(), "workload needs at least one user");
+        Workload {
+            source: Source::Generative {
+                arrivals,
+                mix: Box::new(mix),
+                rng: Box::new(StdRng::seed_from_u64(seed)),
+            },
+            users,
+            horizon,
+        }
+    }
+
+    /// A replay workload over an explicit submission list ("patterns of job
+    /// submissions under study", §5.4 — e.g. from [`crate::trace`]).
+    pub fn from_trace(mut jobs: Vec<(SimTime, UserId, QosContract)>, horizon: SimTime) -> Self {
+        jobs.sort_by_key(|(at, u, _)| (*at, *u));
+        let users: Vec<UserId> = {
+            let mut v: Vec<UserId> = jobs.iter().map(|(_, u, _)| *u).collect();
+            v.sort_unstable();
+            v.dedup();
+            if v.is_empty() {
+                vec![UserId(0)]
+            } else {
+                v
+            }
+        };
+        Workload { source: Source::Trace { jobs: jobs.into() }, users, horizon }
+    }
+
+    /// Draw the next `(arrival time, user, qos)`, or `None` past the horizon.
+    pub fn next_job(&mut self, now: SimTime) -> Option<(SimTime, UserId, QosContract)> {
+        match &mut self.source {
+            Source::Generative { arrivals, mix, rng } => {
+                let at = arrivals.next_after(now, rng);
+                if at > self.horizon {
+                    return None;
+                }
+                let user = self.users[rng.random_range(0..self.users.len())];
+                let qos = mix.draw(at, rng);
+                Some((at, user, qos))
+            }
+            Source::Trace { jobs } => {
+                let (at, _, _) = jobs.front()?;
+                if *at > self.horizon {
+                    return None;
+                }
+                let (at, user, qos) = jobs.pop_front()?;
+                // Map trace user ids onto the configured population so the
+                // scenario's accounts/home-clusters always exist.
+                let user = self.users[user.raw() as usize % self.users.len()];
+                Some((at, user, qos))
+            }
+        }
+    }
+
+    /// Calibrate the Poisson rate so that the offered load (CPU-seconds per
+    /// second) equals `rho` times the given total grid capacity (PEs).
+    /// Returns the mean inter-arrival time to use.
+    pub fn interarrival_for_load(mix: &JobMix, rho: f64, total_pes: u32) -> SimDuration {
+        // E[work] of the clamped lognormal, estimated by quadrature sampling.
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let n = 20_000;
+        let mean_work: f64 = (0..n)
+            .map(|_| mix.work.sample(&mut rng).clamp(mix.work_clamp.0, mix.work_clamp.1))
+            .sum::<f64>()
+            / n as f64;
+        let capacity = rho * total_pes as f64; // cpu-seconds deliverable per second
+        SimDuration::from_secs_f64(mean_work / capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> JobMix {
+        JobMix::default()
+    }
+
+    #[test]
+    fn poisson_mean_interarrival() {
+        let p = ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(100) };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = SimTime::ZERO;
+        let n = 20_000;
+        for _ in 0..n {
+            t = p.next_after(t, &mut rng);
+        }
+        let mean = t.as_secs_f64() / n as f64;
+        assert!((mean - 100.0).abs() < 3.0, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn daily_cycle_peaks_at_noon() {
+        let p = ArrivalProcess::DailyCycle {
+            mean_interarrival: SimDuration::from_secs(60),
+            amplitude: 0.8,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut t = SimTime::ZERO;
+        let mut day_counts = [0u32; 24];
+        while t < SimTime::from_hours(24 * 20) {
+            t = p.next_after(t, &mut rng);
+            let hour = (t.as_secs_f64() % 86_400.0 / 3600.0) as usize;
+            day_counts[hour.min(23)] += 1;
+        }
+        let noon = day_counts[11] + day_counts[12] + day_counts[13];
+        let night = day_counts[23] + day_counts[0] + day_counts[1];
+        assert!(noon > night * 2, "noon {noon} vs night {night}");
+    }
+
+    #[test]
+    fn drawn_qos_validates_and_respects_mix() {
+        let m = mix();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let q = m.draw(SimTime::from_secs(1000), &mut rng);
+            assert!(q.validate().is_ok());
+            assert!(q.min_pes.is_power_of_two());
+            assert!(q.min_pes >= 1 && q.min_pes <= 64);
+            assert_eq!(q.max_pes, q.min_pes * 4);
+            let (lo, hi) = m.work_clamp;
+            let w = q.cpu_seconds(1.0);
+            assert!(w >= lo && w <= hi);
+            assert!(q.payoff.soft_deadline > SimTime::from_secs(1000));
+            assert!(q.payoff.hard_deadline >= q.payoff.soft_deadline);
+            assert!(q.adaptive, "mix has adaptive_fraction 1.0");
+        }
+    }
+
+    #[test]
+    fn adaptive_fraction_zero_makes_rigid_jobs() {
+        let m = JobMix { adaptive_fraction: 0.0, ..mix() };
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            assert!(!m.draw(SimTime::ZERO, &mut rng).adaptive);
+        }
+    }
+
+    #[test]
+    fn workload_stream_is_deterministic_and_bounded() {
+        let make = || {
+            Workload::new(
+                ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(50) },
+                mix(),
+                vec![UserId(1), UserId(2)],
+                SimTime::from_hours(2),
+                42,
+            )
+        };
+        let collect = |mut w: Workload| {
+            let mut out = vec![];
+            let mut t = SimTime::ZERO;
+            while let Some((at, user, qos)) = w.next_job(t) {
+                out.push((at, user, qos.min_pes));
+                t = at;
+            }
+            out
+        };
+        let a = collect(make());
+        let b = collect(make());
+        assert_eq!(a, b, "same seed, same stream");
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|&(at, _, _)| at <= SimTime::from_hours(2)));
+        // Roughly 2h / 50s arrivals.
+        assert!((a.len() as i64 - 144).abs() < 60, "got {} arrivals", a.len());
+    }
+
+    #[test]
+    fn load_calibration_hits_target() {
+        let m = mix();
+        let inter = Workload::interarrival_for_load(&m, 0.7, 1000);
+        // Offered load = E[work]/inter ≈ 0.7 * 1000.
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let mean_work: f64 = (0..n)
+            .map(|_| m.work.sample(&mut rng).clamp(m.work_clamp.0, m.work_clamp.1))
+            .sum::<f64>()
+            / n as f64;
+        let offered = mean_work / inter.as_secs_f64();
+        assert!((offered / 700.0 - 1.0).abs() < 0.05, "offered {offered}");
+    }
+}

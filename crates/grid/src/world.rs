@@ -1,0 +1,954 @@
+//! The whole-grid discrete-event world (§5.4).
+//!
+//! Every entity of the Faucets system is an object here — the Central
+//! Server, one Faucets Daemon + Cluster Manager per Compute Server, the
+//! contract book, the ledger, the credit bank, AppSpector — and the
+//! [`GridWorld`] dispatches the §2 protocol between them over the
+//! `faucets-sim` engine: job arrival → server matching → request-for-bids →
+//! bid evaluation → two-phase award → staging/queueing → adaptive execution
+//! → completion, settlement, and monitoring.
+
+use crate::workload::Workload;
+use faucets_core::accounting::{AccountId, Ledger};
+use faucets_core::appspector::{AppSpector, OutputFile, TelemetrySample};
+use faucets_core::barter::{BarterRoute, CreditBank};
+use faucets_core::bid::{Bid, BidRequest};
+use faucets_core::daemon::{AwardOutcome, ClusterManager, FaucetsDaemon};
+use faucets_core::ids::{ClusterId, ContractId, JobId, UserId};
+use faucets_core::job::JobSpec;
+use faucets_core::market::{ContractRecord, Regulator, SelectionPolicy};
+use faucets_core::money::{Money, ServiceUnits};
+use faucets_core::quota::SuQuota;
+use faucets_core::auth::SessionToken;
+use faucets_core::server::FaucetsServer;
+use faucets_core::market::ContractBook;
+use faucets_sched::adaptive::CheckpointCostModel;
+use faucets_sched::cluster::{Cluster, Completion};
+use faucets_sim::engine::{Scheduler, World};
+use faucets_sim::event::EventId;
+use faucets_sim::stats::{P2Quantile, Summary};
+use faucets_sim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashMap};
+
+/// How jobs find their Compute Server.
+#[derive(Debug, Clone)]
+pub enum MarketMode {
+    /// The Faucets market: request-for-bids, client-side selection (§5).
+    Bidding(SelectionPolicy),
+    /// The bartering economy: Home Cluster first, credit-gated overflow
+    /// (§5.5.3).
+    Barter,
+    /// The pre-grid status quo: each user may submit only to the clusters
+    /// they hold accounts on (the external-fragmentation strawman of §1).
+    Restricted,
+    /// The academic context (§5.5.2): the same market, but bids are SU
+    /// multipliers charged against user quotas instead of Dollar amounts.
+    ServiceUnits(SelectionPolicy),
+}
+
+/// One Compute Server: its daemon (market agent) and scheduler.
+pub struct Node {
+    /// The Faucets Daemon.
+    pub daemon: FaucetsDaemon,
+    /// The Cluster Manager.
+    pub cluster: Cluster,
+}
+
+/// Events flowing through the grid simulation.
+#[derive(Debug, Clone)]
+pub enum GridEvent {
+    /// The workload generator fires the next job submission.
+    NextArrival,
+    /// Phase-2 of the contract protocol reaches the chosen daemon.
+    /// (Boxed: the spec dwarfs the other variants and events are numerous.)
+    Award {
+        /// The job being placed.
+        spec: Box<JobSpec>,
+        /// The awarded contract.
+        contract: ContractId,
+        /// The winning bid.
+        bid: Bid,
+    },
+    /// A cluster's next completion is due.
+    ClusterWake(ClusterId),
+    /// Periodic FD → FS polling (and optional telemetry).
+    Heartbeat,
+    /// A transient hardware failure takes a machine down; running jobs
+    /// restart from their last checkpoint (§3).
+    NodeFailure(ClusterId),
+    /// Scheduled maintenance: the machine is "about to be taken down";
+    /// §1 — jobs are checkpointed "and moving \[them\] to another machine,
+    /// if possible".
+    Maintenance {
+        /// The machine being drained.
+        cluster: ClusterId,
+        /// How long it stays down.
+        window: SimDuration,
+    },
+    /// A migrated job's checkpoint image finishes transferring and the job
+    /// enters the destination queue.
+    MigrationArrive {
+        /// The job (respec'd to its remaining work).
+        spec: Box<JobSpec>,
+        /// Its contract (unchanged — same client, same price).
+        contract: ContractId,
+        /// Contracted price.
+        price: Money,
+        /// Destination cluster.
+        to: ClusterId,
+        /// True for a real cross-cluster move (counted as a migration);
+        /// false when the job merely waits out a window at its source.
+        migrated: bool,
+    },
+}
+
+/// Grid-level counters and quality metrics.
+pub struct GridStats {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs with no acceptable bid / no feasible server.
+    pub rejected: u64,
+    /// Barter submissions blocked by exhausted credits.
+    pub blocked_credits: u64,
+    /// Submissions blocked by exhausted SU quotas (§5.5.2).
+    pub blocked_quota: u64,
+    /// Total SUs charged to users.
+    pub su_charged: ServiceUnits,
+    /// Awards reneged by daemons (two-phase protocol).
+    pub reneges: u64,
+    /// Completions past the hard deadline.
+    pub deadline_misses: u64,
+    /// Response times (s).
+    pub response: Summary,
+    /// Wait times (s).
+    pub wait: Summary,
+    /// Bounded slowdowns.
+    pub slowdown: Summary,
+    /// p95 of bounded slowdown.
+    pub slowdown_p95: P2Quantile,
+    /// Protocol messages exchanged (RFBs, bids, awards, confirms,
+    /// heartbeats).
+    pub messages: u64,
+    /// Total paid by clients at bid prices.
+    pub paid_total: Money,
+    /// Total payoff value realized by clients.
+    pub payoff_total: Money,
+    /// Per-user delivered service: (jobs completed, CPU-seconds of work).
+    pub per_user: BTreeMap<UserId, (u64, f64)>,
+    /// Machine failures injected.
+    pub failures: u64,
+    /// Jobs recovered from checkpoints after failures.
+    pub jobs_recovered: u64,
+    /// Jobs migrated between clusters.
+    pub migrations: u64,
+}
+
+impl GridStats {
+    /// Jain's fairness index over per-user delivered CPU-seconds (§5.5.4's
+    /// "fair usage" check). 1.0 = perfectly even service.
+    pub fn user_fairness(&self) -> f64 {
+        let v: Vec<f64> = self.per_user.values().map(|&(_, cpu)| cpu).collect();
+        crate::fairness::jain_index(&v)
+    }
+}
+
+impl Default for GridStats {
+    fn default() -> Self {
+        GridStats {
+            submitted: 0,
+            completed: 0,
+            rejected: 0,
+            blocked_credits: 0,
+            blocked_quota: 0,
+            su_charged: ServiceUnits::ZERO,
+            reneges: 0,
+            deadline_misses: 0,
+            response: Summary::new(),
+            wait: Summary::new(),
+            slowdown: Summary::new(),
+            slowdown_p95: P2Quantile::new(0.95),
+            messages: 0,
+            paid_total: Money::ZERO,
+            payoff_total: Money::ZERO,
+            per_user: BTreeMap::new(),
+            failures: 0,
+            jobs_recovered: 0,
+            migrations: 0,
+        }
+    }
+}
+
+/// Per-job bookkeeping needed at completion time.
+#[derive(Debug, Clone)]
+struct JobInfo {
+    user: UserId,
+    cpu_seconds: f64,
+    min_pes: u32,
+    multiplier: f64,
+    retries: u32,
+}
+
+/// Transient-failure injection parameters (§3 recovery).
+#[derive(Debug, Clone)]
+pub struct FailureModel {
+    /// Mean time between failures per machine.
+    pub mtbf: SimDuration,
+    /// Periodic checkpoint interval (progress since the last checkpoint is
+    /// lost on failure).
+    pub checkpoint_interval: SimDuration,
+    /// Seed for the failure process.
+    pub seed: u64,
+}
+
+/// The complete Faucets grid as a simulated world.
+pub struct GridWorld {
+    /// The Central Server.
+    pub server: FaucetsServer,
+    /// Compute Servers by id.
+    pub nodes: BTreeMap<ClusterId, Node>,
+    /// All QoS contracts.
+    pub book: ContractBook,
+    /// The Dollar ledger (users, clusters, system).
+    pub ledger: Ledger<Money>,
+    /// The bartering bank (present in barter scenarios).
+    pub bank: Option<CreditBank>,
+    /// SU quota bank (present in ServiceUnits scenarios).
+    pub quota: Option<SuQuota>,
+    /// Job monitoring.
+    pub appspector: AppSpector,
+    /// Placement mode.
+    pub mode: MarketMode,
+    /// One-way latency budget for the award leg of the protocol.
+    pub market_latency: SimDuration,
+    /// FD polling period.
+    pub heartbeat_every: SimDuration,
+    /// Whether to push telemetry samples on heartbeats.
+    pub telemetry: bool,
+    /// Per-user allowed clusters (Restricted mode).
+    pub accounts: HashMap<UserId, Vec<ClusterId>>,
+    /// Counters.
+    pub stats: GridStats,
+    /// The workload source.
+    pub workload: Workload,
+    token: SessionToken,
+    jobs: HashMap<JobId, JobInfo>,
+    armed_wakes: HashMap<ClusterId, (EventId, SimTime)>,
+    max_award_retries: u32,
+    /// The pre-drawn spec for the scheduled NextArrival event.
+    pending_spec: Option<JobSpec>,
+    next_job_id: u64,
+    /// Failure injection, when enabled.
+    pub failure_model: Option<FailureModel>,
+    failure_rng: StdRng,
+    /// Whether maintenance drains migrate work to other clusters (vs. wait).
+    pub migrate_on_maintenance: bool,
+    /// Optional §5.5.1 price-band regulator applied to every bid slate.
+    pub regulator: Option<Regulator>,
+    /// Bids screened out (or clamped) by the regulator.
+    pub regulated_bids: u64,
+    /// Scheduled maintenance windows: (cluster, start, duration).
+    pub maintenance_plan: Vec<(ClusterId, SimTime, SimDuration)>,
+    /// Machines currently down, until the given instant.
+    down_until: HashMap<ClusterId, SimTime>,
+}
+
+impl GridWorld {
+    /// Assemble a world. Used by [`crate::scenario::ScenarioBuilder`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        server: FaucetsServer,
+        nodes: BTreeMap<ClusterId, Node>,
+        ledger: Ledger<Money>,
+        bank: Option<CreditBank>,
+        mode: MarketMode,
+        workload: Workload,
+        token: SessionToken,
+        accounts: HashMap<UserId, Vec<ClusterId>>,
+        market_latency: SimDuration,
+        heartbeat_every: SimDuration,
+        telemetry: bool,
+    ) -> Self {
+        GridWorld {
+            server,
+            nodes,
+            book: ContractBook::new(),
+            ledger,
+            bank,
+            quota: None,
+            appspector: AppSpector::new(64),
+            mode,
+            market_latency,
+            heartbeat_every,
+            telemetry,
+            accounts,
+            stats: GridStats::default(),
+            workload,
+            token,
+            jobs: HashMap::new(),
+            armed_wakes: HashMap::new(),
+            max_award_retries: 3,
+            pending_spec: None,
+            next_job_id: 0,
+            failure_model: None,
+            failure_rng: StdRng::seed_from_u64(0xFA11),
+            migrate_on_maintenance: true,
+            regulator: None,
+            regulated_bids: 0,
+            maintenance_plan: vec![],
+            down_until: HashMap::new(),
+        }
+    }
+
+    /// Is the cluster inside a maintenance window at `now`?
+    fn is_down(&self, cluster: ClusterId, now: SimTime) -> bool {
+        self.down_until.get(&cluster).is_some_and(|&t| now < t)
+    }
+
+    /// Draw the next failure delay for one machine.
+    fn next_failure_in(&mut self, mtbf: SimDuration) -> SimDuration {
+        use faucets_sim::dist::{Dist, Exp};
+        let d = Exp::with_mean(mtbf.as_secs_f64()).sample(&mut self.failure_rng);
+        SimDuration::from_secs_f64(d.max(1.0))
+    }
+
+    /// Seed the initial events (first arrival, heartbeat loop, failures).
+    pub fn prime(&mut self, sched: &mut Scheduler<GridEvent>) {
+        if let Some((at, user, qos)) = self.workload.next_job(sched.now()) {
+            let spec = self.make_spec(user, qos, at);
+            self.pending_spec = Some(spec);
+            sched.schedule_at(at, GridEvent::NextArrival);
+        }
+        sched.schedule_in(self.heartbeat_every, GridEvent::Heartbeat);
+        if let Some(fm) = self.failure_model.clone() {
+            self.failure_rng = StdRng::seed_from_u64(fm.seed);
+            let ids: Vec<ClusterId> = self.nodes.keys().copied().collect();
+            for c in ids {
+                let delay = self.next_failure_in(fm.mtbf);
+                sched.schedule_in(delay, GridEvent::NodeFailure(c));
+            }
+        }
+        for (cluster, at, window) in self.maintenance_plan.clone() {
+            sched.schedule_at(at, GridEvent::Maintenance { cluster, window });
+        }
+    }
+
+    fn make_spec(&mut self, user: UserId, qos: faucets_core::qos::QosContract, at: SimTime) -> JobSpec {
+        let id = JobId(self.next_job_id);
+        self.next_job_id += 1;
+        JobSpec::new(id, user, qos, at).expect("workload QoS validates")
+    }
+
+    /// Re-arm a cluster's completion wake-up if its next completion moved.
+    fn rearm(&mut self, cluster: ClusterId, sched: &mut Scheduler<GridEvent>) {
+        let next = self.nodes[&cluster].cluster.next_completion();
+        let armed = self.armed_wakes.get(&cluster).copied();
+        match (next, armed) {
+            (Some(t), Some((_, at))) if t == at => {}
+            (Some(t), prev) => {
+                if let Some((id, _)) = prev {
+                    sched.cancel(id);
+                }
+                let id = sched.schedule_at(t.max(sched.now()), GridEvent::ClusterWake(cluster));
+                self.armed_wakes.insert(cluster, (id, t.max(sched.now())));
+            }
+            (None, Some((id, _))) => {
+                sched.cancel(id);
+                self.armed_wakes.remove(&cluster);
+            }
+            (None, None) => {}
+        }
+    }
+
+    /// Record and apply a completed job.
+    fn settle(&mut self, cluster: ClusterId, c: &Completion, now: SimTime) {
+        let job = c.outcome.job;
+        let info = self.jobs.get(&job).cloned();
+        self.stats.completed += 1;
+        if !c.outcome.met_deadline {
+            self.stats.deadline_misses += 1;
+        }
+        self.stats.response.record(c.outcome.response_secs());
+        self.stats.wait.record(c.outcome.wait_secs());
+        let sd = c.outcome.bounded_slowdown();
+        self.stats.slowdown.record(sd);
+        self.stats.slowdown_p95.record(sd);
+        self.stats.paid_total += c.price;
+        self.stats.payoff_total += c.payoff;
+
+        let _ = self.book.complete(c.contract, now, c.price);
+        let _ = self.appspector.complete_job(
+            job,
+            vec![OutputFile { name: "output.dat".into(), size_bytes: 1 << 20 }],
+        );
+
+        if let Some(info) = info {
+            let e = self.stats.per_user.entry(info.user).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += info.cpu_seconds;
+            // Dollar settlement: user pays the contract price.
+            if c.price > Money::ZERO {
+                let _ = self.ledger.transfer(
+                    AccountId::User(info.user),
+                    AccountId::Cluster(cluster),
+                    c.price,
+                    format!("settlement {job}"),
+                );
+            }
+            // Payoff flows between the system and the user.
+            if c.payoff >= Money::ZERO {
+                let _ = self.ledger.transfer(
+                    AccountId::System,
+                    AccountId::User(info.user),
+                    c.payoff,
+                    format!("payoff {job}"),
+                );
+            } else {
+                let _ = self.ledger.transfer(
+                    AccountId::User(info.user),
+                    AccountId::System,
+                    -c.payoff,
+                    format!("penalty {job}"),
+                );
+            }
+            // Grid-weather history (§5.2.1).
+            self.server.record_settlement(ContractRecord {
+                job,
+                cluster,
+                multiplier: info.multiplier,
+                price: c.price,
+                cpu_seconds: info.cpu_seconds,
+                min_pes: info.min_pes,
+                at: now,
+            });
+            // Barter credits (§5.5.3).
+            if let Some(bank) = &mut self.bank {
+                let credits = ServiceUnits::from_units_f64(info.cpu_seconds);
+                let _ = bank.settle_remote_run(info.user, cluster, credits);
+            }
+            self.jobs.remove(&job);
+        }
+    }
+
+    /// Place a job according to the active mode.
+    fn place(&mut self, spec: JobSpec, sched: &mut Scheduler<GridEvent>) {
+        match self.mode.clone() {
+            MarketMode::Bidding(policy) => self.place_bidding(spec, policy, sched),
+            MarketMode::Barter => self.place_barter(spec, sched),
+            MarketMode::Restricted => self.place_restricted(spec, sched),
+            MarketMode::ServiceUnits(policy) => self.place_su(spec, policy, sched),
+        }
+    }
+
+    fn remember(&mut self, spec: &JobSpec, multiplier: f64) {
+        let flops = 1.0; // work is CPU-seconds in all scenarios
+        self.jobs.insert(
+            spec.id,
+            JobInfo {
+                user: spec.user,
+                cpu_seconds: spec.qos.cpu_seconds(flops),
+                min_pes: spec.qos.min_pes,
+                multiplier,
+                retries: self.jobs.get(&spec.id).map_or(0, |j| j.retries),
+            },
+        );
+    }
+
+    fn place_bidding(&mut self, spec: JobSpec, policy: SelectionPolicy, sched: &mut Scheduler<GridEvent>) {
+        let now = sched.now();
+        let candidates: Vec<ClusterId> = match self.server.match_servers(&self.token, &spec.qos, now) {
+            Ok(c) => c.into_iter().filter(|&c| !self.is_down(c, now)).collect(),
+            Err(_) => {
+                self.stats.rejected += 1;
+                return;
+            }
+        };
+        let market = self.server.market_info(now);
+        let req = BidRequest { job: spec.id, user: spec.user, qos: spec.qos.clone(), issued_at: now };
+        let mut bids: Vec<Bid> = vec![];
+        for c in candidates {
+            let node = self.nodes.get_mut(&c).expect("directory lists only known nodes");
+            self.stats.messages += 2; // RFB + response
+            if let Some(b) = node
+                .daemon
+                .handle_bid_request(&req, &mut node.cluster, &market, now)
+                .offer()
+            {
+                bids.push(*b);
+            }
+        }
+        // §5.5.1: regulatory screening against the grid's normal price.
+        if let Some(reg) = self.regulator {
+            let normal = self.server.history.price_index();
+            let (kept, stats) = reg.screen(&bids, normal);
+            self.regulated_bids += (stats.rejected + stats.clamped) as u64;
+            bids = kept;
+        }
+        match policy.select(&bids, &spec.qos.payoff) {
+            Some(bid) => {
+                let bid = *bid;
+                match self.book.award(bid, now) {
+                    Ok(contract) => {
+                        self.remember(&spec, bid.multiplier);
+                        self.stats.messages += 1; // award
+                        sched.schedule_in(
+                            self.market_latency,
+                            GridEvent::Award { spec: Box::new(spec), contract, bid },
+                        );
+                    }
+                    Err(_) => self.stats.rejected += 1,
+                }
+            }
+            None => self.stats.rejected += 1,
+        }
+    }
+
+    /// Direct (non-market) placement used by barter and restricted modes:
+    /// award + confirm + submit in one step.
+    fn place_direct(&mut self, spec: JobSpec, cluster: ClusterId, sched: &mut Scheduler<GridEvent>) {
+        let now = sched.now();
+        let bid = Bid {
+            id: faucets_core::ids::BidId(spec.id.raw()),
+            cluster,
+            job: spec.id,
+            multiplier: 0.0,
+            price: Money::ZERO,
+            promised_completion: SimTime::MAX,
+            planned_pes: spec.qos.min_pes,
+        };
+        let contract = match self.book.award(bid, now) {
+            Ok(c) => c,
+            Err(_) => {
+                self.stats.rejected += 1;
+                return;
+            }
+        };
+        let _ = self.book.confirm(contract);
+        self.remember(&spec, 0.0);
+        let node = self.nodes.get_mut(&cluster).expect("known cluster");
+        self.stats.messages += 1;
+        self.appspector.register_job(spec.id, spec.user, cluster);
+        node.cluster.submit_job(spec, contract, Money::ZERO, now);
+        self.rearm(cluster, sched);
+    }
+
+    /// §5.5.2 placement: the Faucets market with SU-multiplier bids charged
+    /// against user quotas. The charge is prepaid at award time (quota
+    /// reserved), so quotas can never go negative.
+    fn place_su(&mut self, spec: JobSpec, policy: SelectionPolicy, sched: &mut Scheduler<GridEvent>) {
+        let now = sched.now();
+        let candidates: Vec<ClusterId> = match self.server.match_servers(&self.token, &spec.qos, now) {
+            Ok(c) => c.into_iter().filter(|&c| !self.is_down(c, now)).collect(),
+            Err(_) => {
+                self.stats.rejected += 1;
+                return;
+            }
+        };
+        let market = self.server.market_info(now);
+        let req = BidRequest { job: spec.id, user: spec.user, qos: spec.qos.clone(), issued_at: now };
+        let mut bids = vec![];
+        for c in candidates {
+            let node = self.nodes.get_mut(&c).expect("directory lists only known nodes");
+            self.stats.messages += 2;
+            if let Some(b) = node
+                .daemon
+                .handle_bid_request(&req, &mut node.cluster, &market, now)
+                .offer()
+            {
+                bids.push(*b);
+            }
+        }
+        let quota = self.quota.as_mut().expect("SU mode requires a quota bank");
+        let cpu = spec.qos.cpu_seconds(1.0);
+        // Best affordable bid under the selection policy.
+        let ranked: Vec<Bid> = policy.rank(&bids, &spec.qos.payoff).into_iter().copied().collect();
+        let affordable = ranked
+            .into_iter()
+            .find(|b| quota.can_afford(spec.user, SuQuota::su_cost(cpu, b.multiplier)));
+        match affordable {
+            Some(bid) => {
+                let cost = SuQuota::su_cost(cpu, bid.multiplier);
+                if quota.charge(spec.user, bid.cluster, cost).is_err() {
+                    self.stats.blocked_quota += 1;
+                    return;
+                }
+                self.stats.su_charged += cost;
+                match self.book.award(bid, now) {
+                    Ok(contract) => {
+                        self.remember(&spec, bid.multiplier);
+                        self.stats.messages += 1;
+                        sched.schedule_in(
+                            self.market_latency,
+                            GridEvent::Award { spec: Box::new(spec), contract, bid },
+                        );
+                    }
+                    Err(_) => self.stats.rejected += 1,
+                }
+            }
+            None => {
+                if bids.is_empty() {
+                    self.stats.rejected += 1;
+                } else {
+                    self.stats.blocked_quota += 1;
+                }
+            }
+        }
+    }
+
+    /// Find a home for a job displaced by maintenance: another live cluster
+    /// whose scheduler accepts it (migration, when enabled), else back to
+    /// the source queue to wait out the window.
+    #[allow(clippy::too_many_arguments)]
+    fn route_displaced(
+        &mut self,
+        spec: JobSpec,
+        contract: ContractId,
+        price: Money,
+        image_mb: Option<u64>,
+        from: ClusterId,
+        wan: &CheckpointCostModel,
+        sched: &mut Scheduler<GridEvent>,
+    ) {
+        let now = sched.now();
+        if self.migrate_on_maintenance {
+            let req = BidRequest { job: spec.id, user: spec.user, qos: spec.qos.clone(), issued_at: now };
+            let candidates: Vec<ClusterId> =
+                self.nodes.keys().copied().filter(|&c| c != from && !self.is_down(c, now)).collect();
+            for c in candidates {
+                let ok = {
+                    let node = self.nodes.get_mut(&c).unwrap();
+                    self.stats.messages += 2;
+                    node.cluster.probe(&req, now).is_ok()
+                };
+                if ok {
+                    let transfer = match image_mb {
+                        Some(mb) => SimDuration::from_secs_f64(mb as f64 / wan.wan_mb_per_sec),
+                        None => SimDuration::ZERO,
+                    };
+                    sched.schedule_in(
+                        transfer,
+                        GridEvent::MigrationArrive {
+                            spec: Box::new(spec),
+                            contract,
+                            price,
+                            to: c,
+                            migrated: true,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+        // No migration target: wait at the source for the window to end.
+        let back_at = self.down_until.get(&from).copied().unwrap_or(now).max(now);
+        sched.schedule_at(
+            back_at,
+            GridEvent::MigrationArrive {
+                spec: Box::new(spec),
+                contract,
+                price,
+                to: from,
+                migrated: false,
+            },
+        );
+    }
+
+    fn place_barter(&mut self, spec: JobSpec, sched: &mut Scheduler<GridEvent>) {
+        let now = sched.now();
+        let bank = self.bank.as_ref().expect("barter mode requires a bank");
+        let Some(home) = bank.home_of(spec.user) else {
+            self.stats.rejected += 1;
+            return;
+        };
+        let req = BidRequest { job: spec.id, user: spec.user, qos: spec.qos.clone(), issued_at: now };
+
+        // Home first (unless it is down for maintenance).
+        let home_ok = !self.is_down(home, now) && {
+            let node = self.nodes.get_mut(&home).expect("home cluster exists");
+            self.stats.messages += 2;
+            node.cluster.probe(&req, now).is_ok()
+        };
+        // Remote candidates that would accept, in id order.
+        let mut remote_ok = vec![];
+        if !home_ok {
+            let ids: Vec<ClusterId> = self
+                .nodes
+                .keys()
+                .copied()
+                .filter(|&c| c != home && !self.is_down(c, now))
+                .collect();
+            for c in ids {
+                let node = self.nodes.get_mut(&c).unwrap();
+                self.stats.messages += 2;
+                if node.cluster.probe(&req, now).is_ok() {
+                    remote_ok.push(c);
+                }
+            }
+        }
+        let est_cost = ServiceUnits::from_units_f64(spec.qos.cpu_seconds(1.0));
+        let bank = self.bank.as_ref().unwrap();
+        match bank.route(spec.user, home_ok, &remote_ok, est_cost) {
+            Ok(BarterRoute::Home(c)) | Ok(BarterRoute::Remote(c)) => self.place_direct(spec, c, sched),
+            Ok(BarterRoute::Blocked) => {
+                // Blocked remotely: the job still queues at home (it just
+                // waits), unless home can never run it.
+                self.stats.blocked_credits += 1;
+                self.place_direct(spec, home, sched);
+            }
+            Err(_) => self.stats.rejected += 1,
+        }
+    }
+
+    fn place_restricted(&mut self, spec: JobSpec, sched: &mut Scheduler<GridEvent>) {
+        let allowed = self.accounts.get(&spec.user).cloned().unwrap_or_default();
+        if allowed.is_empty() {
+            self.stats.rejected += 1;
+            return;
+        }
+        // Traditional behaviour: submit to the least-loaded cluster the
+        // user has an account on, and wait in its queue.
+        let target = allowed
+            .iter()
+            .copied()
+            .min_by_key(|c| {
+                let n = &self.nodes[c];
+                (n.cluster.queue_len() as u32, u32::MAX - n.cluster.free_pes())
+            })
+            .unwrap();
+        self.place_direct(spec, target, sched);
+    }
+}
+
+impl World for GridWorld {
+    type Event = GridEvent;
+
+    fn handle(&mut self, sched: &mut Scheduler<GridEvent>, event: GridEvent) {
+        match event {
+            GridEvent::NextArrival => {
+                if let Some(spec) = self.pending_spec.take() {
+                    self.stats.submitted += 1;
+                    self.place(spec, sched);
+                }
+                if let Some((at, user, qos)) = self.workload.next_job(sched.now()) {
+                    let spec = self.make_spec(user, qos, at);
+                    self.pending_spec = Some(spec);
+                    sched.schedule_at(at, GridEvent::NextArrival);
+                }
+            }
+            GridEvent::Award { spec, contract, bid } => {
+                let spec = *spec;
+                let now = sched.now();
+                let cluster_id = bid.cluster;
+                let outcome = {
+                    let node = self.nodes.get_mut(&cluster_id).expect("awarded to known cluster");
+                    node.daemon.handle_award(spec.clone(), contract, &bid, &mut node.cluster, now)
+                };
+                self.stats.messages += 1; // confirm / renege reply
+                match outcome {
+                    Ok(AwardOutcome::Confirmed) => {
+                        let _ = self.book.confirm(contract);
+                        self.appspector.register_job(spec.id, spec.user, cluster_id);
+                        self.rearm(cluster_id, sched);
+                    }
+                    Ok(AwardOutcome::Reneged(_)) | Err(_) => {
+                        let _ = self.book.renege(contract);
+                        self.stats.reneges += 1;
+                        let retries = self
+                            .jobs
+                            .get_mut(&spec.id)
+                            .map(|j| {
+                                j.retries += 1;
+                                j.retries
+                            })
+                            .unwrap_or(u32::MAX);
+                        if retries <= self.max_award_retries {
+                            // Fall back to the market for a fresh slate.
+                            self.place(spec, sched);
+                        } else {
+                            self.jobs.remove(&spec.id);
+                            self.stats.rejected += 1;
+                        }
+                    }
+                }
+            }
+            GridEvent::ClusterWake(cluster) => {
+                let now = sched.now();
+                self.armed_wakes.remove(&cluster);
+                let completions = {
+                    let node = self.nodes.get_mut(&cluster).expect("wake for known cluster");
+                    node.cluster.on_time(now)
+                };
+                for c in completions {
+                    self.settle(cluster, &c, now);
+                }
+                self.rearm(cluster, sched);
+            }
+            GridEvent::Heartbeat => {
+                let now = sched.now();
+                let ids: Vec<ClusterId> = self.nodes.keys().copied().collect();
+                let mut any_work = self.pending_spec.is_some();
+                for c in ids {
+                    let (status, running): (_, Vec<(JobId, u32)>) = {
+                        let node = &self.nodes[&c];
+                        (node.cluster.status(now), node.cluster.running_jobs().collect())
+                    };
+                    any_work |= status.queue_len > 0 || !running.is_empty();
+                    self.server.heartbeat(c, status, now);
+                    self.stats.messages += 2; // poll + response
+                    if self.telemetry {
+                        let total = self.nodes[&c].cluster.machine.total_pes;
+                        for (job, pes) in running {
+                            let _ = self.appspector.push_sample(
+                                job,
+                                TelemetrySample {
+                                    at: now,
+                                    pes,
+                                    utilization: pes as f64 / total.max(1) as f64,
+                                    throughput: pes as f64,
+                                    app_data: format!("step@{now}"),
+                                },
+                            );
+                        }
+                    }
+                }
+                // Keep polling while there is anything left to observe; let
+                // the simulation drain afterwards.
+                if any_work {
+                    sched.schedule_in(self.heartbeat_every, GridEvent::Heartbeat);
+                }
+            }
+            GridEvent::Maintenance { cluster, window } => {
+                let now = sched.now();
+                self.down_until.insert(cluster, now.saturating_add(window));
+                // Cancel any armed completion wake; the machine empties now.
+                if let Some((id, _)) = self.armed_wakes.remove(&cluster) {
+                    sched.cancel(id);
+                }
+                // Drain: checkpoint running jobs, pull the backlog.
+                let (evicted, queued) = {
+                    let node = self.nodes.get_mut(&cluster).expect("maintenance on known cluster");
+                    let ids: Vec<JobId> = node.cluster.running_jobs().map(|(id, _)| id).collect();
+                    let evicted: Vec<_> = ids
+                        .into_iter()
+                        .filter_map(|id| node.cluster.checkpoint_and_evict(id, now))
+                        .collect();
+                    (evicted, node.cluster.drain_queue())
+                };
+                let wan = CheckpointCostModel::default();
+                // Checkpointed jobs carry an image across the WAN; queued
+                // jobs move instantly (nothing started yet).
+                for cj in evicted {
+                    self.route_displaced(cj.spec, cj.contract, cj.price, Some(cj.image_mb), cluster, &wan, sched);
+                }
+                for q in queued {
+                    self.route_displaced(q.spec, q.contract, q.price, None, cluster, &wan, sched);
+                }
+            }
+            GridEvent::MigrationArrive { spec, contract, price, to, migrated } => {
+                let now = sched.now();
+                if migrated {
+                    self.stats.migrations += 1;
+                }
+                let node = self.nodes.get_mut(&to).expect("migration to known cluster");
+                node.cluster.submit_job(*spec, contract, price, now);
+                self.rearm(to, sched);
+            }
+            GridEvent::NodeFailure(cluster) => {
+                let Some(fm) = self.failure_model.clone() else { return };
+                let now = sched.now();
+                self.stats.failures += 1;
+                let recovered = {
+                    let node = self.nodes.get_mut(&cluster).expect("failure on known cluster");
+                    node.cluster.crash_and_recover(now, fm.checkpoint_interval)
+                };
+                self.stats.jobs_recovered += recovered as u64;
+                self.rearm(cluster, sched);
+                // Next failure for this machine — only while there is still
+                // work in the system to disturb (lets the run drain).
+                let busy = self.pending_spec.is_some()
+                    || self.nodes.values().any(|n| n.cluster.running_count() > 0 || n.cluster.queue_len() > 0);
+                if busy {
+                    let delay = self.next_failure_in(fm.mtbf);
+                    sched.schedule_in(delay, GridEvent::NodeFailure(cluster));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use crate::workload::{ArrivalProcess, JobMix};
+    use faucets_sim::engine::Simulation;
+
+    fn small_sim(mode: MarketMode) -> Simulation<GridWorld> {
+        ScenarioBuilder::new(7)
+            .cluster(128, "equipartition", "util-interp")
+            .cluster(256, "equipartition", "baseline")
+            .users(4)
+            .mode(mode)
+            .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(300) })
+            .mix(JobMix { log2_min_pes: (0, 4), ..JobMix::default() })
+            .horizon(SimDuration::from_hours(6))
+            .build()
+    }
+
+    #[test]
+    fn bidding_grid_processes_jobs_end_to_end() {
+        let mut sim = small_sim(MarketMode::Bidding(SelectionPolicy::LeastCost));
+        sim.run();
+        let w = sim.world();
+        assert!(w.stats.submitted > 20, "submitted {}", w.stats.submitted);
+        assert!(w.stats.completed > 0, "completed {}", w.stats.completed);
+        assert_eq!(
+            w.stats.completed + w.stats.rejected,
+            w.stats.submitted,
+            "every job completes or is rejected once the grid drains \
+             (completed {}, rejected {}, submitted {})",
+            w.stats.completed,
+            w.stats.rejected,
+            w.stats.submitted
+        );
+        assert!(w.stats.messages > 0);
+        // Money is conserved across all transfers.
+        assert!(w.stats.paid_total > Money::ZERO);
+    }
+
+    #[test]
+    fn bidding_grid_is_deterministic() {
+        let run = || {
+            let mut sim = small_sim(MarketMode::Bidding(SelectionPolicy::LeastCost));
+            sim.run();
+            let w = sim.into_world();
+            (w.stats.submitted, w.stats.completed, w.stats.rejected, w.stats.paid_total)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn restricted_mode_routes_only_to_account_clusters() {
+        let mut sim = small_sim(MarketMode::Restricted);
+        sim.run();
+        let w = sim.world();
+        assert!(w.stats.completed > 0);
+        // Restricted mode pays list price zero (no market) — no dollars move.
+        assert_eq!(w.stats.paid_total, Money::ZERO);
+    }
+
+    #[test]
+    fn contracts_all_reach_terminal_states() {
+        let mut sim = small_sim(MarketMode::Bidding(SelectionPolicy::EarliestCompletion));
+        sim.run();
+        let w = sim.world();
+        use faucets_core::market::ContractState;
+        let completed = w.book.in_state(ContractState::Completed).count() as u64;
+        assert_eq!(completed, w.stats.completed);
+        // Nothing left dangling in Awarded (two-phase always resolves).
+        assert_eq!(w.book.in_state(ContractState::Awarded).count(), 0);
+    }
+}

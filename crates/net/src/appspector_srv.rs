@@ -1,0 +1,193 @@
+//! The AppSpector server (AS) as a TCP service (§2).
+//!
+//! Buffers display data from running jobs so any number of authenticated
+//! clients can watch simultaneously, holds completed jobs' output files for
+//! download, and re-verifies client tokens against the FS before serving
+//! anything — the paper's authenticated-monitoring flow.
+
+use crate::proto::{Request, Response};
+use crate::service::{call, serve, ServiceHandle};
+use faucets_core::appspector::{AppSpector, OutputFile};
+use faucets_core::ids::{JobId, UserId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+struct AsState {
+    spector: AppSpector,
+    outputs: HashMap<JobId, Vec<(String, Vec<u8>)>>,
+}
+
+/// A running AppSpector service.
+pub struct AsHandle {
+    /// The TCP service.
+    pub service: ServiceHandle,
+    state: Arc<Mutex<AsState>>,
+}
+
+impl AsHandle {
+    /// Number of jobs currently monitored (test/tooling hook).
+    pub fn job_count(&self) -> usize {
+        self.state.lock().spector.job_count()
+    }
+}
+
+/// Verify `token` with the FS, returning its user.
+fn verify(fs: SocketAddr, token: &faucets_core::auth::SessionToken) -> Result<UserId, String> {
+    match call(fs, &Request::VerifyToken { token: token.clone() }) {
+        Ok(Response::Verified { user }) => Ok(user),
+        Ok(Response::Error(e)) => Err(e),
+        Ok(other) => Err(format!("unexpected FS reply {other:?}")),
+        Err(e) => Err(format!("FS unreachable: {e}")),
+    }
+}
+
+/// Spawn the AppSpector service; `fs` is used to re-verify client tokens.
+pub fn spawn_appspector(addr: &str, fs: SocketAddr, buffer_depth: usize) -> io::Result<AsHandle> {
+    let state = Arc::new(Mutex::new(AsState { spector: AppSpector::new(buffer_depth), outputs: HashMap::new() }));
+    let st = Arc::clone(&state);
+
+    let service = serve(addr, "appspector", move |req| {
+        match req {
+            Request::RegisterJob { job, owner, cluster } => {
+                st.lock().spector.register_job(job, owner, cluster);
+                Response::Ok
+            }
+            Request::PushSample { job, sample } => match st.lock().spector.push_sample(job, sample) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::CompleteJob { job, outputs } => {
+                let files: Vec<OutputFile> = outputs
+                    .iter()
+                    .map(|(name, data)| OutputFile { name: name.clone(), size_bytes: data.len() as u64 })
+                    .collect();
+                let mut s = st.lock();
+                match s.spector.complete_job(job, files) {
+                    Ok(()) => {
+                        s.outputs.insert(job, outputs);
+                        Response::Ok
+                    }
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::Watch { token, job } => {
+                let user = match verify(fs, &token) {
+                    Ok(u) => u,
+                    Err(e) => return Response::Error(e),
+                };
+                match st.lock().spector.connect(job, user) {
+                    Ok(snap) => Response::Snapshot(snap),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::Download { token, job, name } => {
+                let user = match verify(fs, &token) {
+                    Ok(u) => u,
+                    Err(e) => return Response::Error(e),
+                };
+                let s = st.lock();
+                // Ownership check through the monitor.
+                if let Err(e) = s.spector.connect(job, user) {
+                    return Response::Error(e.to_string());
+                }
+                match s.outputs.get(&job).and_then(|v| v.iter().find(|(n, _)| n == &name)) {
+                    Some((n, data)) => Response::File { name: n.clone(), data: data.clone() },
+                    None => Response::Error(format!("no output '{name}' for {job}")),
+                }
+            }
+            other => Response::Error(format!("AppSpector cannot handle {other:?}")),
+        }
+    })?;
+
+    Ok(AsHandle { service, state })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::spawn_fs;
+    use crate::service::Clock;
+    use faucets_core::appspector::TelemetrySample;
+    use faucets_core::ids::ClusterId;
+    use faucets_sim::time::SimTime;
+
+    fn setup() -> (crate::fs::FsHandle, AsHandle, faucets_core::auth::SessionToken, UserId) {
+        let fs = spawn_fs("127.0.0.1:0", Clock::realtime(), 7).unwrap();
+        let aspect = spawn_appspector("127.0.0.1:0", fs.service.addr, 16).unwrap();
+        call(fs.service.addr, &Request::CreateUser { user: "a".into(), password: "p".into() }).unwrap();
+        let Response::Session { user, token } =
+            call(fs.service.addr, &Request::Login { user: "a".into(), password: "p".into() }).unwrap()
+        else {
+            panic!()
+        };
+        (fs, aspect, token, user)
+    }
+
+    #[test]
+    fn register_push_watch_complete_download() {
+        let (_fs, aspect, token, user) = setup();
+        let addr = aspect.service.addr;
+        call(addr, &Request::RegisterJob { job: JobId(1), owner: user, cluster: ClusterId(2) }).unwrap();
+        assert_eq!(aspect.job_count(), 1);
+        call(
+            addr,
+            &Request::PushSample {
+                job: JobId(1),
+                sample: TelemetrySample {
+                    at: SimTime::from_secs(1),
+                    pes: 8,
+                    utilization: 0.9,
+                    throughput: 4.2,
+                    app_data: "step 1".into(),
+                },
+            },
+        )
+        .unwrap();
+        let Response::Snapshot(snap) = call(addr, &Request::Watch { token: token.clone(), job: JobId(1) }).unwrap()
+        else {
+            panic!("expected snapshot")
+        };
+        assert_eq!(snap.samples.len(), 1);
+        assert!(!snap.completed);
+
+        call(
+            addr,
+            &Request::CompleteJob { job: JobId(1), outputs: vec![("out.dat".into(), vec![1, 2, 3])] },
+        )
+        .unwrap();
+        let Response::File { data, .. } =
+            call(addr, &Request::Download { token, job: JobId(1), name: "out.dat".into() }).unwrap()
+        else {
+            panic!("expected file")
+        };
+        assert_eq!(data, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn forged_tokens_are_rejected() {
+        let (_fs, aspect, _token, user) = setup();
+        let addr = aspect.service.addr;
+        call(addr, &Request::RegisterJob { job: JobId(1), owner: user, cluster: ClusterId(2) }).unwrap();
+        let bogus = faucets_core::auth::SessionToken("bogus".into());
+        let r = call(addr, &Request::Watch { token: bogus, job: JobId(1) }).unwrap();
+        assert!(matches!(r, Response::Error(_)));
+    }
+
+    #[test]
+    fn non_owner_cannot_watch() {
+        let (fs, aspect, _token, user) = setup();
+        call(fs.service.addr, &Request::CreateUser { user: "mallory".into(), password: "p".into() }).unwrap();
+        let Response::Session { token: mallory, .. } =
+            call(fs.service.addr, &Request::Login { user: "mallory".into(), password: "p".into() }).unwrap()
+        else {
+            panic!()
+        };
+        let addr = aspect.service.addr;
+        call(addr, &Request::RegisterJob { job: JobId(1), owner: user, cluster: ClusterId(2) }).unwrap();
+        let r = call(addr, &Request::Watch { token: mallory, job: JobId(1) }).unwrap();
+        assert!(matches!(r, Response::Error(_)));
+    }
+}

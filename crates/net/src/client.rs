@@ -1,0 +1,212 @@
+//! The Faucets client library (the command-line/GUI client of §2, minus
+//! pixels).
+//!
+//! Implements the full §2 submission walkthrough: authenticate to the FS,
+//! fetch the matching Compute Servers, solicit bids from each FD, evaluate
+//! them under a [`SelectionPolicy`], award the winner (falling back to the
+//! runner-up if the daemon reneges — the two-phase protocol of §5.3),
+//! stage input files, then monitor the job and download outputs through
+//! AppSpector.
+
+use crate::proto::{Request, Response};
+use crate::service::{call, Clock};
+use faucets_core::appspector::MonitorSnapshot;
+use faucets_core::auth::SessionToken;
+use faucets_core::bid::{Bid, BidRequest};
+use faucets_core::ids::{ClusterId, ContractId, JobId, UserId};
+use faucets_core::job::JobSpec;
+use faucets_core::market::SelectionPolicy;
+use faucets_core::money::Money;
+use faucets_core::qos::QosContract;
+use faucets_sim::time::SimTime;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// A successfully placed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submission {
+    /// The job id (client-assigned, grid-unique per client).
+    pub job: JobId,
+    /// The winning Compute Server.
+    pub cluster: ClusterId,
+    /// The contracted price.
+    pub price: Money,
+    /// The completion the cluster promised.
+    pub promised_completion: SimTime,
+    /// How many servers bid.
+    pub bids_received: usize,
+}
+
+/// A connected, authenticated Faucets client.
+pub struct FaucetsClient {
+    fs: SocketAddr,
+    appspector: SocketAddr,
+    clock: Clock,
+    /// The session token (§2.2: embedded in every FD interaction).
+    pub token: SessionToken,
+    /// The authenticated user.
+    pub user: UserId,
+    /// How bids are evaluated.
+    pub selection: SelectionPolicy,
+    next_job: u64,
+}
+
+impl FaucetsClient {
+    /// Create an account and log in.
+    pub fn register(
+        fs: SocketAddr,
+        appspector: SocketAddr,
+        clock: Clock,
+        name: &str,
+        password: &str,
+    ) -> Result<Self, String> {
+        match call(fs, &Request::CreateUser { user: name.into(), password: password.into() }) {
+            Ok(Response::Verified { .. }) => {}
+            Ok(other) => return Err(format!("account creation failed: {other:?}")),
+            Err(e) => return Err(e.to_string()),
+        }
+        Self::login(fs, appspector, clock, name, password)
+    }
+
+    /// Log in to an existing account.
+    pub fn login(
+        fs: SocketAddr,
+        appspector: SocketAddr,
+        clock: Clock,
+        name: &str,
+        password: &str,
+    ) -> Result<Self, String> {
+        match call(fs, &Request::Login { user: name.into(), password: password.into() }) {
+            Ok(Response::Session { user, token }) => Ok(FaucetsClient {
+                fs,
+                appspector,
+                clock,
+                token,
+                user,
+                selection: SelectionPolicy::LeastCost,
+                next_job: (user.raw() << 32) + 1,
+            }),
+            Ok(other) => Err(format!("login failed: {other:?}")),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Submit a job: match → bid → select → award (with runner-up fallback)
+    /// → stage inputs.
+    pub fn submit(
+        &mut self,
+        qos: QosContract,
+        inputs: &[(String, Vec<u8>)],
+    ) -> Result<Submission, String> {
+        let job = JobId(self.next_job);
+        self.next_job += 1;
+        let now = self.clock.now();
+
+        // 1. Matching servers from the FS.
+        let servers = match call(self.fs, &Request::ListServers { token: self.token.clone(), qos: qos.clone() }) {
+            Ok(Response::Servers(s)) => s,
+            Ok(other) => return Err(format!("matching failed: {other:?}")),
+            Err(e) => return Err(e.to_string()),
+        };
+        if servers.is_empty() {
+            return Err("no matching Compute Servers".into());
+        }
+
+        // 2. Request-for-bids to every matching FD.
+        let req = BidRequest { job, user: self.user, qos: qos.clone(), issued_at: now };
+        let mut bids: Vec<Bid> = vec![];
+        for s in &servers {
+            let addr: SocketAddr = format!("{}:{}", s.fd_addr, s.fd_port)
+                .parse()
+                .map_err(|e| format!("bad FD address for {}: {e}", s.name))?;
+            if let Ok(Response::BidReply(reply)) =
+                call(addr, &Request::RequestBid { token: self.token.clone(), request: req.clone() })
+            {
+                if let Some(b) = reply.offer() {
+                    bids.push(*b);
+                }
+            }
+        }
+        if bids.is_empty() {
+            return Err("all Compute Servers declined".into());
+        }
+
+        // 3. Evaluate and award, falling back on renege.
+        let ranked: Vec<Bid> = self.selection.rank(&bids, &qos.payoff).into_iter().copied().collect();
+        let spec = JobSpec::new(job, self.user, qos, now).map_err(|e| format!("invalid QoS: {e}"))?;
+        for bid in ranked {
+            let server = servers.iter().find(|s| s.cluster == bid.cluster).expect("bid from listed server");
+            let addr: SocketAddr = format!("{}:{}", server.fd_addr, server.fd_port).parse().unwrap();
+            let contract = ContractId(job.raw());
+            match call(
+                addr,
+                &Request::Award { token: self.token.clone(), spec: spec.clone(), contract, bid },
+            ) {
+                Ok(Response::AwardReply { confirmed: true, .. }) => {
+                    // 4. Stage input files.
+                    for (name, data) in inputs {
+                        let r = call(
+                            addr,
+                            &Request::UploadFile {
+                                token: self.token.clone(),
+                                job,
+                                name: name.clone(),
+                                data: data.clone(),
+                            },
+                        );
+                        if !matches!(r, Ok(Response::Ok)) {
+                            return Err(format!("staging '{name}' failed: {r:?}"));
+                        }
+                    }
+                    return Ok(Submission {
+                        job,
+                        cluster: bid.cluster,
+                        price: bid.price,
+                        promised_completion: bid.promised_completion,
+                        bids_received: bids.len(),
+                    });
+                }
+                Ok(Response::AwardReply { confirmed: false, .. }) => continue, // runner-up
+                Ok(other) => return Err(format!("award failed: {other:?}")),
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        Err("every awarded server reneged".into())
+    }
+
+    /// Fetch the current monitoring snapshot for a job.
+    pub fn watch(&self, job: JobId) -> Result<MonitorSnapshot, String> {
+        match call(self.appspector, &Request::Watch { token: self.token.clone(), job }) {
+            Ok(Response::Snapshot(s)) => Ok(s),
+            Ok(other) => Err(format!("watch failed: {other:?}")),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Poll AppSpector until the job completes (or `timeout` wall time).
+    pub fn wait(&self, job: JobId, timeout: Duration) -> Result<MonitorSnapshot, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let snap = self.watch(job)?;
+            if snap.completed {
+                return Ok(snap);
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("timed out waiting for {job}"));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Download one output file of a completed job.
+    pub fn download(&self, job: JobId, name: &str) -> Result<Vec<u8>, String> {
+        match call(
+            self.appspector,
+            &Request::Download { token: self.token.clone(), job, name: name.into() },
+        ) {
+            Ok(Response::File { data, .. }) => Ok(data),
+            Ok(other) => Err(format!("download failed: {other:?}")),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}

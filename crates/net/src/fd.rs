@@ -1,0 +1,298 @@
+//! The Faucets Daemon (FD) as a TCP service (§2).
+//!
+//! *"Each Scheduler is associated with a Faucets Daemon process which
+//! listens on a well-known port. … At startup each FD registers itself with
+//! the Faucets Central Server."* This service wraps a
+//! [`faucets_sched::cluster::Cluster`] with the mediation logic of
+//! [`faucets_core::daemon::FaucetsDaemon`]: it answers bid requests
+//! (re-verifying the client's token with the FS first, since *"the FD does
+//! not have any accounting information"*), handles awards, stages input
+//! files, and runs a pump thread that drives the scheduler clock, reports
+//! completions and telemetry to AppSpector, and heartbeats the FS.
+
+use crate::proto::{Request, Response};
+use crate::service::{call, serve, Clock, ServiceHandle};
+use faucets_core::appspector::TelemetrySample;
+use faucets_core::daemon::{AwardOutcome, ClusterManager, FaucetsDaemon};
+use faucets_core::ids::{ClusterId, JobId, UserId};
+use faucets_core::market::MarketInfo;
+use faucets_core::money::Money;
+use faucets_sched::cluster::Cluster;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct FdState {
+    daemon: FaucetsDaemon,
+    cluster: Cluster,
+    staged: HashMap<JobId, Vec<(String, Vec<u8>)>>,
+    owners: HashMap<JobId, UserId>,
+}
+
+/// A running FD service.
+pub struct FdHandle {
+    /// The TCP service.
+    pub service: ServiceHandle,
+    /// The cluster this FD represents.
+    pub cluster_id: ClusterId,
+    state: Arc<Mutex<FdState>>,
+    stop: Arc<AtomicBool>,
+    pump: Option<JoinHandle<()>>,
+}
+
+impl FdHandle {
+    /// Jobs completed on this cluster so far.
+    pub fn completed(&self) -> u64 {
+        self.state.lock().cluster.metrics.completed
+    }
+
+    /// Revenue earned at bid prices.
+    pub fn revenue(&self) -> Money {
+        self.state.lock().cluster.metrics.revenue_price
+    }
+
+    /// Daemon activity counters (requests, bids, declines, confirms).
+    pub fn daemon_stats(&self) -> faucets_core::daemon::DaemonStats {
+        self.state.lock().daemon.stats
+    }
+
+    /// Stop the pump and the service.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(p) = self.pump.take() {
+            let _ = p.join();
+        }
+    }
+}
+
+impl Drop for FdHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn verify(fs: SocketAddr, token: &faucets_core::auth::SessionToken) -> Result<UserId, String> {
+    match call(fs, &Request::VerifyToken { token: token.clone() }) {
+        Ok(Response::Verified { user }) => Ok(user),
+        Ok(Response::Error(e)) => Err(e),
+        Ok(other) => Err(format!("unexpected FS reply {other:?}")),
+        Err(e) => Err(format!("FS unreachable: {e}")),
+    }
+}
+
+/// Spawn an FD for `cluster`, register it with the FS, and start its pump.
+///
+/// `daemon` must carry `ServerInfo` whose address will be overwritten with
+/// the actually bound socket (so port 0 works).
+pub fn spawn_fd(
+    addr: &str,
+    mut daemon: FaucetsDaemon,
+    cluster: Cluster,
+    fs: SocketAddr,
+    appspector: SocketAddr,
+    clock: Clock,
+) -> io::Result<FdHandle> {
+    let cluster_id = cluster.machine.cluster;
+    let state = Arc::new(Mutex::new(FdState {
+        daemon: FaucetsDaemon::new(
+            // placeholder; replaced below once the port is known
+            faucets_core::directory::ServerInfo {
+                fd_addr: String::new(),
+                fd_port: 0,
+                ..daemon.info.clone()
+            },
+            std::iter::empty::<String>(),
+            Box::new(faucets_core::market::Baseline),
+            Money::ZERO,
+        ),
+        cluster,
+        staged: HashMap::new(),
+        owners: HashMap::new(),
+    }));
+
+    // Bind the service first so the real port is known.
+    let st = Arc::clone(&state);
+    let clock_handler = clock.clone();
+    let service = serve(addr, "fd", move |req| {
+        match req {
+            Request::RequestBid { token, request } => {
+                // §2.2: the FD re-checks the client with the FS.
+                if let Err(e) = verify(fs, &token) {
+                    return Response::Error(e);
+                }
+                // Read the clock only while holding the lock: the pump also
+                // advances the cluster, and scheduler time must be monotone.
+                let mut s = st.lock();
+                let now = clock_handler.now();
+                let FdState { daemon, cluster, .. } = &mut *s;
+                Response::BidReply(daemon.handle_bid_request(&request, cluster, &MarketInfo::default(), now))
+            }
+            Request::Award { token, spec, contract, bid } => {
+                if let Err(e) = verify(fs, &token) {
+                    return Response::Error(e);
+                }
+                let (job, user) = (spec.id, spec.user);
+                let outcome = {
+                    let mut s = st.lock();
+                    let now = clock_handler.now();
+                    let FdState { daemon, cluster, .. } = &mut *s;
+                    daemon.handle_award(spec, contract, &bid, cluster, now)
+                };
+                match outcome {
+                    Ok(AwardOutcome::Confirmed) => {
+                        st.lock().owners.insert(job, user);
+                        let _ = call(appspector, &Request::RegisterJob { job, owner: user, cluster: cluster_id });
+                        Response::AwardReply { confirmed: true, reason: None }
+                    }
+                    Ok(AwardOutcome::Reneged(r)) => {
+                        Response::AwardReply { confirmed: false, reason: Some(format!("{r:?}")) }
+                    }
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::UploadFile { token, job, name, data } => {
+                if let Err(e) = verify(fs, &token) {
+                    return Response::Error(e);
+                }
+                st.lock().staged.entry(job).or_default().push((name, data));
+                Response::Ok
+            }
+            other => Response::Error(format!("FD cannot handle {other:?}")),
+        }
+    })?;
+
+    // Fix up the registration info with the bound address and register.
+    let bound = service.addr;
+    daemon.info.fd_addr = bound.ip().to_string();
+    daemon.info.fd_port = bound.port();
+    let info = daemon.info.clone();
+    let apps: Vec<String> = daemon.exported_apps.iter().cloned().collect();
+    state.lock().daemon = daemon;
+    let _ = call(fs, &Request::RegisterCluster { info, apps });
+
+    // Pump: drives the scheduler clock, reports completions/telemetry,
+    // heartbeats the FS.
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let st = Arc::clone(&state);
+    let pump = std::thread::Builder::new().name(format!("fd-pump-{cluster_id}")).spawn(move || {
+        // Heartbeats are paced in *simulated* time (the FS liveness window
+        // is simulated seconds), so any clock speedup keeps the FD alive.
+        let heartbeat_every = faucets_sim::time::SimDuration::from_secs(30);
+        let mut last_heartbeat = faucets_sim::time::SimTime::ZERO;
+        while !stop2.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(5));
+
+            // Harvest completions under the lock (reading the clock inside
+            // it, to stay monotone with the request handlers); talk to
+            // peers outside it.
+            let (now, completions, running, status) = {
+                let mut s = st.lock();
+                let now = clock.now();
+                let completions = s.cluster.on_time(now);
+                let running: Vec<(JobId, u32)> = s.cluster.running_jobs().collect();
+                (now, completions, running, s.cluster.status(now))
+            };
+            for c in &completions {
+                let job = c.outcome.job;
+                let mut outputs: Vec<(String, Vec<u8>)> = {
+                    let mut s = st.lock();
+                    s.staged.remove(&job).unwrap_or_default()
+                };
+                outputs.push(("output.dat".into(), format!("completed at {now}").into_bytes()));
+                let _ = call(appspector, &Request::CompleteJob { job, outputs });
+            }
+            // Heartbeat + telemetry on the simulated cadence.
+            if now.since(last_heartbeat) >= heartbeat_every || last_heartbeat == faucets_sim::time::SimTime::ZERO {
+                last_heartbeat = now;
+                let _ = call(fs, &Request::Heartbeat { cluster: cluster_id, status });
+                let total = { st.lock().cluster.machine.total_pes };
+                for (job, pes) in running {
+                    let _ = call(
+                        appspector,
+                        &Request::PushSample {
+                            job,
+                            sample: TelemetrySample {
+                                at: now,
+                                pes,
+                                utilization: pes as f64 / total.max(1) as f64,
+                                throughput: pes as f64,
+                                app_data: format!("t={now}"),
+                            },
+                        },
+                    );
+                }
+            }
+        }
+    })?;
+
+    Ok(FdHandle { service, cluster_id, state, stop, pump: Some(pump) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::spawn_fs;
+    use faucets_core::bid::BidRequest;
+    use faucets_core::qos::QosBuilder;
+    use faucets_sched::adaptive::ResizeCostModel;
+    use faucets_sched::equipartition::Equipartition;
+    use faucets_sched::machine::MachineSpec;
+
+    #[test]
+    fn fd_registers_and_answers_bids() {
+        let clock = Clock::new(100.0);
+        let fs = spawn_fs("127.0.0.1:0", clock.clone(), 11).unwrap();
+        let aspect = crate::appspector_srv::spawn_appspector("127.0.0.1:0", fs.service.addr, 8).unwrap();
+
+        let machine = MachineSpec::commodity(ClusterId(1), "turing", 64);
+        let daemon = FaucetsDaemon::new(
+            machine.server_info("127.0.0.1", 0),
+            ["namd".to_string()],
+            Box::new(faucets_core::market::Baseline),
+            Money::from_units_f64(0.01),
+        );
+        let cluster = Cluster::new(machine, Box::new(Equipartition), ResizeCostModel::default());
+        let fd = spawn_fd("127.0.0.1:0", daemon, cluster, fs.service.addr, aspect.service.addr, clock).unwrap();
+
+        // The FD registered itself (directory has it with the bound port).
+        {
+            let s = fs.state.lock();
+            let e = s.directory.get(ClusterId(1)).expect("registered");
+            assert_eq!(e.info.fd_port, fd.service.addr.port());
+        }
+
+        // A valid user can solicit a bid.
+        call(fs.service.addr, &Request::CreateUser { user: "u".into(), password: "p".into() }).unwrap();
+        let Response::Session { user, token } =
+            call(fs.service.addr, &Request::Login { user: "u".into(), password: "p".into() }).unwrap()
+        else {
+            panic!()
+        };
+        let qos = QosBuilder::new("namd", 4, 16, 100.0).build().unwrap();
+        let req = BidRequest { job: JobId(5), user, qos, issued_at: faucets_sim::time::SimTime::ZERO };
+        let Response::BidReply(reply) =
+            call(fd.service.addr, &Request::RequestBid { token, request: req.clone() }).unwrap()
+        else {
+            panic!("expected bid reply")
+        };
+        let bid = reply.offer().expect("baseline bids on known apps");
+        assert_eq!(bid.cluster, ClusterId(1));
+        // $0.01/cpu-s × 100 cpu-s × 1.0 = $1.
+        assert_eq!(bid.price, Money::from_units(1));
+
+        // Forged token is bounced by the FS re-verification.
+        let bogus = faucets_core::auth::SessionToken("bogus".into());
+        let r = call(fd.service.addr, &Request::RequestBid { token: bogus, request: req }).unwrap();
+        assert!(matches!(r, Response::Error(_)));
+    }
+}

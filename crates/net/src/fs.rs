@@ -1,0 +1,158 @@
+//! The Central Faucets Server (FS) as a TCP service.
+//!
+//! Wraps [`faucets_core::server::FaucetsServer`] behind the wire protocol:
+//! account creation, login, FD registration, heartbeats, token
+//! verification for daemons (§2.2), and server matching for clients (§5.1).
+
+use crate::proto::{Request, Response};
+use crate::service::{serve, Clock, ServiceHandle};
+use faucets_core::server::FaucetsServer;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io;
+use std::sync::Arc;
+
+/// A running FS service.
+pub struct FsHandle {
+    /// The TCP service (address, shutdown).
+    pub service: ServiceHandle,
+    /// The shared server state (inspectable by tests/tools).
+    pub state: Arc<Mutex<FaucetsServer>>,
+}
+
+/// Spawn the FS on `addr` (use port 0 to pick a free port).
+pub fn spawn_fs(addr: &str, clock: Clock, seed: u64) -> io::Result<FsHandle> {
+    let state = Arc::new(Mutex::new(FaucetsServer::with_defaults()));
+    let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(seed)));
+    let st = Arc::clone(&state);
+
+    let service = serve(addr, "fs", move |req| {
+        let now = clock.now();
+        let mut s = st.lock();
+        match req {
+            Request::CreateUser { user, password } => {
+                match s.create_user(&user, &password, &mut *rng.lock()) {
+                    Ok(id) => Response::Verified { user: id },
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::Login { user, password } => {
+                match s.login(&user, &password, now, &mut *rng.lock()) {
+                    Ok((id, token)) => Response::Session { user: id, token },
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::VerifyToken { token } => match s.verify_token(&token, now) {
+                Ok(user) => Response::Verified { user },
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::RegisterCluster { info, apps } => {
+                s.register_cluster(info, apps, now);
+                Response::Ok
+            }
+            Request::Heartbeat { cluster, status } => {
+                if s.heartbeat(cluster, status, now) {
+                    Response::Ok
+                } else {
+                    Response::Error(format!("unknown cluster {cluster}"))
+                }
+            }
+            Request::ListServers { token, qos } => match s.match_servers(&token, &qos, now) {
+                Ok(ids) => {
+                    let infos = ids
+                        .iter()
+                        .filter_map(|c| s.directory.get(*c).map(|e| e.info.clone()))
+                        .collect();
+                    Response::Servers(infos)
+                }
+                Err(e) => Response::Error(e.to_string()),
+            },
+            other => Response::Error(format!("FS cannot handle {other:?}")),
+        }
+    })?;
+
+    Ok(FsHandle { service, state })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::call;
+    use faucets_core::directory::{ServerInfo, ServerStatus};
+    use faucets_core::ids::ClusterId;
+    use faucets_core::qos::QosBuilder;
+
+    fn info(id: u64) -> ServerInfo {
+        ServerInfo {
+            cluster: ClusterId(id),
+            name: format!("cs{id}"),
+            total_pes: 64,
+            mem_per_pe_mb: 1024,
+            cpu_type: "x86-64".into(),
+            flops_per_pe_sec: 1.0,
+            fd_addr: "127.0.0.1".into(),
+            fd_port: 1,
+        }
+    }
+
+    #[test]
+    fn account_login_verify_flow() {
+        let fs = spawn_fs("127.0.0.1:0", Clock::realtime(), 1).unwrap();
+        let addr = fs.service.addr;
+        let r = call(addr, &Request::CreateUser { user: "alice".into(), password: "pw".into() }).unwrap();
+        assert!(matches!(r, Response::Verified { .. }));
+        // Wrong password fails.
+        let r = call(addr, &Request::Login { user: "alice".into(), password: "xx".into() }).unwrap();
+        assert!(matches!(r, Response::Error(_)));
+        // Correct login mints a token the FD can verify (the §2.2 re-check).
+        let Response::Session { user, token } =
+            call(addr, &Request::Login { user: "alice".into(), password: "pw".into() }).unwrap()
+        else {
+            panic!("expected session");
+        };
+        let r = call(addr, &Request::VerifyToken { token }).unwrap();
+        assert_eq!(r, Response::Verified { user });
+    }
+
+    #[test]
+    fn registration_and_matching_over_wire() {
+        let fs = spawn_fs("127.0.0.1:0", Clock::realtime(), 2).unwrap();
+        let addr = fs.service.addr;
+        call(addr, &Request::CreateUser { user: "u".into(), password: "p".into() }).unwrap();
+        let Response::Session { token, .. } =
+            call(addr, &Request::Login { user: "u".into(), password: "p".into() }).unwrap()
+        else {
+            panic!()
+        };
+        call(addr, &Request::RegisterCluster { info: info(1), apps: vec!["namd".into()] }).unwrap();
+        call(addr, &Request::RegisterCluster { info: info(2), apps: vec!["cfd".into()] }).unwrap();
+        call(
+            addr,
+            &Request::Heartbeat {
+                cluster: ClusterId(1),
+                status: ServerStatus { free_pes: 64, queue_len: 0, accepting: true },
+            },
+        )
+        .unwrap();
+
+        let qos = QosBuilder::new("namd", 4, 16, 100.0).build().unwrap();
+        let Response::Servers(servers) = call(addr, &Request::ListServers { token, qos }).unwrap() else {
+            panic!("expected server list")
+        };
+        // Static filter: only cs1 exports namd.
+        assert_eq!(servers.len(), 1);
+        assert_eq!(servers[0].cluster, ClusterId(1));
+    }
+
+    #[test]
+    fn unknown_heartbeat_is_error() {
+        let fs = spawn_fs("127.0.0.1:0", Clock::realtime(), 3).unwrap();
+        let r = call(
+            fs.service.addr,
+            &Request::Heartbeat { cluster: ClusterId(9), status: ServerStatus::default() },
+        )
+        .unwrap();
+        assert!(matches!(r, Response::Error(_)));
+    }
+}

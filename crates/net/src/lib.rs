@@ -1,0 +1,37 @@
+//! # faucets-net — the deployed Faucets services (Figure 1) over TCP
+//!
+//! The paper's production system ran a Central Faucets Server, one Faucets
+//! Daemon per cluster, and the AppSpector monitoring server as network
+//! services, with command-line/GUI clients speaking to all three. This
+//! crate is that deployment on `std::net` threads:
+//!
+//! * [`proto`] — the length-prefixed JSON wire protocol;
+//! * [`fs`] — the Central Server service (auth, directory, matching);
+//! * [`fd`] — the daemon service wrapping a `faucets-sched` Cluster, with a
+//!   pump thread that executes jobs on a (speed-adjustable) wall clock and
+//!   feeds AppSpector;
+//! * [`appspector_srv`] — buffered monitoring and output download;
+//! * [`client`] — the full §2 submission/monitoring client;
+//! * [`service`] — shared accept-loop and clock plumbing.
+//!
+//! Experiment E1 and `examples/live_services.rs` run the entire Figure-1
+//! architecture on localhost.
+
+#![warn(missing_docs)]
+
+pub mod appspector_srv;
+pub mod client;
+pub mod fd;
+pub mod fs;
+pub mod proto;
+pub mod service;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::appspector_srv::{spawn_appspector, AsHandle};
+    pub use crate::client::{FaucetsClient, Submission};
+    pub use crate::fd::{spawn_fd, FdHandle};
+    pub use crate::fs::{spawn_fs, FsHandle};
+    pub use crate::proto::{read_frame, write_frame, Request, Response};
+    pub use crate::service::{call, serve, Clock, ServiceHandle};
+}

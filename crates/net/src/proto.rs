@@ -1,0 +1,272 @@
+//! The Faucets wire protocol.
+//!
+//! The 2004 system spoke a line-oriented text protocol between client, FS,
+//! FD, and AppSpector; we port it to length-prefixed JSON frames: a `u32`
+//! big-endian payload length followed by a JSON-encoded [`Request`] or
+//! [`Response`]. JSON keeps the protocol inspectable (the paper's tooling
+//! emphasis) while the length prefix makes framing robust.
+
+use faucets_core::appspector::{MonitorSnapshot, TelemetrySample};
+use faucets_core::auth::SessionToken;
+use faucets_core::bid::{Bid, BidRequest, BidResponse};
+use faucets_core::directory::{ServerInfo, ServerStatus};
+use faucets_core::ids::{ClusterId, ContractId, JobId, UserId};
+use faucets_core::job::JobSpec;
+use faucets_core::qos::QosContract;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Maximum accepted frame size (16 MiB) — guards against corrupt prefixes.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Requests a peer may send to any Faucets service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    // ---- Central Server (FS) ----
+    /// Create a user account.
+    CreateUser {
+        /// Login name.
+        user: String,
+        /// Password.
+        password: String,
+    },
+    /// Authenticate; mints a session token.
+    Login {
+        /// Login name.
+        user: String,
+        /// Password.
+        password: String,
+    },
+    /// FD→FS re-verification of a client token (§2.2).
+    VerifyToken {
+        /// The token to check.
+        token: SessionToken,
+    },
+    /// FD startup registration (§2).
+    RegisterCluster {
+        /// Static server properties.
+        info: ServerInfo,
+        /// Exported "Known Applications".
+        apps: Vec<String>,
+    },
+    /// FD → FS heartbeat.
+    Heartbeat {
+        /// Reporting cluster.
+        cluster: ClusterId,
+        /// Current status.
+        status: ServerStatus,
+    },
+    /// Client asks for matching Compute Servers for a QoS contract.
+    ListServers {
+        /// Session token.
+        token: SessionToken,
+        /// The job's requirements.
+        qos: QosContract,
+    },
+
+    // ---- Faucets Daemon (FD) ----
+    /// Client solicits a bid.
+    RequestBid {
+        /// Session token (re-verified at the FS).
+        token: SessionToken,
+        /// The request-for-bids payload.
+        request: BidRequest,
+    },
+    /// Client awards the job (phase 2).
+    Award {
+        /// Session token.
+        token: SessionToken,
+        /// The job to run.
+        spec: JobSpec,
+        /// Contract id assigned by the client side.
+        contract: ContractId,
+        /// The accepted bid.
+        bid: Bid,
+    },
+    /// Client stages an input file to the FD.
+    UploadFile {
+        /// Session token.
+        token: SessionToken,
+        /// Owning job.
+        job: JobId,
+        /// File name.
+        name: String,
+        /// Contents.
+        data: Vec<u8>,
+    },
+
+    // ---- AppSpector (AS) ----
+    /// FD registers a started job for monitoring.
+    RegisterJob {
+        /// The job.
+        job: JobId,
+        /// Its owner.
+        owner: UserId,
+        /// Where it runs.
+        cluster: ClusterId,
+    },
+    /// The running application pushes display data.
+    PushSample {
+        /// The job.
+        job: JobId,
+        /// One telemetry sample.
+        sample: TelemetrySample,
+    },
+    /// FD announces completion and the produced output files.
+    CompleteJob {
+        /// The job.
+        job: JobId,
+        /// Output files (name, bytes).
+        outputs: Vec<(String, Vec<u8>)>,
+    },
+    /// Client watches a job.
+    Watch {
+        /// Session token.
+        token: SessionToken,
+        /// The job to monitor.
+        job: JobId,
+    },
+    /// Client downloads an output file.
+    Download {
+        /// Session token.
+        token: SessionToken,
+        /// The job.
+        job: JobId,
+        /// File name.
+        name: String,
+    },
+}
+
+/// Responses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Generic success.
+    Ok,
+    /// Login result.
+    Session {
+        /// The authenticated user.
+        user: UserId,
+        /// The minted token.
+        token: SessionToken,
+    },
+    /// Token verification result.
+    Verified {
+        /// The token's owner.
+        user: UserId,
+    },
+    /// Matching servers for a QoS contract.
+    Servers(Vec<ServerInfo>),
+    /// A bid (or decline) from an FD.
+    BidReply(BidResponse),
+    /// Award outcome: confirmed or reneged (with reason).
+    AwardReply {
+        /// True when the daemon committed and submitted the job.
+        confirmed: bool,
+        /// Renege reason when not confirmed.
+        reason: Option<String>,
+    },
+    /// Monitoring snapshot.
+    Snapshot(MonitorSnapshot),
+    /// A downloaded file.
+    File {
+        /// File name.
+        name: String,
+        /// Contents.
+        data: Vec<u8>,
+    },
+    /// Any failure, with a human-readable message.
+    Error(String),
+}
+
+/// Write one length-prefixed JSON frame.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> std::io::Result<()> {
+    let payload = serde_json::to_vec(msg).map_err(std::io::Error::other)?;
+    let len = payload.len() as u32;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::other("frame too large"));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed JSON frame. Returns `Ok(None)` on clean EOF at
+/// a frame boundary.
+pub fn read_frame<R: Read, T: for<'de> Deserialize<'de>>(r: &mut R) -> std::io::Result<Option<T>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::other(format!("frame of {len} bytes exceeds limit")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    serde_json::from_slice(&payload).map(Some).map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trip() {
+        let req = Request::Login { user: "alice".into(), password: "pw".into() };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let mut cur = Cursor::new(buf);
+        let back: Request = read_frame(&mut cur).unwrap().unwrap();
+        assert_eq!(back, req);
+        // Clean EOF after the frame.
+        let eof: Option<Request> = read_frame(&mut cur).unwrap();
+        assert!(eof.is_none());
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Response::Ok).unwrap();
+        write_frame(&mut buf, &Response::Error("x".into())).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame::<_, Response>(&mut cur).unwrap().unwrap(), Response::Ok);
+        assert_eq!(
+            read_frame::<_, Response>(&mut cur).unwrap().unwrap(),
+            Response::Error("x".into())
+        );
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(read_frame::<_, Response>(&mut cur).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Response::Ok).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut cur = Cursor::new(buf);
+        assert!(read_frame::<_, Response>(&mut cur).is_err());
+    }
+
+    #[test]
+    fn binary_payload_round_trips() {
+        let req = Request::UploadFile {
+            token: SessionToken("t".into()),
+            job: JobId(1),
+            name: "input.bin".into(),
+            data: (0..=255u8).collect(),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let back: Request = read_frame(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(back, req);
+    }
+}

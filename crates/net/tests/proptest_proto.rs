@@ -1,0 +1,101 @@
+//! Wire-protocol robustness: arbitrary requests round-trip through the
+//! framing; arbitrary garbage never panics the decoder; partial frames are
+//! detected as errors rather than misparsed.
+
+use faucets_core::auth::SessionToken;
+use faucets_core::directory::{ServerInfo, ServerStatus};
+use faucets_core::ids::{ClusterId, JobId, UserId};
+use faucets_net::proto::{read_frame, write_frame, Request, Response};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        ("[a-z]{1,12}", "[ -~]{0,24}").prop_map(|(user, password)| Request::Login { user, password }),
+        "[0-9a-f]{1,64}".prop_map(|t| Request::VerifyToken { token: SessionToken(t) }),
+        (0u64..1000, 0u64..1000, any::<u32>(), any::<bool>()).prop_map(|(c, _u, free, acc)| {
+            Request::Heartbeat {
+                cluster: ClusterId(c),
+                status: ServerStatus { free_pes: free, queue_len: 0, accepting: acc },
+            }
+        }),
+        (0u64..100, prop::collection::vec(any::<u8>(), 0..512), "[a-z./]{1,30}").prop_map(
+            |(job, data, name)| Request::UploadFile {
+                token: SessionToken("t".into()),
+                job: JobId(job),
+                name,
+                data,
+            }
+        ),
+        (0u64..50, 0u64..50, 0u64..50).prop_map(|(j, o, c)| Request::RegisterJob {
+            job: JobId(j),
+            owner: UserId(o),
+            cluster: ClusterId(c),
+        }),
+        (0u64..8, 1u32..4096, 1u64..65535).prop_map(|(id, pes, port)| Request::RegisterCluster {
+            info: ServerInfo {
+                cluster: ClusterId(id),
+                name: format!("cs{id}"),
+                total_pes: pes,
+                mem_per_pe_mb: 1024,
+                cpu_type: "x86-64".into(),
+                flops_per_pe_sec: 1e9,
+                fd_addr: "127.0.0.1".into(),
+                fd_port: port as u16,
+            },
+            apps: vec!["namd".into()],
+        }),
+    ]
+}
+
+proptest! {
+    /// Every representable request survives encode → decode intact.
+    #[test]
+    fn requests_round_trip(req in arb_request()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let back: Request = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    /// Several frames in one stream decode in order.
+    #[test]
+    fn streams_of_frames(reqs in prop::collection::vec(arb_request(), 1..10)) {
+        let mut buf = Vec::new();
+        for r in &reqs {
+            write_frame(&mut buf, r).unwrap();
+        }
+        let mut cur = Cursor::new(&buf);
+        for r in &reqs {
+            let back: Request = read_frame(&mut cur).unwrap().unwrap();
+            prop_assert_eq!(&back, r);
+        }
+        prop_assert!(read_frame::<_, Request>(&mut cur).unwrap().is_none(), "clean EOF");
+    }
+
+    /// Arbitrary garbage (with a small sane length prefix) never panics —
+    /// it errors or, astronomically rarely, parses.
+    #[test]
+    fn garbage_never_panics(payload in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&payload);
+        let _ = read_frame::<_, Request>(&mut Cursor::new(&buf));
+        let _ = read_frame::<_, Response>(&mut Cursor::new(&buf));
+    }
+
+    /// Truncations of a valid frame are clean EOF (empty) or an error —
+    /// never a wrong message.
+    #[test]
+    fn truncation_detected(req in arb_request(), cut in 0usize..64) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let cut = cut.min(buf.len().saturating_sub(1));
+        let truncated = &buf[..buf.len() - 1 - cut];
+        match read_frame::<_, Request>(&mut Cursor::new(truncated)) {
+            Ok(None) => {} // truncated inside the length prefix: clean EOF
+            Ok(Some(got)) => prop_assert!(false, "truncated frame parsed as {got:?}"),
+            Err(_) => {} // detected
+        }
+    }
+}

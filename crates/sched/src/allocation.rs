@@ -1,0 +1,411 @@
+//! Processor allocation with contiguity and locality tracking.
+//!
+//! §4.1: *"The communication topology also needs to be considered because
+//! the shrunk jobs should continue to have locality and a contiguous set of
+//! processors need to be assigned to the new job."* The allocator is
+//! first-fit contiguous; when no single free block is large enough it
+//! scatters across blocks and counts the event, so experiments can report
+//! how often contiguity was lost. Shrinks release from the tail of a job's
+//! ranges (preserving the locality of what remains); frees coalesce.
+
+use faucets_core::ids::JobId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A contiguous range of processor indices `[start, start+len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeRange {
+    /// First processor index.
+    pub start: u32,
+    /// Number of processors.
+    pub len: u32,
+}
+
+impl PeRange {
+    /// One-past-the-end index.
+    pub fn end(&self) -> u32 {
+        self.start + self.len
+    }
+}
+
+/// The processor allocator for one machine.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    total: u32,
+    /// Free ranges keyed by start index (disjoint, coalesced).
+    free: BTreeMap<u32, u32>,
+    /// Ranges held by each job, in allocation order.
+    held: BTreeMap<JobId, Vec<PeRange>>,
+    /// How many allocations could not be served contiguously.
+    pub scatter_events: u64,
+}
+
+impl Allocator {
+    /// An allocator over `total` processors, all free.
+    pub fn new(total: u32) -> Self {
+        let mut free = BTreeMap::new();
+        if total > 0 {
+            free.insert(0, total);
+        }
+        Allocator { total, free, held: BTreeMap::new(), scatter_events: 0 }
+    }
+
+    /// Total processors in the machine.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Processors currently free.
+    pub fn free_pes(&self) -> u32 {
+        self.free.values().sum()
+    }
+
+    /// Processors currently allocated.
+    pub fn used_pes(&self) -> u32 {
+        self.total - self.free_pes()
+    }
+
+    /// Size of the largest free contiguous block.
+    pub fn largest_free_block(&self) -> u32 {
+        self.free.values().copied().max().unwrap_or(0)
+    }
+
+    /// External fragmentation in [0, 1]: the fraction of free processors
+    /// *not* in the largest free block (0 when free space is one block).
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.free_pes();
+        if free == 0 {
+            0.0
+        } else {
+            1.0 - self.largest_free_block() as f64 / free as f64
+        }
+    }
+
+    /// Processors held by `job`.
+    pub fn held_by(&self, job: JobId) -> u32 {
+        self.held.get(&job).map_or(0, |v| v.iter().map(|r| r.len).sum())
+    }
+
+    /// The ranges held by `job` (empty slice if none).
+    pub fn ranges_of(&self, job: JobId) -> &[PeRange] {
+        self.held.get(&job).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Jobs currently holding processors.
+    pub fn jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.held.keys().copied()
+    }
+
+    fn take_from_free(&mut self, start: u32, len: u32) {
+        let (&fs, &fl) = self.free.range(..=start).next_back().expect("range must be free");
+        debug_assert!(fs <= start && start + len <= fs + fl, "carving outside a free range");
+        self.free.remove(&fs);
+        if fs < start {
+            self.free.insert(fs, start - fs);
+        }
+        if start + len < fs + fl {
+            self.free.insert(start + len, fs + fl - (start + len));
+        }
+    }
+
+    fn give_to_free(&mut self, range: PeRange) {
+        let mut start = range.start;
+        let mut len = range.len;
+        // Coalesce with the predecessor.
+        if let Some((&ps, &pl)) = self.free.range(..start).next_back() {
+            debug_assert!(ps + pl <= start, "double free (overlaps predecessor)");
+            if ps + pl == start {
+                self.free.remove(&ps);
+                start = ps;
+                len += pl;
+            }
+        }
+        // Coalesce with the successor.
+        if let Some((&ns, &nl)) = self.free.range(start + len..).next() {
+            if ns == start + len {
+                self.free.remove(&ns);
+                len += nl;
+            }
+        }
+        self.free.insert(start, len);
+    }
+
+    /// Allocate `n` processors to `job` (which must not already hold any).
+    /// Prefers one contiguous first-fit block; scatters over multiple blocks
+    /// (first-fit order) when necessary. Returns `false` (and changes
+    /// nothing) if fewer than `n` processors are free.
+    pub fn alloc(&mut self, job: JobId, n: u32) -> bool {
+        assert!(!self.held.contains_key(&job), "{job} already holds processors");
+        if n == 0 || self.free_pes() < n {
+            return n == 0 && { self.held.insert(job, vec![]); true };
+        }
+        // First-fit contiguous.
+        if let Some((&start, _)) = self.free.iter().find(|(_, &len)| len >= n) {
+            self.take_from_free(start, n);
+            self.held.insert(job, vec![PeRange { start, len: n }]);
+            return true;
+        }
+        // Scatter across blocks.
+        self.scatter_events += 1;
+        let mut need = n;
+        let mut got = vec![];
+        let blocks: Vec<(u32, u32)> = self.free.iter().map(|(&s, &l)| (s, l)).collect();
+        for (s, l) in blocks {
+            if need == 0 {
+                break;
+            }
+            let take = l.min(need);
+            self.take_from_free(s, take);
+            got.push(PeRange { start: s, len: take });
+            need -= take;
+        }
+        debug_assert_eq!(need, 0);
+        self.held.insert(job, got);
+        true
+    }
+
+    /// Grow `job`'s allocation by `extra` processors. Tries to extend the
+    /// job's last range in place first (locality), then falls back to
+    /// [`Allocator::alloc`]-style placement. Returns `false` if not enough
+    /// processors are free.
+    pub fn grow(&mut self, job: JobId, extra: u32) -> bool {
+        if extra == 0 {
+            return self.held.contains_key(&job);
+        }
+        if !self.held.contains_key(&job) || self.free_pes() < extra {
+            return false;
+        }
+        let mut need = extra;
+        // In-place extension of the last range.
+        let last_end = self.held[&job].last().map(|r| r.end());
+        if let Some(end) = last_end {
+            if let Some(&flen) = self.free.get(&end) {
+                let take = flen.min(need);
+                self.take_from_free(end, take);
+                self.held.get_mut(&job).unwrap().last_mut().unwrap().len += take;
+                need -= take;
+            }
+        }
+        if need == 0 {
+            return true;
+        }
+        // Place the remainder first-fit (contiguous if possible).
+        if let Some((&start, _)) = self.free.iter().find(|(_, &len)| len >= need) {
+            self.take_from_free(start, need);
+            self.held.get_mut(&job).unwrap().push(PeRange { start, len: need });
+            return true;
+        }
+        self.scatter_events += 1;
+        let blocks: Vec<(u32, u32)> = self.free.iter().map(|(&s, &l)| (s, l)).collect();
+        for (s, l) in blocks {
+            if need == 0 {
+                break;
+            }
+            let take = l.min(need);
+            self.take_from_free(s, take);
+            self.held.get_mut(&job).unwrap().push(PeRange { start: s, len: take });
+            need -= take;
+        }
+        debug_assert_eq!(need, 0);
+        true
+    }
+
+    /// Shrink `job`'s allocation by `release` processors, returning them
+    /// from the *tail* of its ranges so the surviving allocation keeps its
+    /// locality. Returns `false` if the job holds fewer than `release`.
+    pub fn shrink(&mut self, job: JobId, release: u32) -> bool {
+        if self.held_by(job) < release {
+            return false;
+        }
+        let mut remaining = release;
+        let mut freed: Vec<PeRange> = vec![];
+        {
+            let ranges = self.held.get_mut(&job).unwrap();
+            while remaining > 0 {
+                let last = ranges.last_mut().expect("held count checked above");
+                if last.len <= remaining {
+                    remaining -= last.len;
+                    freed.push(*last);
+                    ranges.pop();
+                } else {
+                    last.len -= remaining;
+                    freed.push(PeRange { start: last.start + last.len, len: remaining });
+                    remaining = 0;
+                }
+            }
+        }
+        for r in freed {
+            self.give_to_free(r);
+        }
+        true
+    }
+
+    /// Release everything `job` holds. Returns `false` if it held nothing.
+    pub fn release(&mut self, job: JobId) -> bool {
+        match self.held.remove(&job) {
+            Some(ranges) => {
+                for r in ranges {
+                    self.give_to_free(r);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Consistency check: held + free ranges exactly tile `[0, total)`.
+    /// Used by the property tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut marks = vec![0u8; self.total as usize];
+        for (&s, &l) in &self.free {
+            for i in s..s + l {
+                marks[i as usize] += 1;
+            }
+        }
+        for ranges in self.held.values() {
+            for r in ranges {
+                for i in r.start..r.end() {
+                    marks[i as usize] += 1;
+                }
+            }
+        }
+        match marks.iter().position(|&m| m != 1) {
+            None => Ok(()),
+            Some(i) => Err(format!("processor {i} covered {} times", marks[i])),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_release_round_trip() {
+        let mut a = Allocator::new(100);
+        assert!(a.alloc(JobId(1), 40));
+        assert_eq!(a.free_pes(), 60);
+        assert_eq!(a.held_by(JobId(1)), 40);
+        assert_eq!(a.ranges_of(JobId(1)), &[PeRange { start: 0, len: 40 }]);
+        assert!(a.release(JobId(1)));
+        assert_eq!(a.free_pes(), 100);
+        assert_eq!(a.largest_free_block(), 100, "freed ranges must coalesce");
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insufficient_capacity_changes_nothing() {
+        let mut a = Allocator::new(10);
+        assert!(a.alloc(JobId(1), 8));
+        assert!(!a.alloc(JobId(2), 3));
+        assert_eq!(a.held_by(JobId(2)), 0);
+        assert_eq!(a.free_pes(), 2);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn contiguous_preferred_scatter_counted() {
+        let mut a = Allocator::new(100);
+        a.alloc(JobId(1), 30); // [0,30)
+        a.alloc(JobId(2), 30); // [30,60)
+        a.alloc(JobId(3), 30); // [60,90)
+        a.release(JobId(2)); // free: [30,60) + [90,100)
+        // 35 doesn't fit contiguously → scatter.
+        assert!(a.alloc(JobId(4), 35));
+        assert_eq!(a.scatter_events, 1);
+        assert_eq!(a.held_by(JobId(4)), 35);
+        assert_eq!(a.free_pes(), 5);
+        a.check_invariants().unwrap();
+        // 30 fits in [30,60) contiguously for a new job after releasing 4.
+        a.release(JobId(4));
+        assert!(a.alloc(JobId(5), 30));
+        assert_eq!(a.scatter_events, 1, "no new scatter");
+        assert_eq!(a.ranges_of(JobId(5)).len(), 1);
+    }
+
+    #[test]
+    fn shrink_releases_from_tail() {
+        let mut a = Allocator::new(100);
+        a.alloc(JobId(1), 50); // [0,50)
+        assert!(a.shrink(JobId(1), 20));
+        assert_eq!(a.held_by(JobId(1)), 30);
+        assert_eq!(a.ranges_of(JobId(1)), &[PeRange { start: 0, len: 30 }]);
+        assert_eq!(a.free_pes(), 70);
+        // Over-shrink is refused.
+        assert!(!a.shrink(JobId(1), 31));
+        assert_eq!(a.held_by(JobId(1)), 30);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shrink_across_multiple_ranges() {
+        let mut a = Allocator::new(100);
+        a.alloc(JobId(1), 30); // [0,30)
+        a.alloc(JobId(2), 40); // [30,70)
+        a.release(JobId(1));
+        a.alloc(JobId(3), 60); // scattered: [0,30) + [70,100)
+        assert_eq!(a.ranges_of(JobId(3)).len(), 2);
+        // Shrinking 40 drops the whole tail range [70,100) and 10 of [0,30).
+        assert!(a.shrink(JobId(3), 40));
+        assert_eq!(a.held_by(JobId(3)), 20);
+        assert_eq!(a.ranges_of(JobId(3)), &[PeRange { start: 0, len: 20 }]);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn grow_extends_in_place_when_possible() {
+        let mut a = Allocator::new(100);
+        a.alloc(JobId(1), 30); // [0,30)
+        assert!(a.grow(JobId(1), 20));
+        assert_eq!(a.ranges_of(JobId(1)), &[PeRange { start: 0, len: 50 }], "in-place extension");
+        // Block the extension and grow again.
+        a.alloc(JobId(2), 10); // [50,60)
+        assert!(a.grow(JobId(1), 10));
+        assert_eq!(a.held_by(JobId(1)), 60);
+        assert_eq!(a.ranges_of(JobId(1)).len(), 2);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn grow_fails_without_capacity() {
+        let mut a = Allocator::new(10);
+        a.alloc(JobId(1), 8);
+        assert!(!a.grow(JobId(1), 3));
+        assert_eq!(a.held_by(JobId(1)), 8);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fragmentation_metric() {
+        let mut a = Allocator::new(100);
+        assert_eq!(a.fragmentation(), 0.0);
+        a.alloc(JobId(1), 20); // [0,20)
+        a.alloc(JobId(2), 20); // [20,40)
+        a.alloc(JobId(3), 20); // [40,60)
+        a.release(JobId(2));
+        // Free: [20,40) and [60,100) → largest 40 of 60 free → frag = 1/3.
+        assert!((a.fragmentation() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_pe_alloc_is_legal_bookkeeping() {
+        let mut a = Allocator::new(10);
+        assert!(a.alloc(JobId(1), 0));
+        assert_eq!(a.held_by(JobId(1)), 0);
+        assert!(a.release(JobId(1)));
+    }
+
+    #[test]
+    fn release_unknown_job_is_false() {
+        let mut a = Allocator::new(10);
+        assert!(!a.release(JobId(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds")]
+    fn double_alloc_panics() {
+        let mut a = Allocator::new(10);
+        a.alloc(JobId(1), 2);
+        a.alloc(JobId(1), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! The adaptive equipartition scheduler (\[15\], §4.1).
+//!
+//! *"One of the earliest strategy we implemented … is a simple strategy that
+//! tries to maximize system utilization by using a variant of
+//! equipartitioning: Each job gets a proportionate share of available
+//! processors, while respecting the specified upper and lower bounds on the
+//! number of processors for each job."*
+//!
+//! On every scheduling event the policy recomputes
+//! [`crate::policy::equipartition_targets`] over running + queued jobs (in
+//! arrival order) and emits the resizes/starts needed to realize it. Rigid
+//! (non-adaptive) running jobs are pinned at their current size.
+
+use crate::policy::{equipartition_targets, Action, SchedContext, SchedPolicy};
+use faucets_core::bid::DeclineReason;
+use faucets_core::daemon::SchedulerQuote;
+use faucets_core::ids::JobId;
+use faucets_core::qos::QosContract;
+use faucets_sim::time::SimTime;
+
+/// The equipartition adaptive policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Equipartition;
+
+impl Equipartition {
+    /// The job list in arrival order with effective bounds (rigid running
+    /// jobs pinned), as `(id, min, max, running)`.
+    fn job_bounds(ctx: &SchedContext<'_>) -> Vec<(JobId, u32, u32, bool)> {
+        let mut jobs: Vec<(JobId, u32, u32, bool)> = vec![];
+        // Running jobs first (they arrived before anything still queued).
+        for (id, r) in ctx.running {
+            let q = &r.spec.qos;
+            if q.adaptive {
+                jobs.push((*id, q.min_pes, q.max_pes.min(ctx.machine.total_pes), true));
+            } else {
+                jobs.push((*id, r.pes(), r.pes(), true));
+            }
+        }
+        for q in ctx.queue {
+            let qq = &q.spec.qos;
+            jobs.push((q.spec.id, qq.min_pes, qq.max_pes.min(ctx.machine.total_pes), false));
+        }
+        jobs
+    }
+}
+
+impl SchedPolicy for Equipartition {
+    fn name(&self) -> &'static str {
+        "equipartition"
+    }
+
+    fn plan(&mut self, ctx: &SchedContext<'_>) -> Vec<Action> {
+        let jobs = Self::job_bounds(ctx);
+        let bounds: Vec<(u32, u32)> = jobs.iter().map(|&(_, lo, hi, _)| (lo, hi)).collect();
+        let targets = equipartition_targets(&bounds, ctx.machine.total_pes);
+
+        let mut actions = vec![];
+        for (&(id, _, _, running), &target) in jobs.iter().zip(&targets) {
+            if running {
+                let current = ctx.running[&id].pes();
+                if target != 0 && target != current {
+                    actions.push(Action::Resize { job: id, new_pes: target });
+                }
+            } else if target > 0 {
+                actions.push(Action::Start { job: id, pes: target });
+            }
+        }
+        actions
+    }
+
+    fn probe(&self, ctx: &SchedContext<'_>, qos: &QosContract) -> Result<SchedulerQuote, DeclineReason> {
+        ctx.statically_feasible(qos)?;
+        // Predict the share the job would get if it joined now.
+        let mut jobs = Self::job_bounds(ctx);
+        jobs.push((JobId(u64::MAX), qos.min_pes, qos.max_pes.min(ctx.machine.total_pes), false));
+        let bounds: Vec<(u32, u32)> = jobs.iter().map(|&(_, lo, hi, _)| (lo, hi)).collect();
+        let targets = equipartition_targets(&bounds, ctx.machine.total_pes);
+        let share = *targets.last().unwrap();
+        let (start, pes) = if share >= qos.min_pes {
+            (ctx.now, share)
+        } else {
+            // Doesn't fit yet: it starts when enough running work drains.
+            let gantt = ctx.gantt();
+            let dur = ctx.wall_time(qos, qos.min_pes);
+            match gantt.earliest_window(qos.min_pes, dur, ctx.now) {
+                Some(s) => (s, qos.min_pes),
+                None => return Err(DeclineReason::InsufficientResources),
+            }
+        };
+        let quote = ctx.quote(qos, start, pes);
+        if qos.deadline() != SimTime::MAX && quote.est_completion > qos.deadline() {
+            return Err(DeclineReason::CannotMeetDeadline);
+        }
+        Ok(quote)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+
+    #[test]
+    fn paper_internal_fragmentation_scenario() {
+        // §1: 1000-PE machine. Adaptive job B on 500 PEs (min 400); urgent
+        // job A needs 600. Equipartition shrinks B to 400 and starts A.
+        let mut h = Harness::new(1000);
+        h.run_adaptive(1, 400, 500, 500, 1e6);
+        h.enqueue(queued(2, 600, 600, 1000.0));
+        let mut p = Equipartition;
+        let actions = p.plan(&h.ctx());
+        assert!(actions.contains(&Action::Resize { job: jid(1), new_pes: 400 }));
+        assert!(actions.contains(&Action::Start { job: jid(2), pes: 600 }));
+    }
+
+    #[test]
+    fn equal_shares_among_elastic_jobs() {
+        let mut h = Harness::new(90);
+        h.run_adaptive(1, 1, 90, 90, 1e6);
+        h.enqueue(queued(2, 1, 90, 100.0));
+        h.enqueue(queued(3, 1, 90, 100.0));
+        let mut p = Equipartition;
+        let actions = p.plan(&h.ctx());
+        assert!(actions.contains(&Action::Resize { job: jid(1), new_pes: 30 }));
+        assert!(actions.contains(&Action::Start { job: jid(2), pes: 30 }));
+        assert!(actions.contains(&Action::Start { job: jid(3), pes: 30 }));
+    }
+
+    #[test]
+    fn expands_running_jobs_when_machine_drains() {
+        let mut h = Harness::new(100);
+        h.run_adaptive(1, 10, 100, 50, 1e6);
+        let mut p = Equipartition;
+        // Only job on the machine → expand to its max.
+        let actions = p.plan(&h.ctx());
+        assert_eq!(actions, vec![Action::Resize { job: jid(1), new_pes: 100 }]);
+    }
+
+    #[test]
+    fn rigid_running_jobs_are_pinned() {
+        let mut h = Harness::new(100);
+        h.run_rigid(1, 60, 1e6);
+        h.enqueue(queued(2, 1, 100, 100.0));
+        let mut p = Equipartition;
+        let actions = p.plan(&h.ctx());
+        // Rigid job untouched; newcomer gets the remaining 40.
+        assert_eq!(actions, vec![Action::Start { job: jid(2), pes: 40 }]);
+    }
+
+    #[test]
+    fn defers_jobs_whose_min_does_not_fit() {
+        let mut h = Harness::new(100);
+        h.run_adaptive(1, 80, 100, 100, 1e6);
+        h.enqueue(queued(2, 30, 60, 100.0));
+        let mut p = Equipartition;
+        let actions = p.plan(&h.ctx());
+        // Even at job 1's minimum (80) only 20 PEs would free up — not
+        // enough for job 2's minimum of 30 — so nothing changes and job 2
+        // keeps waiting at full machine utilization.
+        assert!(actions.is_empty(), "{actions:?}");
+    }
+
+    #[test]
+    fn probe_predicts_share() {
+        let mut h = Harness::new(90);
+        h.run_adaptive(1, 1, 90, 90, 9000.0);
+        let p = Equipartition;
+        let quote = p.probe(&h.ctx(), &qos_fixed(1, 90, 450.0)).unwrap();
+        // Share would be 45; job runs 450/45 = 10 s.
+        assert_eq!(quote.planned_pes, 45);
+        assert_eq!(quote.est_completion, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn probe_declines_never_fitting_jobs() {
+        let h = Harness::new(10);
+        let p = Equipartition;
+        assert_eq!(
+            p.probe(&h.ctx(), &qos_fixed(11, 20, 1.0)).unwrap_err(),
+            DeclineReason::InsufficientResources
+        );
+    }
+}

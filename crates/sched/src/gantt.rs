@@ -1,0 +1,248 @@
+//! The processor-time Gantt profile (§4.1).
+//!
+//! *"The strategy must find time windows for the job in its processor-time
+//! Gantt chart before the job's deadline."* A [`GanttProfile`] is a step
+//! function of free processors over future time, built from the estimated
+//! finish times of running jobs; schedulers query it for the earliest window
+//! that fits a job and carve reservations out of it while planning.
+
+use faucets_sim::time::{SimDuration, SimTime};
+
+/// A step function `t → free processors` for `t ≥ now`.
+#[derive(Debug, Clone)]
+pub struct GanttProfile {
+    /// Breakpoints: free count applies from this time to the next entry.
+    /// Invariants: times strictly increasing; first entry at `now`.
+    steps: Vec<(SimTime, u32)>,
+    total: u32,
+}
+
+impl GanttProfile {
+    /// Build from the currently free count and the running jobs'
+    /// `(est_finish, pes)` pairs.
+    pub fn new(now: SimTime, total: u32, free_now: u32, running: impl IntoIterator<Item = (SimTime, u32)>) -> Self {
+        let mut finishes: Vec<(SimTime, u32)> = running.into_iter().collect();
+        finishes.sort();
+        let mut steps = vec![(now, free_now)];
+        let mut free = free_now;
+        for (t, pes) in finishes {
+            let t = t.max(now);
+            free = (free + pes).min(total);
+            match steps.last_mut() {
+                Some(last) if last.0 == t => last.1 = free,
+                _ => steps.push((t, free)),
+            }
+        }
+        GanttProfile { steps, total }
+    }
+
+    /// The machine size this profile describes.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Free processors at time `t` (clamped to the profile's start).
+    pub fn free_at(&self, t: SimTime) -> u32 {
+        let idx = self.steps.partition_point(|&(st, _)| st <= t);
+        if idx == 0 {
+            self.steps[0].1
+        } else {
+            self.steps[idx - 1].1
+        }
+    }
+
+    /// The minimum free count over `[start, start + duration)`.
+    pub fn min_free_over(&self, start: SimTime, duration: SimDuration) -> u32 {
+        let end = start.saturating_add(duration);
+        let mut min = self.free_at(start);
+        for &(t, f) in &self.steps {
+            if t > start && t < end {
+                min = min.min(f);
+            }
+        }
+        min
+    }
+
+    /// The earliest start `s ≥ after` such that at least `pes` processors
+    /// are free throughout `[s, s + duration)`, or `None` if no such window
+    /// ever opens (the job simply doesn't fit the machine's future).
+    pub fn earliest_window(&self, pes: u32, duration: SimDuration, after: SimTime) -> Option<SimTime> {
+        if pes > self.total {
+            return None;
+        }
+        // Candidate starts: `after` and every breakpoint ≥ after.
+        let mut candidates = vec![after.max(self.steps[0].0)];
+        for &(t, _) in &self.steps {
+            if t > candidates[0] {
+                candidates.push(t);
+            }
+        }
+        candidates
+            .into_iter()
+            .find(|&s| self.min_free_over(s, duration) >= pes)
+    }
+
+    /// Carve a reservation of `pes` processors over `[start, start+duration)`
+    /// out of the profile (used when planning several jobs ahead).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the window lacks capacity — call
+    /// [`GanttProfile::earliest_window`] first.
+    pub fn reserve(&mut self, start: SimTime, duration: SimDuration, pes: u32) {
+        let end = start.saturating_add(duration);
+        // Ensure breakpoints exist at start and end.
+        for t in [start, end] {
+            if t == SimTime::MAX {
+                continue;
+            }
+            let idx = self.steps.partition_point(|&(st, _)| st <= t);
+            if idx == 0 {
+                // Before the profile start: clamp to profile start.
+                continue;
+            }
+            if self.steps[idx - 1].0 != t {
+                let f = self.steps[idx - 1].1;
+                self.steps.insert(idx, (t, f));
+            }
+        }
+        for step in self.steps.iter_mut() {
+            if step.0 >= start && (end == SimTime::MAX || step.0 < end) {
+                debug_assert!(step.1 >= pes, "reserving beyond capacity at {}", step.0);
+                step.1 = step.1.saturating_sub(pes);
+            }
+        }
+    }
+
+    /// Mean utilization (busy fraction) over `[from, until)` implied by the
+    /// profile — the "average system utilization … between the current time
+    /// and the deadline of the proposed job" that drives the paper's
+    /// interpolated bid strategy.
+    pub fn mean_utilization(&self, from: SimTime, until: SimTime) -> f64 {
+        if until <= from || self.total == 0 {
+            return 1.0 - self.free_at(from) as f64 / self.total.max(1) as f64;
+        }
+        let mut busy_integral = 0.0;
+        let mut t = from;
+        let mut free = self.free_at(from);
+        for &(st, f) in &self.steps {
+            if st <= from {
+                continue;
+            }
+            if st >= until {
+                break;
+            }
+            busy_integral += (self.total - free) as f64 * (st - t).as_secs_f64();
+            t = st;
+            free = f;
+        }
+        busy_integral += (self.total - free) as f64 * (until - t).as_secs_f64();
+        busy_integral / (self.total as f64 * (until - from).as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 100-PE machine: 60 free now; jobs of 30 and 10 PEs finish at t=100
+    /// and t=200.
+    fn profile() -> GanttProfile {
+        GanttProfile::new(
+            SimTime::ZERO,
+            100,
+            60,
+            [(SimTime::from_secs(100), 30), (SimTime::from_secs(200), 10)],
+        )
+    }
+
+    #[test]
+    fn free_at_steps_up_at_finishes() {
+        let p = profile();
+        assert_eq!(p.free_at(SimTime::ZERO), 60);
+        assert_eq!(p.free_at(SimTime::from_secs(99)), 60);
+        assert_eq!(p.free_at(SimTime::from_secs(100)), 90);
+        assert_eq!(p.free_at(SimTime::from_secs(500)), 100);
+    }
+
+    #[test]
+    fn earliest_window_immediate_when_fits() {
+        let p = profile();
+        assert_eq!(
+            p.earliest_window(50, SimDuration::from_secs(1000), SimTime::ZERO),
+            Some(SimTime::ZERO)
+        );
+    }
+
+    #[test]
+    fn earliest_window_waits_for_finish() {
+        let p = profile();
+        assert_eq!(
+            p.earliest_window(70, SimDuration::from_secs(50), SimTime::ZERO),
+            Some(SimTime::from_secs(100))
+        );
+        assert_eq!(
+            p.earliest_window(95, SimDuration::from_secs(50), SimTime::ZERO),
+            Some(SimTime::from_secs(200))
+        );
+    }
+
+    #[test]
+    fn window_too_big_never_fits() {
+        let p = profile();
+        assert_eq!(p.earliest_window(101, SimDuration::from_secs(1), SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn after_constraint_respected() {
+        let p = profile();
+        assert_eq!(
+            p.earliest_window(10, SimDuration::from_secs(1), SimTime::from_secs(150)),
+            Some(SimTime::from_secs(150))
+        );
+    }
+
+    #[test]
+    fn reserve_carves_capacity() {
+        let mut p = profile();
+        // Reserve 60 PEs for [0, 150): nothing free until t=100 (then 30).
+        p.reserve(SimTime::ZERO, SimDuration::from_secs(150), 60);
+        assert_eq!(p.free_at(SimTime::ZERO), 0);
+        assert_eq!(p.free_at(SimTime::from_secs(100)), 30);
+        assert_eq!(p.free_at(SimTime::from_secs(150)), 90);
+        assert_eq!(p.free_at(SimTime::from_secs(200)), 100);
+        // A 40-PE job now has to wait until t=150.
+        assert_eq!(
+            p.earliest_window(40, SimDuration::from_secs(10), SimTime::ZERO),
+            Some(SimTime::from_secs(150))
+        );
+    }
+
+    #[test]
+    fn min_free_over_window() {
+        let p = profile();
+        assert_eq!(p.min_free_over(SimTime::from_secs(50), SimDuration::from_secs(100)), 60);
+        assert_eq!(p.min_free_over(SimTime::from_secs(100), SimDuration::from_secs(200)), 90);
+    }
+
+    #[test]
+    fn mean_utilization_integrates_steps() {
+        let p = profile();
+        // [0,100): 40 busy; [100,200): 10 busy → mean over [0,200) = 25/100.
+        let u = p.mean_utilization(SimTime::ZERO, SimTime::from_secs(200));
+        assert!((u - 0.25).abs() < 1e-9);
+        // Degenerate interval: instantaneous utilization.
+        let u0 = p.mean_utilization(SimTime::ZERO, SimTime::ZERO);
+        assert!((u0 - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coincident_finishes_merge() {
+        let p = GanttProfile::new(
+            SimTime::ZERO,
+            10,
+            2,
+            [(SimTime::from_secs(5), 3), (SimTime::from_secs(5), 5)],
+        );
+        assert_eq!(p.free_at(SimTime::from_secs(5)), 10);
+    }
+}

@@ -1,0 +1,86 @@
+//! # faucets-sched — adaptive-job cluster schedulers
+//!
+//! The Cluster Manager substrate of the Faucets reproduction: the machine
+//! model, a contiguity-aware processor allocator, the adaptive-job execution
+//! model (shrink/expand with cost models, §4), the processor-time Gantt
+//! machinery (§4.1), and four pluggable scheduling strategies:
+//!
+//! * [`fcfs::Fcfs`] — the rigid traditional-queuing-system baseline,
+//! * [`backfill::EasyBackfill`] — EASY backfilling,
+//! * [`equipartition::Equipartition`] — the adaptive equipartition strategy
+//!   of \[15\] quoted in §4.1,
+//! * [`profit::Profit`] — the payoff-maximizing admission scheduler of §4.1.
+//!
+//! [`cluster::Cluster`] composes them into the scheduler of Figure 1 and
+//! implements [`faucets_core::daemon::ClusterManager`] so a Faucets Daemon
+//! can represent it on the grid.
+//!
+//! # Example: the paper's §1 scenario on one machine
+//!
+//! ```
+//! use faucets_sched::prelude::*;
+//! use faucets_core::prelude::*;
+//! use faucets_sim::time::SimTime;
+//!
+//! let mut cluster = Cluster::new(
+//!     MachineSpec::commodity(ClusterId(1), "bigiron", 1000),
+//!     Box::new(Equipartition),
+//!     ResizeCostModel::default(),
+//! );
+//!
+//! // Job B: long, adaptive, min 400 — running on 500 processors.
+//! let b = QosBuilder::new("bg", 400, 500, 4_000_000.0)
+//!     .speedup(SpeedupModel::Perfect).adaptive().build().unwrap();
+//! cluster.submit_job(
+//!     JobSpec::new(JobId(1), UserId(1), b, SimTime::ZERO).unwrap(),
+//!     ContractId(1), Money::ZERO, SimTime::ZERO,
+//! );
+//! assert_eq!(cluster.pes_of(JobId(1)), Some(500));
+//!
+//! // Urgent job A needs 600: B shrinks to its minimum, A starts at once.
+//! let a = QosBuilder::new("urgent", 600, 600, 600_000.0)
+//!     .speedup(SpeedupModel::Perfect).build().unwrap();
+//! cluster.submit_job(
+//!     JobSpec::new(JobId(2), UserId(2), a, SimTime::from_secs(60)).unwrap(),
+//!     ContractId(2), Money::ZERO, SimTime::from_secs(60),
+//! );
+//! assert_eq!(cluster.pes_of(JobId(1)), Some(400));
+//! assert_eq!(cluster.pes_of(JobId(2)), Some(600));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod allocation;
+pub mod backfill;
+pub mod cluster;
+pub mod conservative;
+pub mod equipartition;
+pub mod fcfs;
+pub mod gantt;
+pub mod machine;
+pub mod metrics;
+pub mod policy;
+pub mod priority;
+pub mod profit;
+pub mod running;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::adaptive::{CheckpointCostModel, ResizeCostModel};
+    pub use crate::allocation::{Allocator, PeRange};
+    pub use crate::backfill::EasyBackfill;
+    pub use crate::conservative::ConservativeBackfill;
+    pub use crate::cluster::{CheckpointedJob, Cluster, Completion};
+    pub use crate::equipartition::Equipartition;
+    pub use crate::fcfs::Fcfs;
+    pub use crate::gantt::GanttProfile;
+    pub use crate::machine::MachineSpec;
+    pub use crate::metrics::ClusterMetrics;
+    pub use crate::policy::{equipartition_targets, Action, QueuedJob, SchedContext, SchedPolicy};
+    pub use crate::priority::IntranetPriority;
+    pub use crate::running::RunningJob;
+}

@@ -1,0 +1,123 @@
+//! Shared fixtures for scheduler unit tests.
+
+use crate::allocation::Allocator;
+use crate::machine::MachineSpec;
+use crate::policy::{QueuedJob, SchedContext};
+use crate::running::RunningJob;
+use faucets_core::ids::{ClusterId, ContractId, JobId, UserId};
+use faucets_core::job::JobSpec;
+use faucets_core::money::Money;
+use faucets_core::qos::{PayoffFn, QosBuilder, QosContract, SpeedupModel};
+use faucets_sim::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Short-hand job id.
+pub fn jid(n: u64) -> JobId {
+    JobId(n)
+}
+
+/// A perfectly-scaling adaptive QoS on `[min, max]` PEs with `work`
+/// CPU-seconds and no deadline.
+pub fn qos_fixed(min: u32, max: u32, work: f64) -> QosContract {
+    QosBuilder::new("app", min, max, work)
+        .speedup(SpeedupModel::Perfect)
+        .adaptive()
+        .build()
+        .unwrap()
+}
+
+/// Like [`qos_fixed`] with a hard deadline at `deadline_secs` and a flat
+/// $100 payoff before it.
+pub fn qos_deadline(min: u32, max: u32, work: f64, deadline_secs: u64) -> QosContract {
+    QosBuilder::new("app", min, max, work)
+        .speedup(SpeedupModel::Perfect)
+        .adaptive()
+        .payoff(PayoffFn::hard_only(
+            SimTime::from_secs(deadline_secs),
+            Money::from_units(100),
+            Money::from_units(20),
+        ))
+        .build()
+        .unwrap()
+}
+
+/// A queued job with [`qos_fixed`] parameters, arrived at t=0.
+pub fn queued(id: u64, min: u32, max: u32, work: f64) -> QueuedJob {
+    queued_qos(id, qos_fixed(min, max, work))
+}
+
+/// A queued job with an explicit QoS contract.
+pub fn queued_qos(id: u64, qos: QosContract) -> QueuedJob {
+    QueuedJob {
+        spec: JobSpec::new(JobId(id), UserId(0), qos, SimTime::ZERO).unwrap(),
+        contract: ContractId(id),
+        price: Money::from_units(10),
+        arrived: SimTime::ZERO,
+    }
+}
+
+/// A scheduler-state fixture: machine + allocator + running set + queue.
+pub struct Harness {
+    /// The machine.
+    pub machine: MachineSpec,
+    /// Allocation state.
+    pub alloc: Allocator,
+    /// Running jobs.
+    pub running: BTreeMap<JobId, RunningJob>,
+    /// Queued jobs.
+    pub queue: Vec<QueuedJob>,
+    /// Context time.
+    pub now: SimTime,
+}
+
+impl Harness {
+    /// A fresh machine with `total` processors.
+    pub fn new(total: u32) -> Self {
+        Harness {
+            machine: MachineSpec::commodity(ClusterId(0), "test", total),
+            alloc: Allocator::new(total),
+            running: BTreeMap::new(),
+            queue: vec![],
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Enqueue a job.
+    pub fn enqueue(&mut self, q: QueuedJob) {
+        self.queue.push(q);
+    }
+
+    /// Put a job directly into the running set at `pes` processors with an
+    /// explicit QoS.
+    pub fn run_qos(&mut self, id: u64, qos: QosContract, pes: u32) {
+        assert!(self.alloc.alloc(JobId(id), pes), "harness machine too small");
+        let spec = JobSpec::new(JobId(id), UserId(0), qos, SimTime::ZERO).unwrap();
+        let r = RunningJob::start(spec, ContractId(id), Money::from_units(10), pes, self.machine.flops_per_pe_sec, self.now);
+        self.running.insert(JobId(id), r);
+    }
+
+    /// Put an adaptive `[min,max]` job into the running set at `pes`.
+    pub fn run_adaptive(&mut self, id: u64, min: u32, max: u32, pes: u32, work: f64) {
+        self.run_qos(id, qos_fixed(min, max, work), pes);
+    }
+
+    /// Put a rigid `pes`-processor job into the running set.
+    pub fn run_rigid(&mut self, id: u64, pes: u32, work: f64) {
+        let qos = QosBuilder::new("app", pes, pes, work)
+            .speedup(SpeedupModel::Perfect)
+            .build()
+            .unwrap();
+        self.run_qos(id, qos, pes);
+    }
+
+    /// Borrow the state as a [`SchedContext`].
+    pub fn ctx(&self) -> SchedContext<'_> {
+        SchedContext {
+            now: self.now,
+            machine: &self.machine,
+            alloc: &self.alloc,
+            queue: &self.queue,
+            running: &self.running,
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Property tests for the scheduler substrate: allocator tiling invariants,
+//! equipartition bounds, and running-job work conservation under arbitrary
+//! resize schedules.
+
+use faucets_core::ids::{ContractId, JobId, UserId};
+use faucets_core::job::JobSpec;
+use faucets_core::money::Money;
+use faucets_core::qos::{QosBuilder, SpeedupModel};
+use faucets_sched::allocation::Allocator;
+use faucets_sched::policy::equipartition_targets;
+use faucets_sched::running::RunningJob;
+use faucets_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc(u64, u32),
+    Release(u64),
+    Shrink(u64, u32),
+    Grow(u64, u32),
+}
+
+fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..8, 1u32..40).prop_map(|(j, n)| AllocOp::Alloc(j, n)),
+            (0u64..8).prop_map(AllocOp::Release),
+            (0u64..8, 1u32..20).prop_map(|(j, n)| AllocOp::Shrink(j, n)),
+            (0u64..8, 1u32..20).prop_map(|(j, n)| AllocOp::Grow(j, n)),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    /// After any op sequence, held + free ranges exactly tile the machine.
+    #[test]
+    fn allocator_always_tiles_machine(ops in alloc_ops()) {
+        let mut a = Allocator::new(100);
+        let mut held: std::collections::HashSet<u64> = Default::default();
+        for op in ops {
+            match op {
+                AllocOp::Alloc(j, n) => {
+                    if !held.contains(&j) && a.alloc(JobId(j), n) {
+                        held.insert(j);
+                    }
+                }
+                AllocOp::Release(j) => {
+                    if a.release(JobId(j)) {
+                        held.remove(&j);
+                    }
+                }
+                AllocOp::Shrink(j, n) => {
+                    let _ = a.shrink(JobId(j), n);
+                }
+                AllocOp::Grow(j, n) => {
+                    let _ = a.grow(JobId(j), n);
+                }
+            }
+            prop_assert!(a.check_invariants().is_ok(), "{:?}", a.check_invariants());
+            let held_total: u32 = held.iter().map(|&j| a.held_by(JobId(j))).sum();
+            prop_assert_eq!(held_total + a.free_pes(), 100);
+        }
+    }
+
+    /// Equipartition targets always respect bounds and never oversubscribe.
+    #[test]
+    fn equipartition_respects_bounds(
+        jobs in prop::collection::vec((1u32..200, 0u32..200), 0..12),
+        total in 1u32..1000,
+    ) {
+        let bounds: Vec<(u32, u32)> = jobs.iter().map(|&(min, extra)| (min, min + extra)).collect();
+        let t = equipartition_targets(&bounds, total);
+        prop_assert_eq!(t.len(), bounds.len());
+        let sum: u32 = t.iter().sum();
+        prop_assert!(sum <= total, "oversubscribed: {} > {}", sum, total);
+        for (i, &target) in t.iter().enumerate() {
+            if target > 0 {
+                prop_assert!(target >= bounds[i].0 && target <= bounds[i].1,
+                    "target {} outside [{}, {}]", target, bounds[i].0, bounds[i].1);
+            }
+        }
+        // Work conservation: if anything was left unallocated, every
+        // admitted job is at its max or no job was admitted.
+        if sum < total {
+            for (i, &target) in t.iter().enumerate() {
+                if target > 0 {
+                    prop_assert_eq!(target, bounds[i].1, "stranded capacity with headroom");
+                }
+            }
+        }
+    }
+
+    /// A running job completes exactly its declared work no matter how it is
+    /// resized along the way (work conservation).
+    #[test]
+    fn running_job_conserves_work(
+        resizes in prop::collection::vec((1u64..100, 1u32..64), 0..10),
+    ) {
+        let qos = QosBuilder::new("app", 1, 64, 1000.0)
+            .speedup(SpeedupModel::Perfect)
+            .adaptive()
+            .build()
+            .unwrap();
+        let spec = JobSpec::new(JobId(1), UserId(0), qos, SimTime::ZERO).unwrap();
+        let mut r = RunningJob::start(spec, ContractId(0), Money::ZERO, 32, 1.0, SimTime::ZERO);
+
+        let mut schedule: Vec<(u64, u32)> = resizes;
+        schedule.sort();
+        let mut drained = 0.0;
+        let mut prev_remaining = r.remaining_work();
+        let mut last_t = SimTime::ZERO;
+        for (secs, pes) in schedule {
+            let t = last_t + SimDuration::from_secs(secs);
+            r.advance(t);
+            drained += prev_remaining - r.remaining_work();
+            r.resize(t, pes, SimDuration::ZERO);
+            prev_remaining = r.remaining_work();
+            last_t = t;
+            if r.is_done() {
+                break;
+            }
+        }
+        if !r.is_done() {
+            let fin = r.est_finish(last_t);
+            r.advance(fin);
+            drained += prev_remaining - r.remaining_work();
+            prop_assert!(r.is_done(), "job must finish by its own estimate");
+        }
+        prop_assert!((drained - 1000.0).abs() < 1e-6, "drained {} != declared 1000", drained);
+    }
+}
+
+mod gantt_props {
+    use faucets_sched::gantt::GanttProfile;
+    use faucets_sim::time::{SimDuration, SimTime};
+    use proptest::prelude::*;
+
+    fn profile_inputs() -> impl Strategy<Value = (u32, Vec<(u64, u32)>)> {
+        (64u32..512).prop_flat_map(|total| {
+            let runs = prop::collection::vec((1u64..10_000, 1u32..64), 0..12).prop_map(
+                move |mut v| {
+                    // Cap concurrent usage at the machine size.
+                    let mut used = 0u32;
+                    v.retain(|&(_, pes)| {
+                        if used + pes <= total {
+                            used += pes;
+                            true
+                        } else {
+                            false
+                        }
+                    });
+                    v
+                },
+            );
+            (Just(total), runs)
+        })
+    }
+
+    proptest! {
+        /// earliest_window returns a start whose whole window has capacity,
+        /// and no profile breakpoint before it would also fit (minimality).
+        #[test]
+        fn earliest_window_is_feasible_and_minimal(
+            (total, runs) in profile_inputs(),
+            pes in 1u32..256,
+            dur_secs in 1u64..5_000,
+        ) {
+            let used: u32 = runs.iter().map(|&(_, p)| p).sum();
+            let free_now = total - used;
+            let gantt = GanttProfile::new(
+                SimTime::ZERO,
+                total,
+                free_now,
+                runs.iter().map(|&(t, p)| (SimTime::from_secs(t), p)),
+            );
+            let dur = SimDuration::from_secs(dur_secs);
+            match gantt.earliest_window(pes, dur, SimTime::ZERO) {
+                Some(start) => {
+                    prop_assert!(gantt.min_free_over(start, dur) >= pes, "window lacks capacity");
+                    // Minimality over candidate breakpoints.
+                    let mut t = SimTime::ZERO;
+                    for &(ft, _) in runs.iter() {
+                        let cand = SimTime::from_secs(ft).min(start);
+                        if cand < start && cand >= t {
+                            prop_assert!(
+                                gantt.min_free_over(cand, dur) < pes,
+                                "earlier breakpoint {cand} would fit"
+                            );
+                        }
+                        t = t.max(cand);
+                    }
+                    if start > SimTime::ZERO {
+                        prop_assert!(gantt.min_free_over(SimTime::ZERO, dur) < pes);
+                    }
+                }
+                None => prop_assert!(pes > total, "only over-sized jobs never fit"),
+            }
+        }
+
+        /// Reservations subtract capacity exactly over their span and leave
+        /// the rest of the timeline untouched.
+        #[test]
+        fn reserve_subtracts_exactly(
+            (total, runs) in profile_inputs(),
+            start_secs in 0u64..8_000,
+            dur_secs in 1u64..4_000,
+        ) {
+            let used: u32 = runs.iter().map(|&(_, p)| p).sum();
+            let mut gantt = GanttProfile::new(
+                SimTime::ZERO,
+                total,
+                total - used,
+                runs.iter().map(|&(t, p)| (SimTime::from_secs(t), p)),
+            );
+            let start = SimTime::from_secs(start_secs);
+            let dur = SimDuration::from_secs(dur_secs);
+            let before_in = gantt.free_at(start);
+            let probe_after = start + dur + SimDuration::from_secs(1);
+            let before_out = gantt.free_at(probe_after);
+            let pes = before_in.min(gantt.min_free_over(start, dur));
+            if pes == 0 {
+                return Ok(());
+            }
+            gantt.reserve(start, dur, pes);
+            prop_assert_eq!(gantt.free_at(start), before_in - pes);
+            prop_assert_eq!(gantt.free_at(probe_after), before_out, "outside the window untouched");
+        }
+    }
+}

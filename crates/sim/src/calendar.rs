@@ -1,0 +1,275 @@
+//! A calendar queue (Brown, CACM 1988) pending-event set.
+//!
+//! The calendar queue hashes events into "day" buckets by firing time and
+//! walks the calendar year to dequeue, giving amortized O(1) enqueue/dequeue
+//! when the bucket width tracks the inter-event gap. It adapts by resizing
+//! (doubling/halving the bucket count and re-estimating the width) whenever
+//! the population crosses thresholds — the classic design. E10 benchmarks it
+//! against [`crate::queue::BinaryHeapQueue`].
+
+use crate::event::{EventId, Scheduled};
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+struct Item<E> {
+    time: SimTime,
+    id: EventId,
+    payload: E,
+}
+
+/// Calendar-queue implementation of [`EventQueue`].
+pub struct CalendarQueue<E> {
+    /// Buckets, each kept sorted ascending by `(time, id)`.
+    buckets: Vec<Vec<Item<E>>>,
+    /// Width of one bucket, in microseconds (>= 1).
+    width: u64,
+    /// Total events stored.
+    len: usize,
+    /// Bucket index the dequeue scan is positioned at.
+    cursor: usize,
+    /// Start time of the "day" the cursor is in; events in the cursor bucket
+    /// with `time < day_start + width` belong to the current year pass.
+    day_start: u64,
+    /// Resize when `len` grows above 2*buckets or shrinks below buckets/2.
+    top_threshold: usize,
+    bot_threshold: usize,
+}
+
+const MIN_BUCKETS: usize = 2;
+
+impl<E> CalendarQueue<E> {
+    /// A queue tuned for an expected inter-event gap of ~1ms.
+    pub fn new() -> Self {
+        Self::with_params(MIN_BUCKETS, 1_000)
+    }
+
+    /// A queue with an explicit initial bucket count and bucket width (µs).
+    pub fn with_params(nbuckets: usize, width: u64) -> Self {
+        let nbuckets = nbuckets.max(MIN_BUCKETS);
+        CalendarQueue {
+            buckets: (0..nbuckets).map(|_| Vec::new()).collect(),
+            width: width.max(1),
+            len: 0,
+            cursor: 0,
+            day_start: 0,
+            top_threshold: nbuckets * 2,
+            bot_threshold: nbuckets / 2,
+        }
+    }
+
+    fn bucket_of(&self, time: SimTime) -> usize {
+        ((time.0 / self.width) % self.buckets.len() as u64) as usize
+    }
+
+    /// Estimate a new bucket width from the spread of a sample of pending
+    /// events, then rebuild the calendar with `nbuckets` buckets.
+    fn resize(&mut self, nbuckets: usize) {
+        let nbuckets = nbuckets.max(MIN_BUCKETS);
+        let mut items: Vec<Item<E>> = Vec::with_capacity(self.len);
+        for b in self.buckets.iter_mut() {
+            items.append(b);
+        }
+        items.sort_unstable_by_key(|i| (i.time, i.id));
+
+        // Average gap between consecutive distinct event times in a sample,
+        // times 3 (Brown's heuristic constant), bounded away from zero.
+        let sample: Vec<u64> = items.iter().take(64).map(|i| i.time.0).collect();
+        let width = if sample.len() >= 2 {
+            let span = sample[sample.len() - 1].saturating_sub(sample[0]);
+            let gap = span / (sample.len() as u64 - 1);
+            (gap * 3).max(1)
+        } else {
+            self.width
+        };
+
+        self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        self.width = width;
+        self.top_threshold = nbuckets * 2;
+        self.bot_threshold = nbuckets / 2;
+        self.len = 0;
+
+        // Position the cursor at the earliest pending event (or keep the
+        // current clock position if the queue is empty).
+        if let Some(first) = items.first() {
+            self.day_start = (first.time.0 / self.width) * self.width;
+            self.cursor = self.bucket_of(first.time);
+        } else {
+            self.cursor = 0;
+            self.day_start = 0;
+        }
+
+        for item in items {
+            self.insert(item);
+        }
+    }
+
+    fn insert(&mut self, item: Item<E>) {
+        let b = self.bucket_of(item.time);
+        let bucket = &mut self.buckets[b];
+        let key = (item.time, item.id);
+        let pos = bucket.partition_point(|i| (i.time, i.id) < key);
+        bucket.insert(pos, item);
+        self.len += 1;
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> for CalendarQueue<E> {
+    fn push(&mut self, time: SimTime, id: EventId, payload: E) {
+        // Never allow the calendar to lag: inserting before the cursor's day
+        // rewinds the scan position so the event is found.
+        if time.0 < self.day_start {
+            self.day_start = (time.0 / self.width) * self.width;
+            self.cursor = self.bucket_of(time);
+        }
+        self.insert(Item { time, id, payload });
+        if self.len > self.top_threshold {
+            let n = self.buckets.len() * 2;
+            self.resize(n);
+        }
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        let nb = self.buckets.len();
+        loop {
+            // Scan at most one full year; if nothing matured in this year,
+            // jump the calendar straight to the earliest pending event —
+            // this is the standard guard against sparse far-future events.
+            for step in 0..nb {
+                let idx = (self.cursor + step) % nb;
+                let day = self.day_start + step as u64 * self.width;
+                let bucket = &mut self.buckets[idx];
+                if let Some(first) = bucket.first() {
+                    if first.time.0 < day + self.width {
+                        let item = bucket.remove(0);
+                        self.len -= 1;
+                        self.cursor = idx;
+                        self.day_start = day;
+                        let out = Scheduled { time: item.time, id: item.id, payload: item.payload };
+                        if self.len < self.bot_threshold && nb > MIN_BUCKETS {
+                            let n = self.buckets.len() / 2;
+                            self.resize(n);
+                        }
+                        return Some(out);
+                    }
+                }
+            }
+            // Direct search: find globally earliest event and jump to it.
+            let mut best: Option<(SimTime, EventId, usize)> = None;
+            for (i, b) in self.buckets.iter().enumerate() {
+                if let Some(f) = b.first() {
+                    if best.is_none_or(|(t, id, _)| (f.time, f.id) < (t, id)) {
+                        best = Some((f.time, f.id, i));
+                    }
+                }
+            }
+            let (t, _, idx) = best.expect("len > 0 but all buckets empty");
+            self.cursor = idx;
+            self.day_start = (t.0 / self.width) * self.width;
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        self.buckets
+            .iter()
+            .filter_map(|b| b.first().map(|i| i.time))
+            .min()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut CalendarQueue<u64>) -> Vec<(u64, u64)> {
+        let mut out = vec![];
+        while let Some(s) = q.pop() {
+            out.push((s.time.0, s.id.0));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(5_000), EventId(0), 0);
+        q.push(SimTime(1_000), EventId(1), 0);
+        q.push(SimTime(3_000), EventId(2), 0);
+        assert_eq!(drain(&mut q), vec![(1_000, 1), (3_000, 2), (5_000, 0)]);
+    }
+
+    #[test]
+    fn same_time_fifo_by_id() {
+        let mut q = CalendarQueue::new();
+        for id in [3u64, 1, 2, 0] {
+            q.push(SimTime(42), EventId(id), 0);
+        }
+        let ids: Vec<u64> = drain(&mut q).into_iter().map(|(_, id)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn survives_resizes() {
+        let mut q = CalendarQueue::with_params(2, 10);
+        for i in 0..1000u64 {
+            // Scatter times so buckets fill unevenly.
+            q.push(SimTime((i * 7919) % 50_000), EventId(i), i);
+        }
+        assert_eq!(q.len(), 1000);
+        let out = drain(&mut q);
+        assert_eq!(out.len(), 1000);
+        for w in out.windows(2) {
+            assert!(w[0] <= w[1], "out of order: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn sparse_far_future_events() {
+        let mut q = CalendarQueue::with_params(4, 10);
+        q.push(SimTime(1), EventId(0), 0);
+        q.push(SimTime(1_000_000_000), EventId(1), 0);
+        q.push(SimTime(2_000_000_000_000), EventId(2), 0);
+        assert_eq!(drain(&mut q), vec![(1, 0), (1_000_000_000, 1), (2_000_000_000_000, 2)]);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = CalendarQueue::with_params(2, 100);
+        q.push(SimTime(100), EventId(0), 0);
+        q.push(SimTime(200), EventId(1), 0);
+        assert_eq!(q.pop().unwrap().time, SimTime(100));
+        // Push an event earlier than the cursor's current day.
+        q.push(SimTime(150), EventId(2), 0);
+        q.push(SimTime(50), EventId(3), 0); // before current position
+        assert_eq!(q.pop().unwrap().time, SimTime(50));
+        assert_eq!(q.pop().unwrap().time, SimTime(150));
+        assert_eq!(q.pop().unwrap().time, SimTime(200));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new();
+        for i in 0..100u64 {
+            q.push(SimTime((i * 37) % 500), EventId(i), i);
+        }
+        while let Some(t) = q.peek_time() {
+            assert_eq!(q.pop().unwrap().time, t);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Pending-event set abstractions.
+//!
+//! The engine is generic over the pending-event set so the calendar queue of
+//! [`crate::calendar`] can be swapped in for the default binary heap. This is
+//! exactly the knob experiment E10 (DES scalability) turns.
+
+use crate::event::{EventId, Scheduled};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A priority queue of timestamped events, ordered by `(time, id)`.
+pub trait EventQueue<E> {
+    /// Insert an event. `id` must be unique for the lifetime of the queue.
+    fn push(&mut self, time: SimTime, id: EventId, payload: E);
+    /// Remove and return the earliest event (lowest `(time, id)` key).
+    fn pop(&mut self) -> Option<Scheduled<E>>;
+    /// The firing time of the earliest event, if any.
+    fn peek_time(&self) -> Option<SimTime>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// True when no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Heap entry; ordering is inverted so `BinaryHeap` (a max-heap) pops the
+/// earliest key first. Only `(time, id)` participates in the order.
+struct Entry<E> {
+    time: SimTime,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: smaller (time, id) is "greater" for the max-heap.
+        (other.time, other.id).cmp(&(self.time, self.id))
+    }
+}
+
+/// The default pending-event set: a binary min-heap keyed by `(time, id)`.
+pub struct BinaryHeapQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+}
+
+impl<E> BinaryHeapQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        BinaryHeapQueue { heap: BinaryHeap::new() }
+    }
+
+    /// An empty queue with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        BinaryHeapQueue { heap: BinaryHeap::with_capacity(cap) }
+    }
+}
+
+impl<E> Default for BinaryHeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> for BinaryHeapQueue<E> {
+    fn push(&mut self, time: SimTime, id: EventId, payload: E) {
+        self.heap.push(Entry { time, id, payload });
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop().map(|e| Scheduled { time: e.time, id: e.id, payload: e.payload })
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<Q: EventQueue<u32>>(q: &mut Q) -> Vec<(u64, u64, u32)> {
+        let mut out = vec![];
+        while let Some(s) = q.pop() {
+            out.push((s.time.0, s.id.0, s.payload));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = BinaryHeapQueue::new();
+        q.push(SimTime(30), EventId(0), 3u32);
+        q.push(SimTime(10), EventId(1), 1);
+        q.push(SimTime(20), EventId(2), 2);
+        assert_eq!(q.peek_time(), Some(SimTime(10)));
+        assert_eq!(drain(&mut q), vec![(10, 1, 1), (20, 2, 2), (30, 0, 3)]);
+    }
+
+    #[test]
+    fn same_time_ties_break_by_id_fifo() {
+        let mut q = BinaryHeapQueue::new();
+        for id in [5u64, 2, 9, 0] {
+            q.push(SimTime(7), EventId(id), id as u32);
+        }
+        let ids: Vec<u64> = drain(&mut q).into_iter().map(|(_, id, _)| id).collect();
+        assert_eq!(ids, vec![0, 2, 5, 9]);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut q = BinaryHeapQueue::<()>::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+    }
+}

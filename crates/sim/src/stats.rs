@@ -1,0 +1,587 @@
+//! Streaming statistics collectors.
+//!
+//! Experiments run for millions of simulated jobs, so every collector here is
+//! O(1) memory: Welford for mean/variance, the P² algorithm for quantiles,
+//! log-binned histograms, and time-weighted averages for utilization-style
+//! metrics (value × duration integrals over simulated time).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Welford online mean / variance / min / max.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n-1 denominator; 0 for fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// P² (Jain & Chlamtac) single-quantile estimator: O(1) memory, no sample
+/// retention. Good to a few percent for the long-tailed metrics we track.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (the first 5 observations until initialized).
+    q: [f64; 5],
+    /// Marker positions.
+    pos: [f64; 5],
+    /// Desired marker positions.
+    want: [f64; 5],
+    n: u64,
+}
+
+impl P2Quantile {
+    /// An estimator for the `p`-quantile, `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1), got {p}");
+        P2Quantile { p, q: [0.0; 5], pos: [1.0, 2.0, 3.0, 4.0, 5.0], want: [0.0; 5], n: 0 }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        if self.n <= 5 {
+            self.q[(self.n - 1) as usize] = x;
+            if self.n == 5 {
+                self.q.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.want = [1.0, 1.0 + 2.0 * self.p, 1.0 + 4.0 * self.p, 3.0 + 2.0 * self.p, 5.0];
+            }
+            return;
+        }
+
+        // Locate the cell x falls into and bump marker positions.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            (0..4).find(|&i| x < self.q[i + 1]).unwrap()
+        };
+        for i in (k + 1)..5 {
+            self.pos[i] += 1.0;
+        }
+        let incr = [0.0, self.p / 2.0, self.p, (1.0 + self.p) / 2.0, 1.0];
+        for (w, d) in self.want.iter_mut().zip(incr) {
+            *w += d;
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.want[i] - self.pos[i];
+            let right = self.pos[i + 1] - self.pos[i];
+            let left = self.pos[i - 1] - self.pos[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.pos[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.pos;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.pos[j] - self.pos[i])
+    }
+
+    /// Current quantile estimate (exact for n ≤ 5).
+    pub fn estimate(&self) -> f64 {
+        if self.n == 0 {
+            return f64::NAN;
+        }
+        if self.n <= 5 {
+            let mut v: Vec<f64> = self.q[..self.n as usize].to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let idx = ((self.n as f64 - 1.0) * self.p).round() as usize;
+            return v[idx];
+        }
+        self.q[2]
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// A histogram with logarithmic (powers-of-two) bins over positive values.
+#[derive(Debug, Clone, Default)]
+pub struct LogHistogram {
+    /// counts[i] covers values in [2^i, 2^(i+1)); counts[0] also catches <1.
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram { counts: vec![], total: 0 }
+    }
+
+    fn bin_of(x: f64) -> usize {
+        if x < 1.0 {
+            0
+        } else {
+            (x.log2().floor() as usize).min(63)
+        }
+    }
+
+    /// Record a value (negative values count into bin 0).
+    pub fn record(&mut self, x: f64) {
+        let b = Self::bin_of(x.max(0.0));
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterate (bin_low, bin_high, count) for non-empty bins.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
+            let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+            let hi = (1u64 << (i + 1)) as f64;
+            (lo, hi, c)
+        })
+    }
+
+    /// Fraction of observations at or below `x` (upper bound via bin edges).
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let b = Self::bin_of(x.max(0.0));
+        let below: u64 = self.counts.iter().take(b + 1).sum();
+        below as f64 / self.total as f64
+    }
+}
+
+/// Time-weighted average of a step function of simulated time — the right
+/// tool for utilization: Σ value·dt / Σ dt.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64,
+    elapsed: SimDuration,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `t0` with initial value `v0`.
+    pub fn new(t0: SimTime, v0: f64) -> Self {
+        TimeWeighted { last_time: t0, last_value: v0, weighted_sum: 0.0, elapsed: SimDuration::ZERO }
+    }
+
+    /// Record that the value changed to `v` at time `t` (must be ≥ the last
+    /// update time; equal-time updates just replace the value).
+    pub fn update(&mut self, t: SimTime, v: f64) {
+        assert!(t >= self.last_time, "time-weighted updates must be monotone");
+        let dt = t - self.last_time;
+        self.weighted_sum += self.last_value * dt.as_secs_f64();
+        self.elapsed += dt;
+        self.last_time = t;
+        self.last_value = v;
+    }
+
+    /// Close the integral at time `t` and return the time-weighted mean.
+    pub fn mean_until(&mut self, t: SimTime) -> f64 {
+        self.update(t, self.last_value);
+        if self.elapsed.is_zero() {
+            self.last_value
+        } else {
+            self.weighted_sum / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// The current (instantaneous) value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+
+    /// The time of the most recent update.
+    pub fn last_time(&self) -> SimTime {
+        self.last_time
+    }
+
+    /// The integral Σ value·dt so far, in value·seconds.
+    pub fn integral(&self) -> f64 {
+        self.weighted_sum
+    }
+}
+
+/// Independent-replication statistics: run an experiment at several seeds
+/// and report mean ± 95 % confidence half-width (Student t). The §5.4
+/// methodology for claims that should not hinge on one random stream.
+#[derive(Debug, Clone, Default)]
+pub struct Replications {
+    values: Vec<f64>,
+}
+
+impl Replications {
+    /// An empty set of replications.
+    pub fn new() -> Self {
+        Replications::default()
+    }
+
+    /// Run `f` at seeds `0..n` and collect one response per replication.
+    pub fn run(n: u64, mut f: impl FnMut(u64) -> f64) -> Self {
+        let mut r = Replications::new();
+        for seed in 0..n {
+            r.record(f(seed));
+        }
+        r
+    }
+
+    /// Record one replication's response.
+    pub fn record(&mut self, x: f64) {
+        self.values.push(x);
+    }
+
+    /// Number of replications.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sample standard deviation (n-1).
+    pub fn stddev(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n - 1) as f64).sqrt()
+    }
+
+    /// Two-sided 95 % confidence half-width (0 for fewer than 2 reps).
+    pub fn ci95_half_width(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        t95(n - 1) * self.stddev() / (n as f64).sqrt()
+    }
+
+    /// `"mean ± half"` with the given precision.
+    pub fn format(&self, decimals: usize) -> String {
+        format!("{:.d$} ± {:.d$}", self.mean(), self.ci95_half_width(), d = decimals)
+    }
+
+    /// True if this set's 95 % CI excludes `other`'s mean and vice versa —
+    /// a quick separation check for "A beats B" claims.
+    pub fn clearly_differs_from(&self, other: &Replications) -> bool {
+        (self.mean() - other.mean()).abs() > self.ci95_half_width() + other.ci95_half_width()
+    }
+}
+
+/// Two-sided 95 % Student-t critical value for `df` degrees of freedom.
+fn t95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.960
+    }
+}
+
+/// A plain monotonically increasing counter with a name-free interface.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &data {
+            whole.record(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &data[..37] {
+            a.record(x);
+        }
+        for &x in &data[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    /// Deterministic pseudo-uniform stream in [0, 1) via an integer LCG.
+    fn lcg_stream(n: usize) -> impl Iterator<Item = f64> {
+        let mut state: u64 = 12345;
+        std::iter::repeat_with(move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        })
+        .take(n)
+    }
+
+    #[test]
+    fn p2_median_of_uniform_stream() {
+        let mut q = P2Quantile::new(0.5);
+        for u in lcg_stream(50_000) {
+            q.record(u);
+        }
+        let est = q.estimate();
+        assert!((est - 0.5).abs() < 0.02, "median estimate {est}");
+    }
+
+    #[test]
+    fn p2_p99_of_exponential_like_stream() {
+        let mut q = P2Quantile::new(0.99);
+        for u in lcg_stream(200_000) {
+            let x = -(1.0 - u.min(0.999_999)).ln(); // Exp(1)
+            q.record(x);
+        }
+        // True p99 of Exp(1) is ln(100) ≈ 4.605.
+        let est = q.estimate();
+        assert!((est - 4.605).abs() < 0.4, "p99 estimate {est}");
+    }
+
+    #[test]
+    fn p2_small_n_exact() {
+        let mut q = P2Quantile::new(0.5);
+        q.record(3.0);
+        q.record(1.0);
+        q.record(2.0);
+        assert_eq!(q.estimate(), 2.0);
+    }
+
+    #[test]
+    fn log_histogram_bins_and_cdf() {
+        let mut h = LogHistogram::new();
+        for x in [0.5, 1.5, 3.0, 3.9, 100.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 5);
+        let bins: Vec<_> = h.bins().collect();
+        assert_eq!(bins[0], (0.0, 2.0, 2)); // 0.5 and 1.5
+        assert!(h.fraction_le(4.0) >= 0.8 - 1e-9);
+        assert!((h.fraction_le(1000.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_step_function() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.update(SimTime::from_secs(10), 1.0); // 0 for 10s
+        tw.update(SimTime::from_secs(20), 0.5); // 1 for 10s
+        let m = tw.mean_until(SimTime::from_secs(40)); // 0.5 for 20s
+        // (0*10 + 1*10 + 0.5*20) / 40 = 0.5
+        assert!((m - 0.5).abs() < 1e-12);
+        assert_eq!(tw.current(), 0.5);
+    }
+
+    #[test]
+    fn time_weighted_zero_span() {
+        let mut tw = TimeWeighted::new(SimTime::from_secs(5), 3.0);
+        assert_eq!(tw.mean_until(SimTime::from_secs(5)), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn time_weighted_rejects_backwards_time() {
+        let mut tw = TimeWeighted::new(SimTime::from_secs(5), 0.0);
+        tw.update(SimTime::from_secs(1), 1.0);
+    }
+
+    #[test]
+    fn replications_ci() {
+        // Known data: 10, 12, 14 → mean 12, sd 2, t95(2)=4.303.
+        let mut r = Replications::new();
+        for v in [10.0, 12.0, 14.0] {
+            r.record(v);
+        }
+        assert_eq!(r.count(), 3);
+        assert!((r.mean() - 12.0).abs() < 1e-12);
+        assert!((r.stddev() - 2.0).abs() < 1e-12);
+        let half = 4.303 * 2.0 / 3.0_f64.sqrt();
+        assert!((r.ci95_half_width() - half).abs() < 1e-9);
+        assert!(r.format(1).starts_with("12.0 ±"));
+    }
+
+    #[test]
+    fn replications_run_and_separation() {
+        let a = Replications::run(10, |s| 100.0 + (s % 3) as f64);
+        let b = Replications::run(10, |s| 200.0 + (s % 3) as f64);
+        assert!(a.clearly_differs_from(&b));
+        let c = Replications::run(10, |s| 100.1 + (s % 3) as f64);
+        assert!(!a.clearly_differs_from(&c));
+    }
+
+    #[test]
+    fn replications_degenerate() {
+        let r = Replications::new();
+        assert!(r.mean().is_nan());
+        let one = Replications::run(1, |_| 5.0);
+        assert_eq!(one.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn counter() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+}

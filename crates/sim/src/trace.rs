@@ -1,0 +1,134 @@
+//! Lightweight simulation tracing.
+//!
+//! A [`Trace`] is a bounded ring buffer of timestamped strings that worlds
+//! can append to; experiments dump it on failure to see the last N decisions
+//! without paying for unbounded logging on multi-million-event runs.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// A bounded ring buffer of timestamped trace records.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    records: VecDeque<(SimTime, String)>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A trace retaining at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Trace { records: VecDeque::with_capacity(capacity.min(4096)), capacity, dropped: 0, enabled: true }
+    }
+
+    /// A disabled trace: all appends are no-ops (zero overhead paths can
+    /// check [`Trace::is_enabled`] to skip formatting entirely).
+    pub fn disabled() -> Self {
+        let mut t = Trace::new(0);
+        t.enabled = false;
+        t
+    }
+
+    /// Whether records are being retained.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append a record at simulation time `t`.
+    pub fn log(&mut self, t: SimTime, msg: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        if self.capacity > 0 {
+            self.records.push_back((t, msg.into()));
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted (or refused) due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate retained records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &str)> {
+        self.records.iter().map(|(t, s)| (*t, s.as_str()))
+    }
+
+    /// Render the retained records as one string, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} earlier records dropped ...", self.dropped);
+        }
+        for (t, s) in self.iter() {
+            let _ = writeln!(out, "[{t}] {s}");
+        }
+        out
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_in_order() {
+        let mut t = Trace::new(10);
+        t.log(SimTime::from_secs(1), "a");
+        t.log(SimTime::from_secs(2), "b");
+        let v: Vec<_> = t.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(v, vec!["a", "b"]);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut t = Trace::new(2);
+        t.log(SimTime::ZERO, "a");
+        t.log(SimTime::ZERO, "b");
+        t.log(SimTime::ZERO, "c");
+        let v: Vec<_> = t.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(v, vec!["b", "c"]);
+        assert_eq!(t.dropped(), 1);
+        assert!(t.render().contains("1 earlier records dropped"));
+    }
+
+    #[test]
+    fn disabled_trace_ignores_everything() {
+        let mut t = Trace::disabled();
+        t.log(SimTime::ZERO, "x");
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn render_formats_timestamps() {
+        let mut t = Trace::new(4);
+        t.log(SimTime::from_secs(3), "hello");
+        assert_eq!(t.render(), "[3.00s] hello\n");
+    }
+}

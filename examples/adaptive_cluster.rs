@@ -1,0 +1,96 @@
+//! The paper's §1 internal-fragmentation scenario, played out on one
+//! machine with a rigid scheduler and again with the adaptive equipartition
+//! scheduler.
+//!
+//! *"Consider a single parallel machine with 1000 processors. A user wants
+//! to run an urgent and important job A which needs 600 processors.
+//! However, the machine happens to be running a relatively unimportant but
+//! long job B on 500 processors. So the important job languishes while 500
+//! processors remain idle."*
+//!
+//! Run with: `cargo run -p faucets-examples --bin adaptive_cluster`
+
+use faucets_core::ids::{ClusterId, ContractId, JobId, UserId};
+use faucets_core::job::JobSpec;
+use faucets_core::money::Money;
+use faucets_core::qos::{PayoffFn, QosBuilder, SpeedupModel};
+use faucets_sched::adaptive::ResizeCostModel;
+use faucets_sched::cluster::Cluster;
+use faucets_sched::equipartition::Equipartition;
+use faucets_sched::fcfs::Fcfs;
+use faucets_sched::machine::MachineSpec;
+use faucets_sched::policy::SchedPolicy;
+use faucets_sim::time::SimTime;
+
+/// Job B: long, adaptive (min 400, running on 500), unimportant.
+fn job_b() -> JobSpec {
+    let qos = QosBuilder::new("background-cfd", 400, 500, 4_000_000.0)
+        .speedup(SpeedupModel::Perfect)
+        .adaptive()
+        .payoff(PayoffFn::flat(Money::from_units(50)))
+        .build()
+        .unwrap();
+    JobSpec::new(JobId(1), UserId(1), qos, SimTime::ZERO).unwrap()
+}
+
+/// Job A: urgent, important, needs exactly 600 processors.
+fn job_a(at: SimTime) -> JobSpec {
+    let qos = QosBuilder::new("urgent-namd", 600, 600, 600_000.0)
+        .speedup(SpeedupModel::Perfect)
+        .payoff(PayoffFn::hard_only(
+            at + faucets_sim::time::SimDuration::from_hours(1),
+            Money::from_units(5_000),
+            Money::from_units(1_000),
+        ))
+        .build()
+        .unwrap();
+    JobSpec::new(JobId(2), UserId(2), qos, at).unwrap()
+}
+
+fn play(policy_name: &str, policy: Box<dyn SchedPolicy>) {
+    println!("=== {policy_name} scheduler on the 1000-processor machine ===");
+    let mut cluster = Cluster::new(
+        MachineSpec::commodity(ClusterId(1), "bigiron", 1000),
+        policy,
+        ResizeCostModel::default(),
+    );
+
+    // t=0: job B starts on its 500 processors.
+    cluster.submit_job(job_b(), ContractId(1), Money::from_units(50), SimTime::ZERO);
+    println!("t=0      job B running on {:?} PEs, {} free", cluster.pes_of(JobId(1)), cluster.free_pes());
+
+    // t=60s: urgent job A arrives needing 600.
+    let arrival = SimTime::from_secs(60);
+    cluster.submit_job(job_a(arrival), ContractId(2), Money::from_units(5_000), arrival);
+    println!(
+        "t=60s    job A (600 PEs, urgent) submitted: A on {:?}, B on {:?}, {} free, queue {}",
+        cluster.pes_of(JobId(2)),
+        cluster.pes_of(JobId(1)),
+        cluster.free_pes(),
+        cluster.queue_len(),
+    );
+
+    let (completions, _) = cluster.run_to_idle(arrival);
+    for c in &completions {
+        println!(
+            "         {} finished at {} ({}, payoff {})",
+            c.outcome.job,
+            c.outcome.completed_at,
+            if c.outcome.met_deadline { "met deadline" } else { "MISSED deadline" },
+            c.payoff,
+        );
+    }
+    let util = cluster.metrics.utilization(completions.iter().map(|c| c.outcome.completed_at).max().unwrap());
+    println!("         machine utilization over the run: {:.1}%\n", util * 100.0);
+}
+
+fn main() {
+    println!("Reproducing the paper's internal-fragmentation scenario (§1).\n");
+    play("FCFS (rigid)", Box::new(Fcfs));
+    play("Adaptive equipartition", Box::new(Equipartition));
+    println!(
+        "With the rigid scheduler, job A waits for B while 500 processors idle.\n\
+         With adaptive jobs, B shrinks to 400 and A starts immediately — the\n\
+         paper's resolution of the scenario."
+    );
+}
