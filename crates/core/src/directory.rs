@@ -63,6 +63,24 @@ pub struct DirectoryEntry {
     pub exported_apps: HashSet<String>,
 }
 
+/// Heartbeat-derived health of a directory entry.
+///
+/// A daemon is **alive** while heartbeats arrive within the liveness
+/// timeout, **suspect** once a heartbeat is overdue (it stops receiving
+/// request-for-bids but keeps its registration — links stall, GC pauses
+/// happen), and **dead** after three liveness windows of silence, at which
+/// point [`Directory::evict_dead`] removes it entirely so a restarted
+/// daemon starts from a clean registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Liveness {
+    /// Heartbeat within the liveness timeout.
+    Alive,
+    /// Heartbeat overdue; excluded from matching but still registered.
+    Suspect,
+    /// Silent for ≥ the dead timeout; eligible for eviction.
+    Dead,
+}
+
 /// How much filtering [`Directory::candidates`] applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FilterLevel {
@@ -91,17 +109,28 @@ pub struct FilterStats {
 #[derive(Debug, Default)]
 pub struct Directory {
     entries: BTreeMap<ClusterId, DirectoryEntry>,
-    /// Heartbeats older than this mark a server dead.
+    /// Heartbeats older than this mark a server suspect (non-matchable).
     liveness_timeout: SimDuration,
+    /// Silence longer than this marks a server dead (evictable). Zero
+    /// disables eviction entirely.
+    dead_timeout: SimDuration,
     /// Cumulative filter statistics.
     pub stats: FilterStats,
+    /// Servers evicted as dead over this directory's lifetime.
+    pub evictions: u64,
 }
 
 impl Directory {
-    /// A directory that considers a server dead after `liveness_timeout`
-    /// without a heartbeat.
+    /// A directory that considers a server suspect after `liveness_timeout`
+    /// without a heartbeat and dead (evictable) after three times that.
     pub fn new(liveness_timeout: SimDuration) -> Self {
-        Directory { entries: BTreeMap::new(), liveness_timeout, stats: FilterStats::default() }
+        Directory {
+            entries: BTreeMap::new(),
+            liveness_timeout,
+            dead_timeout: liveness_timeout * 3,
+            stats: FilterStats::default(),
+            evictions: 0,
+        }
     }
 
     /// Register (or re-register) a server; called when an FD starts up.
@@ -137,9 +166,44 @@ impl Directory {
 
     /// Is the server live (recent heartbeat) at `now`?
     pub fn is_live(&self, cluster: ClusterId, now: SimTime) -> bool {
-        self.entries
-            .get(&cluster)
-            .is_some_and(|e| now.since(e.last_heard) <= self.liveness_timeout)
+        self.liveness(cluster, now) == Some(Liveness::Alive)
+    }
+
+    /// Heartbeat-derived health of `cluster` at `now`, or `None` if it is
+    /// not registered (never registered, deregistered, or evicted).
+    pub fn liveness(&self, cluster: ClusterId, now: SimTime) -> Option<Liveness> {
+        self.entries.get(&cluster).map(|e| self.grade(e, now))
+    }
+
+    fn grade(&self, e: &DirectoryEntry, now: SimTime) -> Liveness {
+        let silence = now.since(e.last_heard);
+        if silence <= self.liveness_timeout {
+            Liveness::Alive
+        } else if self.dead_timeout.is_zero() || silence <= self.dead_timeout {
+            Liveness::Suspect
+        } else {
+            Liveness::Dead
+        }
+    }
+
+    /// Remove every server graded [`Liveness::Dead`] at `now`, returning
+    /// the evicted ids. A daemon that restarts after eviction simply
+    /// re-registers. No-op when the dead timeout is zero.
+    pub fn evict_dead(&mut self, now: SimTime) -> Vec<ClusterId> {
+        if self.dead_timeout.is_zero() {
+            return vec![];
+        }
+        let dead: Vec<ClusterId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| self.grade(e, now) == Liveness::Dead)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &dead {
+            self.entries.remove(id);
+        }
+        self.evictions += dead.len() as u64;
+        dead
     }
 
     /// Look up an entry.
@@ -322,6 +386,41 @@ mod tests {
         assert_eq!(d.stats.considered, 3);
         assert_eq!(d.stats.static_rejected, 1);
         assert_eq!(d.stats.selected, 2);
+    }
+
+    #[test]
+    fn liveness_grades_alive_suspect_dead() {
+        let d = dir(); // 60 s liveness → 180 s dead.
+        let id = ClusterId(1);
+        assert_eq!(d.liveness(id, SimTime::from_secs(59)), Some(Liveness::Alive));
+        assert_eq!(d.liveness(id, SimTime::from_secs(61)), Some(Liveness::Suspect));
+        assert_eq!(d.liveness(id, SimTime::from_secs(180)), Some(Liveness::Suspect));
+        assert_eq!(d.liveness(id, SimTime::from_secs(181)), Some(Liveness::Dead));
+        assert_eq!(d.liveness(ClusterId(99), SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn evict_dead_removes_only_the_dead() {
+        let mut d = dir();
+        // cs2 keeps heartbeating; cs1 and cs3 go silent.
+        d.heartbeat(ClusterId(2), ServerStatus::default(), SimTime::from_secs(150));
+        let evicted = d.evict_dead(SimTime::from_secs(200));
+        assert_eq!(evicted, vec![ClusterId(1), ClusterId(3)]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.evictions, 2);
+        // Eviction is idempotent.
+        assert!(d.evict_dead(SimTime::from_secs(200)).is_empty());
+        // A restarted daemon re-registers cleanly.
+        d.register(info(1, 64, 1024), ["namd".to_string()], SimTime::from_secs(210));
+        assert_eq!(d.liveness(ClusterId(1), SimTime::from_secs(211)), Some(Liveness::Alive));
+    }
+
+    #[test]
+    fn default_directory_never_evicts() {
+        let mut d = Directory::default();
+        d.register(info(1, 64, 1024), ["namd".to_string()], SimTime::ZERO);
+        assert!(d.evict_dead(SimTime::from_hours(1000)).is_empty());
+        assert_eq!(d.len(), 1);
     }
 
     #[test]

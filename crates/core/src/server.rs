@@ -33,6 +33,8 @@ pub struct ServerStats {
     pub rfb_messages: u64,
     /// Heartbeats processed.
     pub heartbeats: u64,
+    /// Daemons evicted from the directory as dead.
+    pub evictions: u64,
 }
 
 /// The central server: directory + users + known applications + history.
@@ -111,10 +113,22 @@ impl FaucetsServer {
         self.directory.register(info, exported_apps, now);
     }
 
-    /// Process a poll/heartbeat from an FD.
+    /// Process a poll/heartbeat from an FD. Returns `false` when the
+    /// cluster is unknown (never registered, or evicted as dead) — the
+    /// daemon should re-register on seeing that.
     pub fn heartbeat(&mut self, cluster: ClusterId, status: ServerStatus, now: SimTime) -> bool {
         self.stats.heartbeats += 1;
+        self.sweep_dead(now);
         self.directory.heartbeat(cluster, status, now)
+    }
+
+    /// Evict daemons that have been silent past the dead timeout; runs on
+    /// every heartbeat and match so the directory never accumulates
+    /// corpses. Returns the evicted ids.
+    pub fn sweep_dead(&mut self, now: SimTime) -> Vec<ClusterId> {
+        let evicted = self.directory.evict_dead(now);
+        self.stats.evictions += evicted.len() as u64;
+        evicted
     }
 
     /// The union of applications exported anywhere on the grid — "the list
@@ -139,6 +153,7 @@ impl FaucetsServer {
     ) -> Result<Vec<ClusterId>> {
         self.verify_token(token, now)?;
         self.stats.matches += 1;
+        self.sweep_dead(now);
         let candidates = self.directory.candidates(qos, self.filter_level, now);
         self.stats.rfb_messages += candidates.len() as u64;
         Ok(candidates)
@@ -260,6 +275,25 @@ mod tests {
         // cs2 never heartbeats; past its 90 s liveness window only cs1 counts.
         let u = s.grid_utilization(SimTime::from_secs(120)).unwrap();
         assert!((u - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn silent_daemons_are_evicted_and_reregister() {
+        use crate::directory::Liveness;
+        let (mut s, token) = server(); // 90 s liveness → 270 s dead.
+        // cs1 keeps heartbeating; cs2 goes silent after registration.
+        s.heartbeat(ClusterId(1), ServerStatus { free_pes: 64, queue_len: 0, accepting: true }, SimTime::from_secs(200));
+        assert_eq!(s.directory.liveness(ClusterId(2), SimTime::from_secs(200)), Some(Liveness::Suspect));
+        // Past the dead timeout, any match sweeps cs2 out.
+        let qos = QosBuilder::new("namd", 8, 32, 100.0).build().unwrap();
+        s.heartbeat(ClusterId(1), ServerStatus { free_pes: 64, queue_len: 0, accepting: true }, SimTime::from_secs(280));
+        s.match_servers(&token, &qos, SimTime::from_secs(281)).unwrap();
+        assert_eq!(s.stats.evictions, 1);
+        assert!(s.directory.get(ClusterId(2)).is_none());
+        // The restarted daemon re-registers and is matchable again.
+        s.register_cluster(info(2, 1024), ["namd".to_string(), "cfd".to_string()], SimTime::from_secs(290));
+        let c = s.match_servers(&token, &qos, SimTime::from_secs(291)).unwrap();
+        assert!(c.contains(&ClusterId(2)));
     }
 
     #[test]

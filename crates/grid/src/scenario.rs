@@ -77,6 +77,8 @@ pub struct ScenarioBuilder {
     workload_override: Option<Workload>,
     maintenance: Vec<(usize, SimTime, SimDuration)>,
     migrate_on_maintenance: bool,
+    daemon_outages: Vec<(usize, SimTime, SimDuration)>,
+    daemon_recovery: bool,
     su_quota_per_user: ServiceUnits,
     regulator_cfg: Option<faucets_core::market::Regulator>,
 }
@@ -103,6 +105,8 @@ impl ScenarioBuilder {
             workload_override: None,
             maintenance: vec![],
             migrate_on_maintenance: true,
+            daemon_outages: vec![],
+            daemon_recovery: true,
             su_quota_per_user: ServiceUnits::from_units(1_000_000),
             regulator_cfg: None,
         }
@@ -223,6 +227,21 @@ impl ScenarioBuilder {
     /// or holds it at the source until the window ends.
     pub fn migrate_on_maintenance(mut self, on: bool) -> Self {
         self.migrate_on_maintenance = on;
+        self
+    }
+
+    /// Crash the `idx`-th cluster's Faucets Daemon (0-based) at `at` for
+    /// `downtime`. Whether its contracts survive is governed by
+    /// [`ScenarioBuilder::daemon_recovery`].
+    pub fn daemon_outage(mut self, idx: usize, at: SimTime, downtime: SimDuration) -> Self {
+        self.daemon_outages.push((idx, at, downtime));
+        self
+    }
+
+    /// Choose whether crashed daemons resume their journaled contracts on
+    /// restart (default) or lose every accepted contract.
+    pub fn daemon_recovery(mut self, on: bool) -> Self {
+        self.daemon_recovery = on;
         self
     }
 
@@ -364,6 +383,12 @@ impl ScenarioBuilder {
             .iter()
             .map(|&(idx, at, window)| (ClusterId(idx as u64 + 1), at, window))
             .collect();
+        world.daemon_outage_plan = self
+            .daemon_outages
+            .iter()
+            .map(|&(idx, at, downtime)| (ClusterId(idx as u64 + 1), at, downtime))
+            .collect();
+        world.daemon_recovery = self.daemon_recovery;
         let mut sim = Simulation::new(world);
         let (world, sched) = sim.split();
         world.prime(sched);

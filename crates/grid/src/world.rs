@@ -87,6 +87,20 @@ pub enum GridEvent {
         /// How long it stays down.
         window: SimDuration,
     },
+    /// A Faucets Daemon process crashes, taking its Compute Server out of
+    /// the market until recovery. With [`GridWorld::daemon_recovery`] on,
+    /// the daemon's journaled contracts are parked and resumed at restart;
+    /// off, every accepted-but-unfinished contract is lost — the sim twin
+    /// of the `faucets-net` snapshot journal.
+    ClusterFailure {
+        /// The cluster whose daemon dies.
+        cluster: ClusterId,
+        /// How long the daemon stays down.
+        downtime: SimDuration,
+    },
+    /// The crashed daemon restarts, re-registers, and (with recovery
+    /// enabled) resubmits its parked contracts.
+    ClusterRecovery(ClusterId),
     /// A migrated job's checkpoint image finishes transferring and the job
     /// enters the destination queue.
     MigrationArrive {
@@ -145,6 +159,12 @@ pub struct GridStats {
     pub jobs_recovered: u64,
     /// Jobs migrated between clusters.
     pub migrations: u64,
+    /// Daemon crashes injected ([`GridEvent::ClusterFailure`]).
+    pub daemon_failures: u64,
+    /// Daemon restarts completed ([`GridEvent::ClusterRecovery`]).
+    pub daemon_recoveries: u64,
+    /// Contracts lost to daemon crashes (no-recovery runs only).
+    pub jobs_lost: u64,
 }
 
 impl GridStats {
@@ -178,6 +198,9 @@ impl Default for GridStats {
             failures: 0,
             jobs_recovered: 0,
             migrations: 0,
+            daemon_failures: 0,
+            daemon_recoveries: 0,
+            jobs_lost: 0,
         }
     }
 }
@@ -252,8 +275,15 @@ pub struct GridWorld {
     pub regulated_bids: u64,
     /// Scheduled maintenance windows: (cluster, start, duration).
     pub maintenance_plan: Vec<(ClusterId, SimTime, SimDuration)>,
+    /// Scheduled daemon crashes: (cluster, start, downtime).
+    pub daemon_outage_plan: Vec<(ClusterId, SimTime, SimDuration)>,
+    /// Whether crashed daemons resume their journaled contracts at restart
+    /// (the sim twin of the `faucets-net` FD snapshot).
+    pub daemon_recovery: bool,
     /// Machines currently down, until the given instant.
     down_until: HashMap<ClusterId, SimTime>,
+    /// Contracts parked by crashed daemons awaiting recovery.
+    parked: HashMap<ClusterId, Vec<(JobSpec, ContractId, Money)>>,
 }
 
 impl GridWorld {
@@ -299,7 +329,10 @@ impl GridWorld {
             regulator: None,
             regulated_bids: 0,
             maintenance_plan: vec![],
+            daemon_outage_plan: vec![],
+            daemon_recovery: true,
             down_until: HashMap::new(),
+            parked: HashMap::new(),
         }
     }
 
@@ -333,6 +366,9 @@ impl GridWorld {
         }
         for (cluster, at, window) in self.maintenance_plan.clone() {
             sched.schedule_at(at, GridEvent::Maintenance { cluster, window });
+        }
+        for (cluster, at, downtime) in self.daemon_outage_plan.clone() {
+            sched.schedule_at(at, GridEvent::ClusterFailure { cluster, downtime });
         }
     }
 
@@ -856,6 +892,60 @@ impl World for GridWorld {
                 node.cluster.submit_job(*spec, contract, price, now);
                 self.rearm(to, sched);
             }
+            GridEvent::ClusterFailure { cluster, downtime } => {
+                let now = sched.now();
+                self.stats.daemon_failures += 1;
+                self.down_until.insert(cluster, now.saturating_add(downtime));
+                if let Some((id, _)) = self.armed_wakes.remove(&cluster) {
+                    sched.cancel(id);
+                }
+                // The daemon process dies: nothing on this Compute Server
+                // advances until it restarts. Checkpoint the running jobs
+                // and pull the backlog.
+                let (evicted, queued) = {
+                    let node = self.nodes.get_mut(&cluster).expect("crash on known cluster");
+                    let ids: Vec<JobId> = node.cluster.running_jobs().map(|(id, _)| id).collect();
+                    let evicted: Vec<_> = ids
+                        .into_iter()
+                        .filter_map(|id| node.cluster.checkpoint_and_evict(id, now))
+                        .collect();
+                    (evicted, node.cluster.drain_queue())
+                };
+                if self.daemon_recovery {
+                    // The journal survives the crash; contracts resume at
+                    // restart.
+                    let parked = self.parked.entry(cluster).or_default();
+                    for cj in evicted {
+                        parked.push((cj.spec, cj.contract, cj.price));
+                    }
+                    for q in queued {
+                        parked.push((q.spec, q.contract, q.price));
+                    }
+                } else {
+                    // No journal: every accepted contract on this daemon is
+                    // gone with the process.
+                    for (spec_id, contract) in evicted
+                        .iter()
+                        .map(|cj| (cj.spec.id, cj.contract))
+                        .chain(queued.iter().map(|q| (q.spec.id, q.contract)))
+                    {
+                        self.stats.jobs_lost += 1;
+                        let _ = self.book.renege(contract);
+                        self.jobs.remove(&spec_id);
+                    }
+                }
+                sched.schedule_in(downtime, GridEvent::ClusterRecovery(cluster));
+            }
+            GridEvent::ClusterRecovery(cluster) => {
+                let now = sched.now();
+                self.stats.daemon_recoveries += 1;
+                self.down_until.remove(&cluster);
+                for (spec, contract, price) in self.parked.remove(&cluster).unwrap_or_default() {
+                    let node = self.nodes.get_mut(&cluster).expect("recovery on known cluster");
+                    node.cluster.submit_job(spec, contract, price, now);
+                }
+                self.rearm(cluster, sched);
+            }
             GridEvent::NodeFailure(cluster) => {
                 let Some(fm) = self.failure_model.clone() else { return };
                 let now = sched.now();
@@ -938,6 +1028,51 @@ mod tests {
         assert!(w.stats.completed > 0);
         // Restricted mode pays list price zero (no market) — no dollars move.
         assert_eq!(w.stats.paid_total, Money::ZERO);
+    }
+
+    #[test]
+    fn daemon_crash_with_recovery_resumes_contracts() {
+        let build = |recovery: bool| {
+            ScenarioBuilder::new(7)
+                .cluster(128, "equipartition", "util-interp")
+                .cluster(256, "equipartition", "baseline")
+                .users(4)
+                .mode(MarketMode::Bidding(SelectionPolicy::LeastCost))
+                .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(300) })
+                .mix(JobMix { log2_min_pes: (0, 4), ..JobMix::default() })
+                .horizon(SimDuration::from_hours(6))
+                .daemon_outage(0, SimTime::from_hours(1), SimDuration::from_secs(1800))
+                .daemon_outage(1, SimTime::from_hours(3), SimDuration::from_secs(1800))
+                .daemon_recovery(recovery)
+                .build()
+        };
+
+        let mut with = build(true);
+        with.run();
+        let w = with.world();
+        assert_eq!(w.stats.daemon_failures, 2);
+        assert_eq!(w.stats.daemon_recoveries, 2);
+        assert_eq!(w.stats.jobs_lost, 0);
+        // Recovery preserves the completes-or-rejected invariant.
+        assert_eq!(w.stats.completed + w.stats.rejected, w.stats.submitted);
+        assert!(w.stats.completed > 0);
+
+        let mut without = build(false);
+        without.run();
+        let wo = without.world();
+        assert_eq!(wo.stats.daemon_failures, 2);
+        // Jobs caught on a crashed daemon are gone for good.
+        assert_eq!(
+            wo.stats.completed + wo.stats.rejected + wo.stats.jobs_lost,
+            wo.stats.submitted
+        );
+        assert!(
+            wo.stats.completed <= w.stats.completed,
+            "losing contracts cannot beat recovering them \
+             (without {}, with {})",
+            wo.stats.completed,
+            w.stats.completed
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! anything — the paper's authenticated-monitoring flow.
 
 use crate::proto::{Request, Response};
-use crate::service::{call, serve, ServiceHandle};
+use crate::service::{call, serve_with, ServeOptions, ServiceHandle};
 use faucets_core::appspector::{AppSpector, OutputFile};
 use faucets_core::ids::{JobId, UserId};
 use parking_lot::Mutex;
@@ -46,10 +46,21 @@ fn verify(fs: SocketAddr, token: &faucets_core::auth::SessionToken) -> Result<Us
 
 /// Spawn the AppSpector service; `fs` is used to re-verify client tokens.
 pub fn spawn_appspector(addr: &str, fs: SocketAddr, buffer_depth: usize) -> io::Result<AsHandle> {
+    spawn_appspector_with(addr, fs, buffer_depth, ServeOptions::default())
+}
+
+/// [`spawn_appspector`], with explicit timeouts and optional fault
+/// injection on the service side.
+pub fn spawn_appspector_with(
+    addr: &str,
+    fs: SocketAddr,
+    buffer_depth: usize,
+    opts: ServeOptions,
+) -> io::Result<AsHandle> {
     let state = Arc::new(Mutex::new(AsState { spector: AppSpector::new(buffer_depth), outputs: HashMap::new() }));
     let st = Arc::clone(&state);
 
-    let service = serve(addr, "appspector", move |req| {
+    let service = serve_with(addr, "appspector", opts, move |req| {
         match req {
             Request::RegisterJob { job, owner, cluster } => {
                 st.lock().spector.register_job(job, owner, cluster);

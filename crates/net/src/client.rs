@@ -7,9 +7,22 @@
 //! runner-up if the daemon reneges — the two-phase protocol of §5.3),
 //! stage input files, then monitor the job and download outputs through
 //! AppSpector.
+//!
+//! ## Recovery
+//!
+//! Every wire interaction goes through [`call_with`] under the client's
+//! [`RetryPolicy`], so transient drops and stalls are absorbed by bounded
+//! backoff. A daemon that dies *mid-negotiation* (transport failure on
+//! award or staging) costs only its bid: the client falls through the
+//! ranked bid list, and when a whole round is exhausted it re-solicits
+//! bids from scratch — the FS will have graded the dead daemon suspect by
+//! then — up to [`FaucetsClient::max_rounds`] rounds. A bid naming a
+//! server missing from the directory listing is skipped with a recorded
+//! [`ClientError::UnlistedBidder`] rather than a panic.
 
+use crate::fault::FaultPlan;
 use crate::proto::{Request, Response};
-use crate::service::{call, Clock};
+use crate::service::{call_with, CallOptions, Clock, RetryPolicy, Timeouts};
 use faucets_core::appspector::MonitorSnapshot;
 use faucets_core::auth::SessionToken;
 use faucets_core::bid::{Bid, BidRequest};
@@ -19,8 +32,66 @@ use faucets_core::market::SelectionPolicy;
 use faucets_core::money::Money;
 use faucets_core::qos::QosContract;
 use faucets_sim::time::SimTime;
+use std::fmt;
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Everything that can go wrong on the client side of the §2 walkthrough.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The network failed (connect, send, receive) after all retries.
+    Transport(String),
+    /// The peer answered, but not with the expected response kind.
+    Protocol(String),
+    /// The FS rejected the operation (bad credentials, expired token, …).
+    Rejected(String),
+    /// No Compute Server matched the job's QoS.
+    NoMatchingServers,
+    /// Every matching server declined to bid.
+    AllDeclined {
+        /// How many servers were solicited.
+        solicited: usize,
+    },
+    /// A bid arrived from a server absent from the directory listing
+    /// (typically evicted between matching and bidding). The bid is
+    /// skipped, never awarded.
+    UnlistedBidder(ClusterId),
+    /// Every negotiation round ended with all awards reneged or dead.
+    NegotiationExhausted {
+        /// Rounds attempted (each round = match + bid + award sweep).
+        rounds: u32,
+    },
+    /// A watched job did not complete within the caller's deadline.
+    TimedOut(JobId),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport failure: {e}"),
+            ClientError::Protocol(e) => write!(f, "unexpected reply: {e}"),
+            ClientError::Rejected(e) => write!(f, "rejected: {e}"),
+            ClientError::NoMatchingServers => write!(f, "no matching Compute Servers"),
+            ClientError::AllDeclined { solicited } => {
+                write!(f, "all {solicited} Compute Servers declined")
+            }
+            ClientError::UnlistedBidder(c) => write!(f, "bid from unlisted server {c}"),
+            ClientError::NegotiationExhausted { rounds } => {
+                write!(f, "every award reneged or died across {rounds} negotiation rounds")
+            }
+            ClientError::TimedOut(j) => write!(f, "timed out waiting for {j}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Transport(e.to_string())
+    }
+}
 
 /// A successfully placed job.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,8 +104,12 @@ pub struct Submission {
     pub price: Money,
     /// The completion the cluster promised.
     pub promised_completion: SimTime,
-    /// How many servers bid.
+    /// How many servers bid (in the final, successful round).
     pub bids_received: usize,
+    /// Negotiation rounds needed (1 = no daemon died on us).
+    pub rounds: u32,
+    /// Bids skipped because their server had left the directory.
+    pub unlisted_skipped: usize,
 }
 
 /// A connected, authenticated Faucets client.
@@ -48,6 +123,14 @@ pub struct FaucetsClient {
     pub user: UserId,
     /// How bids are evaluated.
     pub selection: SelectionPolicy,
+    /// Transport retry policy applied to every call.
+    pub retry: RetryPolicy,
+    /// Socket deadlines applied to every call.
+    pub timeouts: Timeouts,
+    /// Maximum negotiation rounds before giving up on a submission.
+    pub max_rounds: u32,
+    /// Optional fault injection on this client's own traffic.
+    pub faults: Option<Arc<FaultPlan>>,
     next_job: u64,
 }
 
@@ -59,11 +142,13 @@ impl FaucetsClient {
         clock: Clock,
         name: &str,
         password: &str,
-    ) -> Result<Self, String> {
-        match call(fs, &Request::CreateUser { user: name.into(), password: password.into() }) {
+    ) -> Result<Self, ClientError> {
+        let opts = CallOptions::default();
+        match call_with(fs, &Request::CreateUser { user: name.into(), password: password.into() }, &opts) {
             Ok(Response::Verified { .. }) => {}
-            Ok(other) => return Err(format!("account creation failed: {other:?}")),
-            Err(e) => return Err(e.to_string()),
+            Ok(Response::Error(e)) => return Err(ClientError::Rejected(e)),
+            Ok(other) => return Err(ClientError::Protocol(format!("account creation: {other:?}"))),
+            Err(e) => return Err(e.into()),
         }
         Self::login(fs, appspector, clock, name, password)
     }
@@ -75,8 +160,9 @@ impl FaucetsClient {
         clock: Clock,
         name: &str,
         password: &str,
-    ) -> Result<Self, String> {
-        match call(fs, &Request::Login { user: name.into(), password: password.into() }) {
+    ) -> Result<Self, ClientError> {
+        let opts = CallOptions::default();
+        match call_with(fs, &Request::Login { user: name.into(), password: password.into() }, &opts) {
             Ok(Response::Session { user, token }) => Ok(FaucetsClient {
                 fs,
                 appspector,
@@ -84,43 +170,91 @@ impl FaucetsClient {
                 token,
                 user,
                 selection: SelectionPolicy::LeastCost,
+                retry: RetryPolicy::standard(user.raw()),
+                timeouts: Timeouts::default(),
+                max_rounds: 3,
+                faults: None,
                 next_job: (user.raw() << 32) + 1,
             }),
-            Ok(other) => Err(format!("login failed: {other:?}")),
-            Err(e) => Err(e.to_string()),
+            Ok(Response::Error(e)) => Err(ClientError::Rejected(e)),
+            Ok(other) => Err(ClientError::Protocol(format!("login: {other:?}"))),
+            Err(e) => Err(e.into()),
         }
     }
 
+    fn opts(&self) -> CallOptions {
+        CallOptions {
+            timeouts: self.timeouts,
+            retry: self.retry,
+            faults: self.faults.clone(),
+            ..CallOptions::default()
+        }
+    }
+
+    fn call(&self, addr: SocketAddr, req: &Request) -> Result<Response, ClientError> {
+        call_with(addr, req, &self.opts()).map_err(ClientError::from)
+    }
+
     /// Submit a job: match → bid → select → award (with runner-up fallback)
-    /// → stage inputs.
+    /// → stage inputs; re-solicits bids when a chosen daemon dies
+    /// mid-negotiation, up to [`FaucetsClient::max_rounds`] rounds.
     pub fn submit(
         &mut self,
         qos: QosContract,
         inputs: &[(String, Vec<u8>)],
-    ) -> Result<Submission, String> {
+    ) -> Result<Submission, ClientError> {
         let job = JobId(self.next_job);
         self.next_job += 1;
+        let mut last: Option<ClientError> = None;
+        for round in 1..=self.max_rounds.max(1) {
+            match self.negotiate_once(job, &qos, inputs) {
+                Ok(mut sub) => {
+                    sub.rounds = round;
+                    return Ok(sub);
+                }
+                // Hard failures that another round cannot fix.
+                Err(e @ (ClientError::Rejected(_) | ClientError::Protocol(_))) => return Err(e),
+                Err(e) => last = Some(e),
+            }
+        }
+        // Distinguish "nobody ever bid" from "winners kept dying".
+        match last {
+            Some(e @ (ClientError::NoMatchingServers | ClientError::AllDeclined { .. })) => Err(e),
+            _ => Err(ClientError::NegotiationExhausted { rounds: self.max_rounds.max(1) }),
+        }
+    }
+
+    /// One negotiation round: match, solicit, rank, award down the list.
+    fn negotiate_once(
+        &mut self,
+        job: JobId,
+        qos: &QosContract,
+        inputs: &[(String, Vec<u8>)],
+    ) -> Result<Submission, ClientError> {
         let now = self.clock.now();
 
         // 1. Matching servers from the FS.
-        let servers = match call(self.fs, &Request::ListServers { token: self.token.clone(), qos: qos.clone() }) {
-            Ok(Response::Servers(s)) => s,
-            Ok(other) => return Err(format!("matching failed: {other:?}")),
-            Err(e) => return Err(e.to_string()),
+        let servers = match self
+            .call(self.fs, &Request::ListServers { token: self.token.clone(), qos: qos.clone() })?
+        {
+            Response::Servers(s) => s,
+            Response::Error(e) => return Err(ClientError::Rejected(e)),
+            other => return Err(ClientError::Protocol(format!("matching: {other:?}"))),
         };
         if servers.is_empty() {
-            return Err("no matching Compute Servers".into());
+            return Err(ClientError::NoMatchingServers);
         }
 
-        // 2. Request-for-bids to every matching FD.
+        // 2. Request-for-bids to every matching FD. A daemon that fails to
+        // answer simply contributes no bid.
         let req = BidRequest { job, user: self.user, qos: qos.clone(), issued_at: now };
         let mut bids: Vec<Bid> = vec![];
         for s in &servers {
-            let addr: SocketAddr = format!("{}:{}", s.fd_addr, s.fd_port)
-                .parse()
-                .map_err(|e| format!("bad FD address for {}: {e}", s.name))?;
-            if let Ok(Response::BidReply(reply)) =
-                call(addr, &Request::RequestBid { token: self.token.clone(), request: req.clone() })
+            let Ok(addr) = format!("{}:{}", s.fd_addr, s.fd_port).parse::<SocketAddr>() else {
+                continue;
+            };
+            if let Ok(Response::BidReply(reply)) = self
+                .call(addr, &Request::RequestBid { token: self.token.clone(), request: req.clone() })
             {
                 if let Some(b) = reply.offer() {
                     bids.push(*b);
@@ -128,35 +262,38 @@ impl FaucetsClient {
             }
         }
         if bids.is_empty() {
-            return Err("all Compute Servers declined".into());
+            return Err(ClientError::AllDeclined { solicited: servers.len() });
         }
 
-        // 3. Evaluate and award, falling back on renege.
+        // 3. Evaluate and award, falling back on renege or daemon death.
         let ranked: Vec<Bid> = self.selection.rank(&bids, &qos.payoff).into_iter().copied().collect();
-        let spec = JobSpec::new(job, self.user, qos, now).map_err(|e| format!("invalid QoS: {e}"))?;
+        let spec = JobSpec::new(job, self.user, qos.clone(), now)
+            .map_err(|e| ClientError::Rejected(format!("invalid QoS: {e}")))?;
+        let mut unlisted = 0usize;
         for bid in ranked {
-            let server = servers.iter().find(|s| s.cluster == bid.cluster).expect("bid from listed server");
-            let addr: SocketAddr = format!("{}:{}", server.fd_addr, server.fd_port).parse().unwrap();
+            // The §5.3 window between matching and award is real: the
+            // bidder may have been evicted meanwhile. Skip, don't panic.
+            let Some(server) = servers.iter().find(|s| s.cluster == bid.cluster) else {
+                unlisted += 1;
+                continue;
+            };
+            let Ok(addr) = format!("{}:{}", server.fd_addr, server.fd_port).parse::<SocketAddr>()
+            else {
+                unlisted += 1;
+                continue;
+            };
             let contract = ContractId(job.raw());
-            match call(
+            match self.call(
                 addr,
                 &Request::Award { token: self.token.clone(), spec: spec.clone(), contract, bid },
             ) {
                 Ok(Response::AwardReply { confirmed: true, .. }) => {
-                    // 4. Stage input files.
-                    for (name, data) in inputs {
-                        let r = call(
-                            addr,
-                            &Request::UploadFile {
-                                token: self.token.clone(),
-                                job,
-                                name: name.clone(),
-                                data: data.clone(),
-                            },
-                        );
-                        if !matches!(r, Ok(Response::Ok)) {
-                            return Err(format!("staging '{name}' failed: {r:?}"));
-                        }
+                    // 4. Stage input files. A daemon dying here is a
+                    // mid-negotiation death: fall through to the next bid.
+                    match self.stage_inputs(addr, job, inputs) {
+                        Ok(()) => {}
+                        Err(ClientError::Transport(_)) => continue,
+                        Err(e) => return Err(e),
                     }
                     return Ok(Submission {
                         job,
@@ -164,49 +301,83 @@ impl FaucetsClient {
                         price: bid.price,
                         promised_completion: bid.promised_completion,
                         bids_received: bids.len(),
+                        rounds: 0, // filled in by submit()
+                        unlisted_skipped: unlisted,
                     });
                 }
-                Ok(Response::AwardReply { confirmed: false, .. }) => continue, // runner-up
-                Ok(other) => return Err(format!("award failed: {other:?}")),
-                Err(e) => return Err(e.to_string()),
+                Ok(Response::AwardReply { confirmed: false, .. }) => continue, // renege
+                // A daemon that errors the award (e.g. it cannot reach the
+                // FS to re-verify us) costs only its bid.
+                Ok(Response::Error(_)) => continue,
+                Ok(other) => return Err(ClientError::Protocol(format!("award: {other:?}"))),
+                Err(ClientError::Transport(_)) => continue, // daemon died; next bid
+                Err(e) => return Err(e),
             }
         }
-        Err("every awarded server reneged".into())
+        Err(ClientError::NegotiationExhausted { rounds: 1 })
+    }
+
+    fn stage_inputs(
+        &self,
+        addr: SocketAddr,
+        job: JobId,
+        inputs: &[(String, Vec<u8>)],
+    ) -> Result<(), ClientError> {
+        for (name, data) in inputs {
+            match self.call(
+                addr,
+                &Request::UploadFile {
+                    token: self.token.clone(),
+                    job,
+                    name: name.clone(),
+                    data: data.clone(),
+                },
+            )? {
+                Response::Ok => {}
+                Response::Error(e) => return Err(ClientError::Rejected(format!("staging '{name}': {e}"))),
+                other => return Err(ClientError::Protocol(format!("staging '{name}': {other:?}"))),
+            }
+        }
+        Ok(())
     }
 
     /// Fetch the current monitoring snapshot for a job.
-    pub fn watch(&self, job: JobId) -> Result<MonitorSnapshot, String> {
-        match call(self.appspector, &Request::Watch { token: self.token.clone(), job }) {
-            Ok(Response::Snapshot(s)) => Ok(s),
-            Ok(other) => Err(format!("watch failed: {other:?}")),
-            Err(e) => Err(e.to_string()),
+    pub fn watch(&self, job: JobId) -> Result<MonitorSnapshot, ClientError> {
+        match self.call(self.appspector, &Request::Watch { token: self.token.clone(), job })? {
+            Response::Snapshot(s) => Ok(s),
+            Response::Error(e) => Err(ClientError::Rejected(e)),
+            other => Err(ClientError::Protocol(format!("watch: {other:?}"))),
         }
     }
 
     /// Poll AppSpector until the job completes (or `timeout` wall time).
-    pub fn wait(&self, job: JobId, timeout: Duration) -> Result<MonitorSnapshot, String> {
+    /// Transient transport failures while polling are ridden out until the
+    /// deadline — a daemon restart mid-wait looks like a long poll, not an
+    /// error.
+    pub fn wait(&self, job: JobId, timeout: Duration) -> Result<MonitorSnapshot, ClientError> {
         let deadline = Instant::now() + timeout;
         loop {
-            let snap = self.watch(job)?;
-            if snap.completed {
-                return Ok(snap);
+            match self.watch(job) {
+                Ok(snap) if snap.completed => return Ok(snap),
+                Ok(_) | Err(ClientError::Transport(_)) => {}
+                Err(e) => return Err(e),
             }
             if Instant::now() >= deadline {
-                return Err(format!("timed out waiting for {job}"));
+                return Err(ClientError::TimedOut(job));
             }
             std::thread::sleep(Duration::from_millis(10));
         }
     }
 
     /// Download one output file of a completed job.
-    pub fn download(&self, job: JobId, name: &str) -> Result<Vec<u8>, String> {
-        match call(
+    pub fn download(&self, job: JobId, name: &str) -> Result<Vec<u8>, ClientError> {
+        match self.call(
             self.appspector,
             &Request::Download { token: self.token.clone(), job, name: name.into() },
-        ) {
-            Ok(Response::File { data, .. }) => Ok(data),
-            Ok(other) => Err(format!("download failed: {other:?}")),
-            Err(e) => Err(e.to_string()),
+        )? {
+            Response::File { data, .. } => Ok(data),
+            Response::Error(e) => Err(ClientError::Rejected(e)),
+            other => Err(ClientError::Protocol(format!("download: {other:?}"))),
         }
     }
 }

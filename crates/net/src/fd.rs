@@ -9,29 +9,110 @@
 //! not have any accounting information"*), handles awards, stages input
 //! files, and runs a pump thread that drives the scheduler clock, reports
 //! completions and telemetry to AppSpector, and heartbeats the FS.
+//!
+//! ## Crash recovery
+//!
+//! With [`FdOptions::snapshot`] set, the daemon journals every accepted
+//! QoS contract (spec, contract id, price, owner, staged inputs) to a JSON
+//! snapshot, written atomically (temp + rename) on each change and pruned
+//! as jobs complete. [`spawn_fd_with`] on the same path restores the
+//! snapshot: contracts are resubmitted to the scheduler, jobs re-registered
+//! with AppSpector, and the daemon re-registers with the FS — so a
+//! kill + restart loses at most the *progress* since the last scheduler
+//! checkpoint, never the contracts themselves. If the FS evicted the
+//! daemon while it was down, the heartbeat's error reply triggers
+//! re-registration from the pump.
 
 use crate::proto::{Request, Response};
-use crate::service::{call, serve, Clock, ServiceHandle};
+use crate::service::{call_with, serve_with, CallOptions, Clock, RetryPolicy, ServeOptions, ServiceHandle};
 use faucets_core::appspector::TelemetrySample;
-use faucets_core::daemon::{AwardOutcome, ClusterManager, FaucetsDaemon};
-use faucets_core::ids::{ClusterId, JobId, UserId};
+use faucets_core::daemon::{AwardOutcome, FaucetsDaemon};
+use faucets_core::ids::{ClusterId, ContractId, JobId, UserId};
+use faucets_core::job::JobSpec;
 use faucets_core::market::MarketInfo;
 use faucets_core::money::Money;
 use faucets_sched::cluster::Cluster;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// One accepted contract, as journaled to the snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ContractEntry {
+    spec: JobSpec,
+    contract: ContractId,
+    price: Money,
+    owner: UserId,
+}
+
+/// The on-disk crash-recovery journal.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct FdSnapshot {
+    contracts: Vec<ContractEntry>,
+    staged: Vec<(JobId, Vec<(String, Vec<u8>)>)>,
+}
+
+/// Options for [`spawn_fd_with`].
+#[derive(Clone)]
+pub struct FdOptions {
+    /// Where to journal accepted contracts for crash recovery. `None`
+    /// disables persistence (the seed behaviour).
+    pub snapshot: Option<PathBuf>,
+    /// Service-side timeouts and fault injection.
+    pub serve: ServeOptions,
+    /// Options for the FD's own outbound calls (FS verification and
+    /// heartbeats, AppSpector pushes). Defaults to bounded retry so a
+    /// transiently unreachable FS doesn't poison bid handling.
+    pub call: CallOptions,
+    /// Heartbeat cadence in *simulated* seconds.
+    pub heartbeat_every: faucets_sim::time::SimDuration,
+}
+
+impl Default for FdOptions {
+    fn default() -> Self {
+        FdOptions {
+            snapshot: None,
+            serve: ServeOptions::default(),
+            call: CallOptions { retry: RetryPolicy::standard(0x4644), ..CallOptions::default() },
+            heartbeat_every: faucets_sim::time::SimDuration::from_secs(30),
+        }
+    }
+}
 
 struct FdState {
     daemon: FaucetsDaemon,
     cluster: Cluster,
     staged: HashMap<JobId, Vec<(String, Vec<u8>)>>,
     owners: HashMap<JobId, UserId>,
+    contracts: HashMap<JobId, ContractEntry>,
+    snapshot: Option<PathBuf>,
+}
+
+impl FdState {
+    /// Write the journal atomically: temp file in the same directory, then
+    /// rename over the target. Errors are swallowed — persistence is best
+    /// effort and must never take down the service path.
+    fn persist(&self) {
+        let Some(path) = &self.snapshot else { return };
+        let mut contracts: Vec<ContractEntry> = self.contracts.values().cloned().collect();
+        contracts.sort_by_key(|c| c.spec.id);
+        let mut staged: Vec<(JobId, Vec<(String, Vec<u8>)>)> =
+            self.staged.iter().map(|(j, f)| (*j, f.clone())).collect();
+        staged.sort_by_key(|(j, _)| *j);
+        let snap = FdSnapshot { contracts, staged };
+        let Ok(bytes) = serde_json::to_vec(&snap) else { return };
+        let tmp = path.with_extension("tmp");
+        if std::fs::write(&tmp, bytes).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
+        }
+    }
 }
 
 /// A running FD service.
@@ -61,8 +142,21 @@ impl FdHandle {
         self.state.lock().daemon.stats
     }
 
+    /// Accepted contracts not yet completed.
+    pub fn active_contracts(&self) -> usize {
+        self.state.lock().contracts.len()
+    }
+
     /// Stop the pump and the service.
     pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    /// Simulate a daemon crash: stop serving with no deregistration and no
+    /// goodbye to the FS or AppSpector. With [`FdOptions::snapshot`] set,
+    /// the journal survives on disk; [`spawn_fd_with`] on the same path
+    /// resumes the accepted contracts.
+    pub fn kill(mut self) {
         self.stop_inner();
     }
 
@@ -80,8 +174,8 @@ impl Drop for FdHandle {
     }
 }
 
-fn verify(fs: SocketAddr, token: &faucets_core::auth::SessionToken) -> Result<UserId, String> {
-    match call(fs, &Request::VerifyToken { token: token.clone() }) {
+fn verify(fs: SocketAddr, token: &faucets_core::auth::SessionToken, opts: &CallOptions) -> Result<UserId, String> {
+    match call_with(fs, &Request::VerifyToken { token: token.clone() }, opts) {
         Ok(Response::Verified { user }) => Ok(user),
         Ok(Response::Error(e)) => Err(e),
         Ok(other) => Err(format!("unexpected FS reply {other:?}")),
@@ -95,11 +189,26 @@ fn verify(fs: SocketAddr, token: &faucets_core::auth::SessionToken) -> Result<Us
 /// the actually bound socket (so port 0 works).
 pub fn spawn_fd(
     addr: &str,
+    daemon: FaucetsDaemon,
+    cluster: Cluster,
+    fs: SocketAddr,
+    appspector: SocketAddr,
+    clock: Clock,
+) -> io::Result<FdHandle> {
+    spawn_fd_with(addr, daemon, cluster, fs, appspector, clock, FdOptions::default())
+}
+
+/// [`spawn_fd`], with crash-recovery journaling, timeouts, retry, and
+/// fault-injection options. If `opts.snapshot` names an existing journal,
+/// its contracts are restored before the service starts taking traffic.
+pub fn spawn_fd_with(
+    addr: &str,
     mut daemon: FaucetsDaemon,
     cluster: Cluster,
     fs: SocketAddr,
     appspector: SocketAddr,
     clock: Clock,
+    opts: FdOptions,
 ) -> io::Result<FdHandle> {
     let cluster_id = cluster.machine.cluster;
     let state = Arc::new(Mutex::new(FdState {
@@ -117,16 +226,44 @@ pub fn spawn_fd(
         cluster,
         staged: HashMap::new(),
         owners: HashMap::new(),
+        contracts: HashMap::new(),
+        snapshot: opts.snapshot.clone(),
     }));
+
+    // Restore the journal, if any, before the service can take traffic.
+    let restored: Vec<(JobId, UserId)> = {
+        let mut s = state.lock();
+        let now = clock.now();
+        let mut restored = vec![];
+        if let Some(snap) = opts
+            .snapshot
+            .as_ref()
+            .and_then(|p| std::fs::read(p).ok())
+            .and_then(|b| serde_json::from_slice::<FdSnapshot>(&b).ok())
+        {
+            for (job, files) in snap.staged {
+                s.staged.insert(job, files);
+            }
+            for e in snap.contracts {
+                let job = e.spec.id;
+                s.cluster.submit_job(e.spec.clone(), e.contract, e.price, now);
+                s.owners.insert(job, e.owner);
+                restored.push((job, e.owner));
+                s.contracts.insert(job, e);
+            }
+        }
+        restored
+    };
 
     // Bind the service first so the real port is known.
     let st = Arc::clone(&state);
     let clock_handler = clock.clone();
-    let service = serve(addr, "fd", move |req| {
+    let call_opts = opts.call.clone();
+    let service = serve_with(addr, "fd", opts.serve.clone(), move |req| {
         match req {
             Request::RequestBid { token, request } => {
                 // §2.2: the FD re-checks the client with the FS.
-                if let Err(e) = verify(fs, &token) {
+                if let Err(e) = verify(fs, &token, &call_opts) {
                     return Response::Error(e);
                 }
                 // Read the clock only while holding the lock: the pump also
@@ -137,10 +274,11 @@ pub fn spawn_fd(
                 Response::BidReply(daemon.handle_bid_request(&request, cluster, &MarketInfo::default(), now))
             }
             Request::Award { token, spec, contract, bid } => {
-                if let Err(e) = verify(fs, &token) {
+                if let Err(e) = verify(fs, &token, &call_opts) {
                     return Response::Error(e);
                 }
                 let (job, user) = (spec.id, spec.user);
+                let entry = ContractEntry { spec: spec.clone(), contract, price: bid.price, owner: user };
                 let outcome = {
                     let mut s = st.lock();
                     let now = clock_handler.now();
@@ -149,8 +287,17 @@ pub fn spawn_fd(
                 };
                 match outcome {
                     Ok(AwardOutcome::Confirmed) => {
-                        st.lock().owners.insert(job, user);
-                        let _ = call(appspector, &Request::RegisterJob { job, owner: user, cluster: cluster_id });
+                        {
+                            let mut s = st.lock();
+                            s.owners.insert(job, user);
+                            s.contracts.insert(job, entry);
+                            s.persist();
+                        }
+                        let _ = call_with(
+                            appspector,
+                            &Request::RegisterJob { job, owner: user, cluster: cluster_id },
+                            &call_opts,
+                        );
                         Response::AwardReply { confirmed: true, reason: None }
                     }
                     Ok(AwardOutcome::Reneged(r)) => {
@@ -160,10 +307,12 @@ pub fn spawn_fd(
                 }
             }
             Request::UploadFile { token, job, name, data } => {
-                if let Err(e) = verify(fs, &token) {
+                if let Err(e) = verify(fs, &token, &call_opts) {
                     return Response::Error(e);
                 }
-                st.lock().staged.entry(job).or_default().push((name, data));
+                let mut s = st.lock();
+                s.staged.entry(job).or_default().push((name, data));
+                s.persist();
                 Response::Ok
             }
             other => Response::Error(format!("FD cannot handle {other:?}")),
@@ -177,17 +326,22 @@ pub fn spawn_fd(
     let info = daemon.info.clone();
     let apps: Vec<String> = daemon.exported_apps.iter().cloned().collect();
     state.lock().daemon = daemon;
-    let _ = call(fs, &Request::RegisterCluster { info, apps });
+    let _ = call_with(fs, &Request::RegisterCluster { info: info.clone(), apps: apps.clone() }, &opts.call);
+    // Restored jobs are re-announced so AppSpector keeps monitoring them.
+    for (job, owner) in restored {
+        let _ = call_with(appspector, &Request::RegisterJob { job, owner, cluster: cluster_id }, &opts.call);
+    }
 
     // Pump: drives the scheduler clock, reports completions/telemetry,
     // heartbeats the FS.
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
     let st = Arc::clone(&state);
+    let call_opts = opts.call.clone();
+    let heartbeat_every = opts.heartbeat_every;
     let pump = std::thread::Builder::new().name(format!("fd-pump-{cluster_id}")).spawn(move || {
         // Heartbeats are paced in *simulated* time (the FS liveness window
         // is simulated seconds), so any clock speedup keeps the FD alive.
-        let heartbeat_every = faucets_sim::time::SimDuration::from_secs(30);
         let mut last_heartbeat = faucets_sim::time::SimTime::ZERO;
         while !stop2.load(Ordering::SeqCst) {
             std::thread::sleep(Duration::from_millis(5));
@@ -206,18 +360,31 @@ pub fn spawn_fd(
                 let job = c.outcome.job;
                 let mut outputs: Vec<(String, Vec<u8>)> = {
                     let mut s = st.lock();
-                    s.staged.remove(&job).unwrap_or_default()
+                    let outputs = s.staged.remove(&job).unwrap_or_default();
+                    s.contracts.remove(&job);
+                    s.persist();
+                    outputs
                 };
                 outputs.push(("output.dat".into(), format!("completed at {now}").into_bytes()));
-                let _ = call(appspector, &Request::CompleteJob { job, outputs });
+                let _ = call_with(appspector, &Request::CompleteJob { job, outputs }, &call_opts);
             }
             // Heartbeat + telemetry on the simulated cadence.
             if now.since(last_heartbeat) >= heartbeat_every || last_heartbeat == faucets_sim::time::SimTime::ZERO {
                 last_heartbeat = now;
-                let _ = call(fs, &Request::Heartbeat { cluster: cluster_id, status });
+                // "unknown cluster": the FS evicted us as dead (or was
+                // itself restarted). Re-register and carry on.
+                if let Ok(Response::Error(_)) =
+                    call_with(fs, &Request::Heartbeat { cluster: cluster_id, status }, &call_opts)
+                {
+                    let _ = call_with(
+                        fs,
+                        &Request::RegisterCluster { info: info.clone(), apps: apps.clone() },
+                        &call_opts,
+                    );
+                }
                 let total = { st.lock().cluster.machine.total_pes };
                 for (job, pes) in running {
-                    let _ = call(
+                    let _ = call_with(
                         appspector,
                         &Request::PushSample {
                             job,
@@ -229,6 +396,7 @@ pub fn spawn_fd(
                                 app_data: format!("t={now}"),
                             },
                         },
+                        &call_opts,
                     );
                 }
             }
@@ -242,6 +410,7 @@ pub fn spawn_fd(
 mod tests {
     use super::*;
     use crate::fs::spawn_fs;
+    use crate::service::call;
     use faucets_core::bid::BidRequest;
     use faucets_core::qos::QosBuilder;
     use faucets_sched::adaptive::ResizeCostModel;

@@ -5,7 +5,7 @@
 //! verification for daemons (§2.2), and server matching for clients (§5.1).
 
 use crate::proto::{Request, Response};
-use crate::service::{serve, Clock, ServiceHandle};
+use crate::service::{serve_with, Clock, ServeOptions, ServiceHandle};
 use faucets_core::server::FaucetsServer;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -23,11 +23,17 @@ pub struct FsHandle {
 
 /// Spawn the FS on `addr` (use port 0 to pick a free port).
 pub fn spawn_fs(addr: &str, clock: Clock, seed: u64) -> io::Result<FsHandle> {
+    spawn_fs_with(addr, clock, seed, ServeOptions::default())
+}
+
+/// [`spawn_fs`], with explicit timeouts and optional fault injection on
+/// the service side.
+pub fn spawn_fs_with(addr: &str, clock: Clock, seed: u64, opts: ServeOptions) -> io::Result<FsHandle> {
     let state = Arc::new(Mutex::new(FaucetsServer::with_defaults()));
     let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(seed)));
     let st = Arc::clone(&state);
 
-    let service = serve(addr, "fs", move |req| {
+    let service = serve_with(addr, "fs", opts, move |req| {
         let now = clock.now();
         let mut s = st.lock();
         match req {

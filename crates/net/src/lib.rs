@@ -6,21 +6,59 @@
 //! crate is that deployment on `std::net` threads:
 //!
 //! * [`proto`] — the length-prefixed JSON wire protocol;
+//! * [`fault`] — deterministic fault injection (drop/delay/truncate/garble
+//!   frames, scheduled daemon outages) for chaos tests and experiments;
 //! * [`fs`] — the Central Server service (auth, directory, matching);
 //! * [`fd`] — the daemon service wrapping a `faucets-sched` Cluster, with a
 //!   pump thread that executes jobs on a (speed-adjustable) wall clock and
 //!   feeds AppSpector;
 //! * [`appspector_srv`] — buffered monitoring and output download;
 //! * [`client`] — the full §2 submission/monitoring client;
-//! * [`service`] — shared accept-loop and clock plumbing.
+//! * [`service`] — shared accept-loop, timeout/retry, and clock plumbing.
 //!
 //! Experiment E1 and `examples/live_services.rs` run the entire Figure-1
-//! architecture on localhost.
+//! architecture on localhost; experiment E19 (`exp_faults`) runs it under
+//! injected faults.
+//!
+//! ## Failure handling
+//!
+//! A grid of hundreds of compute servers handling millions of jobs per day
+//! *will* see daemons crash mid-negotiation and links stall, so every tier
+//! of the Figure-1 stack recovers:
+//!
+//! * **Wire** — [`proto::read_frame`] bounds the length prefix
+//!   ([`proto::MAX_FRAME`], 16 MiB) so a garbled or malicious length can
+//!   never drive an unbounded allocation, and returns typed
+//!   [`proto::ProtoError`]s (never panics) on truncated or corrupted
+//!   frames. Both socket directions carry timeouts
+//!   ([`service::Timeouts`]), configurable per service and per call.
+//! * **Transport** — [`service::call_with`] retries transport failures
+//!   under a bounded [`service::RetryPolicy`] (exponential backoff, capped,
+//!   with deterministic seeded jitter). A received `Response::Error` is an
+//!   answer, not a failure, and is never retried at this layer.
+//! * **Central Server** — the directory grades each daemon
+//!   alive → suspect → dead from heartbeat recency
+//!   (`faucets_core::directory::Liveness`) and evicts dead daemons, so
+//!   match-making never hands out a corpse.
+//! * **Client** — a bid from a daemon that has since been evicted is
+//!   skipped (typed [`client::ClientError`], no panic), and if the chosen
+//!   daemon dies mid-negotiation the client falls through its ranked bid
+//!   list and, once exhausted, re-solicits bids from scratch.
+//! * **Daemon** — the FD journals accepted QoS contracts to a snapshot
+//!   file (atomic temp+rename); a restarted daemon reloads the snapshot,
+//!   re-registers with the FS, and resumes the contracts it had accepted
+//!   before the crash.
+//!
+//! All injected failures come from a seeded [`fault::FaultPlan`]: the same
+//! seed reproduces the same fault schedule byte-for-byte (see
+//! [`fault::FaultPlan::schedule_description`]), so chaos tests are as
+//! debuggable as deterministic ones.
 
 #![warn(missing_docs)]
 
 pub mod appspector_srv;
 pub mod client;
+pub mod fault;
 pub mod fd;
 pub mod fs;
 pub mod proto;
@@ -28,10 +66,14 @@ pub mod service;
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::appspector_srv::{spawn_appspector, AsHandle};
-    pub use crate::client::{FaucetsClient, Submission};
-    pub use crate::fd::{spawn_fd, FdHandle};
-    pub use crate::fs::{spawn_fs, FsHandle};
-    pub use crate::proto::{read_frame, write_frame, Request, Response};
-    pub use crate::service::{call, serve, Clock, ServiceHandle};
+    pub use crate::appspector_srv::{spawn_appspector, spawn_appspector_with, AsHandle};
+    pub use crate::client::{ClientError, FaucetsClient, Submission};
+    pub use crate::fault::{FaultConfig, FaultPlan, FaultStats, FrameFault, Outage};
+    pub use crate::fd::{spawn_fd, spawn_fd_with, FdHandle, FdOptions};
+    pub use crate::fs::{spawn_fs, spawn_fs_with, FsHandle};
+    pub use crate::proto::{read_frame, write_frame, ProtoError, Request, Response};
+    pub use crate::service::{
+        call, call_with, serve, serve_with, CallOptions, Clock, RetryPolicy, ServeOptions,
+        ServiceHandle, Timeouts,
+    };
 }

@@ -5,7 +5,16 @@
 //! big-endian payload length followed by a JSON-encoded [`Request`] or
 //! [`Response`]. JSON keeps the protocol inspectable (the paper's tooling
 //! emphasis) while the length prefix makes framing robust.
+//!
+//! Framing failures are typed ([`ProtoError`]): a garbled or malicious
+//! length prefix is rejected *before* any allocation ([`MAX_FRAME`]), and
+//! a payload that frames correctly but doesn't parse is distinguished from
+//! transport loss so callers can decide what is retryable. Both framing
+//! functions accept an optional [`crate::fault::FaultPlan`] through their
+//! `*_with` variants, which is how the fault-injection harness corrupts
+//! traffic without touching service code.
 
+use crate::fault::{FaultPlan, FrameFault};
 use faucets_core::appspector::{MonitorSnapshot, TelemetrySample};
 use faucets_core::auth::SessionToken;
 use faucets_core::bid::{Bid, BidRequest, BidResponse};
@@ -178,34 +187,146 @@ pub enum Response {
     Error(String),
 }
 
+/// Errors at the framing layer.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Transport-level failure (connection loss, timeout, short read).
+    Io(std::io::Error),
+    /// The length prefix claims a frame larger than [`MAX_FRAME`]; rejected
+    /// before any allocation so a garbled or malicious prefix cannot drive
+    /// an unbounded buffer.
+    FrameTooLarge(u32),
+    /// The payload framed correctly but is not a valid message.
+    Malformed(serde_json::Error),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "transport error: {e}"),
+            ProtoError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            ProtoError::Malformed(e) => write!(f, "malformed payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Io(e) => Some(e),
+            ProtoError::Malformed(e) => Some(e),
+            ProtoError::FrameTooLarge(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+impl From<ProtoError> for std::io::Error {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(e) => e,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+impl ProtoError {
+    /// Is this worth retrying (transport hiccup) rather than a protocol
+    /// violation by the peer?
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ProtoError::Io(_))
+    }
+}
+
 /// Write one length-prefixed JSON frame.
-pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> std::io::Result<()> {
-    let payload = serde_json::to_vec(msg).map_err(std::io::Error::other)?;
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<(), ProtoError> {
+    write_frame_with(w, msg, None)
+}
+
+/// [`write_frame`], with optional fault injection: the plan may drop the
+/// frame (nothing is written, `Ok` returned — the bytes were "lost on the
+/// wire"), delay it, cut it off mid-frame, or flip a payload byte.
+pub fn write_frame_with<W: Write, T: Serialize>(
+    w: &mut W,
+    msg: &T,
+    faults: Option<&FaultPlan>,
+) -> Result<(), ProtoError> {
+    let payload = serde_json::to_vec(msg).map_err(ProtoError::Malformed)?;
     let len = payload.len() as u32;
     if len > MAX_FRAME {
-        return Err(std::io::Error::other("frame too large"));
+        return Err(ProtoError::FrameTooLarge(len));
     }
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(&payload)?;
-    w.flush()
+    let mut frame = Vec::with_capacity(payload.len() + 4);
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(&payload);
+    if let Some(plan) = faults {
+        match plan.decide(&frame) {
+            FrameFault::Deliver => {}
+            FrameFault::Drop => return Ok(()),
+            FrameFault::Delay(d) => std::thread::sleep(d),
+            FrameFault::Truncate { keep } => {
+                let keep = keep.min(frame.len());
+                w.write_all(&frame[..keep])?;
+                w.flush()?;
+                return Ok(());
+            }
+            FrameFault::Garble { offset, xor } => {
+                if !payload.is_empty() {
+                    let at = 4 + offset % payload.len();
+                    frame[at] ^= xor;
+                }
+            }
+        }
+    }
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
 }
 
 /// Read one length-prefixed JSON frame. Returns `Ok(None)` on clean EOF at
 /// a frame boundary.
-pub fn read_frame<R: Read, T: for<'de> Deserialize<'de>>(r: &mut R) -> std::io::Result<Option<T>> {
+pub fn read_frame<R: Read, T: for<'de> Deserialize<'de>>(r: &mut R) -> Result<Option<T>, ProtoError> {
+    read_frame_with(r, None)
+}
+
+/// [`read_frame`], with optional fault injection on the receive path: the
+/// plan may delay the read or corrupt a received payload byte before it is
+/// parsed (loss and truncation are injected on the send path, where the
+/// bytes still exist to lose).
+pub fn read_frame_with<R: Read, T: for<'de> Deserialize<'de>>(
+    r: &mut R,
+    faults: Option<&FaultPlan>,
+) -> Result<Option<T>, ProtoError> {
     let mut len_buf = [0u8; 4];
     match r.read_exact(&mut len_buf) {
         Ok(()) => {}
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+        Err(e) => return Err(ProtoError::Io(e)),
     }
     let len = u32::from_be_bytes(len_buf);
     if len > MAX_FRAME {
-        return Err(std::io::Error::other(format!("frame of {len} bytes exceeds limit")));
+        return Err(ProtoError::FrameTooLarge(len));
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
-    serde_json::from_slice(&payload).map(Some).map_err(std::io::Error::other)
+    if let Some(plan) = faults {
+        match plan.decide(&payload) {
+            FrameFault::Delay(d) => std::thread::sleep(d),
+            FrameFault::Garble { offset, xor } if !payload.is_empty() => {
+                let at = offset % payload.len();
+                payload[at] ^= xor;
+            }
+            _ => {}
+        }
+    }
+    serde_json::from_slice(&payload).map(Some).map_err(ProtoError::Malformed)
 }
 
 #[cfg(test)]
@@ -244,7 +365,41 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
         let mut cur = Cursor::new(buf);
-        assert!(read_frame::<_, Response>(&mut cur).is_err());
+        // The bound is checked before any allocation and reported as the
+        // typed protocol error, not a generic I/O failure.
+        match read_frame::<_, Response>(&mut cur) {
+            Err(ProtoError::FrameTooLarge(n)) => assert_eq!(n, MAX_FRAME + 1),
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbled_write_fails_to_parse_never_panics() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let plan = FaultPlan::new(11, FaultConfig { garble: 1.0, ..FaultConfig::none() });
+        let req = Request::Login { user: "alice".into(), password: "pw".into() };
+        let mut buf = Vec::new();
+        write_frame_with(&mut buf, &req, Some(&plan)).unwrap();
+        // One byte was flipped in flight: the frame either fails to parse
+        // (typed Malformed) or — astronomically rarely — parses to a
+        // *different* value; it must never panic or round-trip silently.
+        match read_frame::<_, Request>(&mut Cursor::new(&buf)) {
+            Err(ProtoError::Malformed(_)) => {}
+            Ok(Some(got)) => assert_ne!(got, req, "corruption went unnoticed"),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(plan.stats().garbled, 1);
+    }
+
+    #[test]
+    fn dropped_write_produces_no_bytes() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let plan = FaultPlan::new(12, FaultConfig { drop: 1.0, ..FaultConfig::none() });
+        let mut buf = Vec::new();
+        write_frame_with(&mut buf, &Response::Ok, Some(&plan)).unwrap();
+        assert!(buf.is_empty(), "a dropped frame writes nothing");
+        let eof: Option<Response> = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert!(eof.is_none());
     }
 
     #[test]

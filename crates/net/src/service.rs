@@ -1,7 +1,10 @@
 //! Shared TCP-service plumbing: a polling accept loop with clean shutdown,
-//! and the wall-clock → simulation-clock mapping live services run on.
+//! configurable read/write timeouts, bounded retry with exponential
+//! backoff, optional fault injection, and the wall-clock → simulation-clock
+//! mapping live services run on.
 
-use crate::proto::{read_frame, write_frame, Request, Response};
+use crate::fault::FaultPlan;
+use crate::proto::{read_frame_with, write_frame_with, Request, Response};
 use faucets_sim::time::SimTime;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -36,6 +39,120 @@ impl Clock {
     }
 }
 
+/// Socket deadlines applied to every connection, in both directions. The
+/// seed system hard-coded a 10 s read timeout and no write timeout at all;
+/// a stalled peer could wedge a writer forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeouts {
+    /// How long a read may block before the connection is abandoned.
+    pub read: Duration,
+    /// How long a write may block before the connection is abandoned.
+    pub write: Duration,
+}
+
+impl Timeouts {
+    /// Uniform deadline in both directions.
+    pub fn both(d: Duration) -> Self {
+        Timeouts { read: d, write: d }
+    }
+
+    fn apply(&self, stream: &TcpStream) -> io::Result<()> {
+        stream.set_read_timeout(Some(self.read))?;
+        stream.set_write_timeout(Some(self.write))
+    }
+}
+
+impl Default for Timeouts {
+    fn default() -> Self {
+        Timeouts::both(Duration::from_secs(10))
+    }
+}
+
+/// Bounded retry with exponential backoff and deterministic jitter.
+///
+/// The delay before attempt *n* (1-based over retries) is
+/// `base · 2^(n-1)`, capped at `cap`, then scaled by a seeded jitter
+/// factor in `[1 − jitter, 1]` — deterministic per (seed, attempt) so
+/// fault-injection runs reproduce exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Ceiling on any single backoff.
+    pub cap: Duration,
+    /// Jitter fraction in `[0, 1]`: how much of the backoff may be shaved.
+    pub jitter: f64,
+    /// Seed for the jitter sequence.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A single attempt — no retries (the seed system's behaviour).
+    pub fn none() -> Self {
+        RetryPolicy { attempts: 1, base: Duration::ZERO, cap: Duration::ZERO, jitter: 0.0, seed: 0 }
+    }
+
+    /// Four attempts, 25 ms → 200 ms exponential backoff, half jitter.
+    pub fn standard(seed: u64) -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(200),
+            jitter: 0.5,
+            seed,
+        }
+    }
+
+    /// The backoff to sleep before retry number `retry` (1-based).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << (retry - 1).min(16));
+        let exp = exp.min(self.cap.max(self.base));
+        // SplitMix64-style mix for a deterministic jitter draw.
+        let mut z = self.seed ^ (retry as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let u = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+        let scale = 1.0 - self.jitter.clamp(0.0, 1.0) * u;
+        Duration::from_secs_f64(exp.as_secs_f64() * scale)
+    }
+}
+
+/// Options for [`serve_with`].
+#[derive(Clone, Default)]
+pub struct ServeOptions {
+    /// Per-connection socket deadlines.
+    pub timeouts: Timeouts,
+    /// Fault injection applied to this service's traffic.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+/// Options for [`call_with`].
+#[derive(Clone)]
+pub struct CallOptions {
+    /// Socket deadlines for the round-trip.
+    pub timeouts: Timeouts,
+    /// Connection-establishment deadline.
+    pub connect: Duration,
+    /// Transport-failure retry policy (server `Response::Error`s are
+    /// answers, not failures, and are never retried here).
+    pub retry: RetryPolicy,
+    /// Fault injection applied to this caller's traffic.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for CallOptions {
+    fn default() -> Self {
+        CallOptions {
+            timeouts: Timeouts::default(),
+            connect: Duration::from_secs(5),
+            retry: RetryPolicy::none(),
+            faults: None,
+        }
+    }
+}
+
 /// A running TCP service; dropping the handle stops it.
 pub struct ServiceHandle {
     /// The bound address (useful with port 0).
@@ -47,6 +164,15 @@ pub struct ServiceHandle {
 impl ServiceHandle {
     /// Request shutdown and wait for the accept loop to exit.
     pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    /// Simulate a crash: stop serving immediately. No deregistration, no
+    /// goodbye to peers — in-flight callers see connection errors or
+    /// timeouts, exactly as if the process died. (Mechanically identical
+    /// to [`ServiceHandle::shutdown`]; the crash semantics come from the
+    /// owner discarding state that a graceful path would have persisted.)
+    pub fn kill(mut self) {
         self.stop_inner();
     }
 
@@ -64,10 +190,23 @@ impl Drop for ServiceHandle {
     }
 }
 
-/// Serve `handler` on `addr` ("host:0" picks a free port). Each connection
-/// is handled frame-by-frame on its own thread; the handler maps requests
-/// to responses.
+/// Serve `handler` on `addr` ("host:0" picks a free port) with default
+/// options. Each connection is handled frame-by-frame on its own thread;
+/// the handler maps requests to responses.
 pub fn serve<F>(addr: &str, name: &'static str, handler: F) -> io::Result<ServiceHandle>
+where
+    F: Fn(Request) -> Response + Send + Sync + 'static,
+{
+    serve_with(addr, name, ServeOptions::default(), handler)
+}
+
+/// [`serve`], with explicit timeouts and optional fault injection.
+pub fn serve_with<F>(
+    addr: &str,
+    name: &'static str,
+    opts: ServeOptions,
+    handler: F,
+) -> io::Result<ServiceHandle>
 where
     F: Fn(Request) -> Response + Send + Sync + 'static,
 {
@@ -84,7 +223,8 @@ where
             match listener.accept() {
                 Ok((stream, _)) => {
                     let h = Arc::clone(&handler);
-                    conns.push(std::thread::spawn(move || handle_conn(stream, h)));
+                    let o = opts.clone();
+                    conns.push(std::thread::spawn(move || handle_conn(stream, h, o)));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(2));
@@ -101,31 +241,63 @@ where
     Ok(ServiceHandle { addr: local, stop, join: Some(join) })
 }
 
-fn handle_conn<F>(mut stream: TcpStream, handler: Arc<F>)
+fn handle_conn<F>(mut stream: TcpStream, handler: Arc<F>, opts: ServeOptions)
 where
     F: Fn(Request) -> Response + Send + Sync + 'static,
 {
     let _ = stream.set_nodelay(true);
-    while let Ok(Some(req)) = read_frame::<_, Request>(&mut stream) {
+    if opts.timeouts.apply(&stream).is_err() {
+        return;
+    }
+    let faults = opts.faults.as_deref();
+    while let Ok(Some(req)) = read_frame_with::<_, Request>(&mut stream, None) {
         let resp = handler(req);
-        if write_frame(&mut stream, &resp).is_err() {
+        if write_frame_with(&mut stream, &resp, faults).is_err() {
             break;
         }
     }
 }
 
-/// One round-trip request against a Faucets service.
+/// One round-trip request against a Faucets service, default options.
 pub fn call(addr: SocketAddr, req: &Request) -> io::Result<Response> {
-    let mut stream = TcpStream::connect(addr)?;
+    call_with(addr, req, &CallOptions::default())
+}
+
+/// [`call`], with explicit timeouts, bounded retry, and optional fault
+/// injection. Transport failures (connect, send, receive) are retried up
+/// to the policy's budget with exponential backoff + jitter; a received
+/// [`Response`] — including `Response::Error` — always returns.
+pub fn call_with(addr: SocketAddr, req: &Request, opts: &CallOptions) -> io::Result<Response> {
+    let attempts = opts.retry.attempts.max(1);
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(opts.retry.backoff(attempt));
+        }
+        match call_once(addr, req, opts) {
+            Ok(resp) => return Ok(resp),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("no attempts made")))
+}
+
+fn call_once(addr: SocketAddr, req: &Request, opts: &CallOptions) -> io::Result<Response> {
+    let stream = TcpStream::connect_timeout(&addr, opts.connect)?;
+    let mut stream = stream;
     stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    write_frame(&mut stream, req)?;
-    read_frame(&mut stream)?.ok_or_else(|| io::Error::other("connection closed before reply"))
+    opts.timeouts.apply(&stream)?;
+    let faults = opts.faults.as_deref();
+    write_frame_with(&mut stream, req, faults).map_err(io::Error::from)?;
+    read_frame_with(&mut stream, None)
+        .map_err(io::Error::from)?
+        .ok_or_else(|| io::Error::other("connection closed before reply"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultConfig, FaultPlan};
 
     #[test]
     fn clock_advances_with_speedup() {
@@ -162,9 +334,76 @@ mod tests {
         // Either refused outright or accepted by a lingering backlog that
         // never answers; both count as "not serving".
         if let Ok(mut s) = r {
-            let _ = write_frame(&mut s, &Request::VerifyToken { token: faucets_core::auth::SessionToken("x".into()) });
+            let _ = crate::proto::write_frame(&mut s, &Request::VerifyToken { token: faucets_core::auth::SessionToken("x".into()) });
             s.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
-            assert!(read_frame::<_, Response>(&mut s).map(|o| o.is_none()).unwrap_or(true));
+            assert!(crate::proto::read_frame::<_, Response>(&mut s).map(|o| o.is_none()).unwrap_or(true));
         }
+    }
+
+    #[test]
+    fn backoff_grows_is_capped_and_deterministic() {
+        let p = RetryPolicy::standard(9);
+        let b1 = p.backoff(1);
+        let b2 = p.backoff(2);
+        let b3 = p.backoff(3);
+        assert!(b1 <= Duration::from_millis(25));
+        assert!(b2 <= Duration::from_millis(50));
+        assert!(b3 <= Duration::from_millis(100));
+        // Jitter shaves at most half.
+        assert!(b1 >= Duration::from_millis(12));
+        // Cap holds no matter how deep the retry.
+        assert!(p.backoff(30) <= Duration::from_millis(200));
+        // Deterministic per (seed, attempt).
+        assert_eq!(p.backoff(2), RetryPolicy::standard(9).backoff(2));
+        assert_ne!(
+            RetryPolicy::standard(1).backoff(2),
+            RetryPolicy::standard(2).backoff(2),
+            "different seeds jitter differently"
+        );
+    }
+
+    #[test]
+    fn retry_rides_out_dropped_frames() {
+        // A server whose replies are dropped 60% of the time: a single
+        // attempt fails often; four attempts with backoff all but never.
+        let plan = Arc::new(FaultPlan::new(77, FaultConfig { drop: 0.6, ..FaultConfig::none() }));
+        let h = serve_with(
+            "127.0.0.1:0",
+            "lossy",
+            ServeOptions { timeouts: Timeouts::both(Duration::from_millis(300)), faults: Some(Arc::clone(&plan)) },
+            |_| Response::Ok,
+        )
+        .unwrap();
+        let opts = CallOptions {
+            timeouts: Timeouts::both(Duration::from_millis(150)),
+            retry: RetryPolicy { attempts: 8, ..RetryPolicy::standard(5) },
+            ..CallOptions::default()
+        };
+        for i in 0..5 {
+            let r = call_with(
+                h.addr,
+                &Request::Login { user: format!("u{i}"), password: "p".into() },
+                &opts,
+            );
+            assert!(r.is_ok(), "attempt {i} failed: {r:?}");
+        }
+        assert!(plan.stats().dropped > 0, "the plan did inject loss");
+        h.shutdown();
+    }
+
+    #[test]
+    fn killed_service_fails_fast_then_caller_times_out() {
+        let h = serve("127.0.0.1:0", "victim", |_| Response::Ok).unwrap();
+        let addr = h.addr;
+        h.kill();
+        std::thread::sleep(Duration::from_millis(20));
+        let opts = CallOptions {
+            timeouts: Timeouts::both(Duration::from_millis(100)),
+            connect: Duration::from_millis(100),
+            retry: RetryPolicy { attempts: 2, ..RetryPolicy::standard(1) },
+            ..CallOptions::default()
+        };
+        let r = call_with(addr, &Request::VerifyToken { token: faucets_core::auth::SessionToken("x".into()) }, &opts);
+        assert!(r.is_err(), "a killed service must not answer");
     }
 }

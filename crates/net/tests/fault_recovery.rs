@@ -1,0 +1,163 @@
+//! Failure-recovery integration tests: real sockets, fixed seeds.
+//!
+//! Exercises the two recovery paths the unit tests can't reach end-to-end:
+//! a daemon that crashes while a client is blocked in `wait` (the snapshot
+//! journal brings the contract back and the job still completes), and a
+//! daemon that goes silent (the Central Server grades it dead and evicts
+//! it from matching).
+
+use faucets_core::daemon::FaucetsDaemon;
+use faucets_core::ids::ClusterId;
+use faucets_core::money::Money;
+use faucets_core::qos::{PayoffFn, QosBuilder};
+use faucets_net::fd::{spawn_fd_with, FdHandle, FdOptions};
+use faucets_net::prelude::*;
+use faucets_sched::adaptive::ResizeCostModel;
+use faucets_sched::cluster::Cluster;
+use faucets_sched::equipartition::Equipartition;
+use faucets_sched::machine::MachineSpec;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn spawn_daemon(
+    snapshot: Option<PathBuf>,
+    fs: SocketAddr,
+    aspect: SocketAddr,
+    clock: Clock,
+) -> FdHandle {
+    let machine = MachineSpec::commodity(ClusterId(1), "turing", 64);
+    let daemon = FaucetsDaemon::new(
+        machine.server_info("127.0.0.1", 0),
+        ["namd".to_string()],
+        Box::new(faucets_core::market::Baseline),
+        Money::from_units_f64(0.01),
+    );
+    let cluster = Cluster::new(machine, Box::new(Equipartition), ResizeCostModel::default());
+    spawn_fd_with(
+        "127.0.0.1:0",
+        daemon,
+        cluster,
+        fs,
+        aspect,
+        clock,
+        FdOptions { snapshot, ..FdOptions::default() },
+    )
+    .expect("FD")
+}
+
+fn scratch_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("faucets-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+/// The daemon crashes while the client is blocked in `wait`; a restart on
+/// the same snapshot path restores the accepted contract and the job runs
+/// to completion — the client never sees the outage, only a longer wait.
+#[test]
+fn daemon_death_during_wait_recovers_from_snapshot() {
+    let clock = Clock::new(3_000.0);
+    let fs = spawn_fs("127.0.0.1:0", clock.clone(), 41).unwrap();
+    let aspect = spawn_appspector("127.0.0.1:0", fs.service.addr, 16).unwrap();
+    let snap = scratch_file("wait.json");
+    let fd = spawn_daemon(Some(snap.clone()), fs.service.addr, aspect.service.addr, clock.clone());
+
+    let mut client = FaucetsClient::register(
+        fs.service.addr,
+        aspect.service.addr,
+        clock.clone(),
+        "carol",
+        "pw",
+    )
+    .unwrap();
+    client.retry = RetryPolicy::standard(41);
+
+    // ~7200 simulated seconds of work: long enough that the crash lands
+    // mid-run, short enough to finish in a few wall seconds at 3000x.
+    let qos = QosBuilder::new("namd", 8, 32, 64.0 * 3_600.0)
+        .efficiency(0.95, 0.8)
+        .adaptive()
+        .payoff(PayoffFn::hard_only(
+            clock.now().saturating_add(faucets_sim::time::SimDuration::from_hours(24)),
+            Money::from_units(100),
+            Money::from_units(10),
+        ))
+        .build()
+        .unwrap();
+    let sub = client.submit(qos, &[("in.dat".into(), vec![0u8; 128])]).expect("placed");
+    assert_eq!(fd.active_contracts(), 1, "contract journaled before the crash");
+
+    // Crash: no deregistration, no goodbye. The journal stays on disk.
+    fd.kill();
+    assert!(snap.exists(), "snapshot survives the crash");
+
+    // Restart the daemon after a short outage, while the client waits.
+    let (fs_addr, as_addr, clk, path) = (fs.service.addr, aspect.service.addr, clock.clone(), snap.clone());
+    let restart = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        let fd2 = spawn_daemon(Some(path), fs_addr, as_addr, clk);
+        (fd2.active_contracts(), fd2)
+    });
+
+    let snapshot = client
+        .wait(sub.job, Duration::from_secs(40))
+        .expect("job completes despite daemon crash mid-wait");
+    assert!(snapshot.completed);
+
+    let (restored, fd2) = restart.join().unwrap();
+    assert_eq!(restored, 1, "restart restored the accepted contract");
+    assert_eq!(fd2.active_contracts(), 0, "contract pruned after completion");
+    fd2.shutdown();
+    let _ = std::fs::remove_file(&snap);
+}
+
+/// A daemon that stops heartbeating is graded dead by the Central Server
+/// and evicted: match-making stops offering it, and its directory entry is
+/// gone until it re-registers.
+#[test]
+fn silent_daemon_is_evicted_from_matching() {
+    // 600x: the 90 s liveness timeout trips dead (3x) after 0.45 wall
+    // seconds of silence.
+    let clock = Clock::new(600.0);
+    let fs = spawn_fs("127.0.0.1:0", clock.clone(), 42).unwrap();
+    let aspect = spawn_appspector("127.0.0.1:0", fs.service.addr, 16).unwrap();
+    let fd = spawn_daemon(None, fs.service.addr, aspect.service.addr, clock.clone());
+    assert!(fs.state.lock().directory.get(ClusterId(1)).is_some(), "registered");
+
+    call(fs.service.addr, &Request::CreateUser { user: "dan".into(), password: "pw".into() }).unwrap();
+    let Response::Session { token, .. } =
+        call(fs.service.addr, &Request::Login { user: "dan".into(), password: "pw".into() }).unwrap()
+    else {
+        panic!("expected session")
+    };
+    let qos = QosBuilder::new("namd", 4, 16, 100.0).build().unwrap();
+
+    // While the daemon heartbeats, it is offered.
+    let Response::Servers(servers) =
+        call(fs.service.addr, &Request::ListServers { token: token.clone(), qos: qos.clone() }).unwrap()
+    else {
+        panic!("expected server list")
+    };
+    assert_eq!(servers.len(), 1);
+
+    // Silence it well past the dead threshold (270 sim seconds).
+    fd.kill();
+    std::thread::sleep(Duration::from_millis(900));
+
+    let Response::Servers(servers) =
+        call(fs.service.addr, &Request::ListServers { token, qos }).unwrap()
+    else {
+        panic!("expected server list")
+    };
+    assert!(servers.is_empty(), "dead daemon no longer offered");
+    let s = fs.state.lock();
+    assert!(s.stats.evictions >= 1, "eviction counted");
+    assert!(s.directory.get(ClusterId(1)).is_none(), "directory entry removed");
+    drop(s);
+
+    // A fresh daemon for the same cluster re-registers cleanly.
+    let fd2 = spawn_daemon(None, fs.service.addr, aspect.service.addr, clock);
+    assert!(fs.state.lock().directory.get(ClusterId(1)).is_some(), "re-registered after eviction");
+    fd2.shutdown();
+}
