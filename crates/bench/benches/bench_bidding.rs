@@ -26,7 +26,9 @@ fn request(i: u64) -> BidRequest {
     BidRequest {
         job: JobId(i),
         user: UserId(1),
-        qos: QosBuilder::new("namd", min, min * 4, 5_000.0).build().unwrap(),
+        qos: QosBuilder::new("namd", min, min * 4, 5_000.0)
+            .build()
+            .unwrap(),
         issued_at: SimTime::from_secs(i),
     }
 }
@@ -40,7 +42,10 @@ fn bench_strategies(c: &mut Criterion) {
         predicted_utilization: 0.65,
         now: SimTime::from_secs(1000),
     };
-    let market = MarketInfo { recent_avg_multiplier: Some(1.2), grid_utilization: Some(0.7) };
+    let market = MarketInfo {
+        recent_avg_multiplier: Some(1.2),
+        grid_utilization: Some(0.7),
+    };
     let req = request(1);
 
     let strategies: Vec<(&str, Box<dyn BidStrategy>)> = vec![
@@ -65,7 +70,10 @@ fn loaded_cluster(jobs: usize) -> Cluster {
         ResizeCostModel::default(),
     );
     for i in 0..jobs {
-        let qos = QosBuilder::new("namd", 1, 16, 1e6).adaptive().build().unwrap();
+        let qos = QosBuilder::new("namd", 1, 16, 1e6)
+            .adaptive()
+            .build()
+            .unwrap();
         let spec = JobSpec::new(JobId(i as u64), UserId(1), qos, SimTime::ZERO).unwrap();
         cluster.submit_job(spec, ContractId(i as u64), Money::ZERO, SimTime::ZERO);
     }
@@ -84,18 +92,22 @@ fn bench_daemon_bid_path(c: &mut Criterion) {
             Money::from_units_f64(0.01),
         );
         let market = MarketInfo::default();
-        g.bench_with_input(BenchmarkId::new("probe+price", running), &running, |b, _| {
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                black_box(daemon.handle_bid_request(
-                    &request(i),
-                    &mut cluster,
-                    &market,
-                    SimTime::from_secs(1),
-                ))
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("probe+price", running),
+            &running,
+            |b, _| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    black_box(daemon.handle_bid_request(
+                        &request(i),
+                        &mut cluster,
+                        &market,
+                        SimTime::from_secs(1),
+                    ))
+                });
+            },
+        );
     }
     g.finish();
 }

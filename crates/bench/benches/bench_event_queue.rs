@@ -19,7 +19,10 @@ use std::hint::black_box;
 struct Gaps(u64);
 impl Gaps {
     fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (self.0 >> 33) % 10_000 + 1
     }
 }

@@ -31,13 +31,22 @@ fn directory_with(n: usize) -> Directory {
             },
             [
                 "namd".to_string(),
-                if i % 2 == 0 { "cfd".to_string() } else { "qmc".to_string() },
+                if i % 2 == 0 {
+                    "cfd".to_string()
+                } else {
+                    "qmc".to_string()
+                },
             ],
             SimTime::ZERO,
         );
         d.heartbeat(
             ClusterId(i as u64),
-            ServerStatus { free_pes: pes / 2, queue_len: (i % 5) as u32, accepting: i % 7 != 0 },
+            ServerStatus {
+                free_pes: pes / 2,
+                queue_len: (i % 5) as u32,
+                accepting: i % 7 != 0,
+                ..Default::default()
+            },
             SimTime::from_secs(1),
         );
     }
@@ -48,15 +57,10 @@ fn sample_jobs() -> Vec<QosContract> {
     (0..16)
         .map(|i| {
             let min = 8u32 << (i % 5);
-            QosBuilder::new(
-                ["namd", "cfd", "qmc"][i % 3],
-                min,
-                min * 2,
-                1000.0,
-            )
-            .mem_per_pe_mb(if i % 4 == 0 { 1024 } else { 256 })
-            .build()
-            .unwrap()
+            QosBuilder::new(["namd", "cfd", "qmc"][i % 3], min, min * 2, 1000.0)
+                .mem_per_pe_mb(if i % 4 == 0 { 1024 } else { 256 })
+                .build()
+                .unwrap()
         })
         .collect()
 }
@@ -72,18 +76,14 @@ fn bench_matching(c: &mut Criterion) {
             ("static+dynamic", FilterLevel::StaticAndDynamic),
         ] {
             g.throughput(Throughput::Elements(jobs.len() as u64));
-            g.bench_with_input(
-                BenchmarkId::new(fname, n),
-                &level,
-                |b, &level| {
-                    let mut i = 0usize;
-                    b.iter(|| {
-                        let q = &jobs[i % jobs.len()];
-                        i += 1;
-                        black_box(dir.candidates(q, level, SimTime::from_secs(2)).len())
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(fname, n), &level, |b, &level| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &jobs[i % jobs.len()];
+                    i += 1;
+                    black_box(dir.candidates(q, level, SimTime::from_secs(2)).len())
+                });
+            });
         }
     }
     g.finish();

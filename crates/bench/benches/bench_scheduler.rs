@@ -20,8 +20,9 @@ use std::hint::black_box;
 fn bench_equipartition_targets(c: &mut Criterion) {
     let mut g = c.benchmark_group("equipartition_targets");
     for &n in &[10usize, 100, 1000] {
-        let bounds: Vec<(u32, u32)> =
-            (0..n).map(|i| (1 + (i % 16) as u32, 8 + (i % 64) as u32 * 4)).collect();
+        let bounds: Vec<(u32, u32)> = (0..n)
+            .map(|i| (1 + (i % 16) as u32, 8 + (i % 64) as u32 * 4))
+            .collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &bounds, |b, bounds| {
             b.iter(|| black_box(equipartition_targets(bounds, 4096)));
         });
@@ -33,14 +34,27 @@ fn bench_gantt(c: &mut Criterion) {
     let mut g = c.benchmark_group("gantt");
     for &n in &[10usize, 100, 1000] {
         let running: Vec<(SimTime, u32)> = (0..n)
-            .map(|i| (SimTime::from_secs((i as u64 * 37) % 10_000 + 1), 1 + (i % 8) as u32))
+            .map(|i| {
+                (
+                    SimTime::from_secs((i as u64 * 37) % 10_000 + 1),
+                    1 + (i % 8) as u32,
+                )
+            })
             .collect();
-        g.bench_with_input(BenchmarkId::new("earliest_window", n), &running, |b, running| {
-            b.iter(|| {
-                let gantt = GanttProfile::new(SimTime::ZERO, 4096, 64, running.iter().copied());
-                black_box(gantt.earliest_window(512, SimDuration::from_secs(500), SimTime::ZERO))
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("earliest_window", n),
+            &running,
+            |b, running| {
+                b.iter(|| {
+                    let gantt = GanttProfile::new(SimTime::ZERO, 4096, 64, running.iter().copied());
+                    black_box(gantt.earliest_window(
+                        512,
+                        SimDuration::from_secs(500),
+                        SimTime::ZERO,
+                    ))
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -54,7 +68,10 @@ fn bench_cluster_cycle(c: &mut Criterion) {
                 ResizeCostModel::default(),
             );
             for i in 0..32u64 {
-                let qos = QosBuilder::new("app", 4, 64, 10_000.0).adaptive().build().unwrap();
+                let qos = QosBuilder::new("app", 4, 64, 10_000.0)
+                    .adaptive()
+                    .build()
+                    .unwrap();
                 let spec = JobSpec::new(JobId(i), UserId(1), qos, SimTime::from_secs(i)).unwrap();
                 cluster.submit_job(spec, ContractId(i), Money::ZERO, SimTime::from_secs(i));
             }
@@ -64,5 +81,10 @@ fn bench_cluster_cycle(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_equipartition_targets, bench_gantt, bench_cluster_cycle);
+criterion_group!(
+    benches,
+    bench_equipartition_targets,
+    bench_gantt,
+    bench_cluster_cycle
+);
 criterion_main!(benches);

@@ -39,7 +39,14 @@ fn main() {
 
     let mut table = Table::new(
         "E17: agent-tree bid evaluation vs centralized (exactness + inbox reduction)",
-        &["servers", "fanout", "top-k", "client inbox", "reduction", "winner matches"],
+        &[
+            "servers",
+            "fanout",
+            "top-k",
+            "client inbox",
+            "reduction",
+            "winner matches",
+        ],
     );
     for &n in &[100usize, 1_000, 10_000] {
         for (fanout, k) in [(32usize, 1usize), (32, 2), (128, 2)] {
@@ -49,7 +56,10 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(1700 + n as u64);
             for _ in 0..trials {
                 let bids = slate(n, &mut rng);
-                let central = SelectionPolicy::LeastCost.select(&bids, &flat).unwrap().cluster;
+                let central = SelectionPolicy::LeastCost
+                    .select(&bids, &flat)
+                    .unwrap()
+                    .cluster;
                 let out = tree.evaluate(&bids, SelectionPolicy::LeastCost, &flat);
                 inbox = out.client_inbox;
                 if out.winner.unwrap().cluster == central {
@@ -71,11 +81,20 @@ fn main() {
     // Two-phase commitment under renege pressure.
     let mut table = Table::new(
         "E17b: two-phase fallback coverage under renege probability (fanout 32)",
-        &["p(renege)", "top-k", "confirmed via slate", "re-solicit needed", "mean attempts"],
+        &[
+            "p(renege)",
+            "top-k",
+            "confirmed via slate",
+            "re-solicit needed",
+            "mean attempts",
+        ],
     );
     for p_renege in [0.1f64, 0.3, 0.6] {
         for k in [1usize, 2, 4] {
-            let tree = DistributedEvaluation { fanout: 32, top_k: k };
+            let tree = DistributedEvaluation {
+                fanout: 32,
+                top_k: k,
+            };
             let mut rng = StdRng::seed_from_u64(1750);
             let mut confirmed = 0usize;
             let mut resolicit = 0usize;
@@ -83,12 +102,10 @@ fn main() {
             for _ in 0..trials {
                 let bids = slate(1_000, &mut rng);
                 let mut renege_rng = StdRng::seed_from_u64(rng.random());
-                let (ok, attempts, _) = tree.evaluate_two_phase(
-                    &bids,
-                    SelectionPolicy::LeastCost,
-                    &flat,
-                    |_| renege_rng.random::<f64>() < p_renege,
-                );
+                let (ok, attempts, _) =
+                    tree.evaluate_two_phase(&bids, SelectionPolicy::LeastCost, &flat, |_| {
+                        renege_rng.random::<f64>() < p_renege
+                    });
                 attempts_total += attempts as u64;
                 if ok.is_some() {
                     confirmed += 1;

@@ -26,7 +26,11 @@ fn main() {
     let fs = spawn_fs("127.0.0.1:0", clock.clone(), 1).expect("FS");
     let aspect = spawn_appspector("127.0.0.1:0", fs.service.addr, 64).expect("AppSpector");
     let mut fds = vec![];
-    for (i, pes, strat) in [(1u64, 128u32, "baseline"), (2, 256, "util-interp"), (3, 512, "baseline")] {
+    for (i, pes, strat) in [
+        (1u64, 128u32, "baseline"),
+        (2, 256, "util-interp"),
+        (3, 512, "baseline"),
+    ] {
         let machine = MachineSpec::commodity(ClusterId(i), format!("cs{i}"), pes);
         let daemon = FaucetsDaemon::new(
             machine.server_info("127.0.0.1", 0),
@@ -36,8 +40,15 @@ fn main() {
         );
         let cluster = Cluster::new(machine, Box::new(Equipartition), ResizeCostModel::default());
         fds.push(
-            spawn_fd("127.0.0.1:0", daemon, cluster, fs.service.addr, aspect.service.addr, clock.clone())
-                .expect("FD"),
+            spawn_fd(
+                "127.0.0.1:0",
+                daemon,
+                cluster,
+                fs.service.addr,
+                aspect.service.addr,
+                clock.clone(),
+            )
+            .expect("FD"),
         );
     }
 
@@ -61,17 +72,24 @@ fn main() {
                 .efficiency(0.95, 0.8)
                 .adaptive()
                 .payoff(PayoffFn::hard_only(
-                    clock.now().saturating_add(faucets_sim::time::SimDuration::from_hours(4)),
+                    clock
+                        .now()
+                        .saturating_add(faucets_sim::time::SimDuration::from_hours(4)),
                     Money::from_units(100),
                     Money::from_units(10),
                 ))
                 .build()
                 .unwrap();
-            let sub = c.submit(qos, &[("in.dat".into(), vec![0u8; 1024])]).expect("placed");
+            let sub = c
+                .submit(qos, &[("in.dat".into(), vec![0u8; 1024])])
+                .expect("placed");
             placed.push((c.user, sub));
         }
     }
-    println!("Placed {} jobs across the live grid; waiting for completions...\n", placed.len());
+    println!(
+        "Placed {} jobs across the live grid; waiting for completions...\n",
+        placed.len()
+    );
     for c in &clients {
         for (owner, sub) in &placed {
             if *owner == c.user {

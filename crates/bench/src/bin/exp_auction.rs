@@ -31,7 +31,10 @@ fn main() {
     );
 
     for n in [2usize, 3, 5, 10] {
-        for (name, mech) in [("first-price", Mechanism::FirstPrice), ("second-price", Mechanism::SecondPrice)] {
+        for (name, mech) in [
+            ("first-price", Mechanism::FirstPrice),
+            ("second-price", Mechanism::SecondPrice),
+        ] {
             let mut rng = StdRng::seed_from_u64(1200 + n as u64);
             let mut paid = 0i64;
             let mut winner_cost = 0i64;

@@ -35,7 +35,9 @@ fn main() {
             .users(9)
             .mode(MarketMode::Barter)
             .credits(ServiceUnits::from_units(grant as i64))
-            .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(90) })
+            .arrivals(ArrivalProcess::Poisson {
+                mean_interarrival: SimDuration::from_secs(90),
+            })
             .mix(standard_mix())
             .horizon(SimDuration::from_hours(24))
             .build();

@@ -23,7 +23,9 @@ fn run(strategies: &[String], seed: u64) -> GridWorld {
     let mut b = ScenarioBuilder::new(seed)
         .users(10)
         .mode(MarketMode::Bidding(SelectionPolicy::LeastCost))
-        .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(60) })
+        .arrivals(ArrivalProcess::Poisson {
+            mean_interarrival: SimDuration::from_secs(60),
+        })
         .mix(standard_mix())
         .horizon(SimDuration::from_hours(24));
     for s in strategies {
@@ -45,14 +47,25 @@ fn main() {
 
     let mut table = Table::new(
         "E6a: baseline vs util-interpolated (k=1, a=0.5, b=2.0), least-cost clients",
-        &["cluster", "strategy", "jobs won", "revenue", "rev/job", "utilization"],
+        &[
+            "cluster",
+            "strategy",
+            "jobs won",
+            "revenue",
+            "rev/job",
+            "utilization",
+        ],
     );
     let mut revenue_by: std::collections::BTreeMap<&'static str, (Money, u64)> = Default::default();
     for (id, node) in w.nodes.iter_mut() {
         let m = &mut node.cluster.metrics;
         let (completed, revenue) = (m.completed, m.revenue_price);
         let util = m.utilization(end);
-        let per_job = if completed > 0 { revenue.mul_f64(1.0 / completed as f64) } else { Money::ZERO };
+        let per_job = if completed > 0 {
+            revenue.mul_f64(1.0 / completed as f64)
+        } else {
+            Money::ZERO
+        };
         table.row(vec![
             id.to_string(),
             node.daemon.strategy_name().into(),
@@ -61,7 +74,9 @@ fn main() {
             per_job.to_string(),
             pct(util),
         ]);
-        let e = revenue_by.entry(node.daemon.strategy_name()).or_insert((Money::ZERO, 0));
+        let e = revenue_by
+            .entry(node.daemon.strategy_name())
+            .or_insert((Money::ZERO, 0));
         e.0 += revenue;
         e.1 += completed;
     }
@@ -75,7 +90,13 @@ fn main() {
     // Part B: (alpha, beta) sweep for one interpolated cluster vs 3 baselines.
     let mut sweep = Table::new(
         "E6b: util-interp parameter sweep (one interp cluster vs three baselines)",
-        &["alpha", "beta", "interp jobs", "interp revenue", "baseline revenue (sum)"],
+        &[
+            "alpha",
+            "beta",
+            "interp jobs",
+            "interp revenue",
+            "baseline revenue (sum)",
+        ],
     );
     for alpha in [0.25, 0.5, 0.75] {
         for beta in [0.5, 2.0, 4.0] {

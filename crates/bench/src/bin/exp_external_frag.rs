@@ -24,7 +24,9 @@ fn build(mode: MarketMode, accounts: usize) -> GridWorld {
         .users(3)
         .accounts_per_user(accounts)
         .mode(mode)
-        .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(110) })
+        .arrivals(ArrivalProcess::Poisson {
+            mean_interarrival: SimDuration::from_secs(110),
+        })
         .mix(standard_mix())
         .horizon(SimDuration::from_hours(24));
     for _ in 0..8 {
@@ -36,13 +38,24 @@ fn build(mode: MarketMode, accounts: usize) -> GridWorld {
 fn main() {
     let mut table = Table::new(
         "E3: external fragmentation — 8x128-PE grid, 24 h of jobs",
-        &["access", "completed", "mean wait (s)", "mean slowdown", "p95 slowdown", "idle clusters"],
+        &[
+            "access",
+            "completed",
+            "mean wait (s)",
+            "mean slowdown",
+            "p95 slowdown",
+            "idle clusters",
+        ],
     );
 
     let cases = [
         ("accounts on 1 cluster", MarketMode::Restricted, 1),
         ("accounts on 2 clusters", MarketMode::Restricted, 2),
-        ("Faucets market (all 8)", MarketMode::Bidding(SelectionPolicy::EarliestCompletion), 1),
+        (
+            "Faucets market (all 8)",
+            MarketMode::Bidding(SelectionPolicy::EarliestCompletion),
+            1,
+        ),
     ];
     for (label, mode, accounts) in cases {
         let mut w = build(mode, accounts);

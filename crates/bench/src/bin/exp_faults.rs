@@ -50,7 +50,10 @@ fn make_fd_parts(i: usize) -> (FaucetsDaemon, Cluster) {
 }
 
 fn fd_options(snapshot: Option<PathBuf>) -> FdOptions {
-    FdOptions { snapshot, ..FdOptions::default() }
+    FdOptions {
+        snapshot,
+        ..FdOptions::default()
+    }
 }
 
 struct ArmResult {
@@ -70,7 +73,10 @@ fn run_arm(seed: u64, jobs: usize, kills: usize, downtime_ms: u64, recovery: boo
         "127.0.0.1:0",
         fs.service.addr,
         64,
-        ServeOptions { faults: Some(Arc::new(FaultPlan::new(seed ^ 0xA5, plan.config()))), ..ServeOptions::default() },
+        ServeOptions {
+            faults: Some(Arc::new(FaultPlan::new(seed ^ 0xA5, plan.config()))),
+            ..ServeOptions::default()
+        },
     )
     .expect("AppSpector");
 
@@ -97,8 +103,16 @@ fn run_arm(seed: u64, jobs: usize, kills: usize, downtime_ms: u64, recovery: boo
         )
         .expect("FD")
     };
-    let mut fds: Vec<Option<faucets_net::fd::FdHandle>> =
-        (0..DAEMONS).map(|i| Some(spawn(i, fs.service.addr, aspect.service.addr, clock.clone()))).collect();
+    let mut fds: Vec<Option<faucets_net::fd::FdHandle>> = (0..DAEMONS)
+        .map(|i| {
+            Some(spawn(
+                i,
+                fs.service.addr,
+                aspect.service.addr,
+                clock.clone(),
+            ))
+        })
+        .collect();
 
     let mut client = FaucetsClient::register(
         fs.service.addr,
@@ -112,16 +126,23 @@ fn run_arm(seed: u64, jobs: usize, kills: usize, downtime_ms: u64, recovery: boo
 
     let mut placed = vec![];
     for j in 0..jobs {
-        let qos = QosBuilder::new(if j % 2 == 0 { "namd" } else { "cfd" }, 8, 32, 8.0 * 3_600.0)
-            .efficiency(0.95, 0.8)
-            .adaptive()
-            .payoff(PayoffFn::hard_only(
-                clock.now().saturating_add(faucets_sim::time::SimDuration::from_hours(24)),
-                Money::from_units(PAYOFF_PER_JOB),
-                Money::from_units(10),
-            ))
-            .build()
-            .unwrap();
+        let qos = QosBuilder::new(
+            if j % 2 == 0 { "namd" } else { "cfd" },
+            8,
+            32,
+            8.0 * 3_600.0,
+        )
+        .efficiency(0.95, 0.8)
+        .adaptive()
+        .payoff(PayoffFn::hard_only(
+            clock
+                .now()
+                .saturating_add(faucets_sim::time::SimDuration::from_hours(24)),
+            Money::from_units(PAYOFF_PER_JOB),
+            Money::from_units(10),
+        ))
+        .build()
+        .unwrap();
         match client.submit(qos, &[("in.dat".into(), vec![0u8; 512])]) {
             Ok(sub) => placed.push(sub),
             Err(e) => eprintln!("  submit {j} failed: {e}"),
@@ -137,7 +158,12 @@ fn run_arm(seed: u64, jobs: usize, kills: usize, downtime_ms: u64, recovery: boo
             fd.kill();
         }
         std::thread::sleep(Duration::from_millis(outage.downtime_ms));
-        let fd = spawn(outage.victim, fs.service.addr, aspect.service.addr, clock.clone());
+        let fd = spawn(
+            outage.victim,
+            fs.service.addr,
+            aspect.service.addr,
+            clock.clone(),
+        );
         if recovery {
             restores += fd.active_contracts();
         }
@@ -149,7 +175,9 @@ fn run_arm(seed: u64, jobs: usize, kills: usize, downtime_ms: u64, recovery: boo
     let deadline = std::time::Instant::now() + Duration::from_secs(25);
     let mut completed = 0usize;
     for sub in &placed {
-        let left = deadline.saturating_duration_since(std::time::Instant::now()).max(Duration::from_millis(50));
+        let left = deadline
+            .saturating_duration_since(std::time::Instant::now())
+            .max(Duration::from_millis(50));
         if client.wait(sub.job, left).is_ok() {
             completed += 1;
         }
@@ -159,7 +187,11 @@ fn run_arm(seed: u64, jobs: usize, kills: usize, downtime_ms: u64, recovery: boo
         fd.shutdown();
     }
     let _ = std::fs::remove_dir_all(&scratch);
-    ArmResult { completed, total: jobs, restores }
+    ArmResult {
+        completed,
+        total: jobs,
+        restores,
+    }
 }
 
 fn main() {
@@ -180,14 +212,26 @@ fn main() {
     );
     assert_ne!(
         desc,
-        FaultPlan::new(seed + 1, FaultConfig::flaky()).schedule_description(DAEMONS, max_kills, 400, downtime_ms),
+        FaultPlan::new(seed + 1, FaultConfig::flaky()).schedule_description(
+            DAEMONS,
+            max_kills,
+            400,
+            downtime_ms
+        ),
         "different seeds must diverge"
     );
     println!("Fault schedule (seed {seed}, reproduced byte-for-byte):\n{desc}");
 
     let mut table = Table::new(
         "E19: completion & payoff lost vs. daemon crashes, with/without recovery",
-        &["daemon kills", "arm", "completed", "completion %", "payoff lost", "contracts restored"],
+        &[
+            "daemon kills",
+            "arm",
+            "completed",
+            "completion %",
+            "payoff lost",
+            "contracts restored",
+        ],
     );
     for kills in 0..=max_kills {
         for recovery in [true, false] {
@@ -195,11 +239,19 @@ fn main() {
             let lost = (r.total - r.completed) as u64 * PAYOFF_PER_JOB;
             table.row(vec![
                 kills.to_string(),
-                if recovery { "recovery".into() } else { "no recovery".into() },
+                if recovery {
+                    "recovery".into()
+                } else {
+                    "no recovery".into()
+                },
                 format!("{}/{}", r.completed, r.total),
                 format!("{:.0}%", 100.0 * r.completed as f64 / r.total.max(1) as f64),
                 Money::from_units(lost).to_string(),
-                if recovery { r.restores.to_string() } else { "-".into() },
+                if recovery {
+                    r.restores.to_string()
+                } else {
+                    "-".into()
+                },
             ]);
         }
     }

@@ -63,12 +63,24 @@ fn main() {
                 ResizeCostModel::default().scaled(resize_scale),
             );
             cluster.submit_job(job_b(), ContractId(1), Money::from_units(50), SimTime::ZERO);
-            cluster.submit_job(job_a(arrival, a_pes), ContractId(2), Money::from_units(5_000), arrival);
+            cluster.submit_job(
+                job_a(arrival, a_pes),
+                ContractId(2),
+                Money::from_units(5_000),
+                arrival,
+            );
             let (completions, end) = cluster.run_to_idle(arrival);
 
             let a = completions.iter().find(|c| c.outcome.job == JobId(2));
             let (wait, met) = match a {
-                Some(c) => (f2(c.outcome.wait_secs()), if c.outcome.met_deadline { "met" } else { "MISSED" }),
+                Some(c) => (
+                    f2(c.outcome.wait_secs()),
+                    if c.outcome.met_deadline {
+                        "met"
+                    } else {
+                        "MISSED"
+                    },
+                ),
                 None => ("rejected".into(), "-"),
             };
             table.row(vec![

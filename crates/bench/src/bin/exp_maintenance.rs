@@ -20,10 +20,16 @@ fn run(window_hours: u64, migrate: bool) -> GridWorld {
         .cluster(128, "equipartition", "baseline")
         .users(8)
         .mode(MarketMode::Bidding(SelectionPolicy::LeastCost))
-        .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(90) })
+        .arrivals(ArrivalProcess::Poisson {
+            mean_interarrival: SimDuration::from_secs(90),
+        })
         .mix(standard_mix())
         .horizon(SimDuration::from_hours(24))
-        .maintenance(0, SimTime::from_hours(6), SimDuration::from_hours(window_hours))
+        .maintenance(
+            0,
+            SimTime::from_hours(6),
+            SimDuration::from_hours(window_hours),
+        )
         .migrate_on_maintenance(migrate)
         .build();
     run_scenario(sim)
@@ -32,14 +38,27 @@ fn run(window_hours: u64, migrate: bool) -> GridWorld {
 fn main() {
     let mut table = Table::new(
         "E15: maintenance drain of the big cluster at t=6h — migrate vs wait",
-        &["window", "mode", "migrations", "completed", "mean resp (s)", "p95 slowdown", "misses"],
+        &[
+            "window",
+            "mode",
+            "migrations",
+            "completed",
+            "mean resp (s)",
+            "p95 slowdown",
+            "misses",
+        ],
     );
     for window in [2u64, 4, 8] {
         for migrate in [true, false] {
             let w = run(window, migrate);
             table.row(vec![
                 format!("{window} h"),
-                if migrate { "checkpoint+migrate" } else { "wait out window" }.into(),
+                if migrate {
+                    "checkpoint+migrate"
+                } else {
+                    "wait out window"
+                }
+                .into(),
                 w.stats.migrations.to_string(),
                 w.stats.completed.to_string(),
                 f2(w.stats.response.mean()),

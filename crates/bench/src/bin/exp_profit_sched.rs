@@ -41,7 +41,9 @@ fn main() {
                 .cluster(pes, policy, "baseline")
                 .users(6)
                 .mode(MarketMode::Bidding(SelectionPolicy::LeastCost))
-                .arrivals(ArrivalProcess::Poisson { mean_interarrival: inter })
+                .arrivals(ArrivalProcess::Poisson {
+                    mean_interarrival: inter,
+                })
                 .mix(mix.clone())
                 .horizon(SimDuration::from_hours(hours))
                 .build();
@@ -53,7 +55,10 @@ fn main() {
             let misses = m.deadline_misses;
             let rejected = w.stats.rejected + m.rejected;
             let completed = w.stats.completed;
-            let util = node.cluster.metrics.utilization(SimTime::ZERO + SimDuration::from_hours(hours));
+            let util = node
+                .cluster
+                .metrics
+                .utilization(SimTime::ZERO + SimDuration::from_hours(hours));
             table.row(vec![
                 f2(rho),
                 policy.into(),

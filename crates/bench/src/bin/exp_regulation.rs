@@ -21,7 +21,9 @@ fn run(reg: Option<Regulator>) -> GridWorld {
         .cluster(512, "equipartition", "fixed:40.0") // the gouger: biggest machine
         .users(8)
         .mode(MarketMode::Bidding(SelectionPolicy::EarliestCompletion))
-        .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(90) })
+        .arrivals(ArrivalProcess::Poisson {
+            mean_interarrival: SimDuration::from_secs(90),
+        })
         .mix(standard_mix())
         .horizon(SimDuration::from_hours(24));
     if let Some(r) = reg {
@@ -33,16 +35,39 @@ fn run(reg: Option<Regulator>) -> GridWorld {
 fn main() {
     let mut table = Table::new(
         "E18: price-band regulation vs a 40x gouger (earliest-completion clients, 24 h)",
-        &["regulator", "screened bids", "client spend", "$/job", "gouger revenue", "mean resp (s)"],
+        &[
+            "regulator",
+            "screened bids",
+            "client spend",
+            "$/job",
+            "gouger revenue",
+            "mean resp (s)",
+        ],
     );
     let cases: [(&str, Option<Regulator>); 3] = [
         ("none (free market)", None),
-        ("reject outside 3x band", Some(Regulator { band_factor: 3.0, action: BandAction::Reject })),
-        ("clamp to 3x band", Some(Regulator { band_factor: 3.0, action: BandAction::Clamp })),
+        (
+            "reject outside 3x band",
+            Some(Regulator {
+                band_factor: 3.0,
+                action: BandAction::Reject,
+            }),
+        ),
+        (
+            "clamp to 3x band",
+            Some(Regulator {
+                band_factor: 3.0,
+                action: BandAction::Clamp,
+            }),
+        ),
     ];
     for (label, reg) in cases {
         let w = run(reg);
-        let gouger = w.nodes.values().find(|n| n.daemon.strategy_name() == "fixed").unwrap();
+        let gouger = w
+            .nodes
+            .values()
+            .find(|n| n.daemon.strategy_name() == "fixed")
+            .unwrap();
         let per_job = if w.stats.completed > 0 {
             w.stats.paid_total.mul_f64(1.0 / w.stats.completed as f64)
         } else {

@@ -27,7 +27,15 @@ fn main() {
 
     let mut table = Table::new(
         format!("E9: broker scalability — {hours} h at one job per {interarrival} s"),
-        &["servers", "filter", "jobs", "RFB msgs", "RFB/job", "all msgs", "wall us/job"],
+        &[
+            "servers",
+            "filter",
+            "jobs",
+            "RFB msgs",
+            "RFB/job",
+            "all msgs",
+            "wall us/job",
+        ],
     );
 
     for n_servers in [10usize, 50, 150] {

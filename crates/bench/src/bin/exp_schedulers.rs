@@ -22,25 +22,46 @@ fn main() {
     let mix = standard_mix();
 
     let mut table = Table::new(
-        format!("E4: schedulers under load — {pes}-PE machine, {hours} h, resize cost x{resize_scale}"),
-        &["load rho", "policy", "delivered util", "mean resp (s)", "mean slowdown", "p95 slowdown", "completed", "resizes"],
+        format!(
+            "E4: schedulers under load — {pes}-PE machine, {hours} h, resize cost x{resize_scale}"
+        ),
+        &[
+            "load rho",
+            "policy",
+            "delivered util",
+            "mean resp (s)",
+            "mean slowdown",
+            "p95 slowdown",
+            "completed",
+            "resizes",
+        ],
     );
 
     for rho in [0.5, 0.7, 0.85, 0.95] {
         let inter = Workload::interarrival_for_load(&mix, rho, pes);
-        for policy in ["fcfs", "easy-backfill", "conservative-backfill", "equipartition"] {
+        for policy in [
+            "fcfs",
+            "easy-backfill",
+            "conservative-backfill",
+            "equipartition",
+        ] {
             let sim = ScenarioBuilder::new(401)
                 .cluster(pes, policy, "baseline")
                 .users(6)
                 .mode(MarketMode::Bidding(SelectionPolicy::LeastCost))
-                .arrivals(ArrivalProcess::Poisson { mean_interarrival: inter })
+                .arrivals(ArrivalProcess::Poisson {
+                    mean_interarrival: inter,
+                })
                 .mix(mix.clone())
                 .resize_cost_scale(resize_scale)
                 .horizon(SimDuration::from_hours(hours))
                 .build();
             let mut w = run_scenario(sim);
             let node = w.nodes.values_mut().next().unwrap();
-            let util = node.cluster.metrics.utilization(SimTime::ZERO + SimDuration::from_hours(hours));
+            let util = node
+                .cluster
+                .metrics
+                .utilization(SimTime::ZERO + SimDuration::from_hours(hours));
             table.row(vec![
                 f2(rho),
                 policy.into(),

@@ -25,7 +25,9 @@ fn main() {
             .cluster(pes, policy, "baseline")
             .users(6)
             .mode(MarketMode::Bidding(SelectionPolicy::LeastCost))
-            .arrivals(ArrivalProcess::Poisson { mean_interarrival: inter })
+            .arrivals(ArrivalProcess::Poisson {
+                mean_interarrival: inter,
+            })
             .mix(mix.clone())
             .horizon(SimDuration::from_hours(hours))
             .build();
@@ -42,7 +44,9 @@ fn main() {
     };
 
     let mut table = Table::new(
-        format!("E4b: {reps} replications at rho={rho}, {pes}-PE machine, {hours} h (mean ± 95% CI)"),
+        format!(
+            "E4b: {reps} replications at rho={rho}, {pes}-PE machine, {hours} h (mean ± 95% CI)"
+        ),
         &["policy", "delivered util", "mean response (s)"],
     );
     // Per-seed responses per policy; seeds are shared across policies
@@ -56,7 +60,11 @@ fn main() {
             util.record(u * 100.0);
             resp.record(r);
         }
-        table.row(vec![policy.into(), format!("{}%", util.format(1)), resp.format(0)]);
+        table.row(vec![
+            policy.into(),
+            format!("{}%", util.format(1)),
+            resp.format(0),
+        ]);
         per_policy.push((policy, runs));
     }
     emit(&table);
@@ -78,8 +86,16 @@ fn main() {
          \x20 utilization gain : {} pp   [{}]\n\
          \x20 response cut     : {} s    [{}]",
         d_util.format(1),
-        if util_sep { "CI excludes 0 — claim holds" } else { "CI crosses 0" },
+        if util_sep {
+            "CI excludes 0 — claim holds"
+        } else {
+            "CI crosses 0"
+        },
         d_resp.format(0),
-        if resp_sep { "CI excludes 0 — claim holds" } else { "CI crosses 0" },
+        if resp_sep {
+            "CI excludes 0 — claim holds"
+        } else {
+            "CI crosses 0"
+        },
     );
 }

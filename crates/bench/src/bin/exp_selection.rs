@@ -21,23 +21,53 @@ fn main() {
     let policies: [(&str, SelectionPolicy); 4] = [
         ("least-cost", SelectionPolicy::LeastCost),
         ("earliest-completion", SelectionPolicy::EarliestCompletion),
-        ("weighted ($50/h)", SelectionPolicy::Weighted { time_value_per_hour: Money::from_units(50) }),
+        (
+            "weighted ($50/h)",
+            SelectionPolicy::Weighted {
+                time_value_per_hour: Money::from_units(50),
+            },
+        ),
         ("best-value", SelectionPolicy::BestValue),
     ];
 
     let mut table = Table::new(
         "E7: client selection criteria — cheap/mid/premium clusters, identical workload",
-        &["selection", "completed", "rejected", "paid", "payoff", "client net", "mean resp (s)"],
+        &[
+            "selection",
+            "completed",
+            "rejected",
+            "paid",
+            "payoff",
+            "client net",
+            "mean resp (s)",
+        ],
     );
 
     for (name, policy) in policies {
         let sim = ScenarioBuilder::new(777)
-            .cluster_priced(128, "equipartition", "baseline", Money::from_units_f64(0.005))
-            .cluster_priced(256, "equipartition", "baseline", Money::from_units_f64(0.010))
-            .cluster_priced(512, "equipartition", "baseline", Money::from_units_f64(0.020))
+            .cluster_priced(
+                128,
+                "equipartition",
+                "baseline",
+                Money::from_units_f64(0.005),
+            )
+            .cluster_priced(
+                256,
+                "equipartition",
+                "baseline",
+                Money::from_units_f64(0.010),
+            )
+            .cluster_priced(
+                512,
+                "equipartition",
+                "baseline",
+                Money::from_units_f64(0.020),
+            )
             .users(8)
             .mode(MarketMode::Bidding(policy))
-            .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(75) })
+            .arrivals(ArrivalProcess::Poisson {
+                mean_interarrival: SimDuration::from_secs(75),
+            })
             .mix(standard_mix())
             .horizon(SimDuration::from_hours(24))
             .build();

@@ -30,7 +30,11 @@ fn synthetic_swf() -> String {
     while t < 86_400 {
         // Bursty: short gaps by day, long by night.
         let hour = (t / 3600) % 24;
-        let mean_gap = if (8..20).contains(&hour) { 120.0 } else { 600.0 };
+        let mean_gap = if (8..20).contains(&hour) {
+            120.0
+        } else {
+            600.0
+        };
         t += faucets_sim::dist::Exp::with_mean(mean_gap).sample(&mut rng) as u64 + 1;
         let run = runtime.sample(&mut rng).clamp(60.0, 50_000.0) as u64;
         let procs = 1u32 << rng.random_range(0..7);
@@ -58,15 +62,34 @@ fn main() {
     println!(
         "Replaying {} trace jobs ({} CPU-hours recorded)\n",
         records.len(),
-        (records.iter().map(|r| r.runtime_secs * r.procs as f64).sum::<f64>() / 3600.0) as u64
+        (records
+            .iter()
+            .map(|r| r.runtime_secs * r.procs as f64)
+            .sum::<f64>()
+            / 3600.0) as u64
     );
 
     let mut table = Table::new(
         "E14: SWF trace replay through the grid, per scheduling policy",
-        &["policy", "completed", "rejected", "mean wait (s)", "mean slowdown", "p95 slowdown"],
+        &[
+            "policy",
+            "completed",
+            "rejected",
+            "mean wait (s)",
+            "mean slowdown",
+            "p95 slowdown",
+        ],
     );
-    for policy in ["fcfs", "easy-backfill", "conservative-backfill", "equipartition"] {
-        let cfg = TraceConfig { shrink_factor: shrink, ..TraceConfig::default() };
+    for policy in [
+        "fcfs",
+        "easy-backfill",
+        "conservative-backfill",
+        "equipartition",
+    ] {
+        let cfg = TraceConfig {
+            shrink_factor: shrink,
+            ..TraceConfig::default()
+        };
         let horizon = SimTime::from_hours(24);
         let workload = workload_from_swf(&text, &cfg, horizon).expect("parsed");
         let sim = ScenarioBuilder::new(1404)
@@ -75,7 +98,10 @@ fn main() {
             .users(8)
             .mode(MarketMode::Bidding(SelectionPolicy::LeastCost))
             // Clusters export what the trace jobs request.
-            .mix(JobMix { apps: vec!["trace-app".into()], ..JobMix::default() })
+            .mix(JobMix {
+                apps: vec!["trace-app".into()],
+                ..JobMix::default()
+            })
             .workload(workload)
             .horizon(SimDuration::from_hours(24))
             .build();

@@ -52,7 +52,9 @@ fn main() {
             m.revenue_price.to_string(),
             pct(util),
         ]);
-        let e = by.entry(node.daemon.strategy_name()).or_insert((0, Money::ZERO));
+        let e = by
+            .entry(node.daemon.strategy_name())
+            .or_insert((0, Money::ZERO));
         e.0 += m.completed;
         e.1 += m.revenue_price;
     }

@@ -17,7 +17,10 @@ where
     args.iter()
         .position(|a| a == &format!("--{name}"))
         .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().unwrap_or_else(|e| panic!("bad --{name} value '{v}': {e:?}")))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|e| panic!("bad --{name} value '{v}': {e:?}"))
+        })
         .unwrap_or(default)
 }
 
@@ -29,7 +32,10 @@ pub fn switch(name: &str) -> bool {
 /// The standard mixed workload used by most experiments: 1–64 min-PE jobs,
 /// heavy-tailed runtimes, comfortable deadlines, fully adaptive.
 pub fn standard_mix() -> JobMix {
-    JobMix { log2_min_pes: (0, 6), ..JobMix::default() }
+    JobMix {
+        log2_min_pes: (0, 6),
+        ..JobMix::default()
+    }
 }
 
 /// A deadline-pressure mix for the profit experiments: tight slack, stiff
@@ -67,7 +73,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for mix in [standard_mix(), deadline_tight_mix()] {
             for _ in 0..100 {
-                assert!(mix.draw(SimTime::from_secs(10), &mut rng).validate().is_ok());
+                assert!(mix
+                    .draw(SimTime::from_secs(10), &mut rng)
+                    .validate()
+                    .is_ok());
             }
         }
     }

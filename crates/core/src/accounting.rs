@@ -80,7 +80,11 @@ pub struct Ledger<A: Amount> {
 impl<A: Amount> Ledger<A> {
     /// An empty ledger.
     pub fn new() -> Self {
-        Ledger { balances: BTreeMap::new(), overdraft_allowed: BTreeMap::new(), journal: vec![] }
+        Ledger {
+            balances: BTreeMap::new(),
+            overdraft_allowed: BTreeMap::new(),
+            journal: vec![],
+        }
     }
 
     /// Open an account with an initial balance (idempotent: re-opening adds
@@ -110,12 +114,27 @@ impl<A: Amount> Ledger<A> {
     }
 
     /// Move `amount` (must be non-negative) from one account to another.
-    pub fn transfer(&mut self, from: AccountId, to: AccountId, amount: A, memo: impl Into<String>) -> Result<()> {
+    pub fn transfer(
+        &mut self,
+        from: AccountId,
+        to: AccountId,
+        amount: A,
+        memo: impl Into<String>,
+    ) -> Result<()> {
         let zero = A::default();
-        assert!(amount >= zero, "transfer amounts must be non-negative: {amount:?}");
-        let from_bal = *self.balances.get(&from).ok_or_else(|| {
-            FaucetsError::InsufficientFunds { account: from.to_string(), needed: amount.micros(), available: 0 }
-        })?;
+        assert!(
+            amount >= zero,
+            "transfer amounts must be non-negative: {amount:?}"
+        );
+        let from_bal =
+            *self
+                .balances
+                .get(&from)
+                .ok_or_else(|| FaucetsError::InsufficientFunds {
+                    account: from.to_string(),
+                    needed: amount.micros(),
+                    available: 0,
+                })?;
         if !self.balances.contains_key(&to) {
             return Err(FaucetsError::InsufficientFunds {
                 account: to.to_string(),
@@ -134,7 +153,12 @@ impl<A: Amount> Ledger<A> {
         }
         *self.balances.get_mut(&from).unwrap() -= amount;
         *self.balances.get_mut(&to).unwrap() += amount;
-        self.journal.push(LedgerEntry { from, to, amount, memo: memo.into() });
+        self.journal.push(LedgerEntry {
+            from,
+            to,
+            amount,
+            memo: memo.into(),
+        });
         Ok(())
     }
 
@@ -163,8 +187,10 @@ mod tests {
 
     fn ledger() -> Ledger<Money> {
         let mut l = Ledger::new();
-        l.open(AccountId::User(UserId(1)), Money::from_units(100)).unwrap();
-        l.open(AccountId::Cluster(ClusterId(1)), Money::ZERO).unwrap();
+        l.open(AccountId::User(UserId(1)), Money::from_units(100))
+            .unwrap();
+        l.open(AccountId::Cluster(ClusterId(1)), Money::ZERO)
+            .unwrap();
         l.open(AccountId::System, Money::ZERO).unwrap();
         l.set_overdraft(AccountId::System, true);
         l
@@ -181,8 +207,14 @@ mod tests {
             "contract settlement",
         )
         .unwrap();
-        assert_eq!(l.balance(&AccountId::User(UserId(1))), Money::from_units(70));
-        assert_eq!(l.balance(&AccountId::Cluster(ClusterId(1))), Money::from_units(30));
+        assert_eq!(
+            l.balance(&AccountId::User(UserId(1))),
+            Money::from_units(70)
+        );
+        assert_eq!(
+            l.balance(&AccountId::Cluster(ClusterId(1))),
+            Money::from_units(30)
+        );
         assert_eq!(l.total_micros(), before);
         assert_eq!(l.journal().len(), 1);
         assert_eq!(l.journal()[0].memo, "contract settlement");
@@ -201,27 +233,48 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, FaucetsError::InsufficientFunds { .. }));
         // Nothing moved.
-        assert_eq!(l.balance(&AccountId::User(UserId(1))), Money::from_units(100));
+        assert_eq!(
+            l.balance(&AccountId::User(UserId(1))),
+            Money::from_units(100)
+        );
         assert!(l.journal().is_empty());
     }
 
     #[test]
     fn system_account_may_overdraft() {
         let mut l = ledger();
-        l.transfer(AccountId::System, AccountId::User(UserId(1)), Money::from_units(500), "payoff")
-            .unwrap();
+        l.transfer(
+            AccountId::System,
+            AccountId::User(UserId(1)),
+            Money::from_units(500),
+            "payoff",
+        )
+        .unwrap();
         assert_eq!(l.balance(&AccountId::System), Money::from_units(-500));
-        assert_eq!(l.balance(&AccountId::User(UserId(1))), Money::from_units(600));
+        assert_eq!(
+            l.balance(&AccountId::User(UserId(1))),
+            Money::from_units(600)
+        );
     }
 
     #[test]
     fn unknown_accounts_error() {
         let mut l = ledger();
         assert!(l
-            .transfer(AccountId::User(UserId(9)), AccountId::System, Money::ZERO, "")
+            .transfer(
+                AccountId::User(UserId(9)),
+                AccountId::System,
+                Money::ZERO,
+                ""
+            )
             .is_err());
         assert!(l
-            .transfer(AccountId::System, AccountId::User(UserId(9)), Money::ZERO, "")
+            .transfer(
+                AccountId::System,
+                AccountId::User(UserId(9)),
+                Money::ZERO,
+                ""
+            )
             .is_err());
     }
 
@@ -249,11 +302,21 @@ mod tests {
         use crate::ids::OrgId;
         use crate::money::ServiceUnits;
         let mut l: Ledger<ServiceUnits> = Ledger::new();
-        l.open(AccountId::Org(OrgId(1)), ServiceUnits::from_units(1000)).unwrap();
-        l.open(AccountId::Org(OrgId(2)), ServiceUnits::from_units(1000)).unwrap();
-        l.transfer(AccountId::Org(OrgId(1)), AccountId::Org(OrgId(2)), ServiceUnits::from_units(250), "barter")
+        l.open(AccountId::Org(OrgId(1)), ServiceUnits::from_units(1000))
             .unwrap();
-        assert_eq!(l.balance(&AccountId::Org(OrgId(2))), ServiceUnits::from_units(1250));
+        l.open(AccountId::Org(OrgId(2)), ServiceUnits::from_units(1000))
+            .unwrap();
+        l.transfer(
+            AccountId::Org(OrgId(1)),
+            AccountId::Org(OrgId(2)),
+            ServiceUnits::from_units(250),
+            "barter",
+        )
+        .unwrap();
+        assert_eq!(
+            l.balance(&AccountId::Org(OrgId(2))),
+            ServiceUnits::from_units(1250)
+        );
         assert_eq!(l.total_micros(), 2000 * 1_000_000);
     }
 }

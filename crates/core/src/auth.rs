@@ -132,7 +132,12 @@ pub struct UserDb {
 impl UserDb {
     /// A database issuing tokens valid for `token_ttl`.
     pub fn new(token_ttl: SimDuration) -> Self {
-        UserDb { by_name: HashMap::new(), sessions: HashMap::new(), next_user: 0, token_ttl }
+        UserDb {
+            by_name: HashMap::new(),
+            sessions: HashMap::new(),
+            next_user: 0,
+            token_ttl,
+        }
     }
 
     fn hash_password(salt: &[u8; 16], password: &str) -> [u8; 32] {
@@ -143,7 +148,12 @@ impl UserDb {
     }
 
     /// Create a user account. Fails if the name is taken.
-    pub fn add_user<R: Rng + ?Sized>(&mut self, name: &str, password: &str, rng: &mut R) -> Result<UserId> {
+    pub fn add_user<R: Rng + ?Sized>(
+        &mut self,
+        name: &str,
+        password: &str,
+        rng: &mut R,
+    ) -> Result<UserId> {
         if self.by_name.contains_key(name) {
             return Err(FaucetsError::AlreadyExists(format!("user '{name}'")));
         }
@@ -152,7 +162,14 @@ impl UserDb {
         let mut salt = [0u8; 16];
         rng.fill(&mut salt);
         let password_hash = Self::hash_password(&salt, password);
-        self.by_name.insert(name.to_string(), UserRecord { id, salt, password_hash });
+        self.by_name.insert(
+            name.to_string(),
+            UserRecord {
+                id,
+                salt,
+                password_hash,
+            },
+        );
         Ok(id)
     }
 
@@ -164,7 +181,10 @@ impl UserDb {
         now: SimTime,
         rng: &mut R,
     ) -> Result<(UserId, SessionToken)> {
-        let rec = self.by_name.get(name).ok_or_else(|| FaucetsError::AuthFailed(name.to_string()))?;
+        let rec = self
+            .by_name
+            .get(name)
+            .ok_or_else(|| FaucetsError::AuthFailed(name.to_string()))?;
         if Self::hash_password(&rec.salt, password) != rec.password_hash {
             return Err(FaucetsError::AuthFailed(name.to_string()));
         }
@@ -173,7 +193,10 @@ impl UserDb {
         let token = SessionToken(hex(&sha256(&raw)));
         self.sessions.insert(
             token.clone(),
-            SessionRecord { user: rec.id, expires: now.saturating_add(self.token_ttl) },
+            SessionRecord {
+                user: rec.id,
+                expires: now.saturating_add(self.token_ttl),
+            },
         );
         Ok((rec.id, token))
     }
@@ -221,7 +244,9 @@ mod tests {
             "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
         );
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
         // A long input crossing several blocks.
@@ -237,7 +262,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut db = UserDb::new(SimDuration::from_hours(1));
         let uid = db.add_user("alice", "hunter2", &mut rng).unwrap();
-        let (got, token) = db.authenticate("alice", "hunter2", SimTime::ZERO, &mut rng).unwrap();
+        let (got, token) = db
+            .authenticate("alice", "hunter2", SimTime::ZERO, &mut rng)
+            .unwrap();
         assert_eq!(got, uid);
         assert_eq!(db.verify(&token, SimTime::from_secs(10)).unwrap(), uid);
     }
@@ -251,7 +278,9 @@ mod tests {
             db.authenticate("alice", "hunter3", SimTime::ZERO, &mut rng),
             Err(FaucetsError::AuthFailed(_))
         ));
-        assert!(db.authenticate("bob", "x", SimTime::ZERO, &mut rng).is_err());
+        assert!(db
+            .authenticate("bob", "x", SimTime::ZERO, &mut rng)
+            .is_err());
     }
 
     #[test]
@@ -268,7 +297,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut db = UserDb::new(SimDuration::from_secs(100));
         db.add_user("alice", "pw", &mut rng).unwrap();
-        let (_, token) = db.authenticate("alice", "pw", SimTime::ZERO, &mut rng).unwrap();
+        let (_, token) = db
+            .authenticate("alice", "pw", SimTime::ZERO, &mut rng)
+            .unwrap();
         assert!(db.verify(&token, SimTime::from_secs(100)).is_ok());
         assert!(matches!(
             db.verify(&token, SimTime::from_secs(101)),
@@ -281,7 +312,9 @@ mod tests {
     #[test]
     fn forged_tokens_rejected() {
         let db = UserDb::new(SimDuration::from_secs(100));
-        assert!(db.verify(&SessionToken("deadbeef".into()), SimTime::ZERO).is_err());
+        assert!(db
+            .verify(&SessionToken("deadbeef".into()), SimTime::ZERO)
+            .is_err());
     }
 
     #[test]

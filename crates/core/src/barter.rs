@@ -92,11 +92,17 @@ impl CreditBank {
         remote_candidates: &[ClusterId],
         est_cost: ServiceUnits,
     ) -> Result<BarterRoute> {
-        let home = self.home_cluster.get(&user).copied().ok_or(FaucetsError::UnknownUser(user))?;
+        let home = self
+            .home_cluster
+            .get(&user)
+            .copied()
+            .ok_or(FaucetsError::UnknownUser(user))?;
         if home_available {
             return Ok(BarterRoute::Home(home));
         }
-        let home_org = self.org_of(home).ok_or(FaucetsError::UnknownCluster(home))?;
+        let home_org = self
+            .org_of(home)
+            .ok_or(FaucetsError::UnknownCluster(home))?;
         if self.credits(home_org) < est_cost {
             return Ok(BarterRoute::Blocked);
         }
@@ -123,9 +129,17 @@ impl CreditBank {
         host: ClusterId,
         credits: ServiceUnits,
     ) -> Result<()> {
-        let home = self.home_cluster.get(&user).copied().ok_or(FaucetsError::UnknownUser(user))?;
-        let home_org = self.org_of(home).ok_or(FaucetsError::UnknownCluster(home))?;
-        let host_org = self.org_of(host).ok_or(FaucetsError::UnknownCluster(host))?;
+        let home = self
+            .home_cluster
+            .get(&user)
+            .copied()
+            .ok_or(FaucetsError::UnknownUser(user))?;
+        let home_org = self
+            .org_of(home)
+            .ok_or(FaucetsError::UnknownCluster(home))?;
+        let host_org = self
+            .org_of(host)
+            .ok_or(FaucetsError::UnknownCluster(host))?;
         if home_org == host_org {
             return Ok(()); // intra-org runs are free
         }
@@ -150,8 +164,10 @@ mod tests {
     /// Two orgs: org1 owns cs1 (home of user1), org2 owns cs2 and cs3.
     fn bank() -> CreditBank {
         let mut b = CreditBank::new();
-        b.register_org(OrgId(1), ServiceUnits::from_units(100)).unwrap();
-        b.register_org(OrgId(2), ServiceUnits::from_units(100)).unwrap();
+        b.register_org(OrgId(1), ServiceUnits::from_units(100))
+            .unwrap();
+        b.register_org(OrgId(2), ServiceUnits::from_units(100))
+            .unwrap();
         b.register_cluster(ClusterId(1), OrgId(1)).unwrap();
         b.register_cluster(ClusterId(2), OrgId(2)).unwrap();
         b.register_cluster(ClusterId(3), OrgId(2)).unwrap();
@@ -162,28 +178,51 @@ mod tests {
     #[test]
     fn home_first_routing() {
         let b = bank();
-        let r = b.route(UserId(1), true, &[ClusterId(2)], ServiceUnits::from_units(10)).unwrap();
+        let r = b
+            .route(
+                UserId(1),
+                true,
+                &[ClusterId(2)],
+                ServiceUnits::from_units(10),
+            )
+            .unwrap();
         assert_eq!(r, BarterRoute::Home(ClusterId(1)));
     }
 
     #[test]
     fn overflow_to_remote_when_credits_suffice() {
         let b = bank();
-        let r = b.route(UserId(1), false, &[ClusterId(2)], ServiceUnits::from_units(10)).unwrap();
+        let r = b
+            .route(
+                UserId(1),
+                false,
+                &[ClusterId(2)],
+                ServiceUnits::from_units(10),
+            )
+            .unwrap();
         assert_eq!(r, BarterRoute::Remote(ClusterId(2)));
     }
 
     #[test]
     fn blocked_when_credits_exhausted() {
         let b = bank();
-        let r = b.route(UserId(1), false, &[ClusterId(2)], ServiceUnits::from_units(1000)).unwrap();
+        let r = b
+            .route(
+                UserId(1),
+                false,
+                &[ClusterId(2)],
+                ServiceUnits::from_units(1000),
+            )
+            .unwrap();
         assert_eq!(r, BarterRoute::Blocked);
     }
 
     #[test]
     fn blocked_without_candidates() {
         let b = bank();
-        let r = b.route(UserId(1), false, &[], ServiceUnits::from_units(1)).unwrap();
+        let r = b
+            .route(UserId(1), false, &[], ServiceUnits::from_units(1))
+            .unwrap();
         assert_eq!(r, BarterRoute::Blocked);
     }
 
@@ -191,7 +230,8 @@ mod tests {
     fn settlement_moves_credits_and_conserves_total() {
         let mut b = bank();
         let before = b.total_micros();
-        b.settle_remote_run(UserId(1), ClusterId(2), ServiceUnits::from_units(30)).unwrap();
+        b.settle_remote_run(UserId(1), ClusterId(2), ServiceUnits::from_units(30))
+            .unwrap();
         assert_eq!(b.credits(OrgId(1)), ServiceUnits::from_units(70));
         assert_eq!(b.credits(OrgId(2)), ServiceUnits::from_units(130));
         assert_eq!(b.total_micros(), before);
@@ -212,7 +252,8 @@ mod tests {
         // Same-org scenario: user2's home is cs2, job runs on cs3 (both org2).
         let mut b = bank();
         b.set_home(UserId(2), ClusterId(2)).unwrap();
-        b.settle_remote_run(UserId(2), ClusterId(3), ServiceUnits::from_units(50)).unwrap();
+        b.settle_remote_run(UserId(2), ClusterId(3), ServiceUnits::from_units(50))
+            .unwrap();
         assert_eq!(b.credits(OrgId(2)), ServiceUnits::from_units(100));
     }
 
@@ -222,7 +263,9 @@ mod tests {
         assert!(b.set_home(UserId(9), ClusterId(99)).is_err());
         assert!(b.route(UserId(9), true, &[], ServiceUnits::ZERO).is_err());
         assert!(b.register_cluster(ClusterId(9), OrgId(99)).is_err());
-        assert!(b.settle_remote_run(UserId(9), ClusterId(2), ServiceUnits::ZERO).is_err());
+        assert!(b
+            .settle_remote_run(UserId(9), ClusterId(2), ServiceUnits::ZERO)
+            .is_err());
     }
 
     #[test]
@@ -230,7 +273,14 @@ mod tests {
         let mut b = bank();
         b.set_home(UserId(2), ClusterId(2)).unwrap();
         // user2's home org is org2; cs3 is also org2 → Home, no credits.
-        let r = b.route(UserId(2), false, &[ClusterId(3)], ServiceUnits::from_units(10)).unwrap();
+        let r = b
+            .route(
+                UserId(2),
+                false,
+                &[ClusterId(3)],
+                ServiceUnits::from_units(10),
+            )
+            .unwrap();
         assert_eq!(r, BarterRoute::Home(ClusterId(3)));
     }
 }

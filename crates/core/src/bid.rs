@@ -152,7 +152,9 @@ mod tests {
             1,
         );
         assert!(BidResponse::Offer(b).offer().is_some());
-        assert!(BidResponse::Decline(DeclineReason::Unprofitable).offer().is_none());
+        assert!(BidResponse::Decline(DeclineReason::Unprofitable)
+            .offer()
+            .is_none());
     }
 
     #[test]

@@ -40,10 +40,20 @@ pub trait ClusterManager {
     /// Can this job be scheduled, and on what terms? Called per bid request
     /// ("after some interaction between the FD and the Scheduler, the FD
     /// either declines the job or replies with a bid").
-    fn probe(&mut self, req: &BidRequest, now: SimTime) -> std::result::Result<SchedulerQuote, DeclineReason>;
+    fn probe(
+        &mut self,
+        req: &BidRequest,
+        now: SimTime,
+    ) -> std::result::Result<SchedulerQuote, DeclineReason>;
 
     /// Accept a contracted job into the local queue.
-    fn submit(&mut self, spec: JobSpec, contract: ContractId, price: Money, now: SimTime) -> Result<()>;
+    fn submit(
+        &mut self,
+        spec: JobSpec,
+        contract: ContractId,
+        price: Money,
+        now: SimTime,
+    ) -> Result<()>;
 
     /// Current machine status for heartbeats (free processors, queue depth).
     fn status(&self, now: SimTime) -> ServerStatus;
@@ -176,7 +186,12 @@ impl FaucetsDaemon {
         cm: &mut dyn ClusterManager,
         now: SimTime,
     ) -> Result<AwardOutcome> {
-        let req = BidRequest { job: spec.id, user: spec.user, qos: spec.qos.clone(), issued_at: now };
+        let req = BidRequest {
+            job: spec.id,
+            user: spec.user,
+            qos: spec.qos.clone(),
+            issued_at: now,
+        };
         match cm.probe(&req, now) {
             Ok(_) => {
                 cm.submit(spec, contract, bid.price, now)?;
@@ -206,22 +221,38 @@ mod tests {
     }
 
     impl ClusterManager for FakeCm {
-        fn probe(&mut self, _req: &BidRequest, now: SimTime) -> std::result::Result<SchedulerQuote, DeclineReason> {
+        fn probe(
+            &mut self,
+            _req: &BidRequest,
+            now: SimTime,
+        ) -> std::result::Result<SchedulerQuote, DeclineReason> {
             match &self.decline {
                 Some(r) => Err(r.clone()),
                 None => Ok(SchedulerQuote {
                     planned_pes: 8,
-                    est_completion: now.saturating_add(faucets_sim::time::SimDuration::from_secs(100)),
+                    est_completion: now
+                        .saturating_add(faucets_sim::time::SimDuration::from_secs(100)),
                     predicted_utilization: 0.5,
                 }),
             }
         }
-        fn submit(&mut self, spec: JobSpec, _contract: ContractId, _price: Money, _now: SimTime) -> Result<()> {
+        fn submit(
+            &mut self,
+            spec: JobSpec,
+            _contract: ContractId,
+            _price: Money,
+            _now: SimTime,
+        ) -> Result<()> {
             self.submitted.push(spec.id);
             Ok(())
         }
         fn status(&self, _now: SimTime) -> ServerStatus {
-            ServerStatus { free_pes: self.free, queue_len: 0, accepting: true }
+            ServerStatus {
+                free_pes: self.free,
+                queue_len: 0,
+                accepting: true,
+                ..Default::default()
+            }
         }
     }
 
@@ -255,8 +286,13 @@ mod tests {
     #[test]
     fn offers_bid_for_known_app() {
         let mut d = daemon();
-        let mut cm = FakeCm { decline: None, free: 32, submitted: vec![] };
-        let resp = d.handle_bid_request(&req("namd"), &mut cm, &MarketInfo::default(), SimTime::ZERO);
+        let mut cm = FakeCm {
+            decline: None,
+            free: 32,
+            submitted: vec![],
+        };
+        let resp =
+            d.handle_bid_request(&req("namd"), &mut cm, &MarketInfo::default(), SimTime::ZERO);
         let bid = resp.offer().expect("should offer");
         // Baseline multiplier 1.0: 1000 cpu-s * $0.01 = $10.
         assert_eq!(bid.price, Money::from_units(10));
@@ -267,29 +303,51 @@ mod tests {
     #[test]
     fn declines_unknown_application() {
         let mut d = daemon();
-        let mut cm = FakeCm { decline: None, free: 32, submitted: vec![] };
-        let resp = d.handle_bid_request(&req("seti"), &mut cm, &MarketInfo::default(), SimTime::ZERO);
-        assert_eq!(resp, BidResponse::Decline(DeclineReason::UnknownApplication));
+        let mut cm = FakeCm {
+            decline: None,
+            free: 32,
+            submitted: vec![],
+        };
+        let resp =
+            d.handle_bid_request(&req("seti"), &mut cm, &MarketInfo::default(), SimTime::ZERO);
+        assert_eq!(
+            resp,
+            BidResponse::Decline(DeclineReason::UnknownApplication)
+        );
         assert_eq!(d.stats.declines, 1);
     }
 
     #[test]
     fn forwards_scheduler_decline() {
         let mut d = daemon();
-        let mut cm = FakeCm { decline: Some(DeclineReason::CannotMeetDeadline), free: 0, submitted: vec![] };
-        let resp = d.handle_bid_request(&req("namd"), &mut cm, &MarketInfo::default(), SimTime::ZERO);
-        assert_eq!(resp, BidResponse::Decline(DeclineReason::CannotMeetDeadline));
+        let mut cm = FakeCm {
+            decline: Some(DeclineReason::CannotMeetDeadline),
+            free: 0,
+            submitted: vec![],
+        };
+        let resp =
+            d.handle_bid_request(&req("namd"), &mut cm, &MarketInfo::default(), SimTime::ZERO);
+        assert_eq!(
+            resp,
+            BidResponse::Decline(DeclineReason::CannotMeetDeadline)
+        );
     }
 
     #[test]
     fn award_confirms_and_submits_when_feasible() {
         let mut d = daemon();
-        let mut cm = FakeCm { decline: None, free: 32, submitted: vec![] };
+        let mut cm = FakeCm {
+            decline: None,
+            free: 32,
+            submitted: vec![],
+        };
         let r = req("namd");
         let resp = d.handle_bid_request(&r, &mut cm, &MarketInfo::default(), SimTime::ZERO);
         let bid = *resp.offer().unwrap();
         let spec = JobSpec::new(r.job, r.user, r.qos, SimTime::ZERO).unwrap();
-        let out = d.handle_award(spec, ContractId(0), &bid, &mut cm, SimTime::from_secs(1)).unwrap();
+        let out = d
+            .handle_award(spec, ContractId(0), &bid, &mut cm, SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(out, AwardOutcome::Confirmed);
         assert_eq!(cm.submitted, vec![JobId(1)]);
         assert_eq!(d.stats.confirms, 1);
@@ -298,15 +356,24 @@ mod tests {
     #[test]
     fn award_reneges_when_machine_changed() {
         let mut d = daemon();
-        let mut cm = FakeCm { decline: None, free: 32, submitted: vec![] };
+        let mut cm = FakeCm {
+            decline: None,
+            free: 32,
+            submitted: vec![],
+        };
         let r = req("namd");
         let resp = d.handle_bid_request(&r, &mut cm, &MarketInfo::default(), SimTime::ZERO);
         let bid = *resp.offer().unwrap();
         // The machine fills up between bid and award.
         cm.decline = Some(DeclineReason::InsufficientResources);
         let spec = JobSpec::new(r.job, r.user, r.qos, SimTime::ZERO).unwrap();
-        let out = d.handle_award(spec, ContractId(0), &bid, &mut cm, SimTime::from_secs(1)).unwrap();
-        assert_eq!(out, AwardOutcome::Reneged(DeclineReason::InsufficientResources));
+        let out = d
+            .handle_award(spec, ContractId(0), &bid, &mut cm, SimTime::from_secs(1))
+            .unwrap();
+        assert_eq!(
+            out,
+            AwardOutcome::Reneged(DeclineReason::InsufficientResources)
+        );
         assert!(cm.submitted.is_empty());
         assert_eq!(d.stats.reneges, 1);
     }

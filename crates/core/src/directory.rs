@@ -15,6 +15,7 @@
 use crate::ids::ClusterId;
 use crate::qos::QosContract;
 use faucets_sim::time::{SimDuration, SimTime};
+use faucets_telemetry::Counter;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
@@ -40,6 +41,10 @@ pub struct ServerInfo {
 }
 
 /// Dynamic status reported in each poll/heartbeat.
+///
+/// Beyond the liveness-proving fields the seed carried, each heartbeat now
+/// reports the cluster's current load, so `Match` responses and the grid
+/// dashboard can expose per-cluster pressure without another round-trip.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct ServerStatus {
     /// Processors currently idle.
@@ -48,6 +53,37 @@ pub struct ServerStatus {
     pub queue_len: u32,
     /// Whether the server is accepting new work at all.
     pub accepting: bool,
+    /// Busy fraction of processors in `[0, 1]` at the time of the report.
+    #[serde(default)]
+    pub utilization: f64,
+    /// Jobs currently running.
+    #[serde(default)]
+    pub running: u32,
+}
+
+/// One match-response row: a candidate Compute Server plus its latest
+/// reported load, so the client can weigh per-cluster pressure when
+/// ranking bids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerListing {
+    /// Static registration data.
+    pub info: ServerInfo,
+    /// The most recent heartbeat payload.
+    pub status: ServerStatus,
+}
+
+/// One dashboard row: a directory entry with load *and* health, as served
+/// by the FS `ListClusters` endpoint and aggregated into the grid view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterRow {
+    /// Static registration data.
+    pub info: ServerInfo,
+    /// The most recent heartbeat payload.
+    pub status: ServerStatus,
+    /// Heartbeat-derived health grade.
+    pub liveness: Liveness,
+    /// When the FS last heard from this daemon (simulated time).
+    pub last_heard: SimTime,
 }
 
 /// Directory entry: static info + latest dynamic status + exported apps.
@@ -118,29 +154,51 @@ pub struct Directory {
     pub stats: FilterStats,
     /// Servers evicted as dead over this directory's lifetime.
     pub evictions: u64,
+    /// Telemetry: candidate queries answered (detached on
+    /// `Directory::default()`, registered globally by [`Directory::new`]).
+    m_queries: Counter,
+    /// Telemetry: entries skipped from matching because their grade had
+    /// decayed past alive.
+    m_stale_skips: Counter,
+    /// Telemetry: dead entries evicted.
+    m_evictions: Counter,
 }
 
 impl Directory {
     /// A directory that considers a server suspect after `liveness_timeout`
     /// without a heartbeat and dead (evictable) after three times that.
     pub fn new(liveness_timeout: SimDuration) -> Self {
+        let reg = faucets_telemetry::global();
         Directory {
             entries: BTreeMap::new(),
             liveness_timeout,
             dead_timeout: liveness_timeout * 3,
             stats: FilterStats::default(),
             evictions: 0,
+            m_queries: reg.counter("fs_directory_queries_total", &[]),
+            m_stale_skips: reg.counter("fs_directory_stale_skips_total", &[]),
+            m_evictions: reg.counter("fs_directory_evictions_total", &[]),
         }
     }
 
     /// Register (or re-register) a server; called when an FD starts up.
-    pub fn register(&mut self, info: ServerInfo, exported_apps: impl IntoIterator<Item = String>, now: SimTime) {
+    pub fn register(
+        &mut self,
+        info: ServerInfo,
+        exported_apps: impl IntoIterator<Item = String>,
+        now: SimTime,
+    ) {
         let id = info.cluster;
         self.entries.insert(
             id,
             DirectoryEntry {
                 info,
-                status: ServerStatus { free_pes: 0, queue_len: 0, accepting: true },
+                status: ServerStatus {
+                    free_pes: 0,
+                    queue_len: 0,
+                    accepting: true,
+                    ..Default::default()
+                },
                 last_heard: now,
                 exported_apps: exported_apps.into_iter().collect(),
             },
@@ -203,7 +261,21 @@ impl Directory {
             self.entries.remove(id);
         }
         self.evictions += dead.len() as u64;
+        self.m_evictions.add(dead.len() as u64);
         dead
+    }
+
+    /// Every registered cluster as a dashboard row, graded at `now`.
+    pub fn rows(&self, now: SimTime) -> Vec<ClusterRow> {
+        self.entries
+            .values()
+            .map(|e| ClusterRow {
+                info: e.info.clone(),
+                status: e.status,
+                liveness: self.grade(e, now),
+                last_heard: e.last_heard,
+            })
+            .collect()
     }
 
     /// Look up an entry.
@@ -240,17 +312,25 @@ impl Directory {
     /// too busy to ever free `min_pes` before a near deadline is screened
     /// out. We keep the test conservative: accepting + not over-committed.
     fn dynamic_ok(e: &DirectoryEntry, qos: &QosContract) -> bool {
-        e.status.accepting && e.status.queue_len < 4 * (e.info.total_pes / qos.min_pes.max(1)).max(1)
+        e.status.accepting
+            && e.status.queue_len < 4 * (e.info.total_pes / qos.min_pes.max(1)).max(1)
     }
 
     /// The servers that should receive the request-for-bids for `qos`,
     /// under the given filter level, considering only live servers.
     /// Updates the cumulative [`FilterStats`].
-    pub fn candidates(&mut self, qos: &QosContract, level: FilterLevel, now: SimTime) -> Vec<ClusterId> {
+    pub fn candidates(
+        &mut self,
+        qos: &QosContract,
+        level: FilterLevel,
+        now: SimTime,
+    ) -> Vec<ClusterId> {
         let timeout = self.liveness_timeout;
+        self.m_queries.inc();
         let mut out = vec![];
         for e in self.entries.values() {
             if now.since(e.last_heard) > timeout {
+                self.m_stale_skips.inc();
                 continue;
             }
             self.stats.considered += 1;
@@ -291,7 +371,11 @@ mod tests {
 
     fn dir() -> Directory {
         let mut d = Directory::new(SimDuration::from_secs(60));
-        d.register(info(1, 64, 1024), ["namd".to_string(), "cfd".to_string()], SimTime::ZERO);
+        d.register(
+            info(1, 64, 1024),
+            ["namd".to_string(), "cfd".to_string()],
+            SimTime::ZERO,
+        );
         d.register(info(2, 1024, 512), ["namd".to_string()], SimTime::ZERO);
         d.register(info(3, 16, 4096), ["qmc".to_string()], SimTime::ZERO);
         d
@@ -312,7 +396,12 @@ mod tests {
         assert!(!d.is_live(ClusterId(1), SimTime::from_secs(120)));
         assert!(d.heartbeat(
             ClusterId(1),
-            ServerStatus { free_pes: 10, queue_len: 0, accepting: true },
+            ServerStatus {
+                free_pes: 10,
+                queue_len: 0,
+                accepting: true,
+                ..Default::default()
+            },
             SimTime::from_secs(100)
         ));
         assert!(d.is_live(ClusterId(1), SimTime::from_secs(120)));
@@ -322,7 +411,11 @@ mod tests {
     #[test]
     fn broadcast_level_returns_all_live() {
         let mut d = dir();
-        let c = d.candidates(&qos("namd", 8, 256), FilterLevel::None, SimTime::from_secs(10));
+        let c = d.candidates(
+            &qos("namd", 8, 256),
+            FilterLevel::None,
+            SimTime::from_secs(10),
+        );
         assert_eq!(c.len(), 3);
     }
 
@@ -331,13 +424,25 @@ mod tests {
         let mut d = dir();
         // namd, needs 32 pes min, 256MB/pe: cs1 (64pes,1024MB,namd) ok;
         // cs2 (1024pes,512MB,namd) ok; cs3 lacks namd and pes.
-        let c = d.candidates(&qos("namd", 32, 256), FilterLevel::Static, SimTime::from_secs(1));
+        let c = d.candidates(
+            &qos("namd", 32, 256),
+            FilterLevel::Static,
+            SimTime::from_secs(1),
+        );
         assert_eq!(c, vec![ClusterId(1), ClusterId(2)]);
         // Memory-hungry job: only cs3 has 4GB/pe but no namd → nobody.
-        let c = d.candidates(&qos("namd", 8, 2048), FilterLevel::Static, SimTime::from_secs(1));
+        let c = d.candidates(
+            &qos("namd", 8, 2048),
+            FilterLevel::Static,
+            SimTime::from_secs(1),
+        );
         assert!(c.is_empty());
         // Huge job: only cs2 is big enough.
-        let c = d.candidates(&qos("namd", 512, 256), FilterLevel::Static, SimTime::from_secs(1));
+        let c = d.candidates(
+            &qos("namd", 512, 256),
+            FilterLevel::Static,
+            SimTime::from_secs(1),
+        );
         assert_eq!(c, vec![ClusterId(2)]);
     }
 
@@ -346,15 +451,29 @@ mod tests {
         let mut d = dir();
         d.heartbeat(
             ClusterId(1),
-            ServerStatus { free_pes: 64, queue_len: 0, accepting: false },
+            ServerStatus {
+                free_pes: 64,
+                queue_len: 0,
+                accepting: false,
+                ..Default::default()
+            },
             SimTime::from_secs(5),
         );
         d.heartbeat(
             ClusterId(2),
-            ServerStatus { free_pes: 0, queue_len: 0, accepting: true },
+            ServerStatus {
+                free_pes: 0,
+                queue_len: 0,
+                accepting: true,
+                ..Default::default()
+            },
             SimTime::from_secs(5),
         );
-        let c = d.candidates(&qos("namd", 8, 256), FilterLevel::StaticAndDynamic, SimTime::from_secs(6));
+        let c = d.candidates(
+            &qos("namd", 8, 256),
+            FilterLevel::StaticAndDynamic,
+            SimTime::from_secs(6),
+        );
         assert_eq!(c, vec![ClusterId(2)]);
     }
 
@@ -363,10 +482,19 @@ mod tests {
         let mut d = dir();
         d.heartbeat(
             ClusterId(2),
-            ServerStatus { free_pes: 0, queue_len: 100_000, accepting: true },
+            ServerStatus {
+                free_pes: 0,
+                queue_len: 100_000,
+                accepting: true,
+                ..Default::default()
+            },
             SimTime::from_secs(5),
         );
-        let c = d.candidates(&qos("namd", 8, 256), FilterLevel::StaticAndDynamic, SimTime::from_secs(6));
+        let c = d.candidates(
+            &qos("namd", 8, 256),
+            FilterLevel::StaticAndDynamic,
+            SimTime::from_secs(6),
+        );
         assert!(!c.contains(&ClusterId(2)));
     }
 
@@ -374,15 +502,32 @@ mod tests {
     fn dead_servers_never_selected() {
         let mut d = dir();
         // Only cs1 stays live.
-        d.heartbeat(ClusterId(1), ServerStatus { free_pes: 1, queue_len: 0, accepting: true }, SimTime::from_secs(100));
-        let c = d.candidates(&qos("namd", 8, 256), FilterLevel::None, SimTime::from_secs(120));
+        d.heartbeat(
+            ClusterId(1),
+            ServerStatus {
+                free_pes: 1,
+                queue_len: 0,
+                accepting: true,
+                ..Default::default()
+            },
+            SimTime::from_secs(100),
+        );
+        let c = d.candidates(
+            &qos("namd", 8, 256),
+            FilterLevel::None,
+            SimTime::from_secs(120),
+        );
         assert_eq!(c, vec![ClusterId(1)]);
     }
 
     #[test]
     fn stats_accumulate() {
         let mut d = dir();
-        d.candidates(&qos("namd", 32, 256), FilterLevel::Static, SimTime::from_secs(1));
+        d.candidates(
+            &qos("namd", 32, 256),
+            FilterLevel::Static,
+            SimTime::from_secs(1),
+        );
         assert_eq!(d.stats.considered, 3);
         assert_eq!(d.stats.static_rejected, 1);
         assert_eq!(d.stats.selected, 2);
@@ -392,10 +537,22 @@ mod tests {
     fn liveness_grades_alive_suspect_dead() {
         let d = dir(); // 60 s liveness → 180 s dead.
         let id = ClusterId(1);
-        assert_eq!(d.liveness(id, SimTime::from_secs(59)), Some(Liveness::Alive));
-        assert_eq!(d.liveness(id, SimTime::from_secs(61)), Some(Liveness::Suspect));
-        assert_eq!(d.liveness(id, SimTime::from_secs(180)), Some(Liveness::Suspect));
-        assert_eq!(d.liveness(id, SimTime::from_secs(181)), Some(Liveness::Dead));
+        assert_eq!(
+            d.liveness(id, SimTime::from_secs(59)),
+            Some(Liveness::Alive)
+        );
+        assert_eq!(
+            d.liveness(id, SimTime::from_secs(61)),
+            Some(Liveness::Suspect)
+        );
+        assert_eq!(
+            d.liveness(id, SimTime::from_secs(180)),
+            Some(Liveness::Suspect)
+        );
+        assert_eq!(
+            d.liveness(id, SimTime::from_secs(181)),
+            Some(Liveness::Dead)
+        );
         assert_eq!(d.liveness(ClusterId(99), SimTime::ZERO), None);
     }
 
@@ -403,7 +560,11 @@ mod tests {
     fn evict_dead_removes_only_the_dead() {
         let mut d = dir();
         // cs2 keeps heartbeating; cs1 and cs3 go silent.
-        d.heartbeat(ClusterId(2), ServerStatus::default(), SimTime::from_secs(150));
+        d.heartbeat(
+            ClusterId(2),
+            ServerStatus::default(),
+            SimTime::from_secs(150),
+        );
         let evicted = d.evict_dead(SimTime::from_secs(200));
         assert_eq!(evicted, vec![ClusterId(1), ClusterId(3)]);
         assert_eq!(d.len(), 1);
@@ -411,8 +572,15 @@ mod tests {
         // Eviction is idempotent.
         assert!(d.evict_dead(SimTime::from_secs(200)).is_empty());
         // A restarted daemon re-registers cleanly.
-        d.register(info(1, 64, 1024), ["namd".to_string()], SimTime::from_secs(210));
-        assert_eq!(d.liveness(ClusterId(1), SimTime::from_secs(211)), Some(Liveness::Alive));
+        d.register(
+            info(1, 64, 1024),
+            ["namd".to_string()],
+            SimTime::from_secs(210),
+        );
+        assert_eq!(
+            d.liveness(ClusterId(1), SimTime::from_secs(211)),
+            Some(Liveness::Alive)
+        );
     }
 
     #[test]

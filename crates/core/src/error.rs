@@ -56,11 +56,19 @@ impl fmt::Display for FaucetsError {
             FaucetsError::UnknownCluster(c) => write!(f, "unknown cluster {c}"),
             FaucetsError::UnknownJob(j) => write!(f, "unknown job {j}"),
             FaucetsError::UnknownContract(c) => write!(f, "unknown contract {c}"),
-            FaucetsError::BadContractState { contract, attempted, actual } => {
+            FaucetsError::BadContractState {
+                contract,
+                attempted,
+                actual,
+            } => {
                 write!(f, "cannot {attempted} {contract}: contract is {actual}")
             }
             FaucetsError::InvalidQos(msg) => write!(f, "invalid QoS contract: {msg}"),
-            FaucetsError::InsufficientFunds { account, needed, available } => write!(
+            FaucetsError::InsufficientFunds {
+                account,
+                needed,
+                available,
+            } => write!(
                 f,
                 "insufficient funds for '{account}': need {needed}µ, have {available}µ"
             ),
@@ -82,9 +90,15 @@ mod tests {
 
     #[test]
     fn errors_render() {
-        let e = FaucetsError::InsufficientFunds { account: "ncsa".into(), needed: 10, available: 3 };
+        let e = FaucetsError::InsufficientFunds {
+            account: "ncsa".into(),
+            needed: 10,
+            available: 3,
+        };
         assert!(e.to_string().contains("ncsa"));
-        assert!(FaucetsError::AuthFailed("alice".into()).to_string().contains("alice"));
+        assert!(FaucetsError::AuthFailed("alice".into())
+            .to_string()
+            .contains("alice"));
         let e = FaucetsError::BadContractState {
             contract: ContractId(1),
             attempted: "confirm",

@@ -25,9 +25,19 @@ pub struct JobSpec {
 
 impl JobSpec {
     /// Construct and validate a job spec.
-    pub fn new(id: JobId, user: UserId, qos: QosContract, submitted_at: SimTime) -> Result<Self, String> {
+    pub fn new(
+        id: JobId,
+        user: UserId,
+        qos: QosContract,
+        submitted_at: SimTime,
+    ) -> Result<Self, String> {
         qos.validate()?;
-        Ok(JobSpec { id, user, qos, submitted_at })
+        Ok(JobSpec {
+            id,
+            user,
+            qos,
+            submitted_at,
+        })
     }
 }
 
@@ -75,7 +85,10 @@ impl JobState {
 
     /// True for terminal states.
     pub fn is_terminal(&self) -> bool {
-        matches!(self, JobState::Completed(_) | JobState::Rejected | JobState::Failed)
+        matches!(
+            self,
+            JobState::Completed(_) | JobState::Rejected | JobState::Failed
+        )
     }
 
     /// The cluster currently responsible for the job, if any.
@@ -201,7 +214,10 @@ mod tests {
             Checkpointing(a),
             Migrating { from: a, to: b },
             Queued(b),
-            Running { cluster: b, pes: 16 },
+            Running {
+                cluster: b,
+                pes: 16,
+            },
         ];
         for w in chain.windows(2) {
             assert!(w[0].can_transition_to(&w[1]), "{:?} -> {:?}", w[0], w[1]);
@@ -214,7 +230,10 @@ mod tests {
         let a = ClusterId(1);
         let b = ClusterId(2);
         assert!(!Bidding.can_transition_to(&Running { cluster: a, pes: 1 }));
-        assert!(!Awarded(a).can_transition_to(&Staging(b)), "award/staging cluster mismatch");
+        assert!(
+            !Awarded(a).can_transition_to(&Staging(b)),
+            "award/staging cluster mismatch"
+        );
         assert!(!Running { cluster: a, pes: 2 }.can_transition_to(&Running { cluster: b, pes: 2 }));
         assert!(!Completed(SimTime::ZERO).can_transition_to(&Bidding));
         assert!(!Rejected.can_transition_to(&Awarded(a)));
@@ -223,12 +242,23 @@ mod tests {
     #[test]
     fn state_predicates() {
         use JobState::*;
-        assert!(Running { cluster: ClusterId(0), pes: 4 }.is_active());
+        assert!(Running {
+            cluster: ClusterId(0),
+            pes: 4
+        }
+        .is_active());
         assert!(!Queued(ClusterId(0)).is_active());
         assert!(Completed(SimTime::ZERO).is_terminal());
         assert!(Failed.is_terminal());
         assert!(!Bidding.is_terminal());
-        assert_eq!(Migrating { from: ClusterId(1), to: ClusterId(2) }.cluster(), Some(ClusterId(2)));
+        assert_eq!(
+            Migrating {
+                from: ClusterId(1),
+                to: ClusterId(2)
+            }
+            .cluster(),
+            Some(ClusterId(2))
+        );
         assert_eq!(Bidding.cluster(), None);
     }
 

@@ -35,7 +35,10 @@ pub struct DistributedEvaluation {
 
 impl Default for DistributedEvaluation {
     fn default() -> Self {
-        DistributedEvaluation { fanout: 32, top_k: 2 }
+        DistributedEvaluation {
+            fanout: 32,
+            top_k: 2,
+        }
     }
 }
 
@@ -56,7 +59,12 @@ pub struct EvalOutcome {
 
 impl DistributedEvaluation {
     /// Evaluate `bids` under `policy` through the agent tree.
-    pub fn evaluate(&self, bids: &[Bid], policy: SelectionPolicy, payoff: &PayoffFn) -> EvalOutcome {
+    pub fn evaluate(
+        &self,
+        bids: &[Bid],
+        policy: SelectionPolicy,
+        payoff: &PayoffFn,
+    ) -> EvalOutcome {
         let fanout = self.fanout.max(1);
         let k = self.top_k.max(1);
         let mut forwarded: Vec<Bid> = vec![];
@@ -66,8 +74,11 @@ impl DistributedEvaluation {
             let ranked = policy.rank(chunk, payoff);
             forwarded.extend(ranked.into_iter().take(k).copied());
         }
-        let root_slate: Vec<Bid> =
-            policy.rank(&forwarded, payoff).into_iter().copied().collect();
+        let root_slate: Vec<Bid> = policy
+            .rank(&forwarded, payoff)
+            .into_iter()
+            .copied()
+            .collect();
         let winner = policy.select(&forwarded, payoff).copied();
         EvalOutcome {
             winner,
@@ -139,7 +150,11 @@ mod tests {
         for (fanout, k) in [(8, 1), (32, 1), (32, 4), (100, 2)] {
             let tree = DistributedEvaluation { fanout, top_k: k };
             let out = tree.evaluate(&bids, SelectionPolicy::LeastCost, &flat);
-            assert_eq!(out.winner.unwrap().cluster, central.cluster, "fanout={fanout},k={k}");
+            assert_eq!(
+                out.winner.unwrap().cluster,
+                central.cluster,
+                "fanout={fanout},k={k}"
+            );
         }
     }
 
@@ -156,12 +171,17 @@ mod tests {
         for policy in [
             SelectionPolicy::LeastCost,
             SelectionPolicy::EarliestCompletion,
-            SelectionPolicy::Weighted { time_value_per_hour: Money::from_units(10) },
+            SelectionPolicy::Weighted {
+                time_value_per_hour: Money::from_units(10),
+            },
             SelectionPolicy::BestValue,
         ] {
             let central = policy.select(&bids, &payoff).map(|b| b.cluster);
             let tree = DistributedEvaluation::default();
-            let dist = tree.evaluate(&bids, policy, &payoff).winner.map(|b| b.cluster);
+            let dist = tree
+                .evaluate(&bids, policy, &payoff)
+                .winner
+                .map(|b| b.cluster);
             assert_eq!(central, dist, "{policy:?}");
         }
     }
@@ -170,7 +190,10 @@ mod tests {
     fn inbox_shrinks_by_fanout_over_k() {
         let bids = slate(1000);
         let flat = PayoffFn::flat(Money::from_units(10_000));
-        let tree = DistributedEvaluation { fanout: 50, top_k: 2 };
+        let tree = DistributedEvaluation {
+            fanout: 50,
+            top_k: 2,
+        };
         let out = tree.evaluate(&bids, SelectionPolicy::LeastCost, &flat);
         assert_eq!(out.leaves, 20);
         assert_eq!(out.client_inbox, 40, "20 leaves × top-2");
@@ -181,14 +204,15 @@ mod tests {
     fn two_phase_falls_back_to_runner_up() {
         let bids = slate(200);
         let flat = PayoffFn::flat(Money::from_units(10_000));
-        let tree = DistributedEvaluation { fanout: 20, top_k: 2 };
+        let tree = DistributedEvaluation {
+            fanout: 20,
+            top_k: 2,
+        };
         // The best bid (cluster 37) reneges; everything else confirms.
-        let (confirmed, attempts, _) = tree.evaluate_two_phase(
-            &bids,
-            SelectionPolicy::LeastCost,
-            &flat,
-            |b| b.cluster == ClusterId(37),
-        );
+        let (confirmed, attempts, _) =
+            tree.evaluate_two_phase(&bids, SelectionPolicy::LeastCost, &flat, |b| {
+                b.cluster == ClusterId(37)
+            });
         let c = confirmed.expect("runner-up confirms");
         assert_ne!(c.cluster, ClusterId(37));
         assert_eq!(attempts, 2);
@@ -202,7 +226,10 @@ mod tests {
     fn two_phase_exhaustion_reports_none() {
         let bids = slate(10);
         let flat = PayoffFn::flat(Money::from_units(10_000));
-        let tree = DistributedEvaluation { fanout: 5, top_k: 1 };
+        let tree = DistributedEvaluation {
+            fanout: 5,
+            top_k: 1,
+        };
         let (confirmed, attempts, out) =
             tree.evaluate_two_phase(&bids, SelectionPolicy::LeastCost, &flat, |_| true);
         assert!(confirmed.is_none());

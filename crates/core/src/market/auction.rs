@@ -59,7 +59,12 @@ pub fn run_reverse_auction(bids: &[Bid], mechanism: Mechanism) -> Option<Auction
 /// sellers shade *up*: a standard equilibrium approximation with `n`
 /// symmetric bidders and costs uniform on `[cost, cost_max]` asks
 /// `cost + (cost_max - cost) / n`. Used by E12's strategic bidders.
-pub fn equilibrium_ask(mechanism: Mechanism, cost: Money, cost_max: Money, n_bidders: usize) -> Money {
+pub fn equilibrium_ask(
+    mechanism: Mechanism,
+    cost: Money,
+    cost_max: Money,
+    n_bidders: usize,
+) -> Money {
     match mechanism {
         Mechanism::SecondPrice => cost,
         Mechanism::FirstPrice => {

@@ -83,7 +83,10 @@ impl ContractBook {
     pub fn award(&mut self, bid: Bid, now: SimTime) -> Result<ContractId> {
         if let Some(prev_id) = self.by_job.get(&bid.job) {
             let prev = &self.contracts[prev_id];
-            if !matches!(prev.state, ContractState::Reneged | ContractState::Cancelled) {
+            if !matches!(
+                prev.state,
+                ContractState::Reneged | ContractState::Cancelled
+            ) {
                 return Err(FaucetsError::AlreadyExists(format!(
                     "job {} already has live contract {}",
                     bid.job, prev.id
@@ -115,7 +118,10 @@ impl ContractBook {
         to: ContractState,
         attempted: &'static str,
     ) -> Result<&mut Contract> {
-        let c = self.contracts.get_mut(&id).ok_or(FaucetsError::UnknownContract(id))?;
+        let c = self
+            .contracts
+            .get_mut(&id)
+            .ok_or(FaucetsError::UnknownContract(id))?;
         if c.state != from {
             return Err(FaucetsError::BadContractState {
                 contract: id,
@@ -129,7 +135,12 @@ impl ContractBook {
 
     /// Phase 2: the cluster confirms the award.
     pub fn confirm(&mut self, id: ContractId) -> Result<()> {
-        self.transition(id, ContractState::Awarded, ContractState::Confirmed, "confirm")?;
+        self.transition(
+            id,
+            ContractState::Awarded,
+            ContractState::Confirmed,
+            "confirm",
+        )?;
         Ok(())
     }
 
@@ -141,7 +152,12 @@ impl ContractBook {
 
     /// The client cancels an award before confirmation.
     pub fn cancel(&mut self, id: ContractId) -> Result<()> {
-        self.transition(id, ContractState::Awarded, ContractState::Cancelled, "cancel")?;
+        self.transition(
+            id,
+            ContractState::Awarded,
+            ContractState::Cancelled,
+            "cancel",
+        )?;
         Ok(())
     }
 
@@ -149,7 +165,12 @@ impl ContractBook {
     /// is the bid price (first-price market); deadline penalties are the
     /// payoff function's business, handled by billing.
     pub fn complete(&mut self, id: ContractId, completed_at: SimTime, paid: Money) -> Result<()> {
-        let c = self.transition(id, ContractState::Confirmed, ContractState::Completed, "complete")?;
+        let c = self.transition(
+            id,
+            ContractState::Confirmed,
+            ContractState::Completed,
+            "complete",
+        )?;
         c.settled_amount = Some(paid);
         c.completed_at = Some(completed_at);
         Ok(())
@@ -203,7 +224,8 @@ mod tests {
         let mut book = ContractBook::new();
         let id = book.award(bid(1, 2), SimTime::ZERO).unwrap();
         book.confirm(id).unwrap();
-        book.complete(id, SimTime::from_secs(90), Money::from_units(10)).unwrap();
+        book.complete(id, SimTime::from_secs(90), Money::from_units(10))
+            .unwrap();
         let c = book.get(id).unwrap();
         assert_eq!(c.state, ContractState::Completed);
         assert_eq!(c.settled_amount, Some(Money::from_units(10)));

@@ -43,7 +43,10 @@ const SIZE_CLASS_BOUNDS: [u32; 3] = [8, 64, 512];
 
 /// Index of the size class for a given `min_pes`.
 pub fn size_class(min_pes: u32) -> usize {
-    SIZE_CLASS_BOUNDS.iter().position(|&b| min_pes <= b).unwrap_or(SIZE_CLASS_BOUNDS.len())
+    SIZE_CLASS_BOUNDS
+        .iter()
+        .position(|&b| min_pes <= b)
+        .unwrap_or(SIZE_CLASS_BOUNDS.len())
 }
 
 /// Human-readable label for a size class index.
@@ -159,7 +162,10 @@ impl ContractHistory {
 
     /// The market snapshot handed to bidding algorithms.
     pub fn market_info(&self, grid_utilization: Option<f64>) -> MarketInfo {
-        MarketInfo { recent_avg_multiplier: self.price_index(), grid_utilization }
+        MarketInfo {
+            recent_avg_multiplier: self.price_index(),
+            grid_utilization,
+        }
     }
 }
 

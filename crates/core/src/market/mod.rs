@@ -17,6 +17,6 @@ pub use history::{size_class, size_class_label, ContractHistory, ContractRecord}
 pub use regulation::{BandAction, Regulator, ScreenStats};
 pub use selection::SelectionPolicy;
 pub use strategy::{
-    Baseline, BidStrategy, ClusterView, DeadlineAware, Fixed, MarketInfo,
-    UtilizationInterpolated, WeatherAware,
+    Baseline, BidStrategy, ClusterView, DeadlineAware, Fixed, MarketInfo, UtilizationInterpolated,
+    WeatherAware,
 };

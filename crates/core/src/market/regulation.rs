@@ -37,7 +37,10 @@ pub struct Regulator {
 
 impl Default for Regulator {
     fn default() -> Self {
-        Regulator { band_factor: 3.0, action: BandAction::Reject }
+        Regulator {
+            band_factor: 3.0,
+            action: BandAction::Reject,
+        }
     }
 }
 
@@ -112,17 +115,30 @@ mod tests {
 
     #[test]
     fn gouging_rejected_lowballing_rejected() {
-        let r = Regulator { band_factor: 2.0, action: BandAction::Reject };
+        let r = Regulator {
+            band_factor: 2.0,
+            action: BandAction::Reject,
+        };
         let bids = [bid(1, 1.0), bid(2, 5.0), bid(3, 0.2), bid(4, 1.9)];
         let (kept, stats) = r.screen(&bids, Some(1.0));
         let clusters: Vec<u64> = kept.iter().map(|b| b.cluster.raw()).collect();
         assert_eq!(clusters, vec![1, 4]);
-        assert_eq!(stats, ScreenStats { passed: 2, rejected: 2, clamped: 0 });
+        assert_eq!(
+            stats,
+            ScreenStats {
+                passed: 2,
+                rejected: 2,
+                clamped: 0
+            }
+        );
     }
 
     #[test]
     fn clamping_pulls_to_band_edge_and_reprices() {
-        let r = Regulator { band_factor: 2.0, action: BandAction::Clamp };
+        let r = Regulator {
+            band_factor: 2.0,
+            action: BandAction::Clamp,
+        };
         let bids = [bid(1, 5.0), bid(2, 0.2)];
         let (kept, stats) = r.screen(&bids, Some(1.0));
         assert_eq!(stats.clamped, 2);
@@ -143,7 +159,10 @@ mod tests {
 
     #[test]
     fn band_edges_are_inclusive() {
-        let r = Regulator { band_factor: 2.0, action: BandAction::Reject };
+        let r = Regulator {
+            band_factor: 2.0,
+            action: BandAction::Reject,
+        };
         let bids = [bid(1, 2.0), bid(2, 0.5)];
         let (kept, _) = r.screen(&bids, Some(1.0));
         assert_eq!(kept.len(), 2);
@@ -151,8 +170,15 @@ mod tests {
 
     #[test]
     fn band_factor_below_one_is_sanitized() {
-        let r = Regulator { band_factor: 0.1, action: BandAction::Reject };
+        let r = Regulator {
+            band_factor: 0.1,
+            action: BandAction::Reject,
+        };
         let (kept, _) = r.screen(&[bid(1, 1.0)], Some(1.0));
-        assert_eq!(kept.len(), 1, "factor clamps to 1: only exactly-normal passes");
+        assert_eq!(
+            kept.len(),
+            1,
+            "factor clamps to 1: only exactly-normal passes"
+        );
     }
 }

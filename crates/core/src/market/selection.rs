@@ -35,7 +35,9 @@ impl SelectionPolicy {
         match *self {
             SelectionPolicy::LeastCost => bid.price.as_units_f64(),
             SelectionPolicy::EarliestCompletion => bid.promised_completion.as_secs_f64(),
-            SelectionPolicy::Weighted { time_value_per_hour } => {
+            SelectionPolicy::Weighted {
+                time_value_per_hour,
+            } => {
                 bid.price.as_units_f64()
                     + time_value_per_hour.as_units_f64() * bid.promised_completion.as_secs_f64()
                         / 3600.0
@@ -103,14 +105,18 @@ mod tests {
     #[test]
     fn least_cost_picks_cheapest() {
         let bids = [bid(1, 30.0, 100), bid(2, 10.0, 900), bid(3, 20.0, 50)];
-        let w = SelectionPolicy::LeastCost.select(&bids, &flat_payoff()).unwrap();
+        let w = SelectionPolicy::LeastCost
+            .select(&bids, &flat_payoff())
+            .unwrap();
         assert_eq!(w.cluster, ClusterId(2));
     }
 
     #[test]
     fn earliest_completion_picks_fastest() {
         let bids = [bid(1, 30.0, 100), bid(2, 10.0, 900), bid(3, 20.0, 50)];
-        let w = SelectionPolicy::EarliestCompletion.select(&bids, &flat_payoff()).unwrap();
+        let w = SelectionPolicy::EarliestCompletion
+            .select(&bids, &flat_payoff())
+            .unwrap();
         assert_eq!(w.cluster, ClusterId(3));
     }
 
@@ -119,11 +125,21 @@ mod tests {
         // Bid 1: $30, 1h. Bid 2: $10, 10h.
         let bids = [bid(1, 30.0, 3600), bid(2, 10.0, 36_000)];
         // Cheap time (=$1/h): scores 31 vs 20 → pick slow cheap bid.
-        let w = SelectionPolicy::Weighted { time_value_per_hour: Money::from_units(1) };
-        assert_eq!(w.select(&bids, &flat_payoff()).unwrap().cluster, ClusterId(2));
+        let w = SelectionPolicy::Weighted {
+            time_value_per_hour: Money::from_units(1),
+        };
+        assert_eq!(
+            w.select(&bids, &flat_payoff()).unwrap().cluster,
+            ClusterId(2)
+        );
         // Expensive time ($10/h): scores 40 vs 110 → pick fast bid.
-        let w = SelectionPolicy::Weighted { time_value_per_hour: Money::from_units(10) };
-        assert_eq!(w.select(&bids, &flat_payoff()).unwrap().cluster, ClusterId(1));
+        let w = SelectionPolicy::Weighted {
+            time_value_per_hour: Money::from_units(10),
+        };
+        assert_eq!(
+            w.select(&bids, &flat_payoff()).unwrap().cluster,
+            ClusterId(1)
+        );
     }
 
     #[test]
@@ -152,13 +168,17 @@ mod tests {
 
     #[test]
     fn empty_slate_selects_nothing() {
-        assert!(SelectionPolicy::LeastCost.select(&[], &flat_payoff()).is_none());
+        assert!(SelectionPolicy::LeastCost
+            .select(&[], &flat_payoff())
+            .is_none());
     }
 
     #[test]
     fn ties_break_deterministically_by_cluster() {
         let bids = [bid(9, 10.0, 100), bid(4, 10.0, 100), bid(7, 10.0, 100)];
-        let w = SelectionPolicy::LeastCost.select(&bids, &flat_payoff()).unwrap();
+        let w = SelectionPolicy::LeastCost
+            .select(&bids, &flat_payoff())
+            .unwrap();
         assert_eq!(w.cluster, ClusterId(4));
     }
 

@@ -86,7 +86,12 @@ impl BidStrategy for Baseline {
     fn name(&self) -> &'static str {
         "baseline"
     }
-    fn multiplier(&self, _req: &BidRequest, _view: &ClusterView, _market: &MarketInfo) -> Option<f64> {
+    fn multiplier(
+        &self,
+        _req: &BidRequest,
+        _view: &ClusterView,
+        _market: &MarketInfo,
+    ) -> Option<f64> {
         Some(1.0)
     }
 }
@@ -107,7 +112,11 @@ pub struct UtilizationInterpolated {
 impl Default for UtilizationInterpolated {
     /// The paper's current values: k = 1, α = 0.5, β = 2.0.
     fn default() -> Self {
-        UtilizationInterpolated { k: 1.0, alpha: 0.5, beta: 2.0 }
+        UtilizationInterpolated {
+            k: 1.0,
+            alpha: 0.5,
+            beta: 2.0,
+        }
     }
 }
 
@@ -115,7 +124,12 @@ impl BidStrategy for UtilizationInterpolated {
     fn name(&self) -> &'static str {
         "util-interp"
     }
-    fn multiplier(&self, _req: &BidRequest, view: &ClusterView, _market: &MarketInfo) -> Option<f64> {
+    fn multiplier(
+        &self,
+        _req: &BidRequest,
+        view: &ClusterView,
+        _market: &MarketInfo,
+    ) -> Option<f64> {
         let u = view.predicted_utilization.clamp(0.0, 1.0);
         let lo = self.k * (1.0 - self.alpha);
         let hi = self.k * (1.0 + self.beta);
@@ -155,8 +169,7 @@ impl BidStrategy for DeadlineAware {
         "deadline-aware"
     }
     fn multiplier(&self, req: &BidRequest, view: &ClusterView, market: &MarketInfo) -> Option<f64> {
-        let deadline_near =
-            req.qos.deadline() <= view.now.saturating_add(self.near_horizon);
+        let deadline_near = req.qos.deadline() <= view.now.saturating_add(self.near_horizon);
         let mut strat = self.base;
         if deadline_near && view.free_fraction() >= self.free_threshold {
             strat.k *= self.urgency_discount;
@@ -179,7 +192,10 @@ pub struct WeatherAware {
 
 impl Default for WeatherAware {
     fn default() -> Self {
-        WeatherAware { base: UtilizationInterpolated::default(), market_weight: 0.5 }
+        WeatherAware {
+            base: UtilizationInterpolated::default(),
+            market_weight: 0.5,
+        }
     }
 }
 
@@ -212,7 +228,9 @@ impl BidStrategy for WeatherAware {
 /// configurations are static).
 pub fn by_name(name: &str) -> Box<dyn BidStrategy> {
     if let Some(m) = name.strip_prefix("fixed:") {
-        return Box::new(Fixed(m.parse().expect("fixed:<multiplier> must be a number")));
+        return Box::new(Fixed(
+            m.parse().expect("fixed:<multiplier> must be a number"),
+        ));
     }
     if let Some(params) = name.strip_prefix("util-interp:") {
         let parts: Vec<f64> = params
@@ -220,7 +238,11 @@ pub fn by_name(name: &str) -> Box<dyn BidStrategy> {
             .map(|p| p.trim().parse().expect("util-interp:<k>,<alpha>,<beta>"))
             .collect();
         assert_eq!(parts.len(), 3, "util-interp takes exactly k,alpha,beta");
-        return Box::new(UtilizationInterpolated { k: parts[0], alpha: parts[1], beta: parts[2] });
+        return Box::new(UtilizationInterpolated {
+            k: parts[0],
+            alpha: parts[1],
+            beta: parts[2],
+        });
     }
     match name {
         "baseline" => Box::new(Baseline),
@@ -239,7 +261,12 @@ impl BidStrategy for Fixed {
     fn name(&self) -> &'static str {
         "fixed"
     }
-    fn multiplier(&self, _req: &BidRequest, _view: &ClusterView, _market: &MarketInfo) -> Option<f64> {
+    fn multiplier(
+        &self,
+        _req: &BidRequest,
+        _view: &ClusterView,
+        _market: &MarketInfo,
+    ) -> Option<f64> {
         Some(self.0)
     }
 }
@@ -259,7 +286,12 @@ mod tests {
             ))
             .build()
             .unwrap();
-        BidRequest { job: JobId(0), user: UserId(0), qos, issued_at: SimTime::ZERO }
+        BidRequest {
+            job: JobId(0),
+            user: UserId(0),
+            qos,
+            issued_at: SimTime::ZERO,
+        }
     }
 
     fn view(free: u32, util: f64) -> ClusterView {
@@ -276,8 +308,14 @@ mod tests {
     #[test]
     fn baseline_always_one() {
         let s = Baseline;
-        assert_eq!(s.multiplier(&req(10), &view(0, 1.0), &MarketInfo::default()), Some(1.0));
-        assert_eq!(s.multiplier(&req(10), &view(100, 0.0), &MarketInfo::default()), Some(1.0));
+        assert_eq!(
+            s.multiplier(&req(10), &view(0, 1.0), &MarketInfo::default()),
+            Some(1.0)
+        );
+        assert_eq!(
+            s.multiplier(&req(10), &view(100, 0.0), &MarketInfo::default()),
+            Some(1.0)
+        );
     }
 
     #[test]
@@ -301,7 +339,11 @@ mod tests {
 
     #[test]
     fn interpolated_is_monotone_in_utilization() {
-        let s = UtilizationInterpolated { k: 2.0, alpha: 0.3, beta: 1.0 };
+        let s = UtilizationInterpolated {
+            k: 2.0,
+            alpha: 0.3,
+            beta: 1.0,
+        };
         let m = MarketInfo::default();
         let mut prev = f64::NEG_INFINITY;
         for i in 0..=10 {
@@ -329,20 +371,37 @@ mod tests {
 
     #[test]
     fn weather_aware_moves_toward_market_average() {
-        let s = WeatherAware { base: UtilizationInterpolated::default(), market_weight: 1.0 };
-        let market = MarketInfo { recent_avg_multiplier: Some(2.5), grid_utilization: None };
+        let s = WeatherAware {
+            base: UtilizationInterpolated::default(),
+            market_weight: 1.0,
+        };
+        let market = MarketInfo {
+            recent_avg_multiplier: Some(2.5),
+            grid_utilization: None,
+        };
         let v = s.multiplier(&req(10), &view(100, 0.0), &market).unwrap();
-        assert!((v - 2.5).abs() < 1e-12, "full market weight tracks the average, got {v}");
+        assert!(
+            (v - 2.5).abs() < 1e-12,
+            "full market weight tracks the average, got {v}"
+        );
         // Without weather data it degenerates to the local strategy.
-        let local = s.multiplier(&req(10), &view(100, 0.0), &MarketInfo::default()).unwrap();
+        let local = s
+            .multiplier(&req(10), &view(100, 0.0), &MarketInfo::default())
+            .unwrap();
         assert_eq!(local, 0.5);
     }
 
     #[test]
     fn weather_aware_shades_by_grid_utilization() {
         let s = WeatherAware::default();
-        let hot = MarketInfo { recent_avg_multiplier: Some(1.0), grid_utilization: Some(1.0) };
-        let cold = MarketInfo { recent_avg_multiplier: Some(1.0), grid_utilization: Some(0.0) };
+        let hot = MarketInfo {
+            recent_avg_multiplier: Some(1.0),
+            grid_utilization: Some(1.0),
+        };
+        let cold = MarketInfo {
+            recent_avg_multiplier: Some(1.0),
+            grid_utilization: Some(0.0),
+        };
         let mh = s.multiplier(&req(10), &view(50, 0.5), &hot).unwrap();
         let mc = s.multiplier(&req(10), &view(50, 0.5), &cold).unwrap();
         assert!(mh > mc);
@@ -351,6 +410,9 @@ mod tests {
     #[test]
     fn fixed_is_fixed() {
         let s = Fixed(0.75);
-        assert_eq!(s.multiplier(&req(1), &view(0, 1.0), &MarketInfo::default()), Some(0.75));
+        assert_eq!(
+            s.multiplier(&req(1), &view(0, 1.0), &MarketInfo::default()),
+            Some(0.75)
+        );
     }
 }

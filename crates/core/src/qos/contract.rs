@@ -61,7 +61,11 @@ pub struct Environment {
 impl Environment {
     /// An environment requiring only the named application.
     pub fn app(name: impl Into<String>) -> Self {
-        Environment { app: name.into(), os: String::new(), libraries: vec![] }
+        Environment {
+            app: name.into(),
+            os: String::new(),
+            libraries: vec![],
+        }
     }
 }
 
@@ -106,7 +110,10 @@ impl QosContract {
             return Err("min_pes must be at least 1".into());
         }
         if self.max_pes < self.min_pes {
-            return Err(format!("max_pes {} < min_pes {}", self.max_pes, self.min_pes));
+            return Err(format!(
+                "max_pes {} < min_pes {}",
+                self.max_pes, self.min_pes
+            ));
         }
         if !self.work.is_valid() {
             return Err("work must be positive and finite".into());
@@ -294,12 +301,18 @@ mod tests {
     fn completion_at_adds_wall_time() {
         let q = basic();
         let t0 = SimTime::from_secs(1000);
-        assert_eq!(q.completion_at(t0, 16, 1.0), t0 + SimDuration::from_secs(225));
+        assert_eq!(
+            q.completion_at(t0, 16, 1.0),
+            t0 + SimDuration::from_secs(225)
+        );
     }
 
     #[test]
     fn flops_work_depends_on_machine_speed() {
-        let q = QosBuilder::new("cfd", 8, 8, 0.0).flops(8e12).build().unwrap();
+        let q = QosBuilder::new("cfd", 8, 8, 0.0)
+            .flops(8e12)
+            .build()
+            .unwrap();
         // 8e12 flops at 1e9 flop/s per pe = 8000 cpu-seconds.
         assert!((q.cpu_seconds(1e9) - 8000.0).abs() < 1e-6);
         // A machine twice as fast halves the CPU time.
@@ -308,7 +321,10 @@ mod tests {
 
     #[test]
     fn memory_demands() {
-        let q = QosBuilder::new("x", 4, 10, 100.0).mem_per_pe_mb(512).build().unwrap();
+        let q = QosBuilder::new("x", 4, 10, 100.0)
+            .mem_per_pe_mb(512)
+            .build()
+            .unwrap();
         assert_eq!(q.total_mem_demand_mb(), 512 * 10);
         assert!(q.fits_node_memory(512));
         assert!(!q.fits_node_memory(256));

@@ -117,14 +117,23 @@ mod tests {
     #[test]
     fn full_payoff_before_soft_deadline() {
         assert_eq!(f().payoff_at(SimTime::ZERO), Money::from_units(100));
-        assert_eq!(f().payoff_at(SimTime::from_secs(100)), Money::from_units(100));
+        assert_eq!(
+            f().payoff_at(SimTime::from_secs(100)),
+            Money::from_units(100)
+        );
     }
 
     #[test]
     fn linear_interpolation_between_deadlines() {
         // Halfway: 100 + 0.5*(40-100) = 70.
-        assert_eq!(f().payoff_at(SimTime::from_secs(150)), Money::from_units(70));
-        assert_eq!(f().payoff_at(SimTime::from_secs(200)), Money::from_units(40));
+        assert_eq!(
+            f().payoff_at(SimTime::from_secs(150)),
+            Money::from_units(70)
+        );
+        assert_eq!(
+            f().payoff_at(SimTime::from_secs(200)),
+            Money::from_units(40)
+        );
         // Monotone non-increasing inside the window.
         let mut prev = f().payoff_at(SimTime::from_secs(100));
         for s in 101..=200 {
@@ -144,7 +153,11 @@ mod tests {
 
     #[test]
     fn hard_only_steps() {
-        let h = PayoffFn::hard_only(SimTime::from_secs(50), Money::from_units(10), Money::from_units(5));
+        let h = PayoffFn::hard_only(
+            SimTime::from_secs(50),
+            Money::from_units(10),
+            Money::from_units(5),
+        );
         assert_eq!(h.payoff_at(SimTime::from_secs(50)), Money::from_units(10));
         assert_eq!(h.payoff_at(SimTime::from_secs(51)), Money::from_units(-5));
         assert!(h.validate().is_ok());

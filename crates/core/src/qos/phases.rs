@@ -36,12 +36,18 @@ pub struct PhaseStructure {
 impl PhaseStructure {
     /// A single-phase (unphased) structure.
     pub fn monolithic() -> Self {
-        PhaseStructure { phases: vec![], iterations: 0 }
+        PhaseStructure {
+            phases: vec![],
+            iterations: 0,
+        }
     }
 
     /// A structure with the given phases repeated `iterations` times.
     pub fn iterative(phases: Vec<Phase>, iterations: u32) -> Self {
-        PhaseStructure { phases, iterations: iterations.max(1) }
+        PhaseStructure {
+            phases,
+            iterations: iterations.max(1),
+        }
     }
 
     /// True when no phase structure was declared.
@@ -72,7 +78,11 @@ impl PhaseStructure {
     /// The peak per-processor memory over all phases, or `fallback` when
     /// monolithic.
     pub fn peak_mem_per_pe_mb(&self, fallback: u64) -> u64 {
-        self.phases.iter().map(|p| p.mem_per_pe_mb).max().unwrap_or(fallback)
+        self.phases
+            .iter()
+            .map(|p| p.mem_per_pe_mb)
+            .max()
+            .unwrap_or(fallback)
     }
 
     /// Given the whole job's wall time, the duration of a single occurrence
@@ -84,9 +94,16 @@ impl PhaseStructure {
 
     /// §2.1: a phase is worth migrating for only if a single occurrence lasts
     /// at least `min_worthwhile` ("several minutes").
-    pub fn migratable_phases(&self, total_wall: SimDuration, min_worthwhile: SimDuration) -> Vec<usize> {
+    pub fn migratable_phases(
+        &self,
+        total_wall: SimDuration,
+        min_worthwhile: SimDuration,
+    ) -> Vec<usize> {
         (0..self.phases.len())
-            .filter(|&i| self.phase_duration(i, total_wall).is_some_and(|d| d >= min_worthwhile))
+            .filter(|&i| {
+                self.phase_duration(i, total_wall)
+                    .is_some_and(|d| d >= min_worthwhile)
+            })
             .collect()
     }
 }
@@ -98,8 +115,18 @@ mod tests {
     fn phased() -> PhaseStructure {
         PhaseStructure::iterative(
             vec![
-                Phase { name: "compute".into(), work_fraction: 0.8, mem_per_pe_mb: 512, comm_intensity: 0.2 },
-                Phase { name: "io".into(), work_fraction: 0.2, mem_per_pe_mb: 2048, comm_intensity: 0.9 },
+                Phase {
+                    name: "compute".into(),
+                    work_fraction: 0.8,
+                    mem_per_pe_mb: 512,
+                    comm_intensity: 0.2,
+                },
+                Phase {
+                    name: "io".into(),
+                    work_fraction: 0.2,
+                    mem_per_pe_mb: 2048,
+                    comm_intensity: 0.9,
+                },
             ],
             4,
         )
@@ -148,9 +175,15 @@ mod tests {
         let p = phased();
         let total = SimDuration::from_hours(4);
         // Threshold 20 minutes: only the 48-minute compute phase qualifies.
-        assert_eq!(p.migratable_phases(total, SimDuration::from_mins(20)), vec![0]);
+        assert_eq!(
+            p.migratable_phases(total, SimDuration::from_mins(20)),
+            vec![0]
+        );
         // Threshold 5 minutes: both qualify.
-        assert_eq!(p.migratable_phases(total, SimDuration::from_mins(5)), vec![0, 1]);
+        assert_eq!(
+            p.migratable_phases(total, SimDuration::from_mins(5)),
+            vec![0, 1]
+        );
     }
 
     #[test]

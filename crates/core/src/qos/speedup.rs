@@ -45,7 +45,9 @@ impl SpeedupModel {
             }
             SpeedupModel::Amdahl { serial_fraction } => {
                 if !(0.0..1.0).contains(&serial_fraction) {
-                    Err(format!("serial_fraction must be in [0,1), got {serial_fraction}"))
+                    Err(format!(
+                        "serial_fraction must be in [0,1), got {serial_fraction}"
+                    ))
                 } else {
                     Ok(())
                 }
@@ -96,7 +98,10 @@ impl SpeedupModel {
 
 impl Default for SpeedupModel {
     fn default() -> Self {
-        SpeedupModel::LinearEfficiency { eff_min: 1.0, eff_max: 0.7 }
+        SpeedupModel::LinearEfficiency {
+            eff_min: 1.0,
+            eff_max: 0.7,
+        }
     }
 }
 
@@ -106,7 +111,10 @@ mod tests {
 
     #[test]
     fn linear_efficiency_interpolates() {
-        let m = SpeedupModel::LinearEfficiency { eff_min: 1.0, eff_max: 0.5 };
+        let m = SpeedupModel::LinearEfficiency {
+            eff_min: 1.0,
+            eff_max: 0.5,
+        };
         assert!((m.efficiency(10, 10, 110) - 1.0).abs() < 1e-12);
         assert!((m.efficiency(110, 10, 110) - 0.5).abs() < 1e-12);
         assert!((m.efficiency(60, 10, 110) - 0.75).abs() < 1e-12);
@@ -114,20 +122,29 @@ mod tests {
 
     #[test]
     fn degenerate_range_uses_eff_min() {
-        let m = SpeedupModel::LinearEfficiency { eff_min: 0.9, eff_max: 0.5 };
+        let m = SpeedupModel::LinearEfficiency {
+            eff_min: 0.9,
+            eff_max: 0.5,
+        };
         assert!((m.efficiency(8, 8, 8) - 0.9).abs() < 1e-12);
     }
 
     #[test]
     fn out_of_range_pes_clamp() {
-        let m = SpeedupModel::LinearEfficiency { eff_min: 1.0, eff_max: 0.5 };
+        let m = SpeedupModel::LinearEfficiency {
+            eff_min: 1.0,
+            eff_max: 0.5,
+        };
         assert_eq!(m.efficiency(1, 10, 20), m.efficiency(10, 10, 20));
         assert_eq!(m.efficiency(100, 10, 20), m.efficiency(20, 10, 20));
     }
 
     #[test]
     fn wall_time_decreases_with_more_pes_when_efficient() {
-        let m = SpeedupModel::LinearEfficiency { eff_min: 1.0, eff_max: 0.8 };
+        let m = SpeedupModel::LinearEfficiency {
+            eff_min: 1.0,
+            eff_max: 0.8,
+        };
         let t16 = m.wall_seconds(3600.0, 16, 16, 64);
         let t64 = m.wall_seconds(3600.0, 64, 16, 64);
         assert!(t64 < t16, "more procs should be faster: {t64} !< {t16}");
@@ -137,7 +154,9 @@ mod tests {
 
     #[test]
     fn amdahl_limits() {
-        let m = SpeedupModel::Amdahl { serial_fraction: 0.1 };
+        let m = SpeedupModel::Amdahl {
+            serial_fraction: 0.1,
+        };
         // Efficiency at p=1 is 1.
         assert!((m.efficiency(1, 1, 1024) - 1.0).abs() < 1e-12);
         // Speedup saturates at 1/s = 10: wall time on huge p ≈ work * s.
@@ -154,7 +173,10 @@ mod tests {
 
     #[test]
     fn work_rate_matches_wall_time() {
-        let m = SpeedupModel::LinearEfficiency { eff_min: 0.95, eff_max: 0.6 };
+        let m = SpeedupModel::LinearEfficiency {
+            eff_min: 0.95,
+            eff_max: 0.6,
+        };
         let work = 5000.0;
         let pes = 37;
         let rate = m.work_rate(pes, 10, 100);
@@ -164,10 +186,28 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(SpeedupModel::LinearEfficiency { eff_min: 0.0, eff_max: 0.5 }.validate().is_err());
-        assert!(SpeedupModel::LinearEfficiency { eff_min: 0.5, eff_max: 1.1 }.validate().is_err());
-        assert!(SpeedupModel::Amdahl { serial_fraction: 1.0 }.validate().is_err());
-        assert!(SpeedupModel::Amdahl { serial_fraction: 0.0 }.validate().is_ok());
+        assert!(SpeedupModel::LinearEfficiency {
+            eff_min: 0.0,
+            eff_max: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(SpeedupModel::LinearEfficiency {
+            eff_min: 0.5,
+            eff_max: 1.1
+        }
+        .validate()
+        .is_err());
+        assert!(SpeedupModel::Amdahl {
+            serial_fraction: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(SpeedupModel::Amdahl {
+            serial_fraction: 0.0
+        }
+        .validate()
+        .is_ok());
         assert!(SpeedupModel::default().validate().is_ok());
     }
 }

@@ -54,7 +54,11 @@ pub struct FaucetsServer {
 impl FaucetsServer {
     /// A server with the given directory liveness timeout, session TTL, and
     /// history window.
-    pub fn new(liveness_timeout: SimDuration, session_ttl: SimDuration, history_window: SimDuration) -> Self {
+    pub fn new(
+        liveness_timeout: SimDuration,
+        session_ttl: SimDuration,
+        history_window: SimDuration,
+    ) -> Self {
         FaucetsServer {
             directory: Directory::new(liveness_timeout),
             users: UserDb::new(session_ttl),
@@ -77,7 +81,12 @@ impl FaucetsServer {
     // -- user management ----------------------------------------------------
 
     /// Create a user account.
-    pub fn create_user<R: Rng + ?Sized>(&mut self, name: &str, password: &str, rng: &mut R) -> Result<UserId> {
+    pub fn create_user<R: Rng + ?Sized>(
+        &mut self,
+        name: &str,
+        password: &str,
+        rng: &mut R,
+    ) -> Result<UserId> {
         self.users.add_user(name, password, rng)
     }
 
@@ -212,7 +221,11 @@ mod tests {
         s.create_user("alice", "pw", &mut rng).unwrap();
         let (_, token) = s.login("alice", "pw", SimTime::ZERO, &mut rng).unwrap();
         s.register_cluster(info(1, 64), ["namd".to_string()], SimTime::ZERO);
-        s.register_cluster(info(2, 1024), ["namd".to_string(), "cfd".to_string()], SimTime::ZERO);
+        s.register_cluster(
+            info(2, 1024),
+            ["namd".to_string(), "cfd".to_string()],
+            SimTime::ZERO,
+        );
         (s, token)
     }
 
@@ -230,11 +243,15 @@ mod tests {
         let (mut s, token) = server();
         let qos = QosBuilder::new("cfd", 8, 32, 100.0).build().unwrap();
         // Static filtering: only cs2 exports cfd.
-        let c = s.match_servers(&token, &qos, SimTime::from_secs(1)).unwrap();
+        let c = s
+            .match_servers(&token, &qos, SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(c, vec![ClusterId(2)]);
         // Broadcast mode returns both.
         s.filter_level = FilterLevel::None;
-        let c = s.match_servers(&token, &qos, SimTime::from_secs(1)).unwrap();
+        let c = s
+            .match_servers(&token, &qos, SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(c.len(), 2);
     }
 
@@ -242,7 +259,8 @@ mod tests {
     fn rfb_message_accounting() {
         let (mut s, token) = server();
         let qos = QosBuilder::new("namd", 8, 32, 100.0).build().unwrap();
-        s.match_servers(&token, &qos, SimTime::from_secs(1)).unwrap();
+        s.match_servers(&token, &qos, SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(s.stats.matches, 1);
         assert_eq!(s.stats.rfb_messages, 2);
         // Token verification happened for login + match.
@@ -261,8 +279,26 @@ mod tests {
     fn grid_utilization_from_heartbeats() {
         let (mut s, _) = server();
         // cs1: 32/64 busy; cs2: 512/1024 busy → 50% overall.
-        s.heartbeat(ClusterId(1), ServerStatus { free_pes: 32, queue_len: 0, accepting: true }, SimTime::from_secs(10));
-        s.heartbeat(ClusterId(2), ServerStatus { free_pes: 512, queue_len: 0, accepting: true }, SimTime::from_secs(10));
+        s.heartbeat(
+            ClusterId(1),
+            ServerStatus {
+                free_pes: 32,
+                queue_len: 0,
+                accepting: true,
+                ..Default::default()
+            },
+            SimTime::from_secs(10),
+        );
+        s.heartbeat(
+            ClusterId(2),
+            ServerStatus {
+                free_pes: 512,
+                queue_len: 0,
+                accepting: true,
+                ..Default::default()
+            },
+            SimTime::from_secs(10),
+        );
         let u = s.grid_utilization(SimTime::from_secs(11)).unwrap();
         assert!((u - 0.5).abs() < 1e-9);
         assert_eq!(s.stats.heartbeats, 2);
@@ -271,7 +307,16 @@ mod tests {
     #[test]
     fn dead_servers_drop_out_of_utilization() {
         let (mut s, _) = server();
-        s.heartbeat(ClusterId(1), ServerStatus { free_pes: 0, queue_len: 0, accepting: true }, SimTime::from_secs(60));
+        s.heartbeat(
+            ClusterId(1),
+            ServerStatus {
+                free_pes: 0,
+                queue_len: 0,
+                accepting: true,
+                ..Default::default()
+            },
+            SimTime::from_secs(60),
+        );
         // cs2 never heartbeats; past its 90 s liveness window only cs1 counts.
         let u = s.grid_utilization(SimTime::from_secs(120)).unwrap();
         assert!((u - 1.0).abs() < 1e-9);
@@ -281,18 +326,46 @@ mod tests {
     fn silent_daemons_are_evicted_and_reregister() {
         use crate::directory::Liveness;
         let (mut s, token) = server(); // 90 s liveness → 270 s dead.
-        // cs1 keeps heartbeating; cs2 goes silent after registration.
-        s.heartbeat(ClusterId(1), ServerStatus { free_pes: 64, queue_len: 0, accepting: true }, SimTime::from_secs(200));
-        assert_eq!(s.directory.liveness(ClusterId(2), SimTime::from_secs(200)), Some(Liveness::Suspect));
+                                       // cs1 keeps heartbeating; cs2 goes silent after registration.
+        s.heartbeat(
+            ClusterId(1),
+            ServerStatus {
+                free_pes: 64,
+                queue_len: 0,
+                accepting: true,
+                ..Default::default()
+            },
+            SimTime::from_secs(200),
+        );
+        assert_eq!(
+            s.directory.liveness(ClusterId(2), SimTime::from_secs(200)),
+            Some(Liveness::Suspect)
+        );
         // Past the dead timeout, any match sweeps cs2 out.
         let qos = QosBuilder::new("namd", 8, 32, 100.0).build().unwrap();
-        s.heartbeat(ClusterId(1), ServerStatus { free_pes: 64, queue_len: 0, accepting: true }, SimTime::from_secs(280));
-        s.match_servers(&token, &qos, SimTime::from_secs(281)).unwrap();
+        s.heartbeat(
+            ClusterId(1),
+            ServerStatus {
+                free_pes: 64,
+                queue_len: 0,
+                accepting: true,
+                ..Default::default()
+            },
+            SimTime::from_secs(280),
+        );
+        s.match_servers(&token, &qos, SimTime::from_secs(281))
+            .unwrap();
         assert_eq!(s.stats.evictions, 1);
         assert!(s.directory.get(ClusterId(2)).is_none());
         // The restarted daemon re-registers and is matchable again.
-        s.register_cluster(info(2, 1024), ["namd".to_string(), "cfd".to_string()], SimTime::from_secs(290));
-        let c = s.match_servers(&token, &qos, SimTime::from_secs(291)).unwrap();
+        s.register_cluster(
+            info(2, 1024),
+            ["namd".to_string(), "cfd".to_string()],
+            SimTime::from_secs(290),
+        );
+        let c = s
+            .match_servers(&token, &qos, SimTime::from_secs(291))
+            .unwrap();
         assert!(c.contains(&ClusterId(2)));
     }
 

@@ -12,15 +12,20 @@ use faucets_sim::time::SimTime;
 use proptest::prelude::*;
 
 fn payoff_strategy() -> impl Strategy<Value = PayoffFn> {
-    (0u64..100_000, 0u64..100_000, 0i64..10_000, 0i64..10_000, 0i64..5_000).prop_map(
-        |(soft, extra, pay_soft, pay_drop, penalty)| PayoffFn {
+    (
+        0u64..100_000,
+        0u64..100_000,
+        0i64..10_000,
+        0i64..10_000,
+        0i64..5_000,
+    )
+        .prop_map(|(soft, extra, pay_soft, pay_drop, penalty)| PayoffFn {
             soft_deadline: SimTime::from_secs(soft),
             hard_deadline: SimTime::from_secs(soft + extra),
             payoff_soft: Money::from_units(pay_soft),
             payoff_hard: Money::from_units((pay_soft - pay_drop).max(0).min(pay_soft)),
             penalty_late: Money::from_units(penalty),
-        },
-    )
+        })
 }
 
 proptest! {

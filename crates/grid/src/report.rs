@@ -32,7 +32,11 @@ impl Table {
     /// # Panics
     /// Panics if the cell count does not match the header count.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(cells);
     }
 
@@ -63,7 +67,12 @@ impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let w = self.widths();
         writeln!(f, "## {}", self.title)?;
-        let line: Vec<String> = self.headers.iter().zip(&w).map(|(h, w)| format!("{h:>w$}")).collect();
+        let line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&w)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
         writeln!(f, "{}", line.join("  "))?;
         let total: usize = w.iter().sum::<usize>() + 2 * (w.len().saturating_sub(1));
         writeln!(f, "{}", "-".repeat(total))?;

@@ -91,7 +91,9 @@ impl ScenarioBuilder {
             clusters: vec![],
             n_users: 4,
             mode: MarketMode::Bidding(SelectionPolicy::LeastCost),
-            arrivals: ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(600) },
+            arrivals: ArrivalProcess::Poisson {
+                mean_interarrival: SimDuration::from_secs(600),
+            },
             mix: JobMix::default(),
             horizon: SimDuration::from_hours(24),
             market_latency: SimDuration::from_millis(200),
@@ -210,7 +212,11 @@ impl ScenarioBuilder {
     /// Inject transient machine failures (§3 recovery): exponential with
     /// the given MTBF per machine, periodic checkpoints at `interval`.
     pub fn failures(mut self, mtbf: SimDuration, interval: SimDuration) -> Self {
-        self.failures = Some(FailureModel { mtbf, checkpoint_interval: interval, seed: self.seed ^ 0xFA11 });
+        self.failures = Some(FailureModel {
+            mtbf,
+            checkpoint_interval: interval,
+            seed: self.seed ^ 0xFA11,
+        });
         self
     }
 
@@ -262,7 +268,10 @@ impl ScenarioBuilder {
 
     /// Assemble the world and prime the simulation.
     pub fn build(self) -> Simulation<GridWorld> {
-        assert!(!self.clusters.is_empty(), "a scenario needs at least one cluster");
+        assert!(
+            !self.clusters.is_empty(),
+            "a scenario needs at least one cluster"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5EED);
 
         let mut server = FaucetsServer::new(
@@ -273,7 +282,9 @@ impl ScenarioBuilder {
         server.filter_level = self.filter_level;
 
         // The simulation's client identity.
-        server.create_user("sim-client", "sim-password", &mut rng).expect("fresh user db");
+        server
+            .create_user("sim-client", "sim-password", &mut rng)
+            .expect("fresh user db");
         let (_, token) = server
             .login("sim-client", "sim-password", SimTime::ZERO, &mut rng)
             .expect("login succeeds");
@@ -281,10 +292,14 @@ impl ScenarioBuilder {
         // Users and their dollar accounts.
         let users: Vec<UserId> = (0..self.n_users).map(|i| UserId(i as u64 + 1)).collect();
         let mut ledger = Ledger::new();
-        ledger.open(AccountId::System, Money::ZERO).expect("fresh ledger");
+        ledger
+            .open(AccountId::System, Money::ZERO)
+            .expect("fresh ledger");
         ledger.set_overdraft(AccountId::System, true);
         for &u in &users {
-            ledger.open(AccountId::User(u), Money::from_units(1_000_000_000)).unwrap();
+            ledger
+                .open(AccountId::User(u), Money::from_units(1_000_000_000))
+                .unwrap();
         }
 
         // Clusters, daemons, directory registrations.
@@ -299,7 +314,12 @@ impl ScenarioBuilder {
             server.register_cluster(info.clone(), apps.iter().cloned(), SimTime::ZERO);
             server.heartbeat(
                 cid,
-                faucets_core::directory::ServerStatus { free_pes: cfg.pes, queue_len: 0, accepting: true },
+                faucets_core::directory::ServerStatus {
+                    free_pes: cfg.pes,
+                    queue_len: 0,
+                    accepting: true,
+                    ..Default::default()
+                },
                 SimTime::ZERO,
             );
             let cluster = Cluster::new(
@@ -317,7 +337,8 @@ impl ScenarioBuilder {
             nodes.insert(cid, Node { daemon, cluster });
 
             // Bartering: one org per cluster.
-            bank.register_org(OrgId(i as u64 + 1), self.initial_credits).unwrap();
+            bank.register_org(OrgId(i as u64 + 1), self.initial_credits)
+                .unwrap();
             bank.register_cluster(cid, OrgId(i as u64 + 1)).unwrap();
         }
 
@@ -369,7 +390,9 @@ impl ScenarioBuilder {
         if matches!(world.mode, MarketMode::ServiceUnits(_)) {
             let mut quota = faucets_core::quota::SuQuota::new();
             for &u in &world.workload.users {
-                quota.grant(u, self.su_quota_per_user).expect("fresh quota bank");
+                quota
+                    .grant(u, self.su_quota_per_user)
+                    .expect("fresh quota bank");
             }
             for &c in world.nodes.keys().collect::<Vec<_>>() {
                 quota.register_cluster(c).expect("fresh quota bank");
@@ -412,7 +435,13 @@ mod tests {
         for p in ["fcfs", "easy-backfill", "equipartition", "profit"] {
             assert!(!policy_by_name(p).name().is_empty());
         }
-        for s in ["baseline", "util-interp", "deadline-aware", "weather-aware", "fixed:1.5"] {
+        for s in [
+            "baseline",
+            "util-interp",
+            "deadline-aware",
+            "weather-aware",
+            "fixed:1.5",
+        ] {
             assert!(!strategy_by_name(s).name().is_empty());
         }
     }

@@ -111,7 +111,10 @@ pub fn record_to_qos(rec: &TraceRecord, cfg: &TraceConfig) -> QosContract {
     let max_pes = (rec.procs * cfg.grow_factor.max(1)).max(min_pes);
     // Recorded runtime × recorded procs ≈ delivered CPU-seconds; back out
     // the sequential work through the efficiency at the recorded size.
-    let speedup = SpeedupModel::LinearEfficiency { eff_min: cfg.efficiency.0, eff_max: cfg.efficiency.1 };
+    let speedup = SpeedupModel::LinearEfficiency {
+        eff_min: cfg.efficiency.0,
+        eff_max: cfg.efficiency.1,
+    };
     let eff_at_rec = speedup.efficiency(rec.procs, min_pes, max_pes);
     let work = rec.runtime_secs * rec.procs as f64 * eff_at_rec;
 
@@ -140,11 +143,21 @@ pub fn record_to_qos(rec: &TraceRecord, cfg: &TraceConfig) -> QosContract {
 }
 
 /// Build a replay [`Workload`] from SWF text.
-pub fn workload_from_swf(text: &str, cfg: &TraceConfig, horizon: SimTime) -> Result<Workload, String> {
+pub fn workload_from_swf(
+    text: &str,
+    cfg: &TraceConfig,
+    horizon: SimTime,
+) -> Result<Workload, String> {
     let records = parse_swf(text)?;
     let jobs = records
         .iter()
-        .map(|r| (SimTime::from_secs(r.submit_secs), UserId(r.user), record_to_qos(r, cfg)))
+        .map(|r| {
+            (
+                SimTime::from_secs(r.submit_secs),
+                UserId(r.user),
+                record_to_qos(r, cfg),
+            )
+        })
         .collect();
     Ok(Workload::from_trace(jobs, horizon))
 }
@@ -168,7 +181,16 @@ mod tests {
         // Job 3 has runtime -1 → skipped. Job 2 has procs -1 → falls back
         // to requested (128).
         assert_eq!(recs.len(), 3);
-        assert_eq!(recs[0], TraceRecord { job: 1, submit_secs: 0, runtime_secs: 3600.0, procs: 64, user: 3 });
+        assert_eq!(
+            recs[0],
+            TraceRecord {
+                job: 1,
+                submit_secs: 0,
+                runtime_secs: 3600.0,
+                procs: 64,
+                user: 3
+            }
+        );
         assert_eq!(recs[1].procs, 128);
         assert_eq!(recs[2].job, 4);
     }
@@ -201,7 +223,8 @@ mod tests {
 
     #[test]
     fn workload_replays_in_order() {
-        let mut w = workload_from_swf(SAMPLE, &TraceConfig::default(), SimTime::from_hours(2)).unwrap();
+        let mut w =
+            workload_from_swf(SAMPLE, &TraceConfig::default(), SimTime::from_hours(2)).unwrap();
         let mut last = SimTime::ZERO;
         let mut n = 0;
         while let Some((at, _, qos)) = w.next_job(last) {
@@ -215,7 +238,8 @@ mod tests {
 
     #[test]
     fn horizon_truncates_replay() {
-        let mut w = workload_from_swf(SAMPLE, &TraceConfig::default(), SimTime::from_secs(200)).unwrap();
+        let mut w =
+            workload_from_swf(SAMPLE, &TraceConfig::default(), SimTime::from_secs(200)).unwrap();
         let mut n = 0;
         while w.next_job(SimTime::ZERO).is_some() {
             n += 1;
@@ -225,10 +249,16 @@ mod tests {
 
     #[test]
     fn adaptive_fraction_zero_is_rigid() {
-        let cfg = TraceConfig { adaptive_fraction: 0.0, ..TraceConfig::default() };
+        let cfg = TraceConfig {
+            adaptive_fraction: 0.0,
+            ..TraceConfig::default()
+        };
         let recs = parse_swf(SAMPLE).unwrap();
         assert!(recs.iter().all(|r| !record_to_qos(r, &cfg).adaptive));
-        let cfg = TraceConfig { adaptive_fraction: 1.0, ..TraceConfig::default() };
+        let cfg = TraceConfig {
+            adaptive_fraction: 1.0,
+            ..TraceConfig::default()
+        };
         assert!(recs.iter().all(|r| record_to_qos(r, &cfg).adaptive));
     }
 }

@@ -41,7 +41,10 @@ impl ArrivalProcess {
                 let d = Exp::with_mean(mean_interarrival.as_secs_f64()).sample(rng);
                 now.saturating_add(SimDuration::from_secs_f64(d))
             }
-            ArrivalProcess::DailyCycle { mean_interarrival, amplitude } => {
+            ArrivalProcess::DailyCycle {
+                mean_interarrival,
+                amplitude,
+            } => {
                 // Thinning against the peak rate.
                 let base_rate = 1.0 / mean_interarrival.as_secs_f64();
                 let peak = base_rate * (1.0 + amplitude);
@@ -118,10 +121,16 @@ impl JobMix {
         let app = &self.apps[rng.random_range(0..self.apps.len())];
         let min_pes = 1u32 << rng.random_range(self.log2_min_pes.0..=self.log2_min_pes.1);
         let max_pes = min_pes * self.max_over_min;
-        let work = self.work.sample(rng).clamp(self.work_clamp.0, self.work_clamp.1);
+        let work = self
+            .work
+            .sample(rng)
+            .clamp(self.work_clamp.0, self.work_clamp.1);
 
         // Runtime at max size under the declared efficiency model.
-        let speedup = SpeedupModel::LinearEfficiency { eff_min: self.efficiency.0, eff_max: self.efficiency.1 };
+        let speedup = SpeedupModel::LinearEfficiency {
+            eff_min: self.efficiency.0,
+            eff_max: self.efficiency.1,
+        };
         let runtime_at_max = speedup.wall_seconds(work, max_pes, min_pes, max_pes);
         let slack = self.slack.sample(rng);
         let soft = at.saturating_add(SimDuration::from_secs_f64(runtime_at_max * slack));
@@ -177,7 +186,13 @@ pub struct Workload {
 
 impl Workload {
     /// A synthetic workload with its own RNG stream.
-    pub fn new(arrivals: ArrivalProcess, mix: JobMix, users: Vec<UserId>, horizon: SimTime, seed: u64) -> Self {
+    pub fn new(
+        arrivals: ArrivalProcess,
+        mix: JobMix,
+        users: Vec<UserId>,
+        horizon: SimTime,
+        seed: u64,
+    ) -> Self {
         assert!(!users.is_empty(), "workload needs at least one user");
         Workload {
             source: Source::Generative {
@@ -204,7 +219,11 @@ impl Workload {
                 v
             }
         };
-        Workload { source: Source::Trace { jobs: jobs.into() }, users, horizon }
+        Workload {
+            source: Source::Trace { jobs: jobs.into() },
+            users,
+            horizon,
+        }
     }
 
     /// Draw the next `(arrival time, user, qos)`, or `None` past the horizon.
@@ -241,7 +260,11 @@ impl Workload {
         let mut rng = StdRng::seed_from_u64(0xC0FFEE);
         let n = 20_000;
         let mean_work: f64 = (0..n)
-            .map(|_| mix.work.sample(&mut rng).clamp(mix.work_clamp.0, mix.work_clamp.1))
+            .map(|_| {
+                mix.work
+                    .sample(&mut rng)
+                    .clamp(mix.work_clamp.0, mix.work_clamp.1)
+            })
             .sum::<f64>()
             / n as f64;
         let capacity = rho * total_pes as f64; // cpu-seconds deliverable per second
@@ -259,7 +282,9 @@ mod tests {
 
     #[test]
     fn poisson_mean_interarrival() {
-        let p = ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(100) };
+        let p = ArrivalProcess::Poisson {
+            mean_interarrival: SimDuration::from_secs(100),
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let mut t = SimTime::ZERO;
         let n = 20_000;
@@ -310,7 +335,10 @@ mod tests {
 
     #[test]
     fn adaptive_fraction_zero_makes_rigid_jobs() {
-        let m = JobMix { adaptive_fraction: 0.0, ..mix() };
+        let m = JobMix {
+            adaptive_fraction: 0.0,
+            ..mix()
+        };
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..50 {
             assert!(!m.draw(SimTime::ZERO, &mut rng).adaptive);
@@ -321,7 +349,9 @@ mod tests {
     fn workload_stream_is_deterministic_and_bounded() {
         let make = || {
             Workload::new(
-                ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(50) },
+                ArrivalProcess::Poisson {
+                    mean_interarrival: SimDuration::from_secs(50),
+                },
                 mix(),
                 vec![UserId(1), UserId(2)],
                 SimTime::from_hours(2),
@@ -343,7 +373,11 @@ mod tests {
         assert!(!a.is_empty());
         assert!(a.iter().all(|&(at, _, _)| at <= SimTime::from_hours(2)));
         // Roughly 2h / 50s arrivals.
-        assert!((a.len() as i64 - 144).abs() < 60, "got {} arrivals", a.len());
+        assert!(
+            (a.len() as i64 - 144).abs() < 60,
+            "got {} arrivals",
+            a.len()
+        );
     }
 
     #[test]
@@ -354,7 +388,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let n = 20_000;
         let mean_work: f64 = (0..n)
-            .map(|_| m.work.sample(&mut rng).clamp(m.work_clamp.0, m.work_clamp.1))
+            .map(|_| {
+                m.work
+                    .sample(&mut rng)
+                    .clamp(m.work_clamp.0, m.work_clamp.1)
+            })
             .sum::<f64>()
             / n as f64;
         let offered = mean_work / inter.as_secs_f64();

@@ -11,17 +11,17 @@
 use crate::workload::Workload;
 use faucets_core::accounting::{AccountId, Ledger};
 use faucets_core::appspector::{AppSpector, OutputFile, TelemetrySample};
+use faucets_core::auth::SessionToken;
 use faucets_core::barter::{BarterRoute, CreditBank};
 use faucets_core::bid::{Bid, BidRequest};
 use faucets_core::daemon::{AwardOutcome, ClusterManager, FaucetsDaemon};
 use faucets_core::ids::{ClusterId, ContractId, JobId, UserId};
 use faucets_core::job::JobSpec;
+use faucets_core::market::ContractBook;
 use faucets_core::market::{ContractRecord, Regulator, SelectionPolicy};
 use faucets_core::money::{Money, ServiceUnits};
 use faucets_core::quota::SuQuota;
-use faucets_core::auth::SessionToken;
 use faucets_core::server::FaucetsServer;
-use faucets_core::market::ContractBook;
 use faucets_sched::adaptive::CheckpointCostModel;
 use faucets_sched::cluster::{Cluster, Completion};
 use faucets_sim::engine::{Scheduler, World};
@@ -116,6 +116,71 @@ pub enum GridEvent {
         /// false when the job merely waits out a window at its source.
         migrated: bool,
     },
+}
+
+impl GridEvent {
+    /// Stable label for this event's kind, used as the `kind` label on the
+    /// `sim_events_total` telemetry counter.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GridEvent::NextArrival => "NextArrival",
+            GridEvent::Award { .. } => "Award",
+            GridEvent::ClusterWake(_) => "ClusterWake",
+            GridEvent::Heartbeat => "Heartbeat",
+            GridEvent::NodeFailure(_) => "NodeFailure",
+            GridEvent::Maintenance { .. } => "Maintenance",
+            GridEvent::ClusterFailure { .. } => "ClusterFailure",
+            GridEvent::ClusterRecovery(_) => "ClusterRecovery",
+            GridEvent::MigrationArrive { .. } => "MigrationArrive",
+        }
+    }
+}
+
+/// Sim-time-aware telemetry for the grid world: the same collector types
+/// the live TCP services use, but driven by a [`TelemetryClock::Sim`] cell
+/// that the event loop advances to the scheduler's `now` before each
+/// dispatch — so `sim_response_seconds` is measured in *simulated* seconds
+/// while `net_request_seconds` on the live path stays in wall seconds, one
+/// histogram API for both.
+///
+/// [`TelemetryClock::Sim`]: faucets_telemetry::TelemetryClock::Sim
+pub struct SimInstruments {
+    /// The shared simulated-time cell; also usable for sim-timed
+    /// [`faucets_telemetry::Stopwatch`]es.
+    pub clock: faucets_telemetry::TelemetryClock,
+    /// Per-kind `sim_events_total` handles, cached after first use.
+    events: HashMap<&'static str, faucets_telemetry::Counter>,
+    h_response: faucets_telemetry::Histogram,
+    h_wait: faucets_telemetry::Histogram,
+}
+
+impl SimInstruments {
+    /// Collectors registered on the process-global registry.
+    pub fn new() -> Self {
+        let reg = faucets_telemetry::global();
+        SimInstruments {
+            clock: faucets_telemetry::TelemetryClock::sim(),
+            events: HashMap::new(),
+            h_response: reg.histogram("sim_response_seconds", &[]),
+            h_wait: reg.histogram("sim_wait_seconds", &[]),
+        }
+    }
+
+    /// Count one dispatched event of `kind`.
+    fn event(&mut self, kind: &'static str) {
+        self.events
+            .entry(kind)
+            .or_insert_with(|| {
+                faucets_telemetry::global().counter("sim_events_total", &[("kind", kind)])
+            })
+            .inc();
+    }
+}
+
+impl Default for SimInstruments {
+    fn default() -> Self {
+        SimInstruments::new()
+    }
 }
 
 /// Grid-level counters and quality metrics.
@@ -284,6 +349,8 @@ pub struct GridWorld {
     down_until: HashMap<ClusterId, SimTime>,
     /// Contracts parked by crashed daemons awaiting recovery.
     parked: HashMap<ClusterId, Vec<(JobSpec, ContractId, Money)>>,
+    /// Sim-time telemetry (event counters, sim-second latency histograms).
+    pub instruments: SimInstruments,
 }
 
 impl GridWorld {
@@ -333,6 +400,7 @@ impl GridWorld {
             daemon_recovery: true,
             down_until: HashMap::new(),
             parked: HashMap::new(),
+            instruments: SimInstruments::new(),
         }
     }
 
@@ -372,7 +440,12 @@ impl GridWorld {
         }
     }
 
-    fn make_spec(&mut self, user: UserId, qos: faucets_core::qos::QosContract, at: SimTime) -> JobSpec {
+    fn make_spec(
+        &mut self,
+        user: UserId,
+        qos: faucets_core::qos::QosContract,
+        at: SimTime,
+    ) -> JobSpec {
         let id = JobId(self.next_job_id);
         self.next_job_id += 1;
         JobSpec::new(id, user, qos, at).expect("workload QoS validates")
@@ -409,6 +482,11 @@ impl GridWorld {
         }
         self.stats.response.record(c.outcome.response_secs());
         self.stats.wait.record(c.outcome.wait_secs());
+        // Mirror into the telemetry histograms, in *simulated* seconds.
+        self.instruments
+            .h_response
+            .record(c.outcome.response_secs());
+        self.instruments.h_wait.record(c.outcome.wait_secs());
         let sd = c.outcome.bounded_slowdown();
         self.stats.slowdown.record(sd);
         self.stats.slowdown_p95.record(sd);
@@ -418,7 +496,10 @@ impl GridWorld {
         let _ = self.book.complete(c.contract, now, c.price);
         let _ = self.appspector.complete_job(
             job,
-            vec![OutputFile { name: "output.dat".into(), size_bytes: 1 << 20 }],
+            vec![OutputFile {
+                name: "output.dat".into(),
+                size_bytes: 1 << 20,
+            }],
         );
 
         if let Some(info) = info {
@@ -493,20 +574,34 @@ impl GridWorld {
         );
     }
 
-    fn place_bidding(&mut self, spec: JobSpec, policy: SelectionPolicy, sched: &mut Scheduler<GridEvent>) {
+    fn place_bidding(
+        &mut self,
+        spec: JobSpec,
+        policy: SelectionPolicy,
+        sched: &mut Scheduler<GridEvent>,
+    ) {
         let now = sched.now();
-        let candidates: Vec<ClusterId> = match self.server.match_servers(&self.token, &spec.qos, now) {
-            Ok(c) => c.into_iter().filter(|&c| !self.is_down(c, now)).collect(),
-            Err(_) => {
-                self.stats.rejected += 1;
-                return;
-            }
-        };
+        let candidates: Vec<ClusterId> =
+            match self.server.match_servers(&self.token, &spec.qos, now) {
+                Ok(c) => c.into_iter().filter(|&c| !self.is_down(c, now)).collect(),
+                Err(_) => {
+                    self.stats.rejected += 1;
+                    return;
+                }
+            };
         let market = self.server.market_info(now);
-        let req = BidRequest { job: spec.id, user: spec.user, qos: spec.qos.clone(), issued_at: now };
+        let req = BidRequest {
+            job: spec.id,
+            user: spec.user,
+            qos: spec.qos.clone(),
+            issued_at: now,
+        };
         let mut bids: Vec<Bid> = vec![];
         for c in candidates {
-            let node = self.nodes.get_mut(&c).expect("directory lists only known nodes");
+            let node = self
+                .nodes
+                .get_mut(&c)
+                .expect("directory lists only known nodes");
             self.stats.messages += 2; // RFB + response
             if let Some(b) = node
                 .daemon
@@ -532,7 +627,11 @@ impl GridWorld {
                         self.stats.messages += 1; // award
                         sched.schedule_in(
                             self.market_latency,
-                            GridEvent::Award { spec: Box::new(spec), contract, bid },
+                            GridEvent::Award {
+                                spec: Box::new(spec),
+                                contract,
+                                bid,
+                            },
                         );
                     }
                     Err(_) => self.stats.rejected += 1,
@@ -544,7 +643,12 @@ impl GridWorld {
 
     /// Direct (non-market) placement used by barter and restricted modes:
     /// award + confirm + submit in one step.
-    fn place_direct(&mut self, spec: JobSpec, cluster: ClusterId, sched: &mut Scheduler<GridEvent>) {
+    fn place_direct(
+        &mut self,
+        spec: JobSpec,
+        cluster: ClusterId,
+        sched: &mut Scheduler<GridEvent>,
+    ) {
         let now = sched.now();
         let bid = Bid {
             id: faucets_core::ids::BidId(spec.id.raw()),
@@ -574,20 +678,34 @@ impl GridWorld {
     /// §5.5.2 placement: the Faucets market with SU-multiplier bids charged
     /// against user quotas. The charge is prepaid at award time (quota
     /// reserved), so quotas can never go negative.
-    fn place_su(&mut self, spec: JobSpec, policy: SelectionPolicy, sched: &mut Scheduler<GridEvent>) {
+    fn place_su(
+        &mut self,
+        spec: JobSpec,
+        policy: SelectionPolicy,
+        sched: &mut Scheduler<GridEvent>,
+    ) {
         let now = sched.now();
-        let candidates: Vec<ClusterId> = match self.server.match_servers(&self.token, &spec.qos, now) {
-            Ok(c) => c.into_iter().filter(|&c| !self.is_down(c, now)).collect(),
-            Err(_) => {
-                self.stats.rejected += 1;
-                return;
-            }
-        };
+        let candidates: Vec<ClusterId> =
+            match self.server.match_servers(&self.token, &spec.qos, now) {
+                Ok(c) => c.into_iter().filter(|&c| !self.is_down(c, now)).collect(),
+                Err(_) => {
+                    self.stats.rejected += 1;
+                    return;
+                }
+            };
         let market = self.server.market_info(now);
-        let req = BidRequest { job: spec.id, user: spec.user, qos: spec.qos.clone(), issued_at: now };
+        let req = BidRequest {
+            job: spec.id,
+            user: spec.user,
+            qos: spec.qos.clone(),
+            issued_at: now,
+        };
         let mut bids = vec![];
         for c in candidates {
-            let node = self.nodes.get_mut(&c).expect("directory lists only known nodes");
+            let node = self
+                .nodes
+                .get_mut(&c)
+                .expect("directory lists only known nodes");
             self.stats.messages += 2;
             if let Some(b) = node
                 .daemon
@@ -600,7 +718,11 @@ impl GridWorld {
         let quota = self.quota.as_mut().expect("SU mode requires a quota bank");
         let cpu = spec.qos.cpu_seconds(1.0);
         // Best affordable bid under the selection policy.
-        let ranked: Vec<Bid> = policy.rank(&bids, &spec.qos.payoff).into_iter().copied().collect();
+        let ranked: Vec<Bid> = policy
+            .rank(&bids, &spec.qos.payoff)
+            .into_iter()
+            .copied()
+            .collect();
         let affordable = ranked
             .into_iter()
             .find(|b| quota.can_afford(spec.user, SuQuota::su_cost(cpu, b.multiplier)));
@@ -618,7 +740,11 @@ impl GridWorld {
                         self.stats.messages += 1;
                         sched.schedule_in(
                             self.market_latency,
-                            GridEvent::Award { spec: Box::new(spec), contract, bid },
+                            GridEvent::Award {
+                                spec: Box::new(spec),
+                                contract,
+                                bid,
+                            },
                         );
                     }
                     Err(_) => self.stats.rejected += 1,
@@ -650,9 +776,18 @@ impl GridWorld {
     ) {
         let now = sched.now();
         if self.migrate_on_maintenance {
-            let req = BidRequest { job: spec.id, user: spec.user, qos: spec.qos.clone(), issued_at: now };
-            let candidates: Vec<ClusterId> =
-                self.nodes.keys().copied().filter(|&c| c != from && !self.is_down(c, now)).collect();
+            let req = BidRequest {
+                job: spec.id,
+                user: spec.user,
+                qos: spec.qos.clone(),
+                issued_at: now,
+            };
+            let candidates: Vec<ClusterId> = self
+                .nodes
+                .keys()
+                .copied()
+                .filter(|&c| c != from && !self.is_down(c, now))
+                .collect();
             for c in candidates {
                 let ok = {
                     let node = self.nodes.get_mut(&c).unwrap();
@@ -699,7 +834,12 @@ impl GridWorld {
             self.stats.rejected += 1;
             return;
         };
-        let req = BidRequest { job: spec.id, user: spec.user, qos: spec.qos.clone(), issued_at: now };
+        let req = BidRequest {
+            job: spec.id,
+            user: spec.user,
+            qos: spec.qos.clone(),
+            issued_at: now,
+        };
 
         // Home first (unless it is down for maintenance).
         let home_ok = !self.is_down(home, now) && {
@@ -727,7 +867,9 @@ impl GridWorld {
         let est_cost = ServiceUnits::from_units_f64(spec.qos.cpu_seconds(1.0));
         let bank = self.bank.as_ref().unwrap();
         match bank.route(spec.user, home_ok, &remote_ok, est_cost) {
-            Ok(BarterRoute::Home(c)) | Ok(BarterRoute::Remote(c)) => self.place_direct(spec, c, sched),
+            Ok(BarterRoute::Home(c)) | Ok(BarterRoute::Remote(c)) => {
+                self.place_direct(spec, c, sched)
+            }
             Ok(BarterRoute::Blocked) => {
                 // Blocked remotely: the job still queues at home (it just
                 // waits), unless home can never run it.
@@ -751,7 +893,10 @@ impl GridWorld {
             .copied()
             .min_by_key(|c| {
                 let n = &self.nodes[c];
-                (n.cluster.queue_len() as u32, u32::MAX - n.cluster.free_pes())
+                (
+                    n.cluster.queue_len() as u32,
+                    u32::MAX - n.cluster.free_pes(),
+                )
             })
             .unwrap();
         self.place_direct(spec, target, sched);
@@ -762,6 +907,10 @@ impl World for GridWorld {
     type Event = GridEvent;
 
     fn handle(&mut self, sched: &mut Scheduler<GridEvent>, event: GridEvent) {
+        // Advance the shared sim clock to this event's timestamp before any
+        // instrument can read it, then count the dispatch by kind.
+        self.instruments.clock.set_micros(sched.now().as_micros());
+        self.instruments.event(event.kind());
         match event {
             GridEvent::NextArrival => {
                 if let Some(spec) = self.pending_spec.take() {
@@ -774,13 +923,21 @@ impl World for GridWorld {
                     sched.schedule_at(at, GridEvent::NextArrival);
                 }
             }
-            GridEvent::Award { spec, contract, bid } => {
+            GridEvent::Award {
+                spec,
+                contract,
+                bid,
+            } => {
                 let spec = *spec;
                 let now = sched.now();
                 let cluster_id = bid.cluster;
                 let outcome = {
-                    let node = self.nodes.get_mut(&cluster_id).expect("awarded to known cluster");
-                    node.daemon.handle_award(spec.clone(), contract, &bid, &mut node.cluster, now)
+                    let node = self
+                        .nodes
+                        .get_mut(&cluster_id)
+                        .expect("awarded to known cluster");
+                    node.daemon
+                        .handle_award(spec.clone(), contract, &bid, &mut node.cluster, now)
                 };
                 self.stats.messages += 1; // confirm / renege reply
                 match outcome {
@@ -814,7 +971,10 @@ impl World for GridWorld {
                 let now = sched.now();
                 self.armed_wakes.remove(&cluster);
                 let completions = {
-                    let node = self.nodes.get_mut(&cluster).expect("wake for known cluster");
+                    let node = self
+                        .nodes
+                        .get_mut(&cluster)
+                        .expect("wake for known cluster");
                     node.cluster.on_time(now)
                 };
                 for c in completions {
@@ -829,7 +989,10 @@ impl World for GridWorld {
                 for c in ids {
                     let (status, running): (_, Vec<(JobId, u32)>) = {
                         let node = &self.nodes[&c];
-                        (node.cluster.status(now), node.cluster.running_jobs().collect())
+                        (
+                            node.cluster.status(now),
+                            node.cluster.running_jobs().collect(),
+                        )
                     };
                     any_work |= status.queue_len > 0 || !running.is_empty();
                     self.server.heartbeat(c, status, now);
@@ -865,7 +1028,10 @@ impl World for GridWorld {
                 }
                 // Drain: checkpoint running jobs, pull the backlog.
                 let (evicted, queued) = {
-                    let node = self.nodes.get_mut(&cluster).expect("maintenance on known cluster");
+                    let node = self
+                        .nodes
+                        .get_mut(&cluster)
+                        .expect("maintenance on known cluster");
                     let ids: Vec<JobId> = node.cluster.running_jobs().map(|(id, _)| id).collect();
                     let evicted: Vec<_> = ids
                         .into_iter()
@@ -877,13 +1043,27 @@ impl World for GridWorld {
                 // Checkpointed jobs carry an image across the WAN; queued
                 // jobs move instantly (nothing started yet).
                 for cj in evicted {
-                    self.route_displaced(cj.spec, cj.contract, cj.price, Some(cj.image_mb), cluster, &wan, sched);
+                    self.route_displaced(
+                        cj.spec,
+                        cj.contract,
+                        cj.price,
+                        Some(cj.image_mb),
+                        cluster,
+                        &wan,
+                        sched,
+                    );
                 }
                 for q in queued {
                     self.route_displaced(q.spec, q.contract, q.price, None, cluster, &wan, sched);
                 }
             }
-            GridEvent::MigrationArrive { spec, contract, price, to, migrated } => {
+            GridEvent::MigrationArrive {
+                spec,
+                contract,
+                price,
+                to,
+                migrated,
+            } => {
                 let now = sched.now();
                 if migrated {
                     self.stats.migrations += 1;
@@ -895,7 +1075,8 @@ impl World for GridWorld {
             GridEvent::ClusterFailure { cluster, downtime } => {
                 let now = sched.now();
                 self.stats.daemon_failures += 1;
-                self.down_until.insert(cluster, now.saturating_add(downtime));
+                self.down_until
+                    .insert(cluster, now.saturating_add(downtime));
                 if let Some((id, _)) = self.armed_wakes.remove(&cluster) {
                     sched.cancel(id);
                 }
@@ -903,7 +1084,10 @@ impl World for GridWorld {
                 // advances until it restarts. Checkpoint the running jobs
                 // and pull the backlog.
                 let (evicted, queued) = {
-                    let node = self.nodes.get_mut(&cluster).expect("crash on known cluster");
+                    let node = self
+                        .nodes
+                        .get_mut(&cluster)
+                        .expect("crash on known cluster");
                     let ids: Vec<JobId> = node.cluster.running_jobs().map(|(id, _)| id).collect();
                     let evicted: Vec<_> = ids
                         .into_iter()
@@ -941,17 +1125,25 @@ impl World for GridWorld {
                 self.stats.daemon_recoveries += 1;
                 self.down_until.remove(&cluster);
                 for (spec, contract, price) in self.parked.remove(&cluster).unwrap_or_default() {
-                    let node = self.nodes.get_mut(&cluster).expect("recovery on known cluster");
+                    let node = self
+                        .nodes
+                        .get_mut(&cluster)
+                        .expect("recovery on known cluster");
                     node.cluster.submit_job(spec, contract, price, now);
                 }
                 self.rearm(cluster, sched);
             }
             GridEvent::NodeFailure(cluster) => {
-                let Some(fm) = self.failure_model.clone() else { return };
+                let Some(fm) = self.failure_model.clone() else {
+                    return;
+                };
                 let now = sched.now();
                 self.stats.failures += 1;
                 let recovered = {
-                    let node = self.nodes.get_mut(&cluster).expect("failure on known cluster");
+                    let node = self
+                        .nodes
+                        .get_mut(&cluster)
+                        .expect("failure on known cluster");
                     node.cluster.crash_and_recover(now, fm.checkpoint_interval)
                 };
                 self.stats.jobs_recovered += recovered as u64;
@@ -959,7 +1151,10 @@ impl World for GridWorld {
                 // Next failure for this machine — only while there is still
                 // work in the system to disturb (lets the run drain).
                 let busy = self.pending_spec.is_some()
-                    || self.nodes.values().any(|n| n.cluster.running_count() > 0 || n.cluster.queue_len() > 0);
+                    || self
+                        .nodes
+                        .values()
+                        .any(|n| n.cluster.running_count() > 0 || n.cluster.queue_len() > 0);
                 if busy {
                     let delay = self.next_failure_in(fm.mtbf);
                     sched.schedule_in(delay, GridEvent::NodeFailure(cluster));
@@ -982,8 +1177,13 @@ mod tests {
             .cluster(256, "equipartition", "baseline")
             .users(4)
             .mode(mode)
-            .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(300) })
-            .mix(JobMix { log2_min_pes: (0, 4), ..JobMix::default() })
+            .arrivals(ArrivalProcess::Poisson {
+                mean_interarrival: SimDuration::from_secs(300),
+            })
+            .mix(JobMix {
+                log2_min_pes: (0, 4),
+                ..JobMix::default()
+            })
             .horizon(SimDuration::from_hours(6))
             .build()
     }
@@ -1015,7 +1215,12 @@ mod tests {
             let mut sim = small_sim(MarketMode::Bidding(SelectionPolicy::LeastCost));
             sim.run();
             let w = sim.into_world();
-            (w.stats.submitted, w.stats.completed, w.stats.rejected, w.stats.paid_total)
+            (
+                w.stats.submitted,
+                w.stats.completed,
+                w.stats.rejected,
+                w.stats.paid_total,
+            )
         };
         assert_eq!(run(), run());
     }
@@ -1038,8 +1243,13 @@ mod tests {
                 .cluster(256, "equipartition", "baseline")
                 .users(4)
                 .mode(MarketMode::Bidding(SelectionPolicy::LeastCost))
-                .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(300) })
-                .mix(JobMix { log2_min_pes: (0, 4), ..JobMix::default() })
+                .arrivals(ArrivalProcess::Poisson {
+                    mean_interarrival: SimDuration::from_secs(300),
+                })
+                .mix(JobMix {
+                    log2_min_pes: (0, 4),
+                    ..JobMix::default()
+                })
                 .horizon(SimDuration::from_hours(6))
                 .daemon_outage(0, SimTime::from_hours(1), SimDuration::from_secs(1800))
                 .daemon_outage(1, SimTime::from_hours(3), SimDuration::from_secs(1800))
@@ -1072,6 +1282,37 @@ mod tests {
              (without {}, with {})",
             wo.stats.completed,
             w.stats.completed
+        );
+    }
+
+    #[test]
+    fn sim_instruments_count_events_in_sim_time() {
+        let before = faucets_telemetry::global()
+            .snapshot()
+            .counter_sum("sim_events_total", &[("kind", "NextArrival")]);
+        let mut sim = small_sim(MarketMode::Bidding(SelectionPolicy::LeastCost));
+        sim.run();
+        let w = sim.world();
+        let snap = faucets_telemetry::global().snapshot();
+        // Every submission came through a NextArrival dispatch (global
+        // counters are monotone, so compare against the pre-run reading —
+        // other tests in this process share the registry).
+        let arrivals = snap.counter_sum("sim_events_total", &[("kind", "NextArrival")]) - before;
+        assert!(
+            arrivals >= w.stats.submitted,
+            "arrivals {arrivals} < submitted {}",
+            w.stats.submitted
+        );
+        // Latencies were mirrored into the sim-second histograms.
+        let resp = snap.histogram_sum("sim_response_seconds", &[]);
+        assert!(resp.count >= w.stats.completed);
+        // The sim clock ends at the last dispatched event, far beyond any
+        // plausible wall-clock runtime for this test — proof the histogram
+        // timeline is simulated, not wall.
+        assert!(
+            w.instruments.clock.now_secs() > 3600.0,
+            "sim clock at {}",
+            w.instruments.clock.now_secs()
         );
     }
 

@@ -7,7 +7,7 @@
 
 use crate::proto::{Request, Response};
 use crate::service::{call, serve_with, ServeOptions, ServiceHandle};
-use faucets_core::appspector::{AppSpector, OutputFile};
+use faucets_core::appspector::{AppSpector, GridView, OutputFile};
 use faucets_core::ids::{JobId, UserId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -36,7 +36,12 @@ impl AsHandle {
 
 /// Verify `token` with the FS, returning its user.
 fn verify(fs: SocketAddr, token: &faucets_core::auth::SessionToken) -> Result<UserId, String> {
-    match call(fs, &Request::VerifyToken { token: token.clone() }) {
+    match call(
+        fs,
+        &Request::VerifyToken {
+            token: token.clone(),
+        },
+    ) {
         Ok(Response::Verified { user }) => Ok(user),
         Ok(Response::Error(e)) => Err(e),
         Ok(other) => Err(format!("unexpected FS reply {other:?}")),
@@ -57,23 +62,34 @@ pub fn spawn_appspector_with(
     buffer_depth: usize,
     opts: ServeOptions,
 ) -> io::Result<AsHandle> {
-    let state = Arc::new(Mutex::new(AsState { spector: AppSpector::new(buffer_depth), outputs: HashMap::new() }));
+    let state = Arc::new(Mutex::new(AsState {
+        spector: AppSpector::new(buffer_depth),
+        outputs: HashMap::new(),
+    }));
     let st = Arc::clone(&state);
 
     let service = serve_with(addr, "appspector", opts, move |req| {
         match req {
-            Request::RegisterJob { job, owner, cluster } => {
+            Request::RegisterJob {
+                job,
+                owner,
+                cluster,
+            } => {
                 st.lock().spector.register_job(job, owner, cluster);
                 Response::Ok
             }
-            Request::PushSample { job, sample } => match st.lock().spector.push_sample(job, sample) {
+            Request::PushSample { job, sample } => match st.lock().spector.push_sample(job, sample)
+            {
                 Ok(()) => Response::Ok,
                 Err(e) => Response::Error(e.to_string()),
             },
             Request::CompleteJob { job, outputs } => {
                 let files: Vec<OutputFile> = outputs
                     .iter()
-                    .map(|(name, data)| OutputFile { name: name.clone(), size_bytes: data.len() as u64 })
+                    .map(|(name, data)| OutputFile {
+                        name: name.clone(),
+                        size_bytes: data.len() as u64,
+                    })
                     .collect();
                 let mut s = st.lock();
                 match s.spector.complete_job(job, files) {
@@ -104,10 +120,54 @@ pub fn spawn_appspector_with(
                 if let Err(e) = s.spector.connect(job, user) {
                     return Response::Error(e.to_string());
                 }
-                match s.outputs.get(&job).and_then(|v| v.iter().find(|(n, _)| n == &name)) {
-                    Some((n, data)) => Response::File { name: n.clone(), data: data.clone() },
+                match s
+                    .outputs
+                    .get(&job)
+                    .and_then(|v| v.iter().find(|(n, _)| n == &name))
+                {
+                    Some((n, data)) => Response::File {
+                        name: n.clone(),
+                        data: data.clone(),
+                    },
                     None => Response::Error(format!("no output '{name}' for {job}")),
                 }
+            }
+            Request::GridView { token } => {
+                if let Err(e) = verify(fs, &token) {
+                    return Response::Error(e);
+                }
+                // Pull the directory and every reachable service's metrics.
+                // Per-source snapshots are kept separate, never summed:
+                // services colocated in one process share a registry and
+                // summing would double-count.
+                let mut services = Vec::new();
+                let mut clusters = Vec::new();
+                if let Ok(Response::Metrics(snap)) = call(fs, &Request::Metrics) {
+                    services.push(("fs".to_string(), snap));
+                }
+                if let Ok(Response::Clusters(rows)) = call(fs, &Request::ListClusters { token }) {
+                    clusters = rows;
+                }
+                for row in &clusters {
+                    let Ok(addr) = format!("{}:{}", row.info.fd_addr, row.info.fd_port).parse()
+                    else {
+                        continue;
+                    };
+                    if let Ok(Response::Metrics(snap)) = call(addr, &Request::Metrics) {
+                        services.push((format!("fd:{}", row.info.name), snap));
+                    }
+                }
+                services.push((
+                    "appspector".to_string(),
+                    faucets_telemetry::global().snapshot(),
+                ));
+                let jobs_monitored = st.lock().spector.job_count() as u64;
+                Response::Grid(Box::new(GridView {
+                    at_secs: faucets_telemetry::trace::wall_secs(),
+                    clusters,
+                    services,
+                    jobs_monitored,
+                }))
             }
             other => Response::Error(format!("AppSpector cannot handle {other:?}")),
         }
@@ -125,13 +185,30 @@ mod tests {
     use faucets_core::ids::ClusterId;
     use faucets_sim::time::SimTime;
 
-    fn setup() -> (crate::fs::FsHandle, AsHandle, faucets_core::auth::SessionToken, UserId) {
+    fn setup() -> (
+        crate::fs::FsHandle,
+        AsHandle,
+        faucets_core::auth::SessionToken,
+        UserId,
+    ) {
         let fs = spawn_fs("127.0.0.1:0", Clock::realtime(), 7).unwrap();
         let aspect = spawn_appspector("127.0.0.1:0", fs.service.addr, 16).unwrap();
-        call(fs.service.addr, &Request::CreateUser { user: "a".into(), password: "p".into() }).unwrap();
-        let Response::Session { user, token } =
-            call(fs.service.addr, &Request::Login { user: "a".into(), password: "p".into() }).unwrap()
-        else {
+        call(
+            fs.service.addr,
+            &Request::CreateUser {
+                user: "a".into(),
+                password: "p".into(),
+            },
+        )
+        .unwrap();
+        let Response::Session { user, token } = call(
+            fs.service.addr,
+            &Request::Login {
+                user: "a".into(),
+                password: "p".into(),
+            },
+        )
+        .unwrap() else {
             panic!()
         };
         (fs, aspect, token, user)
@@ -141,7 +218,15 @@ mod tests {
     fn register_push_watch_complete_download() {
         let (_fs, aspect, token, user) = setup();
         let addr = aspect.service.addr;
-        call(addr, &Request::RegisterJob { job: JobId(1), owner: user, cluster: ClusterId(2) }).unwrap();
+        call(
+            addr,
+            &Request::RegisterJob {
+                job: JobId(1),
+                owner: user,
+                cluster: ClusterId(2),
+            },
+        )
+        .unwrap();
         assert_eq!(aspect.job_count(), 1);
         call(
             addr,
@@ -157,8 +242,14 @@ mod tests {
             },
         )
         .unwrap();
-        let Response::Snapshot(snap) = call(addr, &Request::Watch { token: token.clone(), job: JobId(1) }).unwrap()
-        else {
+        let Response::Snapshot(snap) = call(
+            addr,
+            &Request::Watch {
+                token: token.clone(),
+                job: JobId(1),
+            },
+        )
+        .unwrap() else {
             panic!("expected snapshot")
         };
         assert_eq!(snap.samples.len(), 1);
@@ -166,39 +257,129 @@ mod tests {
 
         call(
             addr,
-            &Request::CompleteJob { job: JobId(1), outputs: vec![("out.dat".into(), vec![1, 2, 3])] },
+            &Request::CompleteJob {
+                job: JobId(1),
+                outputs: vec![("out.dat".into(), vec![1, 2, 3])],
+            },
         )
         .unwrap();
-        let Response::File { data, .. } =
-            call(addr, &Request::Download { token, job: JobId(1), name: "out.dat".into() }).unwrap()
-        else {
+        let Response::File { data, .. } = call(
+            addr,
+            &Request::Download {
+                token,
+                job: JobId(1),
+                name: "out.dat".into(),
+            },
+        )
+        .unwrap() else {
             panic!("expected file")
         };
         assert_eq!(data, vec![1, 2, 3]);
     }
 
     #[test]
+    fn grid_view_aggregates_directory_and_metrics() {
+        let (fs, aspect, token, _user) = setup();
+        let info = faucets_core::directory::ServerInfo {
+            cluster: ClusterId(3),
+            name: "lemieux".into(),
+            total_pes: 128,
+            mem_per_pe_mb: 2048,
+            cpu_type: "power4".into(),
+            flops_per_pe_sec: 2.0,
+            fd_addr: "127.0.0.1".into(),
+            fd_port: 1, // nothing listens here; the FD snapshot is skipped
+        };
+        call(
+            fs.service.addr,
+            &Request::RegisterCluster {
+                info,
+                apps: vec!["namd".into()],
+            },
+        )
+        .unwrap();
+
+        let Response::Grid(view) = call(aspect.service.addr, &Request::GridView { token }).unwrap()
+        else {
+            panic!("expected grid view")
+        };
+        assert_eq!(view.clusters.len(), 1);
+        assert_eq!(view.clusters[0].info.name, "lemieux");
+        let names: Vec<&str> = view.services.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(
+            names.contains(&"fs") && names.contains(&"appspector"),
+            "got {names:?}"
+        );
+        // The FS snapshot has seen at least its own traffic by now.
+        let (_, fs_snap) = view.services.iter().find(|(n, _)| n == "fs").unwrap();
+        assert!(fs_snap.counter_sum("net_requests_total", &[("service", "fs")]) > 0);
+        assert!(view.render().contains("lemieux"));
+    }
+
+    #[test]
     fn forged_tokens_are_rejected() {
         let (_fs, aspect, _token, user) = setup();
         let addr = aspect.service.addr;
-        call(addr, &Request::RegisterJob { job: JobId(1), owner: user, cluster: ClusterId(2) }).unwrap();
+        call(
+            addr,
+            &Request::RegisterJob {
+                job: JobId(1),
+                owner: user,
+                cluster: ClusterId(2),
+            },
+        )
+        .unwrap();
         let bogus = faucets_core::auth::SessionToken("bogus".into());
-        let r = call(addr, &Request::Watch { token: bogus, job: JobId(1) }).unwrap();
+        let r = call(
+            addr,
+            &Request::Watch {
+                token: bogus,
+                job: JobId(1),
+            },
+        )
+        .unwrap();
         assert!(matches!(r, Response::Error(_)));
     }
 
     #[test]
     fn non_owner_cannot_watch() {
         let (fs, aspect, _token, user) = setup();
-        call(fs.service.addr, &Request::CreateUser { user: "mallory".into(), password: "p".into() }).unwrap();
-        let Response::Session { token: mallory, .. } =
-            call(fs.service.addr, &Request::Login { user: "mallory".into(), password: "p".into() }).unwrap()
-        else {
+        call(
+            fs.service.addr,
+            &Request::CreateUser {
+                user: "mallory".into(),
+                password: "p".into(),
+            },
+        )
+        .unwrap();
+        let Response::Session { token: mallory, .. } = call(
+            fs.service.addr,
+            &Request::Login {
+                user: "mallory".into(),
+                password: "p".into(),
+            },
+        )
+        .unwrap() else {
             panic!()
         };
         let addr = aspect.service.addr;
-        call(addr, &Request::RegisterJob { job: JobId(1), owner: user, cluster: ClusterId(2) }).unwrap();
-        let r = call(addr, &Request::Watch { token: mallory, job: JobId(1) }).unwrap();
+        call(
+            addr,
+            &Request::RegisterJob {
+                job: JobId(1),
+                owner: user,
+                cluster: ClusterId(2),
+            },
+        )
+        .unwrap();
+        let r = call(
+            addr,
+            &Request::Watch {
+                token: mallory,
+                job: JobId(1),
+            },
+        )
+        .unwrap();
         assert!(matches!(r, Response::Error(_)));
     }
 }

@@ -59,7 +59,9 @@ impl Args {
         })
     }
     fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
     fn addr(&self, name: &str) -> SocketAddr {
         self.req(name).parse().unwrap_or_else(|e| {
@@ -77,7 +79,9 @@ fn block_forever() -> ! {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = argv.first().cloned() else { usage() };
+    let Some(cmd) = argv.first().cloned() else {
+        usage()
+    };
     let args = Args(argv[1..].to_vec());
     let speedup: f64 = args.parse("speedup", 1.0);
     let clock = Clock::new(speedup);
@@ -132,7 +136,10 @@ fn main() {
             let fs = args.addr("fs");
             let r = call(
                 fs,
-                &Request::CreateUser { user: args.req("user"), password: args.req("password") },
+                &Request::CreateUser {
+                    user: args.req("user"),
+                    password: args.req("password"),
+                },
             );
             match r {
                 Ok(Response::Verified { user }) => println!("account created: {user}"),
@@ -169,7 +176,9 @@ fn main() {
             .efficiency(0.95, 0.8)
             .adaptive()
             .payoff(PayoffFn::hard_only(
-                clock.now().saturating_add(SimDuration::from_secs_f64(deadline_h * 3600.0)),
+                clock
+                    .now()
+                    .saturating_add(SimDuration::from_secs_f64(deadline_h * 3600.0)),
                 Money::from_units(payoff),
                 Money::from_units(payoff / 5),
             ))
@@ -205,7 +214,10 @@ fn main() {
                     );
                     if args.get("no-wait").is_none() {
                         println!("waiting for completion (ctrl-c to stop watching)...");
-                        match client.wait(sub.job, Duration::from_secs(args.parse("timeout-secs", 600))) {
+                        match client.wait(
+                            sub.job,
+                            Duration::from_secs(args.parse("timeout-secs", 600)),
+                        ) {
                             Ok(snap) => print!("{}", snap.render_display()),
                             Err(e) => eprintln!("{e}"),
                         }
@@ -222,17 +234,12 @@ fn main() {
         "watch" => {
             let fs = args.addr("fs");
             let aspect = args.addr("appspector");
-            let client = FaucetsClient::login(
-                fs,
-                aspect,
-                clock,
-                &args.req("user"),
-                &args.req("password"),
-            )
-            .unwrap_or_else(|e| {
-                eprintln!("login failed: {e}");
-                std::process::exit(1);
-            });
+            let client =
+                FaucetsClient::login(fs, aspect, clock, &args.req("user"), &args.req("password"))
+                    .unwrap_or_else(|e| {
+                        eprintln!("login failed: {e}");
+                        std::process::exit(1);
+                    });
             let job = faucets_core::ids::JobId(args.parse("job", 0));
             match client.watch(job) {
                 Ok(snap) => print!("{}", snap.render_display()),

@@ -32,6 +32,8 @@ use faucets_core::market::SelectionPolicy;
 use faucets_core::money::Money;
 use faucets_core::qos::QosContract;
 use faucets_sim::time::SimTime;
+use faucets_telemetry::trace::{self, TraceId};
+use faucets_telemetry::Counter;
 use std::fmt;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -78,7 +80,10 @@ impl fmt::Display for ClientError {
             }
             ClientError::UnlistedBidder(c) => write!(f, "bid from unlisted server {c}"),
             ClientError::NegotiationExhausted { rounds } => {
-                write!(f, "every award reneged or died across {rounds} negotiation rounds")
+                write!(
+                    f,
+                    "every award reneged or died across {rounds} negotiation rounds"
+                )
             }
             ClientError::TimedOut(j) => write!(f, "timed out waiting for {j}"),
         }
@@ -131,7 +136,14 @@ pub struct FaucetsClient {
     pub max_rounds: u32,
     /// Optional fault injection on this client's own traffic.
     pub faults: Option<Arc<FaultPlan>>,
+    /// The trace id of the most recent [`FaucetsClient::submit`] call, for
+    /// reconstructing that job's end-to-end path from the span log.
+    pub last_trace: Option<TraceId>,
     next_job: u64,
+    m_rounds: Counter,
+    m_bids: Counter,
+    m_awards: Counter,
+    m_resolicits: Counter,
 }
 
 impl FaucetsClient {
@@ -144,10 +156,21 @@ impl FaucetsClient {
         password: &str,
     ) -> Result<Self, ClientError> {
         let opts = CallOptions::default();
-        match call_with(fs, &Request::CreateUser { user: name.into(), password: password.into() }, &opts) {
+        match call_with(
+            fs,
+            &Request::CreateUser {
+                user: name.into(),
+                password: password.into(),
+            },
+            &opts,
+        ) {
             Ok(Response::Verified { .. }) => {}
             Ok(Response::Error(e)) => return Err(ClientError::Rejected(e)),
-            Ok(other) => return Err(ClientError::Protocol(format!("account creation: {other:?}"))),
+            Ok(other) => {
+                return Err(ClientError::Protocol(format!(
+                    "account creation: {other:?}"
+                )))
+            }
             Err(e) => return Err(e.into()),
         }
         Self::login(fs, appspector, clock, name, password)
@@ -162,20 +185,35 @@ impl FaucetsClient {
         password: &str,
     ) -> Result<Self, ClientError> {
         let opts = CallOptions::default();
-        match call_with(fs, &Request::Login { user: name.into(), password: password.into() }, &opts) {
-            Ok(Response::Session { user, token }) => Ok(FaucetsClient {
-                fs,
-                appspector,
-                clock,
-                token,
-                user,
-                selection: SelectionPolicy::LeastCost,
-                retry: RetryPolicy::standard(user.raw()),
-                timeouts: Timeouts::default(),
-                max_rounds: 3,
-                faults: None,
-                next_job: (user.raw() << 32) + 1,
-            }),
+        match call_with(
+            fs,
+            &Request::Login {
+                user: name.into(),
+                password: password.into(),
+            },
+            &opts,
+        ) {
+            Ok(Response::Session { user, token }) => {
+                let reg = faucets_telemetry::global();
+                Ok(FaucetsClient {
+                    fs,
+                    appspector,
+                    clock,
+                    token,
+                    user,
+                    selection: SelectionPolicy::LeastCost,
+                    retry: RetryPolicy::standard(user.raw()),
+                    timeouts: Timeouts::default(),
+                    max_rounds: 3,
+                    faults: None,
+                    last_trace: None,
+                    next_job: (user.raw() << 32) + 1,
+                    m_rounds: reg.counter("client_negotiation_rounds_total", &[]),
+                    m_bids: reg.counter("client_bids_received_total", &[]),
+                    m_awards: reg.counter("client_awards_confirmed_total", &[]),
+                    m_resolicits: reg.counter("client_resolicitations_total", &[]),
+                })
+            }
             Ok(Response::Error(e)) => Err(ClientError::Rejected(e)),
             Ok(other) => Err(ClientError::Protocol(format!("login: {other:?}"))),
             Err(e) => Err(e.into()),
@@ -205,8 +243,19 @@ impl FaucetsClient {
     ) -> Result<Submission, ClientError> {
         let job = JobId(self.next_job);
         self.next_job += 1;
+        // Root span for the whole submission: every FS/FD/AS call below
+        // inherits this trace, so the job's path across the grid can be
+        // reconstructed from the span log afterwards.
+        let span = trace::span("client", "submit");
+        self.last_trace = Some(span.trace());
         let mut last: Option<ClientError> = None;
         for round in 1..=self.max_rounds.max(1) {
+            self.m_rounds.inc();
+            if round > 1 {
+                // PR 1's re-solicitation path: the previous round's winner
+                // reneged or died, so we go back to matching.
+                self.m_resolicits.inc();
+            }
             match self.negotiate_once(job, &qos, inputs) {
                 Ok(mut sub) => {
                     sub.rounds = round;
@@ -220,7 +269,9 @@ impl FaucetsClient {
         // Distinguish "nobody ever bid" from "winners kept dying".
         match last {
             Some(e @ (ClientError::NoMatchingServers | ClientError::AllDeclined { .. })) => Err(e),
-            _ => Err(ClientError::NegotiationExhausted { rounds: self.max_rounds.max(1) }),
+            _ => Err(ClientError::NegotiationExhausted {
+                rounds: self.max_rounds.max(1),
+            }),
         }
     }
 
@@ -234,9 +285,13 @@ impl FaucetsClient {
         let now = self.clock.now();
 
         // 1. Matching servers from the FS.
-        let servers = match self
-            .call(self.fs, &Request::ListServers { token: self.token.clone(), qos: qos.clone() })?
-        {
+        let servers = match self.call(
+            self.fs,
+            &Request::ListServers {
+                token: self.token.clone(),
+                qos: qos.clone(),
+            },
+        )? {
             Response::Servers(s) => s,
             Response::Error(e) => return Err(ClientError::Rejected(e)),
             other => return Err(ClientError::Protocol(format!("matching: {other:?}"))),
@@ -247,37 +302,56 @@ impl FaucetsClient {
 
         // 2. Request-for-bids to every matching FD. A daemon that fails to
         // answer simply contributes no bid.
-        let req = BidRequest { job, user: self.user, qos: qos.clone(), issued_at: now };
+        let req = BidRequest {
+            job,
+            user: self.user,
+            qos: qos.clone(),
+            issued_at: now,
+        };
         let mut bids: Vec<Bid> = vec![];
         for s in &servers {
-            let Ok(addr) = format!("{}:{}", s.fd_addr, s.fd_port).parse::<SocketAddr>() else {
+            let Ok(addr) = format!("{}:{}", s.info.fd_addr, s.info.fd_port).parse::<SocketAddr>()
+            else {
                 continue;
             };
-            if let Ok(Response::BidReply(reply)) = self
-                .call(addr, &Request::RequestBid { token: self.token.clone(), request: req.clone() })
-            {
+            if let Ok(Response::BidReply(reply)) = self.call(
+                addr,
+                &Request::RequestBid {
+                    token: self.token.clone(),
+                    request: req.clone(),
+                },
+            ) {
                 if let Some(b) = reply.offer() {
                     bids.push(*b);
                 }
             }
         }
+        self.m_bids.add(bids.len() as u64);
         if bids.is_empty() {
-            return Err(ClientError::AllDeclined { solicited: servers.len() });
+            return Err(ClientError::AllDeclined {
+                solicited: servers.len(),
+            });
         }
 
         // 3. Evaluate and award, falling back on renege or daemon death.
-        let ranked: Vec<Bid> = self.selection.rank(&bids, &qos.payoff).into_iter().copied().collect();
+        let ranked: Vec<Bid> = self
+            .selection
+            .rank(&bids, &qos.payoff)
+            .into_iter()
+            .copied()
+            .collect();
         let spec = JobSpec::new(job, self.user, qos.clone(), now)
             .map_err(|e| ClientError::Rejected(format!("invalid QoS: {e}")))?;
         let mut unlisted = 0usize;
         for bid in ranked {
             // The §5.3 window between matching and award is real: the
             // bidder may have been evicted meanwhile. Skip, don't panic.
-            let Some(server) = servers.iter().find(|s| s.cluster == bid.cluster) else {
+            let Some(server) = servers.iter().find(|s| s.info.cluster == bid.cluster) else {
                 unlisted += 1;
                 continue;
             };
-            let Ok(addr) = format!("{}:{}", server.fd_addr, server.fd_port).parse::<SocketAddr>()
+            let Ok(addr) =
+                format!("{}:{}", server.info.fd_addr, server.info.fd_port).parse::<SocketAddr>()
             else {
                 unlisted += 1;
                 continue;
@@ -285,9 +359,17 @@ impl FaucetsClient {
             let contract = ContractId(job.raw());
             match self.call(
                 addr,
-                &Request::Award { token: self.token.clone(), spec: spec.clone(), contract, bid },
+                &Request::Award {
+                    token: self.token.clone(),
+                    spec: spec.clone(),
+                    contract,
+                    bid,
+                },
             ) {
-                Ok(Response::AwardReply { confirmed: true, .. }) => {
+                Ok(Response::AwardReply {
+                    confirmed: true, ..
+                }) => {
+                    self.m_awards.inc();
                     // 4. Stage input files. A daemon dying here is a
                     // mid-negotiation death: fall through to the next bid.
                     match self.stage_inputs(addr, job, inputs) {
@@ -305,7 +387,9 @@ impl FaucetsClient {
                         unlisted_skipped: unlisted,
                     });
                 }
-                Ok(Response::AwardReply { confirmed: false, .. }) => continue, // renege
+                Ok(Response::AwardReply {
+                    confirmed: false, ..
+                }) => continue, // renege
                 // A daemon that errors the award (e.g. it cannot reach the
                 // FS to re-verify us) costs only its bid.
                 Ok(Response::Error(_)) => continue,
@@ -334,8 +418,14 @@ impl FaucetsClient {
                 },
             )? {
                 Response::Ok => {}
-                Response::Error(e) => return Err(ClientError::Rejected(format!("staging '{name}': {e}"))),
-                other => return Err(ClientError::Protocol(format!("staging '{name}': {other:?}"))),
+                Response::Error(e) => {
+                    return Err(ClientError::Rejected(format!("staging '{name}': {e}")))
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "staging '{name}': {other:?}"
+                    )))
+                }
             }
         }
         Ok(())
@@ -343,7 +433,13 @@ impl FaucetsClient {
 
     /// Fetch the current monitoring snapshot for a job.
     pub fn watch(&self, job: JobId) -> Result<MonitorSnapshot, ClientError> {
-        match self.call(self.appspector, &Request::Watch { token: self.token.clone(), job })? {
+        match self.call(
+            self.appspector,
+            &Request::Watch {
+                token: self.token.clone(),
+                job,
+            },
+        )? {
             Response::Snapshot(s) => Ok(s),
             Response::Error(e) => Err(ClientError::Rejected(e)),
             other => Err(ClientError::Protocol(format!("watch: {other:?}"))),
@@ -369,11 +465,30 @@ impl FaucetsClient {
         }
     }
 
+    /// Fetch the AppSpector grid dashboard: every registered cluster's load
+    /// plus per-service metrics snapshots.
+    pub fn grid_view(&self) -> Result<faucets_core::appspector::GridView, ClientError> {
+        match self.call(
+            self.appspector,
+            &Request::GridView {
+                token: self.token.clone(),
+            },
+        )? {
+            Response::Grid(g) => Ok(*g),
+            Response::Error(e) => Err(ClientError::Rejected(e)),
+            other => Err(ClientError::Protocol(format!("grid view: {other:?}"))),
+        }
+    }
+
     /// Download one output file of a completed job.
     pub fn download(&self, job: JobId, name: &str) -> Result<Vec<u8>, ClientError> {
         match self.call(
             self.appspector,
-            &Request::Download { token: self.token.clone(), job, name: name.into() },
+            &Request::Download {
+                token: self.token.clone(),
+                job,
+                name: name.into(),
+            },
         )? {
             Response::File { data, .. } => Ok(data),
             Response::Error(e) => Err(ClientError::Rejected(e)),

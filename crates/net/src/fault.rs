@@ -71,7 +71,13 @@ pub struct FaultConfig {
 impl FaultConfig {
     /// No frame faults at all (outage scheduling still works).
     pub fn none() -> Self {
-        FaultConfig { drop: 0.0, truncate: 0.0, garble: 0.0, delay: 0.0, max_delay: Duration::ZERO }
+        FaultConfig {
+            drop: 0.0,
+            truncate: 0.0,
+            garble: 0.0,
+            delay: 0.0,
+            max_delay: Duration::ZERO,
+        }
     }
 
     /// A mildly hostile network: ~3% loss, ~2% truncation, ~2% corruption,
@@ -285,17 +291,29 @@ impl FaultPlan {
     /// the first `window_ms` of the run, victims drawn round-robin-ish from
     /// `daemons` services, each down for `downtime_ms`. Same seed → same
     /// schedule, byte for byte (see [`FaultPlan::schedule_description`]).
-    pub fn outages(&self, daemons: usize, kills: usize, window_ms: u64, downtime_ms: u64) -> Vec<Outage> {
+    pub fn outages(
+        &self,
+        daemons: usize,
+        kills: usize,
+        window_ms: u64,
+        downtime_ms: u64,
+    ) -> Vec<Outage> {
         assert!(daemons > 0, "need at least one daemon to kill");
         let mut out = Vec::with_capacity(kills);
         for k in 0..kills {
-            let h = mix64(self.seed ^ 0x6f75_7461_6765 ^ (k as u64).wrapping_mul(0xd134_2543_de82_ef95));
+            let h = mix64(
+                self.seed ^ 0x6f75_7461_6765 ^ (k as u64).wrapping_mul(0xd134_2543_de82_ef95),
+            );
             let victim = (h as usize) % daemons;
             // Spread kill instants over the window, jittered but ordered.
             let slot = window_ms / (kills as u64 + 1);
             let jitter = mix64(h ^ 5) % slot.max(1);
             let kill_after_ms = slot * (k as u64 + 1) - jitter / 2;
-            out.push(Outage { victim, kill_after_ms, downtime_ms });
+            out.push(Outage {
+                victim,
+                kill_after_ms,
+                downtime_ms,
+            });
         }
         out
     }
@@ -303,7 +321,13 @@ impl FaultPlan {
     /// Render the outage schedule as a canonical string — two plans with
     /// the same seed produce byte-for-byte identical descriptions, which is
     /// how experiments prove reproducibility.
-    pub fn schedule_description(&self, daemons: usize, kills: usize, window_ms: u64, downtime_ms: u64) -> String {
+    pub fn schedule_description(
+        &self,
+        daemons: usize,
+        kills: usize,
+        window_ms: u64,
+        downtime_ms: u64,
+    ) -> String {
         use std::fmt::Write as _;
         let mut s = format!(
             "seed={} drop={} truncate={} garble={} delay={} max_delay_ms={}\n",
@@ -315,7 +339,11 @@ impl FaultPlan {
             self.config.max_delay.as_millis()
         );
         for o in self.outages(daemons, kills, window_ms, downtime_ms) {
-            let _ = writeln!(s, "kill fd[{}] at +{}ms for {}ms", o.victim, o.kill_after_ms, o.downtime_ms);
+            let _ = writeln!(
+                s,
+                "kill fd[{}] at +{}ms for {}ms",
+                o.victim, o.kill_after_ms, o.downtime_ms
+            );
         }
         s
     }
@@ -344,17 +372,26 @@ mod tests {
         let disagreements = (0..500u32)
             .filter(|i| a.decide_nth(&i.to_be_bytes(), 0) != b.decide_nth(&i.to_be_bytes(), 0))
             .count();
-        assert!(disagreements > 0, "seeds should produce different schedules");
+        assert!(
+            disagreements > 0,
+            "seeds should produce different schedules"
+        );
     }
 
     #[test]
     fn occurrence_counter_gives_retries_fresh_draws() {
-        let cfg = FaultConfig { drop: 0.5, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            drop: 0.5,
+            ..FaultConfig::none()
+        };
         let plan = FaultPlan::new(7, cfg);
         let bytes = b"the same frame";
         let verdicts: Vec<FrameFault> = (0..64).map(|_| plan.decide(bytes)).collect();
         assert!(verdicts.contains(&FrameFault::Drop));
-        assert!(verdicts.contains(&FrameFault::Deliver), "a retried frame eventually gets through");
+        assert!(
+            verdicts.contains(&FrameFault::Deliver),
+            "a retried frame eventually gets through"
+        );
         let s = plan.stats();
         assert_eq!(s.delivered + s.dropped, 64);
     }
@@ -370,13 +407,20 @@ mod tests {
 
     #[test]
     fn truncation_stays_inside_the_frame() {
-        let cfg = FaultConfig { truncate: 1.0, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            truncate: 1.0,
+            ..FaultConfig::none()
+        };
         let plan = FaultPlan::new(3, cfg);
         for i in 0..100u32 {
             let bytes = [i.to_be_bytes().as_slice(), &[0u8; 16]].concat();
             match plan.decide_nth(&bytes, 0) {
                 FrameFault::Truncate { keep } => {
-                    assert!(keep >= 1 && keep < bytes.len(), "keep={keep} len={}", bytes.len());
+                    assert!(
+                        keep >= 1 && keep < bytes.len(),
+                        "keep={keep} len={}",
+                        bytes.len()
+                    );
                 }
                 other => panic!("expected truncate, got {other:?}"),
             }
@@ -413,6 +457,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to at most 1")]
     fn overfull_probabilities_rejected() {
-        FaultPlan::new(1, FaultConfig { drop: 0.6, truncate: 0.6, ..FaultConfig::none() });
+        FaultPlan::new(
+            1,
+            FaultConfig {
+                drop: 0.6,
+                truncate: 0.6,
+                ..FaultConfig::none()
+            },
+        );
     }
 }

@@ -24,7 +24,9 @@
 //! re-registration from the pump.
 
 use crate::proto::{Request, Response};
-use crate::service::{call_with, serve_with, CallOptions, Clock, RetryPolicy, ServeOptions, ServiceHandle};
+use crate::service::{
+    call_with, serve_with, CallOptions, Clock, RetryPolicy, ServeOptions, ServiceHandle,
+};
 use faucets_core::appspector::TelemetrySample;
 use faucets_core::daemon::{AwardOutcome, FaucetsDaemon};
 use faucets_core::ids::{ClusterId, ContractId, JobId, UserId};
@@ -80,7 +82,10 @@ impl Default for FdOptions {
         FdOptions {
             snapshot: None,
             serve: ServeOptions::default(),
-            call: CallOptions { retry: RetryPolicy::standard(0x4644), ..CallOptions::default() },
+            call: CallOptions {
+                retry: RetryPolicy::standard(0x4644),
+                ..CallOptions::default()
+            },
             heartbeat_every: faucets_sim::time::SimDuration::from_secs(30),
         }
     }
@@ -93,6 +98,8 @@ struct FdState {
     owners: HashMap<JobId, UserId>,
     contracts: HashMap<JobId, ContractEntry>,
     snapshot: Option<PathBuf>,
+    /// Telemetry: successful journal writes (`fd_journal_writes_total`).
+    m_journal_writes: faucets_telemetry::Counter,
 }
 
 impl FdState {
@@ -107,10 +114,12 @@ impl FdState {
             self.staged.iter().map(|(j, f)| (*j, f.clone())).collect();
         staged.sort_by_key(|(j, _)| *j);
         let snap = FdSnapshot { contracts, staged };
-        let Ok(bytes) = serde_json::to_vec(&snap) else { return };
+        let Ok(bytes) = serde_json::to_vec(&snap) else {
+            return;
+        };
         let tmp = path.with_extension("tmp");
-        if std::fs::write(&tmp, bytes).is_ok() {
-            let _ = std::fs::rename(&tmp, path);
+        if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, path).is_ok() {
+            self.m_journal_writes.inc();
         }
     }
 }
@@ -174,8 +183,18 @@ impl Drop for FdHandle {
     }
 }
 
-fn verify(fs: SocketAddr, token: &faucets_core::auth::SessionToken, opts: &CallOptions) -> Result<UserId, String> {
-    match call_with(fs, &Request::VerifyToken { token: token.clone() }, opts) {
+fn verify(
+    fs: SocketAddr,
+    token: &faucets_core::auth::SessionToken,
+    opts: &CallOptions,
+) -> Result<UserId, String> {
+    match call_with(
+        fs,
+        &Request::VerifyToken {
+            token: token.clone(),
+        },
+        opts,
+    ) {
         Ok(Response::Verified { user }) => Ok(user),
         Ok(Response::Error(e)) => Err(e),
         Ok(other) => Err(format!("unexpected FS reply {other:?}")),
@@ -195,7 +214,15 @@ pub fn spawn_fd(
     appspector: SocketAddr,
     clock: Clock,
 ) -> io::Result<FdHandle> {
-    spawn_fd_with(addr, daemon, cluster, fs, appspector, clock, FdOptions::default())
+    spawn_fd_with(
+        addr,
+        daemon,
+        cluster,
+        fs,
+        appspector,
+        clock,
+        FdOptions::default(),
+    )
 }
 
 /// [`spawn_fd`], with crash-recovery journaling, timeouts, retry, and
@@ -211,6 +238,11 @@ pub fn spawn_fd_with(
     opts: FdOptions,
 ) -> io::Result<FdHandle> {
     let cluster_id = cluster.machine.cluster;
+    let reg = faucets_telemetry::global();
+    let cluster_name = cluster.machine.name.clone();
+    let fd_labels = [("cluster", cluster_name.as_str())];
+    let m_journal_writes = reg.counter("fd_journal_writes_total", &fd_labels);
+    let m_restored = reg.counter("fd_journal_restored_contracts_total", &fd_labels);
     let state = Arc::new(Mutex::new(FdState {
         daemon: FaucetsDaemon::new(
             // placeholder; replaced below once the port is known
@@ -228,6 +260,7 @@ pub fn spawn_fd_with(
         owners: HashMap::new(),
         contracts: HashMap::new(),
         snapshot: opts.snapshot.clone(),
+        m_journal_writes,
     }));
 
     // Restore the journal, if any, before the service can take traffic.
@@ -246,12 +279,14 @@ pub fn spawn_fd_with(
             }
             for e in snap.contracts {
                 let job = e.spec.id;
-                s.cluster.submit_job(e.spec.clone(), e.contract, e.price, now);
+                s.cluster
+                    .submit_job(e.spec.clone(), e.contract, e.price, now);
                 s.owners.insert(job, e.owner);
                 restored.push((job, e.owner));
                 s.contracts.insert(job, e);
             }
         }
+        m_restored.add(restored.len() as u64);
         restored
     };
 
@@ -270,19 +305,38 @@ pub fn spawn_fd_with(
                 // advances the cluster, and scheduler time must be monotone.
                 let mut s = st.lock();
                 let now = clock_handler.now();
-                let FdState { daemon, cluster, .. } = &mut *s;
-                Response::BidReply(daemon.handle_bid_request(&request, cluster, &MarketInfo::default(), now))
+                let FdState {
+                    daemon, cluster, ..
+                } = &mut *s;
+                Response::BidReply(daemon.handle_bid_request(
+                    &request,
+                    cluster,
+                    &MarketInfo::default(),
+                    now,
+                ))
             }
-            Request::Award { token, spec, contract, bid } => {
+            Request::Award {
+                token,
+                spec,
+                contract,
+                bid,
+            } => {
                 if let Err(e) = verify(fs, &token, &call_opts) {
                     return Response::Error(e);
                 }
                 let (job, user) = (spec.id, spec.user);
-                let entry = ContractEntry { spec: spec.clone(), contract, price: bid.price, owner: user };
+                let entry = ContractEntry {
+                    spec: spec.clone(),
+                    contract,
+                    price: bid.price,
+                    owner: user,
+                };
                 let outcome = {
                     let mut s = st.lock();
                     let now = clock_handler.now();
-                    let FdState { daemon, cluster, .. } = &mut *s;
+                    let FdState {
+                        daemon, cluster, ..
+                    } = &mut *s;
                     daemon.handle_award(spec, contract, &bid, cluster, now)
                 };
                 match outcome {
@@ -295,18 +349,31 @@ pub fn spawn_fd_with(
                         }
                         let _ = call_with(
                             appspector,
-                            &Request::RegisterJob { job, owner: user, cluster: cluster_id },
+                            &Request::RegisterJob {
+                                job,
+                                owner: user,
+                                cluster: cluster_id,
+                            },
                             &call_opts,
                         );
-                        Response::AwardReply { confirmed: true, reason: None }
+                        Response::AwardReply {
+                            confirmed: true,
+                            reason: None,
+                        }
                     }
-                    Ok(AwardOutcome::Reneged(r)) => {
-                        Response::AwardReply { confirmed: false, reason: Some(format!("{r:?}")) }
-                    }
+                    Ok(AwardOutcome::Reneged(r)) => Response::AwardReply {
+                        confirmed: false,
+                        reason: Some(format!("{r:?}")),
+                    },
                     Err(e) => Response::Error(e.to_string()),
                 }
             }
-            Request::UploadFile { token, job, name, data } => {
+            Request::UploadFile {
+                token,
+                job,
+                name,
+                data,
+            } => {
                 if let Err(e) = verify(fs, &token, &call_opts) {
                     return Response::Error(e);
                 }
@@ -326,10 +393,25 @@ pub fn spawn_fd_with(
     let info = daemon.info.clone();
     let apps: Vec<String> = daemon.exported_apps.iter().cloned().collect();
     state.lock().daemon = daemon;
-    let _ = call_with(fs, &Request::RegisterCluster { info: info.clone(), apps: apps.clone() }, &opts.call);
+    let _ = call_with(
+        fs,
+        &Request::RegisterCluster {
+            info: info.clone(),
+            apps: apps.clone(),
+        },
+        &opts.call,
+    );
     // Restored jobs are re-announced so AppSpector keeps monitoring them.
     for (job, owner) in restored {
-        let _ = call_with(appspector, &Request::RegisterJob { job, owner, cluster: cluster_id }, &opts.call);
+        let _ = call_with(
+            appspector,
+            &Request::RegisterJob {
+                job,
+                owner,
+                cluster: cluster_id,
+            },
+            &opts.call,
+        );
     }
 
     // Pump: drives the scheduler clock, reports completions/telemetry,
@@ -339,71 +421,96 @@ pub fn spawn_fd_with(
     let st = Arc::clone(&state);
     let call_opts = opts.call.clone();
     let heartbeat_every = opts.heartbeat_every;
-    let pump = std::thread::Builder::new().name(format!("fd-pump-{cluster_id}")).spawn(move || {
-        // Heartbeats are paced in *simulated* time (the FS liveness window
-        // is simulated seconds), so any clock speedup keeps the FD alive.
-        let mut last_heartbeat = faucets_sim::time::SimTime::ZERO;
-        while !stop2.load(Ordering::SeqCst) {
-            std::thread::sleep(Duration::from_millis(5));
+    let pump = std::thread::Builder::new()
+        .name(format!("fd-pump-{cluster_id}"))
+        .spawn(move || {
+            // Heartbeats are paced in *simulated* time (the FS liveness window
+            // is simulated seconds), so any clock speedup keeps the FD alive.
+            let mut last_heartbeat = faucets_sim::time::SimTime::ZERO;
+            while !stop2.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(5));
 
-            // Harvest completions under the lock (reading the clock inside
-            // it, to stay monotone with the request handlers); talk to
-            // peers outside it.
-            let (now, completions, running, status) = {
-                let mut s = st.lock();
-                let now = clock.now();
-                let completions = s.cluster.on_time(now);
-                let running: Vec<(JobId, u32)> = s.cluster.running_jobs().collect();
-                (now, completions, running, s.cluster.status(now))
-            };
-            for c in &completions {
-                let job = c.outcome.job;
-                let mut outputs: Vec<(String, Vec<u8>)> = {
+                // Harvest completions under the lock (reading the clock inside
+                // it, to stay monotone with the request handlers); talk to
+                // peers outside it.
+                let (now, completions, running, status) = {
                     let mut s = st.lock();
-                    let outputs = s.staged.remove(&job).unwrap_or_default();
-                    s.contracts.remove(&job);
-                    s.persist();
-                    outputs
+                    let now = clock.now();
+                    let completions = s.cluster.on_time(now);
+                    let running: Vec<(JobId, u32)> = s.cluster.running_jobs().collect();
+                    (now, completions, running, s.cluster.status(now))
                 };
-                outputs.push(("output.dat".into(), format!("completed at {now}").into_bytes()));
-                let _ = call_with(appspector, &Request::CompleteJob { job, outputs }, &call_opts);
-            }
-            // Heartbeat + telemetry on the simulated cadence.
-            if now.since(last_heartbeat) >= heartbeat_every || last_heartbeat == faucets_sim::time::SimTime::ZERO {
-                last_heartbeat = now;
-                // "unknown cluster": the FS evicted us as dead (or was
-                // itself restarted). Re-register and carry on.
-                if let Ok(Response::Error(_)) =
-                    call_with(fs, &Request::Heartbeat { cluster: cluster_id, status }, &call_opts)
-                {
-                    let _ = call_with(
-                        fs,
-                        &Request::RegisterCluster { info: info.clone(), apps: apps.clone() },
-                        &call_opts,
-                    );
-                }
-                let total = { st.lock().cluster.machine.total_pes };
-                for (job, pes) in running {
+                for c in &completions {
+                    let job = c.outcome.job;
+                    let mut outputs: Vec<(String, Vec<u8>)> = {
+                        let mut s = st.lock();
+                        let outputs = s.staged.remove(&job).unwrap_or_default();
+                        s.contracts.remove(&job);
+                        s.persist();
+                        outputs
+                    };
+                    outputs.push((
+                        "output.dat".into(),
+                        format!("completed at {now}").into_bytes(),
+                    ));
                     let _ = call_with(
                         appspector,
-                        &Request::PushSample {
-                            job,
-                            sample: TelemetrySample {
-                                at: now,
-                                pes,
-                                utilization: pes as f64 / total.max(1) as f64,
-                                throughput: pes as f64,
-                                app_data: format!("t={now}"),
-                            },
-                        },
+                        &Request::CompleteJob { job, outputs },
                         &call_opts,
                     );
                 }
+                // Heartbeat + telemetry on the simulated cadence.
+                if now.since(last_heartbeat) >= heartbeat_every
+                    || last_heartbeat == faucets_sim::time::SimTime::ZERO
+                {
+                    last_heartbeat = now;
+                    // "unknown cluster": the FS evicted us as dead (or was
+                    // itself restarted). Re-register and carry on.
+                    if let Ok(Response::Error(_)) = call_with(
+                        fs,
+                        &Request::Heartbeat {
+                            cluster: cluster_id,
+                            status,
+                        },
+                        &call_opts,
+                    ) {
+                        let _ = call_with(
+                            fs,
+                            &Request::RegisterCluster {
+                                info: info.clone(),
+                                apps: apps.clone(),
+                            },
+                            &call_opts,
+                        );
+                    }
+                    let total = { st.lock().cluster.machine.total_pes };
+                    for (job, pes) in running {
+                        let _ = call_with(
+                            appspector,
+                            &Request::PushSample {
+                                job,
+                                sample: TelemetrySample {
+                                    at: now,
+                                    pes,
+                                    utilization: pes as f64 / total.max(1) as f64,
+                                    throughput: pes as f64,
+                                    app_data: format!("t={now}"),
+                                },
+                            },
+                            &call_opts,
+                        );
+                    }
+                }
             }
-        }
-    })?;
+        })?;
 
-    Ok(FdHandle { service, cluster_id, state, stop, pump: Some(pump) })
+    Ok(FdHandle {
+        service,
+        cluster_id,
+        state,
+        stop,
+        pump: Some(pump),
+    })
 }
 
 #[cfg(test)]
@@ -421,7 +528,8 @@ mod tests {
     fn fd_registers_and_answers_bids() {
         let clock = Clock::new(100.0);
         let fs = spawn_fs("127.0.0.1:0", clock.clone(), 11).unwrap();
-        let aspect = crate::appspector_srv::spawn_appspector("127.0.0.1:0", fs.service.addr, 8).unwrap();
+        let aspect =
+            crate::appspector_srv::spawn_appspector("127.0.0.1:0", fs.service.addr, 8).unwrap();
 
         let machine = MachineSpec::commodity(ClusterId(1), "turing", 64);
         let daemon = FaucetsDaemon::new(
@@ -431,7 +539,15 @@ mod tests {
             Money::from_units_f64(0.01),
         );
         let cluster = Cluster::new(machine, Box::new(Equipartition), ResizeCostModel::default());
-        let fd = spawn_fd("127.0.0.1:0", daemon, cluster, fs.service.addr, aspect.service.addr, clock).unwrap();
+        let fd = spawn_fd(
+            "127.0.0.1:0",
+            daemon,
+            cluster,
+            fs.service.addr,
+            aspect.service.addr,
+            clock,
+        )
+        .unwrap();
 
         // The FD registered itself (directory has it with the bound port).
         {
@@ -441,17 +557,39 @@ mod tests {
         }
 
         // A valid user can solicit a bid.
-        call(fs.service.addr, &Request::CreateUser { user: "u".into(), password: "p".into() }).unwrap();
-        let Response::Session { user, token } =
-            call(fs.service.addr, &Request::Login { user: "u".into(), password: "p".into() }).unwrap()
-        else {
+        call(
+            fs.service.addr,
+            &Request::CreateUser {
+                user: "u".into(),
+                password: "p".into(),
+            },
+        )
+        .unwrap();
+        let Response::Session { user, token } = call(
+            fs.service.addr,
+            &Request::Login {
+                user: "u".into(),
+                password: "p".into(),
+            },
+        )
+        .unwrap() else {
             panic!()
         };
         let qos = QosBuilder::new("namd", 4, 16, 100.0).build().unwrap();
-        let req = BidRequest { job: JobId(5), user, qos, issued_at: faucets_sim::time::SimTime::ZERO };
-        let Response::BidReply(reply) =
-            call(fd.service.addr, &Request::RequestBid { token, request: req.clone() }).unwrap()
-        else {
+        let req = BidRequest {
+            job: JobId(5),
+            user,
+            qos,
+            issued_at: faucets_sim::time::SimTime::ZERO,
+        };
+        let Response::BidReply(reply) = call(
+            fd.service.addr,
+            &Request::RequestBid {
+                token,
+                request: req.clone(),
+            },
+        )
+        .unwrap() else {
             panic!("expected bid reply")
         };
         let bid = reply.offer().expect("baseline bids on known apps");
@@ -461,7 +599,14 @@ mod tests {
 
         // Forged token is bounced by the FS re-verification.
         let bogus = faucets_core::auth::SessionToken("bogus".into());
-        let r = call(fd.service.addr, &Request::RequestBid { token: bogus, request: req }).unwrap();
+        let r = call(
+            fd.service.addr,
+            &Request::RequestBid {
+                token: bogus,
+                request: req,
+            },
+        )
+        .unwrap();
         assert!(matches!(r, Response::Error(_)));
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::proto::{Request, Response};
 use crate::service::{serve_with, Clock, ServeOptions, ServiceHandle};
+use faucets_core::directory::ServerListing;
 use faucets_core::server::FaucetsServer;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -28,7 +29,12 @@ pub fn spawn_fs(addr: &str, clock: Clock, seed: u64) -> io::Result<FsHandle> {
 
 /// [`spawn_fs`], with explicit timeouts and optional fault injection on
 /// the service side.
-pub fn spawn_fs_with(addr: &str, clock: Clock, seed: u64, opts: ServeOptions) -> io::Result<FsHandle> {
+pub fn spawn_fs_with(
+    addr: &str,
+    clock: Clock,
+    seed: u64,
+    opts: ServeOptions,
+) -> io::Result<FsHandle> {
     let state = Arc::new(Mutex::new(FaucetsServer::with_defaults()));
     let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(seed)));
     let st = Arc::clone(&state);
@@ -66,12 +72,21 @@ pub fn spawn_fs_with(addr: &str, clock: Clock, seed: u64, opts: ServeOptions) ->
             }
             Request::ListServers { token, qos } => match s.match_servers(&token, &qos, now) {
                 Ok(ids) => {
-                    let infos = ids
+                    let listings = ids
                         .iter()
-                        .filter_map(|c| s.directory.get(*c).map(|e| e.info.clone()))
+                        .filter_map(|c| {
+                            s.directory.get(*c).map(|e| ServerListing {
+                                info: e.info.clone(),
+                                status: e.status,
+                            })
+                        })
                         .collect();
-                    Response::Servers(infos)
+                    Response::Servers(listings)
                 }
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::ListClusters { token } => match s.verify_token(&token, now) {
+                Ok(_) => Response::Clusters(s.directory.rows(now)),
                 Err(e) => Response::Error(e.to_string()),
             },
             other => Response::Error(format!("FS cannot handle {other:?}")),
@@ -106,15 +121,34 @@ mod tests {
     fn account_login_verify_flow() {
         let fs = spawn_fs("127.0.0.1:0", Clock::realtime(), 1).unwrap();
         let addr = fs.service.addr;
-        let r = call(addr, &Request::CreateUser { user: "alice".into(), password: "pw".into() }).unwrap();
+        let r = call(
+            addr,
+            &Request::CreateUser {
+                user: "alice".into(),
+                password: "pw".into(),
+            },
+        )
+        .unwrap();
         assert!(matches!(r, Response::Verified { .. }));
         // Wrong password fails.
-        let r = call(addr, &Request::Login { user: "alice".into(), password: "xx".into() }).unwrap();
+        let r = call(
+            addr,
+            &Request::Login {
+                user: "alice".into(),
+                password: "xx".into(),
+            },
+        )
+        .unwrap();
         assert!(matches!(r, Response::Error(_)));
         // Correct login mints a token the FD can verify (the §2.2 re-check).
-        let Response::Session { user, token } =
-            call(addr, &Request::Login { user: "alice".into(), password: "pw".into() }).unwrap()
-        else {
+        let Response::Session { user, token } = call(
+            addr,
+            &Request::Login {
+                user: "alice".into(),
+                password: "pw".into(),
+            },
+        )
+        .unwrap() else {
             panic!("expected session");
         };
         let r = call(addr, &Request::VerifyToken { token }).unwrap();
@@ -125,30 +159,94 @@ mod tests {
     fn registration_and_matching_over_wire() {
         let fs = spawn_fs("127.0.0.1:0", Clock::realtime(), 2).unwrap();
         let addr = fs.service.addr;
-        call(addr, &Request::CreateUser { user: "u".into(), password: "p".into() }).unwrap();
-        let Response::Session { token, .. } =
-            call(addr, &Request::Login { user: "u".into(), password: "p".into() }).unwrap()
-        else {
+        call(
+            addr,
+            &Request::CreateUser {
+                user: "u".into(),
+                password: "p".into(),
+            },
+        )
+        .unwrap();
+        let Response::Session { token, .. } = call(
+            addr,
+            &Request::Login {
+                user: "u".into(),
+                password: "p".into(),
+            },
+        )
+        .unwrap() else {
             panic!()
         };
-        call(addr, &Request::RegisterCluster { info: info(1), apps: vec!["namd".into()] }).unwrap();
-        call(addr, &Request::RegisterCluster { info: info(2), apps: vec!["cfd".into()] }).unwrap();
+        call(
+            addr,
+            &Request::RegisterCluster {
+                info: info(1),
+                apps: vec!["namd".into()],
+            },
+        )
+        .unwrap();
+        call(
+            addr,
+            &Request::RegisterCluster {
+                info: info(2),
+                apps: vec!["cfd".into()],
+            },
+        )
+        .unwrap();
         call(
             addr,
             &Request::Heartbeat {
                 cluster: ClusterId(1),
-                status: ServerStatus { free_pes: 64, queue_len: 0, accepting: true },
+                status: ServerStatus {
+                    free_pes: 48,
+                    queue_len: 2,
+                    accepting: true,
+                    utilization: 0.25,
+                    running: 4,
+                },
             },
         )
         .unwrap();
 
         let qos = QosBuilder::new("namd", 4, 16, 100.0).build().unwrap();
-        let Response::Servers(servers) = call(addr, &Request::ListServers { token, qos }).unwrap() else {
+        let Response::Servers(servers) = call(
+            addr,
+            &Request::ListServers {
+                token: token.clone(),
+                qos,
+            },
+        )
+        .unwrap() else {
             panic!("expected server list")
         };
-        // Static filter: only cs1 exports namd.
+        // Static filter: only cs1 exports namd — and the match response now
+        // carries the load the last heartbeat reported.
         assert_eq!(servers.len(), 1);
-        assert_eq!(servers[0].cluster, ClusterId(1));
+        assert_eq!(servers[0].info.cluster, ClusterId(1));
+        assert_eq!(servers[0].status.utilization, 0.25);
+        assert_eq!(servers[0].status.running, 4);
+
+        // The dashboard view lists every registered cluster, graded.
+        let Response::Clusters(rows) = call(addr, &Request::ListClusters { token }).unwrap() else {
+            panic!("expected cluster rows")
+        };
+        assert_eq!(rows.len(), 2);
+        assert!(rows
+            .iter()
+            .any(|r| r.info.cluster == ClusterId(1) && r.status.queue_len == 2));
+    }
+
+    #[test]
+    fn cluster_listing_requires_valid_token() {
+        let fs = spawn_fs("127.0.0.1:0", Clock::realtime(), 7).unwrap();
+        let r = call(
+            fs.service.addr,
+            &Request::ListClusters {
+                token: faucets_core::auth::SessionToken("bogus".into()),
+            },
+        )
+        .unwrap();
+        assert!(matches!(r, Response::Error(_)));
     }
 
     #[test]
@@ -156,7 +254,10 @@ mod tests {
         let fs = spawn_fs("127.0.0.1:0", Clock::realtime(), 3).unwrap();
         let r = call(
             fs.service.addr,
-            &Request::Heartbeat { cluster: ClusterId(9), status: ServerStatus::default() },
+            &Request::Heartbeat {
+                cluster: ClusterId(9),
+                status: ServerStatus::default(),
+            },
         )
         .unwrap();
         assert!(matches!(r, Response::Error(_)));

@@ -53,6 +53,16 @@
 //! seed reproduces the same fault schedule byte-for-byte (see
 //! [`fault::FaultPlan::schedule_description`]), so chaos tests are as
 //! debuggable as deterministic ones.
+//!
+//! ## Observability
+//!
+//! Every frame is an [`proto::Envelope`] carrying an optional
+//! `faucets_telemetry` trace context, every service records per-endpoint
+//! request/error/latency collectors in the process-global registry, and
+//! every service answers [`proto::Request::Metrics`] with a snapshot of
+//! that registry. The AppSpector aggregates the lot into a
+//! [`faucets_core::appspector::GridView`] on [`proto::Request::GridView`].
+//! Experiment E20 (`exp_observability`) exercises the whole pipeline.
 
 #![warn(missing_docs)]
 
@@ -71,7 +81,7 @@ pub mod prelude {
     pub use crate::fault::{FaultConfig, FaultPlan, FaultStats, FrameFault, Outage};
     pub use crate::fd::{spawn_fd, spawn_fd_with, FdHandle, FdOptions};
     pub use crate::fs::{spawn_fs, spawn_fs_with, FsHandle};
-    pub use crate::proto::{read_frame, write_frame, ProtoError, Request, Response};
+    pub use crate::proto::{read_frame, write_frame, Envelope, ProtoError, Request, Response};
     pub use crate::service::{
         call, call_with, serve, serve_with, CallOptions, Clock, RetryPolicy, ServeOptions,
         ServiceHandle, Timeouts,

@@ -15,13 +15,15 @@
 //! traffic without touching service code.
 
 use crate::fault::{FaultPlan, FrameFault};
-use faucets_core::appspector::{MonitorSnapshot, TelemetrySample};
+use faucets_core::appspector::{GridView, MonitorSnapshot, TelemetrySample};
 use faucets_core::auth::SessionToken;
 use faucets_core::bid::{Bid, BidRequest, BidResponse};
-use faucets_core::directory::{ServerInfo, ServerStatus};
+use faucets_core::directory::{ClusterRow, ServerInfo, ServerListing, ServerStatus};
 use faucets_core::ids::{ClusterId, ContractId, JobId, UserId};
 use faucets_core::job::JobSpec;
 use faucets_core::qos::QosContract;
+use faucets_telemetry::metrics::MetricsSnapshot;
+use faucets_telemetry::trace::TraceContext;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
@@ -144,6 +146,47 @@ pub enum Request {
         /// File name.
         name: String,
     },
+
+    // ---- Observability (any service) ----
+    /// Ask a service for a snapshot of its metric registry. Answered by
+    /// the serve layer itself, so every Figure-1 service exposes it.
+    Metrics,
+    /// Client (or AppSpector) asks the FS for every directory entry with
+    /// its latest reported load and liveness grade.
+    ListClusters {
+        /// Session token.
+        token: SessionToken,
+    },
+    /// Client asks AppSpector for the aggregated grid dashboard.
+    GridView {
+        /// Session token.
+        token: SessionToken,
+    },
+}
+
+impl Request {
+    /// Stable per-endpoint label used for metrics and span names.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Request::CreateUser { .. } => "CreateUser",
+            Request::Login { .. } => "Login",
+            Request::VerifyToken { .. } => "VerifyToken",
+            Request::RegisterCluster { .. } => "RegisterCluster",
+            Request::Heartbeat { .. } => "Heartbeat",
+            Request::ListServers { .. } => "ListServers",
+            Request::RequestBid { .. } => "RequestBid",
+            Request::Award { .. } => "Award",
+            Request::UploadFile { .. } => "UploadFile",
+            Request::RegisterJob { .. } => "RegisterJob",
+            Request::PushSample { .. } => "PushSample",
+            Request::CompleteJob { .. } => "CompleteJob",
+            Request::Watch { .. } => "Watch",
+            Request::Download { .. } => "Download",
+            Request::Metrics => "Metrics",
+            Request::ListClusters { .. } => "ListClusters",
+            Request::GridView { .. } => "GridView",
+        }
+    }
 }
 
 /// Responses.
@@ -163,8 +206,9 @@ pub enum Response {
         /// The token's owner.
         user: UserId,
     },
-    /// Matching servers for a QoS contract.
-    Servers(Vec<ServerInfo>),
+    /// Matching servers for a QoS contract, each with its latest reported
+    /// load so clients (and the dashboard) can weigh per-cluster pressure.
+    Servers(Vec<ServerListing>),
     /// A bid (or decline) from an FD.
     BidReply(BidResponse),
     /// Award outcome: confirmed or reneged (with reason).
@@ -183,8 +227,36 @@ pub enum Response {
         /// Contents.
         data: Vec<u8>,
     },
+    /// A service's metric registry snapshot.
+    Metrics(MetricsSnapshot),
+    /// Every directory entry with load and liveness.
+    Clusters(Vec<ClusterRow>),
+    /// The aggregated grid dashboard.
+    Grid(Box<GridView>),
     /// Any failure, with a human-readable message.
     Error(String),
+}
+
+/// The unit every connection actually exchanges: a message plus the
+/// sender's [`TraceContext`], so one job's path is reconstructable across
+/// services (including retried and re-solicited legs, which reuse the same
+/// trace id on every attempt).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope<T> {
+    /// The sender's trace context, if it is participating in a trace.
+    pub ctx: Option<TraceContext>,
+    /// The request or response being carried.
+    pub msg: T,
+}
+
+impl<T> Envelope<T> {
+    /// Wrap `msg` with the calling thread's current trace context.
+    pub fn wrap(msg: T) -> Self {
+        Envelope {
+            ctx: faucets_telemetry::trace::current(),
+            msg,
+        }
+    }
 }
 
 /// Errors at the framing layer.
@@ -292,7 +364,9 @@ pub fn write_frame_with<W: Write, T: Serialize>(
 
 /// Read one length-prefixed JSON frame. Returns `Ok(None)` on clean EOF at
 /// a frame boundary.
-pub fn read_frame<R: Read, T: for<'de> Deserialize<'de>>(r: &mut R) -> Result<Option<T>, ProtoError> {
+pub fn read_frame<R: Read, T: for<'de> Deserialize<'de>>(
+    r: &mut R,
+) -> Result<Option<T>, ProtoError> {
     read_frame_with(r, None)
 }
 
@@ -326,7 +400,9 @@ pub fn read_frame_with<R: Read, T: for<'de> Deserialize<'de>>(
             _ => {}
         }
     }
-    serde_json::from_slice(&payload).map(Some).map_err(ProtoError::Malformed)
+    serde_json::from_slice(&payload)
+        .map(Some)
+        .map_err(ProtoError::Malformed)
 }
 
 #[cfg(test)]
@@ -336,7 +412,10 @@ mod tests {
 
     #[test]
     fn frame_round_trip() {
-        let req = Request::Login { user: "alice".into(), password: "pw".into() };
+        let req = Request::Login {
+            user: "alice".into(),
+            password: "pw".into(),
+        };
         let mut buf = Vec::new();
         write_frame(&mut buf, &req).unwrap();
         let mut cur = Cursor::new(buf);
@@ -353,7 +432,10 @@ mod tests {
         write_frame(&mut buf, &Response::Ok).unwrap();
         write_frame(&mut buf, &Response::Error("x".into())).unwrap();
         let mut cur = Cursor::new(buf);
-        assert_eq!(read_frame::<_, Response>(&mut cur).unwrap().unwrap(), Response::Ok);
+        assert_eq!(
+            read_frame::<_, Response>(&mut cur).unwrap().unwrap(),
+            Response::Ok
+        );
         assert_eq!(
             read_frame::<_, Response>(&mut cur).unwrap().unwrap(),
             Response::Error("x".into())
@@ -376,8 +458,17 @@ mod tests {
     #[test]
     fn garbled_write_fails_to_parse_never_panics() {
         use crate::fault::{FaultConfig, FaultPlan};
-        let plan = FaultPlan::new(11, FaultConfig { garble: 1.0, ..FaultConfig::none() });
-        let req = Request::Login { user: "alice".into(), password: "pw".into() };
+        let plan = FaultPlan::new(
+            11,
+            FaultConfig {
+                garble: 1.0,
+                ..FaultConfig::none()
+            },
+        );
+        let req = Request::Login {
+            user: "alice".into(),
+            password: "pw".into(),
+        };
         let mut buf = Vec::new();
         write_frame_with(&mut buf, &req, Some(&plan)).unwrap();
         // One byte was flipped in flight: the frame either fails to parse
@@ -394,7 +485,13 @@ mod tests {
     #[test]
     fn dropped_write_produces_no_bytes() {
         use crate::fault::{FaultConfig, FaultPlan};
-        let plan = FaultPlan::new(12, FaultConfig { drop: 1.0, ..FaultConfig::none() });
+        let plan = FaultPlan::new(
+            12,
+            FaultConfig {
+                drop: 1.0,
+                ..FaultConfig::none()
+            },
+        );
         let mut buf = Vec::new();
         write_frame_with(&mut buf, &Response::Ok, Some(&plan)).unwrap();
         assert!(buf.is_empty(), "a dropped frame writes nothing");

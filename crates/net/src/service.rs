@@ -4,8 +4,12 @@
 //! mapping live services run on.
 
 use crate::fault::FaultPlan;
-use crate::proto::{read_frame_with, write_frame_with, Request, Response};
+use crate::proto::{read_frame_with, write_frame_with, Envelope, Request, Response};
 use faucets_sim::time::SimTime;
+use faucets_telemetry::metrics::{global, Registry};
+use faucets_telemetry::trace::{self, TraceContext};
+use faucets_telemetry::TelemetryClock;
+use serde::Serialize;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,7 +29,10 @@ impl Clock {
     /// A clock where one wall second is `speedup` simulated seconds.
     pub fn new(speedup: f64) -> Self {
         assert!(speedup > 0.0, "speedup must be positive");
-        Clock { start: Instant::now(), speedup }
+        Clock {
+            start: Instant::now(),
+            speedup,
+        }
     }
 
     /// Real time (speedup 1).
@@ -91,7 +98,13 @@ pub struct RetryPolicy {
 impl RetryPolicy {
     /// A single attempt — no retries (the seed system's behaviour).
     pub fn none() -> Self {
-        RetryPolicy { attempts: 1, base: Duration::ZERO, cap: Duration::ZERO, jitter: 0.0, seed: 0 }
+        RetryPolicy {
+            attempts: 1,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            jitter: 0.0,
+            seed: 0,
+        }
     }
 
     /// Four attempts, 25 ms → 200 ms exponential backoff, half jitter.
@@ -126,6 +139,9 @@ pub struct ServeOptions {
     pub timeouts: Timeouts,
     /// Fault injection applied to this service's traffic.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Metric registry for per-endpoint counters/latency and the `Metrics`
+    /// endpoint. `None` uses the process-global registry.
+    pub registry: Option<Arc<Registry>>,
 }
 
 /// Options for [`call_with`].
@@ -140,6 +156,9 @@ pub struct CallOptions {
     pub retry: RetryPolicy,
     /// Fault injection applied to this caller's traffic.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Metric registry for the caller-side attempt/retry/failure counters.
+    /// `None` uses the process-global registry.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl Default for CallOptions {
@@ -149,8 +168,14 @@ impl Default for CallOptions {
             connect: Duration::from_secs(5),
             retry: RetryPolicy::none(),
             faults: None,
+            registry: None,
         }
     }
+}
+
+/// Resolve an optional registry override to a usable reference.
+fn effective(registry: &Option<Arc<Registry>>) -> &Registry {
+    registry.as_deref().unwrap_or_else(global)
 }
 
 /// A running TCP service; dropping the handle stops it.
@@ -217,31 +242,37 @@ where
     let stop2 = Arc::clone(&stop);
     let handler = Arc::new(handler);
 
-    let join = std::thread::Builder::new().name(format!("faucets-{name}")).spawn(move || {
-        let mut conns: Vec<JoinHandle<()>> = vec![];
-        while !stop2.load(Ordering::SeqCst) {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let h = Arc::clone(&handler);
-                    let o = opts.clone();
-                    conns.push(std::thread::spawn(move || handle_conn(stream, h, o)));
+    let join = std::thread::Builder::new()
+        .name(format!("faucets-{name}"))
+        .spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = vec![];
+            while !stop2.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let h = Arc::clone(&handler);
+                        let o = opts.clone();
+                        conns.push(std::thread::spawn(move || handle_conn(stream, h, o, name)));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(2));
-                }
-                Err(_) => break,
+                conns.retain(|c| !c.is_finished());
             }
-            conns.retain(|c| !c.is_finished());
-        }
-        for c in conns {
-            let _ = c.join();
-        }
-    })?;
+            for c in conns {
+                let _ = c.join();
+            }
+        })?;
 
-    Ok(ServiceHandle { addr: local, stop, join: Some(join) })
+    Ok(ServiceHandle {
+        addr: local,
+        stop,
+        join: Some(join),
+    })
 }
 
-fn handle_conn<F>(mut stream: TcpStream, handler: Arc<F>, opts: ServeOptions)
+fn handle_conn<F>(mut stream: TcpStream, handler: Arc<F>, opts: ServeOptions, name: &'static str)
 where
     F: Fn(Request) -> Response + Send + Sync + 'static,
 {
@@ -250,9 +281,43 @@ where
         return;
     }
     let faults = opts.faults.as_deref();
-    while let Ok(Some(req)) = read_frame_with::<_, Request>(&mut stream, None) {
+    while let Ok(Some(env)) = read_frame_with::<_, Envelope<Request>>(&mut stream, None) {
+        let Envelope { ctx, msg: req } = env;
+        let reg = effective(&opts.registry);
+        // The serve layer answers metrics queries itself, so every service
+        // exposes the endpoint without touching its handler.
+        if matches!(req, Request::Metrics) {
+            let resp = Response::Metrics(reg.snapshot());
+            if write_frame_with(&mut stream, &Envelope { ctx, msg: resp }, faults).is_err() {
+                break;
+            }
+            continue;
+        }
+        let endpoint = req.endpoint();
+        let labels = [("service", name), ("endpoint", endpoint)];
+        reg.counter("net_requests_total", &labels).inc();
+        // The server span becomes this thread's current context, so any
+        // outbound call the handler makes rides the same trace.
+        let mut span = trace::server_span(ctx, name, endpoint);
+        let sw = TelemetryClock::wall().stopwatch();
         let resp = handler(req);
-        if write_frame_with(&mut stream, &resp, faults).is_err() {
+        sw.observe(&reg.histogram("net_request_seconds", &labels));
+        if matches!(resp, Response::Error(_)) {
+            reg.counter("net_errors_total", &labels).inc();
+            span.fail();
+        }
+        let reply_ctx = Some(span.ctx());
+        drop(span);
+        if write_frame_with(
+            &mut stream,
+            &Envelope {
+                ctx: reply_ctx,
+                msg: resp,
+            },
+            faults,
+        )
+        .is_err()
+        {
             break;
         }
     }
@@ -268,18 +333,33 @@ pub fn call(addr: SocketAddr, req: &Request) -> io::Result<Response> {
 /// to the policy's budget with exponential backoff + jitter; a received
 /// [`Response`] — including `Response::Error` — always returns.
 pub fn call_with(addr: SocketAddr, req: &Request, opts: &CallOptions) -> io::Result<Response> {
+    let reg = effective(&opts.registry);
+    let labels = [("endpoint", req.endpoint())];
     let attempts = opts.retry.attempts.max(1);
     let mut last_err: Option<io::Error> = None;
     for attempt in 0..attempts {
         if attempt > 0 {
+            // Every backoff decision is counted, so chaos tests can assert
+            // "the caller retried N times" instead of sleeping and hoping.
+            reg.counter("net_call_retries_total", &labels).inc();
             std::thread::sleep(opts.retry.backoff(attempt));
         }
+        reg.counter("net_call_attempts_total", &labels).inc();
         match call_once(addr, req, opts) {
             Ok(resp) => return Ok(resp),
             Err(e) => last_err = Some(e),
         }
     }
+    reg.counter("net_call_failures_total", &labels).inc();
     Err(last_err.unwrap_or_else(|| io::Error::other("no attempts made")))
+}
+
+/// Borrowing twin of [`Envelope`] so the send path never clones the
+/// request just to attach a context (field names must match `Envelope`).
+#[derive(Serialize)]
+struct EnvelopeRef<'a, T> {
+    ctx: Option<TraceContext>,
+    msg: &'a T,
 }
 
 fn call_once(addr: SocketAddr, req: &Request, opts: &CallOptions) -> io::Result<Response> {
@@ -288,9 +368,14 @@ fn call_once(addr: SocketAddr, req: &Request, opts: &CallOptions) -> io::Result<
     stream.set_nodelay(true)?;
     opts.timeouts.apply(&stream)?;
     let faults = opts.faults.as_deref();
-    write_frame_with(&mut stream, req, faults).map_err(io::Error::from)?;
-    read_frame_with(&mut stream, None)
+    let env = EnvelopeRef {
+        ctx: trace::current(),
+        msg: req,
+    };
+    write_frame_with(&mut stream, &env, faults).map_err(io::Error::from)?;
+    read_frame_with::<_, Envelope<Response>>(&mut stream, None)
         .map_err(io::Error::from)?
+        .map(|e| e.msg)
         .ok_or_else(|| io::Error::other("connection closed before reply"))
 }
 
@@ -301,11 +386,13 @@ mod tests {
 
     #[test]
     fn clock_advances_with_speedup() {
+        // 40 ms of wall sleep at 1000x is ≥ 40 sim seconds; the wide upper
+        // bound gives a heavily loaded CI machine plenty of headroom.
         let c = Clock::new(1000.0);
-        std::thread::sleep(Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(40));
         let t = c.now();
-        assert!(t >= SimTime::from_secs_f64(10.0), "got {t}");
-        assert!(t <= SimTime::from_secs_f64(2_000.0), "got {t}");
+        assert!(t >= SimTime::from_secs_f64(20.0), "got {t}");
+        assert!(t <= SimTime::from_secs_f64(10_000.0), "got {t}");
     }
 
     #[test]
@@ -315,10 +402,23 @@ mod tests {
             _ => Response::Ok,
         })
         .unwrap();
-        let resp = call(h.addr, &Request::Login { user: "bob".into(), password: "x".into() }).unwrap();
+        let resp = call(
+            h.addr,
+            &Request::Login {
+                user: "bob".into(),
+                password: "x".into(),
+            },
+        )
+        .unwrap();
         assert_eq!(resp, Response::Error("hello bob".into()));
         // Multiple sequential calls work.
-        let resp = call(h.addr, &Request::VerifyToken { token: faucets_core::auth::SessionToken("t".into()) }).unwrap();
+        let resp = call(
+            h.addr,
+            &Request::VerifyToken {
+                token: faucets_core::auth::SessionToken("t".into()),
+            },
+        )
+        .unwrap();
         assert_eq!(resp, Response::Ok);
         h.shutdown();
     }
@@ -334,9 +434,17 @@ mod tests {
         // Either refused outright or accepted by a lingering backlog that
         // never answers; both count as "not serving".
         if let Ok(mut s) = r {
-            let _ = crate::proto::write_frame(&mut s, &Request::VerifyToken { token: faucets_core::auth::SessionToken("x".into()) });
-            s.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
-            assert!(crate::proto::read_frame::<_, Response>(&mut s).map(|o| o.is_none()).unwrap_or(true));
+            let _ = crate::proto::write_frame(
+                &mut s,
+                &Envelope::wrap(Request::VerifyToken {
+                    token: faucets_core::auth::SessionToken("x".into()),
+                }),
+            );
+            s.set_read_timeout(Some(Duration::from_millis(400)))
+                .unwrap();
+            assert!(crate::proto::read_frame::<_, Envelope<Response>>(&mut s)
+                .map(|o| o.is_none())
+                .unwrap_or(true));
         }
     }
 
@@ -366,28 +474,57 @@ mod tests {
     fn retry_rides_out_dropped_frames() {
         // A server whose replies are dropped 60% of the time: a single
         // attempt fails often; four attempts with backoff all but never.
-        let plan = Arc::new(FaultPlan::new(77, FaultConfig { drop: 0.6, ..FaultConfig::none() }));
+        // Timeouts are generous multiples of what a loopback round-trip
+        // needs — the retry *count* below is the assertion, not wall time.
+        let plan = Arc::new(FaultPlan::new(
+            77,
+            FaultConfig {
+                drop: 0.6,
+                ..FaultConfig::none()
+            },
+        ));
         let h = serve_with(
             "127.0.0.1:0",
             "lossy",
-            ServeOptions { timeouts: Timeouts::both(Duration::from_millis(300)), faults: Some(Arc::clone(&plan)) },
+            ServeOptions {
+                timeouts: Timeouts::both(Duration::from_millis(1_000)),
+                faults: Some(Arc::clone(&plan)),
+                ..ServeOptions::default()
+            },
             |_| Response::Ok,
         )
         .unwrap();
+        let reg = Arc::new(Registry::new());
         let opts = CallOptions {
-            timeouts: Timeouts::both(Duration::from_millis(150)),
-            retry: RetryPolicy { attempts: 8, ..RetryPolicy::standard(5) },
+            timeouts: Timeouts::both(Duration::from_millis(400)),
+            retry: RetryPolicy {
+                attempts: 8,
+                ..RetryPolicy::standard(5)
+            },
+            registry: Some(Arc::clone(&reg)),
             ..CallOptions::default()
         };
         for i in 0..5 {
             let r = call_with(
                 h.addr,
-                &Request::Login { user: format!("u{i}"), password: "p".into() },
+                &Request::Login {
+                    user: format!("u{i}"),
+                    password: "p".into(),
+                },
                 &opts,
             );
             assert!(r.is_ok(), "attempt {i} failed: {r:?}");
         }
         assert!(plan.stats().dropped > 0, "the plan did inject loss");
+        // The backoff decisions went through the caller's registry: every
+        // dropped reply shows up as a counted retry, none as a failure.
+        let snap = reg.snapshot();
+        assert!(
+            snap.counter_sum("net_call_retries_total", &[("endpoint", "Login")]) > 0,
+            "drops at 60% must force at least one counted retry"
+        );
+        assert!(snap.counter_sum("net_call_attempts_total", &[]) >= 5);
+        assert_eq!(snap.counter_sum("net_call_failures_total", &[]), 0);
         h.shutdown();
     }
 
@@ -397,13 +534,98 @@ mod tests {
         let addr = h.addr;
         h.kill();
         std::thread::sleep(Duration::from_millis(20));
+        let reg = Arc::new(Registry::new());
         let opts = CallOptions {
-            timeouts: Timeouts::both(Duration::from_millis(100)),
-            connect: Duration::from_millis(100),
-            retry: RetryPolicy { attempts: 2, ..RetryPolicy::standard(1) },
+            timeouts: Timeouts::both(Duration::from_millis(250)),
+            connect: Duration::from_millis(250),
+            retry: RetryPolicy {
+                attempts: 2,
+                ..RetryPolicy::standard(1)
+            },
+            registry: Some(Arc::clone(&reg)),
             ..CallOptions::default()
         };
-        let r = call_with(addr, &Request::VerifyToken { token: faucets_core::auth::SessionToken("x".into()) }, &opts);
+        let r = call_with(
+            addr,
+            &Request::VerifyToken {
+                token: faucets_core::auth::SessionToken("x".into()),
+            },
+            &opts,
+        );
         assert!(r.is_err(), "a killed service must not answer");
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_sum("net_call_attempts_total", &[]),
+            2,
+            "both attempts counted"
+        );
+        assert_eq!(
+            snap.counter_sum("net_call_failures_total", &[]),
+            1,
+            "exhaustion counted once"
+        );
+    }
+
+    #[test]
+    fn every_service_answers_the_metrics_endpoint() {
+        let reg = Arc::new(Registry::new());
+        let h = serve_with(
+            "127.0.0.1:0",
+            "probe",
+            ServeOptions {
+                registry: Some(Arc::clone(&reg)),
+                ..ServeOptions::default()
+            },
+            |_| Response::Ok,
+        )
+        .unwrap();
+        for _ in 0..3 {
+            call(
+                h.addr,
+                &Request::VerifyToken {
+                    token: faucets_core::auth::SessionToken("t".into()),
+                },
+            )
+            .unwrap();
+        }
+        let Response::Metrics(snap) = call(h.addr, &Request::Metrics).unwrap() else {
+            panic!("expected a metrics snapshot")
+        };
+        assert_eq!(
+            snap.counter_sum(
+                "net_requests_total",
+                &[("service", "probe"), ("endpoint", "VerifyToken")]
+            ),
+            3,
+            "per-endpoint request counter travels over the wire"
+        );
+        let lat = snap.histogram_sum("net_request_seconds", &[("service", "probe")]);
+        assert_eq!(lat.count, 3, "latency histogram recorded every request");
+        h.shutdown();
+    }
+
+    #[test]
+    fn server_spans_parent_under_the_caller() {
+        let h = serve("127.0.0.1:0", "traced", |_| Response::Ok).unwrap();
+        let trace_id;
+        {
+            let root = trace::span("client", "negotiate");
+            trace_id = root.trace();
+            call(
+                h.addr,
+                &Request::VerifyToken {
+                    token: faucets_core::auth::SessionToken("t".into()),
+                },
+            )
+            .unwrap();
+        }
+        let spans = trace::spans_for(trace_id);
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.service == "traced" && s.name == "VerifyToken"),
+            "server span joined the caller's trace: {spans:?}"
+        );
+        h.shutdown();
     }
 }

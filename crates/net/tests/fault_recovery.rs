@@ -41,7 +41,10 @@ fn spawn_daemon(
         fs,
         aspect,
         clock,
-        FdOptions { snapshot, ..FdOptions::default() },
+        FdOptions {
+            snapshot,
+            ..FdOptions::default()
+        },
     )
     .expect("FD")
 }
@@ -61,7 +64,12 @@ fn daemon_death_during_wait_recovers_from_snapshot() {
     let fs = spawn_fs("127.0.0.1:0", clock.clone(), 41).unwrap();
     let aspect = spawn_appspector("127.0.0.1:0", fs.service.addr, 16).unwrap();
     let snap = scratch_file("wait.json");
-    let fd = spawn_daemon(Some(snap.clone()), fs.service.addr, aspect.service.addr, clock.clone());
+    let fd = spawn_daemon(
+        Some(snap.clone()),
+        fs.service.addr,
+        aspect.service.addr,
+        clock.clone(),
+    );
 
     let mut client = FaucetsClient::register(
         fs.service.addr,
@@ -79,21 +87,51 @@ fn daemon_death_during_wait_recovers_from_snapshot() {
         .efficiency(0.95, 0.8)
         .adaptive()
         .payoff(PayoffFn::hard_only(
-            clock.now().saturating_add(faucets_sim::time::SimDuration::from_hours(24)),
+            clock
+                .now()
+                .saturating_add(faucets_sim::time::SimDuration::from_hours(24)),
             Money::from_units(100),
             Money::from_units(10),
         ))
         .build()
         .unwrap();
-    let sub = client.submit(qos, &[("in.dat".into(), vec![0u8; 128])]).expect("placed");
-    assert_eq!(fd.active_contracts(), 1, "contract journaled before the crash");
+    let sub = client
+        .submit(qos, &[("in.dat".into(), vec![0u8; 128])])
+        .expect("placed");
+    assert_eq!(
+        fd.active_contracts(),
+        1,
+        "contract journaled before the crash"
+    );
+
+    // The submission left a reconstructable trace: the client root span
+    // plus server spans recorded by the (in-process) FS and FD services.
+    let trace = client.last_trace.expect("submit records its trace id");
+    let spans = faucets_telemetry::trace::spans_for(trace);
+    assert!(
+        spans.iter().any(|s| s.service == "client"),
+        "client root span logged"
+    );
+    assert!(
+        spans.iter().any(|s| s.service == "fs"),
+        "FS server spans joined the trace"
+    );
+    assert!(
+        spans.iter().any(|s| s.service == "fd"),
+        "FD server spans joined the trace"
+    );
 
     // Crash: no deregistration, no goodbye. The journal stays on disk.
     fd.kill();
     assert!(snap.exists(), "snapshot survives the crash");
 
     // Restart the daemon after a short outage, while the client waits.
-    let (fs_addr, as_addr, clk, path) = (fs.service.addr, aspect.service.addr, clock.clone(), snap.clone());
+    let (fs_addr, as_addr, clk, path) = (
+        fs.service.addr,
+        aspect.service.addr,
+        clock.clone(),
+        snap.clone(),
+    );
     let restart = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(300));
         let fd2 = spawn_daemon(Some(path), fs_addr, as_addr, clk);
@@ -107,7 +145,11 @@ fn daemon_death_during_wait_recovers_from_snapshot() {
 
     let (restored, fd2) = restart.join().unwrap();
     assert_eq!(restored, 1, "restart restored the accepted contract");
-    assert_eq!(fd2.active_contracts(), 0, "contract pruned after completion");
+    assert_eq!(
+        fd2.active_contracts(),
+        0,
+        "contract pruned after completion"
+    );
     fd2.shutdown();
     let _ = std::fs::remove_file(&snap);
 }
@@ -123,27 +165,48 @@ fn silent_daemon_is_evicted_from_matching() {
     let fs = spawn_fs("127.0.0.1:0", clock.clone(), 42).unwrap();
     let aspect = spawn_appspector("127.0.0.1:0", fs.service.addr, 16).unwrap();
     let fd = spawn_daemon(None, fs.service.addr, aspect.service.addr, clock.clone());
-    assert!(fs.state.lock().directory.get(ClusterId(1)).is_some(), "registered");
+    assert!(
+        fs.state.lock().directory.get(ClusterId(1)).is_some(),
+        "registered"
+    );
 
-    call(fs.service.addr, &Request::CreateUser { user: "dan".into(), password: "pw".into() }).unwrap();
-    let Response::Session { token, .. } =
-        call(fs.service.addr, &Request::Login { user: "dan".into(), password: "pw".into() }).unwrap()
-    else {
+    call(
+        fs.service.addr,
+        &Request::CreateUser {
+            user: "dan".into(),
+            password: "pw".into(),
+        },
+    )
+    .unwrap();
+    let Response::Session { token, .. } = call(
+        fs.service.addr,
+        &Request::Login {
+            user: "dan".into(),
+            password: "pw".into(),
+        },
+    )
+    .unwrap() else {
         panic!("expected session")
     };
     let qos = QosBuilder::new("namd", 4, 16, 100.0).build().unwrap();
 
     // While the daemon heartbeats, it is offered.
-    let Response::Servers(servers) =
-        call(fs.service.addr, &Request::ListServers { token: token.clone(), qos: qos.clone() }).unwrap()
-    else {
+    let Response::Servers(servers) = call(
+        fs.service.addr,
+        &Request::ListServers {
+            token: token.clone(),
+            qos: qos.clone(),
+        },
+    )
+    .unwrap() else {
         panic!("expected server list")
     };
     assert_eq!(servers.len(), 1);
 
-    // Silence it well past the dead threshold (270 sim seconds).
+    // Silence it well past the dead threshold (270 sim seconds = 0.45 wall
+    // seconds at 600x; sleep ~3x that so a slow CI box can't flake it).
     fd.kill();
-    std::thread::sleep(Duration::from_millis(900));
+    std::thread::sleep(Duration::from_millis(1500));
 
     let Response::Servers(servers) =
         call(fs.service.addr, &Request::ListServers { token, qos }).unwrap()
@@ -153,11 +216,17 @@ fn silent_daemon_is_evicted_from_matching() {
     assert!(servers.is_empty(), "dead daemon no longer offered");
     let s = fs.state.lock();
     assert!(s.stats.evictions >= 1, "eviction counted");
-    assert!(s.directory.get(ClusterId(1)).is_none(), "directory entry removed");
+    assert!(
+        s.directory.get(ClusterId(1)).is_none(),
+        "directory entry removed"
+    );
     drop(s);
 
     // A fresh daemon for the same cluster re-registers cleanly.
     let fd2 = spawn_daemon(None, fs.service.addr, aspect.service.addr, clock);
-    assert!(fs.state.lock().directory.get(ClusterId(1)).is_some(), "re-registered after eviction");
+    assert!(
+        fs.state.lock().directory.get(ClusterId(1)).is_some(),
+        "re-registered after eviction"
+    );
     fd2.shutdown();
 }

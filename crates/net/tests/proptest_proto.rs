@@ -18,28 +18,45 @@ use std::time::Duration;
 fn hostile(seed: u64) -> FaultPlan {
     FaultPlan::new(
         seed,
-        FaultConfig { drop: 0.25, truncate: 0.25, garble: 0.25, delay: 0.0, max_delay: Duration::ZERO },
+        FaultConfig {
+            drop: 0.25,
+            truncate: 0.25,
+            garble: 0.25,
+            delay: 0.0,
+            max_delay: Duration::ZERO,
+        },
     )
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
-        ("[a-z]{1,12}", "[ -~]{0,24}").prop_map(|(user, password)| Request::Login { user, password }),
-        "[0-9a-f]{1,64}".prop_map(|t| Request::VerifyToken { token: SessionToken(t) }),
+        ("[a-z]{1,12}", "[ -~]{0,24}")
+            .prop_map(|(user, password)| Request::Login { user, password }),
+        "[0-9a-f]{1,64}".prop_map(|t| Request::VerifyToken {
+            token: SessionToken(t)
+        }),
         (0u64..1000, 0u64..1000, any::<u32>(), any::<bool>()).prop_map(|(c, _u, free, acc)| {
             Request::Heartbeat {
                 cluster: ClusterId(c),
-                status: ServerStatus { free_pes: free, queue_len: 0, accepting: acc },
+                status: ServerStatus {
+                    free_pes: free,
+                    queue_len: 0,
+                    accepting: acc,
+                    ..Default::default()
+                },
             }
         }),
-        (0u64..100, prop::collection::vec(any::<u8>(), 0..512), "[a-z./]{1,30}").prop_map(
-            |(job, data, name)| Request::UploadFile {
+        (
+            0u64..100,
+            prop::collection::vec(any::<u8>(), 0..512),
+            "[a-z./]{1,30}"
+        )
+            .prop_map(|(job, data, name)| Request::UploadFile {
                 token: SessionToken("t".into()),
                 job: JobId(job),
                 name,
                 data,
-            }
-        ),
+            }),
         (0u64..50, 0u64..50, 0u64..50).prop_map(|(j, o, c)| Request::RegisterJob {
             job: JobId(j),
             owner: UserId(o),

@@ -29,14 +29,24 @@ impl Default for ResizeCostModel {
     fn default() -> Self {
         // [15] reports sub-second to few-second shrink/expand on Charm++
         // clusters of the era; 0.5 s fixed + 10 ms/PE + 2 ms/MB lands there.
-        ResizeCostModel { fixed_secs: 0.5, per_pe_moved_secs: 0.01, per_mb_secs: 0.002, scale: 1.0 }
+        ResizeCostModel {
+            fixed_secs: 0.5,
+            per_pe_moved_secs: 0.01,
+            per_mb_secs: 0.002,
+            scale: 1.0,
+        }
     }
 }
 
 impl ResizeCostModel {
     /// A zero-cost model (the "free resize" ablation bound).
     pub fn free() -> Self {
-        ResizeCostModel { fixed_secs: 0.0, per_pe_moved_secs: 0.0, per_mb_secs: 0.0, scale: 1.0 }
+        ResizeCostModel {
+            fixed_secs: 0.0,
+            per_pe_moved_secs: 0.0,
+            per_mb_secs: 0.0,
+            scale: 1.0,
+        }
     }
 
     /// Scale the whole model (ablation knob).
@@ -54,8 +64,8 @@ impl ResizeCostModel {
         let moved = old_pes.abs_diff(new_pes) as f64;
         // State redistributed ≈ memory held on the processors that changed.
         let mb_moved = qos.mem_per_pe_mb as f64 * moved;
-        let secs =
-            (self.fixed_secs + self.per_pe_moved_secs * moved + self.per_mb_secs * mb_moved) * self.scale;
+        let secs = (self.fixed_secs + self.per_pe_moved_secs * moved + self.per_mb_secs * mb_moved)
+            * self.scale;
         SimDuration::from_secs_f64(secs)
     }
 }
@@ -109,7 +119,8 @@ impl CheckpointCostModel {
     /// restarted at a later point in time and possibly at another
     /// (subcontracted) Compute Server").
     pub fn migration_time(&self, qos: &QosContract, pes: u32) -> SimDuration {
-        let transfer = SimDuration::from_secs_f64(self.image_mb(qos, pes) as f64 / self.wan_mb_per_sec);
+        let transfer =
+            SimDuration::from_secs_f64(self.image_mb(qos, pes) as f64 / self.wan_mb_per_sec);
         self.checkpoint_time(qos, pes) + transfer + self.restart_time(qos, pes)
     }
 }
@@ -120,7 +131,10 @@ mod tests {
     use faucets_core::qos::QosBuilder;
 
     fn qos() -> QosContract {
-        QosBuilder::new("app", 8, 64, 1000.0).mem_per_pe_mb(100).build().unwrap()
+        QosBuilder::new("app", 8, 64, 1000.0)
+            .mem_per_pe_mb(100)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -134,7 +148,12 @@ mod tests {
 
     #[test]
     fn resize_cost_formula() {
-        let m = ResizeCostModel { fixed_secs: 1.0, per_pe_moved_secs: 0.1, per_mb_secs: 0.01, scale: 1.0 };
+        let m = ResizeCostModel {
+            fixed_secs: 1.0,
+            per_pe_moved_secs: 0.1,
+            per_mb_secs: 0.01,
+            scale: 1.0,
+        };
         // Δ=10 pes, 100 MB/pe → 1 + 1 + 10 = 12 s.
         assert_eq!(m.pause(&qos(), 20, 30), SimDuration::from_secs(12));
     }
@@ -146,7 +165,10 @@ mod tests {
         let p1 = base.pause(&qos(), 8, 64).as_secs_f64();
         let p10 = x10.pause(&qos(), 8, 64).as_secs_f64();
         assert!((p10 / p1 - 10.0).abs() < 1e-9);
-        assert_eq!(ResizeCostModel::free().pause(&qos(), 8, 64), SimDuration::ZERO);
+        assert_eq!(
+            ResizeCostModel::free().pause(&qos(), 8, 64),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ impl Allocator {
         if total > 0 {
             free.insert(0, total);
         }
-        Allocator { total, free, held: BTreeMap::new(), scatter_events: 0 }
+        Allocator {
+            total,
+            free,
+            held: BTreeMap::new(),
+            scatter_events: 0,
+        }
     }
 
     /// Total processors in the machine.
@@ -83,7 +88,9 @@ impl Allocator {
 
     /// Processors held by `job`.
     pub fn held_by(&self, job: JobId) -> u32 {
-        self.held.get(&job).map_or(0, |v| v.iter().map(|r| r.len).sum())
+        self.held
+            .get(&job)
+            .map_or(0, |v| v.iter().map(|r| r.len).sum())
     }
 
     /// The ranges held by `job` (empty slice if none).
@@ -97,8 +104,15 @@ impl Allocator {
     }
 
     fn take_from_free(&mut self, start: u32, len: u32) {
-        let (&fs, &fl) = self.free.range(..=start).next_back().expect("range must be free");
-        debug_assert!(fs <= start && start + len <= fs + fl, "carving outside a free range");
+        let (&fs, &fl) = self
+            .free
+            .range(..=start)
+            .next_back()
+            .expect("range must be free");
+        debug_assert!(
+            fs <= start && start + len <= fs + fl,
+            "carving outside a free range"
+        );
         self.free.remove(&fs);
         if fs < start {
             self.free.insert(fs, start - fs);
@@ -135,9 +149,15 @@ impl Allocator {
     /// (first-fit order) when necessary. Returns `false` (and changes
     /// nothing) if fewer than `n` processors are free.
     pub fn alloc(&mut self, job: JobId, n: u32) -> bool {
-        assert!(!self.held.contains_key(&job), "{job} already holds processors");
+        assert!(
+            !self.held.contains_key(&job),
+            "{job} already holds processors"
+        );
         if n == 0 || self.free_pes() < n {
-            return n == 0 && { self.held.insert(job, vec![]); true };
+            return n == 0 && {
+                self.held.insert(job, vec![]);
+                true
+            };
         }
         // First-fit contiguous.
         if let Some((&start, _)) = self.free.iter().find(|(_, &len)| len >= n) {
@@ -156,7 +176,10 @@ impl Allocator {
             }
             let take = l.min(need);
             self.take_from_free(s, take);
-            got.push(PeRange { start: s, len: take });
+            got.push(PeRange {
+                start: s,
+                len: take,
+            });
             need -= take;
         }
         debug_assert_eq!(need, 0);
@@ -192,7 +215,10 @@ impl Allocator {
         // Place the remainder first-fit (contiguous if possible).
         if let Some((&start, _)) = self.free.iter().find(|(_, &len)| len >= need) {
             self.take_from_free(start, need);
-            self.held.get_mut(&job).unwrap().push(PeRange { start, len: need });
+            self.held
+                .get_mut(&job)
+                .unwrap()
+                .push(PeRange { start, len: need });
             return true;
         }
         self.scatter_events += 1;
@@ -203,7 +229,10 @@ impl Allocator {
             }
             let take = l.min(need);
             self.take_from_free(s, take);
-            self.held.get_mut(&job).unwrap().push(PeRange { start: s, len: take });
+            self.held.get_mut(&job).unwrap().push(PeRange {
+                start: s,
+                len: take,
+            });
             need -= take;
         }
         debug_assert_eq!(need, 0);
@@ -229,7 +258,10 @@ impl Allocator {
                     ranges.pop();
                 } else {
                     last.len -= remaining;
-                    freed.push(PeRange { start: last.start + last.len, len: remaining });
+                    freed.push(PeRange {
+                        start: last.start + last.len,
+                        len: remaining,
+                    });
                     remaining = 0;
                 }
             }
@@ -310,7 +342,7 @@ mod tests {
         a.alloc(JobId(2), 30); // [30,60)
         a.alloc(JobId(3), 30); // [60,90)
         a.release(JobId(2)); // free: [30,60) + [90,100)
-        // 35 doesn't fit contiguously → scatter.
+                             // 35 doesn't fit contiguously → scatter.
         assert!(a.alloc(JobId(4), 35));
         assert_eq!(a.scatter_events, 1);
         assert_eq!(a.held_by(JobId(4)), 35);
@@ -357,7 +389,11 @@ mod tests {
         let mut a = Allocator::new(100);
         a.alloc(JobId(1), 30); // [0,30)
         assert!(a.grow(JobId(1), 20));
-        assert_eq!(a.ranges_of(JobId(1)), &[PeRange { start: 0, len: 50 }], "in-place extension");
+        assert_eq!(
+            a.ranges_of(JobId(1)),
+            &[PeRange { start: 0, len: 50 }],
+            "in-place extension"
+        );
         // Block the extension and grow again.
         a.alloc(JobId(2), 10); // [50,60)
         assert!(a.grow(JobId(1), 10));

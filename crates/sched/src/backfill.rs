@@ -46,7 +46,10 @@ impl SchedPolicy for EasyBackfill {
                 break;
             }
             let pes = q.spec.qos.max_pes.min(free);
-            actions.push(Action::Start { job: q.spec.id, pes });
+            actions.push(Action::Start {
+                job: q.spec.id,
+                pes,
+            });
             free -= pes;
             queue.remove(0);
         }
@@ -67,7 +70,10 @@ impl SchedPolicy for EasyBackfill {
                     // Condition (b): uses only processors spare at the shadow.
                     let fits_spare = pes <= spare;
                     if fits_before || fits_spare {
-                        actions.push(Action::Start { job: q.spec.id, pes });
+                        actions.push(Action::Start {
+                            job: q.spec.id,
+                            pes,
+                        });
                         free -= pes;
                         if !fits_before {
                             spare -= pes;
@@ -79,7 +85,11 @@ impl SchedPolicy for EasyBackfill {
         actions
     }
 
-    fn probe(&self, ctx: &SchedContext<'_>, qos: &QosContract) -> Result<SchedulerQuote, DeclineReason> {
+    fn probe(
+        &self,
+        ctx: &SchedContext<'_>,
+        qos: &QosContract,
+    ) -> Result<SchedulerQuote, DeclineReason> {
         ctx.statically_feasible(qos)?;
         // Approximate: reserve the queue in FCFS order (backfilling can only
         // improve on this promise), then place the new job.
@@ -119,7 +129,13 @@ mod tests {
         h.enqueue(queued(2, 20, 20, 200.0)); // 10 s on 20 PEs
         let mut p = EasyBackfill;
         let actions = p.plan(&h.ctx());
-        assert_eq!(actions, vec![Action::Start { job: jid(2), pes: 20 }]);
+        assert_eq!(
+            actions,
+            vec![Action::Start {
+                job: jid(2),
+                pes: 20
+            }]
+        );
     }
 
     #[test]
@@ -127,8 +143,8 @@ mod tests {
         let mut h = Harness::new(100);
         h.run_rigid(9, 60, 60_000.0); // finishes t=1000
         h.enqueue(queued(1, 80, 80, 1000.0)); // reservation at t=1000
-        // This job needs 2000 s on 40 PEs (all free): would push the head
-        // past its reservation, and 40 > spare (100-80=20) → refused.
+                                              // This job needs 2000 s on 40 PEs (all free): would push the head
+                                              // past its reservation, and 40 > spare (100-80=20) → refused.
         h.enqueue(queued(2, 40, 40, 80_000.0));
         let mut p = EasyBackfill;
         assert!(p.plan(&h.ctx()).is_empty());
@@ -139,11 +155,17 @@ mod tests {
         let mut h = Harness::new(100);
         h.run_rigid(9, 60, 60_000.0); // finishes t=1000
         h.enqueue(queued(1, 80, 80, 1000.0)); // head: spare at shadow = 20
-        // Long job, but only 15 PEs ≤ spare 20 → may run indefinitely.
+                                              // Long job, but only 15 PEs ≤ spare 20 → may run indefinitely.
         h.enqueue(queued(2, 15, 15, 1_000_000.0));
         let mut p = EasyBackfill;
         let actions = p.plan(&h.ctx());
-        assert_eq!(actions, vec![Action::Start { job: jid(2), pes: 15 }]);
+        assert_eq!(
+            actions,
+            vec![Action::Start {
+                job: jid(2),
+                pes: 15
+            }]
+        );
     }
 
     #[test]
@@ -157,8 +179,14 @@ mod tests {
         assert_eq!(
             actions,
             vec![
-                Action::Start { job: jid(1), pes: 50 },
-                Action::Start { job: jid(2), pes: 50 },
+                Action::Start {
+                    job: jid(1),
+                    pes: 50
+                },
+                Action::Start {
+                    job: jid(2),
+                    pes: 50
+                },
             ]
         );
     }

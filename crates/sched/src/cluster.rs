@@ -24,8 +24,8 @@ use faucets_core::directory::ServerStatus;
 use faucets_core::error::Result;
 use faucets_core::ids::{ContractId, JobId};
 use faucets_core::job::{JobOutcome, JobSpec};
-use faucets_core::qos::WorkSpec;
 use faucets_core::money::Money;
+use faucets_core::qos::WorkSpec;
 use faucets_sim::time::SimTime;
 use std::collections::BTreeMap;
 
@@ -73,13 +73,26 @@ pub struct Cluster {
     rejected: Vec<JobId>,
     /// Preemptions performed (checkpoint + requeue).
     pub preemptions: u64,
+    /// Telemetry: scheduling decisions taken (the CM-schedule hop of a
+    /// job's Figure-1 path).
+    m_reschedules: faucets_telemetry::Counter,
+    /// Telemetry: wall time spent inside one scheduling decision.
+    m_reschedule_seconds: faucets_telemetry::Histogram,
 }
 
 impl Cluster {
     /// A cluster over `machine` scheduled by `policy`.
-    pub fn new(machine: MachineSpec, policy: Box<dyn SchedPolicy>, resize_cost: ResizeCostModel) -> Self {
+    pub fn new(
+        machine: MachineSpec,
+        policy: Box<dyn SchedPolicy>,
+        resize_cost: ResizeCostModel,
+    ) -> Self {
         let metrics = ClusterMetrics::new(machine.total_pes, SimTime::ZERO);
         let alloc = Allocator::new(machine.total_pes);
+        let reg = faucets_telemetry::global();
+        let labels = [("cluster", machine.name.as_str())];
+        let m_reschedules = reg.counter("cm_reschedules_total", &labels);
+        let m_reschedule_seconds = reg.histogram("cm_reschedule_seconds", &labels);
         Cluster {
             machine,
             alloc,
@@ -91,6 +104,8 @@ impl Cluster {
             metrics,
             rejected: vec![],
             preemptions: 0,
+            m_reschedules,
+            m_reschedule_seconds,
         }
     }
 
@@ -149,6 +164,8 @@ impl Cluster {
     /// Run the policy and apply its actions. Shrinks are applied before
     /// starts (they make the room), grows last.
     fn reschedule(&mut self, now: SimTime) {
+        self.m_reschedules.inc();
+        let sw = faucets_telemetry::TelemetryClock::wall().stopwatch();
         // Field-disjoint borrows: the context reads state fields while the
         // policy (a separate field) is borrowed mutably.
         let ctx = SchedContext {
@@ -228,7 +245,14 @@ impl Cluster {
                 continue;
             }
             let q = self.queue.remove(idx);
-            let r = RunningJob::start(q.spec, q.contract, q.price, pes, self.machine.flops_per_pe_sec, now);
+            let r = RunningJob::start(
+                q.spec,
+                q.contract,
+                q.price,
+                pes,
+                self.machine.flops_per_pe_sec,
+                now,
+            );
             self.running.insert(job, r);
         }
 
@@ -243,19 +267,28 @@ impl Cluster {
         }
 
         self.metrics.set_busy(now, self.alloc.used_pes());
+        sw.observe(&self.m_reschedule_seconds);
     }
 
     /// Submit a contracted job into the local queue.
     pub fn submit_job(&mut self, spec: JobSpec, contract: ContractId, price: Money, now: SimTime) {
         self.advance_all(now);
-        self.queue.push(QueuedJob { spec, contract, price, arrived: now });
+        self.queue.push(QueuedJob {
+            spec,
+            contract,
+            price,
+            arrived: now,
+        });
         self.reschedule(now);
     }
 
     /// The next instant at which a running job completes (the driver should
     /// call [`Cluster::on_time`] then). `None` when nothing is running.
     pub fn next_completion(&self) -> Option<SimTime> {
-        self.running.values().map(|r| r.est_finish(SimTime::ZERO)).min()
+        self.running
+            .values()
+            .map(|r| r.est_finish(SimTime::ZERO))
+            .min()
     }
 
     /// Advance to `now`, harvest completed jobs, and reschedule. Returns the
@@ -282,7 +315,12 @@ impl Cluster {
             };
             let payoff = r.spec.qos.payoff.payoff_at(now);
             self.metrics.record_outcome(&outcome, r.price, payoff);
-            completions.push(Completion { outcome, contract: r.contract, price: r.price, payoff });
+            completions.push(Completion {
+                outcome,
+                contract: r.contract,
+                price: r.price,
+                payoff,
+            });
         }
         self.reschedule(now);
         completions
@@ -324,7 +362,12 @@ impl Cluster {
     /// Return a checkpointed job to this cluster's queue (automatic restart,
     /// §3/§5.5.4) and reschedule.
     pub fn requeue_checkpointed(&mut self, cj: CheckpointedJob, now: SimTime) {
-        self.queue.push(QueuedJob { spec: cj.spec, contract: cj.contract, price: cj.price, arrived: now });
+        self.queue.push(QueuedJob {
+            spec: cj.spec,
+            contract: cj.contract,
+            price: cj.price,
+            arrived: now,
+        });
         self.reschedule(now);
     }
 
@@ -339,7 +382,11 @@ impl Cluster {
     /// Every running job loses the progress made since its last periodic
     /// checkpoint (period `checkpoint_interval`) and is requeued; returns
     /// how many jobs were recovered.
-    pub fn crash_and_recover(&mut self, now: SimTime, checkpoint_interval: faucets_sim::time::SimDuration) -> usize {
+    pub fn crash_and_recover(
+        &mut self,
+        now: SimTime,
+        checkpoint_interval: faucets_sim::time::SimDuration,
+    ) -> usize {
         self.advance_all(now);
         let victims: Vec<JobId> = self.running.keys().copied().collect();
         let n = victims.len();
@@ -348,7 +395,11 @@ impl Cluster {
             let age = now.since(r.started_at).as_secs_f64();
             let interval = checkpoint_interval.as_secs_f64().max(1.0);
             let lost_secs = age % interval;
-            let lost_work = lost_secs * r.spec.qos.speedup.work_rate(r.pes(), r.spec.qos.min_pes, r.spec.qos.max_pes);
+            let lost_work = lost_secs
+                * r.spec
+                    .qos
+                    .speedup
+                    .work_rate(r.pes(), r.spec.qos.min_pes, r.spec.qos.max_pes);
             if let Some(mut cj) = self.checkpoint_and_evict(job, now) {
                 // Add back the work lost since the last checkpoint.
                 if let WorkSpec::CpuSeconds(w) = cj.spec.qos.work {
@@ -379,7 +430,11 @@ impl Cluster {
 }
 
 impl ClusterManager for Cluster {
-    fn probe(&mut self, req: &BidRequest, now: SimTime) -> std::result::Result<SchedulerQuote, DeclineReason> {
+    fn probe(
+        &mut self,
+        req: &BidRequest,
+        now: SimTime,
+    ) -> std::result::Result<SchedulerQuote, DeclineReason> {
         self.advance_all(now);
         let ctx = SchedContext {
             now,
@@ -391,16 +446,26 @@ impl ClusterManager for Cluster {
         self.policy.probe(&ctx, &req.qos)
     }
 
-    fn submit(&mut self, spec: JobSpec, contract: ContractId, price: Money, now: SimTime) -> Result<()> {
+    fn submit(
+        &mut self,
+        spec: JobSpec,
+        contract: ContractId,
+        price: Money,
+        now: SimTime,
+    ) -> Result<()> {
         self.submit_job(spec, contract, price, now);
         Ok(())
     }
 
     fn status(&self, _now: SimTime) -> ServerStatus {
+        let total = self.machine.total_pes.max(1);
+        let free = self.alloc.free_pes();
         ServerStatus {
-            free_pes: self.alloc.free_pes(),
+            free_pes: free,
             queue_len: self.queue.len() as u32,
             accepting: true,
+            utilization: 1.0 - f64::from(free) / f64::from(total),
+            running: self.running.len() as u32,
         }
     }
 }
@@ -430,7 +495,12 @@ mod tests {
     #[test]
     fn single_job_lifecycle() {
         let mut c = cluster(100, Box::new(Fcfs));
-        c.submit_job(spec(1, qos_fixed(10, 10, 1000.0), SimTime::ZERO), ContractId(1), Money::from_units(5), SimTime::ZERO);
+        c.submit_job(
+            spec(1, qos_fixed(10, 10, 1000.0), SimTime::ZERO),
+            ContractId(1),
+            Money::from_units(5),
+            SimTime::ZERO,
+        );
         assert_eq!(c.running_count(), 1);
         assert_eq!(c.free_pes(), 90);
         let t = c.next_completion().unwrap();
@@ -447,8 +517,18 @@ mod tests {
     #[test]
     fn fcfs_queues_then_starts_after_completion() {
         let mut c = cluster(100, Box::new(Fcfs));
-        c.submit_job(spec(1, qos_fixed(100, 100, 10_000.0), SimTime::ZERO), ContractId(1), Money::ZERO, SimTime::ZERO);
-        c.submit_job(spec(2, qos_fixed(50, 50, 5_000.0), SimTime::ZERO), ContractId(2), Money::ZERO, SimTime::ZERO);
+        c.submit_job(
+            spec(1, qos_fixed(100, 100, 10_000.0), SimTime::ZERO),
+            ContractId(1),
+            Money::ZERO,
+            SimTime::ZERO,
+        );
+        c.submit_job(
+            spec(2, qos_fixed(50, 50, 5_000.0), SimTime::ZERO),
+            ContractId(2),
+            Money::ZERO,
+            SimTime::ZERO,
+        );
         assert_eq!(c.queue_len(), 1);
         // Job 1 finishes at t=100; job 2 starts then, finishes at t=200.
         let (all, end) = c.run_to_idle(SimTime::ZERO);
@@ -462,10 +542,20 @@ mod tests {
     fn equipartition_shrinks_and_expands_through_lifecycle() {
         let mut c = cluster(100, Box::new(Equipartition));
         // Job 1 alone: expands to 100.
-        c.submit_job(spec(1, qos_fixed(10, 100, 10_000.0), SimTime::ZERO), ContractId(1), Money::ZERO, SimTime::ZERO);
+        c.submit_job(
+            spec(1, qos_fixed(10, 100, 10_000.0), SimTime::ZERO),
+            ContractId(1),
+            Money::ZERO,
+            SimTime::ZERO,
+        );
         assert_eq!(c.pes_of(JobId(1)), Some(100));
         // Job 2 arrives at t=10: both shrink to 50.
-        c.submit_job(spec(2, qos_fixed(10, 100, 5_000.0), SimTime::from_secs(10)), ContractId(2), Money::ZERO, SimTime::from_secs(10));
+        c.submit_job(
+            spec(2, qos_fixed(10, 100, 5_000.0), SimTime::from_secs(10)),
+            ContractId(2),
+            Money::ZERO,
+            SimTime::from_secs(10),
+        );
         assert_eq!(c.pes_of(JobId(1)), Some(50));
         assert_eq!(c.pes_of(JobId(2)), Some(50));
         assert!(c.metrics.resizes >= 1);
@@ -478,9 +568,19 @@ mod tests {
     #[test]
     fn profit_policy_rejects_doomed_jobs() {
         let mut c = cluster(100, Box::new(Profit::default()));
-        c.submit_job(spec(1, qos_fixed(100, 100, 100_000.0), SimTime::ZERO), ContractId(1), Money::ZERO, SimTime::ZERO);
+        c.submit_job(
+            spec(1, qos_fixed(100, 100, 100_000.0), SimTime::ZERO),
+            ContractId(1),
+            Money::ZERO,
+            SimTime::ZERO,
+        );
         // Deadline 10 s, impossible → rejected at the next scheduling event.
-        c.submit_job(spec(2, qos_deadline(100, 100, 10_000.0, 10), SimTime::ZERO), ContractId(2), Money::ZERO, SimTime::ZERO);
+        c.submit_job(
+            spec(2, qos_deadline(100, 100, 10_000.0, 10), SimTime::ZERO),
+            ContractId(2),
+            Money::ZERO,
+            SimTime::ZERO,
+        );
         assert_eq!(c.rejected_jobs(), &[JobId(2)]);
         assert_eq!(c.metrics.rejected, 1);
         assert_eq!(c.queue_len(), 0);
@@ -489,7 +589,12 @@ mod tests {
     #[test]
     fn utilization_accounting() {
         let mut c = cluster(100, Box::new(Fcfs));
-        c.submit_job(spec(1, qos_fixed(50, 50, 5_000.0), SimTime::ZERO), ContractId(1), Money::ZERO, SimTime::ZERO);
+        c.submit_job(
+            spec(1, qos_fixed(50, 50, 5_000.0), SimTime::ZERO),
+            ContractId(1),
+            Money::ZERO,
+            SimTime::ZERO,
+        );
         let (_, end) = c.run_to_idle(SimTime::ZERO);
         assert_eq!(end, SimTime::from_secs(100));
         // 50 busy of 100 for the whole interval → 50%.
@@ -500,9 +605,24 @@ mod tests {
     #[test]
     fn backfill_cluster_interleaves() {
         let mut c = cluster(100, Box::new(EasyBackfill));
-        c.submit_job(spec(1, qos_fixed(60, 60, 60_000.0), SimTime::ZERO), ContractId(1), Money::ZERO, SimTime::ZERO); // runs [0,1000)
-        c.submit_job(spec(2, qos_fixed(80, 80, 8_000.0), SimTime::ZERO), ContractId(2), Money::ZERO, SimTime::ZERO); // blocked
-        c.submit_job(spec(3, qos_fixed(20, 20, 2_000.0), SimTime::ZERO), ContractId(3), Money::ZERO, SimTime::ZERO); // backfills now
+        c.submit_job(
+            spec(1, qos_fixed(60, 60, 60_000.0), SimTime::ZERO),
+            ContractId(1),
+            Money::ZERO,
+            SimTime::ZERO,
+        ); // runs [0,1000)
+        c.submit_job(
+            spec(2, qos_fixed(80, 80, 8_000.0), SimTime::ZERO),
+            ContractId(2),
+            Money::ZERO,
+            SimTime::ZERO,
+        ); // blocked
+        c.submit_job(
+            spec(3, qos_fixed(20, 20, 2_000.0), SimTime::ZERO),
+            ContractId(3),
+            Money::ZERO,
+            SimTime::ZERO,
+        ); // backfills now
         assert_eq!(c.pes_of(JobId(3)), Some(20), "short job backfilled");
         assert_eq!(c.pes_of(JobId(2)), None);
         let (all, _) = c.run_to_idle(SimTime::ZERO);
@@ -515,15 +635,33 @@ mod tests {
         let mut slow = Cluster::new(
             MachineSpec::commodity(ClusterId(2), "slow", 100),
             Box::new(Equipartition),
-            ResizeCostModel { fixed_secs: 30.0, per_pe_moved_secs: 0.0, per_mb_secs: 0.0, scale: 1.0 },
+            ResizeCostModel {
+                fixed_secs: 30.0,
+                per_pe_moved_secs: 0.0,
+                per_mb_secs: 0.0,
+                scale: 1.0,
+            },
         );
         for c in [&mut fast, &mut slow] {
-            c.submit_job(spec(1, qos_fixed(10, 100, 10_000.0), SimTime::ZERO), ContractId(1), Money::ZERO, SimTime::ZERO);
-            c.submit_job(spec(2, qos_fixed(10, 100, 5_000.0), SimTime::from_secs(10)), ContractId(2), Money::ZERO, SimTime::from_secs(10));
+            c.submit_job(
+                spec(1, qos_fixed(10, 100, 10_000.0), SimTime::ZERO),
+                ContractId(1),
+                Money::ZERO,
+                SimTime::ZERO,
+            );
+            c.submit_job(
+                spec(2, qos_fixed(10, 100, 5_000.0), SimTime::from_secs(10)),
+                ContractId(2),
+                Money::ZERO,
+                SimTime::from_secs(10),
+            );
         }
         let (_, t_fast) = fast.run_to_idle(SimTime::from_secs(10));
         let (_, t_slow) = slow.run_to_idle(SimTime::from_secs(10));
-        assert!(t_slow > t_fast, "resize pauses must cost wall time: {t_slow} !> {t_fast}");
+        assert!(
+            t_slow > t_fast,
+            "resize pauses must cost wall time: {t_slow} !> {t_fast}"
+        );
     }
 
     #[test]
@@ -537,7 +675,14 @@ mod tests {
         };
         let quote = ClusterManager::probe(&mut c, &req, SimTime::ZERO).unwrap();
         assert_eq!(quote.planned_pes, 20);
-        ClusterManager::submit(&mut c, spec(1, req.qos.clone(), SimTime::ZERO), ContractId(1), Money::ZERO, SimTime::ZERO).unwrap();
+        ClusterManager::submit(
+            &mut c,
+            spec(1, req.qos.clone(), SimTime::ZERO),
+            ContractId(1),
+            Money::ZERO,
+            SimTime::ZERO,
+        )
+        .unwrap();
         let st = ClusterManager::status(&c, SimTime::ZERO);
         assert_eq!(st.free_pes, 80);
         assert_eq!(st.queue_len, 0);
@@ -546,7 +691,12 @@ mod tests {
     #[test]
     fn stale_wakeups_are_harmless() {
         let mut c = cluster(100, Box::new(Fcfs));
-        c.submit_job(spec(1, qos_fixed(10, 10, 1000.0), SimTime::ZERO), ContractId(1), Money::ZERO, SimTime::ZERO);
+        c.submit_job(
+            spec(1, qos_fixed(10, 10, 1000.0), SimTime::ZERO),
+            ContractId(1),
+            Money::ZERO,
+            SimTime::ZERO,
+        );
         assert!(c.on_time(SimTime::from_secs(50)).is_empty());
         let done = c.on_time(SimTime::from_secs(100));
         assert_eq!(done.len(), 1);

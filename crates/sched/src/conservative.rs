@@ -58,7 +58,10 @@ impl SchedPolicy for ConservativeBackfill {
                 let dur = ctx.wall_time(qos, pes);
                 gantt.reserve(ctx.now, dur, pes);
                 free -= pes;
-                actions.push(Action::Start { job: q.spec.id, pes });
+                actions.push(Action::Start {
+                    job: q.spec.id,
+                    pes,
+                });
             } else {
                 // Book the future slot so nothing later can delay this job.
                 gantt.reserve(start, dur, min);
@@ -67,7 +70,11 @@ impl SchedPolicy for ConservativeBackfill {
         actions
     }
 
-    fn probe(&self, ctx: &SchedContext<'_>, qos: &QosContract) -> Result<SchedulerQuote, DeclineReason> {
+    fn probe(
+        &self,
+        ctx: &SchedContext<'_>,
+        qos: &QosContract,
+    ) -> Result<SchedulerQuote, DeclineReason> {
         ctx.statically_feasible(qos)?;
         // Rebuild the full reservation profile, then place the new job.
         let mut gantt = ctx.gantt();
@@ -103,15 +110,21 @@ mod tests {
         h.enqueue(queued(2, 40, 40, 100.0));
         let mut p = ConservativeBackfill;
         let actions = p.plan(&h.ctx());
-        assert!(actions.contains(&Action::Start { job: jid(1), pes: 30 }));
-        assert!(actions.contains(&Action::Start { job: jid(2), pes: 40 }));
+        assert!(actions.contains(&Action::Start {
+            job: jid(1),
+            pes: 30
+        }));
+        assert!(actions.contains(&Action::Start {
+            job: jid(2),
+            pes: 40
+        }));
     }
 
     #[test]
     fn backfills_only_without_delaying_any_reservation() {
         let mut h = Harness::new(100);
         h.run_rigid(9, 60, 60_000.0); // busy until t=1000
-        // Head: 80 PEs — reserved at t=1000.
+                                      // Head: 80 PEs — reserved at t=1000.
         h.enqueue(queued(1, 80, 80, 1000.0));
         // Second: 50 PEs, 100 s — would overlap the head's reservation
         // (free at t=1000 is 100-80=20 < 50), so it is reserved later, NOT
@@ -123,7 +136,13 @@ mod tests {
         h.enqueue(queued(3, 20, 20, 18_000.0));
         let mut p = ConservativeBackfill;
         let actions = p.plan(&h.ctx());
-        assert_eq!(actions, vec![Action::Start { job: jid(3), pes: 20 }]);
+        assert_eq!(
+            actions,
+            vec![Action::Start {
+                job: jid(3),
+                pes: 20
+            }]
+        );
     }
 
     #[test]
@@ -135,7 +154,13 @@ mod tests {
         let mut p = ConservativeBackfill;
         let actions = p.plan(&h.ctx());
         // Job 2 fits immediately within the head's spare-at-shadow margin.
-        assert_eq!(actions, vec![Action::Start { job: jid(2), pes: 20 }]);
+        assert_eq!(
+            actions,
+            vec![Action::Start {
+                job: jid(2),
+                pes: 20
+            }]
+        );
     }
 
     #[test]

@@ -38,7 +38,12 @@ impl Equipartition {
         }
         for q in ctx.queue {
             let qq = &q.spec.qos;
-            jobs.push((q.spec.id, qq.min_pes, qq.max_pes.min(ctx.machine.total_pes), false));
+            jobs.push((
+                q.spec.id,
+                qq.min_pes,
+                qq.max_pes.min(ctx.machine.total_pes),
+                false,
+            ));
         }
         jobs
     }
@@ -59,20 +64,35 @@ impl SchedPolicy for Equipartition {
             if running {
                 let current = ctx.running[&id].pes();
                 if target != 0 && target != current {
-                    actions.push(Action::Resize { job: id, new_pes: target });
+                    actions.push(Action::Resize {
+                        job: id,
+                        new_pes: target,
+                    });
                 }
             } else if target > 0 {
-                actions.push(Action::Start { job: id, pes: target });
+                actions.push(Action::Start {
+                    job: id,
+                    pes: target,
+                });
             }
         }
         actions
     }
 
-    fn probe(&self, ctx: &SchedContext<'_>, qos: &QosContract) -> Result<SchedulerQuote, DeclineReason> {
+    fn probe(
+        &self,
+        ctx: &SchedContext<'_>,
+        qos: &QosContract,
+    ) -> Result<SchedulerQuote, DeclineReason> {
         ctx.statically_feasible(qos)?;
         // Predict the share the job would get if it joined now.
         let mut jobs = Self::job_bounds(ctx);
-        jobs.push((JobId(u64::MAX), qos.min_pes, qos.max_pes.min(ctx.machine.total_pes), false));
+        jobs.push((
+            JobId(u64::MAX),
+            qos.min_pes,
+            qos.max_pes.min(ctx.machine.total_pes),
+            false,
+        ));
         let bounds: Vec<(u32, u32)> = jobs.iter().map(|&(_, lo, hi, _)| (lo, hi)).collect();
         let targets = equipartition_targets(&bounds, ctx.machine.total_pes);
         let share = *targets.last().unwrap();
@@ -109,8 +129,14 @@ mod tests {
         h.enqueue(queued(2, 600, 600, 1000.0));
         let mut p = Equipartition;
         let actions = p.plan(&h.ctx());
-        assert!(actions.contains(&Action::Resize { job: jid(1), new_pes: 400 }));
-        assert!(actions.contains(&Action::Start { job: jid(2), pes: 600 }));
+        assert!(actions.contains(&Action::Resize {
+            job: jid(1),
+            new_pes: 400
+        }));
+        assert!(actions.contains(&Action::Start {
+            job: jid(2),
+            pes: 600
+        }));
     }
 
     #[test]
@@ -121,9 +147,18 @@ mod tests {
         h.enqueue(queued(3, 1, 90, 100.0));
         let mut p = Equipartition;
         let actions = p.plan(&h.ctx());
-        assert!(actions.contains(&Action::Resize { job: jid(1), new_pes: 30 }));
-        assert!(actions.contains(&Action::Start { job: jid(2), pes: 30 }));
-        assert!(actions.contains(&Action::Start { job: jid(3), pes: 30 }));
+        assert!(actions.contains(&Action::Resize {
+            job: jid(1),
+            new_pes: 30
+        }));
+        assert!(actions.contains(&Action::Start {
+            job: jid(2),
+            pes: 30
+        }));
+        assert!(actions.contains(&Action::Start {
+            job: jid(3),
+            pes: 30
+        }));
     }
 
     #[test]
@@ -133,7 +168,13 @@ mod tests {
         let mut p = Equipartition;
         // Only job on the machine → expand to its max.
         let actions = p.plan(&h.ctx());
-        assert_eq!(actions, vec![Action::Resize { job: jid(1), new_pes: 100 }]);
+        assert_eq!(
+            actions,
+            vec![Action::Resize {
+                job: jid(1),
+                new_pes: 100
+            }]
+        );
     }
 
     #[test]
@@ -144,7 +185,13 @@ mod tests {
         let mut p = Equipartition;
         let actions = p.plan(&h.ctx());
         // Rigid job untouched; newcomer gets the remaining 40.
-        assert_eq!(actions, vec![Action::Start { job: jid(2), pes: 40 }]);
+        assert_eq!(
+            actions,
+            vec![Action::Start {
+                job: jid(2),
+                pes: 40
+            }]
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl SchedPolicy for Fcfs {
             match Self::pick_pes(q, free) {
                 Some(pes) => {
                     free -= pes;
-                    actions.push(Action::Start { job: q.spec.id, pes });
+                    actions.push(Action::Start {
+                        job: q.spec.id,
+                        pes,
+                    });
                 }
                 // Strict FCFS: the first job that doesn't fit blocks the rest.
                 None => break,
@@ -47,7 +50,11 @@ impl SchedPolicy for Fcfs {
         actions
     }
 
-    fn probe(&self, ctx: &SchedContext<'_>, qos: &QosContract) -> Result<SchedulerQuote, DeclineReason> {
+    fn probe(
+        &self,
+        ctx: &SchedContext<'_>,
+        qos: &QosContract,
+    ) -> Result<SchedulerQuote, DeclineReason> {
         ctx.statically_feasible(qos)?;
         // Plan the existing queue onto the Gantt profile in FCFS order, then
         // place the probed job behind it.
@@ -94,8 +101,14 @@ mod tests {
         assert_eq!(
             actions,
             vec![
-                Action::Start { job: jid(1), pes: 30 },
-                Action::Start { job: jid(2), pes: 30 },
+                Action::Start {
+                    job: jid(1),
+                    pes: 30
+                },
+                Action::Start {
+                    job: jid(2),
+                    pes: 30
+                },
             ]
         );
     }
@@ -104,7 +117,7 @@ mod tests {
     fn head_of_line_blocking() {
         let mut h = Harness::new(100);
         h.run_rigid(9, 40, 1000.0); // 40 PEs busy
-        // Head needs 80; a tiny job behind it must NOT overtake.
+                                    // Head needs 80; a tiny job behind it must NOT overtake.
         h.enqueue(queued(1, 80, 80, 100.0));
         h.enqueue(queued(2, 1, 1, 10.0));
         let mut p = Fcfs;
@@ -116,7 +129,13 @@ mod tests {
         let mut h = Harness::new(100);
         h.enqueue(queued(1, 10, 64, 100.0));
         let mut p = Fcfs;
-        assert_eq!(p.plan(&h.ctx()), vec![Action::Start { job: jid(1), pes: 64 }]);
+        assert_eq!(
+            p.plan(&h.ctx()),
+            vec![Action::Start {
+                job: jid(1),
+                pes: 64
+            }]
+        );
     }
 
     #[test]
@@ -153,6 +172,9 @@ mod tests {
         );
         // Deadline 50 s but the job needs 100 s on all 100 PEs.
         let late = qos_deadline(100, 100, 10_000.0, 50);
-        assert_eq!(p.probe(&h.ctx(), &late).unwrap_err(), DeclineReason::CannotMeetDeadline);
+        assert_eq!(
+            p.probe(&h.ctx(), &late).unwrap_err(),
+            DeclineReason::CannotMeetDeadline
+        );
     }
 }

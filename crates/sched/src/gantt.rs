@@ -20,7 +20,12 @@ pub struct GanttProfile {
 impl GanttProfile {
     /// Build from the currently free count and the running jobs'
     /// `(est_finish, pes)` pairs.
-    pub fn new(now: SimTime, total: u32, free_now: u32, running: impl IntoIterator<Item = (SimTime, u32)>) -> Self {
+    pub fn new(
+        now: SimTime,
+        total: u32,
+        free_now: u32,
+        running: impl IntoIterator<Item = (SimTime, u32)>,
+    ) -> Self {
         let mut finishes: Vec<(SimTime, u32)> = running.into_iter().collect();
         finishes.sort();
         let mut steps = vec![(now, free_now)];
@@ -66,7 +71,12 @@ impl GanttProfile {
     /// The earliest start `s ≥ after` such that at least `pes` processors
     /// are free throughout `[s, s + duration)`, or `None` if no such window
     /// ever opens (the job simply doesn't fit the machine's future).
-    pub fn earliest_window(&self, pes: u32, duration: SimDuration, after: SimTime) -> Option<SimTime> {
+    pub fn earliest_window(
+        &self,
+        pes: u32,
+        duration: SimDuration,
+        after: SimTime,
+    ) -> Option<SimTime> {
         if pes > self.total {
             return None;
         }
@@ -189,7 +199,10 @@ mod tests {
     #[test]
     fn window_too_big_never_fits() {
         let p = profile();
-        assert_eq!(p.earliest_window(101, SimDuration::from_secs(1), SimTime::ZERO), None);
+        assert_eq!(
+            p.earliest_window(101, SimDuration::from_secs(1), SimTime::ZERO),
+            None
+        );
     }
 
     #[test]
@@ -220,8 +233,14 @@ mod tests {
     #[test]
     fn min_free_over_window() {
         let p = profile();
-        assert_eq!(p.min_free_over(SimTime::from_secs(50), SimDuration::from_secs(100)), 60);
-        assert_eq!(p.min_free_over(SimTime::from_secs(100), SimDuration::from_secs(200)), 90);
+        assert_eq!(
+            p.min_free_over(SimTime::from_secs(50), SimDuration::from_secs(100)),
+            60
+        );
+        assert_eq!(
+            p.min_free_over(SimTime::from_secs(100), SimDuration::from_secs(200)),
+            90
+        );
     }
 
     #[test]

@@ -73,8 +73,8 @@ pub mod prelude {
     pub use crate::adaptive::{CheckpointCostModel, ResizeCostModel};
     pub use crate::allocation::{Allocator, PeRange};
     pub use crate::backfill::EasyBackfill;
-    pub use crate::conservative::ConservativeBackfill;
     pub use crate::cluster::{CheckpointedJob, Cluster, Completion};
+    pub use crate::conservative::ConservativeBackfill;
     pub use crate::equipartition::Equipartition;
     pub use crate::fcfs::Fcfs;
     pub use crate::gantt::GanttProfile;

@@ -110,7 +110,7 @@ mod tests {
         let mut m = ClusterMetrics::new(100, SimTime::ZERO);
         m.set_busy(SimTime::from_secs(10), 50); // idle for 10 s
         m.set_busy(SimTime::from_secs(30), 0); // 50 busy for 20 s
-        // Integral = 1000 pe·s over 30 s on 100 pes → 1/3.
+                                               // Integral = 1000 pe·s over 30 s on 100 pes → 1/3.
         let u = m.utilization(SimTime::from_secs(30));
         assert!((u - 1.0 / 3.0).abs() < 1e-9);
         assert!((m.busy_pe_seconds() - 1000.0).abs() < 1e-9);
@@ -119,8 +119,16 @@ mod tests {
     #[test]
     fn outcome_accounting() {
         let mut m = ClusterMetrics::new(10, SimTime::ZERO);
-        m.record_outcome(&outcome(0, 10, 110, true), Money::from_units(5), Money::from_units(8));
-        m.record_outcome(&outcome(0, 0, 50, false), Money::from_units(5), Money::from_units(-2));
+        m.record_outcome(
+            &outcome(0, 10, 110, true),
+            Money::from_units(5),
+            Money::from_units(8),
+        );
+        m.record_outcome(
+            &outcome(0, 0, 50, false),
+            Money::from_units(5),
+            Money::from_units(-2),
+        );
         assert_eq!(m.completed, 2);
         assert_eq!(m.deadline_misses, 1);
         assert_eq!(m.revenue_price, Money::from_units(10));

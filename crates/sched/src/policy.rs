@@ -59,13 +59,16 @@ impl SchedContext<'_> {
             self.now,
             self.machine.total_pes,
             self.alloc.free_pes(),
-            self.running.values().map(|r| (r.est_finish(self.now), r.pes())),
+            self.running
+                .values()
+                .map(|r| (r.est_finish(self.now), r.pes())),
         )
     }
 
     /// Static feasibility: can this QoS ever run on this machine?
     pub fn statically_feasible(&self, qos: &QosContract) -> Result<(), DeclineReason> {
-        if qos.min_pes > self.machine.total_pes || !qos.fits_node_memory(self.machine.mem_per_pe_mb) {
+        if qos.min_pes > self.machine.total_pes || !qos.fits_node_memory(self.machine.mem_per_pe_mb)
+        {
             Err(DeclineReason::InsufficientResources)
         } else {
             Ok(())
@@ -137,7 +140,11 @@ pub trait SchedPolicy: Send {
 
     /// Admission probe for the daemon's bid path: on what terms would this
     /// job run if submitted now? Must not mutate scheduling state.
-    fn probe(&self, ctx: &SchedContext<'_>, qos: &QosContract) -> Result<SchedulerQuote, DeclineReason>;
+    fn probe(
+        &self,
+        ctx: &SchedContext<'_>,
+        qos: &QosContract,
+    ) -> Result<SchedulerQuote, DeclineReason>;
 }
 
 /// Look up a scheduling policy by name: `fcfs`, `easy-backfill`,
@@ -187,8 +194,11 @@ pub fn equipartition_targets(bounds: &[(u32, u32)], total: u32) -> Vec<u32> {
             break;
         }
         let share = capacity / active.len() as u32;
-        let lows: Vec<usize> =
-            active.iter().copied().filter(|&i| bounds[i].0 > share).collect();
+        let lows: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&i| bounds[i].0 > share)
+            .collect();
         if !lows.is_empty() {
             for &i in &lows {
                 targets[i] = bounds[i].0;
@@ -197,8 +207,11 @@ pub fn equipartition_targets(bounds: &[(u32, u32)], total: u32) -> Vec<u32> {
             active.retain(|i| !lows.contains(i));
             continue;
         }
-        let highs: Vec<usize> =
-            active.iter().copied().filter(|&i| bounds[i].1 < share).collect();
+        let highs: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&i| bounds[i].1 < share)
+            .collect();
         if !highs.is_empty() {
             for &i in &highs {
                 targets[i] = bounds[i].1;

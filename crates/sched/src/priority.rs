@@ -65,7 +65,10 @@ impl SchedPolicy for IntranetPriority {
             }
             if free >= qos.min_pes {
                 let pes = cap.min(free);
-                actions.push(Action::Start { job: q.spec.id, pes });
+                actions.push(Action::Start {
+                    job: q.spec.id,
+                    pes,
+                });
                 free -= pes;
                 continue;
             }
@@ -90,7 +93,10 @@ impl SchedPolicy for IntranetPriority {
                 }
                 free += gain;
                 let pes = cap.min(free);
-                actions.push(Action::Start { job: q.spec.id, pes });
+                actions.push(Action::Start {
+                    job: q.spec.id,
+                    pes,
+                });
                 free -= pes;
             }
             // Otherwise the job waits (nothing preemptible below it).
@@ -98,7 +104,11 @@ impl SchedPolicy for IntranetPriority {
         actions
     }
 
-    fn probe(&self, ctx: &SchedContext<'_>, qos: &QosContract) -> Result<SchedulerQuote, DeclineReason> {
+    fn probe(
+        &self,
+        ctx: &SchedContext<'_>,
+        qos: &QosContract,
+    ) -> Result<SchedulerQuote, DeclineReason> {
         ctx.statically_feasible(qos)?;
         let gantt = ctx.gantt();
         let pes = ctx.pes_cap(qos);
@@ -124,7 +134,11 @@ mod tests {
     fn prio_qos(min: u32, max: u32, work: f64, prio: i64) -> faucets_core::qos::QosContract {
         QosBuilder::new("app", min, max, work)
             .speedup(SpeedupModel::Perfect)
-            .payoff(PayoffFn::hard_only(SimTime::MAX, Money::from_units(prio), Money::ZERO))
+            .payoff(PayoffFn::hard_only(
+                SimTime::MAX,
+                Money::from_units(prio),
+                Money::ZERO,
+            ))
             .build()
             .unwrap()
     }
@@ -138,7 +152,13 @@ mod tests {
         let actions = p.plan(&h.ctx());
         assert_eq!(
             actions,
-            vec![Action::Preempt { job: jid(1) }, Action::Start { job: jid(2), pes: 60 }]
+            vec![
+                Action::Preempt { job: jid(1) },
+                Action::Start {
+                    job: jid(2),
+                    pes: 60
+                }
+            ]
         );
     }
 
@@ -159,7 +179,13 @@ mod tests {
         h.enqueue(queued_qos(2, prio_qos(60, 60, 100.0, 500)));
         let mut p = IntranetPriority;
         // Only one fits: the high-priority one, despite arriving second.
-        assert_eq!(p.plan(&h.ctx()), vec![Action::Start { job: jid(2), pes: 60 }]);
+        assert_eq!(
+            p.plan(&h.ctx()),
+            vec![Action::Start {
+                job: jid(2),
+                pes: 60
+            }]
+        );
     }
 
     #[test]
@@ -175,7 +201,10 @@ mod tests {
             vec![
                 Action::Preempt { job: jid(1) },
                 Action::Preempt { job: jid(2) },
-                Action::Start { job: jid(3), pes: 90 },
+                Action::Start {
+                    job: jid(3),
+                    pes: 90
+                },
             ]
         );
     }
@@ -194,11 +223,23 @@ mod tests {
             ResizeCostModel::free(),
         );
         // Low-priority job starts (1000 cpu-s on 80 PEs = 12.5 s).
-        let low = JobSpec::new(JobId(1), UserId(1), prio_qos(80, 80, 1000.0, 10), SimTime::ZERO).unwrap();
+        let low = JobSpec::new(
+            JobId(1),
+            UserId(1),
+            prio_qos(80, 80, 1000.0, 10),
+            SimTime::ZERO,
+        )
+        .unwrap();
         c.submit_job(low, ContractId(1), Money::ZERO, SimTime::ZERO);
         assert_eq!(c.pes_of(jid(1)), Some(80));
         // Urgent job arrives at t=5: low job is checkpointed and requeued.
-        let high = JobSpec::new(JobId(2), UserId(2), prio_qos(60, 60, 600.0, 1000), SimTime::from_secs(5)).unwrap();
+        let high = JobSpec::new(
+            JobId(2),
+            UserId(2),
+            prio_qos(60, 60, 600.0, 1000),
+            SimTime::from_secs(5),
+        )
+        .unwrap();
         c.submit_job(high, ContractId(2), Money::ZERO, SimTime::from_secs(5));
         assert_eq!(c.pes_of(jid(2)), Some(60), "urgent job running");
         assert_eq!(c.pes_of(jid(1)), None, "low job preempted");

@@ -33,7 +33,9 @@ pub struct Profit {
 
 impl Default for Profit {
     fn default() -> Self {
-        Profit { lookahead: SimDuration::from_hours(1) }
+        Profit {
+            lookahead: SimDuration::from_hours(1),
+        }
     }
 }
 
@@ -61,7 +63,8 @@ impl Profit {
         let qos = &r.spec.qos;
         let new_rate = qos.speedup.work_rate(new_pes, qos.min_pes, qos.max_pes);
         let new_finish = if new_rate > 0.0 {
-            ctx.now.saturating_add(SimDuration::from_secs_f64(r.remaining_work() / new_rate))
+            ctx.now
+                .saturating_add(SimDuration::from_secs_f64(r.remaining_work() / new_rate))
         } else {
             SimTime::MAX
         };
@@ -115,7 +118,10 @@ impl SchedPolicy for Profit {
             let pes = Self::pick_pes(ctx, qos, ctx.now);
 
             if free >= pes {
-                actions.push(Action::Start { job: q.spec.id, pes });
+                actions.push(Action::Start {
+                    job: q.spec.id,
+                    pes,
+                });
                 free -= pes;
                 continue;
             }
@@ -151,7 +157,9 @@ impl SchedPolicy for Profit {
             }
 
             if freed >= need {
-                let gain = qos.payoff.payoff_at(ctx.now.saturating_add(ctx.wall_time(qos, pes)));
+                let gain = qos
+                    .payoff
+                    .payoff_at(ctx.now.saturating_add(ctx.wall_time(qos, pes)));
                 // The compensation test: the newcomer must pay for the
                 // payoff its victims lose.
                 if gain > loss {
@@ -162,7 +170,10 @@ impl SchedPolicy for Profit {
                             v.1 = new_pes;
                         }
                     }
-                    actions.push(Action::Start { job: q.spec.id, pes });
+                    actions.push(Action::Start {
+                        job: q.spec.id,
+                        pes,
+                    });
                     free = free + freed - pes;
                     continue;
                 }
@@ -199,7 +210,10 @@ impl SchedPolicy for Profit {
                 let cap = ctx.pes_cap(&r.spec.qos);
                 if planned < cap {
                     let add = (cap - planned).min(free);
-                    actions.push(Action::Resize { job: id, new_pes: planned + add });
+                    actions.push(Action::Resize {
+                        job: id,
+                        new_pes: planned + add,
+                    });
                     free -= add;
                 }
             }
@@ -207,7 +221,11 @@ impl SchedPolicy for Profit {
         actions
     }
 
-    fn probe(&self, ctx: &SchedContext<'_>, qos: &QosContract) -> Result<SchedulerQuote, DeclineReason> {
+    fn probe(
+        &self,
+        ctx: &SchedContext<'_>,
+        qos: &QosContract,
+    ) -> Result<SchedulerQuote, DeclineReason> {
         ctx.statically_feasible(qos)?;
         // Find a window at the preferred size within the lookahead; fall
         // back to the minimum size. (Shrink opportunities make real
@@ -218,9 +236,12 @@ impl SchedPolicy for Profit {
         for pes in [Self::pick_pes(ctx, qos, ctx.now), qos.min_pes] {
             let dur = ctx.wall_time(qos, pes);
             if let Some(s) = gantt.earliest_window(pes, dur, ctx.now) {
-                if s <= horizon && best.is_none_or(|(bs, bp)| {
-                    s.saturating_add(ctx.wall_time(qos, pes)) < bs.saturating_add(ctx.wall_time(qos, bp))
-                }) {
+                if s <= horizon
+                    && best.is_none_or(|(bs, bp)| {
+                        s.saturating_add(ctx.wall_time(qos, pes))
+                            < bs.saturating_add(ctx.wall_time(qos, bp))
+                    })
+                {
                     best = Some((s, pes));
                 }
             }
@@ -243,7 +264,13 @@ mod tests {
     use crate::testutil::*;
     use faucets_core::qos::{PayoffFn, QosBuilder, SpeedupModel};
 
-    fn paying_qos(min: u32, max: u32, work: f64, payoff: i64, deadline_secs: u64) -> faucets_core::qos::QosContract {
+    fn paying_qos(
+        min: u32,
+        max: u32,
+        work: f64,
+        payoff: i64,
+        deadline_secs: u64,
+    ) -> faucets_core::qos::QosContract {
         QosBuilder::new("app", min, max, work)
             .speedup(SpeedupModel::Perfect)
             .adaptive()
@@ -264,7 +291,13 @@ mod tests {
         let mut p = Profit::default();
         let actions = p.plan(&h.ctx());
         // Only one fits; the $500 job wins despite arriving second.
-        assert_eq!(actions, vec![Action::Start { job: jid(2), pes: 80 }]);
+        assert_eq!(
+            actions,
+            vec![Action::Start {
+                job: jid(2),
+                pes: 80
+            }]
+        );
     }
 
     #[test]
@@ -279,8 +312,14 @@ mod tests {
         assert_eq!(
             actions,
             vec![
-                Action::Resize { job: jid(1), new_pes: 400 },
-                Action::Start { job: jid(2), pes: 600 },
+                Action::Resize {
+                    job: jid(1),
+                    new_pes: 400
+                },
+                Action::Start {
+                    job: jid(2),
+                    pes: 600
+                },
             ]
         );
     }
@@ -291,11 +330,14 @@ mod tests {
         // Victim is worth $10000 and would blow its deadline if shrunk.
         let victim = paying_qos(400, 500, 4e5, 10_000, 900);
         h.run_qos(1, victim, 500); // at 500 PEs: 800 s < 900 deadline
-        // Newcomer pays only $50.
+                                   // Newcomer pays only $50.
         h.enqueue(queued_qos(2, paying_qos(600, 600, 60_000.0, 50, 2000)));
         let mut p = Profit::default();
         let actions = p.plan(&h.ctx());
-        assert!(actions.is_empty(), "shrinking would cost 10k to earn 50: {actions:?}");
+        assert!(
+            actions.is_empty(),
+            "shrinking would cost 10k to earn 50: {actions:?}"
+        );
     }
 
     #[test]
@@ -313,7 +355,7 @@ mod tests {
     fn rejects_jobs_that_can_no_longer_profit() {
         let mut h = Harness::new(100);
         h.run_rigid(1, 100, 1e6); // machine full for a long time
-        // Hard deadline in 10 s, needs 100 s even at full size.
+                                  // Hard deadline in 10 s, needs 100 s even at full size.
         h.enqueue(queued_qos(2, paying_qos(100, 100, 10_000.0, 100, 10)));
         let mut p = Profit::default();
         let actions = p.plan(&h.ctx());
@@ -327,7 +369,13 @@ mod tests {
         h.enqueue(queued_qos(1, paying_qos(10, 100, 1000.0, 100, 50)));
         let mut p = Profit::default();
         let actions = p.plan(&h.ctx());
-        assert_eq!(actions, vec![Action::Start { job: jid(1), pes: 20 }]);
+        assert_eq!(
+            actions,
+            vec![Action::Start {
+                job: jid(1),
+                pes: 20
+            }]
+        );
     }
 
     #[test]
@@ -335,11 +383,16 @@ mod tests {
         let mut h = Harness::new(100);
         h.run_rigid(9, 100, 720_000.0); // busy for 7200 s
         let p = Profit::default(); // lookahead 1 h = 3600 s
-        // Feasible job, but its window opens past the lookahead.
+                                   // Feasible job, but its window opens past the lookahead.
         let q = paying_qos(50, 50, 500.0, 100, 100_000);
-        assert_eq!(p.probe(&h.ctx(), &q).unwrap_err(), DeclineReason::CannotMeetDeadline);
+        assert_eq!(
+            p.probe(&h.ctx(), &q).unwrap_err(),
+            DeclineReason::CannotMeetDeadline
+        );
         // With a longer lookahead it is accepted.
-        let p2 = Profit { lookahead: SimDuration::from_hours(3) };
+        let p2 = Profit {
+            lookahead: SimDuration::from_hours(3),
+        };
         let quote = p2.probe(&h.ctx(), &q).unwrap();
         assert_eq!(quote.est_completion, SimTime::from_secs(7210));
     }
@@ -352,10 +405,17 @@ mod tests {
         // relative to any completion.
         let q = QosBuilder::new("app", 10, 10, 1000.0)
             .speedup(SpeedupModel::Perfect)
-            .payoff(PayoffFn::hard_only(SimTime::from_secs(1), Money::from_units(10), Money::from_units(5)))
+            .payoff(PayoffFn::hard_only(
+                SimTime::from_secs(1),
+                Money::from_units(10),
+                Money::from_units(5),
+            ))
             .build()
             .unwrap();
-        assert_eq!(p.probe(&h.ctx(), &q).unwrap_err(), DeclineReason::CannotMeetDeadline);
+        assert_eq!(
+            p.probe(&h.ctx(), &q).unwrap_err(),
+            DeclineReason::CannotMeetDeadline
+        );
     }
 
     #[test]

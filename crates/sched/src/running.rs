@@ -38,7 +38,14 @@ pub struct RunningJob {
 impl RunningJob {
     /// Start a job at `now` on `pes` processors on a machine with the given
     /// per-PE speed.
-    pub fn start(spec: JobSpec, contract: ContractId, price: Money, pes: u32, flops_per_pe_sec: f64, now: SimTime) -> Self {
+    pub fn start(
+        spec: JobSpec,
+        contract: ContractId,
+        price: Money,
+        pes: u32,
+        flops_per_pe_sec: f64,
+        now: SimTime,
+    ) -> Self {
         debug_assert!(pes >= spec.qos.min_pes && pes <= spec.qos.max_pes);
         let remaining = spec.qos.cpu_seconds(flops_per_pe_sec);
         RunningJob {
@@ -66,7 +73,10 @@ impl RunningJob {
 
     /// CPU-seconds of useful work per wall second at the current size.
     fn rate(&self) -> f64 {
-        self.spec.qos.speedup.work_rate(self.pes, self.spec.qos.min_pes, self.spec.qos.max_pes)
+        self.spec
+            .qos
+            .speedup
+            .work_rate(self.pes, self.spec.qos.min_pes, self.spec.qos.max_pes)
     }
 
     /// Advance the integrator to `now`, draining work for the elapsed time
@@ -145,7 +155,14 @@ mod tests {
     }
 
     fn running(pes: u32) -> RunningJob {
-        RunningJob::start(job(1, 100, 1000.0), ContractId(0), Money::ZERO, pes, 1.0, SimTime::ZERO)
+        RunningJob::start(
+            job(1, 100, 1000.0),
+            ContractId(0),
+            Money::ZERO,
+            pes,
+            1.0,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -165,7 +182,10 @@ mod tests {
         let mut r = running(10);
         r.resize(SimTime::from_secs(50), 5, SimDuration::ZERO);
         // 500 cpu-s left at 5 pes = 100 more seconds.
-        assert_eq!(r.est_finish(SimTime::from_secs(50)), SimTime::from_secs(150));
+        assert_eq!(
+            r.est_finish(SimTime::from_secs(50)),
+            SimTime::from_secs(150)
+        );
         assert_eq!(r.pes(), 5);
         assert_eq!(r.resizes, 1);
     }
@@ -203,7 +223,10 @@ mod tests {
         let mut r = running(10);
         r.resize(SimTime::from_secs(10), 10, SimDuration::from_secs(60));
         assert_eq!(r.resizes, 0, "no-op resize should not pause or count");
-        assert_eq!(r.est_finish(SimTime::from_secs(10)), SimTime::from_secs(100));
+        assert_eq!(
+            r.est_finish(SimTime::from_secs(10)),
+            SimTime::from_secs(100)
+        );
     }
 
     #[test]
@@ -211,7 +234,10 @@ mod tests {
         let mut r = running(10);
         r.pause_until(SimTime::from_secs(20), SimTime::from_secs(60));
         // 800 cpu-s left; finish = 60 + 80 = 140.
-        assert_eq!(r.est_finish(SimTime::from_secs(20)), SimTime::from_secs(140));
+        assert_eq!(
+            r.est_finish(SimTime::from_secs(20)),
+            SimTime::from_secs(140)
+        );
     }
 
     #[test]

@@ -90,9 +90,19 @@ impl Harness {
     /// Put a job directly into the running set at `pes` processors with an
     /// explicit QoS.
     pub fn run_qos(&mut self, id: u64, qos: QosContract, pes: u32) {
-        assert!(self.alloc.alloc(JobId(id), pes), "harness machine too small");
+        assert!(
+            self.alloc.alloc(JobId(id), pes),
+            "harness machine too small"
+        );
         let spec = JobSpec::new(JobId(id), UserId(0), qos, SimTime::ZERO).unwrap();
-        let r = RunningJob::start(spec, ContractId(id), Money::from_units(10), pes, self.machine.flops_per_pe_sec, self.now);
+        let r = RunningJob::start(
+            spec,
+            ContractId(id),
+            Money::from_units(10),
+            pes,
+            self.machine.flops_per_pe_sec,
+            self.now,
+        );
         self.running.insert(JobId(id), r);
     }
 

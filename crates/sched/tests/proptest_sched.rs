@@ -138,8 +138,8 @@ mod gantt_props {
 
     fn profile_inputs() -> impl Strategy<Value = (u32, Vec<(u64, u32)>)> {
         (64u32..512).prop_flat_map(|total| {
-            let runs = prop::collection::vec((1u64..10_000, 1u32..64), 0..12).prop_map(
-                move |mut v| {
+            let runs =
+                prop::collection::vec((1u64..10_000, 1u32..64), 0..12).prop_map(move |mut v| {
                     // Cap concurrent usage at the machine size.
                     let mut used = 0u32;
                     v.retain(|&(_, pes)| {
@@ -151,8 +151,7 @@ mod gantt_props {
                         }
                     });
                     v
-                },
-            );
+                });
             (Just(total), runs)
         })
     }

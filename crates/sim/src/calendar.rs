@@ -153,7 +153,11 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
                         self.len -= 1;
                         self.cursor = idx;
                         self.day_start = day;
-                        let out = Scheduled { time: item.time, id: item.id, payload: item.payload };
+                        let out = Scheduled {
+                            time: item.time,
+                            id: item.id,
+                            payload: item.payload,
+                        };
                         if self.len < self.bot_threshold && nb > MIN_BUCKETS {
                             let n = self.buckets.len() / 2;
                             self.resize(n);
@@ -244,7 +248,10 @@ mod tests {
         q.push(SimTime(1), EventId(0), 0);
         q.push(SimTime(1_000_000_000), EventId(1), 0);
         q.push(SimTime(2_000_000_000_000), EventId(2), 0);
-        assert_eq!(drain(&mut q), vec![(1, 0), (1_000_000_000, 1), (2_000_000_000_000, 2)]);
+        assert_eq!(
+            drain(&mut q),
+            vec![(1, 0), (1_000_000_000, 1), (2_000_000_000_000, 2)]
+        );
     }
 
     #[test]

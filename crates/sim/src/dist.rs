@@ -69,7 +69,10 @@ pub struct Exp {
 impl Exp {
     /// An exponential with the given rate.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda > 0.0, "exponential rate must be positive, got {lambda}");
+        assert!(
+            lambda > 0.0,
+            "exponential rate must be positive, got {lambda}"
+        );
         Exp { lambda }
     }
 
@@ -262,7 +265,10 @@ impl Categorical {
     /// Build from non-negative weights (not necessarily normalized).
     pub fn new(weights: &[f64]) -> Self {
         assert!(!weights.is_empty(), "categorical needs at least one weight");
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "at least one weight must be positive");
         let mut cumulative = Vec::with_capacity(weights.len());
@@ -278,7 +284,9 @@ impl Categorical {
     /// Draw an index.
     pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 }
 
@@ -294,7 +302,9 @@ impl Zipf {
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "zipf needs at least one rank");
         let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
-        Zipf { cat: Categorical::new(&weights) }
+        Zipf {
+            cat: Categorical::new(&weights),
+        }
     }
 
     /// Draw a rank in `1..=n`.
@@ -351,7 +361,10 @@ mod tests {
         // mean = alpha*xmin/(alpha-1) = 25/1.5
         let expect = 2.5 * 10.0 / 1.5;
         let m = empirical_mean(&d, 400_000, 5);
-        assert!((m - expect).abs() / expect < 0.05, "pareto mean {m} != {expect}");
+        assert!(
+            (m - expect).abs() / expect < 0.05,
+            "pareto mean {m} != {expect}"
+        );
     }
 
     #[test]
@@ -383,13 +396,21 @@ mod tests {
     fn lognormal_mean_formula() {
         let d = LogNormal::new(0.0, 0.5);
         let m = empirical_mean(&d, 400_000, 8);
-        assert!((m - d.mean()).abs() / d.mean() < 0.02, "{m} vs {}", d.mean());
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.02,
+            "{m} vs {}",
+            d.mean()
+        );
     }
 
     #[test]
     fn weibull_shape_one_is_exponential() {
         let d = Weibull::new(3.0, 1.0);
-        assert!((d.mean() - 3.0).abs() < 1e-6, "gamma(2)=1 so mean=lambda, got {}", d.mean());
+        assert!(
+            (d.mean() - 3.0).abs() < 1e-6,
+            "gamma(2)=1 so mean=lambda, got {}",
+            d.mean()
+        );
         let m = empirical_mean(&d, 200_000, 9);
         assert!((m - 3.0).abs() < 0.05);
     }

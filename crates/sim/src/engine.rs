@@ -162,7 +162,11 @@ where
     /// A simulation over a caller-supplied pending-event set
     /// (e.g. [`crate::calendar::CalendarQueue`]).
     pub fn with_queue(world: W, queue: Box<dyn EventQueue<W::Event>>) -> Self {
-        Simulation { world, sched: Scheduler::with_queue(queue), processed: 0 }
+        Simulation {
+            world,
+            sched: Scheduler::with_queue(queue),
+            processed: 0,
+        }
     }
 }
 
@@ -202,7 +206,10 @@ impl<W: World> Simulation<W> {
     pub fn step(&mut self) -> bool {
         match self.sched.next_live() {
             Some(ev) => {
-                debug_assert!(ev.time >= self.sched.now, "event queue returned a past event");
+                debug_assert!(
+                    ev.time >= self.sched.now,
+                    "event queue returned a past event"
+                );
                 self.sched.now = ev.time;
                 self.processed += 1;
                 self.world.handle(&mut self.sched, ev.payload);
@@ -284,8 +291,10 @@ mod tests {
     #[test]
     fn events_fire_in_order_and_clock_advances() {
         let mut sim = recorder();
-        sim.scheduler().schedule_at(SimTime::from_secs(5), "b".into());
-        sim.scheduler().schedule_at(SimTime::from_secs(1), "a".into());
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(5), "b".into());
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(1), "a".into());
         assert_eq!(sim.run(), RunOutcome::Drained);
         assert_eq!(sim.now(), SimTime::from_secs(5));
         let tags: Vec<&str> = sim.world().log.iter().map(|(_, s)| s.as_str()).collect();
@@ -305,8 +314,11 @@ mod tests {
     #[test]
     fn cancellation_suppresses_events() {
         let mut sim = recorder();
-        let id = sim.scheduler().schedule_at(SimTime::from_secs(1), "never".into());
-        sim.scheduler().schedule_at(SimTime::from_secs(2), "yes".into());
+        let id = sim
+            .scheduler()
+            .schedule_at(SimTime::from_secs(1), "never".into());
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(2), "yes".into());
         assert!(sim.scheduler().cancel(id));
         assert!(!sim.scheduler().cancel(id), "double cancel is a no-op");
         sim.run();
@@ -324,16 +336,20 @@ mod tests {
     #[should_panic(expected = "cannot schedule into the past")]
     fn scheduling_into_the_past_panics() {
         let mut sim = recorder();
-        sim.scheduler().schedule_at(SimTime::from_secs(10), "a".into());
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(10), "a".into());
         sim.run();
-        sim.scheduler().schedule_at(SimTime::from_secs(1), "late".into());
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(1), "late".into());
     }
 
     #[test]
     fn horizon_stops_clock_without_losing_events() {
         let mut sim = recorder();
-        sim.scheduler().schedule_at(SimTime::from_secs(1), "a".into());
-        sim.scheduler().schedule_at(SimTime::from_secs(100), "far".into());
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(1), "a".into());
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(100), "far".into());
         let out = sim.run_until(SimTime::from_secs(10), u64::MAX);
         assert_eq!(out, RunOutcome::Horizon);
         assert_eq!(sim.now(), SimTime::from_secs(10));
@@ -346,8 +362,10 @@ mod tests {
     #[test]
     fn stop_request_halts_run() {
         let mut sim = recorder();
-        sim.scheduler().schedule_at(SimTime::from_secs(1), "stop".into());
-        sim.scheduler().schedule_at(SimTime::from_secs(2), "after".into());
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(1), "stop".into());
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(2), "after".into());
         assert_eq!(sim.run(), RunOutcome::Stopped);
         assert_eq!(sim.world().log.len(), 1);
         // A fresh run resumes.
@@ -359,7 +377,8 @@ mod tests {
     fn event_budget_is_respected() {
         let mut sim = recorder();
         for i in 0..10 {
-            sim.scheduler().schedule_at(SimTime::from_secs(i), format!("e{i}"));
+            sim.scheduler()
+                .schedule_at(SimTime::from_secs(i), format!("e{i}"));
         }
         assert_eq!(sim.run_until(SimTime::MAX, 4), RunOutcome::Budget);
         assert_eq!(sim.processed(), 4);
@@ -369,7 +388,8 @@ mod tests {
     fn same_time_events_fire_in_scheduling_order() {
         let mut sim = recorder();
         for i in 0..5 {
-            sim.scheduler().schedule_at(SimTime::from_secs(1), format!("e{i}"));
+            sim.scheduler()
+                .schedule_at(SimTime::from_secs(1), format!("e{i}"));
         }
         sim.run();
         let tags: Vec<&str> = sim.world().log.iter().map(|(_, s)| s.as_str()).collect();
@@ -380,8 +400,10 @@ mod tests {
     fn calendar_queue_engine_agrees_with_heap_engine() {
         let run = |queue: Box<dyn EventQueue<String>>| {
             let mut sim = Simulation::with_queue(Recorder { log: vec![] }, queue);
-            sim.scheduler().schedule_at(SimTime::from_secs(2), "spawn:4".into());
-            sim.scheduler().schedule_at(SimTime::from_secs(1), "x".into());
+            sim.scheduler()
+                .schedule_at(SimTime::from_secs(2), "spawn:4".into());
+            sim.scheduler()
+                .schedule_at(SimTime::from_secs(1), "x".into());
             sim.run();
             sim.into_world().log
         };

@@ -42,9 +42,21 @@ mod tests {
 
     #[test]
     fn key_orders_by_time_then_id() {
-        let a = Scheduled { time: SimTime(5), id: EventId(2), payload: () };
-        let b = Scheduled { time: SimTime(5), id: EventId(7), payload: () };
-        let c = Scheduled { time: SimTime(9), id: EventId(0), payload: () };
+        let a = Scheduled {
+            time: SimTime(5),
+            id: EventId(2),
+            payload: (),
+        };
+        let b = Scheduled {
+            time: SimTime(5),
+            id: EventId(7),
+            payload: (),
+        };
+        let c = Scheduled {
+            time: SimTime(9),
+            id: EventId(0),
+            payload: (),
+        };
         assert!(a.key() < b.key());
         assert!(b.key() < c.key());
     }

@@ -35,11 +35,15 @@ pub mod trace;
 /// Convenient glob import for simulation users.
 pub mod prelude {
     pub use crate::calendar::CalendarQueue;
-    pub use crate::dist::{Categorical, Dist, Exp, LogNormal, Pareto, Truncated, UniformDist, Weibull, Zipf};
+    pub use crate::dist::{
+        Categorical, Dist, Exp, LogNormal, Pareto, Truncated, UniformDist, Weibull, Zipf,
+    };
     pub use crate::engine::{RunOutcome, Scheduler, Simulation, World};
     pub use crate::event::{EventId, Scheduled};
     pub use crate::queue::{BinaryHeapQueue, EventQueue};
-    pub use crate::stats::{Counter, LogHistogram, P2Quantile, Replications, Summary, TimeWeighted};
+    pub use crate::stats::{
+        Counter, LogHistogram, P2Quantile, Replications, Summary, TimeWeighted,
+    };
     pub use crate::time::{SimDuration, SimTime, MICROS_PER_SEC};
     pub use crate::trace::Trace;
 }

@@ -59,12 +59,16 @@ pub struct BinaryHeapQueue<E> {
 impl<E> BinaryHeapQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        BinaryHeapQueue { heap: BinaryHeap::new() }
+        BinaryHeapQueue {
+            heap: BinaryHeap::new(),
+        }
     }
 
     /// An empty queue with room for `cap` events before reallocating.
     pub fn with_capacity(cap: usize) -> Self {
-        BinaryHeapQueue { heap: BinaryHeap::with_capacity(cap) }
+        BinaryHeapQueue {
+            heap: BinaryHeap::with_capacity(cap),
+        }
     }
 }
 
@@ -80,7 +84,11 @@ impl<E> EventQueue<E> for BinaryHeapQueue<E> {
     }
 
     fn pop(&mut self) -> Option<Scheduled<E>> {
-        self.heap.pop().map(|e| Scheduled { time: e.time, id: e.id, payload: e.payload })
+        self.heap.pop().map(|e| Scheduled {
+            time: e.time,
+            id: e.id,
+            payload: e.payload,
+        })
     }
 
     fn peek_time(&self) -> Option<SimTime> {

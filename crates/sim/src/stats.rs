@@ -20,7 +20,13 @@ pub struct Summary {
 impl Summary {
     /// An empty summary.
     pub fn new() -> Self {
-        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Record one observation.
@@ -118,7 +124,13 @@ impl P2Quantile {
     /// An estimator for the `p`-quantile, `0 < p < 1`.
     pub fn new(p: f64) -> Self {
         assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1), got {p}");
-        P2Quantile { p, q: [0.0; 5], pos: [1.0, 2.0, 3.0, 4.0, 5.0], want: [0.0; 5], n: 0 }
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            want: [0.0; 5],
+            n: 0,
+        }
     }
 
     /// Record one observation.
@@ -128,7 +140,13 @@ impl P2Quantile {
             self.q[(self.n - 1) as usize] = x;
             if self.n == 5 {
                 self.q.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                self.want = [1.0, 1.0 + 2.0 * self.p, 1.0 + 4.0 * self.p, 3.0 + 2.0 * self.p, 5.0];
+                self.want = [
+                    1.0,
+                    1.0 + 2.0 * self.p,
+                    1.0 + 4.0 * self.p,
+                    3.0 + 2.0 * self.p,
+                    5.0,
+                ];
             }
             return;
         }
@@ -213,7 +231,10 @@ pub struct LogHistogram {
 impl LogHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        LogHistogram { counts: vec![], total: 0 }
+        LogHistogram {
+            counts: vec![],
+            total: 0,
+        }
     }
 
     fn bin_of(x: f64) -> usize {
@@ -241,11 +262,28 @@ impl LogHistogram {
 
     /// Iterate (bin_low, bin_high, count) for non-empty bins.
     pub fn bins(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
-        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
-            let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
-            let hi = (1u64 << (i + 1)) as f64;
-            (lo, hi, c)
-        })
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let hi = (1u64 << (i + 1)) as f64;
+                (lo, hi, c)
+            })
+    }
+
+    /// Merge another histogram into this one: the result is exactly the
+    /// histogram of the concatenated streams (bins are fixed, so merging is
+    /// lossless, unlike P²).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
     }
 
     /// Fraction of observations at or below `x` (upper bound via bin edges).
@@ -272,13 +310,21 @@ pub struct TimeWeighted {
 impl TimeWeighted {
     /// Start tracking at `t0` with initial value `v0`.
     pub fn new(t0: SimTime, v0: f64) -> Self {
-        TimeWeighted { last_time: t0, last_value: v0, weighted_sum: 0.0, elapsed: SimDuration::ZERO }
+        TimeWeighted {
+            last_time: t0,
+            last_value: v0,
+            weighted_sum: 0.0,
+            elapsed: SimDuration::ZERO,
+        }
     }
 
     /// Record that the value changed to `v` at time `t` (must be ≥ the last
     /// update time; equal-time updates just replace the value).
     pub fn update(&mut self, t: SimTime, v: f64) {
-        assert!(t >= self.last_time, "time-weighted updates must be monotone");
+        assert!(
+            t >= self.last_time,
+            "time-weighted updates must be monotone"
+        );
         let dt = t - self.last_time;
         self.weighted_sum += self.last_value * dt.as_secs_f64();
         self.elapsed += dt;
@@ -374,7 +420,12 @@ impl Replications {
 
     /// `"mean ± half"` with the given precision.
     pub fn format(&self, decimals: usize) -> String {
-        format!("{:.d$} ± {:.d$}", self.mean(), self.ci95_half_width(), d = decimals)
+        format!(
+            "{:.d$} ± {:.d$}",
+            self.mean(),
+            self.ci95_half_width(),
+            d = decimals
+        )
     }
 
     /// True if this set's 95 % CI excludes `other`'s mean and vice versa —
@@ -387,9 +438,9 @@ impl Replications {
 /// Two-sided 95 % Student-t critical value for `df` degrees of freedom.
 fn t95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -471,7 +522,9 @@ mod tests {
     fn lcg_stream(n: usize) -> impl Iterator<Item = f64> {
         let mut state: u64 = 12345;
         std::iter::repeat_with(move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         })
         .take(n)
@@ -527,7 +580,7 @@ mod tests {
         tw.update(SimTime::from_secs(10), 1.0); // 0 for 10s
         tw.update(SimTime::from_secs(20), 0.5); // 1 for 10s
         let m = tw.mean_until(SimTime::from_secs(40)); // 0.5 for 20s
-        // (0*10 + 1*10 + 0.5*20) / 40 = 0.5
+                                                       // (0*10 + 1*10 + 0.5*20) / 40 = 0.5
         assert!((m - 0.5).abs() < 1e-12);
         assert_eq!(tw.current(), 0.5);
     }

@@ -14,12 +14,16 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 pub const MICROS_PER_SEC: u64 = 1_000_000;
 
 /// An instant on the simulation clock, in microseconds since t=0.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct SimTime(pub u64);
 
 /// A span of simulation time, in microseconds.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct SimDuration(pub u64);
 
@@ -300,7 +304,10 @@ mod tests {
 
     #[test]
     fn saturating_add_sticks_at_max() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]
@@ -323,6 +330,9 @@ mod tests {
     fn ordering_is_total() {
         let mut v = vec![SimTime::from_secs(3), SimTime::ZERO, SimTime::from_secs(1)];
         v.sort();
-        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_secs(1), SimTime::from_secs(3)]);
+        assert_eq!(
+            v,
+            vec![SimTime::ZERO, SimTime::from_secs(1), SimTime::from_secs(3)]
+        );
     }
 }

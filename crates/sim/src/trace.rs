@@ -20,7 +20,12 @@ pub struct Trace {
 impl Trace {
     /// A trace retaining at most `capacity` records.
     pub fn new(capacity: usize) -> Self {
-        Trace { records: VecDeque::with_capacity(capacity.min(4096)), capacity, dropped: 0, enabled: true }
+        Trace {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
     }
 
     /// A disabled trace: all appends are no-ops (zero overhead paths can

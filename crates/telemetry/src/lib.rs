@@ -1,0 +1,60 @@
+//! Grid-wide telemetry for the Faucets services: metrics, traces, and a
+//! clock abstraction that spans both deployment modes.
+//!
+//! The paper's AppSpector is the monitoring plane of the Faucets grid; this
+//! crate is the substrate it reads from. It provides three pieces, each
+//! usable on its own:
+//!
+//! * [`metrics`] — a sharded, lock-cheap registry of named, labelled
+//!   collectors: monotone [`Counter`]s, last-value [`Gauge`]s, and
+//!   log-binned [`Histogram`]s (the same powers-of-two binning idiom as
+//!   `faucets_sim::stats::LogHistogram`, here over atomics so the hot path
+//!   is a single relaxed `fetch_add`). A process-global default registry
+//!   ([`global`]) serves code that has no natural place to thread a handle
+//!   through; services expose their registry over the wire via the
+//!   `Metrics` endpoint in `faucets-net`. Snapshots render as both
+//!   Prometheus-style text and JSON.
+//!
+//! * [`trace`] — cheap distributed tracing. A [`TraceContext`] (trace id,
+//!   span id, parent span) rides in every `proto` frame; each service opens
+//!   a server span per request, parented under the caller's span, and the
+//!   thread-local current context means a handler's *outbound* calls (FD →
+//!   FS token verification, FD → AppSpector completion push) propagate the
+//!   same trace automatically. One job's whole path — client → FS match →
+//!   RFB fan-out → FD award → CM schedule → AppSpector — reassembles from
+//!   the in-process span log by [`TraceId`], including retried and
+//!   re-solicited legs.
+//!
+//! * [`clock`] — **the wall-clock vs sim-time abstraction.** Faucets runs
+//!   the same scheduling logic in two worlds: live TCP services, where
+//!   latencies are real wall-time durations, and the discrete-event
+//!   simulator, where "now" is a [`u64`] of simulated microseconds that
+//!   advances only when the event loop dispatches. Instrumentation must not
+//!   care which world it is in, so [`TelemetryClock`] is a tiny enum over
+//!   both: `Wall` reads a monotonic process epoch (`std::time::Instant`),
+//!   while `Sim` reads a shared atomic cell of simulated microseconds that
+//!   the event loop stores into before dispatching each event. Both answer
+//!   [`TelemetryClock::now_secs`] in (wall or simulated) seconds, and a
+//!   [`Stopwatch`] started from either clock observes elapsed time into the
+//!   same histograms — so `sim` runs record latency distributions in
+//!   `SimTime` and TCP services record them in wall time, behind one API.
+//!   Span timestamps always use the wall clock: spans describe live
+//!   request handling, which has no simulated counterpart.
+//!
+//! Every record path first checks a process-global enable flag
+//! ([`set_enabled`]); disabling it turns all collectors into near-no-ops,
+//! which is how `exp_observability` (E20) measures instrumentation
+//! overhead as an A/B on the same binary.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod metrics;
+pub mod trace;
+
+pub use clock::{Stopwatch, TelemetryClock};
+pub use metrics::{
+    enabled, global, set_enabled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
+    Registry,
+};
+pub use trace::{Span, SpanId, SpanRecord, TraceContext, TraceId};

@@ -1,0 +1,23 @@
+//! The process-global enable flag, exercised in its own test binary: the
+//! flag is deliberately global (it is the E20 overhead A/B switch), so
+//! toggling it must not run in the same process as tests that count.
+
+use faucets_telemetry::{set_enabled, Counter, Histogram};
+
+#[test]
+fn disabled_collectors_record_nothing() {
+    let c = Counter::default();
+    let h = Histogram::default();
+    set_enabled(false);
+    c.inc();
+    c.add(10);
+    h.record(1.0);
+    set_enabled(true);
+    assert_eq!(c.get(), 0, "counter ignored while disabled");
+    assert_eq!(h.count(), 0, "histogram ignored while disabled");
+    c.inc();
+    h.record(2.0);
+    assert_eq!(c.get(), 1, "re-enabling restores recording");
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.sum(), 2.0);
+}

@@ -1,0 +1,54 @@
+//! Property test: the log₂-binned histogram quantile stays within one bin
+//! (a factor of two) of the exact sorted-sample quantile, for any data and
+//! any quantile — the resolution contract `HistogramSnapshot::quantile`
+//! documents.
+
+use faucets_telemetry::Registry;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn histogram_quantile_within_a_factor_of_two_of_exact(
+        data in proptest::collection::vec(1e-3f64..1e6, 1..400),
+        q in 0.05f64..0.95,
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("latency", &[]);
+        for &v in &data {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Same rank convention as HistogramSnapshot::quantile.
+        let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+        let exact = sorted[rank - 1];
+
+        // The ranked sample sits in [lo, 2·lo); the estimate is lo·√2, so
+        // it is within (√2/2, √2] of the exact value — a factor of two
+        // with margin.
+        let est = snap.quantile(q);
+        prop_assert!(
+            est >= exact / 2.0 - 1e-12 && est <= exact * 2.0 + 1e-12,
+            "estimate {est} not within 2x of exact {exact}"
+        );
+    }
+
+    /// Quantiles from a snapshot are monotone in q.
+    #[test]
+    fn histogram_quantile_is_monotone(
+        data in proptest::collection::vec(1e-3f64..1e6, 1..200),
+        a in 0.01f64..0.99,
+        b in 0.01f64..0.99,
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("latency", &[]);
+        for &v in &data {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(snap.quantile(lo) <= snap.quantile(hi) + 1e-12);
+    }
+}

@@ -57,11 +57,20 @@ fn play(policy_name: &str, policy: Box<dyn SchedPolicy>) {
 
     // t=0: job B starts on its 500 processors.
     cluster.submit_job(job_b(), ContractId(1), Money::from_units(50), SimTime::ZERO);
-    println!("t=0      job B running on {:?} PEs, {} free", cluster.pes_of(JobId(1)), cluster.free_pes());
+    println!(
+        "t=0      job B running on {:?} PEs, {} free",
+        cluster.pes_of(JobId(1)),
+        cluster.free_pes()
+    );
 
     // t=60s: urgent job A arrives needing 600.
     let arrival = SimTime::from_secs(60);
-    cluster.submit_job(job_a(arrival), ContractId(2), Money::from_units(5_000), arrival);
+    cluster.submit_job(
+        job_a(arrival),
+        ContractId(2),
+        Money::from_units(5_000),
+        arrival,
+    );
     println!(
         "t=60s    job A (600 PEs, urgent) submitted: A on {:?}, B on {:?}, {} free, queue {}",
         cluster.pes_of(JobId(2)),
@@ -76,12 +85,25 @@ fn play(policy_name: &str, policy: Box<dyn SchedPolicy>) {
             "         {} finished at {} ({}, payoff {})",
             c.outcome.job,
             c.outcome.completed_at,
-            if c.outcome.met_deadline { "met deadline" } else { "MISSED deadline" },
+            if c.outcome.met_deadline {
+                "met deadline"
+            } else {
+                "MISSED deadline"
+            },
             c.payoff,
         );
     }
-    let util = cluster.metrics.utilization(completions.iter().map(|c| c.outcome.completed_at).max().unwrap());
-    println!("         machine utilization over the run: {:.1}%\n", util * 100.0);
+    let util = cluster.metrics.utilization(
+        completions
+            .iter()
+            .map(|c| c.outcome.completed_at)
+            .max()
+            .unwrap(),
+    );
+    println!(
+        "         machine utilization over the run: {:.1}%\n",
+        util * 100.0
+    );
 }
 
 fn main() {

@@ -24,7 +24,9 @@ fn market_part() {
         .cluster(256, "equipartition", "util-interp")
         .users(12)
         .mode(MarketMode::Bidding(SelectionPolicy::LeastCost))
-        .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(70) })
+        .arrivals(ArrivalProcess::Poisson {
+            mean_interarrival: SimDuration::from_secs(70),
+        })
         .horizon(SimDuration::from_hours(24))
         .build();
     let world = run_scenario(sim);
@@ -59,7 +61,9 @@ fn barter_part() {
         .users(9)
         .mode(MarketMode::Barter)
         .credits(ServiceUnits::from_units(50_000))
-        .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(120) })
+        .arrivals(ArrivalProcess::Poisson {
+            mean_interarrival: SimDuration::from_secs(120),
+        })
         .horizon(SimDuration::from_hours(12))
         .build();
     let world = run_scenario(sim);

@@ -54,12 +54,31 @@ fn main() {
     println!("Starting the Faucets services on localhost...");
     let fs = spawn_fs("127.0.0.1:0", clock.clone(), 2026).expect("spawn FS");
     let aspect = spawn_appspector("127.0.0.1:0", fs.service.addr, 64).expect("spawn AppSpector");
-    let fd1 = spawn_cluster(1, "turing", 128, true, fs.service.addr, aspect.service.addr, clock.clone());
-    let fd2 = spawn_cluster(2, "lemieux", 256, false, fs.service.addr, aspect.service.addr, clock.clone());
+    let fd1 = spawn_cluster(
+        1,
+        "turing",
+        128,
+        true,
+        fs.service.addr,
+        aspect.service.addr,
+        clock.clone(),
+    );
+    let fd2 = spawn_cluster(
+        2,
+        "lemieux",
+        256,
+        false,
+        fs.service.addr,
+        aspect.service.addr,
+        clock.clone(),
+    );
     println!("  FS         at {}", fs.service.addr);
     println!("  AppSpector at {}", aspect.service.addr);
     println!("  FD turing  at {} (baseline bids)", fd1.service.addr);
-    println!("  FD lemieux at {} (util-interpolated bids)", fd2.service.addr);
+    println!(
+        "  FD lemieux at {} (util-interpolated bids)",
+        fd2.service.addr
+    );
 
     println!("\nRegistering user 'alice' and logging in...");
     let mut client = FaucetsClient::register(
@@ -117,7 +136,13 @@ fn main() {
         }
     };
 
-    println!("Job completed. Output files: {:?}", snap.output_files.iter().map(|f| &f.name).collect::<Vec<_>>());
+    println!(
+        "Job completed. Output files: {:?}",
+        snap.output_files
+            .iter()
+            .map(|f| &f.name)
+            .collect::<Vec<_>>()
+    );
     let out = client.download(sub.job, "output.dat").expect("download");
     println!("Downloaded output.dat: {}", String::from_utf8_lossy(&out));
 

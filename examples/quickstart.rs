@@ -20,7 +20,9 @@ fn main() {
         .cluster(256, "fcfs", "baseline") // a traditional queuing system
         .users(8)
         .mode(MarketMode::Bidding(SelectionPolicy::LeastCost))
-        .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(180) })
+        .arrivals(ArrivalProcess::Poisson {
+            mean_interarrival: SimDuration::from_secs(180),
+        })
         .horizon(SimDuration::from_hours(8))
         .build();
 
@@ -32,11 +34,17 @@ fn main() {
     t.row(vec!["jobs submitted".into(), s.submitted.to_string()]);
     t.row(vec!["jobs completed".into(), s.completed.to_string()]);
     t.row(vec!["jobs rejected".into(), s.rejected.to_string()]);
-    t.row(vec!["deadline misses".into(), s.deadline_misses.to_string()]);
+    t.row(vec![
+        "deadline misses".into(),
+        s.deadline_misses.to_string(),
+    ]);
     t.row(vec!["mean response (s)".into(), f2(s.response.mean())]);
     t.row(vec!["mean bounded slowdown".into(), f2(s.slowdown.mean())]);
     t.row(vec!["protocol messages".into(), s.messages.to_string()]);
-    t.row(vec!["total paid by clients".into(), s.paid_total.to_string()]);
+    t.row(vec![
+        "total paid by clients".into(),
+        s.paid_total.to_string(),
+    ]);
     println!("{t}");
 
     let mut t = Table::new(
@@ -53,5 +61,8 @@ fn main() {
         ]);
     }
     println!("{t}");
-    println!("Price index after the run: {:?}", world.server.history.price_index());
+    println!(
+        "Price index after the run: {:?}",
+        world.server.history.price_index()
+    );
 }

@@ -42,7 +42,10 @@ fn main() {
         .cluster(128, "equipartition", "baseline")
         .users(3)
         .mode(MarketMode::Bidding(SelectionPolicy::LeastCost))
-        .mix(JobMix { apps: vec!["trace-app".into()], ..JobMix::default() })
+        .mix(JobMix {
+            apps: vec!["trace-app".into()],
+            ..JobMix::default()
+        })
         .workload(workload)
         .horizon(SimDuration::from_hours(6))
         // A flaky grid: each machine fails about every 20 minutes; jobs
@@ -58,7 +61,10 @@ fn main() {
     t.row(vec!["jobs replayed".into(), s.submitted.to_string()]);
     t.row(vec!["jobs completed".into(), s.completed.to_string()]);
     t.row(vec!["machine failures".into(), s.failures.to_string()]);
-    t.row(vec!["jobs recovered from checkpoints".into(), s.jobs_recovered.to_string()]);
+    t.row(vec![
+        "jobs recovered from checkpoints".into(),
+        s.jobs_recovered.to_string(),
+    ]);
     t.row(vec!["mean response (s)".into(), f2(s.response.mean())]);
     t.row(vec!["user fairness (Jain)".into(), f3(s.user_fairness())]);
     println!("{t}");

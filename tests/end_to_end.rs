@@ -28,8 +28,11 @@ fn launch(speedup: f64) -> Grid {
     let mut fds = vec![];
     for (i, pes, baseline) in [(1u64, 128u32, true), (2, 256, false)] {
         let machine = MachineSpec::commodity(ClusterId(i), format!("cs{i}"), pes);
-        let strategy: Box<dyn faucets_core::market::BidStrategy> =
-            if baseline { Box::new(Baseline) } else { Box::new(UtilizationInterpolated::default()) };
+        let strategy: Box<dyn faucets_core::market::BidStrategy> = if baseline {
+            Box::new(Baseline)
+        } else {
+            Box::new(UtilizationInterpolated::default())
+        };
         let daemon = FaucetsDaemon::new(
             machine.server_info("127.0.0.1", 0),
             ["namd".to_string()],
@@ -38,11 +41,23 @@ fn launch(speedup: f64) -> Grid {
         );
         let cluster = Cluster::new(machine, Box::new(Equipartition), ResizeCostModel::default());
         fds.push(
-            spawn_fd("127.0.0.1:0", daemon, cluster, fs.service.addr, aspect.service.addr, clock.clone())
-                .unwrap(),
+            spawn_fd(
+                "127.0.0.1:0",
+                daemon,
+                cluster,
+                fs.service.addr,
+                aspect.service.addr,
+                clock.clone(),
+            )
+            .unwrap(),
         );
     }
-    Grid { fs, aspect, fds, clock }
+    Grid {
+        fs,
+        aspect,
+        fds,
+        clock,
+    }
 }
 
 fn quick_qos(clock: &Clock, cpu_seconds: f64) -> faucets_core::qos::QosContract {
@@ -50,7 +65,9 @@ fn quick_qos(clock: &Clock, cpu_seconds: f64) -> faucets_core::qos::QosContract 
         .efficiency(0.95, 0.8)
         .adaptive()
         .payoff(PayoffFn::hard_only(
-            clock.now().saturating_add(faucets_sim::time::SimDuration::from_hours(4)),
+            clock
+                .now()
+                .saturating_add(faucets_sim::time::SimDuration::from_hours(4)),
             Money::from_units(100),
             Money::from_units(10),
         ))
@@ -71,23 +88,34 @@ fn full_submission_monitoring_download_flow() {
     .expect("register+login");
 
     let sub = client
-        .submit(quick_qos(&grid.clock, 8.0 * 600.0), &[("in.dat".into(), vec![7u8; 64])])
+        .submit(
+            quick_qos(&grid.clock, 8.0 * 600.0),
+            &[("in.dat".into(), vec![7u8; 64])],
+        )
         .expect("job placed");
     assert_eq!(sub.bids_received, 2, "both FDs bid");
     assert!(sub.price > Money::ZERO);
 
-    let snap = client.wait(sub.job, Duration::from_secs(30)).expect("job completes");
+    let snap = client
+        .wait(sub.job, Duration::from_secs(30))
+        .expect("job completes");
     assert!(snap.completed);
     assert_eq!(snap.cluster, sub.cluster);
     // Output staging echoes inputs plus the synthesized output.dat.
     let names: Vec<&str> = snap.output_files.iter().map(|f| f.name.as_str()).collect();
     assert!(names.contains(&"in.dat"));
     assert!(names.contains(&"output.dat"));
-    let data = client.download(sub.job, "in.dat").expect("download staged input back");
+    let data = client
+        .download(sub.job, "in.dat")
+        .expect("download staged input back");
     assert_eq!(data, vec![7u8; 64]);
 
     // The executing FD recorded revenue at the bid price.
-    let fd = grid.fds.iter().find(|f| f.cluster_id == sub.cluster).unwrap();
+    let fd = grid
+        .fds
+        .iter()
+        .find(|f| f.cluster_id == sub.cluster)
+        .unwrap();
     assert_eq!(fd.completed(), 1);
     assert_eq!(fd.revenue(), sub.price);
 }
@@ -107,8 +135,14 @@ fn least_cost_selection_picks_cheaper_bid() {
 
     // Idle machines: baseline bids 1.0, util-interp bids k(1-α)=0.5 → the
     // interpolated cluster (cs-2) must win.
-    let sub = client.submit(quick_qos(&grid.clock, 8.0 * 300.0), &[]).unwrap();
-    assert_eq!(sub.cluster, ClusterId(2), "discounted idle machine wins least-cost");
+    let sub = client
+        .submit(quick_qos(&grid.clock, 8.0 * 300.0), &[])
+        .unwrap();
+    assert_eq!(
+        sub.cluster,
+        ClusterId(2),
+        "discounted idle machine wins least-cost"
+    );
 }
 
 #[test]
@@ -130,7 +164,10 @@ fn several_users_and_jobs_share_the_grid() {
     let mut subs = vec![];
     for c in clients.iter_mut() {
         for _ in 0..2 {
-            subs.push((c.user, c.submit(quick_qos(&grid.clock, 8.0 * 120.0), &[]).unwrap()));
+            subs.push((
+                c.user,
+                c.submit(quick_qos(&grid.clock, 8.0 * 120.0), &[]).unwrap(),
+            ));
         }
     }
     assert_eq!(subs.len(), 6);
@@ -141,7 +178,10 @@ fn several_users_and_jobs_share_the_grid() {
                 assert!(snap.completed);
             } else {
                 // Other users' jobs are not watchable (ownership enforced).
-                assert!(c.watch(sub.job).is_err(), "client {i} watched a foreign job");
+                assert!(
+                    c.watch(sub.job).is_err(),
+                    "client {i} watched a foreign job"
+                );
             }
         }
     }
@@ -190,7 +230,9 @@ fn concurrent_clients_stress_the_services() {
                         .efficiency(0.95, 0.8)
                         .adaptive()
                         .payoff(PayoffFn::hard_only(
-                            clock.now().saturating_add(faucets_sim::time::SimDuration::from_hours(6)),
+                            clock
+                                .now()
+                                .saturating_add(faucets_sim::time::SimDuration::from_hours(6)),
                             Money::from_units(50),
                             Money::from_units(5),
                         ))

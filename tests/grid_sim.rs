@@ -9,8 +9,13 @@ use faucets_sim::time::{SimDuration, SimTime};
 fn base(seed: u64) -> ScenarioBuilder {
     ScenarioBuilder::new(seed)
         .users(6)
-        .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(150) })
-        .mix(JobMix { log2_min_pes: (0, 4), ..JobMix::default() })
+        .arrivals(ArrivalProcess::Poisson {
+            mean_interarrival: SimDuration::from_secs(150),
+        })
+        .mix(JobMix {
+            log2_min_pes: (0, 4),
+            ..JobMix::default()
+        })
         .horizon(SimDuration::from_hours(12))
 }
 
@@ -30,7 +35,10 @@ fn adaptive_beats_fcfs_on_identical_workload() {
     };
     let (u_fcfs, r_fcfs, c_fcfs) = run("fcfs");
     let (u_eq, r_eq, c_eq) = run("equipartition");
-    assert!(c_eq >= c_fcfs, "adaptive completes at least as many jobs ({c_eq} vs {c_fcfs})");
+    assert!(
+        c_eq >= c_fcfs,
+        "adaptive completes at least as many jobs ({c_eq} vs {c_fcfs})"
+    );
     assert!(
         u_eq > u_fcfs,
         "equipartition should use the machine better: {u_eq:.3} !> {u_fcfs:.3}"
@@ -53,12 +61,16 @@ fn market_beats_restricted_access() {
             .cluster(64, "equipartition", "baseline")
             .users(4)
             .accounts_per_user(1)
-            .arrivals(ArrivalProcess::Poisson { mean_interarrival: SimDuration::from_secs(100) })
+            .arrivals(ArrivalProcess::Poisson {
+                mean_interarrival: SimDuration::from_secs(100),
+            })
             .mode(mode)
             .build()
     };
     let restricted = run_scenario(build(MarketMode::Restricted));
-    let market = run_scenario(build(MarketMode::Bidding(SelectionPolicy::EarliestCompletion)));
+    let market = run_scenario(build(MarketMode::Bidding(
+        SelectionPolicy::EarliestCompletion,
+    )));
     assert!(market.stats.completed > 0 && restricted.stats.completed > 0);
     assert!(
         market.stats.response.mean() < restricted.stats.response.mean(),
@@ -77,13 +89,19 @@ fn filtering_reduces_messages() {
             .cluster(16, "equipartition", "baseline") // too small for big jobs
             .cluster(64, "equipartition", "baseline")
             .cluster(256, "equipartition", "baseline")
-            .mix(JobMix { log2_min_pes: (3, 6), ..JobMix::default() }) // min 8..64
+            .mix(JobMix {
+                log2_min_pes: (3, 6),
+                ..JobMix::default()
+            }) // min 8..64
             .filter(filter)
             .build()
     };
     let broadcast = run_scenario(build(FilterLevel::None));
     let filtered = run_scenario(build(FilterLevel::Static));
-    assert_eq!(broadcast.stats.submitted, filtered.stats.submitted, "same workload");
+    assert_eq!(
+        broadcast.stats.submitted, filtered.stats.submitted,
+        "same workload"
+    );
     assert!(
         filtered.server.stats.rfb_messages < broadcast.server.stats.rfb_messages,
         "filtering must reduce RFBs: {} !< {}",
@@ -106,11 +124,19 @@ fn resize_cost_ablation_changes_behaviour() {
             .build();
         let w = run_scenario(sim);
         let node = w.nodes.values().next().unwrap();
-        (node.cluster.metrics.resizes, w.stats.completed, w.stats.submitted, w.stats.rejected)
+        (
+            node.cluster.metrics.resizes,
+            w.stats.completed,
+            w.stats.submitted,
+            w.stats.rejected,
+        )
     };
     let (resizes_free, done_f, sub_f, rej_f) = run(0.0);
     let (resizes_pricey, done_p, sub_p, rej_p) = run(10.0);
-    assert!(resizes_free > 0 && resizes_pricey > 0, "equipartition reshapes in both runs");
+    assert!(
+        resizes_free > 0 && resizes_pricey > 0,
+        "equipartition reshapes in both runs"
+    );
     assert_eq!(done_f + rej_f, sub_f);
     assert_eq!(done_p + rej_p, sub_p);
     assert_eq!(sub_f, sub_p, "identical workload under both cost settings");
@@ -125,7 +151,11 @@ fn price_history_accumulates() {
         .build();
     let w = run_scenario(sim);
     assert!(w.stats.completed > 10);
-    let idx = w.server.history.price_index().expect("settlements recorded");
+    let idx = w
+        .server
+        .history
+        .price_index()
+        .expect("settlements recorded");
     assert!(idx > 0.0 && idx < 5.0, "price index {idx} in a sane band");
     assert_eq!(w.server.history.total_recorded(), w.stats.completed);
 }
@@ -161,7 +191,10 @@ fn failures_recover_from_checkpoints() {
     let calm = build(false);
     let stormy = build(true);
     assert!(stormy.stats.failures > 0, "failures must fire");
-    assert!(stormy.stats.jobs_recovered > 0, "running jobs get recovered");
+    assert!(
+        stormy.stats.jobs_recovered > 0,
+        "running jobs get recovered"
+    );
     assert_eq!(
         stormy.stats.completed + stormy.stats.rejected,
         stormy.stats.submitted,
@@ -207,8 +240,14 @@ fn maintenance_migration_keeps_work_flowing() {
     let with = build(true);
     let without = build(false);
     assert!(with.stats.migrations > 0, "maintenance must migrate work");
-    assert_eq!(with.stats.completed + with.stats.rejected, with.stats.submitted);
-    assert_eq!(without.stats.completed + without.stats.rejected, without.stats.submitted);
+    assert_eq!(
+        with.stats.completed + with.stats.rejected,
+        with.stats.submitted
+    );
+    assert_eq!(
+        without.stats.completed + without.stats.rejected,
+        without.stats.submitted
+    );
     assert!(
         with.stats.response.mean() < without.stats.response.mean(),
         "migration should beat waiting out a 4 h window: {:.0}s vs {:.0}s",
@@ -262,13 +301,19 @@ fn regulator_screens_price_gouging() {
             .cluster(128, "equipartition", "fixed:40.0") // gouger
             .mode(MarketMode::Bidding(SelectionPolicy::EarliestCompletion));
         if regulate {
-            b = b.regulator(Regulator { band_factor: 3.0, action: BandAction::Reject });
+            b = b.regulator(Regulator {
+                band_factor: 3.0,
+                action: BandAction::Reject,
+            });
         }
         run_scenario(b.build())
     };
     let free_market = build(false);
     let regulated = build(true);
-    assert!(regulated.regulated_bids > 0, "the gouger's bids must get screened");
+    assert!(
+        regulated.regulated_bids > 0,
+        "the gouger's bids must get screened"
+    );
     // Earliest-completion clients ignore price, so the gouger wins work in
     // the free market; regulation keeps total client spend strictly lower.
     assert!(
@@ -277,7 +322,10 @@ fn regulator_screens_price_gouging() {
         regulated.stats.paid_total,
         free_market.stats.paid_total
     );
-    assert_eq!(regulated.stats.completed + regulated.stats.rejected, regulated.stats.submitted);
+    assert_eq!(
+        regulated.stats.completed + regulated.stats.rejected,
+        regulated.stats.submitted
+    );
 }
 
 /// §5.5.4 fair usage: with symmetric users on a market grid, delivered
@@ -293,7 +341,10 @@ fn symmetric_users_get_fair_service() {
     let w = run_scenario(sim);
     assert_eq!(w.stats.per_user.len(), 6, "every user got service");
     let fairness = w.stats.user_fairness();
-    assert!(fairness > 0.6, "symmetric population should be served evenly, Jain={fairness:.3}");
+    assert!(
+        fairness > 0.6,
+        "symmetric population should be served evenly, Jain={fairness:.3}"
+    );
 }
 
 /// §2.1 machine independence: a job specified in FLOPs resolves to
@@ -316,7 +367,11 @@ fn flops_work_specs_resolve_per_machine() {
     let mk = |id: u64, flops: f64| {
         let mut m = MachineSpec::commodity(ClusterId(id), format!("cs{id}"), 64);
         m.flops_per_pe_sec = flops;
-        Cluster::new(m, faucets_sched::policy::by_name("equipartition"), ResizeCostModel::free())
+        Cluster::new(
+            m,
+            faucets_sched::policy::by_name("equipartition"),
+            ResizeCostModel::free(),
+        )
     };
     let mut slow = mk(1, 1e9); // 1 GF/s per PE
     let mut fast = mk(2, 4e9); // 4 GF/s per PE
@@ -330,7 +385,12 @@ fn flops_work_specs_resolve_per_machine() {
     assert!((qos.cpu_seconds(1e9) - 2560.0).abs() < 1e-6);
     assert!((qos.cpu_seconds(4e9) - 640.0).abs() < 1e-6);
 
-    let req = BidRequest { job: JobId(1), user: UserId(1), qos: qos.clone(), issued_at: SimTime::ZERO };
+    let req = BidRequest {
+        job: JobId(1),
+        user: UserId(1),
+        qos: qos.clone(),
+        issued_at: SimTime::ZERO,
+    };
     let q_slow = slow.probe(&req, SimTime::ZERO).unwrap();
     let q_fast = fast.probe(&req, SimTime::ZERO).unwrap();
     // 2560/16 = 160 s vs 640/16 = 40 s.

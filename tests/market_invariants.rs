@@ -15,10 +15,17 @@ fn run_bidding(seed: u64, interarrival: u64, clusters: u8) -> GridWorld {
         .arrivals(ArrivalProcess::Poisson {
             mean_interarrival: SimDuration::from_secs(interarrival),
         })
-        .mix(JobMix { log2_min_pes: (0, 4), ..JobMix::default() })
+        .mix(JobMix {
+            log2_min_pes: (0, 4),
+            ..JobMix::default()
+        })
         .horizon(SimDuration::from_hours(4));
     for i in 0..clusters {
-        let strat = if i % 2 == 0 { "baseline" } else { "util-interp" };
+        let strat = if i % 2 == 0 {
+            "baseline"
+        } else {
+            "util-interp"
+        };
         b = b.cluster(64 << (i % 3), "equipartition", strat);
     }
     run_scenario(b.build())
