@@ -5,7 +5,7 @@
 //! plan's daemon-outage schedule: each victim FD is killed mid-run and
 //! restarted after its downtime. Two arms per kill count:
 //!
-//! * **recovery** — FDs journal contracts to a snapshot file and restore
+//! * **recovery** — FDs journal contracts to a write-ahead log and replay
 //!   it on restart, the client retries with backoff; and
 //! * **no recovery** — restarted daemons come back empty-handed (the seed
 //!   system's behaviour).
@@ -49,9 +49,9 @@ fn make_fd_parts(i: usize) -> (FaucetsDaemon, Cluster) {
     (daemon, cluster)
 }
 
-fn fd_options(snapshot: Option<PathBuf>) -> FdOptions {
+fn fd_options(store: Option<PathBuf>) -> FdOptions {
     FdOptions {
-        snapshot,
+        store,
         ..FdOptions::default()
     }
 }
@@ -88,7 +88,7 @@ fn run_arm(seed: u64, jobs: usize, kills: usize, downtime_ms: u64, recovery: boo
         recovery
     ));
     std::fs::create_dir_all(&scratch).expect("scratch dir");
-    let snap_path = |i: usize| recovery.then(|| scratch.join(format!("fd{i}.json")));
+    let snap_path = |i: usize| recovery.then(|| scratch.join(format!("fd{i}")));
 
     let spawn = |i: usize, fs: SocketAddr, aspect: SocketAddr, clock: Clock| {
         let (daemon, cluster) = make_fd_parts(i);
@@ -257,7 +257,7 @@ fn main() {
     }
     emit(&table);
     println!(
-        "\nRecovery (snapshot journal + client retry + FS eviction) holds the\n\
+        "\nRecovery (WAL contract journal + client retry + FS eviction) holds the\n\
          completion rate near 100% at every crash count; without it, every\n\
          contract caught on a crashed daemon is payoff lost for good."
     );

@@ -5,12 +5,21 @@
 //! accounting service."* The [`Ledger`] is generic over the currency so the
 //! same machinery settles Dollar contracts (§5.5.1), Service-Unit quotas
 //! (§5.5.2), and bartering credits (§5.5.3 — see [`crate::barter`]).
+//!
+//! For the Figure-1 "database" role the ledger also implements
+//! [`faucets_store::Durable`]: every charge, credit, and barter transfer
+//! becomes a WAL record ([`LedgerOp`]), and [`DurableLedger`] rebuilds
+//! balances from snapshot + log on restart — no acknowledged entry is
+//! ever lost to a crash.
 
 use crate::error::{FaucetsError, Result};
+use faucets_store::{CommitError, Durable, DurableStore, RecoveryReport, StoreOptions};
+use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Debug;
 use std::ops::{AddAssign, Neg, SubAssign};
+use std::path::PathBuf;
 
 /// Anything that can sit in a ledger: fixed-point currencies.
 pub trait Amount:
@@ -56,7 +65,7 @@ impl std::fmt::Display for AccountId {
 }
 
 /// One ledger entry, for the audit trail.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LedgerEntry<A> {
     /// Source account.
     pub from: AccountId,
@@ -113,29 +122,24 @@ impl<A: Amount> Ledger<A> {
         self.balances.contains_key(id)
     }
 
-    /// Move `amount` (must be non-negative) from one account to another.
-    pub fn transfer(
-        &mut self,
-        from: AccountId,
-        to: AccountId,
-        amount: A,
-        memo: impl Into<String>,
-    ) -> Result<()> {
+    /// Would a transfer of `amount` from `from` to `to` be accepted? The
+    /// read-only half of [`Ledger::transfer`], split out so the durable
+    /// path can validate *before* journaling (keeping replay infallible).
+    pub fn validate_transfer(&self, from: &AccountId, to: &AccountId, amount: A) -> Result<()> {
         let zero = A::default();
         assert!(
             amount >= zero,
             "transfer amounts must be non-negative: {amount:?}"
         );
-        let from_bal =
-            *self
-                .balances
-                .get(&from)
-                .ok_or_else(|| FaucetsError::InsufficientFunds {
-                    account: from.to_string(),
-                    needed: amount.micros(),
-                    available: 0,
-                })?;
-        if !self.balances.contains_key(&to) {
+        let from_bal = *self
+            .balances
+            .get(from)
+            .ok_or_else(|| FaucetsError::InsufficientFunds {
+                account: from.to_string(),
+                needed: amount.micros(),
+                available: 0,
+            })?;
+        if !self.balances.contains_key(to) {
             return Err(FaucetsError::InsufficientFunds {
                 account: to.to_string(),
                 needed: 0,
@@ -144,13 +148,25 @@ impl<A: Amount> Ledger<A> {
         }
         let mut after = from_bal;
         after -= amount;
-        if after < zero && !self.overdraft_allowed.get(&from).copied().unwrap_or(false) {
+        if after < zero && !self.overdraft_allowed.get(from).copied().unwrap_or(false) {
             return Err(FaucetsError::InsufficientFunds {
                 account: from.to_string(),
                 needed: amount.micros(),
                 available: from_bal.micros(),
             });
         }
+        Ok(())
+    }
+
+    /// Move `amount` (must be non-negative) from one account to another.
+    pub fn transfer(
+        &mut self,
+        from: AccountId,
+        to: AccountId,
+        amount: A,
+        memo: impl Into<String>,
+    ) -> Result<()> {
+        self.validate_transfer(&from, &to, amount)?;
         *self.balances.get_mut(&from).unwrap() -= amount;
         *self.balances.get_mut(&to).unwrap() += amount;
         self.journal.push(LedgerEntry {
@@ -160,6 +176,25 @@ impl<A: Amount> Ledger<A> {
             memo: memo.into(),
         });
         Ok(())
+    }
+
+    /// Fold one already-validated [`LedgerOp`] into the state — the
+    /// replay path, deliberately infallible (the [`Durable`] contract):
+    /// every op in the WAL passed validation before it was journaled.
+    pub fn apply_op(&mut self, op: &LedgerOp<A>) {
+        match op {
+            LedgerOp::Open { id, initial } => {
+                self.balances.entry(id.clone()).or_insert(*initial);
+            }
+            LedgerOp::SetOverdraft { id, allowed } => {
+                self.overdraft_allowed.insert(id.clone(), *allowed);
+            }
+            LedgerOp::Transfer(e) => {
+                *self.balances.entry(e.from.clone()).or_default() -= e.amount;
+                *self.balances.entry(e.to.clone()).or_default() += e.amount;
+                self.journal.push(e.clone());
+            }
+        }
     }
 
     /// Sum of all balances in micro-units — constant under transfers, the
@@ -176,6 +211,180 @@ impl<A: Amount> Ledger<A> {
     /// Number of accounts.
     pub fn accounts(&self) -> usize {
         self.balances.len()
+    }
+}
+
+/// One journaled ledger mutation — the WAL record type of the durable
+/// ledger. Ops are validated *before* journaling, so replay applies them
+/// unconditionally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LedgerOp<A> {
+    /// Open an account with an initial balance.
+    Open {
+        /// The account to create.
+        id: AccountId,
+        /// Its starting balance.
+        initial: A,
+    },
+    /// Allow or forbid overdrafts on an account.
+    SetOverdraft {
+        /// The account to toggle.
+        id: AccountId,
+        /// Whether overdrafts are permitted.
+        allowed: bool,
+    },
+    /// Move funds between accounts.
+    Transfer(LedgerEntry<A>),
+}
+
+/// Snapshot of a ledger taken at compaction: balances and overdraft
+/// flags, as pair lists (JSON map keys must be strings, [`AccountId`]
+/// is not). The audit trail is **not** snapshotted — after recovery,
+/// [`Ledger::journal`] holds only entries since the last compaction;
+/// balances are always exact.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LedgerState<A> {
+    /// `(account, balance)` pairs.
+    pub balances: Vec<(AccountId, A)>,
+    /// `(account, overdraft allowed)` pairs.
+    pub overdraft: Vec<(AccountId, bool)>,
+}
+
+impl<A> Durable for Ledger<A>
+where
+    A: Amount + Serialize + DeserializeOwned,
+{
+    type Record = LedgerOp<A>;
+    type Snapshot = LedgerState<A>;
+
+    fn apply(&mut self, rec: &LedgerOp<A>) {
+        self.apply_op(rec);
+    }
+
+    fn snapshot(&self) -> LedgerState<A> {
+        LedgerState {
+            balances: self.balances.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            overdraft: self
+                .overdraft_allowed
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+
+    fn restore(snap: LedgerState<A>) -> Self {
+        Ledger {
+            balances: snap.balances.into_iter().collect(),
+            overdraft_allowed: snap.overdraft.into_iter().collect(),
+            journal: vec![],
+        }
+    }
+}
+
+/// Map a checked-commit failure back into the core error type.
+fn commit_err(e: CommitError<FaucetsError>) -> FaucetsError {
+    match e {
+        CommitError::Rejected(e) => e,
+        CommitError::Store(s) => FaucetsError::Storage(s.to_string()),
+    }
+}
+
+/// A [`Ledger`] backed by a [`DurableStore`]: every mutation is fsynced
+/// into the WAL before it touches a balance, so an `Ok` from
+/// [`DurableLedger::transfer`] survives kill -9. This is the Figure-1
+/// accounting database.
+#[derive(Debug)]
+pub struct DurableLedger<A: Amount + Serialize + DeserializeOwned> {
+    store: DurableStore<Ledger<A>>,
+}
+
+impl<A: Amount + Serialize + DeserializeOwned> DurableLedger<A> {
+    /// Open (or create) a durable ledger in `dir`, recovering prior state.
+    pub fn open(dir: impl Into<PathBuf>, opts: StoreOptions) -> Result<(Self, RecoveryReport)> {
+        let (store, report) = DurableStore::open(dir, Ledger::new(), opts)
+            .map_err(|e| FaucetsError::Storage(e.to_string()))?;
+        Ok((DurableLedger { store }, report))
+    }
+
+    /// Durable [`Ledger::open`]: journal the account creation, then apply.
+    pub fn open_account(&self, id: AccountId, initial: A) -> Result<()> {
+        let op = LedgerOp::Open {
+            id: id.clone(),
+            initial,
+        };
+        self.store
+            .commit_check(&op, |l| {
+                if l.has_account(&id) {
+                    Err(FaucetsError::AlreadyExists(format!("account {id}")))
+                } else {
+                    Ok(())
+                }
+            })
+            .map_err(commit_err)?;
+        Ok(())
+    }
+
+    /// Durable [`Ledger::set_overdraft`].
+    pub fn set_overdraft(&self, id: AccountId, allowed: bool) -> Result<()> {
+        let op = LedgerOp::SetOverdraft { id, allowed };
+        self.store
+            .commit(&op)
+            .map_err(|e| FaucetsError::Storage(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Durable [`Ledger::transfer`]: validated, journaled, applied — in
+    /// that order, under one lock. An `Err` means no funds moved *and*
+    /// nothing reached the log.
+    pub fn transfer(
+        &self,
+        from: AccountId,
+        to: AccountId,
+        amount: A,
+        memo: impl Into<String>,
+    ) -> Result<()> {
+        let op = LedgerOp::Transfer(LedgerEntry {
+            from: from.clone(),
+            to: to.clone(),
+            amount,
+            memo: memo.into(),
+        });
+        self.store
+            .commit_check(&op, |l| l.validate_transfer(&from, &to, amount))
+            .map_err(commit_err)?;
+        Ok(())
+    }
+
+    /// Current balance; zero for unknown accounts.
+    pub fn balance(&self, id: &AccountId) -> A {
+        self.store.read(|l| l.balance(id))
+    }
+
+    /// Sum of all balances in micro-units (the conservation invariant).
+    pub fn total_micros(&self) -> i64 {
+        self.store.read(|l| l.total_micros())
+    }
+
+    /// Number of accounts.
+    pub fn accounts(&self) -> usize {
+        self.store.read(|l| l.accounts())
+    }
+
+    /// Audit-trail entries retained in memory (since the last compaction).
+    pub fn journal_len(&self) -> usize {
+        self.store.read(|l| l.journal().len())
+    }
+
+    /// Run `f` against the ledger under the store lock.
+    pub fn with_ledger<R>(&self, f: impl FnOnce(&Ledger<A>) -> R) -> R {
+        self.store.read(f)
+    }
+
+    /// Force a snapshot + WAL truncation now.
+    pub fn compact(&self) -> Result<()> {
+        self.store
+            .compact()
+            .map_err(|e| FaucetsError::Storage(e.to_string()))
     }
 }
 
@@ -295,6 +504,132 @@ mod tests {
         )
         .unwrap();
         assert_eq!(l.balance(&AccountId::User(UserId(1))), Money::ZERO);
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("faucets-ledger-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_ledger_balances_survive_reopen() {
+        let dir = scratch("reopen");
+        let total_before;
+        {
+            let (l, report) = DurableLedger::<Money>::open(&dir, StoreOptions::default()).unwrap();
+            assert!(!report.snapshot_loaded);
+            l.open_account(AccountId::User(UserId(1)), Money::from_units(100))
+                .unwrap();
+            l.open_account(AccountId::Cluster(ClusterId(1)), Money::ZERO)
+                .unwrap();
+            l.open_account(AccountId::System, Money::ZERO).unwrap();
+            l.set_overdraft(AccountId::System, true).unwrap();
+            l.transfer(
+                AccountId::User(UserId(1)),
+                AccountId::Cluster(ClusterId(1)),
+                Money::from_units(30),
+                "contract settlement",
+            )
+            .unwrap();
+            l.transfer(
+                AccountId::System,
+                AccountId::User(UserId(1)),
+                Money::from_units(5),
+                "payoff",
+            )
+            .unwrap();
+            total_before = l.total_micros();
+            // Dropped without any clean shutdown: models kill -9.
+        }
+        let (l, report) = DurableLedger::<Money>::open(&dir, StoreOptions::default()).unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.replayed_records, 6, "all ops replayed from WAL");
+        assert_eq!(
+            l.balance(&AccountId::User(UserId(1))),
+            Money::from_units(75)
+        );
+        assert_eq!(
+            l.balance(&AccountId::Cluster(ClusterId(1))),
+            Money::from_units(30)
+        );
+        assert_eq!(l.balance(&AccountId::System), Money::from_units(-5));
+        assert_eq!(l.total_micros(), total_before, "conservation across crash");
+        // Overdraft flags recovered too: System may still go negative.
+        l.transfer(
+            AccountId::System,
+            AccountId::User(UserId(1)),
+            Money::from_units(1),
+            "post-recovery payoff",
+        )
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_ledger_rejection_leaves_no_trace() {
+        let dir = scratch("reject");
+        {
+            let (l, _) = DurableLedger::<Money>::open(&dir, StoreOptions::default()).unwrap();
+            l.open_account(AccountId::User(UserId(1)), Money::from_units(10))
+                .unwrap();
+            l.open_account(AccountId::System, Money::ZERO).unwrap();
+            let err = l
+                .transfer(
+                    AccountId::User(UserId(1)),
+                    AccountId::System,
+                    Money::from_units(11),
+                    "overdraft attempt",
+                )
+                .unwrap_err();
+            assert!(matches!(err, FaucetsError::InsufficientFunds { .. }));
+            assert!(l
+                .open_account(AccountId::User(UserId(1)), Money::ZERO)
+                .is_err());
+        }
+        let (l, report) = DurableLedger::<Money>::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(report.replayed_records, 2, "only the two account opens");
+        assert_eq!(
+            l.balance(&AccountId::User(UserId(1))),
+            Money::from_units(10)
+        );
+        assert_eq!(l.journal_len(), 0, "no transfer ever journaled");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_ledger_compaction_preserves_balances() {
+        let dir = scratch("compact");
+        {
+            let (l, _) = DurableLedger::<Money>::open(&dir, StoreOptions::default()).unwrap();
+            l.open_account(AccountId::User(UserId(1)), Money::from_units(100))
+                .unwrap();
+            l.open_account(AccountId::Cluster(ClusterId(1)), Money::ZERO)
+                .unwrap();
+            for _ in 0..10 {
+                l.transfer(
+                    AccountId::User(UserId(1)),
+                    AccountId::Cluster(ClusterId(1)),
+                    Money::from_units(1),
+                    "tick",
+                )
+                .unwrap();
+            }
+            l.compact().unwrap();
+        }
+        let (l, report) = DurableLedger::<Money>::open(&dir, StoreOptions::default()).unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.replayed_records, 0, "compaction emptied the WAL");
+        assert_eq!(
+            l.balance(&AccountId::User(UserId(1))),
+            Money::from_units(90)
+        );
+        assert_eq!(
+            l.balance(&AccountId::Cluster(ClusterId(1))),
+            Money::from_units(10)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

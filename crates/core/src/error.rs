@@ -45,6 +45,10 @@ pub enum FaucetsError {
     BidDeclined(String),
     /// A duplicate registration (user, cluster, application).
     AlreadyExists(String),
+    /// Durable storage failed: the mutation was NOT journaled and must be
+    /// NACKed to whoever requested it (rendered from the store error,
+    /// which is not `Clone`).
+    Storage(String),
 }
 
 impl fmt::Display for FaucetsError {
@@ -75,6 +79,7 @@ impl fmt::Display for FaucetsError {
             FaucetsError::UnknownApplication(a) => write!(f, "application '{a}' not exported"),
             FaucetsError::BidDeclined(why) => write!(f, "bid declined: {why}"),
             FaucetsError::AlreadyExists(what) => write!(f, "already exists: {what}"),
+            FaucetsError::Storage(why) => write!(f, "durable storage failure: {why}"),
         }
     }
 }

@@ -723,12 +723,15 @@ impl GridWorld {
             .into_iter()
             .copied()
             .collect();
-        let affordable = ranked
-            .into_iter()
-            .find(|b| quota.can_afford(spec.user, SuQuota::su_cost(cpu, b.multiplier)));
+        // Checked SU pricing: a NaN/infinite multiplier is unaffordable by
+        // definition, not a free job.
+        let affordable = ranked.into_iter().find_map(|b| {
+            SuQuota::try_su_cost(cpu, b.multiplier)
+                .filter(|cost| quota.can_afford(spec.user, *cost))
+                .map(|cost| (b, cost))
+        });
         match affordable {
-            Some(bid) => {
-                let cost = SuQuota::su_cost(cpu, bid.multiplier);
+            Some((bid, cost)) => {
                 if quota.charge(spec.user, bid.cluster, cost).is_err() {
                     self.stats.blocked_quota += 1;
                     return;

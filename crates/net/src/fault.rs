@@ -23,7 +23,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// What happens to one wire frame.
@@ -287,6 +287,22 @@ impl FaultPlan {
         fault
     }
 
+    /// Adapt this plan into a [`faucets_store`] write-fault hook, so the
+    /// same seeded schedule that mangles wire frames can mangle WAL
+    /// appends (E19-style injection against the E21 durability engine):
+    /// dropped frames become failed writes, truncations become torn
+    /// tails, garbles become flipped bytes. Delays pass through — the WAL
+    /// append path has no clock to stall.
+    pub fn store_hook(self: &Arc<Self>) -> faucets_store::StoreFaultFn {
+        let plan = Arc::clone(self);
+        Arc::new(move |bytes: &[u8]| match plan.decide(bytes) {
+            FrameFault::Deliver | FrameFault::Delay(_) => faucets_store::WriteFault::Deliver,
+            FrameFault::Drop => faucets_store::WriteFault::Fail,
+            FrameFault::Truncate { keep } => faucets_store::WriteFault::Torn { keep },
+            FrameFault::Garble { offset, xor } => faucets_store::WriteFault::Garble { offset, xor },
+        })
+    }
+
     /// A deterministic kill/restart schedule: `kills` outages spread over
     /// the first `window_ms` of the run, victims drawn round-robin-ish from
     /// `daemons` services, each down for `downtime_ms`. Same seed → same
@@ -452,6 +468,29 @@ mod tests {
             assert!(o.kill_after_ms <= 20_000);
             assert_eq!(o.downtime_ms, 1_000);
         }
+    }
+
+    #[test]
+    fn store_hook_maps_frame_faults_to_write_faults() {
+        use faucets_store::WriteFault;
+        let plan = Arc::new(FaultPlan::new(
+            11,
+            FaultConfig {
+                truncate: 1.0,
+                ..FaultConfig::none()
+            },
+        ));
+        let hook = plan.store_hook();
+        let frame = [0u8; 32];
+        match hook(&frame) {
+            WriteFault::Torn { keep } => assert!(keep >= 1 && keep < frame.len()),
+            other => panic!("expected a torn write, got {other:?}"),
+        }
+        // The injection is visible in the plan's shared stats.
+        assert_eq!(plan.stats().truncated, 1);
+
+        let inert = Arc::new(FaultPlan::inert(11));
+        assert!(matches!(inert.store_hook()(&frame), WriteFault::Deliver));
     }
 
     #[test]

@@ -12,16 +12,22 @@
 //!
 //! ## Crash recovery
 //!
-//! With [`FdOptions::snapshot`] set, the daemon journals every accepted
-//! QoS contract (spec, contract id, price, owner, staged inputs) to a JSON
-//! snapshot, written atomically (temp + rename) on each change and pruned
-//! as jobs complete. [`spawn_fd_with`] on the same path restores the
-//! snapshot: contracts are resubmitted to the scheduler, jobs re-registered
-//! with AppSpector, and the daemon re-registers with the FS — so a
-//! kill + restart loses at most the *progress* since the last scheduler
-//! checkpoint, never the contracts themselves. If the FS evicted the
-//! daemon while it was down, the heartbeat's error reply triggers
-//! re-registration from the pump.
+//! With [`FdOptions::store`] set, the daemon journals every accepted QoS
+//! contract (spec, contract id, price, owner) and every staged input file
+//! to a [`DurableStore`] write-ahead log — one fsynced record per change,
+//! compacted periodically, instead of rewriting a whole snapshot file on
+//! each mutation. The acceptance record is appended *before* the scheduler
+//! sees the award, and the award is NACKed if the append fails, so a
+//! confirmed award is always recoverable. [`spawn_fd_with`] on the same
+//! directory replays the journal: contracts are resubmitted to the
+//! scheduler, jobs re-registered with AppSpector, and the daemon
+//! re-registers with the FS — so a kill + restart loses at most the
+//! *progress* since the last scheduler checkpoint, never the contracts
+//! themselves. Completion records prune the journal best-effort
+//! (an unjournaled completion means the job is re-run after restart:
+//! at-least-once, never lost). If the FS evicted the daemon while it was
+//! down, the heartbeat's error reply triggers re-registration from the
+//! pump.
 
 use crate::proto::{Request, Response};
 use crate::service::{
@@ -34,6 +40,7 @@ use faucets_core::job::JobSpec;
 use faucets_core::market::MarketInfo;
 use faucets_core::money::Money;
 use faucets_sched::cluster::Cluster;
+use faucets_store::{Durable, DurableStore, StoreOptions};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -45,7 +52,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// One accepted contract, as journaled to the snapshot.
+/// One accepted contract, as journaled.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ContractEntry {
     spec: JobSpec,
@@ -54,19 +61,75 @@ struct ContractEntry {
     owner: UserId,
 }
 
-/// The on-disk crash-recovery journal.
-#[derive(Debug, Default, Serialize, Deserialize)]
-struct FdSnapshot {
+/// One journaled FD mutation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum FdRecord {
+    /// An award was accepted — journaled *before* the scheduler sees it.
+    Accept(ContractEntry),
+    /// An input file was staged for a job.
+    Stage {
+        job: JobId,
+        name: String,
+        data: Vec<u8>,
+    },
+    /// The job finished (or a journaled acceptance was retracted after the
+    /// scheduler reneged): its contract and staged files are dropped.
+    Complete { job: JobId },
+}
+
+/// The durable state machine behind the FD: accepted contracts and staged
+/// input files for jobs not yet complete.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct FdJournal {
     contracts: Vec<ContractEntry>,
     staged: Vec<(JobId, Vec<(String, Vec<u8>)>)>,
 }
 
+impl Durable for FdJournal {
+    type Record = FdRecord;
+    type Snapshot = FdJournal;
+
+    fn apply(&mut self, rec: &FdRecord) {
+        match rec {
+            FdRecord::Accept(e) => {
+                self.contracts.retain(|c| c.spec.id != e.spec.id);
+                self.contracts.push(e.clone());
+            }
+            FdRecord::Stage { job, name, data } => {
+                let file = (name.clone(), data.clone());
+                match self.staged.iter_mut().find(|(j, _)| j == job) {
+                    Some((_, files)) => files.push(file),
+                    None => self.staged.push((*job, vec![file])),
+                }
+            }
+            FdRecord::Complete { job } => {
+                self.contracts.retain(|c| c.spec.id != *job);
+                self.staged.retain(|(j, _)| j != job);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> FdJournal {
+        self.clone()
+    }
+
+    fn restore(snap: FdJournal) -> Self {
+        snap
+    }
+}
+
+/// The FD's contract journal handle.
+type FdStore = Option<Arc<DurableStore<FdJournal>>>;
+
 /// Options for [`spawn_fd_with`].
 #[derive(Clone)]
 pub struct FdOptions {
-    /// Where to journal accepted contracts for crash recovery. `None`
-    /// disables persistence (the seed behaviour).
-    pub snapshot: Option<PathBuf>,
+    /// Directory for the write-ahead contract journal. `None` disables
+    /// persistence (the seed behaviour).
+    pub store: Option<PathBuf>,
+    /// Store tuning: telemetry label, compaction cadence, fsync, injected
+    /// write faults. Only consulted when `store` is set.
+    pub store_opts: StoreOptions,
     /// Service-side timeouts and fault injection.
     pub serve: ServeOptions,
     /// Options for the FD's own outbound calls (FS verification and
@@ -80,7 +143,11 @@ pub struct FdOptions {
 impl Default for FdOptions {
     fn default() -> Self {
         FdOptions {
-            snapshot: None,
+            store: None,
+            store_opts: StoreOptions {
+                service: "fd".into(),
+                ..StoreOptions::default()
+            },
             serve: ServeOptions::default(),
             call: CallOptions {
                 retry: RetryPolicy::standard(0x4644),
@@ -91,37 +158,23 @@ impl Default for FdOptions {
     }
 }
 
+/// Retract a journaled acceptance the scheduler then refused. Best-effort:
+/// if this append fails too, a restart may resubmit a job the client was
+/// told was declined — a narrow window the docs call out.
+fn retract(store: &FdStore, job: JobId) {
+    if let Some(store) = store {
+        let _ = store.commit(&FdRecord::Complete { job });
+    }
+}
+
 struct FdState {
     daemon: FaucetsDaemon,
     cluster: Cluster,
     staged: HashMap<JobId, Vec<(String, Vec<u8>)>>,
     owners: HashMap<JobId, UserId>,
     contracts: HashMap<JobId, ContractEntry>,
-    snapshot: Option<PathBuf>,
-    /// Telemetry: successful journal writes (`fd_journal_writes_total`).
+    /// Telemetry: successful journal appends (`fd_journal_writes_total`).
     m_journal_writes: faucets_telemetry::Counter,
-}
-
-impl FdState {
-    /// Write the journal atomically: temp file in the same directory, then
-    /// rename over the target. Errors are swallowed — persistence is best
-    /// effort and must never take down the service path.
-    fn persist(&self) {
-        let Some(path) = &self.snapshot else { return };
-        let mut contracts: Vec<ContractEntry> = self.contracts.values().cloned().collect();
-        contracts.sort_by_key(|c| c.spec.id);
-        let mut staged: Vec<(JobId, Vec<(String, Vec<u8>)>)> =
-            self.staged.iter().map(|(j, f)| (*j, f.clone())).collect();
-        staged.sort_by_key(|(j, _)| *j);
-        let snap = FdSnapshot { contracts, staged };
-        let Ok(bytes) = serde_json::to_vec(&snap) else {
-            return;
-        };
-        let tmp = path.with_extension("tmp");
-        if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, path).is_ok() {
-            self.m_journal_writes.inc();
-        }
-    }
 }
 
 /// A running FD service.
@@ -162,9 +215,9 @@ impl FdHandle {
     }
 
     /// Simulate a daemon crash: stop serving with no deregistration and no
-    /// goodbye to the FS or AppSpector. With [`FdOptions::snapshot`] set,
-    /// the journal survives on disk; [`spawn_fd_with`] on the same path
-    /// resumes the accepted contracts.
+    /// goodbye to the FS or AppSpector. With [`FdOptions::store`] set,
+    /// the journal survives on disk; [`spawn_fd_with`] on the same
+    /// directory resumes the accepted contracts.
     pub fn kill(mut self) {
         self.stop_inner();
     }
@@ -226,8 +279,9 @@ pub fn spawn_fd(
 }
 
 /// [`spawn_fd`], with crash-recovery journaling, timeouts, retry, and
-/// fault-injection options. If `opts.snapshot` names an existing journal,
-/// its contracts are restored before the service starts taking traffic.
+/// fault-injection options. If `opts.store` names an existing journal
+/// directory, its contracts are restored before the service starts taking
+/// traffic.
 pub fn spawn_fd_with(
     addr: &str,
     mut daemon: FaucetsDaemon,
@@ -259,32 +313,38 @@ pub fn spawn_fd_with(
         staged: HashMap::new(),
         owners: HashMap::new(),
         contracts: HashMap::new(),
-        snapshot: opts.snapshot.clone(),
         m_journal_writes,
     }));
 
-    // Restore the journal, if any, before the service can take traffic.
+    // Recover the journal, if any, before the service can take traffic:
+    // accepted contracts are resubmitted to the scheduler, staged files
+    // re-attached.
+    let store: FdStore = match &opts.store {
+        Some(dir) => Some(Arc::new(
+            DurableStore::open(dir, FdJournal::default(), opts.store_opts.clone())
+                .map_err(io::Error::other)?
+                .0,
+        )),
+        None => None,
+    };
     let restored: Vec<(JobId, UserId)> = {
         let mut s = state.lock();
         let now = clock.now();
         let mut restored = vec![];
-        if let Some(snap) = opts
-            .snapshot
-            .as_ref()
-            .and_then(|p| std::fs::read(p).ok())
-            .and_then(|b| serde_json::from_slice::<FdSnapshot>(&b).ok())
-        {
-            for (job, files) in snap.staged {
-                s.staged.insert(job, files);
-            }
-            for e in snap.contracts {
-                let job = e.spec.id;
-                s.cluster
-                    .submit_job(e.spec.clone(), e.contract, e.price, now);
-                s.owners.insert(job, e.owner);
-                restored.push((job, e.owner));
-                s.contracts.insert(job, e);
-            }
+        if let Some(store) = &store {
+            store.read(|j| {
+                for (job, files) in &j.staged {
+                    s.staged.insert(*job, files.clone());
+                }
+                for e in &j.contracts {
+                    let job = e.spec.id;
+                    s.cluster
+                        .submit_job(e.spec.clone(), e.contract, e.price, now);
+                    s.owners.insert(job, e.owner);
+                    restored.push((job, e.owner));
+                    s.contracts.insert(job, e.clone());
+                }
+            });
         }
         m_restored.add(restored.len() as u64);
         restored
@@ -292,6 +352,7 @@ pub fn spawn_fd_with(
 
     // Bind the service first so the real port is known.
     let st = Arc::clone(&state);
+    let journal = store.clone();
     let clock_handler = clock.clone();
     let call_opts = opts.call.clone();
     let service = serve_with(addr, "fd", opts.serve.clone(), move |req| {
@@ -331,6 +392,15 @@ pub fn spawn_fd_with(
                     price: bid.price,
                     owner: user,
                 };
+                // Journal the acceptance BEFORE the scheduler sees the
+                // award, and NACK if it cannot be made durable: the client
+                // treats the error as a declined bid and tries the next
+                // one, so "accepted" always means "survives a crash".
+                if let Some(store) = &journal {
+                    if let Err(e) = store.commit(&FdRecord::Accept(entry.clone())) {
+                        return Response::Error(format!("award not journaled: {e}"));
+                    }
+                }
                 let outcome = {
                     let mut s = st.lock();
                     let now = clock_handler.now();
@@ -345,7 +415,9 @@ pub fn spawn_fd_with(
                             let mut s = st.lock();
                             s.owners.insert(job, user);
                             s.contracts.insert(job, entry);
-                            s.persist();
+                            if journal.is_some() {
+                                s.m_journal_writes.inc();
+                            }
                         }
                         let _ = call_with(
                             appspector,
@@ -361,11 +433,17 @@ pub fn spawn_fd_with(
                             reason: None,
                         }
                     }
-                    Ok(AwardOutcome::Reneged(r)) => Response::AwardReply {
-                        confirmed: false,
-                        reason: Some(format!("{r:?}")),
-                    },
-                    Err(e) => Response::Error(e.to_string()),
+                    Ok(AwardOutcome::Reneged(r)) => {
+                        retract(&journal, job);
+                        Response::AwardReply {
+                            confirmed: false,
+                            reason: Some(format!("{r:?}")),
+                        }
+                    }
+                    Err(e) => {
+                        retract(&journal, job);
+                        Response::Error(e.to_string())
+                    }
                 }
             }
             Request::UploadFile {
@@ -377,9 +455,20 @@ pub fn spawn_fd_with(
                 if let Err(e) = verify(fs, &token, &call_opts) {
                     return Response::Error(e);
                 }
+                if let Some(store) = &journal {
+                    if let Err(e) = store.commit(&FdRecord::Stage {
+                        job,
+                        name: name.clone(),
+                        data: data.clone(),
+                    }) {
+                        return Response::Error(format!("upload not journaled: {e}"));
+                    }
+                }
                 let mut s = st.lock();
                 s.staged.entry(job).or_default().push((name, data));
-                s.persist();
+                if journal.is_some() {
+                    s.m_journal_writes.inc();
+                }
                 Response::Ok
             }
             other => Response::Error(format!("FD cannot handle {other:?}")),
@@ -419,6 +508,7 @@ pub fn spawn_fd_with(
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
     let st = Arc::clone(&state);
+    let journal = store;
     let call_opts = opts.call.clone();
     let heartbeat_every = opts.heartbeat_every;
     let pump = std::thread::Builder::new()
@@ -442,11 +532,18 @@ pub fn spawn_fd_with(
                 };
                 for c in &completions {
                     let job = c.outcome.job;
+                    // Prune the journal best-effort: an unjournaled
+                    // completion only means the job re-runs after a
+                    // restart (at-least-once), never that it is lost.
                     let mut outputs: Vec<(String, Vec<u8>)> = {
                         let mut s = st.lock();
                         let outputs = s.staged.remove(&job).unwrap_or_default();
                         s.contracts.remove(&job);
-                        s.persist();
+                        if let Some(store) = &journal {
+                            if store.commit(&FdRecord::Complete { job }).is_ok() {
+                                s.m_journal_writes.inc();
+                            }
+                        }
                         outputs
                     };
                     outputs.push((

@@ -3,16 +3,134 @@
 //! Wraps [`faucets_core::server::FaucetsServer`] behind the wire protocol:
 //! account creation, login, FD registration, heartbeats, token
 //! verification for daemons (§2.2), and server matching for clients (§5.1).
+//!
+//! ## Durability
+//!
+//! With [`FsOptions::store`] set, cluster registrations are journaled to a
+//! [`DurableStore`] *before* the directory is mutated, so a `RegisterCluster`
+//! that was answered `Ok` survives an FS crash: on restart the journal is
+//! replayed and every registered cluster reappears with its recorded
+//! `last_heard`. If the journal append fails the registration is NACKed
+//! (`Response::Error`) and the in-memory directory is left untouched —
+//! "registered" means "durable". Heartbeats are deliberately *not*
+//! journaled: `last_heard`/`ServerStatus` are soft state that the next
+//! heartbeat refreshes, and a daemon restored with a stale `last_heard`
+//! that has since died is simply re-graded dead and swept. Evictions are
+//! journaled best-effort (they compact the journal but are re-derivable
+//! from silence). User accounts and session tokens stay in-memory: daemons
+//! re-verify tokens against the FS, so an FS restart invalidates sessions
+//! and clients must log in again.
 
 use crate::proto::{Request, Response};
 use crate::service::{serve_with, Clock, ServeOptions, ServiceHandle};
-use faucets_core::directory::ServerListing;
+use faucets_core::directory::{ServerInfo, ServerListing};
+use faucets_core::ids::ClusterId;
 use faucets_core::server::FaucetsServer;
+use faucets_sim::time::SimTime;
+use faucets_store::{Durable, DurableStore, RecoveryReport, StoreOptions};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::io;
+use std::path::PathBuf;
 use std::sync::Arc;
+
+/// One journaled directory mutation (see [`DirJournal`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DirRecord {
+    /// A Compute Server registered (or re-registered) with the FS.
+    Register {
+        /// Static description of the cluster.
+        info: ServerInfo,
+        /// Applications it exports ("Known Applications", §2.2).
+        apps: Vec<String>,
+        /// When the registration arrived; restored as `last_heard`.
+        at: SimTime,
+    },
+    /// A cluster was evicted after missing its liveness window.
+    Evict {
+        /// The evicted cluster.
+        cluster: ClusterId,
+    },
+}
+
+/// One durable registration row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DirRow {
+    /// Static description of the cluster.
+    pub info: ServerInfo,
+    /// Applications it exports.
+    pub apps: Vec<String>,
+    /// Last contact recorded in the journal (registration time; heartbeats
+    /// are soft state and not journaled).
+    pub last_heard: SimTime,
+}
+
+/// The durable state machine behind the FS directory: the set of live
+/// registrations, keyed by cluster. Registrations are few, so rows are a
+/// plain `Vec` (which also keeps the JSON snapshot free of non-string map
+/// keys).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DirJournal {
+    /// Registered clusters, in registration order.
+    pub rows: Vec<DirRow>,
+}
+
+impl Durable for DirJournal {
+    type Record = DirRecord;
+    type Snapshot = DirJournal;
+
+    fn apply(&mut self, rec: &DirRecord) {
+        match rec {
+            DirRecord::Register { info, apps, at } => {
+                self.rows.retain(|r| r.info.cluster != info.cluster);
+                self.rows.push(DirRow {
+                    info: info.clone(),
+                    apps: apps.clone(),
+                    last_heard: *at,
+                });
+            }
+            DirRecord::Evict { cluster } => {
+                self.rows.retain(|r| r.info.cluster != *cluster);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> DirJournal {
+        self.clone()
+    }
+
+    fn restore(snap: DirJournal) -> Self {
+        snap
+    }
+}
+
+/// Options for [`spawn_fs_durable`].
+#[derive(Clone)]
+pub struct FsOptions {
+    /// Service-side timeouts, fault injection, and metrics registry.
+    pub serve: ServeOptions,
+    /// Directory for the durable registration journal. `None` keeps the
+    /// directory purely in memory (the seed behaviour).
+    pub store: Option<PathBuf>,
+    /// Store tuning: telemetry label, compaction cadence, fsync, injected
+    /// write faults. Only consulted when `store` is set.
+    pub store_opts: StoreOptions,
+}
+
+impl Default for FsOptions {
+    fn default() -> Self {
+        FsOptions {
+            serve: ServeOptions::default(),
+            store: None,
+            store_opts: StoreOptions {
+                service: "fs".into(),
+                ..StoreOptions::default()
+            },
+        }
+    }
+}
 
 /// A running FS service.
 pub struct FsHandle {
@@ -20,6 +138,10 @@ pub struct FsHandle {
     pub service: ServiceHandle,
     /// The shared server state (inspectable by tests/tools).
     pub state: Arc<Mutex<FaucetsServer>>,
+    /// The registration journal, when durability is enabled.
+    pub store: Option<Arc<DurableStore<DirJournal>>>,
+    /// What recovery found on startup, when durability is enabled.
+    pub recovery: Option<RecoveryReport>,
 }
 
 /// Spawn the FS on `addr` (use port 0 to pick a free port).
@@ -28,18 +150,68 @@ pub fn spawn_fs(addr: &str, clock: Clock, seed: u64) -> io::Result<FsHandle> {
 }
 
 /// [`spawn_fs`], with explicit timeouts and optional fault injection on
-/// the service side.
+/// the service side (no durability; kept for existing callers).
 pub fn spawn_fs_with(
     addr: &str,
     clock: Clock,
     seed: u64,
     opts: ServeOptions,
 ) -> io::Result<FsHandle> {
+    spawn_fs_durable(
+        addr,
+        clock,
+        seed,
+        FsOptions {
+            serve: opts,
+            ..FsOptions::default()
+        },
+    )
+}
+
+/// Evictions are re-derivable (a stale registration restored after a crash
+/// is graded dead and swept on the next request), so journaling them only
+/// compacts the journal and must never NACK the request that noticed them.
+fn journal_evictions(store: &Option<Arc<DurableStore<DirJournal>>>, evicted: &[ClusterId]) {
+    if let Some(store) = store {
+        for cluster in evicted {
+            let _ = store.commit(&DirRecord::Evict { cluster: *cluster });
+        }
+    }
+}
+
+/// [`spawn_fs`], with a durable registration journal: registrations are
+/// journaled before they are acknowledged, and replayed on restart.
+pub fn spawn_fs_durable(
+    addr: &str,
+    clock: Clock,
+    seed: u64,
+    opts: FsOptions,
+) -> io::Result<FsHandle> {
     let state = Arc::new(Mutex::new(FaucetsServer::with_defaults()));
     let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(seed)));
-    let st = Arc::clone(&state);
 
-    let service = serve_with(addr, "fs", opts, move |req| {
+    // Recover the journal and replay registrations before taking traffic.
+    let (store, recovery) = match &opts.store {
+        Some(dir) => {
+            let (store, report) =
+                DurableStore::open(dir, DirJournal::default(), opts.store_opts.clone())
+                    .map_err(io::Error::other)?;
+            {
+                let mut s = state.lock();
+                store.read(|j| {
+                    for row in &j.rows {
+                        s.register_cluster(row.info.clone(), row.apps.clone(), row.last_heard);
+                    }
+                });
+            }
+            (Some(Arc::new(store)), Some(report))
+        }
+        None => (None, None),
+    };
+
+    let st = Arc::clone(&state);
+    let journal = store.clone();
+    let service = serve_with(addr, "fs", opts.serve, move |req| {
         let now = clock.now();
         let mut s = st.lock();
         match req {
@@ -60,31 +232,51 @@ pub fn spawn_fs_with(
                 Err(e) => Response::Error(e.to_string()),
             },
             Request::RegisterCluster { info, apps } => {
+                // Journal first: `Ok` must mean the registration survives a
+                // crash. On a store failure the request is NACKed and the
+                // in-memory directory is left untouched.
+                if let Some(store) = &journal {
+                    if let Err(e) = store.commit(&DirRecord::Register {
+                        info: info.clone(),
+                        apps: apps.clone(),
+                        at: now,
+                    }) {
+                        return Response::Error(format!("registration not durable: {e}"));
+                    }
+                }
                 s.register_cluster(info, apps, now);
                 Response::Ok
             }
             Request::Heartbeat { cluster, status } => {
+                // Sweep explicitly (rather than inside `heartbeat`) so the
+                // evicted ids can be journaled.
+                let evicted = s.sweep_dead(now);
+                journal_evictions(&journal, &evicted);
                 if s.heartbeat(cluster, status, now) {
                     Response::Ok
                 } else {
                     Response::Error(format!("unknown cluster {cluster}"))
                 }
             }
-            Request::ListServers { token, qos } => match s.match_servers(&token, &qos, now) {
-                Ok(ids) => {
-                    let listings = ids
-                        .iter()
-                        .filter_map(|c| {
-                            s.directory.get(*c).map(|e| ServerListing {
-                                info: e.info.clone(),
-                                status: e.status,
+            Request::ListServers { token, qos } => {
+                let evicted = s.sweep_dead(now);
+                journal_evictions(&journal, &evicted);
+                match s.match_servers(&token, &qos, now) {
+                    Ok(ids) => {
+                        let listings = ids
+                            .iter()
+                            .filter_map(|c| {
+                                s.directory.get(*c).map(|e| ServerListing {
+                                    info: e.info.clone(),
+                                    status: e.status,
+                                })
                             })
-                        })
-                        .collect();
-                    Response::Servers(listings)
+                            .collect();
+                        Response::Servers(listings)
+                    }
+                    Err(e) => Response::Error(e.to_string()),
                 }
-                Err(e) => Response::Error(e.to_string()),
-            },
+            }
             Request::ListClusters { token } => match s.verify_token(&token, now) {
                 Ok(_) => Response::Clusters(s.directory.rows(now)),
                 Err(e) => Response::Error(e.to_string()),
@@ -93,7 +285,12 @@ pub fn spawn_fs_with(
         }
     })?;
 
-    Ok(FsHandle { service, state })
+    Ok(FsHandle {
+        service,
+        state,
+        store,
+        recovery,
+    })
 }
 
 #[cfg(test)]
@@ -247,6 +444,73 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(r, Response::Error(_)));
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("faucets-fs-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn registration_survives_fs_restart() {
+        let dir = scratch("restart");
+        let opts = FsOptions {
+            store: Some(dir.clone()),
+            ..FsOptions::default()
+        };
+        let fs = spawn_fs_durable("127.0.0.1:0", Clock::realtime(), 4, opts.clone()).unwrap();
+        let r = call(
+            fs.service.addr,
+            &Request::RegisterCluster {
+                info: info(1),
+                apps: vec!["namd".into()],
+            },
+        )
+        .unwrap();
+        assert_eq!(r, Response::Ok);
+        drop(fs); // crash: no deregistration, nothing flushed beyond the WAL
+
+        let fs = spawn_fs_durable("127.0.0.1:0", Clock::realtime(), 4, opts).unwrap();
+        let report = fs.recovery.as_ref().expect("durable FS reports recovery");
+        assert!(report.replayed_records >= 1, "report: {report:?}");
+        let s = fs.state.lock();
+        let e = s
+            .directory
+            .get(ClusterId(1))
+            .expect("registration recovered");
+        assert_eq!(e.info.name, "cs1");
+        assert!(e.exported_apps.contains("namd"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unjournaled_registration_is_nacked() {
+        use faucets_store::{StoreOptions, WriteFault};
+        let dir = scratch("nack");
+        let opts = FsOptions {
+            store: Some(dir.clone()),
+            store_opts: StoreOptions {
+                service: "fs".into(),
+                fault: Some(std::sync::Arc::new(|_: &[u8]| WriteFault::Fail)),
+                ..StoreOptions::default()
+            },
+            ..FsOptions::default()
+        };
+        let fs = spawn_fs_durable("127.0.0.1:0", Clock::realtime(), 5, opts).unwrap();
+        let r = call(
+            fs.service.addr,
+            &Request::RegisterCluster {
+                info: info(1),
+                apps: vec!["namd".into()],
+            },
+        )
+        .unwrap();
+        // The append failed, so the client is NACKed and the directory does
+        // NOT list the cluster — "registered" always means "durable".
+        assert!(matches!(r, Response::Error(_)), "got {r:?}");
+        assert!(fs.state.lock().directory.get(ClusterId(1)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

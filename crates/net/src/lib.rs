@@ -44,10 +44,17 @@
 //!   skipped (typed [`client::ClientError`], no panic), and if the chosen
 //!   daemon dies mid-negotiation the client falls through its ranked bid
 //!   list and, once exhausted, re-solicits bids from scratch.
-//! * **Daemon** — the FD journals accepted QoS contracts to a snapshot
-//!   file (atomic temp+rename); a restarted daemon reloads the snapshot,
-//!   re-registers with the FS, and resumes the contracts it had accepted
-//!   before the crash.
+//! * **Daemon** — the FD journals accepted QoS contracts to a
+//!   `faucets_store` write-ahead log *before* confirming the award (a
+//!   failed append NACKs the award, so "accepted" always means
+//!   "durable"); a restarted daemon replays the log, re-registers with
+//!   the FS, and resumes the contracts it had accepted before the crash.
+//! * **Central Server** — with [`fs::FsOptions::store`] set, cluster
+//!   registrations ride the same WAL engine and survive an FS restart;
+//!   sessions are in-memory by design, so clients re-login and daemons
+//!   re-register on the heartbeat error path. Experiment E21
+//!   (`exp_durability`) kill-9s each durable service mid-workload and
+//!   asserts nothing acknowledged is lost.
 //!
 //! All injected failures come from a seeded [`fault::FaultPlan`]: the same
 //! seed reproduces the same fault schedule byte-for-byte (see
@@ -80,7 +87,7 @@ pub mod prelude {
     pub use crate::client::{ClientError, FaucetsClient, Submission};
     pub use crate::fault::{FaultConfig, FaultPlan, FaultStats, FrameFault, Outage};
     pub use crate::fd::{spawn_fd, spawn_fd_with, FdHandle, FdOptions};
-    pub use crate::fs::{spawn_fs, spawn_fs_with, FsHandle};
+    pub use crate::fs::{spawn_fs, spawn_fs_durable, spawn_fs_with, FsHandle, FsOptions};
     pub use crate::proto::{read_frame, write_frame, Envelope, ProtoError, Request, Response};
     pub use crate::service::{
         call, call_with, serve, serve_with, CallOptions, Clock, RetryPolicy, ServeOptions,

@@ -1,7 +1,7 @@
 //! Failure-recovery integration tests: real sockets, fixed seeds.
 //!
 //! Exercises the two recovery paths the unit tests can't reach end-to-end:
-//! a daemon that crashes while a client is blocked in `wait` (the snapshot
+//! a daemon that crashes while a client is blocked in `wait` (the WAL
 //! journal brings the contract back and the job still completes), and a
 //! daemon that goes silent (the Central Server grades it dead and evicts
 //! it from matching).
@@ -21,7 +21,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 fn spawn_daemon(
-    snapshot: Option<PathBuf>,
+    store: Option<PathBuf>,
     fs: SocketAddr,
     aspect: SocketAddr,
     clock: Clock,
@@ -42,28 +42,29 @@ fn spawn_daemon(
         aspect,
         clock,
         FdOptions {
-            snapshot,
+            store,
             ..FdOptions::default()
         },
     )
     .expect("FD")
 }
 
-fn scratch_file(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("faucets-recovery-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("scratch dir");
-    dir.join(name)
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("faucets-recovery-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 /// The daemon crashes while the client is blocked in `wait`; a restart on
-/// the same snapshot path restores the accepted contract and the job runs
-/// to completion — the client never sees the outage, only a longer wait.
+/// the same journal directory restores the accepted contract and the job
+/// runs to completion — the client never sees the outage, only a longer
+/// wait.
 #[test]
 fn daemon_death_during_wait_recovers_from_snapshot() {
     let clock = Clock::new(3_000.0);
     let fs = spawn_fs("127.0.0.1:0", clock.clone(), 41).unwrap();
     let aspect = spawn_appspector("127.0.0.1:0", fs.service.addr, 16).unwrap();
-    let snap = scratch_file("wait.json");
+    let snap = scratch_dir("wait");
     let fd = spawn_daemon(
         Some(snap.clone()),
         fs.service.addr,
@@ -121,9 +122,16 @@ fn daemon_death_during_wait_recovers_from_snapshot() {
         "FD server spans joined the trace"
     );
 
-    // Crash: no deregistration, no goodbye. The journal stays on disk.
+    // Crash: no deregistration, no goodbye. The journal stays on disk and
+    // scans clean — the accepted contract is an intact WAL record.
     fd.kill();
-    assert!(snap.exists(), "snapshot survives the crash");
+    let scan = faucets_store::scan_dir(&snap)
+        .expect("journal dir readable")
+        .expect("journal present");
+    assert!(
+        !scan.records.is_empty(),
+        "acceptance journaled before the crash"
+    );
 
     // Restart the daemon after a short outage, while the client waits.
     let (fs_addr, as_addr, clk, path) = (
@@ -151,7 +159,7 @@ fn daemon_death_during_wait_recovers_from_snapshot() {
         "contract pruned after completion"
     );
     fd2.shutdown();
-    let _ = std::fs::remove_file(&snap);
+    let _ = std::fs::remove_dir_all(&snap);
 }
 
 /// A daemon that stops heartbeating is graded dead by the Central Server

@@ -1,0 +1,141 @@
+//! Property tests for WAL recovery (satellite of E21).
+//!
+//! Whatever damage a crash inflicts on the log tail — truncation at an
+//! arbitrary byte, or a flipped bit anywhere in the file — recovery must
+//! return a *valid prefix* of what was appended:
+//!
+//! 1. every record returned equals the original at that position (a
+//!    damaged record is never surfaced as garbage), and
+//! 2. every record wholly written *before* the damage point survives.
+
+use faucets_store::wal::{FRAME_HEADER, HEADER_LEN};
+use faucets_store::{read_wal, NoopObserver, Wal, WalOptions};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh scratch WAL path, unique per process and per proptest case.
+fn scratch() -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("faucets-store-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(format!("wal-{n}.log"))
+}
+
+/// Write `records` into a fresh log and return its path.
+fn write_log(records: &[Vec<u8>]) -> PathBuf {
+    let path = scratch();
+    let _ = std::fs::remove_file(&path);
+    let wal = Wal::create(
+        &path,
+        1,
+        WalOptions {
+            no_fsync: true, // damage is injected below, not by skipping fsync
+            ..WalOptions::default()
+        },
+        Arc::new(NoopObserver),
+    )
+    .expect("create wal");
+    for r in records {
+        wal.append(r).expect("append");
+    }
+    path
+}
+
+/// Byte offset at which record `i` (0-based) ends inside the file.
+fn frame_end(records: &[Vec<u8>], i: usize) -> usize {
+    HEADER_LEN as usize
+        + records[..=i]
+            .iter()
+            .map(|r| FRAME_HEADER + r.len())
+            .sum::<usize>()
+}
+
+/// How many leading records lie *wholly* before byte `damage_at`.
+fn wholly_before(records: &[Vec<u8>], damage_at: usize) -> usize {
+    (0..records.len())
+        .take_while(|&i| frame_end(records, i) <= damage_at)
+        .count()
+}
+
+/// Check the two prefix invariants against a damaged log.
+fn check(path: &PathBuf, records: &[Vec<u8>], damage_at: usize) -> Result<(), TestCaseError> {
+    let scan = read_wal(path).expect("scan never fails on damaged content");
+    let n = scan.records.len();
+    prop_assert!(
+        n <= records.len(),
+        "recovered {n} records from {} written",
+        records.len()
+    );
+    prop_assert_eq!(
+        &scan.records[..],
+        &records[..n],
+        "recovered records must be an exact prefix"
+    );
+    let must_survive = wholly_before(records, damage_at);
+    prop_assert!(
+        n >= must_survive,
+        "damage at byte {damage_at} may only lose records at/after it: \
+         recovered {n}, but {must_survive} were wholly before the damage"
+    );
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Truncating the file at any byte keeps an exact, complete prefix.
+    #[test]
+    fn truncation_always_yields_valid_prefix(
+        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..96), 1..12),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let path = write_log(&records);
+        let len = std::fs::metadata(&path).expect("meta").len() as usize;
+        let cut = cut.index(len + 1); // 0..=len: empty file through untouched
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..cut]).expect("truncate");
+        check(&path, &records, cut)?;
+    }
+
+    /// Flipping any single byte (header included) keeps an exact prefix and
+    /// loses nothing before the flipped byte.
+    #[test]
+    fn bit_flip_always_yields_valid_prefix(
+        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..96), 1..12),
+        at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let path = write_log(&records);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let at = at.index(bytes.len());
+        bytes[at] ^= xor;
+        std::fs::write(&path, &bytes).expect("write damaged");
+        check(&path, &records, at)?;
+    }
+
+    /// Truncation *and* a bit flip in what remains: still a valid prefix up
+    /// to the earlier damage point.
+    #[test]
+    fn combined_damage_always_yields_valid_prefix(
+        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..96), 1..12),
+        cut in any::<prop::sample::Index>(),
+        at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let path = write_log(&records);
+        let len = std::fs::metadata(&path).expect("meta").len() as usize;
+        let cut = cut.index(len) + 1; // keep at least one byte
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.truncate(cut);
+        let at = at.index(bytes.len());
+        bytes[at] ^= xor;
+        std::fs::write(&path, &bytes).expect("write damaged");
+        check(&path, &records, at.min(cut))?;
+    }
+}
