@@ -266,6 +266,7 @@ fn ledger_storm(transfers: usize) -> (usize, usize) {
             garble: 0.05,
             delay: 0.0,
             max_delay: Duration::ZERO,
+            reject: 0.0,
         },
     ));
     let faulty_opts = StoreOptions {

@@ -152,6 +152,15 @@ impl QosContract {
         self.payoff.hard_deadline
     }
 
+    /// Payoff per CPU-second on a machine with the given per-PE speed —
+    /// the §4 profit-density of this contract, used by overload shedding
+    /// to drop the least valuable work first. Uses the soft-deadline
+    /// payoff (the best case the contract can pay).
+    pub fn payoff_rate(&self, flops_per_pe_sec: f64) -> f64 {
+        self.payoff.payoff_soft.as_units_f64()
+            / self.cpu_seconds(flops_per_pe_sec).max(f64::MIN_POSITIVE)
+    }
+
     /// Effective total memory demand in MB.
     pub fn total_mem_demand_mb(&self) -> u64 {
         if self.total_mem_mb > 0 {
@@ -317,6 +326,32 @@ mod tests {
         assert!((q.cpu_seconds(1e9) - 8000.0).abs() < 1e-6);
         // A machine twice as fast halves the CPU time.
         assert!((q.cpu_seconds(2e9) - 4000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn payoff_rate_orders_contracts_by_profit_density() {
+        let rich = QosBuilder::new("x", 1, 1, 100.0)
+            .payoff(PayoffFn::hard_only(
+                SimTime::from_hours(1),
+                Money::from_units(100),
+                Money::ZERO,
+            ))
+            .build()
+            .unwrap();
+        let poor = QosBuilder::new("x", 1, 1, 100.0)
+            .payoff(PayoffFn::hard_only(
+                SimTime::from_hours(1),
+                Money::from_units(10),
+                Money::ZERO,
+            ))
+            .build()
+            .unwrap();
+        assert!(rich.payoff_rate(1.0) > poor.payoff_rate(1.0));
+        // $100 over 100 cpu-s = $1 per cpu-second.
+        assert!((rich.payoff_rate(1.0) - 1.0).abs() < 1e-9);
+        // A zero-payoff contract has rate 0, not NaN.
+        let free = QosBuilder::new("x", 1, 1, 100.0).build().unwrap();
+        assert_eq!(free.payoff_rate(1.0), 0.0);
     }
 
     #[test]

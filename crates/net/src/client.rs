@@ -19,8 +19,17 @@
 //! then — up to [`FaucetsClient::max_rounds`] rounds. A bid naming a
 //! server missing from the directory listing is skipped with a recorded
 //! [`ClientError::UnlistedBidder`] rather than a panic.
+//!
+//! ## Overload
+//!
+//! A peer answering [`Response::Overloaded`] is healthy but saturated:
+//! the client counts it as "no bid this round" (never as evidence the
+//! daemon is dead), keeps its per-peer circuit breakers
+//! ([`FaucetsClient::breakers`]) closed, and rides it out exactly like a
+//! transient drop everywhere else.
 
 use crate::fault::FaultPlan;
+use crate::overload::BreakerSet;
 use crate::proto::{Request, Response};
 use crate::service::{call_with, CallOptions, Clock, RetryPolicy, Timeouts};
 use faucets_core::appspector::MonitorSnapshot;
@@ -66,6 +75,9 @@ pub enum ClientError {
     },
     /// A watched job did not complete within the caller's deadline.
     TimedOut(JobId),
+    /// The peer (or a tripped local circuit breaker) refused the call
+    /// because it is saturated. Busy, not dead: treated as transient.
+    Overloaded,
 }
 
 impl fmt::Display for ClientError {
@@ -86,6 +98,7 @@ impl fmt::Display for ClientError {
                 )
             }
             ClientError::TimedOut(j) => write!(f, "timed out waiting for {j}"),
+            ClientError::Overloaded => write!(f, "peer overloaded; retry later"),
         }
     }
 }
@@ -94,7 +107,11 @@ impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Transport(e.to_string())
+        if crate::proto::is_overload_error(&e) {
+            ClientError::Overloaded
+        } else {
+            ClientError::Transport(e.to_string())
+        }
     }
 }
 
@@ -136,6 +153,14 @@ pub struct FaucetsClient {
     pub max_rounds: u32,
     /// Optional fault injection on this client's own traffic.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Per-peer circuit breakers applied to every call (default on). An
+    /// [`Response::Overloaded`] answer counts as a breaker *success*, so
+    /// a healthy-but-busy cluster is never fast-failed.
+    pub breakers: Arc<BreakerSet>,
+    /// Optional wall-clock budget per call: stamped on the wire as
+    /// `deadline_ms` (so servers can shed doomed work) and capping the
+    /// retry loop's total backoff.
+    pub call_deadline: Option<Duration>,
     /// The trace id of the most recent [`FaucetsClient::submit`] call, for
     /// reconstructing that job's end-to-end path from the span log.
     pub last_trace: Option<TraceId>,
@@ -144,6 +169,7 @@ pub struct FaucetsClient {
     m_bids: Counter,
     m_awards: Counter,
     m_resolicits: Counter,
+    m_overloaded: Counter,
 }
 
 impl FaucetsClient {
@@ -206,12 +232,15 @@ impl FaucetsClient {
                     timeouts: Timeouts::default(),
                     max_rounds: 3,
                     faults: None,
+                    breakers: Arc::new(BreakerSet::default()),
+                    call_deadline: None,
                     last_trace: None,
                     next_job: (user.raw() << 32) + 1,
                     m_rounds: reg.counter("client_negotiation_rounds_total", &[]),
                     m_bids: reg.counter("client_bids_received_total", &[]),
                     m_awards: reg.counter("client_awards_confirmed_total", &[]),
                     m_resolicits: reg.counter("client_resolicitations_total", &[]),
+                    m_overloaded: reg.counter("client_bids_overloaded_total", &[]),
                 })
             }
             Ok(Response::Error(e)) => Err(ClientError::Rejected(e)),
@@ -225,6 +254,8 @@ impl FaucetsClient {
             timeouts: self.timeouts,
             retry: self.retry,
             faults: self.faults.clone(),
+            deadline: self.call_deadline,
+            breakers: Some(Arc::clone(&self.breakers)),
             ..CallOptions::default()
         }
     }
@@ -314,16 +345,26 @@ impl FaucetsClient {
             else {
                 continue;
             };
-            if let Ok(Response::BidReply(reply)) = self.call(
+            match self.call(
                 addr,
                 &Request::RequestBid {
                     token: self.token.clone(),
                     request: req.clone(),
                 },
             ) {
-                if let Some(b) = reply.offer() {
-                    bids.push(*b);
+                Ok(Response::BidReply(reply)) => {
+                    if let Some(b) = reply.offer() {
+                        bids.push(*b);
+                    }
                 }
+                // A saturated daemon is healthy but shedding: no bid this
+                // round. Counting it would be wrong twice over — it is not
+                // a decline (the daemon never priced the job) and not a
+                // death (the breaker must stay closed for busy clusters).
+                Ok(Response::Overloaded { .. }) | Err(ClientError::Overloaded) => {
+                    self.m_overloaded.inc();
+                }
+                _ => {}
             }
         }
         self.m_bids.add(bids.len() as u64);
@@ -374,7 +415,7 @@ impl FaucetsClient {
                     // mid-negotiation death: fall through to the next bid.
                     match self.stage_inputs(addr, job, inputs) {
                         Ok(()) => {}
-                        Err(ClientError::Transport(_)) => continue,
+                        Err(ClientError::Transport(_) | ClientError::Overloaded) => continue,
                         Err(e) => return Err(e),
                     }
                     return Ok(Submission {
@@ -395,6 +436,7 @@ impl FaucetsClient {
                 Ok(Response::Error(_)) => continue,
                 Ok(other) => return Err(ClientError::Protocol(format!("award: {other:?}"))),
                 Err(ClientError::Transport(_)) => continue, // daemon died; next bid
+                Err(ClientError::Overloaded) => continue,   // daemon busy; next bid
                 Err(e) => return Err(e),
             }
         }
@@ -455,7 +497,7 @@ impl FaucetsClient {
         loop {
             match self.watch(job) {
                 Ok(snap) if snap.completed => return Ok(snap),
-                Ok(_) | Err(ClientError::Transport(_)) => {}
+                Ok(_) | Err(ClientError::Transport(_) | ClientError::Overloaded) => {}
                 Err(e) => return Err(e),
             }
             if Instant::now() >= deadline {

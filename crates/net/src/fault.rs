@@ -66,6 +66,12 @@ pub struct FaultConfig {
     pub delay: f64,
     /// Upper bound for injected delays.
     pub max_delay: Duration,
+    /// Probability a request is rejected at admission with
+    /// [`crate::proto::Response::Overloaded`], before the handler runs.
+    /// Drawn independently of the frame faults above (it applies to the
+    /// endpoint, not the frame bytes), so it does not count toward their
+    /// sum-≤-1 budget.
+    pub reject: f64,
 }
 
 impl FaultConfig {
@@ -77,6 +83,7 @@ impl FaultConfig {
             garble: 0.0,
             delay: 0.0,
             max_delay: Duration::ZERO,
+            reject: 0.0,
         }
     }
 
@@ -89,6 +96,7 @@ impl FaultConfig {
             garble: 0.02,
             delay: 0.05,
             max_delay: Duration::from_millis(40),
+            reject: 0.0,
         }
     }
 
@@ -101,6 +109,11 @@ impl FaultConfig {
                 && self.garble >= 0.0
                 && self.delay >= 0.0,
             "fault probabilities must be non-negative and sum to at most 1 (got {total})"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.reject),
+            "reject probability must be in [0, 1] (got {})",
+            self.reject
         );
     }
 }
@@ -124,6 +137,8 @@ pub struct FaultStats {
     pub garbled: u64,
     /// Frames delayed.
     pub delayed: u64,
+    /// Requests rejected at admission ([`FaultPlan::inject_overload`]).
+    pub rejected: u64,
 }
 
 /// One planned service outage: kill `victim`, restart it later (or never).
@@ -153,6 +168,7 @@ pub struct FaultPlan {
     truncated: AtomicU64,
     garbled: AtomicU64,
     delayed: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl std::fmt::Debug for FaultPlan {
@@ -201,6 +217,7 @@ impl FaultPlan {
             truncated: AtomicU64::new(0),
             garbled: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
         }
     }
 
@@ -227,7 +244,38 @@ impl FaultPlan {
             truncated: self.truncated.load(Ordering::Relaxed),
             garbled: self.garbled.load(Ordering::Relaxed),
             delayed: self.delayed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
         }
+    }
+
+    /// Should this request be rejected at admission? Deterministic in
+    /// `(seed, key, occurrence)` like frame faults — `key` is normally the
+    /// endpoint name, and the n-th request to the same endpoint always
+    /// gets the same verdict under the same seed. Injections are counted
+    /// in [`FaultPlan::stats`] as `rejected`.
+    pub fn inject_overload(&self, key: &[u8]) -> bool {
+        if self.config.reject <= 0.0 {
+            return false;
+        }
+        let occurrence = {
+            let mut occ = self.occurrences.lock().unwrap_or_else(|e| e.into_inner());
+            // Salt the key so endpoint draws never collide with the frame
+            // occurrence counters for identical bytes.
+            let n = occ.entry(fnv1a(key) ^ 0x7265_6a65_6374).or_insert(0);
+            let cur = *n;
+            *n += 1;
+            cur
+        };
+        let h = mix64(
+            self.seed
+                ^ 0x7265_6a65_6374
+                ^ fnv1a(key).wrapping_add(occurrence.wrapping_mul(0x9e37_79b9)),
+        );
+        let rejected = unit(h) < self.config.reject;
+        if rejected {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        rejected
     }
 
     /// The verdict for the n-th occurrence of a frame with these bytes —
@@ -491,6 +539,37 @@ mod tests {
 
         let inert = Arc::new(FaultPlan::inert(11));
         assert!(matches!(inert.store_hook()(&frame), WriteFault::Deliver));
+    }
+
+    #[test]
+    fn overload_injection_is_deterministic_and_counted() {
+        let cfg = FaultConfig {
+            reject: 0.5,
+            ..FaultConfig::none()
+        };
+        let a = FaultPlan::new(21, cfg);
+        let b = FaultPlan::new(21, cfg);
+        let va: Vec<bool> = (0..64).map(|_| a.inject_overload(b"RequestBid")).collect();
+        let vb: Vec<bool> = (0..64).map(|_| b.inject_overload(b"RequestBid")).collect();
+        assert_eq!(va, vb, "same seed, same endpoint, same verdicts");
+        assert!(va.contains(&true) && va.contains(&false));
+        assert_eq!(a.stats().rejected, va.iter().filter(|&&r| r).count() as u64);
+        // Frame faults are untouched by admission draws.
+        assert_eq!(a.stats().delivered, 0);
+        // An inert plan never rejects.
+        assert!(!FaultPlan::inert(21).inject_overload(b"RequestBid"));
+    }
+
+    #[test]
+    #[should_panic(expected = "reject probability")]
+    fn out_of_range_reject_probability_rejected() {
+        FaultPlan::new(
+            1,
+            FaultConfig {
+                reject: 1.5,
+                ..FaultConfig::none()
+            },
+        );
     }
 
     #[test]

@@ -29,9 +29,11 @@
 //! down, the heartbeat's error reply triggers re-registration from the
 //! pump.
 
+use crate::overload::{GateConfig, GateVerdict, PayoffGate};
 use crate::proto::{Request, Response};
 use crate::service::{
-    call_with, serve_with, CallOptions, Clock, RetryPolicy, ServeOptions, ServiceHandle,
+    call_with, request_deadline, serve_with, CallOptions, Clock, RetryPolicy, ServeOptions,
+    ServiceHandle,
 };
 use faucets_core::appspector::TelemetrySample;
 use faucets_core::daemon::{AwardOutcome, FaucetsDaemon};
@@ -138,6 +140,16 @@ pub struct FdOptions {
     pub call: CallOptions,
     /// Heartbeat cadence in *simulated* seconds.
     pub heartbeat_every: faucets_sim::time::SimDuration,
+    /// Payoff-aware admission gate for the bid pipeline: over
+    /// `max_inflight` concurrent solicitations, up to `max_queue` wait and
+    /// the lowest payoff-rate request is shed first (§4 profit
+    /// maximization under overload). Defaults are generous; retune at
+    /// runtime via [`FdHandle::gate`].
+    pub bid_gate: GateConfig,
+    /// Minimum wall-clock cost charged to each admitted bid solicitation
+    /// (models the CM probe of §2.2). Zero (the default) adds nothing;
+    /// experiments set it to give the FD a known bid capacity.
+    pub bid_probe_floor: Duration,
 }
 
 impl Default for FdOptions {
@@ -154,6 +166,8 @@ impl Default for FdOptions {
                 ..CallOptions::default()
             },
             heartbeat_every: faucets_sim::time::SimDuration::from_secs(30),
+            bid_gate: GateConfig::default(),
+            bid_probe_floor: Duration::ZERO,
         }
     }
 }
@@ -183,6 +197,9 @@ pub struct FdHandle {
     pub service: ServiceHandle,
     /// The cluster this FD represents.
     pub cluster_id: ClusterId,
+    /// The payoff-aware bid admission gate (live knobs and peak-queue
+    /// readout — see [`FdOptions::bid_gate`]).
+    pub gate: Arc<PayoffGate>,
     state: Arc<Mutex<FdState>>,
     stop: Arc<AtomicBool>,
     pump: Option<JoinHandle<()>>,
@@ -355,9 +372,28 @@ pub fn spawn_fd_with(
     let journal = store.clone();
     let clock_handler = clock.clone();
     let call_opts = opts.call.clone();
+    let gate = PayoffGate::new(opts.bid_gate, &cluster_name, reg);
+    let bid_gate = Arc::clone(&gate);
+    let bid_probe_floor = opts.bid_probe_floor;
     let service = serve_with(addr, "fd", opts.serve.clone(), move |req| {
         match req {
             Request::RequestBid { token, request } => {
+                // Payoff-aware admission (§4 under overload): the gate
+                // bounds concurrent solicitations, sheds the lowest
+                // payoff-rate request when full, and drops doomed ones
+                // whose propagated deadline has already expired.
+                let flops = st.lock().daemon.info.flops_per_pe_sec;
+                let rate = request.qos.payoff_rate(flops);
+                let _permit = match bid_gate.enter(rate, request_deadline()) {
+                    GateVerdict::Served(p) => p,
+                    GateVerdict::Shed => return Response::Overloaded { retry_after_ms: 50 },
+                    GateVerdict::Doomed => return Response::Overloaded { retry_after_ms: 0 },
+                };
+                // Charge the configured probe floor while holding the
+                // permit, so the gate's inflight bound is a real capacity.
+                if !bid_probe_floor.is_zero() {
+                    std::thread::sleep(bid_probe_floor);
+                }
                 // §2.2: the FD re-checks the client with the FS.
                 if let Err(e) = verify(fs, &token, &call_opts) {
                     return Response::Error(e);
@@ -604,6 +640,7 @@ pub fn spawn_fd_with(
     Ok(FdHandle {
         service,
         cluster_id,
+        gate,
         state,
         stop,
         pump: Some(pump),

@@ -21,6 +21,7 @@
 //! re-verify tokens against the FS, so an FS restart invalidates sessions
 //! and clients must log in again.
 
+use crate::overload::TokenBucket;
 use crate::proto::{Request, Response};
 use crate::service::{serve_with, Clock, ServeOptions, ServiceHandle};
 use faucets_core::directory::{ServerInfo, ServerListing};
@@ -117,6 +118,14 @@ pub struct FsOptions {
     /// Store tuning: telemetry label, compaction cadence, fsync, injected
     /// write faults. Only consulted when `store` is set.
     pub store_opts: StoreOptions,
+    /// Directory-query (`ListServers`/`ListClusters`) throttle: sustained
+    /// queries per second. Queries over the budget are answered
+    /// [`Response::Overloaded`] so a scanning client cannot starve
+    /// registrations and heartbeats. Retunable at runtime via
+    /// [`FsHandle::query_bucket`].
+    pub query_rate: f64,
+    /// Directory-query burst capacity (tokens banked while idle).
+    pub query_burst: f64,
 }
 
 impl Default for FsOptions {
@@ -128,6 +137,10 @@ impl Default for FsOptions {
                 service: "fs".into(),
                 ..StoreOptions::default()
             },
+            // Generous: far above anything the test suite or a sane client
+            // generates, low enough to cap a runaway scanner.
+            query_rate: 1000.0,
+            query_burst: 2000.0,
         }
     }
 }
@@ -142,6 +155,8 @@ pub struct FsHandle {
     pub store: Option<Arc<DurableStore<DirJournal>>>,
     /// What recovery found on startup, when durability is enabled.
     pub recovery: Option<RecoveryReport>,
+    /// The directory-query throttle (live `set_rate`/`set_burst` knobs).
+    pub query_bucket: Arc<TokenBucket>,
 }
 
 /// Spawn the FS on `addr` (use port 0 to pick a free port).
@@ -211,7 +226,20 @@ pub fn spawn_fs_durable(
 
     let st = Arc::clone(&state);
     let journal = store.clone();
+    let query_bucket = Arc::new(TokenBucket::new(opts.query_rate, opts.query_burst));
+    let bucket = Arc::clone(&query_bucket);
+    let m_throttled = faucets_telemetry::global().counter("fs_query_throttled_total", &[]);
     let service = serve_with(addr, "fs", opts.serve, move |req| {
+        // Directory queries are throttled before touching the lock, so a
+        // scanning client cannot starve registrations and heartbeats.
+        if matches!(
+            req,
+            Request::ListServers { .. } | Request::ListClusters { .. }
+        ) && !bucket.try_admit()
+        {
+            m_throttled.inc();
+            return Response::Overloaded { retry_after_ms: 25 };
+        }
         let now = clock.now();
         let mut s = st.lock();
         match req {
@@ -290,6 +318,7 @@ pub fn spawn_fs_durable(
         state,
         store,
         recovery,
+        query_bucket,
     })
 }
 
@@ -511,6 +540,40 @@ mod tests {
         assert!(matches!(r, Response::Error(_)), "got {r:?}");
         assert!(fs.state.lock().directory.get(ClusterId(1)).is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn directory_queries_throttle_but_heartbeats_do_not() {
+        let fs = spawn_fs("127.0.0.1:0", Clock::realtime(), 8).unwrap();
+        call(
+            fs.service.addr,
+            &Request::RegisterCluster {
+                info: info(1),
+                apps: vec!["namd".into()],
+            },
+        )
+        .unwrap();
+        // Choke the query bucket at runtime: zero refill, zero capacity.
+        fs.query_bucket.set_rate(0.0);
+        fs.query_bucket.set_burst(0.0);
+        let r = call(
+            fs.service.addr,
+            &Request::ListClusters {
+                token: faucets_core::auth::SessionToken("x".into()),
+            },
+        )
+        .unwrap();
+        assert!(matches!(r, Response::Overloaded { .. }), "got {r:?}");
+        // Heartbeats and registrations are exempt from the query throttle.
+        let r = call(
+            fs.service.addr,
+            &Request::Heartbeat {
+                cluster: ClusterId(1),
+                status: ServerStatus::default(),
+            },
+        )
+        .unwrap();
+        assert_eq!(r, Response::Ok);
     }
 
     #[test]

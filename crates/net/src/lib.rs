@@ -14,7 +14,9 @@
 //!   feeds AppSpector;
 //! * [`appspector_srv`] — buffered monitoring and output download;
 //! * [`client`] — the full §2 submission/monitoring client;
-//! * [`service`] — shared accept-loop, timeout/retry, and clock plumbing.
+//! * [`service`] — shared accept-loop, timeout/retry, and clock plumbing;
+//! * [`overload`] — admission control, circuit breakers, and payoff-aware
+//!   load shedding (see below).
 //!
 //! Experiment E1 and `examples/live_services.rs` run the entire Figure-1
 //! architecture on localhost; experiment E19 (`exp_faults`) runs it under
@@ -70,6 +72,39 @@
 //! that registry. The AppSpector aggregates the lot into a
 //! [`faucets_core::appspector::GridView`] on [`proto::Request::GridView`].
 //! Experiment E20 (`exp_observability`) exercises the whole pipeline.
+//!
+//! ## Overload protection
+//!
+//! The paper sizes the architecture at "hundreds of Compute Servers" and
+//! "millions of jobs per day" (§5); at that scale saturation is routine,
+//! so every Figure-1 service degrades gracefully instead of queueing
+//! without bound:
+//!
+//! * **Admission** — [`service::serve_with`] bounds per-endpoint inflight
+//!   work ([`overload::ServiceLimits`]); a request over the bound is
+//!   answered [`proto::Response::Overloaded`] immediately (fast-fail), and
+//!   callers surface it as the typed, non-retried
+//!   [`proto::ProtoError::Overloaded`].
+//! * **Deadlines** — callers stamp their remaining budget into the
+//!   [`proto::Envelope`] (`deadline_ms`); the serve layer sheds work whose
+//!   deadline already expired, and handlers can read
+//!   [`service::request_deadline`] to stop doomed work mid-flight. The
+//!   retry loop never backs off past the caller's deadline.
+//! * **Breakers** — [`overload::BreakerSet`] gives each peer a
+//!   closed/open/half-open circuit breaker in the client path: after
+//!   enough consecutive transport failures, calls fast-fail locally until
+//!   a cooldown probe succeeds. An `Overloaded` answer counts as a
+//!   breaker *success* — busy is not dead.
+//! * **Payoff-aware shedding** — the FD pushes §4's profit maximization
+//!   into overload: over its bid-pipeline bound, [`overload::PayoffGate`]
+//!   sheds bid solicitations in ascending payoff-rate order, so the most
+//!   profitable contracts survive saturation. The FS throttles directory
+//!   queries with an [`overload::TokenBucket`].
+//!
+//! All limits are runtime-tunable, counted in telemetry (sheds,
+//! rejections, breaker transitions, queue-depth gauges), fault-injectable
+//! via [`fault::FaultConfig::reject`], and exercised by experiment E22
+//! (`exp_overload`).
 
 #![warn(missing_docs)]
 
@@ -78,6 +113,7 @@ pub mod client;
 pub mod fault;
 pub mod fd;
 pub mod fs;
+pub mod overload;
 pub mod proto;
 pub mod service;
 
@@ -88,6 +124,10 @@ pub mod prelude {
     pub use crate::fault::{FaultConfig, FaultPlan, FaultStats, FrameFault, Outage};
     pub use crate::fd::{spawn_fd, spawn_fd_with, FdHandle, FdOptions};
     pub use crate::fs::{spawn_fs, spawn_fs_durable, spawn_fs_with, FsHandle, FsOptions};
+    pub use crate::overload::{
+        BreakerConfig, BreakerSet, CircuitBreaker, GateConfig, GateVerdict, PayoffGate,
+        ServiceLimits, TokenBucket,
+    };
     pub use crate::proto::{read_frame, write_frame, Envelope, ProtoError, Request, Response};
     pub use crate::service::{
         call, call_with, serve, serve_with, CallOptions, Clock, RetryPolicy, ServeOptions,

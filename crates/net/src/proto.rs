@@ -233,6 +233,14 @@ pub enum Response {
     Clusters(Vec<ClusterRow>),
     /// The aggregated grid dashboard.
     Grid(Box<GridView>),
+    /// The service is at its admission bound and shed this request before
+    /// doing any work (fast-fail instead of unbounded queueing). Not an
+    /// error about the request itself: the caller may retry elsewhere or
+    /// after the hinted delay.
+    Overloaded {
+        /// Hint: milliseconds until the service expects capacity again.
+        retry_after_ms: u64,
+    },
     /// Any failure, with a human-readable message.
     Error(String),
 }
@@ -245,15 +253,26 @@ pub enum Response {
 pub struct Envelope<T> {
     /// The sender's trace context, if it is participating in a trace.
     pub ctx: Option<TraceContext>,
+    /// Milliseconds of deadline budget remaining at send time, when the
+    /// caller has one ([`crate::service::CallOptions::deadline`]). The
+    /// server sheds a request that arrives with `Some(0)` — the caller has
+    /// already abandoned it — and exposes the remaining budget to handlers
+    /// via [`crate::service::request_deadline`] so queued work can be
+    /// dropped the moment it becomes doomed. Absent on the wire when
+    /// `None`, so pre-deadline peers interoperate.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadline_ms: Option<u64>,
     /// The request or response being carried.
     pub msg: T,
 }
 
 impl<T> Envelope<T> {
-    /// Wrap `msg` with the calling thread's current trace context.
+    /// Wrap `msg` with the calling thread's current trace context and no
+    /// deadline.
     pub fn wrap(msg: T) -> Self {
         Envelope {
             ctx: faucets_telemetry::trace::current(),
+            deadline_ms: None,
             msg,
         }
     }
@@ -270,6 +289,15 @@ pub enum ProtoError {
     FrameTooLarge(u32),
     /// The payload framed correctly but is not a valid message.
     Malformed(serde_json::Error),
+    /// The call was shed by overload protection — either the peer answered
+    /// [`Response::Overloaded`], or a local circuit breaker / deadline
+    /// fast-failed it without touching the network. Not transient: backing
+    /// off (or going elsewhere) is the point; retrying immediately is the
+    /// storm this error exists to prevent.
+    Overloaded {
+        /// Hint: milliseconds until capacity is expected again.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for ProtoError {
@@ -280,6 +308,9 @@ impl std::fmt::Display for ProtoError {
                 write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
             }
             ProtoError::Malformed(e) => write!(f, "malformed payload: {e}"),
+            ProtoError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded; retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -289,7 +320,7 @@ impl std::error::Error for ProtoError {
         match self {
             ProtoError::Io(e) => Some(e),
             ProtoError::Malformed(e) => Some(e),
-            ProtoError::FrameTooLarge(_) => None,
+            ProtoError::FrameTooLarge(_) | ProtoError::Overloaded { .. } => None,
         }
     }
 }
@@ -304,9 +335,22 @@ impl From<ProtoError> for std::io::Error {
     fn from(e: ProtoError) -> Self {
         match e {
             ProtoError::Io(e) => e,
+            // Kept as the error payload (not a string) so callers can
+            // recognise an overload shed with [`is_overload_error`].
+            overload @ ProtoError::Overloaded { .. } => std::io::Error::other(overload),
             other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
         }
     }
+}
+
+/// Did this I/O error originate as [`ProtoError::Overloaded`] (the call was
+/// shed, locally or by the peer) rather than a genuine transport failure?
+/// Callers use this to treat "busy" differently from "dead" — an overloaded
+/// FD contributes no bid this round but must not be graded a corpse.
+pub fn is_overload_error(e: &std::io::Error) -> bool {
+    e.get_ref()
+        .and_then(|inner| inner.downcast_ref::<ProtoError>())
+        .is_some_and(|p| matches!(p, ProtoError::Overloaded { .. }))
 }
 
 impl ProtoError {
@@ -506,6 +550,35 @@ mod tests {
         buf.truncate(buf.len() - 1);
         let mut cur = Cursor::new(buf);
         assert!(read_frame::<_, Response>(&mut cur).is_err());
+    }
+
+    #[test]
+    fn envelope_deadline_is_optional_on_the_wire() {
+        // A frame from a pre-deadline peer (no `deadline_ms` key) parses.
+        let legacy = serde_json::json!({ "ctx": null, "msg": "Ok" });
+        let env: Envelope<Response> = serde_json::from_value(legacy).unwrap();
+        assert_eq!(env.deadline_ms, None);
+        // An unstamped envelope leaves the key off the wire entirely.
+        let plain = serde_json::to_string(&Envelope::wrap(Response::Ok)).unwrap();
+        assert!(!plain.contains("deadline_ms"));
+        // A stamped envelope round-trips.
+        let env = Envelope {
+            ctx: None,
+            deadline_ms: Some(120),
+            msg: Response::Ok,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &env).unwrap();
+        let back: Envelope<Response> = read_frame(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(back.deadline_ms, Some(120));
+    }
+
+    #[test]
+    fn overload_error_survives_io_conversion() {
+        let e: std::io::Error = ProtoError::Overloaded { retry_after_ms: 40 }.into();
+        assert!(is_overload_error(&e));
+        assert!(!is_overload_error(&std::io::Error::other("boring")));
+        assert!(!ProtoError::Overloaded { retry_after_ms: 0 }.is_transient());
     }
 
     #[test]

@@ -4,18 +4,50 @@
 //! mapping live services run on.
 
 use crate::fault::FaultPlan;
-use crate::proto::{read_frame_with, write_frame_with, Envelope, Request, Response};
+use crate::overload::{BreakerSet, ServiceLimits};
+use crate::proto::{read_frame_with, write_frame_with, Envelope, ProtoError, Request, Response};
 use faucets_sim::time::SimTime;
 use faucets_telemetry::metrics::{global, Registry};
 use faucets_telemetry::trace::{self, TraceContext};
 use faucets_telemetry::TelemetryClock;
 use serde::Serialize;
+use std::cell::Cell;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The `retry_after_ms` hint attached to serve-side overload rejections.
+const OVERLOAD_RETRY_HINT_MS: u64 = 25;
+
+thread_local! {
+    static REQUEST_DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// The propagated deadline of the request the current thread is serving,
+/// if the caller stamped one into its [`Envelope`]. Handlers (and anything
+/// they call, like the FD's payoff gate) use this to drop work the moment
+/// it becomes doomed, without any change to the handler signature.
+pub fn request_deadline() -> Option<Instant> {
+    REQUEST_DEADLINE.with(|d| d.get())
+}
+
+/// Clears the thread's request deadline on drop, so connection threads
+/// never leak one request's deadline into the next.
+struct DeadlineGuard;
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        REQUEST_DEADLINE.with(|d| d.set(None));
+    }
+}
+
+fn set_request_deadline(deadline: Option<Instant>) -> DeadlineGuard {
+    REQUEST_DEADLINE.with(|d| d.set(deadline));
+    DeadlineGuard
+}
 
 /// Maps wall-clock time to `SimTime` for live services, with an optional
 /// speedup so demonstrations can run "supercomputer hours" in test seconds.
@@ -142,6 +174,12 @@ pub struct ServeOptions {
     /// Metric registry for per-endpoint counters/latency and the `Metrics`
     /// endpoint. `None` uses the process-global registry.
     pub registry: Option<Arc<Registry>>,
+    /// Per-endpoint inflight bounds: a request over the bound is answered
+    /// [`Response::Overloaded`] immediately instead of queueing without
+    /// limit. The default bound is generous (see
+    /// [`ServiceLimits::default`]); retune at runtime through the shared
+    /// handle, or use [`ServiceLimits::unlimited`] for the seed behaviour.
+    pub limits: ServiceLimits,
 }
 
 /// Options for [`call_with`].
@@ -159,6 +197,17 @@ pub struct CallOptions {
     /// Metric registry for the caller-side attempt/retry/failure counters.
     /// `None` uses the process-global registry.
     pub registry: Option<Arc<Registry>>,
+    /// Total wall-clock budget for the call, retries and backoff included.
+    /// The remaining budget is stamped into the request's [`Envelope`]
+    /// (`deadline_ms`) so the server can shed the work once it is doomed,
+    /// and no retry backoff is allowed to sleep past it. `None` (the
+    /// default) keeps the pre-deadline behaviour.
+    pub deadline: Option<Duration>,
+    /// Per-peer circuit breakers shared across calls: after enough
+    /// consecutive transport failures the peer's breaker opens and calls
+    /// fast-fail locally (typed [`ProtoError::Overloaded`]) until a
+    /// cooldown probe succeeds. `None` (the default) disables breaking.
+    pub breakers: Option<Arc<BreakerSet>>,
 }
 
 impl Default for CallOptions {
@@ -169,6 +218,8 @@ impl Default for CallOptions {
             retry: RetryPolicy::none(),
             faults: None,
             registry: None,
+            deadline: None,
+            breakers: None,
         }
     }
 }
@@ -282,13 +333,24 @@ where
     }
     let faults = opts.faults.as_deref();
     while let Ok(Some(env)) = read_frame_with::<_, Envelope<Request>>(&mut stream, None) {
-        let Envelope { ctx, msg: req } = env;
+        let Envelope {
+            ctx,
+            deadline_ms,
+            msg: req,
+        } = env;
         let reg = effective(&opts.registry);
         // The serve layer answers metrics queries itself, so every service
-        // exposes the endpoint without touching its handler.
+        // exposes the endpoint without touching its handler. Metrics are
+        // exempt from admission control: observability must keep working
+        // precisely when the service is drowning.
         if matches!(req, Request::Metrics) {
             let resp = Response::Metrics(reg.snapshot());
-            if write_frame_with(&mut stream, &Envelope { ctx, msg: resp }, faults).is_err() {
+            let reply = Envelope {
+                ctx,
+                deadline_ms: None,
+                msg: resp,
+            };
+            if write_frame_with(&mut stream, &reply, faults).is_err() {
                 break;
             }
             continue;
@@ -296,6 +358,49 @@ where
         let endpoint = req.endpoint();
         let labels = [("service", name), ("endpoint", endpoint)];
         reg.counter("net_requests_total", &labels).inc();
+        // Admission control: fault-injected rejections share the real
+        // shed path, then the per-endpoint inflight bound applies. Over
+        // the bound we fast-fail with a typed Overloaded answer instead
+        // of queueing without limit.
+        let injected = faults.is_some_and(|p| p.inject_overload(endpoint.as_bytes()));
+        let permit = if injected {
+            None
+        } else {
+            opts.limits.try_enter(endpoint)
+        };
+        let Some(_permit) = permit else {
+            reg.counter("net_overload_rejections_total", &labels).inc();
+            let reply = Envelope {
+                ctx,
+                deadline_ms: None,
+                msg: Response::Overloaded {
+                    retry_after_ms: OVERLOAD_RETRY_HINT_MS,
+                },
+            };
+            if write_frame_with(&mut stream, &reply, faults).is_err() {
+                break;
+            }
+            continue;
+        };
+        reg.gauge("net_inflight", &labels)
+            .set(opts.limits.inflight(endpoint) as f64);
+        // Doomed-work elimination: a request whose propagated deadline
+        // already expired in flight is shed before the handler spends
+        // anything on it — the caller has abandoned the answer.
+        if deadline_ms == Some(0) {
+            reg.counter("net_deadline_sheds_total", &labels).inc();
+            let reply = Envelope {
+                ctx,
+                deadline_ms: None,
+                msg: Response::Overloaded { retry_after_ms: 0 },
+            };
+            if write_frame_with(&mut stream, &reply, faults).is_err() {
+                break;
+            }
+            continue;
+        }
+        let _deadline_guard =
+            set_request_deadline(deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)));
         // The server span becomes this thread's current context, so any
         // outbound call the handler makes rides the same trace.
         let mut span = trace::server_span(ctx, name, endpoint);
@@ -312,6 +417,7 @@ where
             &mut stream,
             &Envelope {
                 ctx: reply_ctx,
+                deadline_ms: None,
                 msg: resp,
             },
             faults,
@@ -335,19 +441,60 @@ pub fn call(addr: SocketAddr, req: &Request) -> io::Result<Response> {
 pub fn call_with(addr: SocketAddr, req: &Request, opts: &CallOptions) -> io::Result<Response> {
     let reg = effective(&opts.registry);
     let labels = [("endpoint", req.endpoint())];
+    let deadline = opts.deadline.map(|d| Instant::now() + d);
     let attempts = opts.retry.attempts.max(1);
     let mut last_err: Option<io::Error> = None;
     for attempt in 0..attempts {
         if attempt > 0 {
+            // Retry wall-clock is capped by the caller's deadline: a
+            // backoff that would sleep into (or past) it can only produce
+            // an answer the caller has already abandoned.
+            let backoff = opts.retry.backoff(attempt);
+            if deadline.is_some_and(|d| Instant::now() + backoff >= d) {
+                reg.counter("net_call_deadline_exhausted_total", &labels)
+                    .inc();
+                break;
+            }
             // Every backoff decision is counted, so chaos tests can assert
             // "the caller retried N times" instead of sleeping and hoping.
             reg.counter("net_call_retries_total", &labels).inc();
-            std::thread::sleep(opts.retry.backoff(attempt));
+            std::thread::sleep(backoff);
+        }
+        // An open breaker fast-fails locally — no connect, no retry storm
+        // against a peer that is dead or drowning.
+        if let Some(breakers) = &opts.breakers {
+            if !breakers.allow(addr, reg) {
+                reg.counter("net_breaker_fastfails_total", &labels).inc();
+                return Err(ProtoError::Overloaded {
+                    retry_after_ms: breakers.config().cooldown.as_millis() as u64,
+                }
+                .into());
+            }
         }
         reg.counter("net_call_attempts_total", &labels).inc();
-        match call_once(addr, req, opts) {
-            Ok(resp) => return Ok(resp),
-            Err(e) => last_err = Some(e),
+        match call_once(addr, req, opts, deadline) {
+            Ok(Response::Overloaded { retry_after_ms }) => {
+                // The peer answered — it is alive, just shedding — so the
+                // breaker records a success while the caller gets a typed
+                // overload error. Retrying here would feed the storm.
+                if let Some(breakers) = &opts.breakers {
+                    breakers.on_success(addr, reg);
+                }
+                reg.counter("net_call_overloaded_total", &labels).inc();
+                return Err(ProtoError::Overloaded { retry_after_ms }.into());
+            }
+            Ok(resp) => {
+                if let Some(breakers) = &opts.breakers {
+                    breakers.on_success(addr, reg);
+                }
+                return Ok(resp);
+            }
+            Err(e) => {
+                if let Some(breakers) = &opts.breakers {
+                    breakers.on_failure(addr, reg);
+                }
+                last_err = Some(e);
+            }
         }
     }
     reg.counter("net_call_failures_total", &labels).inc();
@@ -359,10 +506,17 @@ pub fn call_with(addr: SocketAddr, req: &Request, opts: &CallOptions) -> io::Res
 #[derive(Serialize)]
 struct EnvelopeRef<'a, T> {
     ctx: Option<TraceContext>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    deadline_ms: Option<u64>,
     msg: &'a T,
 }
 
-fn call_once(addr: SocketAddr, req: &Request, opts: &CallOptions) -> io::Result<Response> {
+fn call_once(
+    addr: SocketAddr,
+    req: &Request,
+    opts: &CallOptions,
+    deadline: Option<Instant>,
+) -> io::Result<Response> {
     let stream = TcpStream::connect_timeout(&addr, opts.connect)?;
     let mut stream = stream;
     stream.set_nodelay(true)?;
@@ -370,6 +524,8 @@ fn call_once(addr: SocketAddr, req: &Request, opts: &CallOptions) -> io::Result<
     let faults = opts.faults.as_deref();
     let env = EnvelopeRef {
         ctx: trace::current(),
+        deadline_ms: deadline
+            .map(|d| d.saturating_duration_since(Instant::now()).as_millis() as u64),
         msg: req,
     };
     write_frame_with(&mut stream, &env, faults).map_err(io::Error::from)?;

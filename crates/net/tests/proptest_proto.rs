@@ -24,6 +24,7 @@ fn hostile(seed: u64) -> FaultPlan {
             garble: 0.25,
             delay: 0.0,
             max_delay: Duration::ZERO,
+            reject: 0.0,
         },
     )
 }
@@ -174,7 +175,7 @@ proptest! {
     fn receive_side_faults_never_panic(req in arb_request(), seed in any::<u64>()) {
         let plan = FaultPlan::new(
             seed,
-            FaultConfig { drop: 0.0, truncate: 0.0, garble: 0.5, delay: 0.0, max_delay: Duration::ZERO },
+            FaultConfig { drop: 0.0, truncate: 0.0, garble: 0.5, delay: 0.0, max_delay: Duration::ZERO, reject: 0.0 },
         );
         let mut buf = Vec::new();
         write_frame(&mut buf, &req).unwrap();

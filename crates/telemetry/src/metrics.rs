@@ -414,6 +414,29 @@ impl MetricsSnapshot {
             .sum()
     }
 
+    /// Sum of all gauges with base name `name` carrying every pair in
+    /// `labels` (other labels may also be present). Summing gauges is the
+    /// right aggregation for additive instantaneous quantities like
+    /// per-endpoint inflight counts and queue depths.
+    pub fn gauge_sum(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.gauges
+            .iter()
+            .filter(|(k, _)| key_matches(k, name, labels))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Maximum over all gauges with base name `name` carrying every pair
+    /// in `labels`, or 0 when none match. The right aggregation for
+    /// peak/high-water gauges (e.g. `fd_bid_queue_peak`).
+    pub fn gauge_max(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.gauges
+            .iter()
+            .filter(|(k, _)| key_matches(k, name, labels))
+            .map(|(_, v)| *v)
+            .fold(0.0_f64, f64::max)
+    }
+
     /// The histogram rows whose key matches `name` + `labels`.
     pub fn histogram_sum(&self, name: &str, labels: &[(&str, &str)]) -> HistogramSnapshot {
         let mut out = HistogramSnapshot::default();
@@ -590,6 +613,27 @@ mod tests {
         );
         assert_eq!(s.counter_sum("net_requests_total", &[]), 12);
         assert_eq!(s.counter_sum("other", &[]), 0);
+    }
+
+    #[test]
+    fn gauge_sum_and_max_aggregate_by_label() {
+        let r = Registry::new();
+        r.gauge(
+            "net_inflight",
+            &[("service", "fd"), ("endpoint", "RequestBid")],
+        )
+        .set(3.0);
+        r.gauge("net_inflight", &[("service", "fd"), ("endpoint", "Award")])
+            .set(1.0);
+        r.gauge("net_inflight", &[("service", "fs"), ("endpoint", "Login")])
+            .set(9.0);
+        let s = r.snapshot();
+        assert_eq!(s.gauge_sum("net_inflight", &[("service", "fd")]), 4.0);
+        assert_eq!(s.gauge_sum("net_inflight", &[]), 13.0);
+        assert_eq!(s.gauge_max("net_inflight", &[("service", "fd")]), 3.0);
+        assert_eq!(s.gauge_max("net_inflight", &[]), 9.0);
+        assert_eq!(s.gauge_sum("absent", &[]), 0.0);
+        assert_eq!(s.gauge_max("absent", &[]), 0.0);
     }
 
     #[test]
