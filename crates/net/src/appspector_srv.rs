@@ -5,8 +5,9 @@
 //! download, and re-verifies client tokens against the FS before serving
 //! anything — the paper's authenticated-monitoring flow.
 
+use crate::pool::{ConnPool, PoolConfig};
 use crate::proto::{Request, Response};
-use crate::service::{call, serve_with, ServeOptions, ServiceHandle};
+use crate::service::{call_with, serve_with, CallOptions, ServeOptions, ServiceHandle};
 use faucets_core::appspector::{AppSpector, GridView, OutputFile};
 use faucets_core::ids::{JobId, UserId};
 use parking_lot::Mutex;
@@ -34,13 +35,20 @@ impl AsHandle {
     }
 }
 
-/// Verify `token` with the FS, returning its user.
-fn verify(fs: SocketAddr, token: &faucets_core::auth::SessionToken) -> Result<UserId, String> {
-    match call(
+/// Verify `token` with the FS, returning its user. Rides the AppSpector's
+/// pooled outbound options: token checks happen on every Watch/Download,
+/// so they reuse one warm FS socket instead of reconnecting each time.
+fn verify(
+    fs: SocketAddr,
+    token: &faucets_core::auth::SessionToken,
+    opts: &CallOptions,
+) -> Result<UserId, String> {
+    match call_with(
         fs,
         &Request::VerifyToken {
             token: token.clone(),
         },
+        opts,
     ) {
         Ok(Response::Verified { user }) => Ok(user),
         Ok(Response::Error(e)) => Err(e),
@@ -67,6 +75,12 @@ pub fn spawn_appspector_with(
         outputs: HashMap::new(),
     }));
     let st = Arc::clone(&state);
+    // Every outbound call (token re-verification, GridView aggregation)
+    // shares one pool of warm sockets to the FS and the FDs.
+    let call_opts = CallOptions {
+        pool: Some(Arc::new(ConnPool::new("appspector", PoolConfig::default()))),
+        ..CallOptions::default()
+    };
 
     let service = serve_with(addr, "appspector", opts, move |req| {
         match req {
@@ -101,7 +115,7 @@ pub fn spawn_appspector_with(
                 }
             }
             Request::Watch { token, job } => {
-                let user = match verify(fs, &token) {
+                let user = match verify(fs, &token, &call_opts) {
                     Ok(u) => u,
                     Err(e) => return Response::Error(e),
                 };
@@ -111,7 +125,7 @@ pub fn spawn_appspector_with(
                 }
             }
             Request::Download { token, job, name } => {
-                let user = match verify(fs, &token) {
+                let user = match verify(fs, &token, &call_opts) {
                     Ok(u) => u,
                     Err(e) => return Response::Error(e),
                 };
@@ -133,7 +147,7 @@ pub fn spawn_appspector_with(
                 }
             }
             Request::GridView { token } => {
-                if let Err(e) = verify(fs, &token) {
+                if let Err(e) = verify(fs, &token, &call_opts) {
                     return Response::Error(e);
                 }
                 // Pull the directory and every reachable service's metrics.
@@ -142,10 +156,12 @@ pub fn spawn_appspector_with(
                 // summing would double-count.
                 let mut services = Vec::new();
                 let mut clusters = Vec::new();
-                if let Ok(Response::Metrics(snap)) = call(fs, &Request::Metrics) {
+                if let Ok(Response::Metrics(snap)) = call_with(fs, &Request::Metrics, &call_opts) {
                     services.push(("fs".to_string(), snap));
                 }
-                if let Ok(Response::Clusters(rows)) = call(fs, &Request::ListClusters { token }) {
+                if let Ok(Response::Clusters(rows)) =
+                    call_with(fs, &Request::ListClusters { token }, &call_opts)
+                {
                     clusters = rows;
                 }
                 for row in &clusters {
@@ -153,7 +169,9 @@ pub fn spawn_appspector_with(
                     else {
                         continue;
                     };
-                    if let Ok(Response::Metrics(snap)) = call(addr, &Request::Metrics) {
+                    if let Ok(Response::Metrics(snap)) =
+                        call_with(addr, &Request::Metrics, &call_opts)
+                    {
                         services.push((format!("fd:{}", row.info.name), snap));
                     }
                 }
@@ -180,7 +198,7 @@ pub fn spawn_appspector_with(
 mod tests {
     use super::*;
     use crate::fs::spawn_fs;
-    use crate::service::Clock;
+    use crate::service::{call, Clock};
     use faucets_core::appspector::TelemetrySample;
     use faucets_core::ids::ClusterId;
     use faucets_sim::time::SimTime;

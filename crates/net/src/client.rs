@@ -30,8 +30,9 @@
 
 use crate::fault::FaultPlan;
 use crate::overload::BreakerSet;
+use crate::pool::{ConnPool, PoolConfig};
 use crate::proto::{Request, Response};
-use crate::service::{call_with, CallOptions, Clock, RetryPolicy, Timeouts};
+use crate::service::{call_many, call_with, CallOptions, Clock, RetryPolicy, Timeouts};
 use faucets_core::appspector::MonitorSnapshot;
 use faucets_core::auth::SessionToken;
 use faucets_core::bid::{Bid, BidRequest};
@@ -157,6 +158,13 @@ pub struct FaucetsClient {
     /// [`Response::Overloaded`] answer counts as a breaker *success*, so
     /// a healthy-but-busy cluster is never fast-failed.
     pub breakers: Arc<BreakerSet>,
+    /// Persistent connection pool applied to every call (default on): the
+    /// FS, each FD, and AppSpector are all talked to over warm,
+    /// health-checked sockets instead of a fresh connect per request.
+    pub pool: Arc<ConnPool>,
+    /// Concurrent connections used by the bid-solicitation fan-out
+    /// ([`crate::service::call_many`]).
+    pub fan_out: usize,
     /// Optional wall-clock budget per call: stamped on the wire as
     /// `deadline_ms` (so servers can shed doomed work) and capping the
     /// retry loop's total backoff.
@@ -233,6 +241,8 @@ impl FaucetsClient {
                     max_rounds: 3,
                     faults: None,
                     breakers: Arc::new(BreakerSet::default()),
+                    pool: Arc::new(ConnPool::new("client", PoolConfig::default())),
+                    fan_out: 8,
                     call_deadline: None,
                     last_trace: None,
                     next_job: (user.raw() << 32) + 1,
@@ -256,6 +266,7 @@ impl FaucetsClient {
             faults: self.faults.clone(),
             deadline: self.call_deadline,
             breakers: Some(Arc::clone(&self.breakers)),
+            pool: Some(Arc::clone(&self.pool)),
             ..CallOptions::default()
         }
     }
@@ -331,27 +342,32 @@ impl FaucetsClient {
             return Err(ClientError::NoMatchingServers);
         }
 
-        // 2. Request-for-bids to every matching FD. A daemon that fails to
-        // answer simply contributes no bid.
+        // 2. Request-for-bids to every matching FD — one concurrent sweep
+        // over warm pooled connections ([`call_many`]), so a round's
+        // solicitation latency is the slowest daemon, not the sum of all
+        // of them. A daemon that fails to answer simply contributes no
+        // bid.
         let req = BidRequest {
             job,
             user: self.user,
             qos: qos.clone(),
             issued_at: now,
         };
+        let addrs: Vec<SocketAddr> = servers
+            .iter()
+            .filter_map(|s| {
+                format!("{}:{}", s.info.fd_addr, s.info.fd_port)
+                    .parse()
+                    .ok()
+            })
+            .collect();
+        let bid_req = Request::RequestBid {
+            token: self.token.clone(),
+            request: req.clone(),
+        };
         let mut bids: Vec<Bid> = vec![];
-        for s in &servers {
-            let Ok(addr) = format!("{}:{}", s.info.fd_addr, s.info.fd_port).parse::<SocketAddr>()
-            else {
-                continue;
-            };
-            match self.call(
-                addr,
-                &Request::RequestBid {
-                    token: self.token.clone(),
-                    request: req.clone(),
-                },
-            ) {
+        for reply in call_many(&addrs, &bid_req, &self.opts(), self.fan_out.max(1)) {
+            match reply {
                 Ok(Response::BidReply(reply)) => {
                     if let Some(b) = reply.offer() {
                         bids.push(*b);
@@ -361,7 +377,10 @@ impl FaucetsClient {
                 // round. Counting it would be wrong twice over — it is not
                 // a decline (the daemon never priced the job) and not a
                 // death (the breaker must stay closed for busy clusters).
-                Ok(Response::Overloaded { .. }) | Err(ClientError::Overloaded) => {
+                Ok(Response::Overloaded { .. }) => {
+                    self.m_overloaded.inc();
+                }
+                Err(e) if crate::proto::is_overload_error(&e) => {
                     self.m_overloaded.inc();
                 }
                 _ => {}

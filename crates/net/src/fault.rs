@@ -20,6 +20,10 @@
 //! [`crate::proto::read_frame_with`] / [`crate::proto::write_frame_with`]
 //! framing layer, so any test or experiment can run the full Figure-1
 //! stack under faults. [`FaultStats`] counts what was actually injected.
+//! Faults compose with connection pooling ([`crate::pool::ConnPool`]): a
+//! truncated or garbled frame fails the round-trip, which *poisons* the
+//! pooled socket, so the same seed also exercises the pool's
+//! fresh-socket recovery path.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

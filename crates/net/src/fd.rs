@@ -30,6 +30,7 @@
 //! pump.
 
 use crate::overload::{GateConfig, GateVerdict, PayoffGate};
+use crate::pool::{ConnPool, PoolConfig};
 use crate::proto::{Request, Response};
 use crate::service::{
     call_with, request_deadline, serve_with, CallOptions, Clock, RetryPolicy, ServeOptions,
@@ -136,7 +137,10 @@ pub struct FdOptions {
     pub serve: ServeOptions,
     /// Options for the FD's own outbound calls (FS verification and
     /// heartbeats, AppSpector pushes). Defaults to bounded retry so a
-    /// transiently unreachable FS doesn't poison bid handling.
+    /// transiently unreachable FS doesn't poison bid handling, and to a
+    /// connection pool so the per-bid FS token verification and the pump's
+    /// AppSpector pushes ride warm sockets instead of reconnecting each
+    /// time.
     pub call: CallOptions,
     /// Heartbeat cadence in *simulated* seconds.
     pub heartbeat_every: faucets_sim::time::SimDuration,
@@ -163,6 +167,7 @@ impl Default for FdOptions {
             serve: ServeOptions::default(),
             call: CallOptions {
                 retry: RetryPolicy::standard(0x4644),
+                pool: Some(Arc::new(ConnPool::new("fd", PoolConfig::default()))),
                 ..CallOptions::default()
             },
             heartbeat_every: faucets_sim::time::SimDuration::from_secs(30),

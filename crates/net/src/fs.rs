@@ -110,7 +110,9 @@ impl Durable for DirJournal {
 /// Options for [`spawn_fs_durable`].
 #[derive(Clone)]
 pub struct FsOptions {
-    /// Service-side timeouts, fault injection, and metrics registry.
+    /// Service-side timeouts, fault injection, metrics registry, and the
+    /// worker-pool bound ([`ServeOptions::workers`]) that caps how many
+    /// pooled client connections the FS serves concurrently.
     pub serve: ServeOptions,
     /// Directory for the durable registration journal. `None` keeps the
     /// directory purely in memory (the seed behaviour).

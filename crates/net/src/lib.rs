@@ -15,6 +15,8 @@
 //! * [`appspector_srv`] — buffered monitoring and output download;
 //! * [`client`] — the full §2 submission/monitoring client;
 //! * [`service`] — shared accept-loop, timeout/retry, and clock plumbing;
+//! * [`pool`] — persistent, health-checked client connection pooling (see
+//!   below);
 //! * [`overload`] — admission control, circuit breakers, and payoff-aware
 //!   load shedding (see below).
 //!
@@ -105,6 +107,34 @@
 //! rejections, breaker transitions, queue-depth gauges), fault-injectable
 //! via [`fault::FaultConfig::reject`], and exercised by experiment E22
 //! (`exp_overload`).
+//!
+//! ## Connection reuse
+//!
+//! At "millions of jobs per day" a fresh TCP connect per RPC is pure
+//! overhead, so the client path pools connections and the serve path runs
+//! a fixed worker pool:
+//!
+//! * **Pooling** — [`pool::ConnPool`] keeps bounded, idle-evicted,
+//!   health-checked sockets per peer; [`service::CallOptions::pool`] wires
+//!   it under [`service::call_with`] so retries, deadlines, breakers, and
+//!   fault injection operate unchanged on warm streams. Any failed
+//!   round-trip *poisons* the socket (closed, never reused) — a
+//!   desynchronised stream must not pay the next caller the previous
+//!   caller's reply.
+//! * **Fan-out** — [`service::call_many`] solicits many peers concurrently
+//!   over pooled connections under the caller's trace context; the client
+//!   uses it to collect a whole bid round in one sweep.
+//! * **Serving** — [`service::serve_with`] accepts with a *blocking*
+//!   listener (zero idle wakeups) feeding [`service::ServeOptions::workers`]
+//!   long-lived threads, so the per-service thread count no longer grows
+//!   with connection churn, and shutdown promptly kicks every live
+//!   connection loose.
+//!
+//! Pool behaviour is fully counted (`net_pool_{hits,misses,evictions,
+//! poisoned,stale_retries}_total`, `net_pool_open_conns`, and the serve
+//! side's `net_open_conns`/`net_conns_accepted_total`) and proven by
+//! experiment E23 (`exp_rpc_throughput`): pooled calls sustain ≥ 2× the
+//! per-call-connection throughput at 8 concurrent clients.
 
 #![warn(missing_docs)]
 
@@ -114,6 +144,7 @@ pub mod fault;
 pub mod fd;
 pub mod fs;
 pub mod overload;
+pub mod pool;
 pub mod proto;
 pub mod service;
 
@@ -128,9 +159,10 @@ pub mod prelude {
         BreakerConfig, BreakerSet, CircuitBreaker, GateConfig, GateVerdict, PayoffGate,
         ServiceLimits, TokenBucket,
     };
+    pub use crate::pool::{ConnPool, PoolConfig, PooledConn};
     pub use crate::proto::{read_frame, write_frame, Envelope, ProtoError, Request, Response};
     pub use crate::service::{
-        call, call_with, serve, serve_with, CallOptions, Clock, RetryPolicy, ServeOptions,
-        ServiceHandle, Timeouts,
+        call, call_many, call_with, serve, serve_with, CallOptions, Clock, RetryPolicy,
+        ServeOptions, ServiceHandle, Timeouts,
     };
 }

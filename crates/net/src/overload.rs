@@ -29,6 +29,12 @@
 //! counted in the telemetry registry, so experiments (E22, `exp_overload`)
 //! can assert on sheds, rejections, and breaker transitions instead of
 //! timing.
+//!
+//! All four primitives are transport-agnostic: they sit above the socket,
+//! so enabling connection pooling ([`crate::service::CallOptions::pool`])
+//! changes none of their semantics — an `Overloaded` answer on a warm
+//! socket is still a breaker success, and a poisoned pooled stream is
+//! still just a transport failure to the retry loop.
 
 use faucets_telemetry::metrics::Registry;
 use faucets_telemetry::{Counter, Gauge};

@@ -1,0 +1,395 @@
+//! Persistent connection pooling for the RPC client path.
+//!
+//! The paper sizes the grid at "hundreds of Compute Servers" handling
+//! "millions of jobs per day" (§2, §5); at that rate a fresh TCP connect
+//! per call is pure overhead, because [`crate::service::serve_with`]
+//! already serves frame-by-frame on persistent streams. A [`ConnPool`]
+//! keeps health-checked idle sockets per peer and hands them to
+//! [`crate::service::call_with`] (see [`crate::service::CallOptions::pool`])
+//! so retries, deadlines, breakers, and fault injection all operate
+//! unchanged — the pool swaps only where the bytes flow.
+//!
+//! The safety invariant is *poison on error*: a checked-out stream that saw
+//! any failure — a frame fault, a timeout, a short read — is closed, never
+//! returned, because a desynchronised stream would pay the next caller the
+//! previous caller's reply. Idle sockets are additionally bounded per peer,
+//! evicted after [`PoolConfig::idle_ttl`], and health-checked with a
+//! non-blocking peek at checkout so a peer that restarted while we were
+//! idle costs a reconnect, not an error.
+//!
+//! Everything the pool does is counted in the caller's metric registry
+//! under a `pool` label: `net_pool_{hits,misses,evictions,poisoned}_total`
+//! and the `net_pool_open_conns` gauge.
+
+use faucets_telemetry::metrics::Registry;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`ConnPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Idle sockets kept per peer; a returned socket over the bound is
+    /// closed instead of cached.
+    pub max_idle_per_peer: usize,
+    /// How long an idle socket may sit before eviction. Keep this below
+    /// the serve side's read timeout (10 s default): a socket the server
+    /// is about to reap is worse than a reconnect.
+    pub idle_ttl: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            max_idle_per_peer: 8,
+            idle_ttl: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One idle socket and when it went idle.
+struct IdleConn {
+    stream: TcpStream,
+    since: Instant,
+}
+
+/// A pool of persistent, health-checked TCP connections keyed by peer
+/// address. Cheap to share: one `Arc<ConnPool>` per client (or daemon)
+/// serves every peer that client talks to.
+pub struct ConnPool {
+    name: &'static str,
+    cfg: PoolConfig,
+    idle: Mutex<HashMap<SocketAddr, Vec<IdleConn>>>,
+    /// Sockets alive through this pool: idle + checked out.
+    open: AtomicUsize,
+}
+
+impl ConnPool {
+    /// A pool named `name` (the telemetry `pool` label) with the given
+    /// config.
+    pub fn new(name: &'static str, cfg: PoolConfig) -> Self {
+        ConnPool {
+            name,
+            cfg,
+            idle: Mutex::new(HashMap::new()),
+            open: AtomicUsize::new(0),
+        }
+    }
+
+    /// The pool's telemetry label.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The pool's tuning knobs.
+    pub fn config(&self) -> PoolConfig {
+        self.cfg
+    }
+
+    /// Sockets currently alive through this pool (idle + checked out).
+    pub fn open_connections(&self) -> usize {
+        self.open.load(Ordering::SeqCst)
+    }
+
+    /// Idle sockets currently cached across all peers.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().unwrap().values().map(|v| v.len()).sum()
+    }
+
+    fn labels(&self) -> [(&'static str, &'static str); 1] {
+        [("pool", self.name)]
+    }
+
+    fn set_open_gauge(&self, reg: &Registry) {
+        reg.gauge("net_pool_open_conns", &self.labels())
+            .set(self.open.load(Ordering::SeqCst) as f64);
+    }
+
+    /// Close a socket the pool owns (evicted, over cap, or poisoned).
+    fn discard(&self, stream: TcpStream, reg: &Registry) {
+        drop(stream);
+        self.open.fetch_sub(1, Ordering::SeqCst);
+        self.set_open_gauge(reg);
+    }
+
+    /// Is this idle socket still usable? A healthy idle stream has nothing
+    /// to read: `peek` must block. `Ok(0)` means the peer closed it;
+    /// `Ok(n)` means unsolicited bytes are waiting — a desynchronised
+    /// stream we must never hand to a caller.
+    fn healthy(stream: &TcpStream) -> bool {
+        if stream.set_nonblocking(true).is_err() {
+            return false;
+        }
+        let mut byte = [0u8; 1];
+        let usable =
+            matches!(stream.peek(&mut byte), Err(e) if e.kind() == io::ErrorKind::WouldBlock);
+        usable && stream.set_nonblocking(false).is_ok()
+    }
+
+    /// Check out a connection to `addr`: a cached idle socket when a
+    /// healthy one exists (most recently used first — warm sockets stay
+    /// warm), otherwise a fresh connect within `connect_timeout`.
+    pub fn checkout(
+        self: &Arc<Self>,
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        reg: &Registry,
+    ) -> io::Result<PooledConn> {
+        loop {
+            let candidate = {
+                let mut idle = self.idle.lock().unwrap();
+                let Some(peer) = idle.get_mut(&addr) else {
+                    break;
+                };
+                // Expired sockets age from the front (oldest first).
+                while peer
+                    .first()
+                    .is_some_and(|c| c.since.elapsed() > self.cfg.idle_ttl)
+                {
+                    let dead = peer.remove(0);
+                    reg.counter("net_pool_evictions_total", &self.labels())
+                        .inc();
+                    self.discard(dead.stream, reg);
+                }
+                peer.pop()
+            };
+            let Some(candidate) = candidate else { break };
+            if Self::healthy(&candidate.stream) {
+                reg.counter("net_pool_hits_total", &self.labels()).inc();
+                return Ok(PooledConn {
+                    stream: Some(candidate.stream),
+                    addr,
+                    reused: true,
+                    pool: Arc::clone(self),
+                });
+            }
+            // Went stale while idle (peer closed or desynced): evict and
+            // try the next cached socket.
+            reg.counter("net_pool_evictions_total", &self.labels())
+                .inc();
+            self.discard(candidate.stream, reg);
+        }
+        self.checkout_fresh(addr, connect_timeout, reg)
+    }
+
+    /// Check out a freshly connected socket, bypassing the idle cache.
+    pub fn checkout_fresh(
+        self: &Arc<Self>,
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        reg: &Registry,
+    ) -> io::Result<PooledConn> {
+        reg.counter("net_pool_misses_total", &self.labels()).inc();
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        self.open.fetch_add(1, Ordering::SeqCst);
+        self.set_open_gauge(reg);
+        Ok(PooledConn {
+            stream: Some(stream),
+            addr,
+            reused: false,
+            pool: Arc::clone(self),
+        })
+    }
+}
+
+/// A connection checked out of a [`ConnPool`]. Exactly one of three things
+/// must happen to it: [`PooledConn::give_back`] after a clean round-trip,
+/// [`PooledConn::poison`] after any failure, or a plain drop (which closes
+/// the socket — the safe default for code paths that bail early).
+pub struct PooledConn {
+    stream: Option<TcpStream>,
+    addr: SocketAddr,
+    reused: bool,
+    pool: Arc<ConnPool>,
+}
+
+impl PooledConn {
+    /// The live stream.
+    pub fn stream(&mut self) -> &mut TcpStream {
+        self.stream.as_mut().expect("stream taken")
+    }
+
+    /// Whether this socket came out of the idle cache (vs a fresh
+    /// connect). A reused socket that fails with a disconnect may be
+    /// retried once on a fresh one — see `call_with`.
+    pub fn reused(&self) -> bool {
+        self.reused
+    }
+
+    /// Return a healthy socket to the pool for reuse. Over the per-peer
+    /// idle bound the socket is closed instead (counted as an eviction).
+    pub fn give_back(mut self, reg: &Registry) {
+        let Some(stream) = self.stream.take() else {
+            return;
+        };
+        let mut idle = self.pool.idle.lock().unwrap();
+        let peer = idle.entry(self.addr).or_default();
+        if peer.len() >= self.pool.cfg.max_idle_per_peer.max(1) {
+            drop(idle);
+            reg.counter("net_pool_evictions_total", &self.pool.labels())
+                .inc();
+            self.pool.discard(stream, reg);
+            return;
+        }
+        peer.push(IdleConn {
+            stream,
+            since: Instant::now(),
+        });
+    }
+
+    /// Close a socket that saw a failure. It must never be reused: after a
+    /// frame fault or timeout the stream may hold half a frame, and the
+    /// next caller would read the previous caller's bytes.
+    pub fn poison(mut self, reg: &Registry) {
+        if let Some(stream) = self.stream.take() {
+            reg.counter("net_pool_poisoned_total", &self.pool.labels())
+                .inc();
+            self.pool.discard(stream, reg);
+        }
+    }
+}
+
+impl Drop for PooledConn {
+    fn drop(&mut self) {
+        // Neither returned nor poisoned: close the socket and fix the
+        // count. (No registry here, so the gauge catches up on the next
+        // counted pool operation.)
+        if self.stream.take().is_some() {
+            self.pool.open.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pool(cfg: PoolConfig) -> Arc<ConnPool> {
+        Arc::new(ConnPool::new("test", cfg))
+    }
+
+    const CONNECT: Duration = Duration::from_millis(500);
+
+    #[test]
+    fn second_checkout_reuses_the_first_socket() {
+        // The listener's accept queue completes handshakes without an
+        // accept loop, which is all the pool's health check needs.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reg = Registry::new();
+        let p = pool(PoolConfig::default());
+        let mut c1 = p.checkout(addr, CONNECT, &reg).unwrap();
+        let first_port = c1.stream().local_addr().unwrap().port();
+        assert!(!c1.reused());
+        c1.give_back(&reg);
+        assert_eq!(p.idle_count(), 1);
+        let mut c2 = p.checkout(addr, CONNECT, &reg).unwrap();
+        assert!(c2.reused(), "idle socket reused");
+        assert_eq!(
+            c2.stream().local_addr().unwrap().port(),
+            first_port,
+            "the very same socket came back"
+        );
+        assert_eq!(p.open_connections(), 1, "no second connect happened");
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_sum("net_pool_hits_total", &[("pool", "test")]),
+            1
+        );
+        assert_eq!(snap.counter_sum("net_pool_misses_total", &[]), 1);
+    }
+
+    #[test]
+    fn expired_idle_sockets_are_evicted() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reg = Registry::new();
+        let p = pool(PoolConfig {
+            idle_ttl: Duration::from_millis(20),
+            ..PoolConfig::default()
+        });
+        let c = p.checkout(addr, CONNECT, &reg).unwrap();
+        c.give_back(&reg);
+        std::thread::sleep(Duration::from_millis(60));
+        let c2 = p.checkout(addr, CONNECT, &reg).unwrap();
+        assert!(!c2.reused(), "expired socket must not be reused");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_sum("net_pool_evictions_total", &[]), 1);
+        assert_eq!(snap.counter_sum("net_pool_misses_total", &[]), 2);
+        assert_eq!(p.open_connections(), 1, "the evicted socket was closed");
+    }
+
+    #[test]
+    fn peer_closing_an_idle_socket_is_detected_at_checkout() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reg = Registry::new();
+        let p = pool(PoolConfig::default());
+        let c = p.checkout(addr, CONNECT, &reg).unwrap();
+        c.give_back(&reg);
+        // The peer accepts and immediately closes — a server restart or
+        // idle reap from the pool's point of view.
+        let (accepted, _) = listener.accept().unwrap();
+        drop(accepted);
+        std::thread::sleep(Duration::from_millis(50)); // let the FIN land
+        let c2 = p.checkout(addr, CONNECT, &reg).unwrap();
+        assert!(!c2.reused(), "a dead socket failed the health check");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_sum("net_pool_evictions_total", &[]), 1);
+        assert_eq!(p.open_connections(), 1);
+    }
+
+    #[test]
+    fn idle_cache_is_bounded_per_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reg = Registry::new();
+        let p = pool(PoolConfig {
+            max_idle_per_peer: 2,
+            ..PoolConfig::default()
+        });
+        let conns: Vec<PooledConn> = (0..3)
+            .map(|_| p.checkout(addr, CONNECT, &reg).unwrap())
+            .collect();
+        assert_eq!(p.open_connections(), 3);
+        for c in conns {
+            c.give_back(&reg);
+        }
+        assert_eq!(p.idle_count(), 2, "cache capped at the per-peer bound");
+        assert_eq!(p.open_connections(), 2, "the overflow socket was closed");
+    }
+
+    #[test]
+    fn poison_closes_and_counts() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reg = Registry::new();
+        let p = pool(PoolConfig::default());
+        let c = p.checkout(addr, CONNECT, &reg).unwrap();
+        c.poison(&reg);
+        assert_eq!(p.open_connections(), 0);
+        assert_eq!(p.idle_count(), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_sum("net_pool_poisoned_total", &[]), 1);
+        assert_eq!(snap.gauge_sum("net_pool_open_conns", &[]), 0.0);
+        // The next checkout gets a fresh socket, not the poisoned one.
+        let c2 = p.checkout(addr, CONNECT, &reg).unwrap();
+        assert!(!c2.reused());
+    }
+
+    #[test]
+    fn plain_drop_closes_the_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reg = Registry::new();
+        let p = pool(PoolConfig::default());
+        let c = p.checkout(addr, CONNECT, &reg).unwrap();
+        drop(c);
+        assert_eq!(p.open_connections(), 0);
+        assert_eq!(p.idle_count(), 0);
+    }
+}

@@ -361,6 +361,22 @@ impl ProtoError {
     }
 }
 
+/// Did this I/O error say the peer hung up (EOF, reset, broken pipe) rather
+/// than time out or fail mid-protocol? The pooled call path uses this to
+/// recognise a reused socket that silently died while idle — the dominant
+/// failure of connection reuse, safe to retry once on a fresh connection —
+/// without also retrying timeouts, where the request may still be running.
+pub fn is_disconnect_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::NotConnected
+    )
+}
+
 /// Write one length-prefixed JSON frame.
 pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<(), ProtoError> {
     write_frame_with(w, msg, None)
@@ -579,6 +595,28 @@ mod tests {
         assert!(is_overload_error(&e));
         assert!(!is_overload_error(&std::io::Error::other("boring")));
         assert!(!ProtoError::Overloaded { retry_after_ms: 0 }.is_transient());
+    }
+
+    #[test]
+    fn disconnects_are_distinguished_from_timeouts() {
+        use std::io::{Error, ErrorKind};
+        assert!(is_disconnect_error(&Error::new(
+            ErrorKind::UnexpectedEof,
+            "closed"
+        )));
+        assert!(is_disconnect_error(&Error::new(
+            ErrorKind::ConnectionReset,
+            "rst"
+        )));
+        assert!(!is_disconnect_error(&Error::new(
+            ErrorKind::WouldBlock,
+            "read timeout"
+        )));
+        assert!(!is_disconnect_error(&Error::new(
+            ErrorKind::TimedOut,
+            "read timeout"
+        )));
+        assert!(!is_disconnect_error(&Error::other("boring")));
     }
 
     #[test]

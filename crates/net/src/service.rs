@@ -1,20 +1,26 @@
-//! Shared TCP-service plumbing: a polling accept loop with clean shutdown,
-//! configurable read/write timeouts, bounded retry with exponential
-//! backoff, optional fault injection, and the wall-clock → simulation-clock
-//! mapping live services run on.
+//! Shared TCP-service plumbing: a blocking accept loop feeding a bounded
+//! worker pool (clean, prompt shutdown), configurable read/write timeouts,
+//! bounded retry with exponential backoff, pooled client connections,
+//! batched fan-out, optional fault injection, and the wall-clock →
+//! simulation-clock mapping live services run on.
 
 use crate::fault::FaultPlan;
 use crate::overload::{BreakerSet, ServiceLimits};
-use crate::proto::{read_frame_with, write_frame_with, Envelope, ProtoError, Request, Response};
+use crate::pool::ConnPool;
+use crate::proto::{
+    is_disconnect_error, read_frame_with, write_frame_with, Envelope, ProtoError, Request, Response,
+};
 use faucets_sim::time::SimTime;
 use faucets_telemetry::metrics::{global, Registry};
 use faucets_telemetry::trace::{self, TraceContext};
 use faucets_telemetry::TelemetryClock;
+use parking_lot::Mutex;
 use serde::Serialize;
 use std::cell::Cell;
+use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -165,7 +171,7 @@ impl RetryPolicy {
 }
 
 /// Options for [`serve_with`].
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct ServeOptions {
     /// Per-connection socket deadlines.
     pub timeouts: Timeouts,
@@ -180,6 +186,27 @@ pub struct ServeOptions {
     /// [`ServiceLimits::default`]); retune at runtime through the shared
     /// handle, or use [`ServiceLimits::unlimited`] for the seed behaviour.
     pub limits: ServiceLimits,
+    /// Connection-handling worker threads per service (default 32). The
+    /// seed spawned one thread per accepted connection without bound; now
+    /// at most `workers` connections are served concurrently and further
+    /// accepts wait in a bounded hand-off queue (then the kernel backlog).
+    /// With pooled clients ([`CallOptions::pool`]) each client holds one
+    /// connection, so this is effectively a concurrent-peer bound, while
+    /// per-request admission control stays with
+    /// [`ServeOptions::limits`].
+    pub workers: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            timeouts: Timeouts::default(),
+            faults: None,
+            registry: None,
+            limits: ServiceLimits::default(),
+            workers: 32,
+        }
+    }
 }
 
 /// Options for [`call_with`].
@@ -208,6 +235,14 @@ pub struct CallOptions {
     /// fast-fail locally (typed [`ProtoError::Overloaded`]) until a
     /// cooldown probe succeeds. `None` (the default) disables breaking.
     pub breakers: Option<Arc<BreakerSet>>,
+    /// Persistent connection pool shared across calls: each round-trip
+    /// checks a health-checked warm socket out of the pool instead of
+    /// opening a fresh TCP connection, and returns it afterwards. Any
+    /// failure poisons the socket (closed, never reused), so retries,
+    /// deadlines, breakers, and fault injection behave exactly as on
+    /// per-call connections. `None` (the default) keeps the seed's
+    /// connection-per-call behaviour.
+    pub pool: Option<Arc<ConnPool>>,
 }
 
 impl Default for CallOptions {
@@ -220,6 +255,7 @@ impl Default for CallOptions {
             registry: None,
             deadline: None,
             breakers: None,
+            pool: None,
         }
     }
 }
@@ -229,16 +265,49 @@ fn effective(registry: &Option<Arc<Registry>>) -> &Registry {
     registry.as_deref().unwrap_or_else(global)
 }
 
+/// Live connections of one service, as resettable duplicate handles. On
+/// shutdown every registered socket is `shutdown(Both)`, which pops any
+/// worker blocked in a read immediately — that is what makes shutdown
+/// prompt now that reads block instead of polling.
+#[derive(Default)]
+struct ConnTable {
+    next: AtomicU64,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnTable {
+    fn insert(&self, stream: &TcpStream) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        if let Ok(dup) = stream.try_clone() {
+            self.conns.lock().insert(id, dup);
+        }
+        id
+    }
+
+    fn remove(&self, id: u64) {
+        self.conns.lock().remove(&id);
+    }
+
+    fn shutdown_all(&self) {
+        for conn in self.conns.lock().values() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
 /// A running TCP service; dropping the handle stops it.
 pub struct ServiceHandle {
     /// The bound address (useful with port 0).
     pub addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    conns: Arc<ConnTable>,
     join: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl ServiceHandle {
-    /// Request shutdown and wait for the accept loop to exit.
+    /// Request shutdown and wait for the accept loop and every connection
+    /// worker to exit.
     pub fn shutdown(mut self) {
         self.stop_inner();
     }
@@ -254,8 +323,20 @@ impl ServiceHandle {
 
     fn stop_inner(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); a throwaway connect pops it
+        // so it can observe the stop flag. Kicking live connections loose
+        // unblocks any worker mid-read.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        self.conns.shutdown_all();
         if let Some(j) = self.join.take() {
             let _ = j.join();
+        }
+        // The accept thread dropped its sender; workers drain whatever was
+        // queued (dropping it under the stop flag) and exit. A second
+        // sweep catches connections accepted during the first.
+        self.conns.shutdown_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
     }
 }
@@ -277,6 +358,14 @@ where
 }
 
 /// [`serve`], with explicit timeouts and optional fault injection.
+///
+/// The accept loop *blocks* (zero idle wakeups; the seed polled a
+/// nonblocking listener ~500 times a second) and hands each accepted
+/// connection to one of [`ServeOptions::workers`] long-lived worker
+/// threads over a bounded channel — the per-service thread count no longer
+/// grows with connection churn. Shutdown is prompt: a throwaway connect
+/// pops the blocking accept, and every live connection is shut down so no
+/// worker stays parked in a read.
 pub fn serve_with<F>(
     addr: &str,
     name: &'static str,
@@ -288,43 +377,84 @@ where
 {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
-    listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
-    let stop2 = Arc::clone(&stop);
     let handler = Arc::new(handler);
+    let conns = Arc::new(ConnTable::default());
+    let worker_count = opts.workers.max(1);
+    let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(worker_count);
 
+    let mut workers = Vec::with_capacity(worker_count);
+    for i in 0..worker_count {
+        let rx = rx.clone();
+        let handler = Arc::clone(&handler);
+        let opts = opts.clone();
+        let stop = Arc::clone(&stop);
+        let conns = Arc::clone(&conns);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("faucets-{name}-w{i}"))
+                .spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        let id = conns.insert(&stream);
+                        let open =
+                            effective(&opts.registry).gauge("net_open_conns", &[("service", name)]);
+                        open.add(1.0);
+                        handle_conn(stream, &*handler, &opts, name, &stop);
+                        open.add(-1.0);
+                        conns.remove(id);
+                    }
+                })?,
+        );
+    }
+    drop(rx);
+
+    let stop2 = Arc::clone(&stop);
+    let registry = opts.registry.clone();
     let join = std::thread::Builder::new()
         .name(format!("faucets-{name}"))
         .spawn(move || {
-            let mut conns: Vec<JoinHandle<()>> = vec![];
-            while !stop2.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let h = Arc::clone(&handler);
-                        let o = opts.clone();
-                        conns.push(std::thread::spawn(move || handle_conn(stream, h, o, name)));
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(2));
-                    }
-                    Err(_) => break,
+            loop {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
                 }
-                conns.retain(|c| !c.is_finished());
+                let stream = match listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                };
+                // The stream may be the shutdown wake-up connect; checking
+                // after accept keeps shutdown prompt either way.
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                effective(&registry)
+                    .counter("net_conns_accepted_total", &[("service", name)])
+                    .inc();
+                if tx.send(stream).is_err() {
+                    break;
+                }
             }
-            for c in conns {
-                let _ = c.join();
-            }
+            // Dropping the sender ends every worker's recv loop once the
+            // queue drains.
+            drop(tx);
         })?;
 
     Ok(ServiceHandle {
         addr: local,
         stop,
+        conns,
         join: Some(join),
+        workers,
     })
 }
 
-fn handle_conn<F>(mut stream: TcpStream, handler: Arc<F>, opts: ServeOptions, name: &'static str)
-where
+fn handle_conn<F>(
+    mut stream: TcpStream,
+    handler: &F,
+    opts: &ServeOptions,
+    name: &'static str,
+    stop: &AtomicBool,
+) where
     F: Fn(Request) -> Response + Send + Sync + 'static,
 {
     let _ = stream.set_nodelay(true);
@@ -332,7 +462,15 @@ where
         return;
     }
     let faults = opts.faults.as_deref();
-    while let Ok(Some(env)) = read_frame_with::<_, Envelope<Request>>(&mut stream, None) {
+    loop {
+        // Connections queued behind a shutdown (or kicked loose by it) are
+        // dropped here instead of being served one last frame.
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(Some(env)) = read_frame_with::<_, Envelope<Request>>(&mut stream, None) else {
+            break;
+        };
         let Envelope {
             ctx,
             deadline_ms,
@@ -511,16 +649,13 @@ struct EnvelopeRef<'a, T> {
     msg: &'a T,
 }
 
-fn call_once(
-    addr: SocketAddr,
+/// One request/response exchange on an established stream.
+fn round_trip(
+    stream: &mut TcpStream,
     req: &Request,
     opts: &CallOptions,
     deadline: Option<Instant>,
 ) -> io::Result<Response> {
-    let stream = TcpStream::connect_timeout(&addr, opts.connect)?;
-    let mut stream = stream;
-    stream.set_nodelay(true)?;
-    opts.timeouts.apply(&stream)?;
     let faults = opts.faults.as_deref();
     let env = EnvelopeRef {
         ctx: trace::current(),
@@ -528,11 +663,115 @@ fn call_once(
             .map(|d| d.saturating_duration_since(Instant::now()).as_millis() as u64),
         msg: req,
     };
-    write_frame_with(&mut stream, &env, faults).map_err(io::Error::from)?;
-    read_frame_with::<_, Envelope<Response>>(&mut stream, None)
+    write_frame_with(stream, &env, faults).map_err(io::Error::from)?;
+    read_frame_with::<_, Envelope<Response>>(stream, None)
         .map_err(io::Error::from)?
         .map(|e| e.msg)
-        .ok_or_else(|| io::Error::other("connection closed before reply"))
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before reply",
+            )
+        })
+}
+
+fn call_once(
+    addr: SocketAddr,
+    req: &Request,
+    opts: &CallOptions,
+    deadline: Option<Instant>,
+) -> io::Result<Response> {
+    let Some(pool) = &opts.pool else {
+        // Seed behaviour: one connection per call.
+        let mut stream = TcpStream::connect_timeout(&addr, opts.connect)?;
+        stream.set_nodelay(true)?;
+        opts.timeouts.apply(&stream)?;
+        return round_trip(&mut stream, req, opts, deadline);
+    };
+    let reg = effective(&opts.registry);
+    let mut conn = pool.checkout(addr, opts.connect, reg)?;
+    conn.stream().set_nodelay(true)?;
+    opts.timeouts.apply(conn.stream())?;
+    let reused = conn.reused();
+    match round_trip(conn.stream(), req, opts, deadline) {
+        Ok(resp) => {
+            conn.give_back(reg);
+            Ok(resp)
+        }
+        Err(e) => {
+            // Any failure poisons the socket: after a fault or timeout the
+            // stream may hold half a frame, and returning it would pay the
+            // next caller this caller's bytes.
+            conn.poison(reg);
+            // A *reused* socket that died on first use usually went stale
+            // between the health check and the write (peer restarted or
+            // reaped it while idle). One immediate retry on a fresh
+            // connection keeps that invisible, without consuming the
+            // caller's retry budget — and only for disconnects, never for
+            // timeouts, where the request may still be running remotely.
+            if !(reused && is_disconnect_error(&e)) {
+                return Err(e);
+            }
+            reg.counter("net_pool_stale_retries_total", &[("pool", pool.name())])
+                .inc();
+            let mut conn = pool.checkout_fresh(addr, opts.connect, reg)?;
+            conn.stream().set_nodelay(true)?;
+            opts.timeouts.apply(conn.stream())?;
+            match round_trip(conn.stream(), req, opts, deadline) {
+                Ok(resp) => {
+                    conn.give_back(reg);
+                    Ok(resp)
+                }
+                Err(e) => {
+                    conn.poison(reg);
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
+/// Fan one request out to many peers concurrently over at most
+/// `max_concurrency` threads, each call going through [`call_with`] with
+/// the full retry/breaker/deadline/pool machinery. The result vector is
+/// index-aligned with `addrs`, and every worker runs under the calling
+/// thread's trace context, so the fan-out's frames all join the caller's
+/// trace — this is the client's one-round bid solicitation (§2.2) over
+/// warm pooled connections.
+pub fn call_many(
+    addrs: &[SocketAddr],
+    req: &Request,
+    opts: &CallOptions,
+    max_concurrency: usize,
+) -> Vec<io::Result<Response>> {
+    let n = addrs.len();
+    if n == 0 {
+        return vec![];
+    }
+    let ctx = trace::current();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<io::Result<Response>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..max_concurrency.clamp(1, n) {
+            scope.spawn(|| {
+                trace::propagate(ctx, || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    *slots[i].lock() = Some(call_with(addrs[i], req, opts));
+                })
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|| Err(io::Error::other("fan-out worker vanished")))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -758,6 +997,83 @@ mod tests {
         let lat = snap.histogram_sum("net_request_seconds", &[("service", "probe")]);
         assert_eq!(lat.count, 3, "latency histogram recorded every request");
         h.shutdown();
+    }
+
+    #[test]
+    fn pooled_calls_reuse_one_connection() {
+        use crate::pool::{ConnPool, PoolConfig};
+        let server_reg = Arc::new(Registry::new());
+        let h = serve_with(
+            "127.0.0.1:0",
+            "pooled",
+            ServeOptions {
+                registry: Some(Arc::clone(&server_reg)),
+                ..ServeOptions::default()
+            },
+            |_| Response::Ok,
+        )
+        .unwrap();
+        let pool = Arc::new(ConnPool::new("test", PoolConfig::default()));
+        let call_reg = Arc::new(Registry::new());
+        let opts = CallOptions {
+            pool: Some(Arc::clone(&pool)),
+            registry: Some(Arc::clone(&call_reg)),
+            ..CallOptions::default()
+        };
+        for _ in 0..10 {
+            let r = call_with(
+                h.addr,
+                &Request::VerifyToken {
+                    token: faucets_core::auth::SessionToken("t".into()),
+                },
+                &opts,
+            )
+            .unwrap();
+            assert_eq!(r, Response::Ok);
+        }
+        assert_eq!(pool.open_connections(), 1, "one warm socket did all ten");
+        let snap = call_reg.snapshot();
+        assert_eq!(snap.counter_sum("net_pool_misses_total", &[]), 1);
+        assert_eq!(
+            snap.counter_sum("net_pool_hits_total", &[("pool", "test")]),
+            9
+        );
+        assert_eq!(
+            server_reg
+                .snapshot()
+                .counter_sum("net_conns_accepted_total", &[("service", "pooled")]),
+            1,
+            "the server accepted exactly one connection"
+        );
+        h.shutdown();
+    }
+
+    #[test]
+    fn call_many_aligns_results_and_joins_the_trace() {
+        let ok = serve("127.0.0.1:0", "fan-ok", |_| Response::Ok).unwrap();
+        let err = serve("127.0.0.1:0", "fan-err", |_| Response::Error("no".into())).unwrap();
+        let addrs = [ok.addr, err.addr, ok.addr];
+        let req = Request::VerifyToken {
+            token: faucets_core::auth::SessionToken("t".into()),
+        };
+        let trace_id;
+        let results;
+        {
+            let root = trace::span("client", "solicit");
+            trace_id = root.trace();
+            results = call_many(&addrs, &req, &CallOptions::default(), 2);
+        }
+        assert_eq!(results.len(), 3);
+        assert_eq!(*results[0].as_ref().unwrap(), Response::Ok);
+        assert_eq!(*results[1].as_ref().unwrap(), Response::Error("no".into()));
+        assert_eq!(*results[2].as_ref().unwrap(), Response::Ok);
+        let spans = trace::spans_for(trace_id);
+        assert!(
+            spans.iter().any(|s| s.service == "fan-ok"),
+            "fan-out worker threads carried the caller's trace: {spans:?}"
+        );
+        ok.shutdown();
+        err.shutdown();
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Connection-pool integration tests: real sockets, fixed seeds.
+//!
+//! Covers the three pool behaviours the unit tests can't reach end-to-end:
+//! frame faults poisoning a warm socket (and the next call recovering on a
+//! fresh one), per-call connection churn staying bounded by the serve-side
+//! worker pool, and a many-client stress run where the shared pool keeps
+//! the hit rate high and every counter visible through the server's own
+//! `Metrics` endpoint.
+
+use faucets_net::prelude::*;
+use faucets_telemetry::metrics::Registry;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A truncated or garbled frame on a pooled connection must poison the
+/// warm socket — the stream may be desynchronised, and the next caller
+/// must not be paid the previous caller's reply. The retry loop then
+/// checks a *fresh* socket out of the pool and the call succeeds.
+#[test]
+fn faulty_frames_poison_the_pooled_socket_and_calls_recover() {
+    let h = serve_with(
+        "127.0.0.1:0",
+        "chaos",
+        ServeOptions {
+            // Short read deadline so a truncated request releases the
+            // worker (and closes the wedged connection) quickly.
+            timeouts: Timeouts::both(Duration::from_millis(300)),
+            ..ServeOptions::default()
+        },
+        |_| Response::Ok,
+    )
+    .unwrap();
+
+    let pool = Arc::new(ConnPool::new("chaos", PoolConfig::default()));
+    let reg = Arc::new(Registry::new());
+    let plan = Arc::new(FaultPlan::new(
+        0xC0FFEE,
+        FaultConfig {
+            truncate: 0.2,
+            garble: 0.3,
+            ..FaultConfig::none()
+        },
+    ));
+    let opts = CallOptions {
+        pool: Some(Arc::clone(&pool)),
+        registry: Some(Arc::clone(&reg)),
+        faults: Some(Arc::clone(&plan)),
+        timeouts: Timeouts::both(Duration::from_millis(500)),
+        retry: RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(20),
+            jitter: 0.5,
+            seed: 7,
+        },
+        ..CallOptions::default()
+    };
+
+    let req = Request::VerifyToken {
+        token: faucets_core::auth::SessionToken("t".into()),
+    };
+    let mut ok = 0;
+    for _ in 0..40 {
+        if matches!(call_with(h.addr, &req, &opts), Ok(Response::Ok)) {
+            ok += 1;
+        }
+    }
+
+    let snap = reg.snapshot();
+    let poisoned = snap.counter_sum("net_pool_poisoned_total", &[("pool", "chaos")]);
+    let misses = snap.counter_sum("net_pool_misses_total", &[("pool", "chaos")]);
+    let hits = snap.counter_sum("net_pool_hits_total", &[("pool", "chaos")]);
+    assert!(ok >= 20, "retries recover most calls under faults: {ok}/40");
+    assert!(
+        poisoned >= 1,
+        "at least one faulted frame poisoned a socket"
+    );
+    assert!(
+        misses >= poisoned,
+        "every poisoned socket was replaced by a fresh connect \
+         (misses {misses} < poisoned {poisoned})"
+    );
+    assert!(hits >= 1, "clean stretches reused the warm socket");
+    assert!(
+        pool.open_connections() <= 1,
+        "poisoned sockets were closed, not leaked: {} open",
+        pool.open_connections()
+    );
+    h.shutdown();
+}
+
+/// Per-call connections from many concurrent clients: the serve-side
+/// worker pool bounds live handles at `workers` no matter how many
+/// connections churn through, the gauge drains back to zero, and shutdown
+/// stays prompt (no 2 ms poll loop, no per-connection threads to orphan).
+#[test]
+fn connection_churn_keeps_handles_bounded() {
+    const WORKERS: usize = 4;
+    const CLIENTS: usize = 8;
+    const CALLS: usize = 20;
+    let server_reg = Arc::new(Registry::new());
+    let h = serve_with(
+        "127.0.0.1:0",
+        "churn",
+        ServeOptions {
+            registry: Some(Arc::clone(&server_reg)),
+            workers: WORKERS,
+            ..ServeOptions::default()
+        },
+        |_| Response::Ok,
+    )
+    .unwrap();
+
+    let addr = h.addr;
+    let max_open = std::thread::scope(|s| {
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                s.spawn(move || {
+                    let req = Request::VerifyToken {
+                        token: faucets_core::auth::SessionToken("t".into()),
+                    };
+                    for _ in 0..CALLS {
+                        // No pool: every call opens and closes its own socket.
+                        call(addr, &req).expect("per-call connection served");
+                    }
+                })
+            })
+            .collect();
+        let reg = Arc::clone(&server_reg);
+        let flag = Arc::clone(&done);
+        let sampler = s.spawn(move || {
+            let mut max = 0.0f64;
+            while !flag.load(std::sync::atomic::Ordering::Relaxed) {
+                let open = reg
+                    .snapshot()
+                    .gauge_sum("net_open_conns", &[("service", "churn")]);
+                max = max.max(open);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            max
+        });
+        for c in clients {
+            c.join().unwrap();
+        }
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+        sampler.join().unwrap()
+    });
+
+    assert!(
+        max_open <= WORKERS as f64,
+        "live connection handles never exceeded the worker bound: \
+         saw {max_open}, workers {WORKERS}"
+    );
+    let snap = server_reg.snapshot();
+    assert_eq!(
+        snap.counter_sum("net_conns_accepted_total", &[("service", "churn")]),
+        (CLIENTS * CALLS) as u64,
+        "every per-call connection was accepted exactly once"
+    );
+    // The gauge drains once the churn stops — no leaked handles.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let open = server_reg
+            .snapshot()
+            .gauge_sum("net_open_conns", &[("service", "churn")]);
+        if open == 0.0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "open-connection gauge never drained: {open}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Blocking accept must not stall shutdown: the stop path wakes it.
+    let t = Instant::now();
+    h.shutdown();
+    assert!(
+        t.elapsed() < Duration::from_secs(2),
+        "shutdown stayed prompt: {:?}",
+        t.elapsed()
+    );
+}
+
+/// Sixteen clients hammer one FS through a shared pool: zero transport
+/// errors, a hit rate over 0.9, bounded open connections — and because
+/// everything runs on the process-global registry, the pool counters are
+/// visible through the FS's own `Metrics` endpoint, exactly as an
+/// operator would see them.
+#[test]
+fn sixteen_pooled_clients_stress_one_fs() {
+    const CLIENTS: usize = 16;
+    const CALLS: usize = 100;
+    let fs = spawn_fs("127.0.0.1:0", Clock::realtime(), 11).unwrap();
+    call(
+        fs.service.addr,
+        &Request::CreateUser {
+            user: "stress".into(),
+            password: "pw".into(),
+        },
+    )
+    .unwrap();
+    let Response::Session { token, .. } = call(
+        fs.service.addr,
+        &Request::Login {
+            user: "stress".into(),
+            password: "pw".into(),
+        },
+    )
+    .unwrap() else {
+        panic!("expected session");
+    };
+
+    // One pool shared by all sixteen clients; the idle cap is raised to
+    // the client count so the steady state keeps one warm socket each.
+    let pool = Arc::new(ConnPool::new(
+        "stress",
+        PoolConfig {
+            max_idle_per_peer: CLIENTS,
+            ..PoolConfig::default()
+        },
+    ));
+    let opts = CallOptions {
+        pool: Some(Arc::clone(&pool)),
+        ..CallOptions::default()
+    };
+
+    let addr = fs.service.addr;
+    std::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            let opts = opts.clone();
+            let token = token.clone();
+            s.spawn(move || {
+                for i in 0..CALLS {
+                    let r = call_with(
+                        addr,
+                        &Request::VerifyToken {
+                            token: token.clone(),
+                        },
+                        &opts,
+                    )
+                    .unwrap_or_else(|e| panic!("call {i} failed: {e}"));
+                    assert!(matches!(r, Response::Verified { .. }), "call {i} got {r:?}");
+                }
+            });
+        }
+    });
+
+    // The pool counters ran on the global registry, so they surface
+    // through the server's Metrics endpoint like any other metric.
+    let Response::Metrics(snap) = call(addr, &Request::Metrics).unwrap() else {
+        panic!("expected metrics");
+    };
+    let hits = snap.counter_sum("net_pool_hits_total", &[("pool", "stress")]);
+    let misses = snap.counter_sum("net_pool_misses_total", &[("pool", "stress")]);
+    assert_eq!(
+        hits + misses,
+        (CLIENTS * CALLS) as u64,
+        "every call checked out of the pool"
+    );
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    assert!(
+        hit_rate > 0.9,
+        "warm sockets served the steady state: hit rate {hit_rate:.3} \
+         ({hits} hits / {misses} misses)"
+    );
+    assert!(
+        pool.open_connections() <= CLIENTS,
+        "open connections bounded by the client count: {}",
+        pool.open_connections()
+    );
+    assert_eq!(
+        snap.counter_sum("net_pool_poisoned_total", &[("pool", "stress")]),
+        0,
+        "a healthy service never poisons"
+    );
+    fs.service.shutdown();
+}

@@ -8,6 +8,10 @@
 use crate::time::{SimDuration, SimTime};
 
 /// Welford online mean / variance / min / max.
+///
+/// Non-finite observations (NaN, ±∞) are skipped and counted separately —
+/// a single bad latency sample must not poison the mean or abort a
+/// million-job experiment.
 #[derive(Debug, Clone, Default)]
 pub struct Summary {
     n: u64,
@@ -15,6 +19,7 @@ pub struct Summary {
     m2: f64,
     min: f64,
     max: f64,
+    non_finite: u64,
 }
 
 impl Summary {
@@ -26,11 +31,17 @@ impl Summary {
             m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            non_finite: 0,
         }
     }
 
-    /// Record one observation.
+    /// Record one observation. Non-finite values are skipped and counted
+    /// in [`Summary::non_finite`] instead of corrupting the moments.
     pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
         self.n += 1;
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;
@@ -39,9 +50,14 @@ impl Summary {
         self.max = self.max.max(x);
     }
 
-    /// Number of observations.
+    /// Number of (finite) observations.
     pub fn count(&self) -> u64 {
         self.n
+    }
+
+    /// Observations rejected for being NaN or infinite.
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
     }
 
     /// Arithmetic mean (0 if empty).
@@ -87,11 +103,14 @@ impl Summary {
 
     /// Merge another summary into this one (parallel Welford combine).
     pub fn merge(&mut self, other: &Summary) {
+        self.non_finite += other.non_finite;
         if other.n == 0 {
             return;
         }
         if self.n == 0 {
+            let non_finite = self.non_finite;
             *self = other.clone();
+            self.non_finite = non_finite;
             return;
         }
         let n1 = self.n as f64;
@@ -108,6 +127,10 @@ impl Summary {
 
 /// P² (Jain & Chlamtac) single-quantile estimator: O(1) memory, no sample
 /// retention. Good to a few percent for the long-tailed metrics we track.
+///
+/// Non-finite observations are skipped and counted ([`P2Quantile::non_finite`]):
+/// one NaN inside the marker array would otherwise wreck every subsequent
+/// interpolation — and, before this guard, panicked the initial sort.
 #[derive(Debug, Clone)]
 pub struct P2Quantile {
     p: f64,
@@ -118,6 +141,7 @@ pub struct P2Quantile {
     /// Desired marker positions.
     want: [f64; 5],
     n: u64,
+    non_finite: u64,
 }
 
 impl P2Quantile {
@@ -130,16 +154,22 @@ impl P2Quantile {
             pos: [1.0, 2.0, 3.0, 4.0, 5.0],
             want: [0.0; 5],
             n: 0,
+            non_finite: 0,
         }
     }
 
-    /// Record one observation.
+    /// Record one observation. Non-finite values are skipped and counted
+    /// in [`P2Quantile::non_finite`].
     pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
         self.n += 1;
         if self.n <= 5 {
             self.q[(self.n - 1) as usize] = x;
             if self.n == 5 {
-                self.q.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.q.sort_by(f64::total_cmp);
                 self.want = [
                     1.0,
                     1.0 + 2.0 * self.p,
@@ -207,16 +237,21 @@ impl P2Quantile {
         }
         if self.n <= 5 {
             let mut v: Vec<f64> = self.q[..self.n as usize].to_vec();
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_by(f64::total_cmp);
             let idx = ((self.n as f64 - 1.0) * self.p).round() as usize;
             return v[idx];
         }
         self.q[2]
     }
 
-    /// Observation count.
+    /// Count of (finite) observations.
     pub fn count(&self) -> u64 {
         self.n
+    }
+
+    /// Observations rejected for being NaN or infinite.
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
     }
 }
 
@@ -550,6 +585,53 @@ mod tests {
         // True p99 of Exp(1) is ln(100) ≈ 4.605.
         let est = q.estimate();
         assert!((est - 4.605).abs() < 0.4, "p99 estimate {est}");
+    }
+
+    #[test]
+    fn summary_skips_and_counts_non_finite() {
+        let mut s = Summary::new();
+        s.record(1.0);
+        s.record(f64::NAN);
+        s.record(3.0);
+        s.record(f64::INFINITY);
+        s.record(f64::NEG_INFINITY);
+        assert_eq!(s.count(), 2, "only finite observations counted");
+        assert_eq!(s.non_finite(), 3);
+        assert!((s.mean() - 2.0).abs() < 1e-12, "NaN never reached the mean");
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        // Merging propagates the rejected count in both directions.
+        let mut empty = Summary::new();
+        empty.record(f64::NAN);
+        empty.merge(&s);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.non_finite(), 4);
+    }
+
+    #[test]
+    fn p2_survives_nan_in_first_five_and_beyond() {
+        // Regression: a NaN among the first 5 samples panicked the
+        // initial marker sort via partial_cmp().unwrap(); a NaN later
+        // silently wrecked the marker invariants. Both are now skipped.
+        let mut q = P2Quantile::new(0.5);
+        for x in [3.0, f64::NAN, 1.0, 2.0] {
+            q.record(x);
+        }
+        assert_eq!(q.estimate(), 2.0, "exact small-n median ignores the NaN");
+        for x in [5.0, 4.0, f64::NAN, 6.0, 7.0, 8.0] {
+            q.record(x);
+        }
+        assert_eq!(q.count(), 8);
+        assert_eq!(q.non_finite(), 2);
+        let est = q.estimate();
+        assert!(est.is_finite(), "markers stayed finite, got {est}");
+        assert!((1.0..=8.0).contains(&est), "median within range, got {est}");
+        // A long NaN-free tail still converges normally afterwards.
+        for u in lcg_stream(50_000) {
+            q.record(u * 8.0);
+        }
+        let est = q.estimate();
+        assert!((est - 4.0).abs() < 0.3, "median estimate {est}");
     }
 
     #[test]

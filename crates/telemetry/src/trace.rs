@@ -80,6 +80,19 @@ pub fn current() -> Option<TraceContext> {
     CURRENT.with(|c| c.get())
 }
 
+/// Run `f` with `ctx` installed as this thread's current context, restoring
+/// whatever was active before. This is how fan-out helpers carry a caller's
+/// trace onto worker threads: capture [`current`] on the calling thread,
+/// then wrap each worker's body in `propagate` so every frame the worker
+/// sends joins the caller's trace.
+pub fn propagate<T>(ctx: Option<TraceContext>, f: impl FnOnce() -> T) -> T {
+    let prev = current();
+    CURRENT.with(|c| c.set(ctx));
+    let out = f();
+    CURRENT.with(|c| c.set(prev));
+    out
+}
+
 /// Seconds since the process-wide epoch (first use of the telemetry
 /// crate's wall clock).
 pub fn wall_secs() -> f64 {
@@ -312,6 +325,26 @@ mod tests {
         assert!(spans
             .iter()
             .any(|r| r.service == "fd" && r.name == "RequestBid"));
+    }
+
+    #[test]
+    fn propagate_installs_and_restores_context() {
+        let ctx = TraceContext {
+            trace: TraceId(42),
+            span: SpanId(43),
+            parent: None,
+        };
+        assert!(current().is_none());
+        let seen = propagate(Some(ctx), || {
+            // A span opened under the propagated context joins its trace —
+            // exactly what a fan-out worker thread needs.
+            let child = span("client", "RequestBid");
+            assert_eq!(child.trace(), TraceId(42));
+            assert_eq!(child.ctx().parent, Some(SpanId(43)));
+            current().unwrap().trace
+        });
+        assert_eq!(seen, TraceId(42));
+        assert!(current().is_none(), "previous context restored");
     }
 
     #[test]
