@@ -104,6 +104,7 @@ fn matching_workload() -> (Directory, Vec<QosContract>) {
                 flops_per_pe_sec: 1e9,
                 fd_addr: "10.0.0.1".into(),
                 fd_port: 9000,
+                replicas: vec![],
             },
             [
                 "namd".to_string(),

@@ -38,6 +38,12 @@ pub struct ServerInfo {
     pub fd_addr: String,
     /// Port the FD listens on ("a well-known port").
     pub fd_port: u16,
+    /// Replica daemon addresses (`host:port`) mirroring this server's
+    /// control-plane journal, in the primary's failover-preference order.
+    /// Empty for an unreplicated daemon; absent on the wire from
+    /// pre-replication peers.
+    #[serde(default)]
+    pub replicas: Vec<String>,
 }
 
 /// Dynamic status reported in each poll/heartbeat.
@@ -366,6 +372,7 @@ mod tests {
             flops_per_pe_sec: 1e9,
             fd_addr: "127.0.0.1".into(),
             fd_port: 9000 + id as u16,
+            replicas: vec![],
         }
     }
 

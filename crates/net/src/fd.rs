@@ -32,18 +32,19 @@
 use crate::overload::{GateConfig, GateVerdict, PayoffGate};
 use crate::pool::{ConnPool, PoolConfig};
 use crate::proto::{Request, Response};
+use crate::replica::{Journal, ReplicationConfig};
 use crate::service::{
     call_with, request_deadline, serve_with, CallOptions, Clock, RetryPolicy, ServeOptions,
     ServiceHandle,
 };
 use faucets_core::appspector::TelemetrySample;
-use faucets_core::daemon::{AwardOutcome, FaucetsDaemon};
+use faucets_core::daemon::{AwardOutcome, ClusterManager, FaucetsDaemon};
 use faucets_core::ids::{ClusterId, ContractId, JobId, UserId};
 use faucets_core::job::JobSpec;
 use faucets_core::market::MarketInfo;
 use faucets_core::money::Money;
 use faucets_sched::cluster::Cluster;
-use faucets_store::{Durable, DurableStore, StoreOptions};
+use faucets_store::{Durable, StoreOptions};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -121,8 +122,9 @@ impl Durable for FdJournal {
     }
 }
 
-/// The FD's contract journal handle.
-type FdStore = Option<Arc<DurableStore<FdJournal>>>;
+/// The FD's contract journal handle: single-node or replicated per
+/// [`FdOptions::replication`].
+type FdStore = Option<Journal<FdJournal>>;
 
 /// Options for [`spawn_fd_with`].
 #[derive(Clone)]
@@ -133,6 +135,12 @@ pub struct FdOptions {
     /// Store tuning: telemetry label, compaction cadence, fsync, injected
     /// write faults. Only consulted when `store` is set.
     pub store_opts: StoreOptions,
+    /// Replicate the contract journal to follower daemons
+    /// ([`crate::replica::spawn_replica`]); the follower set is advertised
+    /// in this FD's directory row so failover tooling can find the
+    /// replicas. Only consulted when `store` is set. The service name the
+    /// followers must host is `fd-<cluster id>`.
+    pub replication: Option<ReplicationConfig>,
     /// Service-side timeouts and fault injection.
     pub serve: ServeOptions,
     /// Options for the FD's own outbound calls (FS verification and
@@ -164,6 +172,7 @@ impl Default for FdOptions {
                 service: "fd".into(),
                 ..StoreOptions::default()
             },
+            replication: None,
             serve: ServeOptions::default(),
             call: CallOptions {
                 retry: RetryPolicy::standard(0x4644),
@@ -342,11 +351,17 @@ pub fn spawn_fd_with(
     // accepted contracts are resubmitted to the scheduler, staged files
     // re-attached.
     let store: FdStore = match &opts.store {
-        Some(dir) => Some(Arc::new(
-            DurableStore::open(dir, FdJournal::default(), opts.store_opts.clone())
-                .map_err(io::Error::other)?
-                .0,
-        )),
+        Some(dir) => Some(
+            Journal::open(
+                dir,
+                FdJournal::default(),
+                &format!("fd-{cluster_id}"),
+                opts.store_opts.clone(),
+                opts.replication.as_ref(),
+            )
+            .map_err(io::Error::other)?
+            .0,
+        ),
         None => None,
     };
     let restored: Vec<(JobId, UserId)> = {
@@ -520,6 +535,13 @@ pub fn spawn_fd_with(
     let bound = service.addr;
     daemon.info.fd_addr = bound.ip().to_string();
     daemon.info.fd_port = bound.port();
+    // Advertise the replica set in the directory row, so failover tooling
+    // (and curious clients) can locate this FD's followers.
+    daemon.info.replicas = opts
+        .replication
+        .as_ref()
+        .map(|r| r.followers.iter().map(|a| a.to_string()).collect())
+        .unwrap_or_default();
     let info = daemon.info.clone();
     let apps: Vec<String> = daemon.exported_apps.iter().cloned().collect();
     state.lock().daemon = daemon;

@@ -23,12 +23,13 @@
 
 use crate::overload::TokenBucket;
 use crate::proto::{Request, Response};
+use crate::replica::{Journal, ReplicationConfig};
 use crate::service::{serve_with, Clock, ServeOptions, ServiceHandle};
 use faucets_core::directory::{ServerInfo, ServerListing};
 use faucets_core::ids::ClusterId;
 use faucets_core::server::FaucetsServer;
 use faucets_sim::time::SimTime;
-use faucets_store::{Durable, DurableStore, RecoveryReport, StoreOptions};
+use faucets_store::{Durable, RecoveryReport, StoreOptions};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -120,6 +121,10 @@ pub struct FsOptions {
     /// Store tuning: telemetry label, compaction cadence, fsync, injected
     /// write faults. Only consulted when `store` is set.
     pub store_opts: StoreOptions,
+    /// Replicate the registration journal to follower daemons
+    /// ([`crate::replica::spawn_replica`]). Only consulted when `store` is
+    /// set. The service name the followers must host is `fs`.
+    pub replication: Option<ReplicationConfig>,
     /// Directory-query (`ListServers`/`ListClusters`) throttle: sustained
     /// queries per second. Queries over the budget are answered
     /// [`Response::Overloaded`] so a scanning client cannot starve
@@ -139,6 +144,7 @@ impl Default for FsOptions {
                 service: "fs".into(),
                 ..StoreOptions::default()
             },
+            replication: None,
             // Generous: far above anything the test suite or a sane client
             // generates, low enough to cap a runaway scanner.
             query_rate: 1000.0,
@@ -153,8 +159,9 @@ pub struct FsHandle {
     pub service: ServiceHandle,
     /// The shared server state (inspectable by tests/tools).
     pub state: Arc<Mutex<FaucetsServer>>,
-    /// The registration journal, when durability is enabled.
-    pub store: Option<Arc<DurableStore<DirJournal>>>,
+    /// The registration journal, when durability is enabled — single-node
+    /// or replicated per [`FsOptions::replication`].
+    pub store: Option<Journal<DirJournal>>,
     /// What recovery found on startup, when durability is enabled.
     pub recovery: Option<RecoveryReport>,
     /// The directory-query throttle (live `set_rate`/`set_burst` knobs).
@@ -188,7 +195,7 @@ pub fn spawn_fs_with(
 /// Evictions are re-derivable (a stale registration restored after a crash
 /// is graded dead and swept on the next request), so journaling them only
 /// compacts the journal and must never NACK the request that noticed them.
-fn journal_evictions(store: &Option<Arc<DurableStore<DirJournal>>>, evicted: &[ClusterId]) {
+fn journal_evictions(store: &Option<Journal<DirJournal>>, evicted: &[ClusterId]) {
     if let Some(store) = store {
         for cluster in evicted {
             let _ = store.commit(&DirRecord::Evict { cluster: *cluster });
@@ -210,9 +217,14 @@ pub fn spawn_fs_durable(
     // Recover the journal and replay registrations before taking traffic.
     let (store, recovery) = match &opts.store {
         Some(dir) => {
-            let (store, report) =
-                DurableStore::open(dir, DirJournal::default(), opts.store_opts.clone())
-                    .map_err(io::Error::other)?;
+            let (store, report) = Journal::open(
+                dir,
+                DirJournal::default(),
+                "fs",
+                opts.store_opts.clone(),
+                opts.replication.as_ref(),
+            )
+            .map_err(io::Error::other)?;
             {
                 let mut s = state.lock();
                 store.read(|j| {
@@ -221,7 +233,7 @@ pub fn spawn_fs_durable(
                     }
                 });
             }
-            (Some(Arc::new(store)), Some(report))
+            (Some(store), Some(report))
         }
         None => (None, None),
     };
@@ -342,6 +354,7 @@ mod tests {
             flops_per_pe_sec: 1.0,
             fd_addr: "127.0.0.1".into(),
             fd_port: 1,
+            replicas: vec![],
         }
     }
 

@@ -18,7 +18,9 @@
 //! * [`pool`] — persistent, health-checked client connection pooling (see
 //!   below);
 //! * [`overload`] — admission control, circuit breakers, and payoff-aware
-//!   load shedding (see below).
+//!   load shedding (see below);
+//! * [`replica`] — follower daemons, remote WAL-frame shipping, and
+//!   primary/backup failover for the durable control plane (see below).
 //!
 //! Experiment E1 and `examples/live_services.rs` run the entire Figure-1
 //! architecture on localhost; experiment E19 (`exp_faults`) runs it under
@@ -135,6 +137,42 @@
 //! side's `net_open_conns`/`net_conns_accepted_total`) and proven by
 //! experiment E23 (`exp_rpc_throughput`): pooled calls sustain ≥ 2× the
 //! per-call-connection throughput at 8 concurrent clients.
+//!
+//! ## Replication and failover
+//!
+//! A single durable FS or FD still loses availability (and, for async
+//! observers, recent writes) when its host dies; the control plane
+//! therefore replicates its journals. The primary ships every committed
+//! WAL frame — tagged `(epoch, generation, seq)` — to follower daemons
+//! ([`replica::spawn_replica`]) which persist byte-compatible journal
+//! directories before acking:
+//!
+//! * **Modes** — sync (`Ok` to the client implies the required follower
+//!   quorum holds the record; an under-replicated commit is NACKed as
+//!   `Unreplicated`) or async (`Ok` implies local durability; `repl_lag`
+//!   bounds the failover exposure). See
+//!   [`faucets_store::ReplicationMode`].
+//! * **Failover** — probe survivors' positions (`ReplStatus`), elect with
+//!   [`faucets_store::pick_primary`] (max `(epoch, generation, acked)`,
+//!   deterministic tie-break), raise the epoch with
+//!   [`faucets_store::prepare_promotion`], and open the released follower
+//!   directory as the new primary's journal. A deposed primary is
+//!   *fenced*: the first follower that has seen the higher epoch rejects
+//!   its frames, and every later commit fails with `Fenced`.
+//! * **Catch-up** — a follower that is empty, behind a compaction, or has
+//!   a sequence gap answers `NeedSnapshot`; the primary installs its
+//!   snapshot basis plus the live frame tail ([`proto::Request::ReplSnapshot`]),
+//!   after which incremental shipping resumes.
+//!
+//! Replication traffic rides the normal RPC stack (retry, deadlines,
+//! breakers, pooling, fault injection) and is counted in telemetry
+//! (`repl_lag`, `repl_epoch`, `repl_shipped_frames_total`,
+//! `repl_snapshot_transfers_total`, `repl_fenced_total`,
+//! `repl_failovers_total`). The chaos suite (`tests/replication.rs`)
+//! kill-9s a sync-mode primary mid-negotiation and asserts every
+//! acknowledged award survives on the promoted backup; experiment E24
+//! (`exp_replication`) measures failover MTTR, replication lag under
+//! load, and sync-vs-async overhead against the PR-3 single-node WAL.
 
 #![warn(missing_docs)]
 
@@ -146,6 +184,7 @@ pub mod fs;
 pub mod overload;
 pub mod pool;
 pub mod proto;
+pub mod replica;
 pub mod service;
 
 /// Convenient glob import.
@@ -161,6 +200,9 @@ pub mod prelude {
     };
     pub use crate::pool::{ConnPool, PoolConfig, PooledConn};
     pub use crate::proto::{read_frame, write_frame, Envelope, ProtoError, Request, Response};
+    pub use crate::replica::{
+        spawn_replica, Journal, RemoteLink, ReplicaHandle, ReplicaOptions, ReplicationConfig,
+    };
     pub use crate::service::{
         call, call_many, call_with, serve, serve_with, CallOptions, Clock, RetryPolicy,
         ServeOptions, ServiceHandle, Timeouts,

@@ -335,8 +335,19 @@ mod tests {
         // idle reap from the pool's point of view.
         let (accepted, _) = listener.accept().unwrap();
         drop(accepted);
-        std::thread::sleep(Duration::from_millis(50)); // let the FIN land
-        let c2 = p.checkout(addr, CONNECT, &reg).unwrap();
+        // The FIN races our checkout: poll until the health check
+        // observes the dead socket instead of hoping a fixed grace
+        // period outruns the kernel.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let c2 = loop {
+            let c2 = p.checkout(addr, CONNECT, &reg).unwrap();
+            if !c2.reused() {
+                break c2;
+            }
+            assert!(Instant::now() < deadline, "FIN never observed");
+            c2.give_back(&reg);
+            std::thread::sleep(Duration::from_millis(2));
+        };
         assert!(!c2.reused(), "a dead socket failed the health check");
         let snap = reg.snapshot();
         assert_eq!(snap.counter_sum("net_pool_evictions_total", &[]), 1);

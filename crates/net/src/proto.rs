@@ -22,6 +22,7 @@ use faucets_core::directory::{ClusterRow, ServerInfo, ServerListing, ServerStatu
 use faucets_core::ids::{ClusterId, ContractId, JobId, UserId};
 use faucets_core::job::JobSpec;
 use faucets_core::qos::QosContract;
+use faucets_store::{ReplFrame, ReplReply, SnapshotBlob};
 use faucets_telemetry::metrics::MetricsSnapshot;
 use faucets_telemetry::trace::TraceContext;
 use serde::{Deserialize, Serialize};
@@ -147,6 +148,33 @@ pub enum Request {
         name: String,
     },
 
+    // ---- Replication (follower daemon) ----
+    /// Primary ships committed WAL frames, in commit order, to a follower.
+    /// The follower persists them before answering; its reply carries the
+    /// durable position (or a fencing/snapshot demand).
+    ReplAppend {
+        /// Name of the replicated service (keys the follower-side store).
+        service: String,
+        /// Committed frames, each tagged with epoch, generation, and
+        /// sequence number.
+        frames: Vec<ReplFrame>,
+    },
+    /// Primary installs a snapshot basis plus the frames committed on top
+    /// of it — how a follower that is behind a compaction (or empty)
+    /// catches up without the discarded WAL generations.
+    ReplSnapshot {
+        /// Name of the replicated service.
+        service: String,
+        /// The snapshot basis and its follow-on records.
+        blob: SnapshotBlob,
+    },
+    /// Probe a follower's durable replication position without shipping
+    /// anything — used by failover to elect the most-caught-up replica.
+    ReplStatus {
+        /// Name of the replicated service.
+        service: String,
+    },
+
     // ---- Observability (any service) ----
     /// Ask a service for a snapshot of its metric registry. Answered by
     /// the serve layer itself, so every Figure-1 service exposes it.
@@ -182,6 +210,9 @@ impl Request {
             Request::CompleteJob { .. } => "CompleteJob",
             Request::Watch { .. } => "Watch",
             Request::Download { .. } => "Download",
+            Request::ReplAppend { .. } => "ReplAppend",
+            Request::ReplSnapshot { .. } => "ReplSnapshot",
+            Request::ReplStatus { .. } => "ReplStatus",
             Request::Metrics => "Metrics",
             Request::ListClusters { .. } => "ListClusters",
             Request::GridView { .. } => "GridView",
@@ -233,6 +264,9 @@ pub enum Response {
     Clusters(Vec<ClusterRow>),
     /// The aggregated grid dashboard.
     Grid(Box<GridView>),
+    /// A follower's answer to any replication request: its durable
+    /// position, a fencing rejection, or a demand for a snapshot.
+    Repl(ReplReply),
     /// The service is at its admission bound and shed this request before
     /// doing any work (fast-fail instead of unbounded queueing). Not an
     /// error about the request itself: the caller may retry elsewhere or

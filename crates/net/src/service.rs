@@ -262,7 +262,7 @@ impl Default for CallOptions {
 
 /// Resolve an optional registry override to a usable reference.
 fn effective(registry: &Option<Arc<Registry>>) -> &Registry {
-    registry.as_deref().unwrap_or_else(global)
+    registry.as_deref().unwrap_or_else(|| global())
 }
 
 /// Live connections of one service, as resettable duplicate handles. On

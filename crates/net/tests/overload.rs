@@ -20,7 +20,7 @@ use faucets_sched::cluster::Cluster;
 use faucets_sched::equipartition::Equipartition;
 use faucets_sched::machine::MachineSpec;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 fn spawn_daemon(fs: SocketAddr, aspect: SocketAddr, clock: Clock, opts: FdOptions) -> FdHandle {
@@ -180,11 +180,15 @@ fn client_treats_overloaded_daemon_as_no_bid_not_dead() {
     fake.shutdown();
 }
 
-/// The serve layer's per-endpoint inflight bound: with one slot and a
-/// slow handler, the second concurrent call fast-fails `Overloaded` and
-/// the rejection is counted.
+/// The serve layer's per-endpoint inflight bound: with one slot held by a
+/// gated handler, a call issued while the slot is provably occupied
+/// fast-fails `Overloaded` and the rejection is counted. The handler
+/// signals entry and blocks on a condition variable until released, so
+/// the test never depends on a fixed sleep outrunning the scheduler.
 #[test]
 fn serve_inflight_bound_fast_fails_excess_calls() {
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let entered = Arc::new((Mutex::new(false), Condvar::new()));
     let svc = serve_with(
         "127.0.0.1:0",
         "slowsvc",
@@ -192,39 +196,67 @@ fn serve_inflight_bound_fast_fails_excess_calls() {
             limits: ServiceLimits::new(1),
             ..ServeOptions::default()
         },
-        |_req| {
-            std::thread::sleep(Duration::from_millis(500));
-            Response::Ok
+        {
+            let gate = Arc::clone(&gate);
+            let entered = Arc::clone(&entered);
+            move |_req| {
+                let (flag, cv) = &*entered;
+                *flag.lock().unwrap() = true;
+                cv.notify_all();
+                let (released, cv) = &*gate;
+                let mut open = released.lock().unwrap();
+                while !*open {
+                    let (guard, timeout) = cv.wait_timeout(open, Duration::from_secs(10)).unwrap();
+                    open = guard;
+                    if timeout.timed_out() {
+                        break; // fail-safe: never wedge the worker pool
+                    }
+                }
+                Response::Ok
+            }
         },
     )
     .unwrap();
     let addr = svc.addr;
-    let barrier = Arc::new(Barrier::new(2));
-    let mut handles = vec![];
-    for _ in 0..2 {
-        let barrier = Arc::clone(&barrier);
-        handles.push(std::thread::spawn(move || {
-            barrier.wait();
-            call(
-                addr,
-                &Request::Login {
-                    user: "x".into(),
-                    password: "y".into(),
-                },
-            )
-        }));
-    }
-    let mut ok = 0;
-    let mut overloaded = 0;
-    for h in handles {
-        match h.join().unwrap() {
-            Ok(Response::Ok) => ok += 1,
-            Err(e) if is_overload_error(&e) => overloaded += 1,
-            other => panic!("unexpected outcome: {other:?}"),
+
+    let holder = std::thread::spawn(move || {
+        call(
+            addr,
+            &Request::Login {
+                user: "x".into(),
+                password: "y".into(),
+            },
+        )
+    });
+    // Wait until the slot is provably held before probing.
+    {
+        let (flag, cv) = &*entered;
+        let mut inside = flag.lock().unwrap();
+        while !*inside {
+            let (guard, timeout) = cv.wait_timeout(inside, Duration::from_secs(10)).unwrap();
+            inside = guard;
+            assert!(!timeout.timed_out(), "handler never entered");
         }
     }
-    assert_eq!(ok, 1, "the slot holder completes");
-    assert_eq!(overloaded, 1, "the excess call is rejected, not queued");
+    match call(
+        addr,
+        &Request::Login {
+            user: "x".into(),
+            password: "y".into(),
+        },
+    ) {
+        Err(e) if is_overload_error(&e) => {}
+        other => panic!("excess call must be rejected, not queued: {other:?}"),
+    }
+    {
+        let (released, cv) = &*gate;
+        *released.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    match holder.join().unwrap() {
+        Ok(Response::Ok) => {}
+        other => panic!("the slot holder completes: {other:?}"),
+    }
     let rejections = faucets_telemetry::global()
         .snapshot()
         .counter_sum("net_overload_rejections_total", &[("service", "slowsvc")]);

@@ -73,6 +73,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 flops_per_pe_sec: 1e9,
                 fd_addr: "127.0.0.1".into(),
                 fd_port: port as u16,
+                replicas: vec![],
             },
             apps: vec!["namd".into()],
         }),

@@ -1,0 +1,347 @@
+//! Replication chaos suite (extends E21's crash discipline to failover).
+//!
+//! The headline scenario kill-9s a sync-replicated FD mid-negotiation and
+//! proves the acked-entry loss contract end to end: every award the client
+//! was acknowledged completes on the backup promoted from the follower's
+//! journal — zero acknowledged entries lost, no matter where the kill
+//! lands. The companion tests cover epoch fencing of a deposed primary
+//! over the wire and a lagging follower catching up through a snapshot
+//! transfer.
+//!
+//! Determinism note: the kill deliberately races an in-flight submission,
+//! but every outcome of that race satisfies the same invariant — an award
+//! acknowledged in sync mode is on the follower by definition, and an
+//! unacknowledged one is allowed to die with the primary — so the
+//! assertions never depend on where the kill lands.
+
+use faucets_core::daemon::FaucetsDaemon;
+use faucets_core::ids::ClusterId;
+use faucets_core::money::Money;
+use faucets_core::qos::{PayoffFn, QosBuilder};
+use faucets_net::fd::{spawn_fd_with, FdHandle, FdOptions};
+use faucets_net::prelude::*;
+use faucets_net::replica::{spawn_replica, Journal, ReplicaHandle, ReplicaOptions};
+use faucets_sched::adaptive::ResizeCostModel;
+use faucets_sched::cluster::Cluster;
+use faucets_sched::equipartition::Equipartition;
+use faucets_sched::machine::MachineSpec;
+use faucets_store::{
+    pick_primary, prepare_promotion, read_epoch, Durable, ReplicationMode, StoreError, StoreOptions,
+};
+use serde::{Deserialize, Serialize};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("faucets-repl-chaos-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The FD replication service name for ClusterId(1).
+const FD_SVC: &str = "fd-1";
+
+fn spawn_primary_fd(
+    store: PathBuf,
+    replication: Option<ReplicationConfig>,
+    fs: SocketAddr,
+    aspect: SocketAddr,
+    clock: Clock,
+) -> FdHandle {
+    let machine = MachineSpec::commodity(ClusterId(1), "turing", 64);
+    let daemon = FaucetsDaemon::new(
+        machine.server_info("127.0.0.1", 0),
+        ["namd".to_string()],
+        Box::new(faucets_core::market::Baseline),
+        Money::from_units_f64(0.01),
+    );
+    let cluster = Cluster::new(machine, Box::new(Equipartition), ResizeCostModel::default());
+    spawn_fd_with(
+        "127.0.0.1:0",
+        daemon,
+        cluster,
+        fs,
+        aspect,
+        clock,
+        FdOptions {
+            store: Some(store),
+            replication,
+            ..FdOptions::default()
+        },
+    )
+    .expect("FD")
+}
+
+fn follower_daemon(service: &str, dir: PathBuf) -> ReplicaHandle {
+    spawn_replica(
+        "127.0.0.1:0",
+        &[(service.to_string(), dir)],
+        ReplicaOptions::default(),
+    )
+    .expect("replica daemon")
+}
+
+fn qos_for(clock: &Clock) -> faucets_core::qos::QosContract {
+    QosBuilder::new("namd", 8, 32, 64.0 * 3_600.0)
+        .efficiency(0.95, 0.8)
+        .adaptive()
+        .payoff(PayoffFn::hard_only(
+            clock
+                .now()
+                .saturating_add(faucets_sim::time::SimDuration::from_hours(24)),
+            Money::from_units(100),
+            Money::from_units(10),
+        ))
+        .build()
+        .unwrap()
+}
+
+/// kill -9 the primary FD mid-negotiation; every acknowledged award must
+/// complete on the backup promoted from the follower's journal.
+#[test]
+fn acked_awards_survive_primary_kill_and_promotion() {
+    let clock = Clock::new(2_000.0);
+    let fd_store = scratch("primary");
+    let follower_store = scratch("follower");
+
+    let fs = spawn_fs("127.0.0.1:0", clock.clone(), 71).unwrap();
+    let fs_addr = fs.service.addr;
+    let aspect = spawn_appspector("127.0.0.1:0", fs_addr, 16).unwrap();
+    let follower = follower_daemon(FD_SVC, follower_store.clone());
+
+    let fd = spawn_primary_fd(
+        fd_store.clone(),
+        Some(ReplicationConfig {
+            followers: vec![follower.addr],
+            mode: ReplicationMode::Sync,
+            ..ReplicationConfig::default()
+        }),
+        fs_addr,
+        aspect.service.addr,
+        clock.clone(),
+    );
+    // The directory row advertises the replica set, so failover tooling
+    // can find the follower without out-of-band configuration.
+    {
+        let s = fs.state.lock();
+        let row = s.directory.get(ClusterId(1)).expect("registered");
+        assert_eq!(row.info.replicas, vec![follower.addr.to_string()]);
+    }
+
+    let mut client =
+        FaucetsClient::register(fs_addr, aspect.service.addr, clock.clone(), "dana", "pw").unwrap();
+    client.retry = RetryPolicy::standard(71);
+
+    // Three acknowledged awards, then one submission racing the kill.
+    let mut acked = Vec::new();
+    for i in 0..3 {
+        let sub = client
+            .submit(qos_for(&clock), &[("in.dat".into(), vec![i as u8; 32])])
+            .expect("award acked");
+        acked.push(sub.job);
+    }
+    let racer = {
+        let fs_addr = fs_addr;
+        let aspect_addr = aspect.service.addr;
+        let clock = clock.clone();
+        std::thread::spawn(move || {
+            let mut c =
+                FaucetsClient::register(fs_addr, aspect_addr, clock.clone(), "eve", "pw").ok()?;
+            c.retry = RetryPolicy::none();
+            c.submit(qos_for(&clock), &[("in.dat".into(), vec![9u8; 32])])
+                .ok()
+        })
+    };
+    // Land the kill while the racer negotiates. Whatever the interleaving:
+    // an acked award is follower-durable (sync mode), an unacked one may
+    // legitimately die with the primary.
+    std::thread::sleep(Duration::from_millis(30));
+    fd.kill();
+    if let Ok(Some(sub)) = racer.join() {
+        acked.push(sub.job);
+    }
+    assert!(acked.len() >= 3);
+
+    // Deterministic election and promotion from the follower's journal.
+    let pos = follower.position(FD_SVC).expect("follower hosts the FD");
+    assert_eq!(pick_primary(&[pos]), Some(0));
+    let promoted_dir = follower.release(FD_SVC).expect("release for promotion");
+    prepare_promotion(&promoted_dir, FD_SVC, pos.epoch + 1).unwrap();
+    assert_eq!(read_epoch(&promoted_dir), pos.epoch + 1);
+
+    let fd2 = spawn_primary_fd(
+        promoted_dir,
+        None,
+        fs_addr,
+        aspect.service.addr,
+        clock.clone(),
+    );
+    // Zero acked-entry loss, end to end: every acknowledged award runs to
+    // completion on the promoted backup.
+    for job in &acked {
+        let snap = client
+            .wait(*job, Duration::from_secs(40))
+            .expect("acked award completes on the promoted backup");
+        assert!(snap.completed, "job {job:?} must complete after failover");
+    }
+
+    fd2.shutdown();
+    follower.shutdown();
+    let _ = std::fs::remove_dir_all(&fd_store);
+    let _ = std::fs::remove_dir_all(&follower_store);
+}
+
+/// Minimal journal state machine for wire-level fencing/catch-up tests.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+struct Log(Vec<String>);
+
+impl Durable for Log {
+    type Record = String;
+    type Snapshot = Vec<String>;
+    fn apply(&mut self, rec: &String) {
+        self.0.push(rec.clone());
+    }
+    fn snapshot(&self) -> Vec<String> {
+        self.0.clone()
+    }
+    fn restore(snap: Vec<String>) -> Self {
+        Log(snap)
+    }
+}
+
+fn log_store_opts(compact_every: u64) -> StoreOptions {
+    StoreOptions {
+        service: "chaos-log".into(),
+        compact_every,
+        no_fsync: true,
+        ..StoreOptions::default()
+    }
+}
+
+fn open_log_journal(
+    dir: &PathBuf,
+    followers: Vec<SocketAddr>,
+    mode: ReplicationMode,
+    compact_every: u64,
+) -> Journal<Log> {
+    let cfg = ReplicationConfig {
+        followers,
+        mode,
+        ..ReplicationConfig::default()
+    };
+    Journal::open(
+        dir,
+        Log::default(),
+        "svc",
+        log_store_opts(compact_every),
+        Some(&cfg),
+    )
+    .expect("journal")
+    .0
+}
+
+/// A deposed primary is fenced by epoch the moment it talks to a follower
+/// that has seen the new reign — over the real wire.
+#[test]
+fn deposed_primary_is_fenced_over_the_wire() {
+    let p1_dir = scratch("fence-p1");
+    let f1_dir = scratch("fence-f1");
+    let f2_dir = scratch("fence-f2");
+    let f1 = follower_daemon("svc", f1_dir);
+    let f2 = follower_daemon("svc", f2_dir.clone());
+
+    // Reign 1: P1 replicates to both followers.
+    let p1 = open_log_journal(&p1_dir, vec![f1.addr, f2.addr], ReplicationMode::Sync, 0);
+    for i in 0..5 {
+        p1.commit(&format!("old-{i}")).unwrap();
+    }
+    assert_eq!(f1.position("svc").unwrap().acked, 5);
+    assert_eq!(f2.position("svc").unwrap().acked, 5);
+
+    // P1 "dies" (we keep its journal directory to resurrect a zombie).
+    p1.shutdown();
+    drop(p1);
+
+    // Elect the most caught-up follower; F1 wins the tie by order.
+    let positions = [f1.position("svc").unwrap(), f2.position("svc").unwrap()];
+    let winner = pick_primary(&positions).unwrap();
+    assert_eq!(winner, 0, "deterministic tie-break by list order");
+
+    // Promote F1: release its directory, raise the epoch, reopen it as
+    // the reign-2 primary replicating to the surviving follower F2.
+    let promoted_dir = f1.release("svc").unwrap();
+    prepare_promotion(&promoted_dir, "svc", positions[winner].epoch + 1).unwrap();
+    let p2 = open_log_journal(&promoted_dir, vec![f2.addr], ReplicationMode::Sync, 0);
+    p2.commit(&"new-reign".to_string()).unwrap();
+    assert_eq!(
+        f2.position("svc").unwrap().epoch,
+        positions[winner].epoch + 1,
+        "F2 adopted the new epoch"
+    );
+
+    // The zombie P1 comes back and tries to keep committing: the first
+    // follower contact fences it, and it stays fenced.
+    let zombie = open_log_journal(&p1_dir, vec![f2.addr], ReplicationMode::Sync, 0);
+    let err = zombie.commit(&"zombie".to_string()).unwrap_err();
+    assert!(
+        matches!(err, StoreError::Fenced { .. }),
+        "expected Fenced, got {err}"
+    );
+    assert!(zombie.replicated().unwrap().is_fenced());
+    let err = zombie.commit(&"still-zombie".to_string()).unwrap_err();
+    assert!(matches!(err, StoreError::Fenced { .. }));
+
+    // The new reign is unaffected.
+    p2.commit(&"still-new".to_string()).unwrap();
+    assert_eq!(p2.read(|l| l.0.len()), 7);
+
+    p2.shutdown();
+    zombie.shutdown();
+    f1.shutdown();
+    f2.shutdown();
+}
+
+/// A follower that joins behind the primary's compaction horizon catches
+/// up through a snapshot transfer, then resumes incremental shipping.
+#[test]
+fn lagging_follower_catches_up_via_snapshot_transfer() {
+    let p_dir = scratch("snap-p");
+    let f_dir = scratch("snap-f");
+
+    // The follower daemon exists but its store is empty; the primary
+    // compacts every 4 commits, so by the time the backlog ships, the
+    // early generations are gone and only a snapshot can seed it.
+    let follower = follower_daemon("svc", f_dir.clone());
+    let journal = open_log_journal(&p_dir, vec![follower.addr], ReplicationMode::Async, 4);
+    for i in 0..10 {
+        journal.commit(&format!("entry-{i}")).unwrap();
+    }
+    let repl = journal.replicated().unwrap();
+    assert!(
+        repl.flush(Duration::from_secs(10)),
+        "async backlog should drain"
+    );
+    let primary = repl.position();
+    let follower_pos = follower.position("svc").unwrap();
+    assert_eq!(follower_pos, primary, "follower converged to the primary");
+    assert!(
+        primary.generation > 1,
+        "compaction must have advanced the generation (else this test \
+         exercises nothing): {primary:?}"
+    );
+
+    // Promotion-grade check: the follower directory recovers the full
+    // state even though it never saw generation 1.
+    let dir = follower.release("svc").unwrap();
+    let (check, _) = Journal::<Log>::open(&dir, Log::default(), "svc", log_store_opts(0), None)
+        .expect("follower dir opens as a plain journal");
+    assert_eq!(
+        check.read(|l| l.0.clone()),
+        (0..10).map(|i| format!("entry-{i}")).collect::<Vec<_>>()
+    );
+
+    journal.shutdown();
+    follower.shutdown();
+}

@@ -86,8 +86,7 @@ impl SchedPolicy for Profit {
         waiting.sort_by(|&a, &b| {
             let (qa, qb) = (&ctx.queue[a], &ctx.queue[b]);
             density(&qb.spec.qos, flops)
-                .partial_cmp(&density(&qa.spec.qos, flops))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&density(&qa.spec.qos, flops))
                 .then(qa.arrived.cmp(&qb.arrived))
                 .then(qa.spec.id.cmp(&qb.spec.id))
         });
@@ -105,8 +104,7 @@ impl SchedPolicy for Profit {
         victims.sort_by(|a, b| {
             let (ra, rb) = (&ctx.running[&a.0], &ctx.running[&b.0]);
             density(&ra.spec.qos, flops)
-                .partial_cmp(&density(&rb.spec.qos, flops))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&density(&rb.spec.qos, flops))
                 .then(a.0.cmp(&b.0))
         });
 
@@ -194,8 +192,7 @@ impl SchedPolicy for Profit {
             growers.sort_by(|a, b| {
                 let (ra, rb) = (&ctx.running[a], &ctx.running[b]);
                 density(&rb.spec.qos, flops)
-                    .partial_cmp(&density(&ra.spec.qos, flops))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&density(&ra.spec.qos, flops))
                     .then(a.cmp(b))
             });
             for id in growers {

@@ -193,16 +193,16 @@ impl<T: Durable> fmt::Debug for DurableStore<T> {
     }
 }
 
-fn snap_path(dir: &Path, gen: u64) -> PathBuf {
+pub(crate) fn snap_path(dir: &Path, gen: u64) -> PathBuf {
     dir.join(format!("snap-{gen}.json"))
 }
 
-fn wal_path(dir: &Path, gen: u64) -> PathBuf {
+pub(crate) fn wal_path(dir: &Path, gen: u64) -> PathBuf {
     dir.join(format!("wal-{gen}.log"))
 }
 
 /// Generations present in `dir`, judged by their snapshot files.
-fn list_generations(dir: &Path) -> Vec<u64> {
+pub(crate) fn list_generations(dir: &Path) -> Vec<u64> {
     let mut gens = Vec::new();
     let Ok(entries) = fs::read_dir(dir) else {
         return gens;
@@ -231,10 +231,21 @@ fn write_snapshot<S: Serialize>(
 ) -> Result<(), StoreError> {
     let bytes = serde_json::to_vec(snap)
         .map_err(|e| StoreError::Corrupt(format!("snapshot serialize: {e}")))?;
+    write_snapshot_bytes(dir, gen, &bytes, no_fsync)
+}
+
+/// Byte-level sibling of [`write_snapshot`] — used by replication, where a
+/// follower mirrors the primary's snapshot verbatim without deserializing.
+pub(crate) fn write_snapshot_bytes(
+    dir: &Path,
+    gen: u64,
+    bytes: &[u8],
+    no_fsync: bool,
+) -> Result<(), StoreError> {
     let tmp = dir.join(format!("snap-{gen}.json.tmp"));
     let fin = snap_path(dir, gen);
     let mut f = File::create(&tmp)?;
-    f.write_all(&bytes)?;
+    f.write_all(bytes)?;
     if !no_fsync {
         f.sync_all()?;
     }
@@ -250,7 +261,7 @@ fn write_snapshot<S: Serialize>(
 
 /// Best-effort removal of generations other than `keep` and any stray
 /// temp files.
-fn sweep(dir: &Path, keep: u64) {
+pub(crate) fn sweep(dir: &Path, keep: u64) {
     let Ok(entries) = fs::read_dir(dir) else {
         return;
     };

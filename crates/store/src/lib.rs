@@ -57,9 +57,15 @@
 #![warn(missing_docs)]
 
 pub mod durable;
+pub mod replicate;
 pub mod wal;
 
 pub use durable::{scan_dir, CommitError, Durable, DurableStore, RecoveryReport, StoreOptions};
+pub use replicate::{
+    pick_primary, prepare_promotion, read_epoch, write_epoch, FollowerOptions, FollowerStore,
+    LocalLink, ReplFrame, ReplOptions, ReplPosition, ReplReply, ReplicaLink, ReplicatedStore,
+    ReplicationMode, SnapshotBlob,
+};
 pub use wal::{
     crc32, read_wal, NoopObserver, StoreError, StoreFaultFn, Wal, WalObserver, WalOptions, WalScan,
     WriteFault, MAX_RECORD,

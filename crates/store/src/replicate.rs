@@ -1,0 +1,1323 @@
+//! Primary/backup replication over the framed WAL: frame shipping, epoch
+//! fencing, snapshot transfer, and deterministic promotion.
+//!
+//! The paper's Central Server and Faucet Daemons each keep their
+//! authoritative journal on exactly one disk (experiment E21). This module
+//! removes that single point of loss without importing a consensus
+//! library: a **primary** [`ReplicatedStore`] wraps a [`DurableStore`] and
+//! ships every committed WAL frame to one or more **followers**
+//! ([`FollowerStore`]), which persist byte-identical `snap-<g>.json` /
+//! `wal-<g>.log` files. Promotion is therefore trivial: open a
+//! `DurableStore` (or a new `ReplicatedStore`) on the follower's
+//! directory and recovery replays exactly what the primary had acked.
+//!
+//! # The acked-vs-unacked contract
+//!
+//! *Acked means replicated* — in [`ReplicationMode::Sync`] a commit
+//! returns `Ok` only after the record is durable locally **and** the
+//! required number of followers persisted it. A client acknowledgement
+//! backed by a sync commit survives the loss of the primary.
+//! [`ReplicationMode::Async`] trades that guarantee for latency: commits
+//! return after local durability and a background shipper drains the lag,
+//! so up to `repl_lag` records may exist only on the dead primary's disk.
+//! Unacknowledged work (a sync commit that returned
+//! [`StoreError::Unreplicated`], a request cut off mid-negotiation) may
+//! exist on the primary, on both, or on neither — exactly the
+//! at-least-once window the services already NACK and retry around.
+//!
+//! # Epoch fencing
+//!
+//! Every frame carries the shipping primary's **epoch**, a monotonically
+//! increasing term persisted in `<dir>/epoch`. Promotion bumps the epoch
+//! (`max` observed `+ 1`); a follower that has adopted epoch `e` rejects
+//! frames from any epoch `< e` with [`ReplReply::Fenced`]. A deposed
+//! primary that keeps shipping learns its fate on the first reply, marks
+//! itself fenced, and fails every later commit with
+//! [`StoreError::Fenced`] — split-brain writes cannot be acknowledged.
+//!
+//! # Promotion
+//!
+//! [`pick_primary`] orders candidates by `(epoch, generation, acked)` —
+//! the highest wins, ties break to the lowest index — so every surviving
+//! node that sees the same candidate set elects the same new primary.
+
+use crate::durable::{
+    list_generations, snap_path, sweep, wal_path, write_snapshot_bytes, Durable, DurableStore,
+    RecoveryReport, StoreOptions,
+};
+use crate::wal::{read_wal, NoopObserver, StoreError, Wal, WalOptions};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+/// When a replicated commit may acknowledge the client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplicationMode {
+    /// Commit returns after local durability; a background shipper drains
+    /// frames to the followers. Lowest latency, but acked entries inside
+    /// the replication lag die with the primary's disk.
+    Async,
+    /// Commit returns only after the required follower acks (see
+    /// [`ReplOptions::sync_acks`]). Acked entries survive primary loss.
+    Sync,
+}
+
+/// One committed WAL record in flight to a follower, tagged with the
+/// coordinates fencing and ordering need.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplFrame {
+    /// Epoch of the shipping primary (fencing token).
+    pub epoch: u64,
+    /// Generation the record belongs to.
+    pub generation: u64,
+    /// Sequence number within the generation (the WAL append seq).
+    pub seq: u64,
+    /// The serialized record, byte-identical to the primary's WAL payload.
+    pub payload: Vec<u8>,
+}
+
+/// A full basis transfer: the primary's current snapshot file plus every
+/// WAL record after it — enough for a follower at any position (fresh, or
+/// behind a compaction) to mirror the primary exactly.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotBlob {
+    /// Epoch of the shipping primary.
+    pub epoch: u64,
+    /// Generation being transferred.
+    pub generation: u64,
+    /// Exact bytes of the primary's `snap-<generation>.json`.
+    pub snapshot: Vec<u8>,
+    /// Payloads of every WAL record in this generation, in order.
+    pub records: Vec<Vec<u8>>,
+}
+
+/// A node's replication position — the coordinates promotion compares.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplPosition {
+    /// Highest epoch the node has adopted.
+    pub epoch: u64,
+    /// Generation of its on-disk state.
+    pub generation: u64,
+    /// Records durable in that generation's WAL.
+    pub acked: u64,
+}
+
+/// A follower's answer to an append, install, or status probe.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplReply {
+    /// Everything offered is durable; this is the follower's position.
+    Ok(ReplPosition),
+    /// The sender's epoch is stale — it has been deposed.
+    Fenced {
+        /// The higher epoch the follower has adopted.
+        epoch: u64,
+    },
+    /// The follower cannot apply from where it is (fresh, or behind a
+    /// compaction); the primary must send a [`SnapshotBlob`].
+    NeedSnapshot(ReplPosition),
+}
+
+/// Transport a primary ships frames through. The in-process
+/// [`LocalLink`] serves tests and benchmarks; `faucets-net` implements it
+/// over the wire protocol.
+///
+/// `offer` may persist any prefix of the batch (e.g. to respect a frame
+/// size cap) — the returned position tells the primary where to resume.
+pub trait ReplicaLink: Send + Sync {
+    /// Ship a batch of consecutive frames; the follower persists then acks.
+    fn offer(&self, frames: &[ReplFrame]) -> Result<ReplReply, StoreError>;
+    /// Ship a full basis (snapshot + records) to rebase the follower.
+    fn install(&self, blob: &SnapshotBlob) -> Result<ReplReply, StoreError>;
+    /// Ask the follower where it is without shipping anything.
+    fn status(&self) -> Result<ReplReply, StoreError>;
+}
+
+/// [`ReplicaLink`] to a follower living in the same process.
+pub struct LocalLink(pub Arc<FollowerStore>);
+
+impl ReplicaLink for LocalLink {
+    fn offer(&self, frames: &[ReplFrame]) -> Result<ReplReply, StoreError> {
+        self.0.offer(frames)
+    }
+    fn install(&self, blob: &SnapshotBlob) -> Result<ReplReply, StoreError> {
+        self.0.install(blob)
+    }
+    fn status(&self) -> Result<ReplReply, StoreError> {
+        Ok(ReplReply::Ok(self.0.position()))
+    }
+}
+
+fn epoch_path(dir: &Path) -> PathBuf {
+    dir.join("epoch")
+}
+
+/// Read the fencing epoch persisted in `dir` (0 when none was written).
+pub fn read_epoch(dir: &Path) -> u64 {
+    fs::read_to_string(epoch_path(dir))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Persist the fencing epoch crash-safely (temp file, fsync, rename).
+pub fn write_epoch(dir: &Path, epoch: u64) -> Result<(), StoreError> {
+    fs::create_dir_all(dir)?;
+    let tmp = dir.join("epoch.tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(epoch.to_string().as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, epoch_path(dir))?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Stamp a follower directory with its new term before opening it as
+/// primary: persists `new_epoch` (if higher) and counts the failover.
+pub fn prepare_promotion(dir: &Path, service: &str, new_epoch: u64) -> Result<(), StoreError> {
+    if new_epoch > read_epoch(dir) {
+        write_epoch(dir, new_epoch)?;
+    }
+    faucets_telemetry::global()
+        .counter("repl_failovers_total", &[("service", service)])
+        .inc();
+    Ok(())
+}
+
+/// Deterministic leader election over advertised positions: highest
+/// `(epoch, generation, acked)` wins, ties break to the lowest index.
+pub fn pick_primary(positions: &[ReplPosition]) -> Option<usize> {
+    positions
+        .iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| {
+            (a.epoch, a.generation, a.acked)
+                .cmp(&(b.epoch, b.generation, b.acked))
+                .then(ib.cmp(ia))
+        })
+        .map(|(i, _)| i)
+}
+
+/// Telemetry handles shared by one replication role.
+struct ReplMetrics {
+    epoch: faucets_telemetry::Gauge,
+    lag: faucets_telemetry::Gauge,
+    shipped: faucets_telemetry::Counter,
+    snapshot_transfers: faucets_telemetry::Counter,
+    ship_errors: faucets_telemetry::Counter,
+    fenced: faucets_telemetry::Counter,
+}
+
+impl ReplMetrics {
+    fn new(service: &str, role: &str) -> ReplMetrics {
+        let reg = faucets_telemetry::global();
+        let labels: &[(&str, &str)] = &[("service", service), ("role", role)];
+        ReplMetrics {
+            epoch: reg.gauge("repl_epoch", labels),
+            lag: reg.gauge("repl_lag", labels),
+            shipped: reg.counter("repl_shipped_frames_total", labels),
+            snapshot_transfers: reg.counter("repl_snapshot_transfers_total", labels),
+            ship_errors: reg.counter("repl_ship_errors_total", labels),
+            fenced: reg.counter("repl_fenced_total", labels),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Follower
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for a [`FollowerStore`].
+#[derive(Clone, Debug)]
+pub struct FollowerOptions {
+    /// Telemetry label: which service's journal this follower mirrors.
+    pub service: String,
+    /// Skip fsync (tests and benchmarks only — a follower that does not
+    /// fsync cannot honor the acked-means-replicated contract).
+    pub no_fsync: bool,
+}
+
+impl Default for FollowerOptions {
+    fn default() -> Self {
+        FollowerOptions {
+            service: "store".into(),
+            no_fsync: false,
+        }
+    }
+}
+
+/// Untyped mirror state: the follower never deserializes records, it
+/// persists the primary's bytes verbatim. `wal` is `None` until the first
+/// snapshot install gives the follower a basis.
+struct FollowerInner {
+    epoch: u64,
+    generation: u64,
+    wal: Option<Wal>,
+}
+
+/// The backup side of replication: persists shipped frames and snapshots
+/// into files byte-identical to the primary's, so promotion is just
+/// opening a [`DurableStore`] on this directory.
+pub struct FollowerStore {
+    dir: PathBuf,
+    opts: FollowerOptions,
+    metrics: ReplMetrics,
+    inner: Mutex<FollowerInner>,
+}
+
+impl fmt::Debug for FollowerStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FollowerStore")
+            .field("dir", &self.dir)
+            .field("service", &self.opts.service)
+            .finish()
+    }
+}
+
+impl FollowerStore {
+    /// Open (or create) a follower in `dir`, recovering any mirrored
+    /// state: the highest generation present, its WAL's longest valid
+    /// prefix, and the persisted epoch.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        opts: FollowerOptions,
+    ) -> Result<FollowerStore, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let epoch = read_epoch(&dir);
+        let metrics = ReplMetrics::new(&opts.service, "follower");
+        metrics.epoch.set(epoch as f64);
+
+        let mut gens = list_generations(&dir);
+        gens.sort_unstable();
+        let (generation, wal) = match gens.pop() {
+            Some(g) => {
+                let wal_opts = WalOptions {
+                    no_fsync: opts.no_fsync,
+                    ..WalOptions::default()
+                };
+                let (wal, _scan) =
+                    Wal::recover(&wal_path(&dir, g), g, wal_opts, Arc::new(NoopObserver))?;
+                sweep(&dir, g);
+                (g, Some(wal))
+            }
+            None => (0, None),
+        };
+        Ok(FollowerStore {
+            dir,
+            opts,
+            metrics,
+            inner: Mutex::new(FollowerInner {
+                epoch,
+                generation,
+                wal,
+            }),
+        })
+    }
+
+    /// The directory this follower mirrors into — hand it to
+    /// [`DurableStore::open`] (after [`prepare_promotion`]) to promote.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current `(epoch, generation, acked)` position.
+    pub fn position(&self) -> ReplPosition {
+        let inner = self.inner.lock().expect("follower lock");
+        ReplPosition {
+            epoch: inner.epoch,
+            generation: inner.generation,
+            acked: inner.wal.as_ref().map_or(0, |w| w.record_count()),
+        }
+    }
+
+    fn adopt_epoch(
+        &self,
+        inner: &mut FollowerInner,
+        epoch: u64,
+    ) -> Result<Option<ReplReply>, StoreError> {
+        if epoch < inner.epoch {
+            self.metrics.fenced.inc();
+            return Ok(Some(ReplReply::Fenced { epoch: inner.epoch }));
+        }
+        if epoch > inner.epoch {
+            write_epoch(&self.dir, epoch)?;
+            inner.epoch = epoch;
+            self.metrics.epoch.set(epoch as f64);
+        }
+        Ok(None)
+    }
+
+    fn position_locked(inner: &FollowerInner) -> ReplPosition {
+        ReplPosition {
+            epoch: inner.epoch,
+            generation: inner.generation,
+            acked: inner.wal.as_ref().map_or(0, |w| w.record_count()),
+        }
+    }
+
+    /// Persist a batch of consecutive frames. Duplicates (seq already
+    /// durable) ack idempotently; a gap or generation mismatch asks for a
+    /// snapshot; a stale epoch is fenced.
+    pub fn offer(&self, frames: &[ReplFrame]) -> Result<ReplReply, StoreError> {
+        let mut inner = self.inner.lock().expect("follower lock");
+        for frame in frames {
+            if let Some(reply) = self.adopt_epoch(&mut inner, frame.epoch)? {
+                return Ok(reply);
+            }
+            let next = inner.wal.as_ref().map_or(0, |w| w.record_count());
+            if inner.wal.is_none() || frame.generation != inner.generation || frame.seq > next {
+                return Ok(ReplReply::NeedSnapshot(Self::position_locked(&inner)));
+            }
+            if frame.seq < next {
+                continue; // already durable — idempotent re-offer
+            }
+            inner
+                .wal
+                .as_ref()
+                .expect("checked above")
+                .append(&frame.payload)?;
+        }
+        Ok(ReplReply::Ok(Self::position_locked(&inner)))
+    }
+
+    /// Rebase onto a full snapshot transfer: write the snapshot bytes
+    /// crash-safely, recreate the WAL with the shipped records, sweep
+    /// older generations.
+    pub fn install(&self, blob: &SnapshotBlob) -> Result<ReplReply, StoreError> {
+        let mut inner = self.inner.lock().expect("follower lock");
+        if let Some(reply) = self.adopt_epoch(&mut inner, blob.epoch)? {
+            return Ok(reply);
+        }
+        write_snapshot_bytes(
+            &self.dir,
+            blob.generation,
+            &blob.snapshot,
+            self.opts.no_fsync,
+        )?;
+        let wal_opts = WalOptions {
+            no_fsync: self.opts.no_fsync,
+            ..WalOptions::default()
+        };
+        let wal = Wal::create(
+            &wal_path(&self.dir, blob.generation),
+            blob.generation,
+            wal_opts,
+            Arc::new(NoopObserver),
+        )?;
+        for payload in &blob.records {
+            wal.append(payload)?;
+        }
+        inner.generation = blob.generation;
+        inner.wal = Some(wal);
+        sweep(&self.dir, blob.generation);
+        self.metrics.snapshot_transfers.inc();
+        Ok(ReplReply::Ok(Self::position_locked(&inner)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primary
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for a [`ReplicatedStore`].
+pub struct ReplOptions {
+    /// Options for the wrapped [`DurableStore`]. `compact_every` is taken
+    /// over by the replication layer (the inner store never
+    /// auto-compacts on its own).
+    pub store: StoreOptions,
+    /// When a commit may acknowledge.
+    pub mode: ReplicationMode,
+    /// Followers to ship to.
+    pub links: Vec<Arc<dyn ReplicaLink>>,
+    /// Epoch to claim; the effective epoch is the max of this and the
+    /// one persisted in the directory. Promotions pass `observed + 1`.
+    pub epoch: u64,
+    /// Sync mode: follower acks required before a commit acknowledges
+    /// (0 = all links). Ignored in async mode.
+    pub sync_acks: usize,
+}
+
+impl Default for ReplOptions {
+    fn default() -> Self {
+        ReplOptions {
+            store: StoreOptions::default(),
+            mode: ReplicationMode::Sync,
+            links: Vec::new(),
+            epoch: 1,
+            sync_acks: 0,
+        }
+    }
+}
+
+impl fmt::Debug for ReplOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplOptions")
+            .field("store", &self.store)
+            .field("mode", &self.mode)
+            .field("links", &self.links.len())
+            .field("epoch", &self.epoch)
+            .field("sync_acks", &self.sync_acks)
+            .finish()
+    }
+}
+
+/// Per-link shipping state.
+struct LinkState {
+    /// Last position the follower reported, `None` before the first probe.
+    pos: Option<ReplPosition>,
+    /// The follower asked for a snapshot (or an offer revealed a gap).
+    need_snapshot: bool,
+}
+
+/// Replication state guarded by one lock: the frame buffer for the
+/// current generation plus per-link positions.
+struct ReplState {
+    generation: u64,
+    /// Every frame of the current generation, indexed by seq — doubles as
+    /// the catch-up buffer and the compaction counter.
+    frames: Vec<ReplFrame>,
+    links: Vec<LinkState>,
+}
+
+/// What one shipping step decided to do, planned under the lock and
+/// executed (network I/O) outside it.
+enum Plan {
+    CaughtUp,
+    Probe,
+    Offer(Vec<ReplFrame>),
+    Install(SnapshotBlob),
+}
+
+/// The primary side of replication: a [`DurableStore`] whose committed
+/// frames are shipped to followers, with epoch fencing and snapshot
+/// catch-up. See the module docs for the acked-vs-unacked contract.
+pub struct ReplicatedStore<T: Durable> {
+    inner: DurableStore<T>,
+    mode: ReplicationMode,
+    links: Vec<Arc<dyn ReplicaLink>>,
+    sync_acks: usize,
+    compact_every: u64,
+    epoch: u64,
+    fenced_flag: AtomicBool,
+    observed_epoch: AtomicU64,
+    stop: AtomicBool,
+    repl: Mutex<ReplState>,
+    wake: Condvar,
+    metrics: ReplMetrics,
+    shipper: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl<T: Durable> fmt::Debug for ReplicatedStore<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicatedStore")
+            .field("dir", &self.inner.dir())
+            .field("mode", &self.mode)
+            .field("epoch", &self.epoch)
+            .field("links", &self.links.len())
+            .finish()
+    }
+}
+
+/// Does `pos` cover a record committed at (`generation`, up to `count`
+/// records)? A later generation always covers — its snapshot basis
+/// includes every earlier record.
+fn covers(pos: &ReplPosition, generation: u64, count: u64) -> bool {
+    pos.generation > generation || (pos.generation == generation && pos.acked >= count)
+}
+
+impl<T: Durable + Send + 'static> ReplicatedStore<T> {
+    /// Open the primary store in `dir`, recovering prior state, adopting
+    /// the effective epoch (max of `opts.epoch` and the persisted one),
+    /// and — in async mode — starting the background shipper.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        initial: T,
+        opts: ReplOptions,
+    ) -> Result<(Arc<Self>, RecoveryReport), StoreError> {
+        let dir = dir.into();
+        let compact_every = opts.store.compact_every;
+        let store_opts = StoreOptions {
+            compact_every: 0, // replication layer drives compaction
+            ..opts.store
+        };
+        let service = store_opts.service.clone();
+        let (inner, report) = DurableStore::open(&dir, initial, store_opts)?;
+
+        let epoch = opts.epoch.max(read_epoch(&dir));
+        write_epoch(&dir, epoch)?;
+        let metrics = ReplMetrics::new(&service, "primary");
+        metrics.epoch.set(epoch as f64);
+
+        // Seed the catch-up buffer with whatever the live WAL already
+        // holds, so a restarted primary can still serve followers that
+        // are mid-generation.
+        let generation = inner.generation();
+        let scan = read_wal(&wal_path(&dir, generation))?;
+        let frames: Vec<ReplFrame> = scan
+            .records
+            .into_iter()
+            .enumerate()
+            .map(|(seq, payload)| ReplFrame {
+                epoch,
+                generation,
+                seq: seq as u64,
+                payload,
+            })
+            .collect();
+
+        let links_state = opts
+            .links
+            .iter()
+            .map(|_| LinkState {
+                pos: None,
+                need_snapshot: false,
+            })
+            .collect();
+
+        let store = Arc::new(ReplicatedStore {
+            inner,
+            mode: opts.mode,
+            links: opts.links,
+            sync_acks: opts.sync_acks,
+            compact_every,
+            epoch,
+            fenced_flag: AtomicBool::new(false),
+            observed_epoch: AtomicU64::new(epoch),
+            stop: AtomicBool::new(false),
+            repl: Mutex::new(ReplState {
+                generation,
+                frames,
+                links: links_state,
+            }),
+            wake: Condvar::new(),
+            metrics,
+            shipper: Mutex::new(None),
+        });
+
+        if store.mode == ReplicationMode::Async && !store.links.is_empty() {
+            let weak = Arc::downgrade(&store);
+            let handle = std::thread::Builder::new()
+                .name("repl-shipper".into())
+                .spawn(move || Self::shipper_loop(weak))
+                .map_err(StoreError::Io)?;
+            *store.shipper.lock().expect("shipper lock") = Some(handle);
+        }
+        Ok((store, report))
+    }
+
+    /// Journal `rec` durably, apply it, and replicate per the configured
+    /// mode.
+    ///
+    /// Sync: `Ok` means local-durable **and** acked by the required
+    /// followers; [`StoreError::Unreplicated`] means the record is durable
+    /// locally but under-replicated — NACK the client (at-least-once
+    /// window, like a torn award). Async: `Ok` after local durability.
+    /// Once fenced, every commit fails with [`StoreError::Fenced`].
+    pub fn commit(&self, rec: &T::Record) -> Result<u64, StoreError> {
+        if self.fenced_flag.load(Ordering::Acquire) {
+            return Err(self.fenced_error());
+        }
+        let payload = serde_json::to_vec(rec)
+            .map_err(|e| StoreError::Corrupt(format!("record serialize: {e}")))?;
+        let (target_gen, target_count) = {
+            let mut st = self.repl.lock().expect("repl lock");
+            let seq = self.inner.commit(rec)?;
+            let generation = st.generation;
+            st.frames.push(ReplFrame {
+                epoch: self.epoch,
+                generation,
+                seq,
+                payload,
+            });
+            let target = (st.generation, seq + 1);
+            if self.compact_every > 0 && st.frames.len() as u64 >= self.compact_every {
+                // Failures are swallowed like DurableStore::maybe_compact:
+                // the record is already durable in the old generation.
+                if self.inner.compact().is_ok() {
+                    st.generation = self.inner.generation();
+                    st.frames.clear();
+                }
+            }
+            self.update_lag(&st);
+            target
+        };
+        match self.mode {
+            ReplicationMode::Async => {
+                self.wake.notify_all();
+                Ok(target_count - 1)
+            }
+            ReplicationMode::Sync => {
+                self.ship_round();
+                if self.fenced_flag.load(Ordering::Acquire) {
+                    return Err(self.fenced_error());
+                }
+                let st = self.repl.lock().expect("repl lock");
+                let got = st
+                    .links
+                    .iter()
+                    .filter(|l| {
+                        l.pos
+                            .as_ref()
+                            .is_some_and(|p| covers(p, target_gen, target_count))
+                    })
+                    .count();
+                let want = if self.sync_acks == 0 {
+                    self.links.len()
+                } else {
+                    self.sync_acks.min(self.links.len())
+                };
+                if got < want {
+                    return Err(StoreError::Unreplicated { want, got });
+                }
+                Ok(target_count - 1)
+            }
+        }
+    }
+
+    /// Run `f` against the current state under the store lock.
+    pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.inner.read(f)
+    }
+
+    /// This primary's fencing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Has a follower reported a higher epoch (this node was deposed)?
+    pub fn is_fenced(&self) -> bool {
+        self.fenced_flag.load(Ordering::Acquire)
+    }
+
+    /// The primary's own `(epoch, generation, committed)` position.
+    pub fn position(&self) -> ReplPosition {
+        let st = self.repl.lock().expect("repl lock");
+        ReplPosition {
+            epoch: self.epoch,
+            generation: st.generation,
+            acked: st.frames.len() as u64,
+        }
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        self.inner.dir()
+    }
+
+    /// Block until every follower covers everything committed so far, or
+    /// `timeout` elapses. Returns whether full coverage was reached.
+    /// (Async mode's test/shutdown barrier; a no-op when caught up.)
+    pub fn flush(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.wake.notify_all();
+            {
+                let st = self.repl.lock().expect("repl lock");
+                let (generation, count) = (st.generation, st.frames.len() as u64);
+                if st
+                    .links
+                    .iter()
+                    .all(|l| l.pos.as_ref().is_some_and(|p| covers(p, generation, count)))
+                {
+                    return true;
+                }
+            }
+            if self.mode == ReplicationMode::Sync {
+                self.ship_round();
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Stop the background shipper (after one final drain attempt).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.wake.notify_all();
+        if let Some(h) = self.shipper.lock().expect("shipper lock").take() {
+            let _ = h.join();
+        }
+    }
+
+    fn fenced_error(&self) -> StoreError {
+        StoreError::Fenced {
+            held: self.epoch,
+            observed: self.observed_epoch.load(Ordering::Acquire),
+        }
+    }
+
+    /// Records not yet covered by the slowest follower, within the
+    /// current generation (a follower behind a generation counts as
+    /// lagging the whole buffer).
+    fn update_lag(&self, st: &ReplState) {
+        let count = st.frames.len() as u64;
+        let lag = st
+            .links
+            .iter()
+            .map(|l| match &l.pos {
+                Some(p) if p.generation == st.generation => count.saturating_sub(p.acked),
+                Some(p) if p.generation > st.generation => 0,
+                _ => count,
+            })
+            .max()
+            .unwrap_or(0);
+        self.metrics.lag.set(lag as f64);
+    }
+
+    /// Advance every link as far as it will go; transport errors are
+    /// counted and left for the next round.
+    fn ship_round(&self) {
+        for idx in 0..self.links.len() {
+            if let Err(e) = self.advance_link(idx) {
+                if matches!(e, StoreError::Fenced { .. }) {
+                    return;
+                }
+                self.metrics.ship_errors.inc();
+            }
+        }
+    }
+
+    /// Drive one follower to the current position: probe it if unknown,
+    /// install a snapshot if it is behind a compaction, otherwise offer
+    /// the frames it is missing. Plans under the lock, talks to the
+    /// network outside it.
+    fn advance_link(&self, idx: usize) -> Result<(), StoreError> {
+        loop {
+            let plan = {
+                let st = self.repl.lock().expect("repl lock");
+                let link = &st.links[idx];
+                match &link.pos {
+                    None => Plan::Probe,
+                    Some(_) if link.need_snapshot => Plan::Install(self.snapshot_blob(&st)?),
+                    Some(p) if p.generation == st.generation => {
+                        if p.acked >= st.frames.len() as u64 {
+                            Plan::CaughtUp
+                        } else {
+                            Plan::Offer(st.frames[p.acked as usize..].to_vec())
+                        }
+                    }
+                    Some(p) if p.generation > st.generation => Plan::CaughtUp,
+                    Some(_) => Plan::Install(self.snapshot_blob(&st)?),
+                }
+            };
+            let (reply, shipped, installed) = match plan {
+                Plan::CaughtUp => return Ok(()),
+                Plan::Probe => (self.links[idx].status()?, 0, false),
+                Plan::Offer(frames) => {
+                    let n = frames.len() as u64;
+                    (self.links[idx].offer(&frames)?, n, false)
+                }
+                Plan::Install(blob) => (self.links[idx].install(&blob)?, 0, true),
+            };
+            let mut st = self.repl.lock().expect("repl lock");
+            match reply {
+                ReplReply::Ok(pos) => {
+                    if installed {
+                        self.metrics.snapshot_transfers.inc();
+                    }
+                    if shipped > 0 {
+                        self.metrics.shipped.add(shipped);
+                    }
+                    st.links[idx].pos = Some(pos);
+                    st.links[idx].need_snapshot = false;
+                }
+                ReplReply::NeedSnapshot(pos) => {
+                    st.links[idx].pos = Some(pos);
+                    st.links[idx].need_snapshot = true;
+                }
+                ReplReply::Fenced { epoch } => {
+                    self.observed_epoch.store(epoch, Ordering::Release);
+                    self.fenced_flag.store(true, Ordering::Release);
+                    self.metrics.fenced.inc();
+                    self.update_lag(&st);
+                    return Err(self.fenced_error());
+                }
+            }
+            self.update_lag(&st);
+        }
+    }
+
+    /// The current generation's basis snapshot (exact on-disk bytes) plus
+    /// the buffered frames — everything a follower needs to mirror us.
+    fn snapshot_blob(&self, st: &ReplState) -> Result<SnapshotBlob, StoreError> {
+        let snapshot = fs::read(snap_path(self.inner.dir(), st.generation))?;
+        Ok(SnapshotBlob {
+            epoch: self.epoch,
+            generation: st.generation,
+            snapshot,
+            records: st.frames.iter().map(|f| f.payload.clone()).collect(),
+        })
+    }
+
+    /// Is any link behind the committed position?
+    fn pending_locked(&self, st: &ReplState) -> bool {
+        let (generation, count) = (st.generation, st.frames.len() as u64);
+        st.links
+            .iter()
+            .any(|l| !l.pos.as_ref().is_some_and(|p| covers(p, generation, count)))
+    }
+
+    /// Async shipper: wait for new frames (or a 50 ms heartbeat for
+    /// retries after transport errors), then drain every link. Holds only
+    /// a weak reference so dropping the store stops the thread.
+    fn shipper_loop(weak: Weak<Self>) {
+        loop {
+            let Some(store) = weak.upgrade() else { return };
+            {
+                let st = store.repl.lock().expect("repl lock");
+                if !store.stop.load(Ordering::Acquire) && !store.pending_locked(&st) {
+                    let _ = store
+                        .wake
+                        .wait_timeout(st, Duration::from_millis(50))
+                        .expect("repl lock");
+                }
+            }
+            store.ship_round();
+            if store.stop.load(Ordering::Acquire) {
+                return;
+            }
+            drop(store);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// The same minimal durable state machine the durable tests use.
+    #[derive(Default)]
+    struct Log {
+        entries: Vec<String>,
+    }
+
+    impl Durable for Log {
+        type Record = String;
+        type Snapshot = Vec<String>;
+        fn apply(&mut self, rec: &String) {
+            self.entries.push(rec.clone());
+        }
+        fn snapshot(&self) -> Vec<String> {
+            self.entries.clone()
+        }
+        fn restore(snap: Vec<String>) -> Self {
+            Log { entries: snap }
+        }
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("faucets-repl-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn follower(dir: &Path) -> Arc<FollowerStore> {
+        Arc::new(
+            FollowerStore::open(
+                dir,
+                FollowerOptions {
+                    no_fsync: true,
+                    ..FollowerOptions::default()
+                },
+            )
+            .unwrap(),
+        )
+    }
+
+    fn repl_opts(links: Vec<Arc<dyn ReplicaLink>>, mode: ReplicationMode) -> ReplOptions {
+        ReplOptions {
+            store: StoreOptions {
+                compact_every: 0,
+                no_fsync: true,
+                ..StoreOptions::default()
+            },
+            mode,
+            links,
+            epoch: 1,
+            sync_acks: 0,
+        }
+    }
+
+    #[test]
+    fn sync_commit_replicates_and_promotion_recovers_everything() {
+        let pdir = scratch("sync-p");
+        let fdir = scratch("sync-f");
+        let f = follower(&fdir);
+        let (store, _) = ReplicatedStore::open(
+            &pdir,
+            Log::default(),
+            repl_opts(
+                vec![Arc::new(LocalLink(Arc::clone(&f)))],
+                ReplicationMode::Sync,
+            ),
+        )
+        .unwrap();
+        for i in 0..10 {
+            store.commit(&format!("e{i}")).unwrap();
+        }
+        let pos = f.position();
+        assert_eq!(pos.acked, 10);
+        assert_eq!(pos.epoch, 1);
+
+        // Promote: stamp the follower dir with the next epoch and open it
+        // as a typed store — byte-identical files replay the same state.
+        drop(f);
+        prepare_promotion(&fdir, "store", 2).unwrap();
+        assert_eq!(read_epoch(&fdir), 2);
+        let (promoted, report) = DurableStore::open(
+            &fdir,
+            Log::default(),
+            StoreOptions {
+                compact_every: 0,
+                no_fsync: true,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.replayed_records, 10);
+        assert_eq!(
+            promoted.read(|s| s.entries.clone()),
+            store.read(|s| s.entries.clone())
+        );
+        let _ = fs::remove_dir_all(&pdir);
+        let _ = fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn fresh_follower_bootstraps_via_snapshot_transfer() {
+        let pdir = scratch("boot-p");
+        // Pre-existing primary data before the follower ever connects.
+        {
+            let (plain, _) = DurableStore::open(
+                &pdir,
+                Log::default(),
+                StoreOptions {
+                    compact_every: 0,
+                    no_fsync: true,
+                    ..StoreOptions::default()
+                },
+            )
+            .unwrap();
+            for i in 0..5 {
+                plain.commit(&format!("old{i}")).unwrap();
+            }
+        }
+        let fdir = scratch("boot-f");
+        let f = follower(&fdir);
+        let (store, _) = ReplicatedStore::open(
+            &pdir,
+            Log::default(),
+            repl_opts(
+                vec![Arc::new(LocalLink(Arc::clone(&f)))],
+                ReplicationMode::Sync,
+            ),
+        )
+        .unwrap();
+        store.commit(&"new".to_string()).unwrap();
+        assert_eq!(f.position().acked, 6, "snapshot + backlog + new record");
+        let _ = fs::remove_dir_all(&pdir);
+        let _ = fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn compaction_rebases_followers_and_preserves_state() {
+        let pdir = scratch("compact-p");
+        let fdir = scratch("compact-f");
+        let f = follower(&fdir);
+        let mut opts = repl_opts(
+            vec![Arc::new(LocalLink(Arc::clone(&f)))],
+            ReplicationMode::Sync,
+        );
+        opts.store.compact_every = 4;
+        let (store, _) = ReplicatedStore::open(&pdir, Log::default(), opts).unwrap();
+        for i in 0..11 {
+            store.commit(&format!("e{i}")).unwrap();
+        }
+        let pos = f.position();
+        assert!(pos.generation >= 3, "follower crossed compactions");
+        drop(f);
+        prepare_promotion(&fdir, "store", 2).unwrap();
+        let (promoted, _) = DurableStore::open(
+            &fdir,
+            Log::default(),
+            StoreOptions {
+                compact_every: 0,
+                no_fsync: true,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(promoted.read(|s| s.entries.len()), 11);
+        let _ = fs::remove_dir_all(&pdir);
+        let _ = fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn duplicate_offers_ack_idempotently() {
+        let fdir = scratch("dup-f");
+        let f = follower(&fdir);
+        let blob = SnapshotBlob {
+            epoch: 1,
+            generation: 1,
+            snapshot: b"[]".to_vec(),
+            records: vec![],
+        };
+        f.install(&blob).unwrap();
+        let frame = |seq: u64| ReplFrame {
+            epoch: 1,
+            generation: 1,
+            seq,
+            payload: format!("\"r{seq}\"").into_bytes(),
+        };
+        let batch = vec![frame(0), frame(1)];
+        assert!(matches!(f.offer(&batch).unwrap(), ReplReply::Ok(p) if p.acked == 2));
+        // Replaying the same batch must not duplicate records.
+        assert!(matches!(f.offer(&batch).unwrap(), ReplReply::Ok(p) if p.acked == 2));
+        // A gap asks for a snapshot instead of corrupting the mirror.
+        assert!(matches!(
+            f.offer(&[frame(5)]).unwrap(),
+            ReplReply::NeedSnapshot(_)
+        ));
+        let _ = fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn stale_epoch_is_fenced_and_primary_stops_committing() {
+        let pdir = scratch("fence-p");
+        let fdir = scratch("fence-f");
+        let f = follower(&fdir);
+        let (store, _) = ReplicatedStore::open(
+            &pdir,
+            Log::default(),
+            repl_opts(
+                vec![Arc::new(LocalLink(Arc::clone(&f)))],
+                ReplicationMode::Sync,
+            ),
+        )
+        .unwrap();
+        store.commit(&"before".to_string()).unwrap();
+
+        // A newer primary (epoch 2) reaches the follower.
+        f.offer(&[ReplFrame {
+            epoch: 2,
+            generation: 1,
+            seq: 1,
+            payload: b"\"usurper\"".to_vec(),
+        }])
+        .unwrap();
+        assert_eq!(f.position().epoch, 2);
+
+        // The deposed primary's next commit is fenced and fails; local
+        // state did apply (it is durable locally) but nothing later can
+        // be acknowledged.
+        let err = store.commit(&"late".to_string()).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::Fenced {
+                held: 1,
+                observed: 2
+            }
+        ));
+        assert!(store.is_fenced());
+        let err = store.commit(&"later".to_string()).unwrap_err();
+        assert!(matches!(err, StoreError::Fenced { .. }));
+        let _ = fs::remove_dir_all(&pdir);
+        let _ = fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn async_mode_drains_lag_on_flush() {
+        let pdir = scratch("async-p");
+        let fdir = scratch("async-f");
+        let f = follower(&fdir);
+        let (store, _) = ReplicatedStore::open(
+            &pdir,
+            Log::default(),
+            repl_opts(
+                vec![Arc::new(LocalLink(Arc::clone(&f)))],
+                ReplicationMode::Async,
+            ),
+        )
+        .unwrap();
+        for i in 0..50 {
+            store.commit(&format!("e{i}")).unwrap();
+        }
+        assert!(store.flush(Duration::from_secs(5)), "shipper drained");
+        assert_eq!(f.position().acked, 50);
+        store.shutdown();
+        let _ = fs::remove_dir_all(&pdir);
+        let _ = fs::remove_dir_all(&fdir);
+    }
+
+    /// A link whose transport always fails.
+    struct DeadLink;
+    impl ReplicaLink for DeadLink {
+        fn offer(&self, _: &[ReplFrame]) -> Result<ReplReply, StoreError> {
+            Err(StoreError::Io(std::io::Error::other("down")))
+        }
+        fn install(&self, _: &SnapshotBlob) -> Result<ReplReply, StoreError> {
+            Err(StoreError::Io(std::io::Error::other("down")))
+        }
+        fn status(&self) -> Result<ReplReply, StoreError> {
+            Err(StoreError::Io(std::io::Error::other("down")))
+        }
+    }
+
+    #[test]
+    fn sync_commit_nacks_when_replicas_unreachable() {
+        let pdir = scratch("dead-p");
+        let (store, _) = ReplicatedStore::open(
+            &pdir,
+            Log::default(),
+            repl_opts(vec![Arc::new(DeadLink)], ReplicationMode::Sync),
+        )
+        .unwrap();
+        let err = store.commit(&"doomed".to_string()).unwrap_err();
+        assert!(matches!(err, StoreError::Unreplicated { want: 1, got: 0 }));
+        // The at-least-once window: the record IS durable locally even
+        // though the client was NACKed — exactly like a torn award.
+        assert_eq!(store.read(|s| s.entries.len()), 1);
+        let _ = fs::remove_dir_all(&pdir);
+    }
+
+    #[test]
+    fn sync_acks_quorum_tolerates_a_dead_minority() {
+        let pdir = scratch("quorum-p");
+        let fdir = scratch("quorum-f");
+        let f = follower(&fdir);
+        let mut opts = repl_opts(
+            vec![Arc::new(LocalLink(Arc::clone(&f))), Arc::new(DeadLink)],
+            ReplicationMode::Sync,
+        );
+        opts.sync_acks = 1;
+        let (store, _) = ReplicatedStore::open(&pdir, Log::default(), opts).unwrap();
+        store.commit(&"ok".to_string()).unwrap();
+        assert_eq!(f.position().acked, 1);
+        let _ = fs::remove_dir_all(&pdir);
+        let _ = fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn follower_restart_resumes_mid_generation() {
+        let fdir = scratch("resume-f");
+        {
+            let f = follower(&fdir);
+            f.install(&SnapshotBlob {
+                epoch: 3,
+                generation: 2,
+                snapshot: b"[]".to_vec(),
+                records: vec![b"\"a\"".to_vec(), b"\"b\"".to_vec()],
+            })
+            .unwrap();
+        }
+        let f = follower(&fdir);
+        let pos = f.position();
+        assert_eq!((pos.epoch, pos.generation, pos.acked), (3, 2, 2));
+        let _ = fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn pick_primary_is_deterministic() {
+        let p = |epoch, generation, acked| ReplPosition {
+            epoch,
+            generation,
+            acked,
+        };
+        assert_eq!(pick_primary(&[]), None);
+        assert_eq!(
+            pick_primary(&[p(1, 1, 5), p(2, 1, 0)]),
+            Some(1),
+            "epoch wins"
+        );
+        assert_eq!(
+            pick_primary(&[p(1, 1, 5), p(1, 2, 0)]),
+            Some(1),
+            "generation breaks epoch ties"
+        );
+        assert_eq!(
+            pick_primary(&[p(1, 1, 3), p(1, 1, 7)]),
+            Some(1),
+            "acked offset breaks generation ties"
+        );
+        assert_eq!(
+            pick_primary(&[p(1, 1, 7), p(1, 1, 7)]),
+            Some(0),
+            "full ties go to the lowest index"
+        );
+    }
+
+    #[test]
+    fn epoch_file_round_trips_and_promotion_only_raises() {
+        let dir = scratch("epoch");
+        assert_eq!(read_epoch(&dir), 0);
+        write_epoch(&dir, 7).unwrap();
+        assert_eq!(read_epoch(&dir), 7);
+        prepare_promotion(&dir, "store", 9).unwrap();
+        assert_eq!(read_epoch(&dir), 9);
+        prepare_promotion(&dir, "store", 4).unwrap();
+        assert_eq!(read_epoch(&dir), 9, "promotion never lowers the epoch");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A link that counts offers, to show batching ships a backlog in one
+    /// round trip.
+    struct CountingLink {
+        inner: Arc<FollowerStore>,
+        offers: AtomicUsize,
+    }
+    impl ReplicaLink for CountingLink {
+        fn offer(&self, frames: &[ReplFrame]) -> Result<ReplReply, StoreError> {
+            self.offers.fetch_add(1, Ordering::Relaxed);
+            self.inner.offer(frames)
+        }
+        fn install(&self, blob: &SnapshotBlob) -> Result<ReplReply, StoreError> {
+            self.inner.install(blob)
+        }
+        fn status(&self) -> Result<ReplReply, StoreError> {
+            Ok(ReplReply::Ok(self.inner.position()))
+        }
+    }
+
+    #[test]
+    fn catch_up_ships_the_backlog_in_batches() {
+        let pdir = scratch("batch-p");
+        let fdir = scratch("batch-f");
+        let f = follower(&fdir);
+        let link = Arc::new(CountingLink {
+            inner: Arc::clone(&f),
+            offers: AtomicUsize::new(0),
+        });
+        let (store, _) = ReplicatedStore::open(
+            &pdir,
+            Log::default(),
+            repl_opts(
+                vec![Arc::clone(&link) as Arc<dyn ReplicaLink>],
+                ReplicationMode::Async,
+            ),
+        )
+        .unwrap();
+        for i in 0..200 {
+            store.commit(&format!("e{i}")).unwrap();
+        }
+        assert!(store.flush(Duration::from_secs(5)));
+        assert_eq!(f.position().acked, 200);
+        assert!(
+            link.offers.load(Ordering::Relaxed) < 200,
+            "backlog shipped in batches, not one offer per record"
+        );
+        store.shutdown();
+        let _ = fs::remove_dir_all(&pdir);
+        let _ = fs::remove_dir_all(&fdir);
+    }
+}

@@ -97,6 +97,22 @@ pub enum StoreError {
     /// On-disk bytes that passed framing but cannot be interpreted — a
     /// schema mismatch or a damaged header.
     Corrupt(String),
+    /// A replication peer has seen a higher epoch: this node was deposed
+    /// and must stop acting as primary (see `crate::replicate`).
+    Fenced {
+        /// Epoch this node believed it held.
+        held: u64,
+        /// Higher epoch observed from a peer.
+        observed: u64,
+    },
+    /// A sync-mode commit is durable locally but did not reach the
+    /// required number of replicas; the caller must NACK the client.
+    Unreplicated {
+        /// Acks the replication policy required.
+        want: usize,
+        /// Acks actually collected.
+        got: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -108,6 +124,15 @@ impl fmt::Display for StoreError {
             }
             StoreError::InjectedFault(why) => write!(f, "injected write fault: {why}"),
             StoreError::Corrupt(why) => write!(f, "corrupt store data: {why}"),
+            StoreError::Fenced { held, observed } => {
+                write!(
+                    f,
+                    "fenced: held epoch {held}, peer reported epoch {observed}"
+                )
+            }
+            StoreError::Unreplicated { want, got } => {
+                write!(f, "unreplicated: {got} of {want} required replica acks")
+            }
         }
     }
 }
