@@ -1,0 +1,277 @@
+//! Shared latency/outcome recorder for a load run.
+//!
+//! One recorder is shared by every worker and watcher thread; all
+//! recording goes through a single mutex. At harness rates (hundreds of
+//! events per wall second) the critical sections — a few P² quantile
+//! updates and counter bumps — are tens of nanoseconds, so contention is
+//! noise next to the TCP round-trips the threads spend their time in.
+//!
+//! Latencies are recorded in **milliseconds from the scheduled arrival**
+//! (the open-loop convention): the runner hands every outcome the entry's
+//! scheduled wall instant, and the recorder never sees "when the worker
+//! got around to sending".
+
+use crate::report::{ClassReport, LatencyReport, LoadReport, SliceReport};
+use faucets_sim::stats::QuantileSet;
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-class tallies and latency batteries.
+#[derive(Debug, Default)]
+struct ClassStats {
+    offered: u64,
+    submitted: u64,
+    shed: u64,
+    declined: u64,
+    failed: u64,
+    completed: u64,
+    deadline_hits: u64,
+    submit_ms: QuantileSet,
+    complete_ms: QuantileSet,
+}
+
+/// One wall-time window of the run, for trend lines in soak reports.
+#[derive(Debug, Default, Clone, Copy)]
+struct Slice {
+    offered: u64,
+    submitted: u64,
+    shed: u64,
+    completed: u64,
+}
+
+struct Inner {
+    classes: Vec<ClassStats>,
+    slices: Vec<Slice>,
+}
+
+/// Thread-shared run recorder; see the module docs for conventions.
+pub struct Recorder {
+    names: Vec<String>,
+    started: Instant,
+    slice_width: Duration,
+    inner: Mutex<Inner>,
+}
+
+impl Recorder {
+    /// A recorder for the given classes, slicing the run's wall time into
+    /// `slice_width` windows (zero disables slicing).
+    pub fn new(class_names: &[String], slice_width: Duration) -> Self {
+        Recorder {
+            names: class_names.to_vec(),
+            started: Instant::now(),
+            slice_width,
+            inner: Mutex::new(Inner {
+                classes: class_names.iter().map(|_| ClassStats::default()).collect(),
+                slices: Vec::new(),
+            }),
+        }
+    }
+
+    /// Milliseconds elapsed since `fire_at`, saturating at zero.
+    pub fn ms_since(fire_at: Instant) -> f64 {
+        Instant::now().duration_since(fire_at).as_secs_f64() * 1e3
+    }
+
+    fn slice_mut<'a>(&self, inner: &'a mut Inner) -> Option<&'a mut Slice> {
+        if self.slice_width.is_zero() {
+            return None;
+        }
+        let idx = (self.started.elapsed().as_secs_f64() / self.slice_width.as_secs_f64()) as usize;
+        if inner.slices.len() <= idx {
+            inner.slices.resize(idx + 1, Slice::default());
+        }
+        Some(&mut inner.slices[idx])
+    }
+
+    /// A scheduled arrival reached its instant (recorded for every entry,
+    /// whatever happens next).
+    pub fn offered(&self, class: usize) {
+        let mut g = self.inner.lock();
+        g.classes[class].offered += 1;
+        if let Some(s) = self.slice_mut(&mut g) {
+            s.offered += 1;
+        }
+    }
+
+    /// A submission was accepted (awarded) `latency_ms` after its
+    /// scheduled arrival.
+    pub fn submitted(&self, class: usize, latency_ms: f64) {
+        let mut g = self.inner.lock();
+        let c = &mut g.classes[class];
+        c.submitted += 1;
+        c.submit_ms.record(latency_ms);
+        if let Some(s) = self.slice_mut(&mut g) {
+            s.submitted += 1;
+        }
+    }
+
+    /// The grid shed the submission (overload answer or tripped breaker).
+    pub fn shed(&self, class: usize) {
+        let mut g = self.inner.lock();
+        g.classes[class].shed += 1;
+        if let Some(s) = self.slice_mut(&mut g) {
+            s.shed += 1;
+        }
+    }
+
+    /// Every matching server declined (capacity, not transport).
+    pub fn declined(&self, class: usize) {
+        self.inner.lock().classes[class].declined += 1;
+    }
+
+    /// A transport-level failure — the zero-tolerance bucket at the
+    /// calibrated load point.
+    pub fn failed(&self, class: usize) {
+        self.inner.lock().classes[class].failed += 1;
+    }
+
+    /// A submitted job was observed complete, `latency_ms` after its
+    /// scheduled arrival; `hit_deadline` is the observation-time soft
+    /// deadline check.
+    pub fn completed(&self, class: usize, latency_ms: f64, hit_deadline: bool) {
+        let mut g = self.inner.lock();
+        let c = &mut g.classes[class];
+        c.completed += 1;
+        if hit_deadline {
+            c.deadline_hits += 1;
+        }
+        c.complete_ms.record(latency_ms);
+        if let Some(s) = self.slice_mut(&mut g) {
+            s.completed += 1;
+        }
+    }
+
+    /// Wall seconds since the recorder was created.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Freeze everything into the serializable SLO report.
+    ///
+    /// `virtual_users`, `workers`, and `speedup` echo the run shape;
+    /// `breaker_flaps` and `overload_rejections` are telemetry-counter
+    /// deltas the caller measured around the run (the recorder itself
+    /// never touches the global registry, so unit tests stay isolated).
+    pub fn report(
+        &self,
+        virtual_users: u32,
+        workers: usize,
+        speedup: f64,
+        breaker_flaps: u64,
+        overload_rejections: u64,
+    ) -> LoadReport {
+        let g = self.inner.lock();
+        let wall_secs = self.elapsed_secs();
+        let classes: Vec<ClassReport> = self
+            .names
+            .iter()
+            .zip(g.classes.iter())
+            .map(|(name, c)| ClassReport {
+                class: name.clone(),
+                offered: c.offered,
+                submitted: c.submitted,
+                shed: c.shed,
+                declined: c.declined,
+                transport_errors: c.failed,
+                completed: c.completed,
+                deadline_hits: c.deadline_hits,
+                deadline_hit_rate: if c.completed == 0 {
+                    0.0
+                } else {
+                    c.deadline_hits as f64 / c.completed as f64
+                },
+                submit_ms: LatencyReport::from(&c.submit_ms),
+                complete_ms: LatencyReport::from(&c.complete_ms),
+            })
+            .collect();
+        let sum = |f: fn(&ClassReport) -> u64| classes.iter().map(f).sum::<u64>();
+        let (offered, submitted, completed) = (
+            sum(|c| c.offered),
+            sum(|c| c.submitted),
+            sum(|c| c.completed),
+        );
+        let shed = sum(|c| c.shed);
+        let slices: Vec<SliceReport> = g
+            .slices
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SliceReport {
+                start_s: i as f64 * self.slice_width.as_secs_f64(),
+                offered: s.offered,
+                submitted: s.submitted,
+                shed: s.shed,
+                completed: s.completed,
+            })
+            .collect();
+        LoadReport {
+            virtual_users,
+            workers,
+            speedup,
+            wall_secs,
+            offered,
+            submitted,
+            shed,
+            declined: sum(|c| c.declined),
+            transport_errors: sum(|c| c.transport_errors),
+            completed,
+            deadline_hits: sum(|c| c.deadline_hits),
+            offered_per_sec: offered as f64 / wall_secs.max(1e-9),
+            submitted_per_sec: submitted as f64 / wall_secs.max(1e-9),
+            goodput_per_sec: completed as f64 / wall_secs.max(1e-9),
+            jobs_per_day: completed as f64 / wall_secs.max(1e-9) * 86_400.0,
+            shed_rate: if offered == 0 {
+                0.0
+            } else {
+                shed as f64 / offered as f64
+            },
+            breaker_flaps,
+            overload_rejections,
+            classes,
+            slices,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_quantiles_roll_up() {
+        let r = Recorder::new(
+            &["a".to_string(), "b".to_string()],
+            Duration::from_millis(50),
+        );
+        for i in 0..100 {
+            r.offered(0);
+            r.submitted(0, 1.0 + i as f64);
+        }
+        r.offered(1);
+        r.shed(1);
+        r.offered(1);
+        r.failed(1);
+        r.completed(0, 250.0, true);
+        r.completed(0, 900.0, false);
+        let rep = r.report(1000, 8, 600.0, 2, 5);
+        assert_eq!(rep.offered, 102);
+        assert_eq!(rep.submitted, 100);
+        assert_eq!(rep.shed, 1);
+        assert_eq!(rep.transport_errors, 1);
+        assert_eq!(rep.completed, 2);
+        assert_eq!(rep.deadline_hits, 1);
+        let a = &rep.classes[0];
+        assert_eq!(a.submit_ms.count, 100);
+        assert!(a.submit_ms.p50 > 1.0 && a.submit_ms.p50 < 101.0);
+        assert!((a.deadline_hit_rate - 0.5).abs() < 1e-9);
+        assert_eq!(rep.breaker_flaps, 2);
+        assert_eq!(rep.overload_rejections, 5);
+        assert!(!rep.slices.is_empty());
+        assert_eq!(
+            rep.slices.iter().map(|s| s.offered).sum::<u64>(),
+            rep.offered
+        );
+        // Report serializes (the whole point of the model).
+        let bytes = serde_json::to_vec(&rep).unwrap();
+        assert!(!bytes.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! The machine-readable SLO report (`BENCH_load.json`).
+//!
+//! Everything an offline consumer needs to plot goodput vs offered load,
+//! per-class latency tails, and soak trends — plain serde structs so the
+//! JSON schema is the Rust definition.
+
+use faucets_sim::stats::QuantileSet;
+use serde::{Deserialize, Serialize};
+
+/// A latency battery: P² streaming estimates, milliseconds from the
+/// scheduled arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile — the tail the open-loop design exists to keep
+    /// honest.
+    pub p999: f64,
+}
+
+impl From<&QuantileSet> for LatencyReport {
+    fn from(q: &QuantileSet) -> Self {
+        LatencyReport {
+            count: q.count(),
+            p50: q.p50(),
+            p90: q.p90(),
+            p99: q.p99(),
+            p999: q.p999(),
+        }
+    }
+}
+
+/// Per-QoS-class outcomes and latency tails.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// Class label from the schedule.
+    pub class: String,
+    /// Scheduled arrivals that reached their instant.
+    pub offered: u64,
+    /// Accepted (awarded) submissions.
+    pub submitted: u64,
+    /// Overload-shed submissions (grid said busy, or a breaker
+    /// fast-failed).
+    pub shed: u64,
+    /// Submissions every matching server declined.
+    pub declined: u64,
+    /// Transport-level failures — must be zero at the calibrated load
+    /// point.
+    pub transport_errors: u64,
+    /// Jobs observed complete.
+    pub completed: u64,
+    /// Completions observed on or before their soft deadline.
+    pub deadline_hits: u64,
+    /// `deadline_hits / completed` (0 when nothing completed).
+    pub deadline_hit_rate: f64,
+    /// Submit latency from scheduled arrival to award.
+    pub submit_ms: LatencyReport,
+    /// Completion latency from scheduled arrival to observed completion.
+    pub complete_ms: LatencyReport,
+}
+
+/// One wall-time window of a soak — trends, not just totals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SliceReport {
+    /// Window start, wall seconds from run start.
+    pub start_s: f64,
+    /// Arrivals offered in the window.
+    pub offered: u64,
+    /// Submissions accepted in the window.
+    pub submitted: u64,
+    /// Submissions shed in the window.
+    pub shed: u64,
+    /// Completions observed in the window.
+    pub completed: u64,
+}
+
+/// The full run report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Virtual users in the schedule's population.
+    pub virtual_users: u32,
+    /// Real worker threads multiplexing them.
+    pub workers: usize,
+    /// Grid clock speedup during the run.
+    pub speedup: f64,
+    /// Wall-clock length of the measured window.
+    pub wall_secs: f64,
+    /// Total scheduled arrivals fired.
+    pub offered: u64,
+    /// Total accepted submissions.
+    pub submitted: u64,
+    /// Total overload sheds.
+    pub shed: u64,
+    /// Total all-declined submissions.
+    pub declined: u64,
+    /// Total transport-level failures.
+    pub transport_errors: u64,
+    /// Total observed completions.
+    pub completed: u64,
+    /// Total soft-deadline hits among completions.
+    pub deadline_hits: u64,
+    /// Offered arrival rate, jobs per wall second.
+    pub offered_per_sec: f64,
+    /// Accepted submissions per wall second.
+    pub submitted_per_sec: f64,
+    /// Completions per wall second — the goodput axis.
+    pub goodput_per_sec: f64,
+    /// Goodput extrapolated to a day of wall time ("millions of jobs per
+    /// day", §5).
+    pub jobs_per_day: f64,
+    /// `shed / offered`.
+    pub shed_rate: f64,
+    /// Client-side breaker open transitions during the run (telemetry
+    /// delta).
+    pub breaker_flaps: u64,
+    /// Server-side overload rejections during the run (telemetry delta).
+    pub overload_rejections: u64,
+    /// Per-class breakdown.
+    pub classes: Vec<ClassReport>,
+    /// Wall-time trend windows (empty when slicing is disabled).
+    pub slices: Vec<SliceReport>,
+}

@@ -1,0 +1,95 @@
+//! End-to-end smoke: a small open-loop schedule against a real
+//! FS/FD/AppSpector grid on localhost. The E25 experiment is the scaled
+//! version; this keeps the driver honest in `cargo test` — accounts,
+//! submission accounting, completion watching, zero transport errors.
+
+use faucets_core::daemon::FaucetsDaemon;
+use faucets_core::ids::ClusterId;
+use faucets_core::money::Money;
+use faucets_grid::workload::ArrivalProcess;
+use faucets_load::prelude::*;
+use faucets_net::fd::{spawn_fd, FdHandle};
+use faucets_net::prelude::{spawn_appspector, spawn_fs, Clock};
+use faucets_sched::adaptive::ResizeCostModel;
+use faucets_sched::cluster::Cluster;
+use faucets_sched::equipartition::Equipartition;
+use faucets_sched::machine::MachineSpec;
+use faucets_sim::time::SimDuration;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn spawn_daemon(id: u64, fs: SocketAddr, aspect: SocketAddr, clock: Clock) -> FdHandle {
+    let machine = MachineSpec::commodity(ClusterId(id), "turing", 64);
+    let daemon = FaucetsDaemon::new(
+        machine.server_info("127.0.0.1", 0),
+        ["namd".to_string()],
+        Box::new(faucets_core::market::Baseline),
+        Money::from_units_f64(0.01),
+    );
+    let cluster = Cluster::new(machine, Box::new(Equipartition), ResizeCostModel::default());
+    spawn_fd("127.0.0.1:0", daemon, cluster, fs, aspect, clock).expect("FD")
+}
+
+#[test]
+fn small_open_loop_run_accounts_for_every_arrival() {
+    let clock = Clock::new(600.0);
+    let fs = spawn_fs("127.0.0.1:0", clock.clone(), 25).expect("FS");
+    let aspect = spawn_appspector("127.0.0.1:0", fs.service.addr, 32).expect("AS");
+    let _fd1 = spawn_daemon(1, fs.service.addr, aspect.service.addr, clock.clone());
+    let _fd2 = spawn_daemon(2, fs.service.addr, aspect.service.addr, clock.clone());
+
+    // ~60 sim-seconds of arrivals every ~2 sim-seconds → ≈30 jobs
+    // squeezed into 0.1 wall-seconds of schedule.
+    let schedule = Schedule::build(&ScheduleConfig {
+        seed: 77,
+        users: 200,
+        horizon: SimDuration::from_secs(60),
+        classes: vec![ClassSpec {
+            name: "smoke".into(),
+            arrivals: ArrivalProcess::Poisson {
+                mean_interarrival: SimDuration::from_secs(2),
+            },
+            mix: snappy_mix(),
+        }],
+    });
+    assert!(!schedule.is_empty());
+
+    let target = GridTarget {
+        fs: fs.service.addr,
+        appspector: aspect.service.addr,
+        clock: clock.clone(),
+    };
+    let opts = GridRunOptions {
+        workers: 4,
+        watchers: 2,
+        drain: Duration::from_secs(15),
+        account_prefix: "lgt-w".into(),
+        ..GridRunOptions::default()
+    };
+    let recorder = Recorder::new(&schedule.classes, Duration::from_millis(250));
+    run_against_grid(&schedule, &target, &opts, &recorder).expect("run");
+
+    let rep = recorder.report(schedule.users, opts.workers, clock.speedup(), 0, 0);
+    assert_eq!(rep.offered, schedule.len() as u64, "every arrival fired");
+    assert_eq!(
+        rep.submitted + rep.shed + rep.declined + rep.transport_errors,
+        rep.offered,
+        "every arrival got exactly one verdict"
+    );
+    assert_eq!(
+        rep.transport_errors, 0,
+        "an idle localhost grid must not produce transport errors"
+    );
+    assert!(rep.submitted > 0, "jobs were actually accepted");
+    assert!(
+        rep.completed > 0,
+        "watchers observed completions (submitted {}, drained {}s)",
+        rep.submitted,
+        opts.drain.as_secs()
+    );
+    assert!(rep.completed <= rep.submitted);
+    let smoke = &rep.classes[0];
+    assert_eq!(smoke.submit_ms.count, rep.submitted);
+    assert!(smoke.submit_ms.p50 >= 0.0);
+    assert!(!rep.slices.is_empty(), "soak trend slices populated");
+}

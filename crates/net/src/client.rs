@@ -135,6 +135,43 @@ pub struct Submission {
     pub unlisted_skipped: usize,
 }
 
+/// Poll pacing for [`FaucetsClient::wait`]: exponential backoff from
+/// [`WaitBackoff::initial`] doubling to a hard [`WaitBackoff::cap`].
+///
+/// The old fixed 10 ms poll was fine for one interactive client, but
+/// thousands of concurrently-waiting virtual users (the load harness)
+/// would hammer AppSpector into its own overload gate with pure polling
+/// traffic. Backoff keeps the first poll fast (short jobs still complete
+/// in one or two polls) while long waits settle at `cap` per probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaitBackoff {
+    /// First inter-poll delay.
+    pub initial: Duration,
+    /// Largest inter-poll delay; the schedule clamps here forever after.
+    pub cap: Duration,
+}
+
+impl Default for WaitBackoff {
+    /// 5 ms → 10 → 20 → … → 250 ms cap.
+    fn default() -> Self {
+        WaitBackoff {
+            initial: Duration::from_millis(5),
+            cap: Duration::from_millis(250),
+        }
+    }
+}
+
+impl WaitBackoff {
+    /// The delay following `prev` (doubling, clamped to the cap). A zero
+    /// `initial` degenerates to constant-`cap` polling rather than a
+    /// zero-sleep busy loop.
+    pub fn next(&self, prev: Duration) -> Duration {
+        let floor = self.initial.max(Duration::from_millis(1));
+        let cap = self.cap.max(floor);
+        prev.checked_mul(2).unwrap_or(cap).clamp(floor, cap)
+    }
+}
+
 /// A connected, authenticated Faucets client.
 pub struct FaucetsClient {
     fs: SocketAddr,
@@ -169,6 +206,8 @@ pub struct FaucetsClient {
     /// `deadline_ms` (so servers can shed doomed work) and capping the
     /// retry loop's total backoff.
     pub call_deadline: Option<Duration>,
+    /// Poll pacing for [`FaucetsClient::wait`] (exponential, capped).
+    pub wait_backoff: WaitBackoff,
     /// The trace id of the most recent [`FaucetsClient::submit`] call, for
     /// reconstructing that job's end-to-end path from the span log.
     pub last_trace: Option<TraceId>,
@@ -244,6 +283,7 @@ impl FaucetsClient {
                     pool: Arc::new(ConnPool::new("client", PoolConfig::default())),
                     fan_out: 8,
                     call_deadline: None,
+                    wait_backoff: WaitBackoff::default(),
                     last_trace: None,
                     next_job: (user.raw() << 32) + 1,
                     m_rounds: reg.counter("client_negotiation_rounds_total", &[]),
@@ -510,19 +550,23 @@ impl FaucetsClient {
     /// Poll AppSpector until the job completes (or `timeout` wall time).
     /// Transient transport failures while polling are ridden out until the
     /// deadline — a daemon restart mid-wait looks like a long poll, not an
-    /// error.
+    /// error. Polls pace out under [`FaucetsClient::wait_backoff`]
+    /// (exponential, capped), never sleeping past the deadline itself.
     pub fn wait(&self, job: JobId, timeout: Duration) -> Result<MonitorSnapshot, ClientError> {
         let deadline = Instant::now() + timeout;
+        let mut pause = self.wait_backoff.next(Duration::ZERO);
         loop {
             match self.watch(job) {
                 Ok(snap) if snap.completed => return Ok(snap),
                 Ok(_) | Err(ClientError::Transport(_) | ClientError::Overloaded) => {}
                 Err(e) => return Err(e),
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(ClientError::TimedOut(job));
             }
-            std::thread::sleep(Duration::from_millis(10));
+            std::thread::sleep(pause.min(deadline - now));
+            pause = self.wait_backoff.next(pause);
         }
     }
 
@@ -555,5 +599,47 @@ impl FaucetsClient {
             Response::Error(e) => Err(ClientError::Rejected(e)),
             other => Err(ClientError::Protocol(format!("download: {other:?}"))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::WaitBackoff;
+    use std::time::Duration;
+
+    #[test]
+    fn wait_backoff_doubles_to_cap() {
+        let b = WaitBackoff::default();
+        let mut p = b.next(Duration::ZERO);
+        assert_eq!(p, b.initial, "first pause is the configured floor");
+        let mut schedule = vec![p];
+        for _ in 0..8 {
+            p = b.next(p);
+            schedule.push(p);
+        }
+        assert!(
+            schedule.windows(2).all(|w| w[1] >= w[0]),
+            "monotone: {schedule:?}"
+        );
+        assert_eq!(*schedule.last().unwrap(), b.cap, "settles at the cap");
+        assert_eq!(b.next(b.cap), b.cap, "cap is absorbing");
+    }
+
+    #[test]
+    fn wait_backoff_degenerate_configs_stay_sane() {
+        // Zero initial must not become a zero-sleep busy loop.
+        let zero = WaitBackoff {
+            initial: Duration::ZERO,
+            cap: Duration::from_millis(50),
+        };
+        assert!(zero.next(Duration::ZERO) >= Duration::from_millis(1));
+        // cap < initial clamps to a constant schedule, never panics.
+        let inverted = WaitBackoff {
+            initial: Duration::from_millis(100),
+            cap: Duration::from_millis(10),
+        };
+        let p = inverted.next(Duration::ZERO);
+        assert_eq!(p, Duration::from_millis(100));
+        assert_eq!(inverted.next(p), Duration::from_millis(100));
     }
 }

@@ -190,7 +190,7 @@ pub mod service;
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::appspector_srv::{spawn_appspector, spawn_appspector_with, AsHandle};
-    pub use crate::client::{ClientError, FaucetsClient, Submission};
+    pub use crate::client::{ClientError, FaucetsClient, Submission, WaitBackoff};
     pub use crate::fault::{FaultConfig, FaultPlan, FaultStats, FrameFault, Outage};
     pub use crate::fd::{spawn_fd, spawn_fd_with, FdHandle, FdOptions};
     pub use crate::fs::{spawn_fs, spawn_fs_durable, spawn_fs_with, FsHandle, FsOptions};

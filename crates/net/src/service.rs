@@ -82,6 +82,21 @@ impl Clock {
     pub fn now(&self) -> SimTime {
         SimTime::from_secs_f64(self.start.elapsed().as_secs_f64() * self.speedup)
     }
+
+    /// How many simulated seconds pass per wall second.
+    pub fn speedup(&self) -> f64 {
+        self.speedup
+    }
+
+    /// Wall-clock duration until the simulated instant `at` (zero if `at`
+    /// is already past). This is the open-loop load harness's conversion:
+    /// arrival schedules are generated in sim time so QoS deadlines
+    /// anchor correctly, then fired at `start + at / speedup` on the wall.
+    pub fn wall_until(&self, at: SimTime) -> Duration {
+        let target = at.as_secs_f64() / self.speedup;
+        let elapsed = self.start.elapsed().as_secs_f64();
+        Duration::from_secs_f64((target - elapsed).max(0.0))
+    }
 }
 
 /// Socket deadlines applied to every connection, in both directions. The

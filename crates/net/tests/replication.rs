@@ -142,6 +142,9 @@ fn acked_awards_survive_primary_kill_and_promotion() {
             .expect("award acked");
         acked.push(sub.job);
     }
+    let rounds_before = faucets_telemetry::global()
+        .snapshot()
+        .counter("client_negotiation_rounds_total");
     let racer = {
         let fs_addr = fs_addr;
         let aspect_addr = aspect.service.addr;
@@ -154,10 +157,23 @@ fn acked_awards_survive_primary_kill_and_promotion() {
                 .ok()
         })
     };
-    // Land the kill while the racer negotiates. Whatever the interleaving:
-    // an acked award is follower-durable (sync mode), an unacked one may
-    // legitimately die with the primary.
-    std::thread::sleep(Duration::from_millis(30));
+    // Land the kill while the racer negotiates: gate on the racer's first
+    // negotiation round actually starting (the global round counter moving
+    // past its pre-spawn baseline) instead of a bare sleep, so a slow CI
+    // box can't fire the kill before the racer even logs in. Whatever the
+    // interleaving after that: an acked award is follower-durable (sync
+    // mode), an unacked one may legitimately die with the primary — and
+    // per the invariant above, even a kill landing outside the race window
+    // (the bounded poll expiring) leaves the assertions valid.
+    let gate = std::time::Instant::now() + Duration::from_secs(5);
+    while std::time::Instant::now() < gate
+        && faucets_telemetry::global()
+            .snapshot()
+            .counter("client_negotiation_rounds_total")
+            <= rounds_before
+    {
+        std::thread::sleep(Duration::from_millis(1));
+    }
     fd.kill();
     if let Ok(Some(sub)) = racer.join() {
         acked.push(sub.job);

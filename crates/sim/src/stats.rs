@@ -255,6 +255,78 @@ impl P2Quantile {
     }
 }
 
+/// The standard latency-quantile battery (p50/p90/p99/p999) as one O(1)
+/// collector: four [`P2Quantile`] estimators fed from a single `record`
+/// call. The open-loop load harness (`crates/load`) tracks every class's
+/// submit and completion latency through one of these, so tail claims
+/// ("p999 under load") cost four marker arrays, not a sample buffer.
+///
+/// Non-finite observations are skipped and counted once (the underlying
+/// estimators each skip them; [`QuantileSet::non_finite`] reads one).
+#[derive(Debug, Clone)]
+pub struct QuantileSet {
+    p50: P2Quantile,
+    p90: P2Quantile,
+    p99: P2Quantile,
+    p999: P2Quantile,
+}
+
+impl Default for QuantileSet {
+    fn default() -> Self {
+        QuantileSet::new()
+    }
+}
+
+impl QuantileSet {
+    /// An empty p50/p90/p99/p999 battery.
+    pub fn new() -> Self {
+        QuantileSet {
+            p50: P2Quantile::new(0.5),
+            p90: P2Quantile::new(0.9),
+            p99: P2Quantile::new(0.99),
+            p999: P2Quantile::new(0.999),
+        }
+    }
+
+    /// Record one observation into all four estimators.
+    pub fn record(&mut self, x: f64) {
+        self.p50.record(x);
+        self.p90.record(x);
+        self.p99.record(x);
+        self.p999.record(x);
+    }
+
+    /// Median estimate (NaN when empty).
+    pub fn p50(&self) -> f64 {
+        self.p50.estimate()
+    }
+
+    /// 90th-percentile estimate (NaN when empty).
+    pub fn p90(&self) -> f64 {
+        self.p90.estimate()
+    }
+
+    /// 99th-percentile estimate (NaN when empty).
+    pub fn p99(&self) -> f64 {
+        self.p99.estimate()
+    }
+
+    /// 99.9th-percentile estimate (NaN when empty).
+    pub fn p999(&self) -> f64 {
+        self.p999.estimate()
+    }
+
+    /// Count of (finite) observations.
+    pub fn count(&self) -> u64 {
+        self.p50.count()
+    }
+
+    /// Observations rejected for being NaN or infinite.
+    pub fn non_finite(&self) -> u64 {
+        self.p50.non_finite()
+    }
+}
+
 /// A histogram with logarithmic (powers-of-two) bins over positive values.
 #[derive(Debug, Clone, Default)]
 pub struct LogHistogram {
@@ -641,6 +713,21 @@ mod tests {
         q.record(1.0);
         q.record(2.0);
         assert_eq!(q.estimate(), 2.0);
+    }
+
+    #[test]
+    fn quantile_set_tracks_uniform_tails() {
+        let mut q = QuantileSet::new();
+        for u in lcg_stream(100_000) {
+            q.record(u);
+        }
+        assert_eq!(q.count(), 100_000);
+        assert!((q.p50() - 0.5).abs() < 0.02, "p50 {}", q.p50());
+        assert!((q.p90() - 0.9).abs() < 0.02, "p90 {}", q.p90());
+        assert!((q.p99() - 0.99).abs() < 0.01, "p99 {}", q.p99());
+        assert!((q.p999() - 0.999).abs() < 0.005, "p999 {}", q.p999());
+        q.record(f64::NAN);
+        assert_eq!(q.non_finite(), 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! estimators must stay within tolerance of the exact answers computed from
 //! the retained sample, and merging must behave exactly like concatenation.
 
-use faucets_sim::stats::{LogHistogram, P2Quantile, Summary};
+use faucets_sim::stats::{LogHistogram, P2Quantile, QuantileSet, Summary};
 use proptest::prelude::*;
 
 /// Exact `p`-quantile of an already-sorted sample (nearest-rank).
@@ -112,6 +112,39 @@ proptest! {
         let merged: Vec<_> = ha.bins().collect();
         let exact: Vec<_> = whole.bins().collect();
         prop_assert_eq!(merged, exact);
+    }
+
+    /// The p50/p90/p99/p999 battery on *heavy-tailed* streams, verified
+    /// by rank rather than value: on a Pareto-ish tail the values at
+    /// nearby ranks differ by orders of magnitude, so the meaningful
+    /// contract is that the fraction of samples at or below each estimate
+    /// brackets the target quantile. (This is the battery the load
+    /// harness records submit/completion latencies into.)
+    #[test]
+    fn quantile_set_rank_brackets_on_heavy_tails(
+        u in proptest::collection::vec(0.0f64..0.999_999, 2_000..4_000),
+    ) {
+        // Inverse-transform a Pareto-flavoured tail: finite but wild
+        // (the top permille spans orders of magnitude).
+        let data: Vec<f64> = u.iter().map(|&v| (1.0 - v).powf(-1.5)).collect();
+        let mut qs = QuantileSet::new();
+        for &x in &data {
+            qs.record(x);
+        }
+        prop_assert_eq!(qs.count(), data.len() as u64);
+        let n = data.len() as f64;
+        let (lo, hi) = data.iter().fold((f64::MAX, f64::MIN), |(l, h), &x| (l.min(x), h.max(x)));
+        let frac_le = |t: f64| data.iter().filter(|&&x| x <= t).count() as f64 / n;
+        for (q, est, eps) in [
+            (0.5, qs.p50(), 0.06),
+            (0.9, qs.p90(), 0.05),
+            (0.99, qs.p99(), 0.02),
+            (0.999, qs.p999(), 0.008),
+        ] {
+            prop_assert!(est >= lo && est <= hi, "q={q}: {est} outside [{lo}, {hi}]");
+            let f = frac_le(est);
+            prop_assert!((f - q).abs() <= eps, "q={q}: estimate {est} ranks at {f}");
+        }
     }
 
     /// Welford merge matches single-pass recording to float tolerance.

@@ -236,6 +236,43 @@ impl HistogramSnapshot {
         }
         bin_floor(64) // unreachable unless bins/count disagree
     }
+
+    /// Approximate `q`-quantile with *within-bin linear interpolation*:
+    /// the ranked sample's position inside its bin interpolates between
+    /// the bin's edges instead of snapping to the geometric midpoint. On
+    /// log-binned data this is what makes p999 extraction usable —
+    /// adjacent high quantiles (p99 vs p999) land at distinct points
+    /// inside the same power-of-two bin instead of collapsing onto one
+    /// midpoint. Still bin-bounded: the returned value always lies
+    /// inside the bin holding the ranked sample, so the error is at most
+    /// one bin width. [`HistogramSnapshot::quantile`] is left unchanged
+    /// for callers that want the coarser, midpoint-stable estimate.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0);
+        let mut seen = 0u64;
+        for &(bin, n) in &self.bins {
+            let below = seen as f64;
+            seen += n;
+            if seen as f64 >= rank {
+                if bin == 0 {
+                    return 0.0;
+                }
+                let lo = bin_floor(bin as usize);
+                let frac = ((rank - below) / n as f64).clamp(0.0, 1.0);
+                return lo + frac * lo; // bin spans [lo, 2·lo)
+            }
+        }
+        bin_floor(64) // unreachable unless bins/count disagree
+    }
+
+    /// [`HistogramSnapshot::percentile`] over a battery of quantiles —
+    /// the usual call is `&[0.5, 0.99, 0.999]`.
+    pub fn percentiles(&self, qs: &[f64]) -> Vec<f64> {
+        qs.iter().map(|&q| self.percentile(q)).collect()
+    }
 }
 
 /// One registered collector.
@@ -573,6 +610,32 @@ mod tests {
         let p99 = s.quantile(0.99);
         assert!(p99 > 0.9 && p99 < 3.0, "p99 in the slow bin, got {p99}");
         assert!((s.mean() - (90.0 * 0.001 + 10.0 * 1.5) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_a_bin() {
+        // 1000 samples spread across one power-of-two bin [1, 2): the
+        // midpoint quantile() collapses every q onto sqrt(2), while
+        // percentile() must separate p50 < p99 < p999 inside the bin.
+        let h = Histogram::default();
+        for i in 0..1000 {
+            h.record(1.0 + i as f64 / 1000.0);
+        }
+        let s = h.snapshot();
+        let ps = s.percentiles(&[0.5, 0.99, 0.999]);
+        assert!(
+            ps[0] < ps[1] && ps[1] < ps[2],
+            "monotone within bin: {ps:?}"
+        );
+        for (&p, &q) in ps.iter().zip([0.5, 0.99, 0.999].iter()) {
+            let exact = 1.0 + q;
+            assert!(
+                p >= 1.0 && p < 2.0 && (p - exact).abs() < 0.01,
+                "q={q}: got {p}, exact {exact}"
+            );
+        }
+        // Empty snapshot and bin-zero samples stay at 0.
+        assert_eq!(HistogramSnapshot::default().percentile(0.999), 0.0);
     }
 
     #[test]

@@ -35,6 +35,62 @@ proptest! {
         );
     }
 
+    /// The interpolated percentile path (the p999-capable extraction)
+    /// shares the ranked sample's bin: for any data — including
+    /// heavy-tailed streams where adjacent ranks differ by orders of
+    /// magnitude — the estimate stays within a factor of two of the
+    /// exact sorted-sample quantile, all the way out to p999.
+    #[test]
+    fn histogram_percentile_shares_the_exact_samples_bin(
+        u in proptest::collection::vec(0.0f64..0.999_999, 1..500),
+        q in 0.05f64..0.999,
+    ) {
+        // Pareto-flavoured heavy tail via inverse transform.
+        let data: Vec<f64> = u.iter().map(|&v| (1.0 - v).powf(-1.5)).collect();
+        let reg = Registry::new();
+        let h = reg.histogram("latency", &[]);
+        for &v in &data {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Same rank convention as HistogramSnapshot::percentile.
+        let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+        let exact = sorted[rank - 1];
+
+        // The estimate lies inside the power-of-two bin [lo, 2·lo)
+        // holding the ranked sample, so it is within a factor of two of
+        // the exact value in both directions.
+        let est = snap.percentile(q);
+        prop_assert!(
+            est > exact / 2.0 - 1e-12 && est < exact * 2.0 + 1e-12,
+            "estimate {est} not within 2x of exact {exact}"
+        );
+    }
+
+    /// Interpolated percentiles are monotone in q (within-bin linear
+    /// interpolation cannot reorder across or inside bins), and the
+    /// battery helper agrees with the scalar path.
+    #[test]
+    fn histogram_percentile_is_monotone(
+        data in proptest::collection::vec(1e-3f64..1e6, 1..200),
+        a in 0.01f64..0.999,
+        b in 0.01f64..0.999,
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("latency", &[]);
+        for &v in &data {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(snap.percentile(lo) <= snap.percentile(hi) + 1e-12);
+        let battery = snap.percentiles(&[lo, hi]);
+        prop_assert_eq!(battery, vec![snap.percentile(lo), snap.percentile(hi)]);
+    }
+
     /// Quantiles from a snapshot are monotone in q.
     #[test]
     fn histogram_quantile_is_monotone(
