@@ -148,11 +148,7 @@ fn main() {
     let _fds: Vec<FdHandle> = (1..=fds)
         .map(|i| spawn_daemon(i, fs.service.addr, aspect.service.addr, clock.clone()))
         .collect();
-    let target = GridTarget {
-        fs: fs.service.addr,
-        appspector: aspect.service.addr,
-        clock: clock.clone(),
-    };
+    let target = GridTarget::single(fs.service.addr, aspect.service.addr, clock.clone());
 
     // Phase 1: the goodput-vs-offered-load ladder. Distinct account
     // prefixes per arm keep client-assigned job ids grid-unique.

@@ -90,6 +90,15 @@ pub struct ClusterRow {
     pub liveness: Liveness,
     /// When the FS last heard from this daemon (simulated time).
     pub last_heard: SimTime,
+    /// The federated FS shard that owns this entry (`None` on a
+    /// single-process FS, and on rows from pre-federation peers).
+    #[serde(default)]
+    pub shard: Option<String>,
+    /// The owning shard's consistent-hash ring generation when the row was
+    /// produced (0 when unfederated), so dashboards can tell whether two
+    /// shards' answers describe the same ring.
+    #[serde(default)]
+    pub ring_epoch: u64,
 }
 
 /// Directory entry: static info + latest dynamic status + exported apps.
@@ -280,6 +289,8 @@ impl Directory {
                 status: e.status,
                 liveness: self.grade(e, now),
                 last_heard: e.last_heard,
+                shard: None,
+                ring_epoch: 0,
             })
             .collect()
     }

@@ -31,13 +31,41 @@ use std::time::{Duration, Instant};
 /// Where the grid lives.
 #[derive(Debug, Clone)]
 pub struct GridTarget {
-    /// The Faucets central server.
-    pub fs: SocketAddr,
+    /// The Faucets central server endpoints: one for a single-process FS,
+    /// or every shard of a federated grid. Workers are assigned a primary
+    /// round-robin and carry the rest as their failover list, so the
+    /// harness both spreads offered load across shards and survives a
+    /// shard death mid-run. Must be non-empty.
+    pub fs: Vec<SocketAddr>,
     /// The AppSpector monitor.
     pub appspector: SocketAddr,
     /// The clock the grid runs under (shared so deadlines and speedup
     /// line up).
     pub clock: Clock,
+}
+
+impl GridTarget {
+    /// A single-endpoint target (the pre-federation shape).
+    pub fn single(fs: SocketAddr, appspector: SocketAddr, clock: Clock) -> Self {
+        GridTarget {
+            fs: vec![fs],
+            appspector,
+            clock,
+        }
+    }
+
+    /// The primary FS endpoint for `worker` (round-robin).
+    pub fn fs_for(&self, worker: usize) -> SocketAddr {
+        self.fs[worker % self.fs.len()]
+    }
+
+    /// The remaining endpoints for `worker`, in the order its client
+    /// should fail over to them.
+    pub fn fallbacks_for(&self, worker: usize) -> Vec<SocketAddr> {
+        (1..self.fs.len())
+            .map(|k| self.fs[(worker + k) % self.fs.len()])
+            .collect()
+    }
 }
 
 /// Run-shape knobs for [`run_against_grid`].
@@ -85,25 +113,32 @@ struct WatchItem {
 }
 
 /// Register the account if new, else log in (re-runs against a warm grid
-/// reuse their accounts).
-fn connect(target: &GridTarget, name: &str, password: &str) -> Result<FaucetsClient, ClientError> {
-    match FaucetsClient::register(
-        target.fs,
+/// reuse their accounts). The worker's round-robin shard is primary; the
+/// other shards become the client's failover list.
+fn connect(
+    target: &GridTarget,
+    worker: usize,
+    name: &str,
+    password: &str,
+) -> Result<FaucetsClient, ClientError> {
+    let fs = target.fs_for(worker);
+    let made = match FaucetsClient::register(
+        fs,
         target.appspector,
         target.clock.clone(),
         name,
         password,
     ) {
         Ok(c) => Ok(c),
-        Err(ClientError::Rejected(_)) => FaucetsClient::login(
-            target.fs,
-            target.appspector,
-            target.clock.clone(),
-            name,
-            password,
-        ),
+        Err(ClientError::Rejected(_)) => {
+            FaucetsClient::login(fs, target.appspector, target.clock.clone(), name, password)
+        }
         Err(e) => Err(e),
-    }
+    };
+    made.map(|mut c| {
+        c.fs_fallbacks = target.fallbacks_for(worker);
+        c
+    })
 }
 
 /// One watcher thread: sweep the pending set, recording completions.
@@ -142,18 +177,16 @@ fn watch_loop(
                 return; // whatever is left counts as not completed
             }
         }
+        let mut evict: Vec<usize> = Vec::new();
         pending.retain_mut(|item| {
             let client = match sessions.entry(item.worker) {
                 std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                 std::collections::hash_map::Entry::Vacant(v) => {
                     let name = format!("{}{}", opts.account_prefix, item.worker);
-                    match FaucetsClient::login(
-                        target.fs,
-                        target.appspector,
-                        target.clock.clone(),
-                        &name,
-                        &opts.password,
-                    ) {
+                    // Register-or-login: on a federated grid the account may
+                    // have died with its shard, and the failover endpoint
+                    // needs it re-created.
+                    match connect(target, item.worker, &name, &opts.password) {
                         Ok(c) => v.insert(c),
                         // Transient login trouble: keep the item, retry
                         // next sweep.
@@ -167,10 +200,19 @@ fn watch_loop(
                     recorder.completed(item.class, Recorder::ms_since(item.fire_at), hit);
                     false
                 }
+                // The session died (e.g. with the shard that minted it):
+                // drop it so the next sweep re-authenticates from scratch.
+                Err(ClientError::Rejected(_)) => {
+                    evict.push(item.worker);
+                    true
+                }
                 // Not done yet, or a transient poll failure: sweep again.
                 _ => true,
             }
         });
+        for worker in evict {
+            sessions.remove(&worker);
+        }
         std::thread::sleep(opts.sweep.max(Duration::from_millis(1)));
     }
 }
@@ -195,7 +237,7 @@ pub fn run_against_grid(
     let mut clients = Vec::with_capacity(n_workers);
     for i in 0..n_workers {
         let name = format!("{}{}", opts.account_prefix, i);
-        let mut c = connect(target, &name, &opts.password)?;
+        let mut c = connect(target, i, &name, &opts.password)?;
         c.call_deadline = opts.call_deadline;
         clients.push(c);
     }

@@ -54,11 +54,7 @@ fn small_open_loop_run_accounts_for_every_arrival() {
     });
     assert!(!schedule.is_empty());
 
-    let target = GridTarget {
-        fs: fs.service.addr,
-        appspector: aspect.service.addr,
-        clock: clock.clone(),
-    };
+    let target = GridTarget::single(fs.service.addr, aspect.service.addr, clock.clone());
     let opts = GridRunOptions {
         workers: 4,
         watchers: 2,

@@ -44,6 +44,7 @@ use faucets_core::qos::QosContract;
 use faucets_sim::time::SimTime;
 use faucets_telemetry::trace::{self, TraceId};
 use faucets_telemetry::Counter;
+use std::collections::HashSet;
 use std::fmt;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -177,6 +178,13 @@ pub struct FaucetsClient {
     fs: SocketAddr,
     appspector: SocketAddr,
     clock: Clock,
+    /// Alternative FS endpoints (federated shards). On a transport failure
+    /// talking to the FS the client rotates to the next one — sticky: the
+    /// endpoint that answered stays primary until it fails in turn.
+    pub fs_fallbacks: Vec<SocketAddr>,
+    /// Stored at login so the client can re-authenticate by itself when
+    /// its session dies with the shard that minted it.
+    credentials: Option<(String, String)>,
     /// The session token (§2.2: embedded in every FD interaction).
     pub token: SessionToken,
     /// The authenticated user.
@@ -217,6 +225,7 @@ pub struct FaucetsClient {
     m_awards: Counter,
     m_resolicits: Counter,
     m_overloaded: Counter,
+    m_failovers: Counter,
 }
 
 impl FaucetsClient {
@@ -272,6 +281,8 @@ impl FaucetsClient {
                     fs,
                     appspector,
                     clock,
+                    fs_fallbacks: vec![],
+                    credentials: Some((name.into(), password.into())),
                     token,
                     user,
                     selection: SelectionPolicy::LeastCost,
@@ -291,6 +302,7 @@ impl FaucetsClient {
                     m_awards: reg.counter("client_awards_confirmed_total", &[]),
                     m_resolicits: reg.counter("client_resolicitations_total", &[]),
                     m_overloaded: reg.counter("client_bids_overloaded_total", &[]),
+                    m_failovers: reg.counter("client_fs_failovers_total", &[]),
                 })
             }
             Ok(Response::Error(e)) => Err(ClientError::Rejected(e)),
@@ -313,6 +325,68 @@ impl FaucetsClient {
 
     fn call(&self, addr: SocketAddr, req: &Request) -> Result<Response, ClientError> {
         call_with(addr, req, &self.opts()).map_err(ClientError::from)
+    }
+
+    /// Call the FS, rotating through [`FaucetsClient::fs_fallbacks`] on
+    /// transport failure. Rotation is sticky: the endpoint that answers
+    /// becomes (or stays) the primary, so a healthy shard is not re-probed
+    /// through a dead one on every call.
+    fn fs_call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let endpoints = 1 + self.fs_fallbacks.len();
+        let mut last: Option<ClientError> = None;
+        for _ in 0..endpoints {
+            match self.call(self.fs, req) {
+                Err(ClientError::Transport(e)) if !self.fs_fallbacks.is_empty() => {
+                    let next = self.fs_fallbacks.remove(0);
+                    self.fs_fallbacks.push(self.fs);
+                    self.fs = next;
+                    self.m_failovers.inc();
+                    last = Some(ClientError::Transport(e));
+                }
+                other => return other,
+            }
+        }
+        Err(last.unwrap_or_else(|| ClientError::Transport("no FS endpoint".into())))
+    }
+
+    /// Re-authenticate after the session died (typically with the shard
+    /// that minted it). Logs in at the current FS; if the account itself
+    /// lived on the dead shard, re-creates it there first.
+    fn relogin(&mut self) -> Result<(), ClientError> {
+        let Some((name, password)) = self.credentials.clone() else {
+            return Err(ClientError::Rejected("no stored credentials".into()));
+        };
+        let login_req = Request::Login {
+            user: name.clone(),
+            password: password.clone(),
+        };
+        let resp = match self.fs_call(&login_req)? {
+            Response::Error(_) => {
+                // Accounts are shard-local: ours is gone with its shard.
+                // Re-create it at the surviving FS and log in again.
+                match self.fs_call(&Request::CreateUser {
+                    user: name,
+                    password,
+                })? {
+                    Response::Verified { .. } | Response::Error(_) => self.fs_call(&login_req)?,
+                    other => {
+                        return Err(ClientError::Protocol(format!(
+                            "account recovery: {other:?}"
+                        )))
+                    }
+                }
+            }
+            resp => resp,
+        };
+        match resp {
+            Response::Session { user, token } => {
+                self.user = user;
+                self.token = token;
+                Ok(())
+            }
+            Response::Error(e) => Err(ClientError::Rejected(e)),
+            other => Err(ClientError::Protocol(format!("re-login: {other:?}"))),
+        }
     }
 
     /// Submit a job: match → bid → select → award (with runner-up fallback)
@@ -366,18 +440,34 @@ impl FaucetsClient {
     ) -> Result<Submission, ClientError> {
         let now = self.clock.now();
 
-        // 1. Matching servers from the FS.
-        let servers = match self.call(
-            self.fs,
-            &Request::ListServers {
-                token: self.token.clone(),
-                qos: qos.clone(),
-            },
-        )? {
+        // 1. Matching servers from the FS. A rejection here may mean the
+        // session died with the shard that minted it (the failover path
+        // just rotated us to a survivor): re-authenticate once and retry
+        // before giving up.
+        let list_req = Request::ListServers {
+            token: self.token.clone(),
+            qos: qos.clone(),
+        };
+        let mut servers = match self.fs_call(&list_req)? {
             Response::Servers(s) => s,
-            Response::Error(e) => return Err(ClientError::Rejected(e)),
+            Response::Error(e) => {
+                self.relogin()
+                    .map_err(|_| ClientError::Rejected(e.clone()))?;
+                match self.fs_call(&Request::ListServers {
+                    token: self.token.clone(),
+                    qos: qos.clone(),
+                })? {
+                    Response::Servers(s) => s,
+                    Response::Error(e) => return Err(ClientError::Rejected(e)),
+                    other => return Err(ClientError::Protocol(format!("matching: {other:?}"))),
+                }
+            }
             other => return Err(ClientError::Protocol(format!("matching: {other:?}"))),
         };
+        // During a federated ring transition the same server can be listed
+        // by two shards; it must only be solicited (and awarded) once.
+        let mut seen = HashSet::new();
+        servers.retain(|s| seen.insert(s.info.cluster));
         if servers.is_empty() {
             return Err(ClientError::NoMatchingServers);
         }

@@ -162,6 +162,11 @@ pub struct FdOptions {
     /// (models the CM probe of §2.2). Zero (the default) adds nothing;
     /// experiments set it to give the FD a known bid capacity.
     pub bid_probe_floor: Duration,
+    /// Alternative FS endpoints (federated shards). When a heartbeat fails
+    /// at the transport level the pump rotates to the next endpoint and
+    /// re-registers there, so a daemon survives the death of the shard it
+    /// was pointed at. Overload answers never rotate (busy is not dead).
+    pub fs_fallbacks: Vec<SocketAddr>,
 }
 
 impl Default for FdOptions {
@@ -182,8 +187,15 @@ impl Default for FdOptions {
             heartbeat_every: faucets_sim::time::SimDuration::from_secs(30),
             bid_gate: GateConfig::default(),
             bid_probe_floor: Duration::ZERO,
+            fs_fallbacks: vec![],
         }
     }
+}
+
+/// The FS endpoint the daemon currently trusts (rotation index modulo the
+/// endpoint list, shared by the request handlers and the pump).
+fn current_fs(list: &[SocketAddr], idx: &std::sync::atomic::AtomicUsize) -> SocketAddr {
+    list[idx.load(Ordering::Relaxed) % list.len()]
 }
 
 /// Retract a journaled acceptance the scheduler then refused. Best-effort:
@@ -387,11 +399,24 @@ pub fn spawn_fd_with(
         restored
     };
 
+    // The FS endpoint set (primary + federated fallbacks) and the shared
+    // rotation index: handlers verify tokens at whichever endpoint the
+    // pump currently trusts.
+    let fs_list: Arc<Vec<SocketAddr>> = Arc::new(
+        std::iter::once(fs)
+            .chain(opts.fs_fallbacks.iter().copied())
+            .collect(),
+    );
+    let fs_idx = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let m_fs_failovers = reg.counter("fd_fs_failovers_total", &fd_labels);
+
     // Bind the service first so the real port is known.
     let st = Arc::clone(&state);
     let journal = store.clone();
     let clock_handler = clock.clone();
     let call_opts = opts.call.clone();
+    let fs_list_h = Arc::clone(&fs_list);
+    let fs_idx_h = Arc::clone(&fs_idx);
     let gate = PayoffGate::new(opts.bid_gate, &cluster_name, reg);
     let bid_gate = Arc::clone(&gate);
     let bid_probe_floor = opts.bid_probe_floor;
@@ -415,7 +440,7 @@ pub fn spawn_fd_with(
                     std::thread::sleep(bid_probe_floor);
                 }
                 // §2.2: the FD re-checks the client with the FS.
-                if let Err(e) = verify(fs, &token, &call_opts) {
+                if let Err(e) = verify(current_fs(&fs_list_h, &fs_idx_h), &token, &call_opts) {
                     return Response::Error(e);
                 }
                 // Read the clock only while holding the lock: the pump also
@@ -438,7 +463,7 @@ pub fn spawn_fd_with(
                 contract,
                 bid,
             } => {
-                if let Err(e) = verify(fs, &token, &call_opts) {
+                if let Err(e) = verify(current_fs(&fs_list_h, &fs_idx_h), &token, &call_opts) {
                     return Response::Error(e);
                 }
                 let (job, user) = (spec.id, spec.user);
@@ -508,7 +533,7 @@ pub fn spawn_fd_with(
                 name,
                 data,
             } => {
-                if let Err(e) = verify(fs, &token, &call_opts) {
+                if let Err(e) = verify(current_fs(&fs_list_h, &fs_idx_h), &token, &call_opts) {
                     return Response::Error(e);
                 }
                 if let Some(store) = &journal {
@@ -546,7 +571,7 @@ pub fn spawn_fd_with(
     let apps: Vec<String> = daemon.exported_apps.iter().cloned().collect();
     state.lock().daemon = daemon;
     let _ = call_with(
-        fs,
+        current_fs(&fs_list, &fs_idx),
         &Request::RegisterCluster {
             info: info.clone(),
             apps: apps.clone(),
@@ -624,24 +649,44 @@ pub fn spawn_fd_with(
                     || last_heartbeat == faucets_sim::time::SimTime::ZERO
                 {
                     last_heartbeat = now;
-                    // "unknown cluster": the FS evicted us as dead (or was
-                    // itself restarted). Re-register and carry on.
-                    if let Ok(Response::Error(_)) = call_with(
-                        fs,
+                    let fs_now = current_fs(&fs_list, &fs_idx);
+                    match call_with(
+                        fs_now,
                         &Request::Heartbeat {
                             cluster: cluster_id,
                             status,
                         },
                         &call_opts,
                     ) {
-                        let _ = call_with(
-                            fs,
-                            &Request::RegisterCluster {
-                                info: info.clone(),
-                                apps: apps.clone(),
-                            },
-                            &call_opts,
-                        );
+                        // "unknown cluster": the FS evicted us as dead (or
+                        // was itself restarted). Re-register and carry on.
+                        Ok(Response::Error(_)) => {
+                            let _ = call_with(
+                                fs_now,
+                                &Request::RegisterCluster {
+                                    info: info.clone(),
+                                    apps: apps.clone(),
+                                },
+                                &call_opts,
+                            );
+                        }
+                        // The endpoint is dead (not merely overloaded):
+                        // rotate to the next federated shard and register
+                        // there, so bids keep verifying and the directory
+                        // keeps listing us.
+                        Err(e) if fs_list.len() > 1 && !crate::proto::is_overload_error(&e) => {
+                            fs_idx.fetch_add(1, Ordering::Relaxed);
+                            m_fs_failovers.inc();
+                            let _ = call_with(
+                                current_fs(&fs_list, &fs_idx),
+                                &Request::RegisterCluster {
+                                    info: info.clone(),
+                                    apps: apps.clone(),
+                                },
+                                &call_opts,
+                            );
+                        }
+                        _ => {}
                     }
                     let total = { st.lock().cluster.machine.total_pes };
                     for (job, pes) in running {

@@ -20,20 +20,41 @@
 //! from silence). User accounts and session tokens stay in-memory: daemons
 //! re-verify tokens against the FS, so an FS restart invalidates sessions
 //! and clients must log in again.
+//!
+//! ## Federation
+//!
+//! With [`FsOptions::federation`] set, this FS becomes one shard of a
+//! federated directory (see [`crate::federation`]): the consistent-hash
+//! ring assigns each cluster id an owning shard, `RegisterCluster` and
+//! `Heartbeat` arriving at the wrong shard are forwarded to the owner
+//! (whose journal — replicated or not — is the one that records them),
+//! and directory-wide queries (`ListServers`, `ListClusters`) merge the
+//! local shard with a [`crate::proto::FedQuery`] scatter-gather across
+//! every alive peer. Accounts and session tokens remain shard-local;
+//! `VerifyToken` checks locally first and then asks the peers, so a
+//! daemon pointed at any shard can verify a token minted by any other.
+//! A `FedQuery` is always answered from local state only — the receiver
+//! never re-scatters — so cross-shard request chains are at most one hop
+//! deep and shard worker pools cannot deadlock on each other.
 
+use crate::federation::{Federation, FederationOptions};
 use crate::overload::TokenBucket;
-use crate::proto::{Request, Response};
+use crate::proto::{FedQuery, Request, Response};
 use crate::replica::{Journal, ReplicationConfig};
 use crate::service::{serve_with, Clock, ServeOptions, ServiceHandle};
+use faucets_core::auth::SessionToken;
 use faucets_core::directory::{ServerInfo, ServerListing};
-use faucets_core::ids::ClusterId;
+use faucets_core::ids::{ClusterId, UserId};
+use faucets_core::qos::QosContract;
 use faucets_core::server::FaucetsServer;
 use faucets_sim::time::SimTime;
 use faucets_store::{Durable, RecoveryReport, StoreOptions};
+use faucets_telemetry::{Counter, Gauge};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::io;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -129,10 +150,14 @@ pub struct FsOptions {
     /// queries per second. Queries over the budget are answered
     /// [`Response::Overloaded`] so a scanning client cannot starve
     /// registrations and heartbeats. Retunable at runtime via
-    /// [`FsHandle::query_bucket`].
+    /// [`FsHandle::query_bucket`]. Federation-internal frames
+    /// (`Gossip`/`FedQuery`) are exempt.
     pub query_rate: f64,
     /// Directory-query burst capacity (tokens banked while idle).
     pub query_burst: f64,
+    /// Run this FS as one shard of a federated directory
+    /// ([`crate::federation`]). `None` keeps the single-process behaviour.
+    pub federation: Option<FederationOptions>,
 }
 
 impl Default for FsOptions {
@@ -149,6 +174,7 @@ impl Default for FsOptions {
             // generates, low enough to cap a runaway scanner.
             query_rate: 1000.0,
             query_burst: 2000.0,
+            federation: None,
         }
     }
 }
@@ -166,6 +192,30 @@ pub struct FsHandle {
     pub recovery: Option<RecoveryReport>,
     /// The directory-query throttle (live `set_rate`/`set_burst` knobs).
     pub query_bucket: Arc<TokenBucket>,
+    /// The federation runtime, when this FS is a shard (ring/membership
+    /// readouts for tests and experiments).
+    pub federation: Option<Arc<Federation>>,
+}
+
+impl FsHandle {
+    /// Graceful stop: silence the federation gossip (if any), then shut
+    /// the TCP service down and wait for its workers to exit. (The
+    /// `Drop` impl below makes `FsHandle` a guard type, which also means
+    /// callers can no longer move `service` out to call
+    /// [`ServiceHandle::shutdown`] directly — this is the replacement.)
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for FsHandle {
+    fn drop(&mut self) {
+        // Stop gossiping before the listener goes away: a killed shard must
+        // fall silent so its peers' failure detectors grade it dead.
+        if let Some(fed) = &self.federation {
+            fed.stop();
+        }
+    }
 }
 
 /// Spawn the FS on `addr` (use port 0 to pick a free port).
@@ -199,6 +249,226 @@ fn journal_evictions(store: &Option<Journal<DirJournal>>, evicted: &[ClusterId])
     if let Some(store) = store {
         for cluster in evicted {
             let _ = store.commit(&DirRecord::Evict { cluster: *cluster });
+        }
+    }
+}
+
+/// Everything one FS request handler needs, shared across worker threads.
+/// Splitting this out of the serve closure is what lets the federated
+/// paths take and *release* the state lock around network hops (scatters
+/// happen with no lock held).
+struct FsCore {
+    state: Arc<Mutex<FaucetsServer>>,
+    rng: Arc<Mutex<StdRng>>,
+    journal: Option<Journal<DirJournal>>,
+    clock: Clock,
+    bucket: Arc<TokenBucket>,
+    fed: Option<Arc<Federation>>,
+    m_throttled: Counter,
+    g_dir_size: Gauge,
+}
+
+impl FsCore {
+    /// Publish this shard's directory size: the dashboard gauge, and (when
+    /// federated) the load digest piggybacked on gossip.
+    fn publish_dir_size(&self, n: usize) {
+        self.g_dir_size.set(n as f64);
+        if let Some(fed) = &self.fed {
+            fed.set_local_load(n as u64);
+        }
+    }
+
+    /// Verify a token: locally first, then (federated only) by asking the
+    /// peers — accounts are shard-local, so a token minted by another shard
+    /// is only verifiable there.
+    fn verify_federated(&self, token: &SessionToken, now: SimTime) -> Result<UserId, Response> {
+        let local = self.state.lock().verify_token(token, now);
+        match local {
+            Ok(user) => Ok(user),
+            Err(e) => match &self.fed {
+                Some(fed) => match fed.scatter_verify(token) {
+                    Response::Verified { user } => Ok(user),
+                    _ => Err(Response::Error(e.to_string())),
+                },
+                None => Err(Response::Error(e.to_string())),
+            },
+        }
+    }
+
+    /// This shard's matching servers for a QoS contract (sweeps and
+    /// journals evictions as a side effect, like the pre-federation path).
+    fn local_listings(&self, qos: &QosContract, now: SimTime) -> Vec<ServerListing> {
+        let mut s = self.state.lock();
+        let evicted = s.sweep_dead(now);
+        journal_evictions(&self.journal, &evicted);
+        let level = s.filter_level;
+        let ids = s.directory.candidates(qos, level, now);
+        let listings = ids
+            .iter()
+            .filter_map(|c| {
+                s.directory.get(*c).map(|e| ServerListing {
+                    info: e.info.clone(),
+                    status: e.status,
+                })
+            })
+            .collect();
+        self.publish_dir_size(s.directory.len());
+        listings
+    }
+
+    /// This shard's directory rows, stamped with shard name + ring epoch
+    /// when federated.
+    fn local_rows(&self, now: SimTime) -> Vec<faucets_core::directory::ClusterRow> {
+        let mut rows = self.state.lock().directory.rows(now);
+        if let Some(fed) = &self.fed {
+            let epoch = fed.ring_epoch();
+            for r in &mut rows {
+                r.shard = Some(fed.name().to_string());
+                r.ring_epoch = epoch;
+            }
+        }
+        rows
+    }
+
+    /// Answer a peer shard's [`FedQuery`] from local state only (never
+    /// re-scatter — see the module docs on bounded forwarding depth).
+    fn handle_fed_query(&self, query: &FedQuery) -> Response {
+        let now = self.clock.now();
+        match query {
+            FedQuery::Match { qos } => Response::Servers(self.local_listings(qos, now)),
+            FedQuery::Rows => Response::Clusters(self.local_rows(now)),
+            FedQuery::Verify { token } => match self.state.lock().verify_token(token, now) {
+                Ok(user) => Response::Verified { user },
+                Err(e) => Response::Error(e.to_string()),
+            },
+        }
+    }
+
+    fn handle(&self, req: Request) -> Response {
+        // Shard-internal frames first: exempt from the client query
+        // throttle, and meaningless without a federation.
+        if let Some(fed) = &self.fed {
+            match &req {
+                Request::Gossip { view, .. } => return fed.handle_gossip(view),
+                Request::FedQuery { query, .. } => return self.handle_fed_query(query),
+                // Ownership routing: registrations and heartbeats belong to
+                // the ring owner's shard (and its journal).
+                Request::RegisterCluster { info, .. } => {
+                    if let Some((shard, addr)) = fed.forward_addr(info.cluster) {
+                        return fed.forward(&shard, addr, &req);
+                    }
+                }
+                Request::Heartbeat { cluster, .. } => {
+                    if let Some((shard, addr)) = fed.forward_addr(*cluster) {
+                        return fed.forward(&shard, addr, &req);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Directory queries are throttled before touching the lock, so a
+        // scanning client cannot starve registrations and heartbeats.
+        if matches!(
+            req,
+            Request::ListServers { .. } | Request::ListClusters { .. }
+        ) && !self.bucket.try_admit()
+        {
+            self.m_throttled.inc();
+            return Response::Overloaded { retry_after_ms: 25 };
+        }
+        let now = self.clock.now();
+        match req {
+            Request::VerifyToken { token } => match self.verify_federated(&token, now) {
+                Ok(user) => Response::Verified { user },
+                Err(resp) => resp,
+            },
+            Request::ListServers { token, qos } => {
+                if let Err(resp) = self.verify_federated(&token, now) {
+                    return resp;
+                }
+                let mut listings = self.local_listings(&qos, now);
+                if let Some(fed) = &self.fed {
+                    for resp in fed.scatter(FedQuery::Match { qos }) {
+                        if let Response::Servers(more) = resp {
+                            listings.extend(more);
+                        }
+                    }
+                    // A server reachable via two shards during a ring
+                    // transition must be listed once.
+                    let mut seen = HashSet::new();
+                    listings.retain(|l| seen.insert(l.info.cluster));
+                }
+                Response::Servers(listings)
+            }
+            Request::ListClusters { token } => {
+                if let Err(resp) = self.verify_federated(&token, now) {
+                    return resp;
+                }
+                let mut rows = self.local_rows(now);
+                if let Some(fed) = &self.fed {
+                    for resp in fed.scatter(FedQuery::Rows) {
+                        if let Response::Clusters(more) = resp {
+                            rows.extend(more);
+                        }
+                    }
+                    // Local rows come first, so during a handoff the owning
+                    // shard's stamp wins the dedupe.
+                    let mut seen = HashSet::new();
+                    rows.retain(|r| seen.insert(r.info.cluster));
+                }
+                Response::Clusters(rows)
+            }
+            other => self.handle_local(other, now),
+        }
+    }
+
+    /// The single-shard request paths (identical to the pre-federation FS).
+    fn handle_local(&self, req: Request, now: SimTime) -> Response {
+        let mut s = self.state.lock();
+        match req {
+            Request::CreateUser { user, password } => {
+                match s.create_user(&user, &password, &mut *self.rng.lock()) {
+                    Ok(id) => Response::Verified { user: id },
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::Login { user, password } => {
+                match s.login(&user, &password, now, &mut *self.rng.lock()) {
+                    Ok((id, token)) => Response::Session { user: id, token },
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::RegisterCluster { info, apps } => {
+                // Journal first: `Ok` must mean the registration survives a
+                // crash. On a store failure the request is NACKed and the
+                // in-memory directory is left untouched.
+                if let Some(store) = &self.journal {
+                    if let Err(e) = store.commit(&DirRecord::Register {
+                        info: info.clone(),
+                        apps: apps.clone(),
+                        at: now,
+                    }) {
+                        return Response::Error(format!("registration not durable: {e}"));
+                    }
+                }
+                s.register_cluster(info, apps, now);
+                self.publish_dir_size(s.directory.len());
+                Response::Ok
+            }
+            Request::Heartbeat { cluster, status } => {
+                // Sweep explicitly (rather than inside `heartbeat`) so the
+                // evicted ids can be journaled.
+                let evicted = s.sweep_dead(now);
+                journal_evictions(&self.journal, &evicted);
+                let known = s.heartbeat(cluster, status, now);
+                self.publish_dir_size(s.directory.len());
+                if known {
+                    Response::Ok
+                } else {
+                    Response::Error(format!("unknown cluster {cluster}"))
+                }
+            }
+            other => Response::Error(format!("FS cannot handle {other:?}")),
         }
     }
 }
@@ -238,94 +508,32 @@ pub fn spawn_fs_durable(
         None => (None, None),
     };
 
-    let st = Arc::clone(&state);
-    let journal = store.clone();
+    let federation = opts
+        .federation
+        .clone()
+        .map(|f| Arc::new(Federation::new(f)));
+    let shard_label = federation
+        .as_ref()
+        .map(|f| f.name().to_string())
+        .unwrap_or_else(|| "fs".into());
+    let reg = faucets_telemetry::global();
     let query_bucket = Arc::new(TokenBucket::new(opts.query_rate, opts.query_burst));
-    let bucket = Arc::clone(&query_bucket);
-    let m_throttled = faucets_telemetry::global().counter("fs_query_throttled_total", &[]);
-    let service = serve_with(addr, "fs", opts.serve, move |req| {
-        // Directory queries are throttled before touching the lock, so a
-        // scanning client cannot starve registrations and heartbeats.
-        if matches!(
-            req,
-            Request::ListServers { .. } | Request::ListClusters { .. }
-        ) && !bucket.try_admit()
-        {
-            m_throttled.inc();
-            return Response::Overloaded { retry_after_ms: 25 };
-        }
-        let now = clock.now();
-        let mut s = st.lock();
-        match req {
-            Request::CreateUser { user, password } => {
-                match s.create_user(&user, &password, &mut *rng.lock()) {
-                    Ok(id) => Response::Verified { user: id },
-                    Err(e) => Response::Error(e.to_string()),
-                }
-            }
-            Request::Login { user, password } => {
-                match s.login(&user, &password, now, &mut *rng.lock()) {
-                    Ok((id, token)) => Response::Session { user: id, token },
-                    Err(e) => Response::Error(e.to_string()),
-                }
-            }
-            Request::VerifyToken { token } => match s.verify_token(&token, now) {
-                Ok(user) => Response::Verified { user },
-                Err(e) => Response::Error(e.to_string()),
-            },
-            Request::RegisterCluster { info, apps } => {
-                // Journal first: `Ok` must mean the registration survives a
-                // crash. On a store failure the request is NACKed and the
-                // in-memory directory is left untouched.
-                if let Some(store) = &journal {
-                    if let Err(e) = store.commit(&DirRecord::Register {
-                        info: info.clone(),
-                        apps: apps.clone(),
-                        at: now,
-                    }) {
-                        return Response::Error(format!("registration not durable: {e}"));
-                    }
-                }
-                s.register_cluster(info, apps, now);
-                Response::Ok
-            }
-            Request::Heartbeat { cluster, status } => {
-                // Sweep explicitly (rather than inside `heartbeat`) so the
-                // evicted ids can be journaled.
-                let evicted = s.sweep_dead(now);
-                journal_evictions(&journal, &evicted);
-                if s.heartbeat(cluster, status, now) {
-                    Response::Ok
-                } else {
-                    Response::Error(format!("unknown cluster {cluster}"))
-                }
-            }
-            Request::ListServers { token, qos } => {
-                let evicted = s.sweep_dead(now);
-                journal_evictions(&journal, &evicted);
-                match s.match_servers(&token, &qos, now) {
-                    Ok(ids) => {
-                        let listings = ids
-                            .iter()
-                            .filter_map(|c| {
-                                s.directory.get(*c).map(|e| ServerListing {
-                                    info: e.info.clone(),
-                                    status: e.status,
-                                })
-                            })
-                            .collect();
-                        Response::Servers(listings)
-                    }
-                    Err(e) => Response::Error(e.to_string()),
-                }
-            }
-            Request::ListClusters { token } => match s.verify_token(&token, now) {
-                Ok(_) => Response::Clusters(s.directory.rows(now)),
-                Err(e) => Response::Error(e.to_string()),
-            },
-            other => Response::Error(format!("FS cannot handle {other:?}")),
-        }
-    })?;
+    let core = Arc::new(FsCore {
+        state: Arc::clone(&state),
+        rng,
+        journal: store.clone(),
+        clock,
+        bucket: Arc::clone(&query_bucket),
+        fed: federation.clone(),
+        m_throttled: reg.counter("fs_query_throttled_total", &[("shard", &shard_label)]),
+        g_dir_size: reg.gauge("fs_directory_size", &[("shard", &shard_label)]),
+    });
+    let service = serve_with(addr, "fs", opts.serve, move |req| core.handle(req))?;
+    if let Some(fed) = &federation {
+        // The bound address is only known now (port 0 picks one): fix the
+        // advertised self entry, then start gossiping.
+        fed.activate(service.addr);
+    }
 
     Ok(FsHandle {
         service,
@@ -333,6 +541,7 @@ pub fn spawn_fs_durable(
         store,
         recovery,
         query_bucket,
+        federation,
     })
 }
 
@@ -475,6 +684,8 @@ mod tests {
         assert!(rows
             .iter()
             .any(|r| r.info.cluster == ClusterId(1) && r.status.queue_len == 2));
+        // A single-process FS stamps no shard on its rows.
+        assert!(rows.iter().all(|r| r.shard.is_none() && r.ring_epoch == 0));
     }
 
     #[test]
@@ -525,6 +736,7 @@ mod tests {
             .expect("registration recovered");
         assert_eq!(e.info.name, "cs1");
         assert!(e.exported_apps.contains("namd"));
+        drop(s);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -603,5 +815,19 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(r, Response::Error(_)));
+    }
+
+    #[test]
+    fn gossip_frames_are_rejected_without_federation() {
+        let fs = spawn_fs("127.0.0.1:0", Clock::realtime(), 9).unwrap();
+        let r = call(
+            fs.service.addr,
+            &Request::FedQuery {
+                from: "stranger".into(),
+                query: FedQuery::Rows,
+            },
+        )
+        .unwrap();
+        assert!(matches!(r, Response::Error(_)), "got {r:?}");
     }
 }

@@ -173,6 +173,13 @@
 //! acknowledged award survives on the promoted backup; experiment E24
 //! (`exp_replication`) measures failover MTTR, replication lag under
 //! load, and sync-vs-async overhead against the PR-3 single-node WAL.
+//!
+//! # Federation
+//!
+//! [`federation`] shards the central server itself: N FS instances split
+//! the directory by consistent hashing over cluster ids, discover each
+//! other by gossip, and answer any client's query by scatter-gathering
+//! the other shards — the E26 scale-out path. See the module docs.
 
 #![warn(missing_docs)]
 
@@ -180,6 +187,7 @@ pub mod appspector_srv;
 pub mod client;
 pub mod fault;
 pub mod fd;
+pub mod federation;
 pub mod fs;
 pub mod overload;
 pub mod pool;
@@ -193,6 +201,7 @@ pub mod prelude {
     pub use crate::client::{ClientError, FaucetsClient, Submission, WaitBackoff};
     pub use crate::fault::{FaultConfig, FaultPlan, FaultStats, FrameFault, Outage};
     pub use crate::fd::{spawn_fd, spawn_fd_with, FdHandle, FdOptions};
+    pub use crate::federation::{Federation, FederationOptions, GossipView, Ring};
     pub use crate::fs::{spawn_fs, spawn_fs_durable, spawn_fs_with, FsHandle, FsOptions};
     pub use crate::overload::{
         BreakerConfig, BreakerSet, CircuitBreaker, GateConfig, GateVerdict, PayoffGate,

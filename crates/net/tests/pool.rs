@@ -275,5 +275,5 @@ fn sixteen_pooled_clients_stress_one_fs() {
         0,
         "a healthy service never poisons"
     );
-    fs.service.shutdown();
+    fs.shutdown();
 }

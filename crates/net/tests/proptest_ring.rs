@@ -1,0 +1,128 @@
+//! Consistent-hash ring laws (the federation's routing foundation):
+//!
+//! 1. **Exactly one live owner** — every cluster id maps to exactly one
+//!    member of any non-empty ring, and that member is drawn from the
+//!    ring's own membership list.
+//! 2. **Minimal disruption on join** — adding a shard moves keys *only
+//!    onto the new shard* (never between survivors), and moves roughly
+//!    1/N of them.
+//! 3. **Minimal disruption on leave** — removing a shard moves *only its
+//!    own keys*, and the orphans land spread over the survivors.
+//!
+//! These are what make a federated ring transition safe: a directory
+//! entry's owner changes only when its owner actually joined or died.
+
+use faucets_core::ids::ClusterId;
+use faucets_net::federation::Ring;
+use proptest::prelude::*;
+
+/// Membership sets of 1..=7 uniquely named shards (sorted + deduped, so
+/// duplicates drawn by the generator collapse instead of biasing).
+fn arb_members() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z]{1,8}", 1..8).prop_map(|names| {
+        let mut v: Vec<String> = names.into_iter().map(|n| format!("fs-{n}")).collect();
+        v.sort();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn every_key_has_exactly_one_live_owner(
+        members in arb_members(),
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let ring = Ring::build(members.clone(), 1);
+        for k in keys {
+            let owner = ring.owner(ClusterId(k)).expect("non-empty ring owns all keys");
+            prop_assert_eq!(
+                ring.members().iter().filter(|m| m.as_str() == owner).count(),
+                1,
+                "owner {} must appear exactly once in the membership", owner
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_keys_only_onto_it(
+        members in arb_members(),
+        newcomer in "[a-z]{1,8}",
+    ) {
+        let newcomer = format!("fs-new-{newcomer}");
+        prop_assume!(!members.contains(&newcomer));
+        let before = Ring::build(members.clone(), 1);
+        let after = Ring::build(
+            members.iter().cloned().chain([newcomer.clone()]),
+            2,
+        );
+        let samples = 4_000u64;
+        let mut moved = 0u64;
+        for k in 0..samples {
+            let was = before.owner(ClusterId(k)).unwrap();
+            let now = after.owner(ClusterId(k)).unwrap();
+            if was != now {
+                prop_assert_eq!(
+                    now, newcomer.as_str(),
+                    "key {} moved between surviving shards", k
+                );
+                moved += 1;
+            }
+        }
+        // The newcomer takes ~1/(N+1) of the keyspace; allow generous
+        // slack for vnode variance at small N.
+        let n = members.len() as f64 + 1.0;
+        let share = moved as f64 / samples as f64;
+        prop_assert!(
+            share < (1.0 / n) * 3.0 + 0.05,
+            "newcomer took {:.3} of keys, expected about {:.3}", share, 1.0 / n
+        );
+    }
+
+    #[test]
+    fn removing_a_shard_moves_only_its_own_keys(
+        members in arb_members(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        prop_assume!(members.len() >= 2);
+        let dead = members[pick.index(members.len())].clone();
+        let before = Ring::build(members.clone(), 1);
+        let after = Ring::build(
+            members.iter().filter(|m| **m != dead).cloned(),
+            2,
+        );
+        let samples = 4_000u64;
+        let mut orphans = 0u64;
+        for k in 0..samples {
+            let was = before.owner(ClusterId(k)).unwrap();
+            let now = after.owner(ClusterId(k)).unwrap();
+            if was == dead {
+                orphans += 1;
+                prop_assert_ne!(now, dead.as_str(), "dead shard still owns key {}", k);
+            } else {
+                prop_assert_eq!(was, now, "key {} moved off a surviving shard", k);
+            }
+        }
+        // The dead shard owned ~1/N of the keyspace.
+        let n = members.len() as f64;
+        let share = orphans as f64 / samples as f64;
+        prop_assert!(
+            share < (1.0 / n) * 3.0 + 0.05,
+            "dead shard owned {:.3} of keys, expected about {:.3}", share, 1.0 / n
+        );
+    }
+
+    #[test]
+    fn membership_order_never_changes_routing(
+        members in arb_members(),
+        keys in prop::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let a = Ring::build(members.clone(), 7);
+        let mut reversed = members;
+        reversed.reverse();
+        let b = Ring::build(reversed, 7);
+        for k in keys {
+            prop_assert_eq!(a.owner(ClusterId(k)), b.owner(ClusterId(k)));
+        }
+    }
+}
