@@ -90,7 +90,7 @@ fn main() {
         "Placed {} jobs across the live grid; waiting for completions...\n",
         placed.len()
     );
-    for c in &clients {
+    for c in clients.iter_mut() {
         for (owner, sub) in &placed {
             if *owner == c.user {
                 c.wait(sub.job, Duration::from_secs(60)).expect("completes");

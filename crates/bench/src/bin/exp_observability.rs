@@ -248,7 +248,7 @@ fn main() {
         }
     }
     let awarded_trace = clients[0].last_trace.expect("submit recorded its trace");
-    for c in &clients {
+    for c in clients.iter_mut() {
         for (owner, sub) in &placed {
             if *owner == c.user {
                 c.wait(sub.job, Duration::from_secs(60)).expect("completes");

@@ -36,8 +36,14 @@
 //!   (p50/p90/p99/p999 via the sim crate's P² battery), outcome counters,
 //!   time-sliced trend samples, and the machine-readable SLO report the
 //!   E25 experiment writes as `BENCH_load.json`.
+//! - [`nemesis`] — seeded, byte-for-byte reproducible fault schedules
+//!   (primary kills, replica bounces, sentinel partitions, clock skew)
+//!   fired against the live grid while the open-loop load runs, plus the
+//!   invariant checker (zero acked-award loss, one primary per epoch,
+//!   bounded MTTR) the E27 self-healing experiment gates on.
 
 pub mod grid;
+pub mod nemesis;
 pub mod recorder;
 pub mod report;
 pub mod runner;
@@ -46,6 +52,10 @@ pub mod schedule;
 /// One-stop imports for experiments and tests.
 pub mod prelude {
     pub use crate::grid::{run_against_grid, GridRunOptions, GridTarget};
+    pub use crate::nemesis::{
+        fire, FaultKind, InvariantChecker, InvariantReport, NemesisConfig, NemesisPlan,
+        ScheduledFault,
+    };
     pub use crate::recorder::Recorder;
     pub use crate::report::{ClassReport, LatencyReport, LoadReport, SliceReport};
     pub use crate::runner::{run_open_loop, FireOutcome};

@@ -234,7 +234,7 @@ fn main() {
         "watch" => {
             let fs = args.addr("fs");
             let aspect = args.addr("appspector");
-            let client =
+            let mut client =
                 FaucetsClient::login(fs, aspect, clock, &args.req("user"), &args.req("password"))
                     .unwrap_or_else(|e| {
                         eprintln!("login failed: {e}");

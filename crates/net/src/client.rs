@@ -182,6 +182,12 @@ pub struct FaucetsClient {
     /// talking to the FS the client rotates to the next one — sticky: the
     /// endpoint that answered stays primary until it fails in turn.
     pub fs_fallbacks: Vec<SocketAddr>,
+    /// Alternative AppSpector endpoints. Same sticky rotation as
+    /// [`FaucetsClient::fs_fallbacks`]: a monitoring call that fails at
+    /// the transport layer rotates to the next endpoint, so a watch/wait
+    /// loop survives an AppSpector restart or shard failover without the
+    /// caller noticing anything but latency.
+    pub appspector_fallbacks: Vec<SocketAddr>,
     /// Stored at login so the client can re-authenticate by itself when
     /// its session dies with the shard that minted it.
     credentials: Option<(String, String)>,
@@ -226,6 +232,7 @@ pub struct FaucetsClient {
     m_resolicits: Counter,
     m_overloaded: Counter,
     m_failovers: Counter,
+    m_as_failovers: Counter,
 }
 
 impl FaucetsClient {
@@ -282,6 +289,7 @@ impl FaucetsClient {
                     appspector,
                     clock,
                     fs_fallbacks: vec![],
+                    appspector_fallbacks: vec![],
                     credentials: Some((name.into(), password.into())),
                     token,
                     user,
@@ -303,6 +311,7 @@ impl FaucetsClient {
                     m_resolicits: reg.counter("client_resolicitations_total", &[]),
                     m_overloaded: reg.counter("client_bids_overloaded_total", &[]),
                     m_failovers: reg.counter("client_fs_failovers_total", &[]),
+                    m_as_failovers: reg.counter("client_as_failovers_total", &[]),
                 })
             }
             Ok(Response::Error(e)) => Err(ClientError::Rejected(e)),
@@ -347,6 +356,27 @@ impl FaucetsClient {
             }
         }
         Err(last.unwrap_or_else(|| ClientError::Transport("no FS endpoint".into())))
+    }
+
+    /// Call AppSpector, rotating through
+    /// [`FaucetsClient::appspector_fallbacks`] on transport failure —
+    /// the same sticky rotation as [`FaucetsClient::fs_call`].
+    fn as_call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let endpoints = 1 + self.appspector_fallbacks.len();
+        let mut last: Option<ClientError> = None;
+        for _ in 0..endpoints {
+            match self.call(self.appspector, req) {
+                Err(ClientError::Transport(e)) if !self.appspector_fallbacks.is_empty() => {
+                    let next = self.appspector_fallbacks.remove(0);
+                    self.appspector_fallbacks.push(self.appspector);
+                    self.appspector = next;
+                    self.m_as_failovers.inc();
+                    last = Some(ClientError::Transport(e));
+                }
+                other => return other,
+            }
+        }
+        Err(last.unwrap_or_else(|| ClientError::Transport("no AppSpector endpoint".into())))
     }
 
     /// Re-authenticate after the session died (typically with the shard
@@ -623,14 +653,11 @@ impl FaucetsClient {
     }
 
     /// Fetch the current monitoring snapshot for a job.
-    pub fn watch(&self, job: JobId) -> Result<MonitorSnapshot, ClientError> {
-        match self.call(
-            self.appspector,
-            &Request::Watch {
-                token: self.token.clone(),
-                job,
-            },
-        )? {
+    pub fn watch(&mut self, job: JobId) -> Result<MonitorSnapshot, ClientError> {
+        match self.as_call(&Request::Watch {
+            token: self.token.clone(),
+            job,
+        })? {
             Response::Snapshot(s) => Ok(s),
             Response::Error(e) => Err(ClientError::Rejected(e)),
             other => Err(ClientError::Protocol(format!("watch: {other:?}"))),
@@ -642,7 +669,7 @@ impl FaucetsClient {
     /// deadline — a daemon restart mid-wait looks like a long poll, not an
     /// error. Polls pace out under [`FaucetsClient::wait_backoff`]
     /// (exponential, capped), never sleeping past the deadline itself.
-    pub fn wait(&self, job: JobId, timeout: Duration) -> Result<MonitorSnapshot, ClientError> {
+    pub fn wait(&mut self, job: JobId, timeout: Duration) -> Result<MonitorSnapshot, ClientError> {
         let deadline = Instant::now() + timeout;
         let mut pause = self.wait_backoff.next(Duration::ZERO);
         loop {
@@ -662,13 +689,10 @@ impl FaucetsClient {
 
     /// Fetch the AppSpector grid dashboard: every registered cluster's load
     /// plus per-service metrics snapshots.
-    pub fn grid_view(&self) -> Result<faucets_core::appspector::GridView, ClientError> {
-        match self.call(
-            self.appspector,
-            &Request::GridView {
-                token: self.token.clone(),
-            },
-        )? {
+    pub fn grid_view(&mut self) -> Result<faucets_core::appspector::GridView, ClientError> {
+        match self.as_call(&Request::GridView {
+            token: self.token.clone(),
+        })? {
             Response::Grid(g) => Ok(*g),
             Response::Error(e) => Err(ClientError::Rejected(e)),
             other => Err(ClientError::Protocol(format!("grid view: {other:?}"))),
@@ -676,15 +700,12 @@ impl FaucetsClient {
     }
 
     /// Download one output file of a completed job.
-    pub fn download(&self, job: JobId, name: &str) -> Result<Vec<u8>, ClientError> {
-        match self.call(
-            self.appspector,
-            &Request::Download {
-                token: self.token.clone(),
-                job,
-                name: name.into(),
-            },
-        )? {
+    pub fn download(&mut self, job: JobId, name: &str) -> Result<Vec<u8>, ClientError> {
+        match self.as_call(&Request::Download {
+            token: self.token.clone(),
+            job,
+            name: name.into(),
+        })? {
             Response::File { data, .. } => Ok(data),
             Response::Error(e) => Err(ClientError::Rejected(e)),
             other => Err(ClientError::Protocol(format!("download: {other:?}"))),

@@ -167,6 +167,11 @@ pub struct FdOptions {
     /// re-registers there, so a daemon survives the death of the shard it
     /// was pointed at. Overload answers never rotate (busy is not dead).
     pub fs_fallbacks: Vec<SocketAddr>,
+    /// TTL stamped into the on-disk lease this FD renews every time it
+    /// answers a sentinel's [`Request::LeaseProbe`] (the lease is the
+    /// primary claim automatic failover revolves around; see
+    /// [`crate::sentinel`]). Only meaningful with replication configured.
+    pub lease_ttl: Duration,
 }
 
 impl Default for FdOptions {
@@ -188,6 +193,7 @@ impl Default for FdOptions {
             bid_gate: GateConfig::default(),
             bid_probe_floor: Duration::ZERO,
             fs_fallbacks: vec![],
+            lease_ttl: Duration::from_millis(500),
         }
     }
 }
@@ -399,6 +405,30 @@ pub fn spawn_fd_with(
         restored
     };
 
+    // With a replicated journal, (re)assert the on-disk lease before
+    // taking traffic: a restarted or promoted primary immediately holds a
+    // fresh claim. Renewal clamps against any stamp already on disk, so a
+    // backwards wall clock never writes an older claim.
+    let repl_service = format!("fd-{cluster_id}");
+    let lease_holder = format!("{repl_service}@{}", std::process::id());
+    let lease_ttl_ms = opts.lease_ttl.as_millis() as u64;
+    if let (Some(dir), Some(journal)) = (&opts.store, &store) {
+        if let Some(repl) = journal.replicated() {
+            let mut lease =
+                faucets_store::read_lease(dir).unwrap_or_else(|| faucets_store::Lease {
+                    holder: lease_holder.clone(),
+                    epoch: repl.epoch(),
+                    renewed_unix_ms: 0,
+                    ttl_ms: lease_ttl_ms,
+                });
+            lease.holder = lease_holder.clone();
+            lease.epoch = repl.epoch();
+            lease.ttl_ms = lease_ttl_ms;
+            lease.renew(crate::sentinel::unix_ms());
+            let _ = faucets_store::write_lease(dir, &lease);
+        }
+    }
+
     // The FS endpoint set (primary + federated fallbacks) and the shared
     // rotation index: handlers verify tokens at whichever endpoint the
     // pump currently trusts.
@@ -420,6 +450,10 @@ pub fn spawn_fd_with(
     let gate = PayoffGate::new(opts.bid_gate, &cluster_name, reg);
     let bid_gate = Arc::clone(&gate);
     let bid_probe_floor = opts.bid_probe_floor;
+    let lease_dir = opts.store.clone();
+    let lease_service = repl_service.clone();
+    let lease_holder_h = lease_holder.clone();
+    let lease_ttl_h = lease_ttl_ms;
     let service = serve_with(addr, "fd", opts.serve.clone(), move |req| {
         match req {
             Request::RequestBid { token, request } => {
@@ -552,6 +586,47 @@ pub fn spawn_fd_with(
                 }
                 Response::Ok
             }
+            // Sentinel liveness probe: answering IS the lease renewal —
+            // the on-disk claim is re-stamped (clock-clamped) before the
+            // reply, so "the primary answered" and "the lease is fresh"
+            // are the same fact.
+            Request::LeaseProbe { service } => match (&journal, &lease_dir) {
+                (Some(j), Some(dir)) if service == lease_service => match j.replicated() {
+                    Some(repl) => {
+                        let mut lease = faucets_store::read_lease(dir).unwrap_or_else(|| {
+                            faucets_store::Lease {
+                                holder: lease_holder_h.clone(),
+                                epoch: repl.epoch(),
+                                renewed_unix_ms: 0,
+                                ttl_ms: lease_ttl_h,
+                            }
+                        });
+                        lease.holder = lease_holder_h.clone();
+                        lease.epoch = repl.epoch();
+                        lease.ttl_ms = lease_ttl_h;
+                        lease.renew(crate::sentinel::unix_ms());
+                        let _ = faucets_store::write_lease(dir, &lease);
+                        Response::Lease {
+                            position: repl.position(),
+                            fenced: repl.is_fenced(),
+                        }
+                    }
+                    None => Response::Error("journal is not replicated".into()),
+                },
+                _ => Response::Error(format!("no lease held for service {service:?}")),
+            },
+            // A sentinel promoted a replica: stop acknowledging NOW, not
+            // at the next shipping round.
+            Request::Fence { service, epoch } => match &journal {
+                Some(j) if service == lease_service => match j.replicated() {
+                    Some(repl) => {
+                        repl.fence(epoch);
+                        Response::Ok
+                    }
+                    None => Response::Error("journal is not replicated".into()),
+                },
+                _ => Response::Error(format!("unknown replicated service {service:?}")),
+            },
             other => Response::Error(format!("FD cannot handle {other:?}")),
         }
     })?;

@@ -158,7 +158,18 @@
 //!   [`faucets_store::prepare_promotion`], and open the released follower
 //!   directory as the new primary's journal. A deposed primary is
 //!   *fenced*: the first follower that has seen the higher epoch rejects
-//!   its frames, and every later commit fails with `Fenced`.
+//!   its frames, and every later commit fails with `Fenced`. The
+//!   [`sentinel`] module automates the whole procedure: a lease persisted
+//!   in the primary's journal directory is renewed by answering
+//!   [`proto::Request::LeaseProbe`]; missed renewals past the TTL trigger
+//!   a quorum-gated election, a wire-level [`proto::Request::Fence`] of
+//!   the deposed primary, and promotion of the released follower —
+//!   no operator in the loop (experiment E27, `exp_selfheal`).
+//! * **Membership** — the replica set itself changes under joint
+//!   consensus: [`faucets_store::ReplicatedStore::begin_reconfigure`]
+//!   enters a joint configuration where sync commits need a quorum in
+//!   *both* the old and new cohorts, and `finish_reconfigure` retires the
+//!   old cohort only once the incoming replicas have caught up.
 //! * **Catch-up** — a follower that is empty, behind a compaction, or has
 //!   a sequence gap answers `NeedSnapshot`; the primary installs its
 //!   snapshot basis plus the live frame tail ([`proto::Request::ReplSnapshot`]),
@@ -193,6 +204,7 @@ pub mod overload;
 pub mod pool;
 pub mod proto;
 pub mod replica;
+pub mod sentinel;
 pub mod service;
 
 /// Convenient glob import.
@@ -212,6 +224,7 @@ pub mod prelude {
     pub use crate::replica::{
         spawn_replica, Journal, RemoteLink, ReplicaHandle, ReplicaOptions, ReplicationConfig,
     };
+    pub use crate::sentinel::{spawn_sentinel, FailoverEvent, Sentinel, SentinelOptions};
     pub use crate::service::{
         call, call_many, call_with, serve, serve_with, CallOptions, Clock, RetryPolicy,
         ServeOptions, ServiceHandle, Timeouts,

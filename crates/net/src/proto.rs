@@ -174,6 +174,33 @@ pub enum Request {
         /// Name of the replicated service.
         service: String,
     },
+    /// Sentinel → replica daemon: detach a hosted follower so its journal
+    /// directory can be promoted to primary. Answered with
+    /// [`Response::Released`] carrying the directory path.
+    ReplRelease {
+        /// Name of the replicated service.
+        service: String,
+    },
+
+    // ---- Self-healing (sentinel) ----
+    /// Sentinel → primary: prove you are alive and still primary. The
+    /// primary renews its on-disk lease while answering, so a successful
+    /// probe IS a lease renewal; the reply ([`Response::Lease`]) carries
+    /// the primary's position and fencing state.
+    LeaseProbe {
+        /// Name of the replicated service the lease guards.
+        service: String,
+    },
+    /// Sentinel → deposed primary: a replica has been promoted at `epoch`;
+    /// stop acknowledging immediately (the wire-level half of epoch
+    /// fencing — the deposed node otherwise learns only when it next ships
+    /// a frame).
+    Fence {
+        /// Name of the replicated service.
+        service: String,
+        /// The promoted node's (higher) epoch.
+        epoch: u64,
+    },
 
     // ---- Federation (FS shard ↔ FS shard) ----
     /// One shard pushes its gossip view to a peer; the peer merges it and
@@ -233,6 +260,9 @@ impl Request {
             Request::ReplAppend { .. } => "ReplAppend",
             Request::ReplSnapshot { .. } => "ReplSnapshot",
             Request::ReplStatus { .. } => "ReplStatus",
+            Request::ReplRelease { .. } => "ReplRelease",
+            Request::LeaseProbe { .. } => "LeaseProbe",
+            Request::Fence { .. } => "Fence",
             Request::Gossip { .. } => "Gossip",
             Request::FedQuery { query, .. } => match query {
                 FedQuery::Match { .. } => "FedMatch",
@@ -317,6 +347,22 @@ pub enum Response {
     /// A follower's answer to any replication request: its durable
     /// position, a fencing rejection, or a demand for a snapshot.
     Repl(ReplReply),
+    /// A primary's answer to [`Request::LeaseProbe`]: where it is and
+    /// whether it has been fenced (a fenced primary answers honestly so
+    /// the sentinel can confirm a deposition took hold).
+    Lease {
+        /// The primary's `(epoch, generation, acked)` position.
+        position: faucets_store::ReplPosition,
+        /// Has this node observed a higher epoch (been deposed)?
+        fenced: bool,
+    },
+    /// A replica daemon's answer to [`Request::ReplRelease`]: the journal
+    /// directory of the detached follower, ready for
+    /// `prepare_promotion` + reopening as primary.
+    Released {
+        /// Filesystem path of the released journal directory.
+        dir: String,
+    },
     /// A federated shard's own gossip view, answering [`Request::Gossip`].
     Gossip(crate::federation::GossipView),
     /// The service is at its admission bound and shed this request before

@@ -12,7 +12,9 @@
 //!   [`Request::ReplStatus`] by persisting frames into per-service
 //!   [`FollowerStore`]s. A follower's on-disk directory is byte-compatible
 //!   with the primary's, so promotion is nothing more exotic than opening
-//!   the directory with the normal recovery path.
+//!   the directory with the normal recovery path. It also answers
+//!   [`Request::ReplRelease`] — the sentinel's remote promotion hand-off,
+//!   equivalent to [`ReplicaHandle::release`] over the wire.
 //! * [`RemoteLink`] is a [`ReplicaLink`] speaking the same protocol from
 //!   the primary side, through [`call_with`] — so replication traffic
 //!   rides the existing retry, deadline, breaker, and pool stack, and is
@@ -141,6 +143,7 @@ pub fn spawn_replica(
     }
     let stores = Arc::new(Mutex::new(map));
     let st = Arc::clone(&stores);
+    let release_dirs = dirs.clone();
     let service = serve_with(addr, "replica", opts.serve, move |req| {
         let lookup = |service: &str| st.lock().get(service).cloned();
         match req {
@@ -156,6 +159,17 @@ pub fn spawn_replica(
                 Some(store) => Response::Repl(ReplReply::Ok(store.position())),
                 None => Response::Error(format!("unknown replicated service {service:?}")),
             },
+            // The sentinel's promotion hand-off: detach the follower so a
+            // fenced ex-primary cannot keep feeding it, and hand back the
+            // journal directory for prepare_promotion + reopening.
+            Request::ReplRelease { service } => {
+                match (st.lock().remove(&service), release_dirs.get(&service)) {
+                    (Some(_), Some(dir)) => Response::Released {
+                        dir: dir.display().to_string(),
+                    },
+                    _ => Response::Error(format!("unknown replicated service {service:?}")),
+                }
+            }
             other => Response::Error(format!(
                 "replica daemon does not serve {}",
                 other.endpoint()

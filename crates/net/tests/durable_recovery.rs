@@ -144,7 +144,7 @@ fn award_survives_fs_and_fd_restart() {
 
     // Sessions are in-memory by design: the old token died with the FS.
     // The client logs in afresh and watches the SAME job id complete.
-    let client2 =
+    let mut client2 =
         FaucetsClient::register(fs_addr, aspect.service.addr, clock.clone(), "erin", "pw")
             .expect("re-login after FS restart");
     let snap = client2

@@ -133,9 +133,18 @@ fn daemon_death_during_wait_recovers_from_snapshot() {
         "acceptance journaled before the crash"
     );
 
-    // Restart the daemon after a short outage, while the client waits.
-    // (This sleep models the outage's *duration* — it is load-bearing
-    // scenario time, not a synchronization wait, so it cannot flake.)
+    // Restart the daemon while the client waits — but only once the
+    // client has demonstrably started polling AppSpector *during* the
+    // outage (its Watch counter moves past the pre-kill baseline). A
+    // fixed outage sleep either wastes time on a fast box or, worse,
+    // restarts before the client's first poll on a slow one, in which
+    // case the test never actually exercises "a wait spanning the
+    // outage". The poll is deadline-capped; if the client somehow never
+    // polls, we restart anyway and the completion assertion still holds.
+    let watches_before = faucets_telemetry::global().snapshot().counter_sum(
+        "net_requests_total",
+        &[("service", "appspector"), ("endpoint", "Watch")],
+    );
     let (fs_addr, as_addr, clk, path) = (
         fs.service.addr,
         aspect.service.addr,
@@ -143,7 +152,15 @@ fn daemon_death_during_wait_recovers_from_snapshot() {
         snap.clone(),
     );
     let restart = std::thread::spawn(move || {
-        std::thread::sleep(Duration::from_millis(300));
+        let gate = std::time::Instant::now() + Duration::from_secs(10);
+        while std::time::Instant::now() < gate
+            && faucets_telemetry::global().snapshot().counter_sum(
+                "net_requests_total",
+                &[("service", "appspector"), ("endpoint", "Watch")],
+            ) <= watches_before
+        {
+            std::thread::sleep(Duration::from_millis(3));
+        }
         let fd2 = spawn_daemon(Some(path), fs_addr, as_addr, clk);
         (fd2.active_contracts(), fd2)
     });

@@ -40,6 +40,23 @@
 //! [`pick_primary`] orders candidates by `(epoch, generation, acked)` —
 //! the highest wins, ties break to the lowest index — so every surviving
 //! node that sees the same candidate set elects the same new primary.
+//!
+//! # Leases and membership changes
+//!
+//! Automatic failover (the `faucets-net` sentinel) rests on two further
+//! primitives here. A [`Lease`] is the primary's liveness claim, persisted
+//! in the journal directory beside the epoch file and renewed every time
+//! the primary answers a probe; renewals clamp a backwards wall clock the
+//! way `overload::TokenBucket` clamps time, so a stepped clock can delay
+//! expiry but never fire it spuriously. [`ReplicatedStore::fence`] is the
+//! out-of-band half of deposition: a sentinel that has promoted a replica
+//! tells the old primary its new epoch directly, so it stops acknowledging
+//! before it ever ships another frame. Replica-set changes go through
+//! [`ReplicatedStore::begin_reconfigure`] /
+//! [`ReplicatedStore::finish_reconfigure`]: while the change is in flight
+//! every sync commit needs its ack quorum in **both** the outgoing and the
+//! incoming configurations (joint consensus), so no window exists where
+//! two disjoint quorums could each acknowledge.
 
 use crate::durable::{
     list_generations, snap_path, sweep, wal_path, write_snapshot_bytes, Durable, DurableStore,
@@ -191,6 +208,68 @@ pub fn prepare_promotion(dir: &Path, service: &str, new_epoch: u64) -> Result<()
     Ok(())
 }
 
+fn lease_path(dir: &Path) -> PathBuf {
+    dir.join("lease")
+}
+
+/// A lease-based primary claim, persisted in the journal directory beside
+/// the epoch file. The holder renews it whenever it proves liveness over
+/// the RPC stack (answering a sentinel's lease probe); a sentinel that
+/// observes no renewal for a TTL starts an election. All time handling
+/// clamps a backwards wall clock — the stamp only moves forward — so a
+/// stepped clock can expire the lease *late*, never spuriously early.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lease {
+    /// Who claims the primary role (e.g. the FD's listen address).
+    pub holder: String,
+    /// The epoch the claim is made under.
+    pub epoch: u64,
+    /// Wall-clock milliseconds of the last renewal (monotonised).
+    pub renewed_unix_ms: u64,
+    /// How long past `renewed_unix_ms` the claim stays valid.
+    pub ttl_ms: u64,
+}
+
+impl Lease {
+    /// Renew at `now_unix_ms`. A clock that stepped backwards is clamped
+    /// (like `overload::TokenBucket`): the renewal stamp never decreases.
+    pub fn renew(&mut self, now_unix_ms: u64) {
+        self.renewed_unix_ms = self.renewed_unix_ms.max(now_unix_ms);
+    }
+
+    /// Has the claim lapsed as of `now_unix_ms`? Expiry fires only on
+    /// forward progress past the TTL; a backwards clock reads as "still
+    /// held".
+    pub fn expired_at(&self, now_unix_ms: u64) -> bool {
+        now_unix_ms > self.renewed_unix_ms.saturating_add(self.ttl_ms)
+    }
+}
+
+/// Read the lease persisted in `dir`; absent or unparsable reads as no
+/// claim.
+pub fn read_lease(dir: &Path) -> Option<Lease> {
+    let bytes = fs::read(lease_path(dir)).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+/// Persist `lease` crash-safely (temp file, fsync, rename — the same
+/// discipline as [`write_epoch`]).
+pub fn write_lease(dir: &Path, lease: &Lease) -> Result<(), StoreError> {
+    fs::create_dir_all(dir)?;
+    let bytes = serde_json::to_vec(lease)
+        .map_err(|e| StoreError::Corrupt(format!("lease serialize: {e}")))?;
+    let tmp = dir.join("lease.tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, lease_path(dir))?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
 /// Deterministic leader election over advertised positions: highest
 /// `(epoch, generation, acked)` wins, ties break to the lowest index.
 pub fn pick_primary(positions: &[ReplPosition]) -> Option<usize> {
@@ -213,6 +292,7 @@ struct ReplMetrics {
     snapshot_transfers: faucets_telemetry::Counter,
     ship_errors: faucets_telemetry::Counter,
     fenced: faucets_telemetry::Counter,
+    reconfigures: faucets_telemetry::Counter,
 }
 
 impl ReplMetrics {
@@ -226,6 +306,7 @@ impl ReplMetrics {
             snapshot_transfers: reg.counter("repl_snapshot_transfers_total", labels),
             ship_errors: reg.counter("repl_ship_errors_total", labels),
             fenced: reg.counter("repl_fenced_total", labels),
+            reconfigures: reg.counter("repl_reconfigures_total", labels),
         }
     }
 }
@@ -469,8 +550,28 @@ impl fmt::Debug for ReplOptions {
     }
 }
 
-/// Per-link shipping state.
+/// Which configuration(s) a link belongs to while a membership change is
+/// in flight ([`ReplicatedStore::begin_reconfigure`]). Outside a change,
+/// every link is [`Cohort::Both`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Cohort {
+    /// Only in the outgoing configuration — dropped when the change
+    /// completes.
+    Old,
+    /// Only in the incoming configuration.
+    New,
+    /// In both configurations (the steady state).
+    Both,
+}
+
+/// Per-link shipping state. The link handle itself lives here so a
+/// membership change is a plain mutation of the guarded state; `id` is a
+/// stable identity that survives reconfigurations shifting indices while
+/// a shipping round is mid-I/O.
 struct LinkState {
+    id: u64,
+    link: Arc<dyn ReplicaLink>,
+    cohort: Cohort,
     /// Last position the follower reported, `None` before the first probe.
     pos: Option<ReplPosition>,
     /// The follower asked for a snapshot (or an offer revealed a gap).
@@ -485,15 +586,35 @@ struct ReplState {
     /// the catch-up buffer and the compaction counter.
     frames: Vec<ReplFrame>,
     links: Vec<LinkState>,
+    /// A joint configuration is active: sync commits need their ack
+    /// quorum in BOTH the old and new link cohorts.
+    joint: bool,
+    /// Next [`LinkState::id`] to hand out.
+    next_link_id: u64,
+}
+
+impl ReplState {
+    fn push_link(&mut self, link: Arc<dyn ReplicaLink>, cohort: Cohort) {
+        let id = self.next_link_id;
+        self.next_link_id += 1;
+        self.links.push(LinkState {
+            id,
+            link,
+            cohort,
+            pos: None,
+            need_snapshot: false,
+        });
+    }
 }
 
 /// What one shipping step decided to do, planned under the lock and
-/// executed (network I/O) outside it.
+/// executed (network I/O) outside it. Carries the link handle so the
+/// guarded link list can change while the I/O is in flight.
 enum Plan {
     CaughtUp,
-    Probe,
-    Offer(Vec<ReplFrame>),
-    Install(SnapshotBlob),
+    Probe(Arc<dyn ReplicaLink>),
+    Offer(Arc<dyn ReplicaLink>, Vec<ReplFrame>),
+    Install(Arc<dyn ReplicaLink>, SnapshotBlob),
 }
 
 /// The primary side of replication: a [`DurableStore`] whose committed
@@ -502,7 +623,6 @@ enum Plan {
 pub struct ReplicatedStore<T: Durable> {
     inner: DurableStore<T>,
     mode: ReplicationMode,
-    links: Vec<Arc<dyn ReplicaLink>>,
     sync_acks: usize,
     compact_every: u64,
     epoch: u64,
@@ -521,7 +641,7 @@ impl<T: Durable> fmt::Debug for ReplicatedStore<T> {
             .field("dir", &self.inner.dir())
             .field("mode", &self.mode)
             .field("epoch", &self.epoch)
-            .field("links", &self.links.len())
+            .field("links", &self.repl.lock().expect("repl lock").links.len())
             .finish()
     }
 }
@@ -573,36 +693,34 @@ impl<T: Durable + Send + 'static> ReplicatedStore<T> {
             })
             .collect();
 
-        let links_state = opts
-            .links
-            .iter()
-            .map(|_| LinkState {
-                pos: None,
-                need_snapshot: false,
-            })
-            .collect();
+        let has_links = !opts.links.is_empty();
+        let mut state = ReplState {
+            generation,
+            frames,
+            links: Vec::new(),
+            joint: false,
+            next_link_id: 0,
+        };
+        for link in opts.links {
+            state.push_link(link, Cohort::Both);
+        }
 
         let store = Arc::new(ReplicatedStore {
             inner,
             mode: opts.mode,
-            links: opts.links,
             sync_acks: opts.sync_acks,
             compact_every,
             epoch,
             fenced_flag: AtomicBool::new(false),
             observed_epoch: AtomicU64::new(epoch),
             stop: AtomicBool::new(false),
-            repl: Mutex::new(ReplState {
-                generation,
-                frames,
-                links: links_state,
-            }),
+            repl: Mutex::new(state),
             wake: Condvar::new(),
             metrics,
             shipper: Mutex::new(None),
         });
 
-        if store.mode == ReplicationMode::Async && !store.links.is_empty() {
+        if store.mode == ReplicationMode::Async && has_links {
             let weak = Arc::downgrade(&store);
             let handle = std::thread::Builder::new()
                 .name("repl-shipper".into())
@@ -660,21 +778,7 @@ impl<T: Durable + Send + 'static> ReplicatedStore<T> {
                     return Err(self.fenced_error());
                 }
                 let st = self.repl.lock().expect("repl lock");
-                let got = st
-                    .links
-                    .iter()
-                    .filter(|l| {
-                        l.pos
-                            .as_ref()
-                            .is_some_and(|p| covers(p, target_gen, target_count))
-                    })
-                    .count();
-                let want = if self.sync_acks == 0 {
-                    self.links.len()
-                } else {
-                    self.sync_acks.min(self.links.len())
-                };
-                if got < want {
+                if let Some((want, got)) = self.sync_shortfall(&st, target_gen, target_count) {
                     return Err(StoreError::Unreplicated { want, got });
                 }
                 Ok(target_count - 1)
@@ -695,6 +799,150 @@ impl<T: Durable + Send + 'static> ReplicatedStore<T> {
     /// Has a follower reported a higher epoch (this node was deposed)?
     pub fn is_fenced(&self) -> bool {
         self.fenced_flag.load(Ordering::Acquire)
+    }
+
+    /// Fence this primary on out-of-band evidence of a higher epoch — the
+    /// other half of deposition: a sentinel that has promoted a replica
+    /// tells the deposed primary its new epoch directly, so it stops
+    /// acknowledging even before its next shipping round would discover
+    /// the fencing reply. Idempotent; epochs at or below our own are
+    /// ignored. Returns whether the call newly fenced the store.
+    pub fn fence(&self, observed_epoch: u64) -> bool {
+        if observed_epoch <= self.epoch {
+            return false;
+        }
+        self.observed_epoch
+            .fetch_max(observed_epoch, Ordering::AcqRel);
+        let newly = !self.fenced_flag.swap(true, Ordering::AcqRel);
+        if newly {
+            self.metrics.fenced.inc();
+        }
+        newly
+    }
+
+    /// Begin a joint-configuration membership change: add the `add` links
+    /// and mark the links at the current indices in `remove` for removal.
+    /// Until [`ReplicatedStore::finish_reconfigure`] completes, every sync
+    /// commit must reach its ack quorum in BOTH the outgoing configuration
+    /// (all current links) and the incoming one (current minus `remove`
+    /// plus `add`) — the overlap rule that makes a >2-replica membership
+    /// change safe: no window exists where two disjoint quorums could each
+    /// acknowledge a commit.
+    pub fn begin_reconfigure(
+        &self,
+        add: Vec<Arc<dyn ReplicaLink>>,
+        remove: &[usize],
+    ) -> Result<(), StoreError> {
+        let mut st = self.repl.lock().expect("repl lock");
+        if st.joint {
+            return Err(StoreError::Corrupt(
+                "a membership change is already in flight".into(),
+            ));
+        }
+        for (i, l) in st.links.iter_mut().enumerate() {
+            l.cohort = if remove.contains(&i) {
+                Cohort::Old
+            } else {
+                Cohort::Both
+            };
+        }
+        for link in add {
+            st.push_link(link, Cohort::New);
+        }
+        st.joint = true;
+        drop(st);
+        self.wake.notify_all();
+        Ok(())
+    }
+
+    /// Complete a membership change: drive shipping until every link of
+    /// the incoming configuration covers the current committed position
+    /// (or `timeout` elapses), then drop the outgoing-only links and leave
+    /// joint mode. On timeout the joint configuration stays in force — the
+    /// safe state — and the caller may retry.
+    pub fn finish_reconfigure(&self, timeout: Duration) -> Result<(), StoreError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.wake.notify_all();
+            self.ship_round();
+            {
+                let mut st = self.repl.lock().expect("repl lock");
+                if !st.joint {
+                    return Err(StoreError::Corrupt("no membership change in flight".into()));
+                }
+                let (generation, count) = (st.generation, st.frames.len() as u64);
+                let caught_up = st
+                    .links
+                    .iter()
+                    .filter(|l| matches!(l.cohort, Cohort::New | Cohort::Both))
+                    .all(|l| l.pos.as_ref().is_some_and(|p| covers(p, generation, count)));
+                if caught_up {
+                    st.links.retain(|l| l.cohort != Cohort::Old);
+                    for l in st.links.iter_mut() {
+                        l.cohort = Cohort::Both;
+                    }
+                    st.joint = false;
+                    self.update_lag(&st);
+                    self.metrics.reconfigures.inc();
+                    return Ok(());
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(StoreError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "incoming configuration not caught up before the deadline",
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Is a joint-configuration membership change in flight?
+    pub fn is_joint(&self) -> bool {
+        self.repl.lock().expect("repl lock").joint
+    }
+
+    /// Number of follower links currently configured (during a joint
+    /// configuration this counts both cohorts).
+    pub fn link_count(&self) -> usize {
+        self.repl.lock().expect("repl lock").links.len()
+    }
+
+    /// Sync-mode ack check at (`generation`, `count`): in steady state one
+    /// quorum over all links; in a joint configuration a quorum in BOTH
+    /// the old and new cohorts. Returns the worst `(want, got)` shortfall,
+    /// or `None` when satisfied.
+    fn sync_shortfall(
+        &self,
+        st: &ReplState,
+        generation: u64,
+        count: u64,
+    ) -> Option<(usize, usize)> {
+        let cohort_sets: &[&[Cohort]] = if st.joint {
+            &[&[Cohort::Old, Cohort::Both], &[Cohort::New, Cohort::Both]]
+        } else {
+            &[&[Cohort::Old, Cohort::New, Cohort::Both]]
+        };
+        let mut worst: Option<(usize, usize)> = None;
+        for set in cohort_sets {
+            let mut members = 0usize;
+            let mut got = 0usize;
+            for l in st.links.iter().filter(|l| set.contains(&l.cohort)) {
+                members += 1;
+                if l.pos.as_ref().is_some_and(|p| covers(p, generation, count)) {
+                    got += 1;
+                }
+            }
+            let want = if self.sync_acks == 0 {
+                members
+            } else {
+                self.sync_acks.min(members)
+            };
+            if got < want && worst.is_none_or(|(w, g)| want - got > w - g) {
+                worst = Some((want, got));
+            }
+        }
+        worst
     }
 
     /// The primary's own `(epoch, generation, committed)` position.
@@ -775,10 +1023,16 @@ impl<T: Durable + Send + 'static> ReplicatedStore<T> {
     }
 
     /// Advance every link as far as it will go; transport errors are
-    /// counted and left for the next round.
+    /// counted and left for the next round. Links are addressed by their
+    /// stable id, so a membership change mid-round cannot misattribute a
+    /// reply to the wrong follower.
     fn ship_round(&self) {
-        for idx in 0..self.links.len() {
-            if let Err(e) = self.advance_link(idx) {
+        let ids: Vec<u64> = {
+            let st = self.repl.lock().expect("repl lock");
+            st.links.iter().map(|l| l.id).collect()
+        };
+        for id in ids {
+            if let Err(e) = self.advance_link(id) {
                 if matches!(e, StoreError::Fenced { .. }) {
                     return;
                 }
@@ -791,35 +1045,44 @@ impl<T: Durable + Send + 'static> ReplicatedStore<T> {
     /// install a snapshot if it is behind a compaction, otherwise offer
     /// the frames it is missing. Plans under the lock, talks to the
     /// network outside it.
-    fn advance_link(&self, idx: usize) -> Result<(), StoreError> {
+    fn advance_link(&self, id: u64) -> Result<(), StoreError> {
         loop {
             let plan = {
                 let st = self.repl.lock().expect("repl lock");
-                let link = &st.links[idx];
+                // Removed by a concurrent reconfigure: nothing to drive.
+                let Some(link) = st.links.iter().find(|l| l.id == id) else {
+                    return Ok(());
+                };
+                let handle = Arc::clone(&link.link);
                 match &link.pos {
-                    None => Plan::Probe,
-                    Some(_) if link.need_snapshot => Plan::Install(self.snapshot_blob(&st)?),
+                    None => Plan::Probe(handle),
+                    Some(_) if link.need_snapshot => {
+                        Plan::Install(handle, self.snapshot_blob(&st)?)
+                    }
                     Some(p) if p.generation == st.generation => {
                         if p.acked >= st.frames.len() as u64 {
                             Plan::CaughtUp
                         } else {
-                            Plan::Offer(st.frames[p.acked as usize..].to_vec())
+                            Plan::Offer(handle, st.frames[p.acked as usize..].to_vec())
                         }
                     }
                     Some(p) if p.generation > st.generation => Plan::CaughtUp,
-                    Some(_) => Plan::Install(self.snapshot_blob(&st)?),
+                    Some(_) => Plan::Install(handle, self.snapshot_blob(&st)?),
                 }
             };
             let (reply, shipped, installed) = match plan {
                 Plan::CaughtUp => return Ok(()),
-                Plan::Probe => (self.links[idx].status()?, 0, false),
-                Plan::Offer(frames) => {
+                Plan::Probe(link) => (link.status()?, 0, false),
+                Plan::Offer(link, frames) => {
                     let n = frames.len() as u64;
-                    (self.links[idx].offer(&frames)?, n, false)
+                    (link.offer(&frames)?, n, false)
                 }
-                Plan::Install(blob) => (self.links[idx].install(&blob)?, 0, true),
+                Plan::Install(link, blob) => (link.install(&blob)?, 0, true),
             };
             let mut st = self.repl.lock().expect("repl lock");
+            let Some(slot) = st.links.iter_mut().find(|l| l.id == id) else {
+                return Ok(());
+            };
             match reply {
                 ReplReply::Ok(pos) => {
                     if installed {
@@ -828,12 +1091,12 @@ impl<T: Durable + Send + 'static> ReplicatedStore<T> {
                     if shipped > 0 {
                         self.metrics.shipped.add(shipped);
                     }
-                    st.links[idx].pos = Some(pos);
-                    st.links[idx].need_snapshot = false;
+                    slot.pos = Some(pos);
+                    slot.need_snapshot = false;
                 }
                 ReplReply::NeedSnapshot(pos) => {
-                    st.links[idx].pos = Some(pos);
-                    st.links[idx].need_snapshot = true;
+                    slot.pos = Some(pos);
+                    slot.need_snapshot = true;
                 }
                 ReplReply::Fenced { epoch } => {
                     self.observed_epoch.store(epoch, Ordering::Release);
@@ -1317,6 +1580,168 @@ mod tests {
             "backlog shipped in batches, not one offer per record"
         );
         store.shutdown();
+        let _ = fs::remove_dir_all(&pdir);
+        let _ = fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn lease_round_trips_and_clamps_a_backwards_clock() {
+        let dir = scratch("lease");
+        assert!(read_lease(&dir).is_none());
+        let mut lease = Lease {
+            holder: "fd@127.0.0.1:9".into(),
+            epoch: 3,
+            renewed_unix_ms: 1_000,
+            ttl_ms: 500,
+        };
+        write_lease(&dir, &lease).unwrap();
+        assert_eq!(read_lease(&dir).unwrap(), lease);
+
+        // Renewal moves forward, never backward.
+        lease.renew(2_000);
+        assert_eq!(lease.renewed_unix_ms, 2_000);
+        lease.renew(500); // clock stepped back
+        assert_eq!(lease.renewed_unix_ms, 2_000, "backwards clock clamped");
+
+        // Expiry fires only on forward progress past the TTL; a clock
+        // reading from before the renewal never expires the claim.
+        assert!(!lease.expired_at(2_500));
+        assert!(lease.expired_at(2_501));
+        assert!(!lease.expired_at(100));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wire_fence_deposes_immediately_and_idempotently() {
+        let pdir = scratch("wirefence-p");
+        let fdir = scratch("wirefence-f");
+        let f = follower(&fdir);
+        let (store, _) = ReplicatedStore::open(
+            &pdir,
+            Log::default(),
+            repl_opts(
+                vec![Arc::new(LocalLink(Arc::clone(&f)))],
+                ReplicationMode::Sync,
+            ),
+        )
+        .unwrap();
+        store.commit(&"before".to_string()).unwrap();
+
+        // An epoch at or below our own is not evidence of deposition.
+        assert!(!store.fence(1));
+        assert!(!store.is_fenced());
+
+        // A sentinel reports the promoted replica's higher epoch: every
+        // later commit fails without ever touching the network.
+        assert!(store.fence(4));
+        assert!(!store.fence(4), "second fence is a no-op");
+        let err = store.commit(&"late".to_string()).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::Fenced {
+                held: 1,
+                observed: 4
+            }
+        ));
+        let _ = fs::remove_dir_all(&pdir);
+        let _ = fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn joint_reconfigure_adds_a_replica_and_retires_another() {
+        let pdir = scratch("joint-p");
+        let f1dir = scratch("joint-f1");
+        let f2dir = scratch("joint-f2");
+        let f1 = follower(&f1dir);
+        let f2 = follower(&f2dir);
+        let (store, _) = ReplicatedStore::open(
+            &pdir,
+            Log::default(),
+            repl_opts(
+                vec![Arc::new(LocalLink(Arc::clone(&f1)))],
+                ReplicationMode::Sync,
+            ),
+        )
+        .unwrap();
+        for i in 0..5 {
+            store.commit(&format!("e{i}")).unwrap();
+        }
+
+        // Swap f1 out for f2: while joint, commits must cover BOTH
+        // cohorts, so nothing is lost during the handover.
+        store
+            .begin_reconfigure(vec![Arc::new(LocalLink(Arc::clone(&f2)))], &[0])
+            .unwrap();
+        assert!(store.is_joint());
+        store.commit(&"during".to_string()).unwrap();
+        assert_eq!(f1.position().acked, 6, "old cohort still required");
+        assert_eq!(f2.position().acked, 6, "new cohort caught up and required");
+
+        store.finish_reconfigure(Duration::from_secs(5)).unwrap();
+        assert!(!store.is_joint());
+        assert_eq!(store.link_count(), 1);
+        store.commit(&"after".to_string()).unwrap();
+        assert_eq!(f2.position().acked, 7);
+        assert_eq!(
+            f1.position().acked,
+            6,
+            "retired replica no longer shipped to"
+        );
+        let _ = fs::remove_dir_all(&pdir);
+        let _ = fs::remove_dir_all(&f1dir);
+        let _ = fs::remove_dir_all(&f2dir);
+    }
+
+    #[test]
+    fn joint_commit_nacks_when_either_cohort_lacks_quorum() {
+        let pdir = scratch("jointq-p");
+        let fdir = scratch("jointq-f");
+        let f = follower(&fdir);
+        let mut opts = repl_opts(
+            vec![Arc::new(LocalLink(Arc::clone(&f)))],
+            ReplicationMode::Sync,
+        );
+        opts.sync_acks = 1;
+        let (store, _) = ReplicatedStore::open(&pdir, Log::default(), opts).unwrap();
+        store.commit(&"steady".to_string()).unwrap();
+
+        // Joint config whose incoming cohort is unreachable: the old
+        // quorum alone must NOT be allowed to acknowledge.
+        store
+            .begin_reconfigure(vec![Arc::new(DeadLink)], &[])
+            .unwrap();
+        let err = store.commit(&"split".to_string()).unwrap_err();
+        assert!(matches!(err, StoreError::Unreplicated { want: 1, got: 0 }));
+        assert!(
+            store.finish_reconfigure(Duration::from_millis(50)).is_err(),
+            "cannot leave joint mode before the new cohort catches up"
+        );
+        assert!(store.is_joint(), "timeout keeps the joint (safe) config");
+        let _ = fs::remove_dir_all(&pdir);
+        let _ = fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn double_begin_reconfigure_is_rejected() {
+        let pdir = scratch("dbl-p");
+        let fdir = scratch("dbl-f");
+        let f = follower(&fdir);
+        let (store, _) = ReplicatedStore::open(
+            &pdir,
+            Log::default(),
+            repl_opts(
+                vec![Arc::new(LocalLink(Arc::clone(&f)))],
+                ReplicationMode::Sync,
+            ),
+        )
+        .unwrap();
+        store.begin_reconfigure(Vec::new(), &[]).unwrap();
+        assert!(store.begin_reconfigure(Vec::new(), &[]).is_err());
+        store.finish_reconfigure(Duration::from_secs(1)).unwrap();
+        assert!(
+            store.finish_reconfigure(Duration::from_secs(1)).is_err(),
+            "finish without begin is an error"
+        );
         let _ = fs::remove_dir_all(&pdir);
         let _ = fs::remove_dir_all(&fdir);
     }
