@@ -213,6 +213,12 @@ pub struct FaucetsClient {
     /// FS, each FD, and AppSpector are all talked to over warm,
     /// health-checked sockets instead of a fresh connect per request.
     pub pool: Arc<ConnPool>,
+    /// Optional multiplexed connections (default off): when set, calls
+    /// share warm sockets with many requests in flight at once, matched
+    /// back by `request_id` — the bid fan-out pipelines on a handful of
+    /// sockets instead of checking one out per concurrent worker. Takes
+    /// precedence over [`FaucetsClient::pool`].
+    pub mux: Option<Arc<crate::pool::MuxPool>>,
     /// Concurrent connections used by the bid-solicitation fan-out
     /// ([`crate::service::call_many`]).
     pub fan_out: usize,
@@ -300,6 +306,7 @@ impl FaucetsClient {
                     faults: None,
                     breakers: Arc::new(BreakerSet::default()),
                     pool: Arc::new(ConnPool::new("client", PoolConfig::default())),
+                    mux: None,
                     fan_out: 8,
                     call_deadline: None,
                     wait_backoff: WaitBackoff::default(),
@@ -328,6 +335,7 @@ impl FaucetsClient {
             deadline: self.call_deadline,
             breakers: Some(Arc::clone(&self.breakers)),
             pool: Some(Arc::clone(&self.pool)),
+            mux: self.mux.clone(),
             ..CallOptions::default()
         }
     }

@@ -35,7 +35,7 @@ use crate::proto::{Request, Response};
 use crate::replica::{Journal, ReplicationConfig};
 use crate::service::{
     call_with, request_deadline, serve_with, CallOptions, Clock, RetryPolicy, ServeOptions,
-    ServiceHandle,
+    ServiceHandle, StopSignal,
 };
 use faucets_core::appspector::TelemetrySample;
 use faucets_core::daemon::{AwardOutcome, ClusterManager, FaucetsDaemon};
@@ -51,7 +51,7 @@ use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -233,7 +233,7 @@ pub struct FdHandle {
     /// readout — see [`FdOptions::bid_gate`]).
     pub gate: Arc<PayoffGate>,
     state: Arc<Mutex<FdState>>,
-    stop: Arc<AtomicBool>,
+    stop: Arc<StopSignal>,
     pump: Option<JoinHandle<()>>,
 }
 
@@ -272,7 +272,9 @@ impl FdHandle {
     }
 
     fn stop_inner(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // The condvar inside the signal pops the pump out of its paced
+        // wait immediately — shutdown latency is join time, not a tick.
+        self.stop.stop();
         if let Some(p) = self.pump.take() {
             let _ = p.join();
         }
@@ -454,6 +456,11 @@ pub fn spawn_fd_with(
     let lease_service = repl_service.clone();
     let lease_holder_h = lease_holder.clone();
     let lease_ttl_h = lease_ttl_ms;
+    // The pump waits on this signal between due events; award handlers
+    // poke it so a freshly scheduled job re-paces the wait, and shutdown
+    // stops it.
+    let stop = Arc::new(StopSignal::new());
+    let pump_signal = Arc::clone(&stop);
     let service = serve_with(addr, "fd", opts.serve.clone(), move |req| {
         match req {
             Request::RequestBid { token, request } => {
@@ -534,6 +541,9 @@ pub fn spawn_fd_with(
                                 s.m_journal_writes.inc();
                             }
                         }
+                        // The scheduler just gained a job: wake the pump
+                        // so it re-paces against the new next completion.
+                        pump_signal.notify();
                         let _ = call_with(
                             appspector,
                             &Request::RegisterJob {
@@ -668,7 +678,6 @@ pub fn spawn_fd_with(
 
     // Pump: drives the scheduler clock, reports completions/telemetry,
     // heartbeats the FS.
-    let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
     let st = Arc::clone(&state);
     let journal = store;
@@ -680,9 +689,14 @@ pub fn spawn_fd_with(
             // Heartbeats are paced in *simulated* time (the FS liveness window
             // is simulated seconds), so any clock speedup keeps the FD alive.
             let mut last_heartbeat = faucets_sim::time::SimTime::ZERO;
-            while !stop2.load(Ordering::SeqCst) {
-                std::thread::sleep(Duration::from_millis(5));
-
+            // Event-paced, not tick-paced: each round runs the body, then
+            // sleeps exactly until the next due event — the scheduler's
+            // next completion or the next heartbeat — instead of polling
+            // every 5 ms. An award wakes the wait (the next completion
+            // may have moved closer); stop wakes it for good. The cap
+            // bounds clock drift if a wakeup is ever lost.
+            const PACE_CAP: Duration = Duration::from_millis(500);
+            loop {
                 // Harvest completions under the lock (reading the clock inside
                 // it, to stay monotone with the request handlers); talk to
                 // peers outside it.
@@ -780,6 +794,22 @@ pub fn spawn_fd_with(
                             &call_opts,
                         );
                     }
+                }
+                if stop2.is_stopped() {
+                    break;
+                }
+                // Sleep until whichever comes first: the scheduler's next
+                // completion or the next heartbeat, both converted from
+                // simulated to wall time.
+                let next_completion = st.lock().cluster.next_completion();
+                let mut wait = clock
+                    .wall_until(last_heartbeat + heartbeat_every)
+                    .min(PACE_CAP);
+                if let Some(at) = next_completion {
+                    wait = wait.min(clock.wall_until(at));
+                }
+                if stop2.wait_for(wait) {
+                    break;
                 }
             }
         })?;

@@ -29,13 +29,13 @@ use super::gossip::{GossipView, MembershipView};
 use super::ring::Ring;
 use crate::pool::{ConnPool, PoolConfig};
 use crate::proto::{FedQuery, Request, Response};
-use crate::service::{call_many, call_with, CallOptions, RetryPolicy};
+use crate::service::{call_many, call_with, CallOptions, RetryPolicy, StopSignal};
 use faucets_core::auth::SessionToken;
 use faucets_core::ids::ClusterId;
 use faucets_telemetry::{Counter, Gauge};
 use parking_lot::Mutex;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -112,7 +112,7 @@ pub struct Federation {
     state: Mutex<FedState>,
     seeds: Mutex<Vec<SocketAddr>>,
     self_addr: Mutex<Option<SocketAddr>>,
-    stop: AtomicBool,
+    stop: StopSignal,
     gossiper: Mutex<Option<JoinHandle<()>>>,
     m_rounds: Counter,
     m_failures: Counter,
@@ -157,7 +157,7 @@ impl Federation {
             state: Mutex::new(FedState { view, ring }),
             seeds: Mutex::new(seeds),
             self_addr: Mutex::new(None),
-            stop: AtomicBool::new(false),
+            stop: StopSignal::new(),
             gossiper: Mutex::new(None),
         }
     }
@@ -202,16 +202,19 @@ impl Federation {
     /// counter freezes, so peers grade it dead within
     /// [`FederationOptions::dead_after_rounds`].
     pub fn stop(&self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // Wakes the gossip loop mid-interval, so stopping a shard costs
+        // a join, not a full gossip round.
+        self.stop.stop();
         if let Some(h) = self.gossiper.lock().take() {
             let _ = h.join();
         }
     }
 
     fn gossip_loop(&self) {
-        while !self.stop.load(Ordering::SeqCst) {
-            std::thread::sleep(self.opts.gossip_interval);
-            if self.stop.load(Ordering::SeqCst) {
+        loop {
+            // Stop-aware pacing (see `StopSignal`): a shutdown mid-wait
+            // wakes immediately instead of sleeping out the interval.
+            if self.stop.wait_for(self.opts.gossip_interval) {
                 return;
             }
             let (digest, mut targets) = {
@@ -358,6 +361,6 @@ impl Federation {
 
 impl Drop for Federation {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.stop();
     }
 }

@@ -14,7 +14,10 @@
 //!   feeds AppSpector;
 //! * [`appspector_srv`] — buffered monitoring and output download;
 //! * [`client`] — the full §2 submission/monitoring client;
-//! * [`service`] — shared accept-loop, timeout/retry, and clock plumbing;
+//! * [`service`] — the shared serve reactor, timeout/retry, and clock
+//!   plumbing;
+//! * [`reactor`] — the dependency-free epoll wrapper (readiness events,
+//!   eventfd wakeups, incremental frame reassembly) under the serve path;
 //! * [`pool`] — persistent, health-checked client connection pooling (see
 //!   below);
 //! * [`overload`] — admission control, circuit breakers, and payoff-aware
@@ -126,17 +129,41 @@
 //! * **Fan-out** — [`service::call_many`] solicits many peers concurrently
 //!   over pooled connections under the caller's trace context; the client
 //!   uses it to collect a whole bid round in one sweep.
-//! * **Serving** — [`service::serve_with`] accepts with a *blocking*
-//!   listener (zero idle wakeups) feeding [`service::ServeOptions::workers`]
-//!   long-lived threads, so the per-service thread count no longer grows
-//!   with connection churn, and shutdown promptly kicks every live
-//!   connection loose.
+//! * **Serving** — [`service::serve_with`] runs a readiness-driven epoll
+//!   reactor ([`reactor`]): one thread owns the nonblocking listener and
+//!   every connection's frame state machine (zero idle wakeups — the
+//!   reactor blocks in `epoll_wait` until a socket or completion is
+//!   actually ready), while decoded frames execute on a bounded pool of
+//!   [`service::ServeOptions::workers`] handler threads. Connections are
+//!   cheap parked state, not threads, so one service holds thousands of
+//!   open sockets; executor back-pressure parks frames per connection and
+//!   drops read interest, letting TCP flow control push back on the
+//!   client.
 //!
 //! Pool behaviour is fully counted (`net_pool_{hits,misses,evictions,
 //! poisoned,stale_retries}_total`, `net_pool_open_conns`, and the serve
-//! side's `net_open_conns`/`net_conns_accepted_total`) and proven by
+//! side's `net_open_conns`/`net_conns_accepted_total`, plus the reactor's
+//! `net_reactor_registered_fds`/`net_reactor_ready_events`/
+//! `net_reactor_executor_queue`/`net_reactor_wakeups_total`) and proven by
 //! experiment E23 (`exp_rpc_throughput`): pooled calls sustain ≥ 2× the
 //! per-call-connection throughput at 8 concurrent clients.
+//!
+//! ## Request pipelining
+//!
+//! The serve side processes frames from one connection concurrently, so
+//! the client path can keep many requests in flight per socket:
+//! [`proto::Envelope`] carries an optional `request_id` which the server
+//! echoes verbatim on the response, and [`pool::MuxPool`] hands out
+//! shared multiplexed connections ([`pool::MuxConn`]) whose dedicated
+//! reader thread matches responses back to callers by id — in any order.
+//! [`service::call_batch`] pipelines a whole batch in one vectored write
+//! burst; [`service::call_many`] with [`service::CallOptions::mux`] set
+//! shares warm sockets across concurrent workers. A transport failure
+//! kills the shared socket and fails every in-flight call with a typed
+//! disconnect ([`pool::PendingMap::fail_all`]) — never a crossed wire.
+//! Experiment E28 (`exp_pipelined_rpc`) gates pipelined throughput
+//! against the E23 pooled baseline and soaks thousands of concurrent
+//! connections with zero transport errors.
 //!
 //! ## Replication and failover
 //!
@@ -203,6 +230,7 @@ pub mod fs;
 pub mod overload;
 pub mod pool;
 pub mod proto;
+pub mod reactor;
 pub mod replica;
 pub mod sentinel;
 pub mod service;
@@ -219,14 +247,14 @@ pub mod prelude {
         BreakerConfig, BreakerSet, CircuitBreaker, GateConfig, GateVerdict, PayoffGate,
         ServiceLimits, TokenBucket,
     };
-    pub use crate::pool::{ConnPool, PoolConfig, PooledConn};
+    pub use crate::pool::{ConnPool, MuxConfig, MuxPool, PoolConfig, PooledConn};
     pub use crate::proto::{read_frame, write_frame, Envelope, ProtoError, Request, Response};
     pub use crate::replica::{
         spawn_replica, Journal, RemoteLink, ReplicaHandle, ReplicaOptions, ReplicationConfig,
     };
     pub use crate::sentinel::{spawn_sentinel, FailoverEvent, Sentinel, SentinelOptions};
     pub use crate::service::{
-        call, call_many, call_with, serve, serve_with, CallOptions, Clock, RetryPolicy,
-        ServeOptions, ServiceHandle, Timeouts,
+        call, call_batch, call_many, call_with, serve, serve_with, CallOptions, Clock, RetryPolicy,
+        ServeOptions, ServiceHandle, StopSignal, Timeouts,
     };
 }

@@ -23,7 +23,7 @@
 
 use faucets_telemetry::metrics::Registry;
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -260,6 +260,493 @@ impl Drop for PooledConn {
         if self.stream.take().is_some() {
             self.pool.open.fetch_sub(1, Ordering::SeqCst);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multiplexed connections: many requests in flight per socket
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for a [`MuxPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MuxConfig {
+    /// Shared connections dialed per peer before calls start queueing on
+    /// the least-loaded one.
+    pub conns_per_peer: usize,
+    /// Soft in-flight target per connection: checkout prefers a
+    /// connection under this, and dials a new one (up to
+    /// `conns_per_peer`) when every existing one is at or over it.
+    pub max_inflight_per_conn: usize,
+}
+
+impl Default for MuxConfig {
+    fn default() -> Self {
+        MuxConfig {
+            conns_per_peer: 2,
+            max_inflight_per_conn: 128,
+        }
+    }
+}
+
+/// The completion slot a multiplexed caller waits on. `Ticket::id` is the
+/// `request_id` stamped into the request envelope; the reader thread (or
+/// [`PendingMap::fail_all`]) fills the slot and wakes the waiter.
+pub struct Ticket {
+    id: u64,
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// The request id this ticket is waiting for.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+struct Slot {
+    state: parking_lot::Mutex<Option<Result<crate::proto::Response, String>>>,
+    cv: parking_lot::Condvar,
+}
+
+/// Out-of-order response matching: each in-flight request registers a
+/// slot under its `request_id`; whoever holds the matching id completes
+/// exactly that slot. Ids make interleaving safe — a late or reordered
+/// response can only ever reach its own caller, never cross wires. Pure
+/// bookkeeping (no sockets), so its matching laws are property-tested
+/// directly in `tests/proptest_pipeline.rs`.
+#[derive(Default)]
+pub struct PendingMap {
+    slots: parking_lot::Mutex<HashMap<u64, Arc<Slot>>>,
+}
+
+impl PendingMap {
+    /// An empty map with nothing in flight.
+    pub fn new() -> PendingMap {
+        PendingMap::default()
+    }
+
+    /// Register a waiter for `id`. Panics if `id` is already in flight
+    /// (callers allocate ids from an atomic counter, so a collision is a
+    /// bug, not a race).
+    pub fn register(&self, id: u64) -> Ticket {
+        let slot = Arc::new(Slot {
+            state: parking_lot::Mutex::new(None),
+            cv: parking_lot::Condvar::new(),
+        });
+        let prev = self.slots.lock().insert(id, Arc::clone(&slot));
+        assert!(prev.is_none(), "request id {id} registered twice");
+        Ticket { id, slot }
+    }
+
+    /// Deliver the response for `id`. Returns `false` (an orphan) when no
+    /// waiter is registered — the caller already timed out and abandoned
+    /// the id, or never existed.
+    pub fn complete(&self, id: u64, resp: crate::proto::Response) -> bool {
+        let Some(slot) = self.slots.lock().remove(&id) else {
+            return false;
+        };
+        *slot.state.lock() = Some(Ok(resp));
+        slot.cv.notify_all();
+        true
+    }
+
+    /// Fail every in-flight request (connection lost): each waiter gets a
+    /// typed disconnect error, never another caller's bytes.
+    pub fn fail_all(&self, why: &str) {
+        let drained: Vec<Arc<Slot>> = self.slots.lock().drain().map(|(_, s)| s).collect();
+        for slot in drained {
+            *slot.state.lock() = Some(Err(why.to_string()));
+            slot.cv.notify_all();
+        }
+    }
+
+    /// Abandon a ticket (caller timed out): the id is deregistered so a
+    /// late response counts as an orphan instead of filling a dead slot.
+    pub fn abandon(&self, id: u64) {
+        self.slots.lock().remove(&id);
+    }
+
+    /// In-flight request count.
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Block until the ticket's slot fills or `timeout` passes. On
+    /// timeout the id is abandoned; a response that arrives later is an
+    /// orphan, not a wrong answer for the next request.
+    pub fn wait(&self, ticket: Ticket, timeout: Duration) -> io::Result<crate::proto::Response> {
+        let deadline = Instant::now() + timeout;
+        {
+            let mut state = ticket.slot.state.lock();
+            while state.is_none() {
+                if ticket.slot.cv.wait_until(&mut state, deadline).timed_out() {
+                    break;
+                }
+            }
+            match state.take() {
+                Some(Ok(resp)) => return Ok(resp),
+                Some(Err(why)) => {
+                    return Err(io::Error::new(io::ErrorKind::ConnectionAborted, why))
+                }
+                None => {}
+            }
+        }
+        self.abandon(ticket.id);
+        Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "no reply within the read timeout (the request may still complete remotely)",
+        ))
+    }
+}
+
+/// One multiplexed connection: a writer half shared under a mutex (frames
+/// are written atomically, many callers interleaved), a dedicated reader
+/// thread that demultiplexes responses back to their callers by
+/// `request_id`, and the [`PendingMap`] tying them together. Any transport
+/// failure kills the whole connection and fails every in-flight call with
+/// a typed disconnect.
+pub struct MuxConn {
+    writer: Mutex<TcpStream>,
+    pending: Arc<PendingMap>,
+    next_id: std::sync::atomic::AtomicU64,
+    inflight: Arc<AtomicUsize>,
+    dead: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl MuxConn {
+    fn dial(
+        addr: SocketAddr,
+        pool_name: &'static str,
+        connect: Duration,
+        write_timeout: Duration,
+        faults: Option<Arc<crate::fault::FaultPlan>>,
+        registry: Option<Arc<Registry>>,
+    ) -> io::Result<Arc<MuxConn>> {
+        let stream = TcpStream::connect_timeout(&addr, connect)?;
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(write_timeout))?;
+        let reader = stream.try_clone()?;
+        // The reader blocks until frames arrive or the socket dies; no
+        // read timeout, in-flight callers bound their own waits.
+        reader.set_read_timeout(None)?;
+        let pending = Arc::new(PendingMap::new());
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let dead = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let conn = Arc::new(MuxConn {
+            writer: Mutex::new(stream),
+            pending: Arc::clone(&pending),
+            next_id: std::sync::atomic::AtomicU64::new(1),
+            inflight: Arc::clone(&inflight),
+            dead: Arc::clone(&dead),
+        });
+        let labels_pool = pool_name;
+        std::thread::Builder::new()
+            .name(format!("faucets-mux-{addr}"))
+            .spawn(move || mux_reader_loop(reader, pending, dead, faults, registry, labels_pool))?;
+        Ok(conn)
+    }
+
+    /// Transport failure or reader exit: no new requests may start here.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Requests currently awaiting a response on this connection.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Kill the connection: shutting the socket down pops the reader out
+    /// of its blocking read, which marks the connection dead and fails
+    /// every in-flight call.
+    fn kill(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        let _ = self
+            .writer
+            .lock()
+            .unwrap()
+            .shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Stamp, serialize, and send one request; returns the ticket to wait
+    /// on. A fault plan may "lose" the frame (nothing written, ticket
+    /// still returned — the caller's wait times out, as on a real lossy
+    /// wire).
+    fn begin(
+        &self,
+        req: &crate::proto::Request,
+        opts: &crate::service::CallOptions,
+        deadline: Option<Instant>,
+    ) -> io::Result<Ticket> {
+        if self.is_dead() {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "mux connection is dead",
+            ));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let ticket = self.pending.register(id);
+        let env = crate::service::EnvelopeRef {
+            ctx: faucets_telemetry::trace::current(),
+            deadline_ms: crate::service::remaining_ms(deadline),
+            request_id: Some(id),
+            msg: req,
+        };
+        let mut frame = Vec::new();
+        if let Err(e) = crate::proto::write_frame_with(&mut frame, &env, opts.faults.as_deref()) {
+            self.pending.abandon(id);
+            return Err(e.into());
+        }
+        if !frame.is_empty() {
+            let mut w = self.writer.lock().unwrap();
+            if let Err(e) = w.write_all(&frame) {
+                drop(w);
+                self.pending.abandon(id);
+                self.kill();
+                return Err(e);
+            }
+        }
+        Ok(ticket)
+    }
+
+    /// Stamp and serialize a whole batch, then push every frame in one
+    /// vectored write burst — the pipelining hot path: one syscall (plus
+    /// short-write continuations) for N requests.
+    pub(crate) fn begin_batch(
+        &self,
+        reqs: &[crate::proto::Request],
+        opts: &crate::service::CallOptions,
+        deadline: Option<Instant>,
+    ) -> io::Result<Vec<Ticket>> {
+        if self.is_dead() {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "mux connection is dead",
+            ));
+        }
+        let faults = opts.faults.as_deref();
+        let ctx = faucets_telemetry::trace::current();
+        let deadline_ms = crate::service::remaining_ms(deadline);
+        let mut tickets = Vec::with_capacity(reqs.len());
+        let mut frames: Vec<Vec<u8>> = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let env = crate::service::EnvelopeRef {
+                ctx,
+                deadline_ms,
+                request_id: Some(id),
+                msg: req,
+            };
+            let mut frame = Vec::new();
+            if let Err(e) = crate::proto::write_frame_with(&mut frame, &env, faults) {
+                for t in &tickets {
+                    self.pending.abandon(Ticket::id(t));
+                }
+                return Err(e.into());
+            }
+            tickets.push(self.pending.register(id));
+            if !frame.is_empty() {
+                frames.push(frame);
+            }
+        }
+        let mut w = self.writer.lock().unwrap();
+        if let Err(e) = write_all_vectored(&mut w, &frames) {
+            drop(w);
+            for t in &tickets {
+                self.pending.abandon(Ticket::id(t));
+            }
+            self.kill();
+            return Err(e);
+        }
+        drop(w);
+        // Every ticket is now in flight; `wait` decrements one by one.
+        self.inflight.fetch_add(tickets.len(), Ordering::SeqCst);
+        Ok(tickets)
+    }
+
+    /// Wait out one ticket under the caller's read timeout.
+    pub(crate) fn wait(
+        &self,
+        ticket: Ticket,
+        opts: &crate::service::CallOptions,
+    ) -> io::Result<crate::proto::Response> {
+        let out = self.pending.wait(ticket, opts.timeouts.read);
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        out
+    }
+
+    /// One request/response exchange: begin, then wait.
+    pub(crate) fn round_trip(
+        &self,
+        req: &crate::proto::Request,
+        opts: &crate::service::CallOptions,
+        deadline: Option<Instant>,
+    ) -> io::Result<crate::proto::Response> {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        match self.begin(req, opts, deadline) {
+            Ok(ticket) => self.wait(ticket, opts),
+            Err(e) => {
+                self.inflight.fetch_sub(1, Ordering::SeqCst);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Write every buffer with `write_vectored`, continuing across short
+/// writes. The frames boundary-pack into as few syscalls as the kernel
+/// allows (up to 64 iovecs at a time).
+fn write_all_vectored(w: &mut TcpStream, bufs: &[Vec<u8>]) -> io::Result<()> {
+    let total: usize = bufs.iter().map(|b| b.len()).sum();
+    let mut written = 0usize;
+    while written < total {
+        let mut slices: Vec<io::IoSlice<'_>> = Vec::with_capacity(bufs.len().min(64));
+        let mut skip = written;
+        for b in bufs {
+            if skip >= b.len() {
+                skip -= b.len();
+                continue;
+            }
+            slices.push(io::IoSlice::new(&b[skip..]));
+            skip = 0;
+            if slices.len() == 64 {
+                break;
+            }
+        }
+        match w.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "vectored write made no progress",
+                ))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn mux_reader_loop(
+    mut reader: TcpStream,
+    pending: Arc<PendingMap>,
+    dead: Arc<std::sync::atomic::AtomicBool>,
+    faults: Option<Arc<crate::fault::FaultPlan>>,
+    registry: Option<Arc<Registry>>,
+    pool_name: &'static str,
+) {
+    use crate::proto::{read_frame_with, Envelope, Response};
+    let reg = registry
+        .as_deref()
+        .unwrap_or_else(|| faucets_telemetry::metrics::global());
+    let labels = [("pool", pool_name)];
+    let why = loop {
+        match read_frame_with::<_, Envelope<Response>>(&mut reader, faults.as_deref()) {
+            Ok(Some(env)) => match env.request_id {
+                Some(id) => {
+                    if !pending.complete(id, env.msg) {
+                        // The caller timed out and abandoned the id; the
+                        // late reply is discarded, never mis-delivered.
+                        reg.counter("net_mux_orphans_total", &labels).inc();
+                    }
+                }
+                // A response with no id cannot be matched to a caller —
+                // the peer predates multiplexing or the stream is
+                // desynchronized. Fail everything rather than guess.
+                None => break "mux peer answered without a request id",
+            },
+            Ok(None) => break "mux connection closed by peer",
+            Err(_) => break "mux connection lost",
+        }
+    };
+    dead.store(true, Ordering::SeqCst);
+    let _ = reader.shutdown(std::net::Shutdown::Both);
+    pending.fail_all(why);
+    reg.counter("net_mux_conn_failures_total", &labels).inc();
+    reg.gauge("net_mux_open_conns", &labels).add(-1.0);
+}
+
+/// A pool of [`MuxConn`]s keyed by peer: calls check out the least-loaded
+/// live connection (dialing up to [`MuxConfig::conns_per_peer`]), stamp a
+/// `request_id`, and wait on the [`PendingMap`] while other callers'
+/// frames interleave on the same socket. Share one `Arc<MuxPool>` per
+/// client — see [`crate::service::CallOptions::mux`] and
+/// [`crate::service::call_batch`].
+pub struct MuxPool {
+    name: &'static str,
+    cfg: MuxConfig,
+    peers: Mutex<HashMap<SocketAddr, Vec<Arc<MuxConn>>>>,
+}
+
+impl MuxPool {
+    /// An empty pool; `name` labels its metrics.
+    pub fn new(name: &'static str, cfg: MuxConfig) -> MuxPool {
+        MuxPool {
+            name,
+            cfg,
+            peers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The label this pool's metrics are counted under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Live (non-dead) connections across all peers.
+    pub fn open_connections(&self) -> usize {
+        self.peers
+            .lock()
+            .unwrap()
+            .values()
+            .map(|v| v.iter().filter(|c| !c.is_dead()).count())
+            .sum()
+    }
+
+    /// Check out a live connection to `addr`, dialing if the peer has
+    /// none (or all existing ones are saturated and there is dial budget
+    /// left). Returns the connection and whether it was reused — fresh
+    /// dials report `false`, which gates the caller's one-shot stale
+    /// retry exactly as [`ConnPool`] checkouts do.
+    pub(crate) fn checkout(
+        &self,
+        addr: SocketAddr,
+        opts: &crate::service::CallOptions,
+        reg: &Registry,
+    ) -> io::Result<(Arc<MuxConn>, bool)> {
+        let labels = [("pool", self.name)];
+        let mut peers = self.peers.lock().unwrap();
+        let conns = peers.entry(addr).or_default();
+        conns.retain(|c| !c.is_dead());
+        // Prefer a connection with headroom; dial only when all existing
+        // ones are at the soft in-flight target and the per-peer budget
+        // allows one more.
+        let budget = self.cfg.conns_per_peer.max(1);
+        let best = conns.iter().min_by_key(|c| c.inflight()).map(Arc::clone);
+        if let Some(best) = best {
+            if best.inflight() < self.cfg.max_inflight_per_conn || conns.len() >= budget {
+                reg.counter("net_mux_hits_total", &labels).inc();
+                return Ok((best, true));
+            }
+        }
+        let conn = MuxConn::dial(
+            addr,
+            self.name,
+            opts.connect,
+            opts.timeouts.write,
+            opts.faults.clone(),
+            opts.registry.clone(),
+        )?;
+        conns.push(Arc::clone(&conn));
+        reg.counter("net_mux_dials_total", &labels).inc();
+        reg.gauge("net_mux_open_conns", &labels).add(1.0);
+        Ok((conn, false))
     }
 }
 

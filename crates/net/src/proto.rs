@@ -394,17 +394,27 @@ pub struct Envelope<T> {
     /// `None`, so pre-deadline peers interoperate.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub deadline_ms: Option<u64>,
+    /// Correlates a response with its request when multiple frames are in
+    /// flight on one connection ([`crate::pool::MuxPool`] pipelining). The
+    /// contract: a server echoes the request's id verbatim on its response
+    /// envelope; responses may then arrive in any order and the client
+    /// matches them back by id. Absent on the wire when `None`, so
+    /// one-frame-at-a-time peers (and pre-multiplexing recordings)
+    /// interoperate unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub request_id: Option<u64>,
     /// The request or response being carried.
     pub msg: T,
 }
 
 impl<T> Envelope<T> {
     /// Wrap `msg` with the calling thread's current trace context and no
-    /// deadline.
+    /// deadline or request id.
     pub fn wrap(msg: T) -> Self {
         Envelope {
             ctx: faucets_telemetry::trace::current(),
             deadline_ms: None,
+            request_id: None,
             msg,
         }
     }
@@ -582,8 +592,18 @@ pub fn read_frame_with<R: Read, T: for<'de> Deserialize<'de>>(
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
+    apply_receive_faults(&mut payload, faults);
+    parse_payload(&payload).map(Some)
+}
+
+/// Receive-path fault injection on an already-framed payload: the plan may
+/// delay "delivery" or corrupt a byte before parsing. Factored out of
+/// [`read_frame_with`] so the reactor serve path — which reassembles frames
+/// off nonblocking sockets itself — injects identical faults on its
+/// executor threads.
+pub(crate) fn apply_receive_faults(payload: &mut [u8], faults: Option<&FaultPlan>) {
     if let Some(plan) = faults {
-        match plan.decide(&payload) {
+        match plan.decide(payload) {
             FrameFault::Delay(d) => std::thread::sleep(d),
             FrameFault::Garble { offset, xor } if !payload.is_empty() => {
                 let at = offset % payload.len();
@@ -592,9 +612,12 @@ pub fn read_frame_with<R: Read, T: for<'de> Deserialize<'de>>(
             _ => {}
         }
     }
-    serde_json::from_slice(&payload)
-        .map(Some)
-        .map_err(ProtoError::Malformed)
+}
+
+/// Parse a complete frame payload into a message, with the same typed
+/// error [`read_frame_with`] reports.
+pub(crate) fn parse_payload<T: for<'de> Deserialize<'de>>(payload: &[u8]) -> Result<T, ProtoError> {
+    serde_json::from_slice(payload).map_err(ProtoError::Malformed)
 }
 
 #[cfg(test)]
@@ -713,6 +736,7 @@ mod tests {
         let env = Envelope {
             ctx: None,
             deadline_ms: Some(120),
+            request_id: None,
             msg: Response::Ok,
         };
         let mut buf = Vec::new();

@@ -56,13 +56,13 @@
 //! bounded against the operator-driven E24 baseline.
 
 use crate::proto::{Request, Response};
-use crate::service::{call_with, CallOptions};
+use crate::service::{call_with, CallOptions, StopSignal};
 use faucets_store::{pick_primary, prepare_promotion, ReplPosition};
 use parking_lot::Mutex;
 use std::io;
 use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -145,7 +145,7 @@ struct SentinelState {
 /// stop the sentinel; call [`Sentinel::shutdown`].
 pub struct Sentinel {
     state: Arc<Mutex<SentinelState>>,
-    stop: Arc<AtomicBool>,
+    stop: Arc<StopSignal>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -202,7 +202,9 @@ impl Sentinel {
     /// finish first (a half-promoted service would be worse than a late
     /// shutdown).
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // Wakes the probe loop out of its inter-probe wait immediately
+        // instead of letting shutdown eat up to a full probe interval.
+        self.stop.stop();
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -211,7 +213,7 @@ impl Sentinel {
 
 impl Drop for Sentinel {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.stop();
     }
 }
 
@@ -242,7 +244,7 @@ where
         events: Vec::new(),
         reigns: Vec::new(),
     }));
-    let stop = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(StopSignal::new());
     let thread = {
         let state = Arc::clone(&state);
         let stop = Arc::clone(&stop);
@@ -268,7 +270,7 @@ fn clamped_now(last: &mut u64, skew: &AtomicI64) -> u64 {
 
 fn run<F>(
     state: Arc<Mutex<SentinelState>>,
-    stop: Arc<AtomicBool>,
+    stop: Arc<StopSignal>,
     opts: SentinelOptions,
     mut promote: F,
 ) where
@@ -289,9 +291,10 @@ fn run<F>(
     let mut last_renewal = clamped_now(&mut clock, &opts.skew_ms);
     let mut suspect_since: Option<Instant> = None;
 
-    while !stop.load(Ordering::SeqCst) {
-        std::thread::sleep(opts.probe_every);
-        if stop.load(Ordering::SeqCst) {
+    loop {
+        // Stop-aware pacing: wakes the instant `shutdown()` flips the
+        // signal, instead of sleeping out the rest of the interval.
+        if stop.wait_for(opts.probe_every) {
             break;
         }
         let primary = state.lock().primary;

@@ -1,26 +1,31 @@
-//! Shared TCP-service plumbing: a blocking accept loop feeding a bounded
-//! worker pool (clean, prompt shutdown), configurable read/write timeouts,
-//! bounded retry with exponential backoff, pooled client connections,
-//! batched fan-out, optional fault injection, and the wall-clock →
-//! simulation-clock mapping live services run on.
+//! Shared TCP-service plumbing: a readiness-driven epoll reactor feeding a
+//! bounded executor pool (nonblocking accept, per-connection frame state
+//! machines, vectored writes, prompt eventfd shutdown), configurable
+//! read/write timeouts, bounded retry with exponential backoff, pooled and
+//! multiplexed client connections, batched fan-out, optional fault
+//! injection, and the wall-clock → simulation-clock mapping live services
+//! run on.
 
 use crate::fault::FaultPlan;
 use crate::overload::{BreakerSet, ServiceLimits};
-use crate::pool::ConnPool;
+use crate::pool::{ConnPool, MuxPool};
 use crate::proto::{
-    is_disconnect_error, read_frame_with, write_frame_with, Envelope, ProtoError, Request, Response,
+    apply_receive_faults, is_disconnect_error, parse_payload, read_frame_with, write_frame_with,
+    Envelope, ProtoError, Request, Response, MAX_FRAME,
 };
+use crate::reactor::{Epoll, Event, FrameBuf, Interest, Waker};
 use faucets_sim::time::SimTime;
 use faucets_telemetry::metrics::{global, Registry};
 use faucets_telemetry::trace::{self, TraceContext};
 use faucets_telemetry::TelemetryClock;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use serde::Serialize;
 use std::cell::Cell;
-use std::collections::HashMap;
-use std::io;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -40,8 +45,8 @@ pub fn request_deadline() -> Option<Instant> {
     REQUEST_DEADLINE.with(|d| d.get())
 }
 
-/// Clears the thread's request deadline on drop, so connection threads
-/// never leak one request's deadline into the next.
+/// Clears the thread's request deadline on drop, so executor threads never
+/// leak one request's deadline into the next.
 struct DeadlineGuard;
 
 impl Drop for DeadlineGuard {
@@ -53,6 +58,62 @@ impl Drop for DeadlineGuard {
 fn set_request_deadline(deadline: Option<Instant>) -> DeadlineGuard {
     REQUEST_DEADLINE.with(|d| d.set(deadline));
     DeadlineGuard
+}
+
+/// A stop flag background loops can *wait on*, so "sleep an interval, then
+/// check the flag" becomes "wait at most an interval, but wake the moment
+/// someone stops (or nudges) us". This is the fix for the fixed-tick sleep
+/// family of bugs: the FD pump, the sentinel probe loop, and the federation
+/// gossip loop all used bare `thread::sleep`, which made every `shutdown()`
+/// eat up to a full interval and (for the 5 ms pump tick) burned 200
+/// wakeups a second per daemon while idle.
+#[derive(Default)]
+pub struct StopSignal {
+    stopped: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl StopSignal {
+    /// A fresh, un-stopped signal.
+    pub fn new() -> StopSignal {
+        StopSignal::default()
+    }
+
+    /// Has [`StopSignal::stop`] been called?
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::SeqCst)
+    }
+
+    /// Raise the flag and wake every waiter immediately.
+    pub fn stop(&self) {
+        // Flip the flag under the lock so a waiter can't check it, miss
+        // the notify, and then park for its full timeout.
+        let _g = self.lock.lock();
+        self.stopped.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// Wake waiters *without* stopping — "new work arrived, re-evaluate
+    /// your deadline now" (the FD pump uses this when an award lands).
+    pub fn notify(&self) {
+        let _g = self.lock.lock();
+        self.cv.notify_all();
+    }
+
+    /// Wait up to `timeout` (waking early on [`StopSignal::stop`] or
+    /// [`StopSignal::notify`]); returns whether the signal is stopped.
+    pub fn wait_for(&self, timeout: Duration) -> bool {
+        if self.is_stopped() {
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut g = self.lock.lock();
+        if !self.is_stopped() {
+            self.cv.wait_until(&mut g, deadline);
+        }
+        self.is_stopped()
+    }
 }
 
 /// Maps wall-clock time to `SimTime` for live services, with an optional
@@ -99,9 +160,12 @@ impl Clock {
     }
 }
 
-/// Socket deadlines applied to every connection, in both directions. The
-/// seed system hard-coded a 10 s read timeout and no write timeout at all;
-/// a stalled peer could wedge a writer forever.
+/// Socket deadlines for client-side calls, in both directions. The seed
+/// system hard-coded a 10 s read timeout and no write timeout at all; a
+/// stalled peer could wedge a writer forever. (The reactor serve path does
+/// not block on sockets, so server-side these no longer map to socket
+/// options; a slow *consumer* is bounded by the per-connection write
+/// buffer cap instead.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Timeouts {
     /// How long a read may block before the connection is abandoned.
@@ -188,7 +252,10 @@ impl RetryPolicy {
 /// Options for [`serve_with`].
 #[derive(Clone)]
 pub struct ServeOptions {
-    /// Per-connection socket deadlines.
+    /// Socket deadlines. On the serve side these are kept for
+    /// compatibility: the reactor never blocks on a socket, so they no
+    /// longer bound individual reads/writes (slow consumers are bounded
+    /// by the write-buffer cap, slow producers cost nothing).
     pub timeouts: Timeouts,
     /// Fault injection applied to this service's traffic.
     pub faults: Option<Arc<FaultPlan>>,
@@ -201,15 +268,16 @@ pub struct ServeOptions {
     /// [`ServiceLimits::default`]); retune at runtime through the shared
     /// handle, or use [`ServiceLimits::unlimited`] for the seed behaviour.
     pub limits: ServiceLimits,
-    /// Connection-handling worker threads per service (default 32). The
-    /// seed spawned one thread per accepted connection without bound; now
-    /// at most `workers` connections are served concurrently and further
-    /// accepts wait in a bounded hand-off queue (then the kernel backlog).
-    /// With pooled clients ([`CallOptions::pool`]) each client holds one
-    /// connection, so this is effectively a concurrent-peer bound, while
-    /// per-request admission control stays with
-    /// [`ServeOptions::limits`].
+    /// Executor threads per service (default 32). Connections no longer
+    /// pin a thread each — the reactor multiplexes every socket on one
+    /// event loop — so this bounds concurrent *handler* executions, not
+    /// concurrent connections. Decoded frames hand off to the executor
+    /// over a bounded queue ([`ServeOptions::queue`]); when it is full
+    /// the reactor parks frames per-connection and stops reading that
+    /// socket, which is TCP back-pressure all the way to the client.
     pub workers: usize,
+    /// Depth of the reactor → executor hand-off queue (default 1024).
+    pub queue: usize,
 }
 
 impl Default for ServeOptions {
@@ -220,6 +288,7 @@ impl Default for ServeOptions {
             registry: None,
             limits: ServiceLimits::default(),
             workers: 32,
+            queue: 1024,
         }
     }
 }
@@ -258,6 +327,16 @@ pub struct CallOptions {
     /// per-call connections. `None` (the default) keeps the seed's
     /// connection-per-call behaviour.
     pub pool: Option<Arc<ConnPool>>,
+    /// Multiplexed connections shared across calls: requests are stamped
+    /// with a `request_id`, many can be in flight on one warm socket at
+    /// once, and responses match back by id in any order (a dedicated
+    /// reader thread demultiplexes). Takes precedence over
+    /// [`CallOptions::pool`]. Retries, deadlines, breakers, and fault
+    /// injection behave exactly as on pooled connections; a transport
+    /// failure kills the shared socket and fails every call in flight on
+    /// it with a typed disconnect, never a crossed wire. `None` (the
+    /// default) keeps one-request-per-checkout semantics.
+    pub mux: Option<Arc<MuxPool>>,
 }
 
 impl Default for CallOptions {
@@ -271,6 +350,7 @@ impl Default for CallOptions {
             deadline: None,
             breakers: None,
             pool: None,
+            mux: None,
         }
     }
 }
@@ -280,49 +360,19 @@ fn effective(registry: &Option<Arc<Registry>>) -> &Registry {
     registry.as_deref().unwrap_or_else(|| global())
 }
 
-/// Live connections of one service, as resettable duplicate handles. On
-/// shutdown every registered socket is `shutdown(Both)`, which pops any
-/// worker blocked in a read immediately — that is what makes shutdown
-/// prompt now that reads block instead of polling.
-#[derive(Default)]
-struct ConnTable {
-    next: AtomicU64,
-    conns: Mutex<HashMap<u64, TcpStream>>,
-}
-
-impl ConnTable {
-    fn insert(&self, stream: &TcpStream) -> u64 {
-        let id = self.next.fetch_add(1, Ordering::Relaxed);
-        if let Ok(dup) = stream.try_clone() {
-            self.conns.lock().insert(id, dup);
-        }
-        id
-    }
-
-    fn remove(&self, id: u64) {
-        self.conns.lock().remove(&id);
-    }
-
-    fn shutdown_all(&self) {
-        for conn in self.conns.lock().values() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-    }
-}
-
 /// A running TCP service; dropping the handle stops it.
 pub struct ServiceHandle {
     /// The bound address (useful with port 0).
     pub addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    conns: Arc<ConnTable>,
+    shared: Arc<ReactorShared>,
     join: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl ServiceHandle {
-    /// Request shutdown and wait for the accept loop and every connection
-    /// worker to exit.
+    /// Request shutdown and wait for the reactor and every executor
+    /// thread to exit.
     pub fn shutdown(mut self) {
         self.stop_inner();
     }
@@ -338,18 +388,15 @@ impl ServiceHandle {
 
     fn stop_inner(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // The accept loop blocks in accept(); a throwaway connect pops it
-        // so it can observe the stop flag. Kicking live connections loose
-        // unblocks any worker mid-read.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
-        self.conns.shutdown_all();
+        // The reactor parks in epoll_wait; its wakeup eventfd pops it
+        // immediately. (The old accept loop needed a throwaway self-
+        // connect here — the reactor does not.) The reactor observes the
+        // flag, shuts every connection down, closes the listener, and
+        // drops the job sender so the executor drains and exits.
+        self.shared.waker.wake();
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
-        // The accept thread dropped its sender; workers drain whatever was
-        // queued (dropping it under the stop flag) and exit. A second
-        // sweep catches connections accepted during the first.
-        self.conns.shutdown_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -363,8 +410,8 @@ impl Drop for ServiceHandle {
 }
 
 /// Serve `handler` on `addr` ("host:0" picks a free port) with default
-/// options. Each connection is handled frame-by-frame on its own thread;
-/// the handler maps requests to responses.
+/// options. Connections are multiplexed on one reactor; the handler maps
+/// requests to responses on the executor pool.
 pub fn serve<F>(addr: &str, name: &'static str, handler: F) -> io::Result<ServiceHandle>
 where
     F: Fn(Request) -> Response + Send + Sync + 'static,
@@ -372,15 +419,164 @@ where
     serve_with(addr, name, ServeOptions::default(), handler)
 }
 
-/// [`serve`], with explicit timeouts and optional fault injection.
+// ---------------------------------------------------------------------------
+// Reactor serve path
+// ---------------------------------------------------------------------------
+
+const TOK_LISTENER: u64 = 0;
+const TOK_WAKER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// A connection whose outbound queue exceeds this many bytes is a slow (or
+/// absent) consumer; it is closed rather than buffered without bound.
+const WRITE_BUF_CAP: usize = 4 * MAX_FRAME as usize;
+
+/// Decoded-but-undispatched frames a connection may hold while the
+/// executor queue is full before the reactor stops reading its socket.
+const PARKED_FRAMES_CAP: usize = 256;
+
+/// One decoded request frame, handed to the executor.
+struct Job {
+    conn: u64,
+    payload: Vec<u8>,
+}
+
+/// What the executor hands back to the reactor.
+enum Completion {
+    /// Append these bytes (a serialized reply frame; possibly empty when a
+    /// fault plan "lost" it) to the connection's write queue.
+    Reply { conn: u64, bytes: Vec<u8> },
+    /// The frame was unparseable — the stream can't be trusted; close it.
+    Close { conn: u64 },
+}
+
+/// State shared between the reactor, the executor, and the handle.
+struct ReactorShared {
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl ReactorShared {
+    fn push(&self, c: Completion) {
+        self.completions.lock().push(c);
+        self.waker.wake();
+    }
+}
+
+/// Per-connection frame state machine.
+struct Conn {
+    stream: TcpStream,
+    frames: FrameBuf,
+    /// Decoded frames waiting for an executor slot.
+    parked: VecDeque<Vec<u8>>,
+    /// Outbound reply frames; the first may be partially written.
+    wbufs: VecDeque<Vec<u8>>,
+    woff: usize,
+    wbytes: usize,
+    /// Frames dispatched to the executor and not yet completed.
+    inflight: usize,
+    /// Read side saw EOF or an error; no more requests will arrive.
+    peer_gone: bool,
+    /// Unrecoverable (protocol violation, write failure): close now.
+    dead: bool,
+    interest: Interest,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            frames: FrameBuf::new(MAX_FRAME as usize),
+            parked: VecDeque::new(),
+            wbufs: VecDeque::new(),
+            woff: 0,
+            wbytes: 0,
+            inflight: 0,
+            peer_gone: false,
+            dead: false,
+            interest: Interest::READ,
+        }
+    }
+
+    /// Drain the socket into the frame buffer (never blocks).
+    fn on_readable(&mut self) {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.peer_gone = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.frames.extend(&buf[..n]);
+                    if n < buf.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.peer_gone = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Flush queued reply frames with vectored writes (never blocks).
+    fn flush(&mut self) {
+        while !self.wbufs.is_empty() {
+            let mut slices: Vec<io::IoSlice<'_>> = Vec::with_capacity(self.wbufs.len().min(64));
+            slices.push(io::IoSlice::new(&self.wbufs[0][self.woff..]));
+            for b in self.wbufs.iter().skip(1).take(63) {
+                slices.push(io::IoSlice::new(b));
+            }
+            match self.stream.write_vectored(&slices) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(mut n) => {
+                    self.wbytes -= n;
+                    while n > 0 {
+                        let first_rem = self.wbufs[0].len() - self.woff;
+                        if n >= first_rem {
+                            n -= first_rem;
+                            self.wbufs.pop_front();
+                            self.woff = 0;
+                        } else {
+                            self.woff += n;
+                            n = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// [`serve`], with explicit options.
 ///
-/// The accept loop *blocks* (zero idle wakeups; the seed polled a
-/// nonblocking listener ~500 times a second) and hands each accepted
-/// connection to one of [`ServeOptions::workers`] long-lived worker
-/// threads over a bounded channel — the per-service thread count no longer
-/// grows with connection churn. Shutdown is prompt: a throwaway connect
-/// pops the blocking accept, and every live connection is shut down so no
-/// worker stays parked in a read.
+/// The serve path is a readiness-driven reactor: one thread owns a
+/// nonblocking listener, a wakeup eventfd, and every accepted socket
+/// through a level-triggered epoll set — concurrent connections cost a few
+/// hundred bytes each instead of a thread each. Complete frames hand off
+/// to a bounded executor pool (`workers` threads) where fault injection,
+/// admission control, deadline shedding, tracing, and the handler run
+/// exactly as they did on the blocking path; serialized replies return to
+/// the reactor over a completion queue and go out with vectored writes.
+/// Responses carry the request's `request_id`, so pipelined clients may
+/// have many frames in flight and receive replies out of order. When the
+/// executor queue is full the reactor parks frames and stops reading that
+/// connection — back-pressure reaches the client as TCP flow control, not
+/// as unbounded memory. Shutdown is prompt and needs no self-connect: the
+/// eventfd pops `epoll_wait`.
 pub fn serve_with<F>(
     addr: &str,
     name: &'static str,
@@ -391,32 +587,39 @@ where
     F: Fn(Request) -> Response + Send + Sync + 'static,
 {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let handler = Arc::new(handler);
-    let conns = Arc::new(ConnTable::default());
-    let worker_count = opts.workers.max(1);
-    let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(worker_count);
+    let shared = Arc::new(ReactorShared {
+        completions: Mutex::new(Vec::new()),
+        waker: Waker::new()?,
+    });
+    let epoll = Epoll::new()?;
+    epoll.add(listener.as_raw_fd(), TOK_LISTENER, Interest::READ)?;
+    epoll.add(shared.waker.fd(), TOK_WAKER, Interest::READ)?;
 
+    let worker_count = opts.workers.max(1);
+    let (tx, rx) = crossbeam::channel::bounded::<Job>(opts.queue.max(worker_count));
     let mut workers = Vec::with_capacity(worker_count);
     for i in 0..worker_count {
         let rx = rx.clone();
         let handler = Arc::clone(&handler);
         let opts = opts.clone();
         let stop = Arc::clone(&stop);
-        let conns = Arc::clone(&conns);
+        let shared = Arc::clone(&shared);
         workers.push(
             std::thread::Builder::new()
-                .name(format!("faucets-{name}-w{i}"))
+                .name(format!("faucets-{name}-x{i}"))
                 .spawn(move || {
-                    while let Ok(stream) = rx.recv() {
-                        let id = conns.insert(&stream);
-                        let open =
-                            effective(&opts.registry).gauge("net_open_conns", &[("service", name)]);
-                        open.add(1.0);
-                        handle_conn(stream, &*handler, &opts, name, &stop);
-                        open.add(-1.0);
-                        conns.remove(id);
+                    while let Ok(job) = rx.recv() {
+                        // Frames queued behind a shutdown are dropped, not
+                        // served one last time.
+                        if stop.load(Ordering::SeqCst) {
+                            continue;
+                        }
+                        let done = process_frame(job, &*handler, &opts, name);
+                        shared.push(done);
                     }
                 })?,
         );
@@ -424,163 +627,355 @@ where
     drop(rx);
 
     let stop2 = Arc::clone(&stop);
+    let shared2 = Arc::clone(&shared);
     let registry = opts.registry.clone();
     let join = std::thread::Builder::new()
         .name(format!("faucets-{name}"))
-        .spawn(move || {
-            loop {
-                if stop2.load(Ordering::SeqCst) {
-                    break;
-                }
-                let stream = match listener.accept() {
-                    Ok((stream, _)) => stream,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    Err(_) => break,
-                };
-                // The stream may be the shutdown wake-up connect; checking
-                // after accept keeps shutdown prompt either way.
-                if stop2.load(Ordering::SeqCst) {
-                    break;
-                }
-                effective(&registry)
-                    .counter("net_conns_accepted_total", &[("service", name)])
-                    .inc();
-                if tx.send(stream).is_err() {
-                    break;
-                }
-            }
-            // Dropping the sender ends every worker's recv loop once the
-            // queue drains.
-            drop(tx);
-        })?;
+        .spawn(move || reactor_loop(epoll, listener, stop2, shared2, tx, registry, name))?;
 
     Ok(ServiceHandle {
         addr: local,
         stop,
-        conns,
+        shared,
         join: Some(join),
         workers,
     })
 }
 
-fn handle_conn<F>(
-    mut stream: TcpStream,
-    handler: &F,
-    opts: &ServeOptions,
+fn reactor_loop(
+    epoll: Epoll,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    shared: Arc<ReactorShared>,
+    jobs: crossbeam::channel::Sender<Job>,
+    registry: Option<Arc<Registry>>,
     name: &'static str,
-    stop: &AtomicBool,
-) where
-    F: Fn(Request) -> Response + Send + Sync + 'static,
-{
-    let _ = stream.set_nodelay(true);
-    if opts.timeouts.apply(&stream).is_err() {
-        return;
-    }
-    let faults = opts.faults.as_deref();
+) {
+    let reg = effective(&registry);
+    let labels = [("service", name)];
+    let g_fds = reg.gauge("net_reactor_registered_fds", &labels);
+    let g_open = reg.gauge("net_open_conns", &labels);
+    let c_accepted = reg.counter("net_conns_accepted_total", &labels);
+    let h_ready = reg.histogram("net_reactor_ready_events", &labels);
+    let g_queue = reg.gauge("net_reactor_executor_queue", &labels);
+    let c_wakeups = reg.counter("net_reactor_wakeups_total", &labels);
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut events: Vec<Event> = Vec::new();
+    let mut touched: Vec<u64> = Vec::new();
+
     loop {
-        // Connections queued behind a shutdown (or kicked loose by it) are
-        // dropped here instead of being served one last frame.
+        // Harvest executor completions first: replies join their
+        // connection's write queue, inflight counts drop, protocol
+        // violations mark their connection dead.
+        {
+            let mut pending = shared.completions.lock();
+            for c in pending.drain(..) {
+                let (token, bytes) = match c {
+                    Completion::Reply { conn, bytes } => (conn, Some(bytes)),
+                    Completion::Close { conn } => (conn, None),
+                };
+                // The connection may already be gone (closed for its own
+                // reasons while the job ran); its reply is simply dropped.
+                if let Some(conn) = conns.get_mut(&token) {
+                    conn.inflight -= 1;
+                    match bytes {
+                        Some(b) if !b.is_empty() => {
+                            conn.wbytes += b.len();
+                            conn.wbufs.push_back(b);
+                        }
+                        Some(_) => {} // fault plan dropped the reply
+                        None => conn.dead = true,
+                    }
+                    touched.push(token);
+                }
+            }
+        }
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(Some(env)) = read_frame_with::<_, Envelope<Request>>(&mut stream, None) else {
+
+        // Service every connection something happened to: decode newly
+        // buffered frames, dispatch to the executor, flush writes, adjust
+        // epoll interest, and reap finished connections.
+        touched.sort_unstable();
+        touched.dedup();
+        for token in touched.drain(..) {
+            service_conn(&epoll, &mut conns, token, &jobs, &g_open, &g_fds);
+        }
+        g_queue.set(jobs.len() as f64);
+
+        // Block until something is ready. No timeout: every state change
+        // arrives as an fd event (socket readiness, accept, eventfd).
+        if epoll.wait(&mut events, None).is_err() {
             break;
-        };
-        let Envelope {
-            ctx,
-            deadline_ms,
-            msg: req,
-        } = env;
-        let reg = effective(&opts.registry);
-        // The serve layer answers metrics queries itself, so every service
-        // exposes the endpoint without touching its handler. Metrics are
-        // exempt from admission control: observability must keep working
-        // precisely when the service is drowning.
-        if matches!(req, Request::Metrics) {
-            let resp = Response::Metrics(reg.snapshot());
-            let reply = Envelope {
-                ctx,
-                deadline_ms: None,
-                msg: resp,
-            };
-            if write_frame_with(&mut stream, &reply, faults).is_err() {
-                break;
-            }
-            continue;
         }
-        let endpoint = req.endpoint();
-        let labels = [("service", name), ("endpoint", endpoint)];
-        reg.counter("net_requests_total", &labels).inc();
-        // Admission control: fault-injected rejections share the real
-        // shed path, then the per-endpoint inflight bound applies. Over
-        // the bound we fast-fail with a typed Overloaded answer instead
-        // of queueing without limit.
-        let injected = faults.is_some_and(|p| p.inject_overload(endpoint.as_bytes()));
-        let permit = if injected {
-            None
-        } else {
-            opts.limits.try_enter(endpoint)
-        };
-        let Some(_permit) = permit else {
-            reg.counter("net_overload_rejections_total", &labels).inc();
-            let reply = Envelope {
-                ctx,
-                deadline_ms: None,
-                msg: Response::Overloaded {
-                    retry_after_ms: OVERLOAD_RETRY_HINT_MS,
-                },
-            };
-            if write_frame_with(&mut stream, &reply, faults).is_err() {
-                break;
+        h_ready.record(events.len() as f64);
+        for i in 0..events.len() {
+            let ev = events[i];
+            match ev.token {
+                TOK_LISTENER => {
+                    let accepted =
+                        accept_ready(&listener, &epoll, &mut conns, &mut next_token, &mut touched);
+                    c_accepted.add(accepted as u64);
+                    g_open.add(accepted as f64);
+                    g_fds.set(conns.len() as f64);
+                }
+                TOK_WAKER => {
+                    shared.waker.drain();
+                    c_wakeups.inc();
+                }
+                token => {
+                    if let Some(conn) = conns.get_mut(&token) {
+                        if ev.readable {
+                            conn.on_readable();
+                        }
+                        if ev.writable {
+                            conn.flush();
+                        }
+                        touched.push(token);
+                    }
+                }
             }
-            continue;
-        };
-        reg.gauge("net_inflight", &labels)
-            .set(opts.limits.inflight(endpoint) as f64);
-        // Doomed-work elimination: a request whose propagated deadline
-        // already expired in flight is shed before the handler spends
-        // anything on it — the caller has abandoned the answer.
-        if deadline_ms == Some(0) {
-            reg.counter("net_deadline_sheds_total", &labels).inc();
-            let reply = Envelope {
-                ctx,
-                deadline_ms: None,
-                msg: Response::Overloaded { retry_after_ms: 0 },
-            };
-            if write_frame_with(&mut stream, &reply, faults).is_err() {
-                break;
-            }
-            continue;
-        }
-        let _deadline_guard =
-            set_request_deadline(deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)));
-        // The server span becomes this thread's current context, so any
-        // outbound call the handler makes rides the same trace.
-        let mut span = trace::server_span(ctx, name, endpoint);
-        let sw = TelemetryClock::wall().stopwatch();
-        let resp = handler(req);
-        sw.observe(&reg.histogram("net_request_seconds", &labels));
-        if matches!(resp, Response::Error(_)) {
-            reg.counter("net_errors_total", &labels).inc();
-            span.fail();
-        }
-        let reply_ctx = Some(span.ctx());
-        drop(span);
-        if write_frame_with(
-            &mut stream,
-            &Envelope {
-                ctx: reply_ctx,
-                deadline_ms: None,
-                msg: resp,
-            },
-            faults,
-        )
-        .is_err()
-        {
-            break;
         }
     }
+
+    // Teardown: kick every connection loose (pops clients blocked in
+    // reads) and drop the job sender so the executor pool drains and
+    // exits.
+    for conn in conns.values() {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+    g_open.set(0.0);
+    g_fds.set(0.0);
+    drop(conns);
+    drop(jobs);
 }
+
+fn accept_ready(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    touched: &mut Vec<u64>,
+) -> usize {
+    let mut accepted = 0;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let token = *next_token;
+                *next_token += 1;
+                if epoll
+                    .add(stream.as_raw_fd(), token, Interest::READ)
+                    .is_err()
+                {
+                    continue;
+                }
+                conns.insert(token, Conn::new(stream));
+                touched.push(token);
+                accepted += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    accepted
+}
+
+/// Decode, dispatch, flush, re-arm interest, and reap one connection.
+fn service_conn(
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    token: u64,
+    jobs: &crossbeam::channel::Sender<Job>,
+    g_open: &faucets_telemetry::metrics::Gauge,
+    g_fds: &faucets_telemetry::metrics::Gauge,
+) {
+    let Some(conn) = conns.get_mut(&token) else {
+        return;
+    };
+    if !conn.dead {
+        // Decode buffered bytes into frames, bounded by the parking cap.
+        while conn.parked.len() < PARKED_FRAMES_CAP {
+            match conn.frames.next_frame() {
+                Ok(Some(payload)) => conn.parked.push_back(payload),
+                Ok(None) => break,
+                Err(_) => {
+                    // Oversized length prefix: the stream cannot be
+                    // re-synchronized.
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        // Hand frames to the executor; a full queue parks the rest.
+        while let Some(payload) = conn.parked.pop_front() {
+            match jobs.try_send(Job {
+                conn: token,
+                payload,
+            }) {
+                Ok(()) => conn.inflight += 1,
+                Err(crossbeam::channel::TrySendError::Full(job)) => {
+                    conn.parked.push_front(job.payload);
+                    break;
+                }
+                Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        if !conn.wbufs.is_empty() {
+            conn.flush();
+        }
+        if conn.wbytes > WRITE_BUF_CAP {
+            // Slow consumer: replies are piling up faster than the peer
+            // reads them. Cut it loose rather than buffer without bound.
+            conn.dead = true;
+        }
+    }
+    let finished =
+        conn.peer_gone && conn.inflight == 0 && conn.parked.is_empty() && conn.wbufs.is_empty();
+    if conn.dead || finished {
+        let _ = epoll.remove(conn.stream.as_raw_fd());
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        conns.remove(&token);
+        g_open.add(-1.0);
+        g_fds.set(conns.len() as f64);
+        return;
+    }
+    // Read while the peer may still send and there is parking room; write
+    // while replies are queued.
+    let want = Interest {
+        readable: !conn.peer_gone && conn.parked.len() < PARKED_FRAMES_CAP,
+        writable: !conn.wbufs.is_empty(),
+    };
+    if want != conn.interest {
+        if epoll.modify(conn.stream.as_raw_fd(), token, want).is_err() {
+            conn.dead = true;
+        } else {
+            conn.interest = want;
+        }
+    }
+    g_fds.set(conns.len() as f64);
+}
+
+/// Everything that happens to one request frame once it leaves the
+/// reactor: receive-side fault injection, parsing, the metrics exemption,
+/// admission control, deadline shedding, tracing, the handler itself, and
+/// reply serialization (with send-side faults). This is the same pipeline
+/// the blocking serve path ran inline, now on an executor thread.
+fn process_frame<F>(job: Job, handler: &F, opts: &ServeOptions, name: &'static str) -> Completion
+where
+    F: Fn(Request) -> Response + Send + Sync + 'static,
+{
+    let token = job.conn;
+    let mut payload = job.payload;
+    let faults = opts.faults.as_deref();
+    apply_receive_faults(&mut payload, faults);
+    let env: Envelope<Request> = match parse_payload(&payload) {
+        Ok(env) => env,
+        // A frame that parses to garbage means the stream is garbled or
+        // desynchronized; the connection is closed, as the blocking path
+        // did by breaking its read loop.
+        Err(_) => return Completion::Close { conn: token },
+    };
+    let Envelope {
+        ctx,
+        deadline_ms,
+        request_id,
+        msg: req,
+    } = env;
+    let reg = effective(&opts.registry);
+    let reply = |ctx: Option<TraceContext>, msg: Response| Envelope {
+        ctx,
+        deadline_ms: None,
+        // Echo the request's id so pipelined clients can match this reply
+        // out of order.
+        request_id,
+        msg,
+    };
+    // The serve layer answers metrics queries itself, so every service
+    // exposes the endpoint without touching its handler. Metrics are
+    // exempt from admission control: observability must keep working
+    // precisely when the service is drowning.
+    if matches!(req, Request::Metrics) {
+        return encode_reply(
+            token,
+            &reply(ctx, Response::Metrics(reg.snapshot())),
+            faults,
+        );
+    }
+    let endpoint = req.endpoint();
+    let labels = [("service", name), ("endpoint", endpoint)];
+    reg.counter("net_requests_total", &labels).inc();
+    // Admission control: fault-injected rejections share the real shed
+    // path, then the per-endpoint inflight bound applies. Over the bound
+    // we fast-fail with a typed Overloaded answer instead of queueing
+    // without limit.
+    let injected = faults.is_some_and(|p| p.inject_overload(endpoint.as_bytes()));
+    let permit = if injected {
+        None
+    } else {
+        opts.limits.try_enter(endpoint)
+    };
+    let Some(_permit) = permit else {
+        reg.counter("net_overload_rejections_total", &labels).inc();
+        let env = reply(
+            ctx,
+            Response::Overloaded {
+                retry_after_ms: OVERLOAD_RETRY_HINT_MS,
+            },
+        );
+        return encode_reply(token, &env, faults);
+    };
+    reg.gauge("net_inflight", &labels)
+        .set(opts.limits.inflight(endpoint) as f64);
+    // Doomed-work elimination: a request whose propagated deadline
+    // already expired in flight is shed before the handler spends
+    // anything on it — the caller has abandoned the answer.
+    if deadline_ms == Some(0) {
+        reg.counter("net_deadline_sheds_total", &labels).inc();
+        let env = reply(ctx, Response::Overloaded { retry_after_ms: 0 });
+        return encode_reply(token, &env, faults);
+    }
+    let _deadline_guard =
+        set_request_deadline(deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)));
+    // The server span becomes this thread's current context, so any
+    // outbound call the handler makes rides the same trace.
+    let mut span = trace::server_span(ctx, name, endpoint);
+    let sw = TelemetryClock::wall().stopwatch();
+    let resp = handler(req);
+    sw.observe(&reg.histogram("net_request_seconds", &labels));
+    if matches!(resp, Response::Error(_)) {
+        reg.counter("net_errors_total", &labels).inc();
+        span.fail();
+    }
+    let reply_ctx = Some(span.ctx());
+    drop(span);
+    encode_reply(token, &reply(reply_ctx, resp), faults)
+}
+
+/// Serialize a reply envelope (send-side faults included: a dropped frame
+/// yields empty bytes — "lost on the wire" — and a truncated one a partial
+/// frame, exactly as on a real socket).
+fn encode_reply(token: u64, env: &Envelope<Response>, faults: Option<&FaultPlan>) -> Completion {
+    let mut bytes = Vec::new();
+    match write_frame_with(&mut bytes, env, faults) {
+        Ok(()) => Completion::Reply { conn: token, bytes },
+        Err(_) => Completion::Close { conn: token },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client call path
+// ---------------------------------------------------------------------------
 
 /// One round-trip request against a Faucets service, default options.
 pub fn call(addr: SocketAddr, req: &Request) -> io::Result<Response> {
@@ -657,11 +1052,18 @@ pub fn call_with(addr: SocketAddr, req: &Request, opts: &CallOptions) -> io::Res
 /// Borrowing twin of [`Envelope`] so the send path never clones the
 /// request just to attach a context (field names must match `Envelope`).
 #[derive(Serialize)]
-struct EnvelopeRef<'a, T> {
-    ctx: Option<TraceContext>,
+pub(crate) struct EnvelopeRef<'a, T> {
+    pub(crate) ctx: Option<TraceContext>,
     #[serde(skip_serializing_if = "Option::is_none")]
-    deadline_ms: Option<u64>,
-    msg: &'a T,
+    pub(crate) deadline_ms: Option<u64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub(crate) request_id: Option<u64>,
+    pub(crate) msg: &'a T,
+}
+
+/// Milliseconds of budget left until `deadline`, for envelope stamping.
+pub(crate) fn remaining_ms(deadline: Option<Instant>) -> Option<u64> {
+    deadline.map(|d| d.saturating_duration_since(Instant::now()).as_millis() as u64)
 }
 
 /// One request/response exchange on an established stream.
@@ -674,8 +1076,8 @@ fn round_trip(
     let faults = opts.faults.as_deref();
     let env = EnvelopeRef {
         ctx: trace::current(),
-        deadline_ms: deadline
-            .map(|d| d.saturating_duration_since(Instant::now()).as_millis() as u64),
+        deadline_ms: remaining_ms(deadline),
+        request_id: None,
         msg: req,
     };
     write_frame_with(stream, &env, faults).map_err(io::Error::from)?;
@@ -696,6 +1098,9 @@ fn call_once(
     opts: &CallOptions,
     deadline: Option<Instant>,
 ) -> io::Result<Response> {
+    if opts.mux.is_some() {
+        return mux_call(addr, req, opts, deadline);
+    }
     let Some(pool) = &opts.pool else {
         // Seed behaviour: one connection per call.
         let mut stream = TcpStream::connect_timeout(&addr, opts.connect)?;
@@ -746,13 +1151,147 @@ fn call_once(
     }
 }
 
+/// One round-trip over a multiplexed connection, with the pooled path's
+/// stale-retry semantics: a *reused* shared socket that turns out dead
+/// gets one immediate replacement attempt, invisible to the caller's
+/// retry budget.
+fn mux_call(
+    addr: SocketAddr,
+    req: &Request,
+    opts: &CallOptions,
+    deadline: Option<Instant>,
+) -> io::Result<Response> {
+    let mux = opts
+        .mux
+        .as_ref()
+        .expect("mux_call requires CallOptions::mux");
+    let reg = effective(&opts.registry);
+    let (conn, reused) = mux.checkout(addr, opts, reg)?;
+    match conn.round_trip(req, opts, deadline) {
+        Ok(resp) => Ok(resp),
+        Err(e) => {
+            if !(reused && is_disconnect_error(&e)) {
+                return Err(e);
+            }
+            reg.counter("net_mux_stale_retries_total", &[("pool", mux.name())])
+                .inc();
+            let (conn, _) = mux.checkout(addr, opts, reg)?;
+            conn.round_trip(req, opts, deadline)
+        }
+    }
+}
+
+/// Pipeline a batch of requests over one multiplexed connection: every
+/// request frame is written in a single vectored burst (one syscall for
+/// the whole batch on the happy path), all of them are then in flight at
+/// once, and replies are collected as they come back — in any order,
+/// matched by `request_id`. The result vector is index-aligned with
+/// `reqs`.
+///
+/// Without [`CallOptions::mux`] this degrades to sequential [`call_with`]
+/// calls. With it, per-request results map exactly as `call_with` maps
+/// them (`Response::Overloaded` becomes a typed error, breaker bookkeeping
+/// per result) — but there is **no retry loop** inside the batch; callers
+/// that want retries issue them per failed slot.
+pub fn call_batch(
+    addr: SocketAddr,
+    reqs: &[Request],
+    opts: &CallOptions,
+) -> Vec<io::Result<Response>> {
+    if reqs.is_empty() {
+        return vec![];
+    }
+    let Some(mux) = &opts.mux else {
+        return reqs.iter().map(|r| call_with(addr, r, opts)).collect();
+    };
+    let reg = effective(&opts.registry);
+    let deadline = opts.deadline.map(|d| Instant::now() + d);
+    // One breaker decision gates the whole burst: a peer that is dead or
+    // drowning fast-fails the batch without touching the network.
+    if let Some(breakers) = &opts.breakers {
+        if !breakers.allow(addr, reg) {
+            let hint = breakers.config().cooldown.as_millis() as u64;
+            return reqs
+                .iter()
+                .map(|r| {
+                    reg.counter("net_breaker_fastfails_total", &[("endpoint", r.endpoint())])
+                        .inc();
+                    Err(ProtoError::Overloaded {
+                        retry_after_ms: hint,
+                    }
+                    .into())
+                })
+                .collect();
+        }
+    }
+    for r in reqs {
+        reg.counter("net_call_attempts_total", &[("endpoint", r.endpoint())])
+            .inc();
+    }
+    let conn = match mux.checkout(addr, opts, reg) {
+        Ok((conn, _)) => conn,
+        Err(e) => {
+            if let Some(breakers) = &opts.breakers {
+                breakers.on_failure(addr, reg);
+            }
+            return reqs.iter().map(|_| Err(clone_io_error(&e))).collect();
+        }
+    };
+    let tickets = match conn.begin_batch(reqs, opts, deadline) {
+        Ok(tickets) => tickets,
+        Err(e) => {
+            if let Some(breakers) = &opts.breakers {
+                breakers.on_failure(addr, reg);
+            }
+            return reqs.iter().map(|_| Err(clone_io_error(&e))).collect();
+        }
+    };
+    tickets
+        .into_iter()
+        .zip(reqs)
+        .map(|(ticket, req)| {
+            let labels = [("endpoint", req.endpoint())];
+            match conn.wait(ticket, opts) {
+                Ok(Response::Overloaded { retry_after_ms }) => {
+                    if let Some(breakers) = &opts.breakers {
+                        breakers.on_success(addr, reg);
+                    }
+                    reg.counter("net_call_overloaded_total", &labels).inc();
+                    Err(ProtoError::Overloaded { retry_after_ms }.into())
+                }
+                Ok(resp) => {
+                    if let Some(breakers) = &opts.breakers {
+                        breakers.on_success(addr, reg);
+                    }
+                    Ok(resp)
+                }
+                Err(e) => {
+                    if let Some(breakers) = &opts.breakers {
+                        breakers.on_failure(addr, reg);
+                    }
+                    reg.counter("net_call_failures_total", &labels).inc();
+                    Err(e)
+                }
+            }
+        })
+        .collect()
+}
+
+/// `io::Error` is not `Clone`; preserve kind and message for fan-out.
+fn clone_io_error(e: &io::Error) -> io::Error {
+    io::Error::new(e.kind(), e.to_string())
+}
+
 /// Fan one request out to many peers concurrently over at most
 /// `max_concurrency` threads, each call going through [`call_with`] with
 /// the full retry/breaker/deadline/pool machinery. The result vector is
 /// index-aligned with `addrs`, and every worker runs under the calling
 /// thread's trace context, so the fan-out's frames all join the caller's
 /// trace — this is the client's one-round bid solicitation (§2.2) over
-/// warm pooled connections.
+/// warm pooled connections. With [`CallOptions::mux`] set, concurrent
+/// workers targeting the same peer share warm sockets and their frames
+/// pipeline on them, instead of each worker holding a socket exclusively
+/// for its round-trip.
 pub fn call_many(
     addrs: &[SocketAddr],
     req: &Request,
@@ -806,6 +1345,44 @@ mod tests {
     }
 
     #[test]
+    fn stop_signal_wakes_waiters_immediately() {
+        let sig = Arc::new(StopSignal::new());
+        let s2 = Arc::clone(&sig);
+        let waiter = std::thread::spawn(move || {
+            let start = Instant::now();
+            let stopped = s2.wait_for(Duration::from_secs(30));
+            (stopped, start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        sig.stop();
+        let (stopped, waited) = waiter.join().unwrap();
+        assert!(stopped, "wait_for reports the stop");
+        assert!(
+            waited < Duration::from_secs(5),
+            "stop() must interrupt the wait, not let it run the interval: {waited:?}"
+        );
+        // Once stopped, waits return immediately.
+        let t = Instant::now();
+        assert!(sig.wait_for(Duration::from_secs(30)));
+        assert!(t.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn stop_signal_notify_wakes_without_stopping() {
+        let sig = Arc::new(StopSignal::new());
+        let s2 = Arc::clone(&sig);
+        let waiter = std::thread::spawn(move || s2.wait_for(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(30));
+        sig.notify();
+        assert!(
+            !waiter.join().unwrap(),
+            "notify wakes the waiter but the signal is not stopped"
+        );
+        // And a plain timeout also reports "not stopped".
+        assert!(!sig.wait_for(Duration::from_millis(5)));
+    }
+
+    #[test]
     fn echo_service_round_trip() {
         let h = serve("127.0.0.1:0", "echo", |req| match req {
             Request::Login { user, .. } => Response::Error(format!("hello {user}")),
@@ -856,6 +1433,102 @@ mod tests {
                 .map(|o| o.is_none())
                 .unwrap_or(true));
         }
+    }
+
+    /// Satellite regression: `kill()` (and drop) must stay prompt with no
+    /// throwaway self-connect, even while clients are actively churning
+    /// connections — the eventfd wakeup pops the reactor out of
+    /// `epoll_wait` regardless of socket traffic.
+    #[test]
+    fn kill_is_prompt_under_connection_churn() {
+        let h = serve("127.0.0.1:0", "churnkill", |_| Response::Ok).unwrap();
+        let addr = h.addr;
+        let done = Arc::new(AtomicBool::new(false));
+        let churners: Vec<_> = (0..4)
+            .map(|_| {
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let req = Request::VerifyToken {
+                        token: faucets_core::auth::SessionToken("t".into()),
+                    };
+                    let opts = CallOptions {
+                        timeouts: Timeouts::both(Duration::from_millis(300)),
+                        connect: Duration::from_millis(300),
+                        ..CallOptions::default()
+                    };
+                    while !done.load(Ordering::Relaxed) {
+                        let _ = call_with(addr, &req, &opts);
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        let t = Instant::now();
+        h.kill();
+        let elapsed = t.elapsed();
+        done.store(true, Ordering::Relaxed);
+        for c in churners {
+            c.join().unwrap();
+        }
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "kill() under churn took {elapsed:?}"
+        );
+    }
+
+    /// The reactor's pipelining contract: many request frames written in
+    /// one burst on a single connection, replies matched by `request_id`
+    /// even when handler latencies force them out of order.
+    #[test]
+    fn pipelined_frames_match_replies_by_request_id() {
+        let h = serve("127.0.0.1:0", "pipeline", |req| match req {
+            Request::Login { user, .. } => {
+                // Earlier requests sleep longer, so replies tend to come
+                // back in reverse order of submission.
+                let n: u64 = user.parse().unwrap_or(0);
+                std::thread::sleep(Duration::from_millis((16 - n) * 3));
+                Response::Error(user)
+            }
+            _ => Response::Ok,
+        })
+        .unwrap();
+        let mut s = TcpStream::connect(h.addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        const N: u64 = 16;
+        let mut burst = Vec::new();
+        for i in 0..N {
+            let env = Envelope {
+                ctx: None,
+                deadline_ms: None,
+                request_id: Some(1000 + i),
+                msg: Request::Login {
+                    user: format!("{i}"),
+                    password: "p".into(),
+                },
+            };
+            crate::proto::write_frame(&mut burst, &env).unwrap();
+        }
+        s.write_all(&burst).unwrap();
+        let mut seen = std::collections::HashMap::new();
+        for _ in 0..N {
+            let reply: Envelope<Response> = crate::proto::read_frame(&mut s)
+                .unwrap()
+                .expect("a reply per request");
+            let id = reply.request_id.expect("server echoes the request id");
+            let Response::Error(user) = reply.msg else {
+                panic!("echo handler answers Error(user)")
+            };
+            seen.insert(id, user);
+        }
+        for i in 0..N {
+            assert_eq!(
+                seen.get(&(1000 + i)).map(String::as_str),
+                Some(format!("{i}").as_str()),
+                "reply for id {} carries its own request's payload",
+                1000 + i
+            );
+        }
+        h.shutdown();
     }
 
     #[test]
@@ -1060,6 +1733,73 @@ mod tests {
             1,
             "the server accepted exactly one connection"
         );
+        h.shutdown();
+    }
+
+    #[test]
+    fn mux_calls_share_one_connection_and_batch_pipelines() {
+        use crate::pool::{MuxConfig, MuxPool};
+        let server_reg = Arc::new(Registry::new());
+        let h = serve_with(
+            "127.0.0.1:0",
+            "muxed",
+            ServeOptions {
+                registry: Some(Arc::clone(&server_reg)),
+                ..ServeOptions::default()
+            },
+            |req| match req {
+                Request::Login { user, .. } => Response::Error(user),
+                _ => Response::Ok,
+            },
+        )
+        .unwrap();
+        let mux = Arc::new(MuxPool::new(
+            "test-mux",
+            MuxConfig {
+                conns_per_peer: 1,
+                ..MuxConfig::default()
+            },
+        ));
+        let opts = CallOptions {
+            mux: Some(Arc::clone(&mux)),
+            ..CallOptions::default()
+        };
+        // Sequential calls ride the same shared socket.
+        for _ in 0..5 {
+            let r = call_with(
+                h.addr,
+                &Request::VerifyToken {
+                    token: faucets_core::auth::SessionToken("t".into()),
+                },
+                &opts,
+            )
+            .unwrap();
+            assert_eq!(r, Response::Ok);
+        }
+        // A batch pipelines on it too, results index-aligned.
+        let reqs: Vec<Request> = (0..8)
+            .map(|i| Request::Login {
+                user: format!("u{i}"),
+                password: "p".into(),
+            })
+            .collect();
+        let results = call_batch(h.addr, &reqs, &opts);
+        assert_eq!(results.len(), 8);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(
+                *r.as_ref().expect("batch slot succeeded"),
+                Response::Error(format!("u{i}")),
+                "slot {i} got its own reply"
+            );
+        }
+        assert_eq!(
+            server_reg
+                .snapshot()
+                .counter_sum("net_conns_accepted_total", &[("service", "muxed")]),
+            1,
+            "five calls and an 8-deep batch all shared one connection"
+        );
+        assert_eq!(mux.open_connections(), 1);
         h.shutdown();
     }
 

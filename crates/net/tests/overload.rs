@@ -277,6 +277,7 @@ fn expired_deadline_is_shed_before_the_handler() {
     let env = Envelope {
         ctx: None,
         deadline_ms: Some(0),
+        request_id: None,
         msg: Request::Login {
             user: "x".into(),
             password: "y".into(),

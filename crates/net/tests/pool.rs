@@ -2,8 +2,8 @@
 //!
 //! Covers the three pool behaviours the unit tests can't reach end-to-end:
 //! frame faults poisoning a warm socket (and the next call recovering on a
-//! fresh one), per-call connection churn staying bounded by the serve-side
-//! worker pool, and a many-client stress run where the shared pool keeps
+//! fresh one), per-call connection churn staying bounded by the live
+//! client count, and a many-client stress run where the shared pool keeps
 //! the hit rate high and every counter visible through the server's own
 //! `Metrics` endpoint.
 
@@ -89,10 +89,11 @@ fn faulty_frames_poison_the_pooled_socket_and_calls_recover() {
     h.shutdown();
 }
 
-/// Per-call connections from many concurrent clients: the serve-side
-/// worker pool bounds live handles at `workers` no matter how many
-/// connections churn through, the gauge drains back to zero, and shutdown
-/// stays prompt (no 2 ms poll loop, no per-connection threads to orphan).
+/// Per-call connections from many concurrent clients: the reactor keeps
+/// open connections bounded by the live client count (connections are
+/// parked state, not threads, so churn never accumulates handles), the
+/// gauge drains back to zero, and shutdown stays prompt (no poll loop, no
+/// per-connection threads to orphan).
 #[test]
 fn connection_churn_keeps_handles_bounded() {
     const WORKERS: usize = 4;
@@ -147,10 +148,15 @@ fn connection_churn_keeps_handles_bounded() {
         sampler.join().unwrap()
     });
 
+    // Each client runs one call at a time on its own socket, so the
+    // reactor can never be tracking more connections than live clients
+    // (the old worker-pool serve path bounded this at WORKERS; the
+    // reactor holds connections as parked state instead, bounded by the
+    // sockets that actually exist).
     assert!(
-        max_open <= WORKERS as f64,
-        "live connection handles never exceeded the worker bound: \
-         saw {max_open}, workers {WORKERS}"
+        max_open <= CLIENTS as f64,
+        "live connection handles never exceeded the client count: \
+         saw {max_open}, clients {CLIENTS}"
     );
     let snap = server_reg.snapshot();
     assert_eq!(

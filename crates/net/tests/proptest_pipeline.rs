@@ -1,0 +1,202 @@
+//! Multiplexing correctness under arbitrary interleavings: whatever order
+//! responses come back in — permuted, partially lost, or the connection
+//! failing mid-flight — every completion reaches exactly the caller that
+//! registered its `request_id`, or surfaces as a typed error. A crossed
+//! wire (caller A paid caller B's reply) is the one catastrophic failure
+//! mode of request pipelining, so it gets the property treatment, both on
+//! the bare [`PendingMap`] and over real sockets with a permuted reply
+//! schedule.
+
+use faucets_net::pool::PendingMap;
+use faucets_net::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Build the response payload only request `id` may legitimately receive.
+fn payload_for(id: u64) -> Response {
+    Response::Error(format!("payload-{id}"))
+}
+
+/// Derive a permutation of `0..n` from proptest-chosen swap indices, so
+/// shrinking stays meaningful (fewer/smaller swaps → closer to identity).
+fn permute(n: usize, swaps: &[(usize, usize)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for &(a, b) in swaps {
+        order.swap(a % n, b % n);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Complete registered requests in an arbitrary order: every waiter
+    /// observes exactly its own payload, no matter the interleaving.
+    #[test]
+    fn out_of_order_completions_reach_their_registrants(
+        n in 1usize..24,
+        swaps in prop::collection::vec((0usize..24, 0usize..24), 0..48),
+    ) {
+        let map = Arc::new(PendingMap::new());
+        let tickets: Vec<_> = (0..n as u64).map(|id| map.register(id)).collect();
+        let order = permute(n, &swaps);
+
+        let completer = {
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || {
+                for idx in order {
+                    assert!(
+                        map.complete(idx as u64, payload_for(idx as u64)),
+                        "registered id {idx} must find its waiter"
+                    );
+                }
+            })
+        };
+        for (id, ticket) in tickets.into_iter().enumerate() {
+            let got = map
+                .wait(ticket, Duration::from_secs(5))
+                .expect("completed request must succeed");
+            prop_assert_eq!(got, payload_for(id as u64), "crossed wire at id {}", id);
+        }
+        completer.join().unwrap();
+        prop_assert!(map.is_empty(), "all slots consumed");
+    }
+
+    /// Complete only a subset, then fail the connection: completed
+    /// requests get exactly their payload, the rest get a typed
+    /// disconnect error — never silence, never someone else's bytes.
+    #[test]
+    fn partial_completion_then_failure_never_crosses_wires(
+        n in 1usize..24,
+        swaps in prop::collection::vec((0usize..24, 0usize..24), 0..48),
+        keep in 0usize..24,
+    ) {
+        let map = Arc::new(PendingMap::new());
+        let tickets: Vec<_> = (0..n as u64).map(|id| map.register(id)).collect();
+        // An arbitrary subset (prefix of a permutation) completes before
+        // the "connection" dies under everyone else.
+        let order = permute(n, &swaps);
+        let completed: Vec<usize> = order[..keep.min(n)].to_vec();
+        for &idx in &completed {
+            prop_assert!(map.complete(idx as u64, payload_for(idx as u64)));
+        }
+        map.fail_all("mux connection lost");
+
+        for (id, ticket) in tickets.into_iter().enumerate() {
+            match map.wait(ticket, Duration::from_secs(5)) {
+                Ok(got) => {
+                    prop_assert!(
+                        completed.contains(&id),
+                        "id {} succeeded without being completed", id
+                    );
+                    prop_assert_eq!(got, payload_for(id as u64), "crossed wire at id {}", id);
+                }
+                Err(e) => {
+                    prop_assert!(
+                        !completed.contains(&id),
+                        "completed id {} surfaced an error: {}", id, e
+                    );
+                    prop_assert_eq!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted,
+                        "failure is the typed disconnect"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A late completion for an abandoned (timed-out) id is an orphan:
+    /// `complete` reports no waiter, and the abandoned caller saw a typed
+    /// timeout — not a stale or foreign payload.
+    #[test]
+    fn abandoned_ids_turn_late_replies_into_orphans(
+        n in 1usize..16,
+        abandon_mask in 0u32..65536,
+    ) {
+        let map = PendingMap::new();
+        let tickets: Vec<_> = (0..n as u64).map(|id| map.register(id)).collect();
+        let mut abandoned = Vec::new();
+        for (id, ticket) in tickets.into_iter().enumerate() {
+            if abandon_mask & (1u32 << id) != 0 {
+                // Zero timeout: the caller gives up before any reply.
+                let e = map.wait(ticket, Duration::ZERO).unwrap_err();
+                prop_assert_eq!(e.kind(), std::io::ErrorKind::TimedOut);
+                abandoned.push(id);
+            } else {
+                map.abandon(ticket.id());
+                abandoned.push(id);
+            }
+        }
+        for id in abandoned {
+            prop_assert!(
+                !map.complete(id as u64, payload_for(id as u64)),
+                "late reply for abandoned id {} must be an orphan", id
+            );
+        }
+        prop_assert!(map.is_empty());
+    }
+}
+
+/// End-to-end: a real server whose handler stalls each request by a
+/// proptest-chosen amount, so replies come back in an adversarial order
+/// over one shared mux socket — every batched caller still gets the
+/// response to its own request.
+#[test]
+fn permuted_reply_schedules_match_batch_slots_over_real_sockets() {
+    // Deterministic-seeded schedule sweep, kept short: three schedules of
+    // sixteen stalls each (the proptest cases above cover the state
+    // space; this pins the socket plumbing).
+    for seed in [3u64, 17, 40] {
+        let h = serve_with(
+            "127.0.0.1:0",
+            "permuted",
+            ServeOptions::default(),
+            move |req| {
+                let Request::Login { user, .. } = req else {
+                    return Response::Error("unexpected".into());
+                };
+                let n: u64 = user.trim_start_matches('u').parse().unwrap_or(0);
+                // A seed-keyed stall permutes completion order vs arrival
+                // order (requests run concurrently on the executor pool).
+                let stall = (n * seed + seed) % 40;
+                std::thread::sleep(Duration::from_millis(stall));
+                Response::Error(format!("u{n}"))
+            },
+        )
+        .unwrap();
+
+        let mux = Arc::new(MuxPool::new(
+            "permuted",
+            MuxConfig {
+                conns_per_peer: 1,
+                ..MuxConfig::default()
+            },
+        ));
+        let opts = CallOptions {
+            mux: Some(mux),
+            timeouts: Timeouts::both(Duration::from_secs(5)),
+            retry: RetryPolicy::none(),
+            ..CallOptions::default()
+        };
+        let reqs: Vec<Request> = (0..16)
+            .map(|i| Request::Login {
+                user: format!("u{i}"),
+                password: String::new(),
+            })
+            .collect();
+        let results = call_batch(h.addr, &reqs, &opts);
+        for (i, r) in results.into_iter().enumerate() {
+            match r.unwrap_or_else(|e| panic!("seed {seed} slot {i}: {e}")) {
+                Response::Error(tag) => assert_eq!(
+                    tag,
+                    format!("u{i}"),
+                    "seed {seed}: slot {i} was paid someone else's reply"
+                ),
+                other => panic!("seed {seed} slot {i}: unexpected {other:?}"),
+            }
+        }
+        h.shutdown();
+    }
+}
