@@ -26,7 +26,7 @@ use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`ConnPool`].
@@ -291,15 +291,48 @@ impl Default for MuxConfig {
 /// The completion slot a multiplexed caller waits on. `Ticket::id` is the
 /// `request_id` stamped into the request envelope; the reader thread (or
 /// [`PendingMap::fail_all`]) fills the slot and wakes the waiter.
+///
+/// A ticket dropped without [`PendingMap::wait`] cleans up after itself:
+/// its id is abandoned (the late reply becomes an orphan, not a leaked
+/// slot) and any in-flight accounting it carries is released — a caller
+/// that panics mid-batch must not leave ids registered and the connection
+/// looking loaded forever.
 pub struct Ticket {
     id: u64,
     slot: Arc<Slot>,
+    pending: Weak<PendingMap>,
+    /// The owning connection's in-flight counter, once this ticket is
+    /// counted in it (set by the mux layer after a successful send).
+    inflight: Weak<AtomicUsize>,
+    /// Cleared when `wait` consumes the ticket: from then on the explicit
+    /// abandon/decrement paths own the bookkeeping.
+    armed: bool,
 }
 
 impl Ticket {
     /// The request id this ticket is waiting for.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Tie this ticket to a connection's in-flight counter so a drop
+    /// without `wait` releases the slot it occupies.
+    fn track_inflight(&mut self, counter: &Arc<AtomicUsize>) {
+        self.inflight = Arc::downgrade(counter);
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        if let Some(pending) = self.pending.upgrade() {
+            pending.abandon(self.id);
+        }
+        if let Some(inflight) = self.inflight.upgrade() {
+            inflight.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 }
 
@@ -328,14 +361,20 @@ impl PendingMap {
     /// Register a waiter for `id`. Panics if `id` is already in flight
     /// (callers allocate ids from an atomic counter, so a collision is a
     /// bug, not a race).
-    pub fn register(&self, id: u64) -> Ticket {
+    pub fn register(self: &Arc<Self>, id: u64) -> Ticket {
         let slot = Arc::new(Slot {
             state: parking_lot::Mutex::new(None),
             cv: parking_lot::Condvar::new(),
         });
         let prev = self.slots.lock().insert(id, Arc::clone(&slot));
         assert!(prev.is_none(), "request id {id} registered twice");
-        Ticket { id, slot }
+        Ticket {
+            id,
+            slot,
+            pending: Arc::downgrade(self),
+            inflight: Weak::new(),
+            armed: true,
+        }
     }
 
     /// Deliver the response for `id`. Returns `false` (an orphan) when no
@@ -379,7 +418,14 @@ impl PendingMap {
     /// Block until the ticket's slot fills or `timeout` passes. On
     /// timeout the id is abandoned; a response that arrives later is an
     /// orphan, not a wrong answer for the next request.
-    pub fn wait(&self, ticket: Ticket, timeout: Duration) -> io::Result<crate::proto::Response> {
+    pub fn wait(
+        &self,
+        mut ticket: Ticket,
+        timeout: Duration,
+    ) -> io::Result<crate::proto::Response> {
+        // `wait` consumes the ticket on every path below; its drop must
+        // not also abandon the id or release in-flight accounting.
+        ticket.armed = false;
         let deadline = Instant::now() + timeout;
         {
             let mut state = ticket.slot.state.lock();
@@ -499,14 +545,13 @@ impl MuxConn {
         };
         let mut frame = Vec::new();
         if let Err(e) = crate::proto::write_frame_with(&mut frame, &env, opts.faults.as_deref()) {
-            self.pending.abandon(id);
+            // Dropping `ticket` abandons the id.
             return Err(e.into());
         }
         if !frame.is_empty() {
             let mut w = self.writer.lock().unwrap();
             if let Err(e) = w.write_all(&frame) {
                 drop(w);
-                self.pending.abandon(id);
                 self.kill();
                 return Err(e);
             }
@@ -544,9 +589,7 @@ impl MuxConn {
             };
             let mut frame = Vec::new();
             if let Err(e) = crate::proto::write_frame_with(&mut frame, &env, faults) {
-                for t in &tickets {
-                    self.pending.abandon(Ticket::id(t));
-                }
+                // Dropping `tickets` abandons every registered id.
                 return Err(e.into());
             }
             tickets.push(self.pending.register(id));
@@ -557,15 +600,16 @@ impl MuxConn {
         let mut w = self.writer.lock().unwrap();
         if let Err(e) = write_all_vectored(&mut w, &frames) {
             drop(w);
-            for t in &tickets {
-                self.pending.abandon(Ticket::id(t));
-            }
             self.kill();
             return Err(e);
         }
         drop(w);
-        // Every ticket is now in flight; `wait` decrements one by one.
+        // Every ticket is now in flight; `wait` decrements one by one,
+        // and a ticket the caller drops instead releases its own slot.
         self.inflight.fetch_add(tickets.len(), Ordering::SeqCst);
+        for t in &mut tickets {
+            t.track_inflight(&self.inflight);
+        }
         Ok(tickets)
     }
 
@@ -589,7 +633,10 @@ impl MuxConn {
     ) -> io::Result<crate::proto::Response> {
         self.inflight.fetch_add(1, Ordering::SeqCst);
         match self.begin(req, opts, deadline) {
-            Ok(ticket) => self.wait(ticket, opts),
+            Ok(mut ticket) => {
+                ticket.track_inflight(&self.inflight);
+                self.wait(ticket, opts)
+            }
             Err(e) => {
                 self.inflight.fetch_sub(1, Ordering::SeqCst);
                 Err(e)
@@ -721,20 +768,28 @@ impl MuxPool {
         reg: &Registry,
     ) -> io::Result<(Arc<MuxConn>, bool)> {
         let labels = [("pool", self.name)];
-        let mut peers = self.peers.lock().unwrap();
-        let conns = peers.entry(addr).or_default();
-        conns.retain(|c| !c.is_dead());
-        // Prefer a connection with headroom; dial only when all existing
-        // ones are at the soft in-flight target and the per-peer budget
-        // allows one more.
-        let budget = self.cfg.conns_per_peer.max(1);
-        let best = conns.iter().min_by_key(|c| c.inflight()).map(Arc::clone);
-        if let Some(best) = best {
-            if best.inflight() < self.cfg.max_inflight_per_conn || conns.len() >= budget {
-                reg.counter("net_mux_hits_total", &labels).inc();
-                return Ok((best, true));
+        {
+            let mut peers = self.peers.lock().unwrap();
+            let conns = peers.entry(addr).or_default();
+            conns.retain(|c| !c.is_dead());
+            // Prefer a connection with headroom; dial only when all
+            // existing ones are at the soft in-flight target and the
+            // per-peer budget allows one more.
+            let budget = self.cfg.conns_per_peer.max(1);
+            let best = conns.iter().min_by_key(|c| c.inflight()).map(Arc::clone);
+            if let Some(best) = best {
+                if best.inflight() < self.cfg.max_inflight_per_conn || conns.len() >= budget {
+                    reg.counter("net_mux_hits_total", &labels).inc();
+                    return Ok((best, true));
+                }
             }
         }
+        // Dial with the pool lock released: one slow or unreachable peer
+        // must not stall every other peer's checkout for its whole
+        // connect timeout. Callers racing here may both dial — the
+        // occasional connection over the per-peer budget is tolerated
+        // (it still serves traffic and is reaped with the rest when it
+        // dies) in exchange for never serializing the pool on one dial.
         let conn = MuxConn::dial(
             addr,
             self.name,
@@ -743,9 +798,12 @@ impl MuxPool {
             opts.faults.clone(),
             opts.registry.clone(),
         )?;
-        conns.push(Arc::clone(&conn));
         reg.counter("net_mux_dials_total", &labels).inc();
         reg.gauge("net_mux_open_conns", &labels).add(1.0);
+        let mut peers = self.peers.lock().unwrap();
+        let conns = peers.entry(addr).or_default();
+        conns.retain(|c| !c.is_dead());
+        conns.push(Arc::clone(&conn));
         Ok((conn, false))
     }
 }
@@ -877,6 +935,74 @@ mod tests {
         // The next checkout gets a fresh socket, not the poisoned one.
         let c2 = p.checkout(addr, CONNECT, &reg).unwrap();
         assert!(!c2.reused());
+    }
+
+    #[test]
+    fn dropped_batch_tickets_release_inflight_and_ids() {
+        // The listener's backlog completes the handshake; nobody ever
+        // reads, which is fine — this exercises send-side bookkeeping.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let conn = MuxConn::dial(
+            addr,
+            "drop-test",
+            CONNECT,
+            Duration::from_secs(1),
+            None,
+            None,
+        )
+        .unwrap();
+        let reqs: Vec<crate::proto::Request> =
+            (0..4).map(|_| crate::proto::Request::Metrics).collect();
+        let opts = crate::service::CallOptions::default();
+        let tickets = conn.begin_batch(&reqs, &opts, None).unwrap();
+        assert_eq!(conn.inflight(), 4);
+        assert_eq!(conn.pending.len(), 4);
+        // A caller that panics (or bails) between send and wait drops its
+        // tickets: each one must release its in-flight slot and abandon
+        // its id, or least-loaded checkout is skewed until the connection
+        // dies.
+        drop(tickets);
+        assert_eq!(conn.inflight(), 0, "dropped tickets freed their slots");
+        assert!(
+            conn.pending.is_empty(),
+            "dropped tickets abandoned their ids"
+        );
+    }
+
+    #[test]
+    fn checkout_does_not_hold_the_pool_lock_across_a_dial() {
+        // TEST-NET-1 blackholes SYNs in most environments, so this dial
+        // hangs until its connect timeout; if the network answers fast
+        // (unreachable error) the test degrades to the happy path — it
+        // cannot flake, it just stops exercising the regression.
+        let dead: SocketAddr = "192.0.2.1:9".parse().unwrap();
+        let live_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let live = live_listener.local_addr().unwrap();
+        let mux = Arc::new(MuxPool::new("lock-test", MuxConfig::default()));
+        let opts = crate::service::CallOptions {
+            connect: Duration::from_secs(3),
+            ..Default::default()
+        };
+        let slow = {
+            let mux = Arc::clone(&mux);
+            let opts = opts.clone();
+            std::thread::spawn(move || {
+                let reg = Registry::new();
+                let _ = mux.checkout(dead, &opts, &reg);
+            })
+        };
+        // Give the slow dial time to start (and, pre-fix, hold the lock).
+        std::thread::sleep(Duration::from_millis(100));
+        let reg = Registry::new();
+        let t = Instant::now();
+        mux.checkout(live, &opts, &reg).unwrap();
+        assert!(
+            t.elapsed() < Duration::from_secs(2),
+            "a live peer's checkout stalled behind a dead peer's dial: {:?}",
+            t.elapsed()
+        );
+        slow.join().unwrap();
     }
 
     #[test]

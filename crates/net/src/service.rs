@@ -21,7 +21,7 @@ use faucets_telemetry::TelemetryClock;
 use parking_lot::{Condvar, Mutex};
 use serde::Serialize;
 use std::cell::Cell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
@@ -254,8 +254,8 @@ impl RetryPolicy {
 pub struct ServeOptions {
     /// Socket deadlines. On the serve side these are kept for
     /// compatibility: the reactor never blocks on a socket, so they no
-    /// longer bound individual reads/writes (slow consumers are bounded
-    /// by the write-buffer cap, slow producers cost nothing).
+    /// longer bound individual reads/writes (slow consumers are paused
+    /// by [`ServeOptions::write_buf`], slow producers cost nothing).
     pub timeouts: Timeouts,
     /// Fault injection applied to this service's traffic.
     pub faults: Option<Arc<FaultPlan>>,
@@ -278,6 +278,15 @@ pub struct ServeOptions {
     pub workers: usize,
     /// Depth of the reactor → executor hand-off queue (default 1024).
     pub queue: usize,
+    /// Outbound reply bytes buffered per connection before the reactor
+    /// pauses that connection — no new frames dispatched, read interest
+    /// dropped — until the peer drains its backlog (default 4 ×
+    /// `MAX_FRAME`). This is back-pressure, not a kill: a client
+    /// pipelining a burst whose replies transiently exceed the cap is
+    /// paused and resumed, never closed, and total buffering stays
+    /// bounded by the cap plus the replies already in flight on the
+    /// executor.
+    pub write_buf: usize,
 }
 
 impl Default for ServeOptions {
@@ -289,6 +298,7 @@ impl Default for ServeOptions {
             limits: ServiceLimits::default(),
             workers: 32,
             queue: 1024,
+            write_buf: WRITE_BUF_CAP,
         }
     }
 }
@@ -427,8 +437,11 @@ const TOK_LISTENER: u64 = 0;
 const TOK_WAKER: u64 = 1;
 const FIRST_CONN_TOKEN: u64 = 2;
 
-/// A connection whose outbound queue exceeds this many bytes is a slow (or
-/// absent) consumer; it is closed rather than buffered without bound.
+/// Default for [`ServeOptions::write_buf`]: outbound reply bytes buffered
+/// per connection before the reactor pauses dispatching that connection's
+/// frames. Saturation is back-pressure, never a kill: dispatch (and reads)
+/// resume as the peer drains, so a fast-reading client pipelining a burst
+/// whose replies transiently outrun the socket is paused, not cut off.
 const WRITE_BUF_CAP: usize = 4 * MAX_FRAME as usize;
 
 /// Decoded-but-undispatched frames a connection may hold while the
@@ -445,7 +458,13 @@ struct Job {
 enum Completion {
     /// Append these bytes (a serialized reply frame; possibly empty when a
     /// fault plan "lost" it) to the connection's write queue.
-    Reply { conn: u64, bytes: Vec<u8> },
+    Reply {
+        conn: u64,
+        bytes: Vec<u8>,
+        /// The request carried a `request_id`: the peer can match replies
+        /// out of order, so its connection may dispatch concurrently.
+        had_id: bool,
+    },
     /// The frame was unparseable — the stream can't be trusted; close it.
     Close { conn: u64 },
 }
@@ -479,6 +498,12 @@ struct Conn {
     peer_gone: bool,
     /// Unrecoverable (protocol violation, write failure): close now.
     dead: bool,
+    /// Dispatch one frame at a time. A peer that never stamps a
+    /// `request_id` (the pre-multiplexing wire contract) is owed replies
+    /// in request order, which concurrent executor dispatch would
+    /// scramble; the first id seen proves the peer matches by id and
+    /// lifts the restriction for the connection's lifetime.
+    serial: bool,
     interest: Interest,
 }
 
@@ -494,6 +519,7 @@ impl Conn {
             inflight: 0,
             peer_gone: false,
             dead: false,
+            serial: true,
             interest: Interest::READ,
         }
     }
@@ -572,11 +598,16 @@ impl Conn {
 /// exactly as they did on the blocking path; serialized replies return to
 /// the reactor over a completion queue and go out with vectored writes.
 /// Responses carry the request's `request_id`, so pipelined clients may
-/// have many frames in flight and receive replies out of order. When the
-/// executor queue is full the reactor parks frames and stops reading that
-/// connection — back-pressure reaches the client as TCP flow control, not
-/// as unbounded memory. Shutdown is prompt and needs no self-connect: the
-/// eventfd pops `epoll_wait`.
+/// have many frames in flight and receive replies out of order; a peer
+/// that never stamps ids keeps the pre-multiplexing contract — its frames
+/// dispatch one at a time, so its replies come back in request order.
+/// When the executor queue is full (or a peer's reply backlog exceeds
+/// [`ServeOptions::write_buf`]) the reactor parks frames and stops
+/// reading that connection — back-pressure reaches the client as TCP flow
+/// control, not as unbounded memory — and every parked connection is
+/// re-serviced as completions drain the queue, never left waiting on its
+/// own (already consumed) fd. Shutdown is prompt and needs no
+/// self-connect: the eventfd pops `epoll_wait`.
 pub fn serve_with<F>(
     addr: &str,
     name: &'static str,
@@ -629,9 +660,14 @@ where
     let stop2 = Arc::clone(&stop);
     let shared2 = Arc::clone(&shared);
     let registry = opts.registry.clone();
+    let write_buf = opts.write_buf.max(1);
     let join = std::thread::Builder::new()
         .name(format!("faucets-{name}"))
-        .spawn(move || reactor_loop(epoll, listener, stop2, shared2, tx, registry, name))?;
+        .spawn(move || {
+            reactor_loop(
+                epoll, listener, stop2, shared2, tx, registry, write_buf, name,
+            )
+        })?;
 
     Ok(ServiceHandle {
         addr: local,
@@ -642,6 +678,7 @@ where
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn reactor_loop(
     epoll: Epoll,
     listener: TcpListener,
@@ -649,6 +686,7 @@ fn reactor_loop(
     shared: Arc<ReactorShared>,
     jobs: crossbeam::channel::Sender<Job>,
     registry: Option<Arc<Registry>>,
+    write_buf: usize,
     name: &'static str,
 ) {
     let reg = effective(&registry);
@@ -664,6 +702,11 @@ fn reactor_loop(
     let mut next_token = FIRST_CONN_TOKEN;
     let mut events: Vec<Event> = Vec::new();
     let mut touched: Vec<u64> = Vec::new();
+    // Connections holding parked frames (executor queue was full, write
+    // queue saturated, or serial dispatch). Their sockets may never fire
+    // again — a parked frame is already read — so they are re-serviced on
+    // every pass, not just on their own events.
+    let mut parked_conns: HashSet<u64> = HashSet::new();
 
     loop {
         // Harvest executor completions first: replies join their
@@ -672,14 +715,21 @@ fn reactor_loop(
         {
             let mut pending = shared.completions.lock();
             for c in pending.drain(..) {
-                let (token, bytes) = match c {
-                    Completion::Reply { conn, bytes } => (conn, Some(bytes)),
-                    Completion::Close { conn } => (conn, None),
+                let (token, bytes, had_id) = match c {
+                    Completion::Reply {
+                        conn,
+                        bytes,
+                        had_id,
+                    } => (conn, Some(bytes), had_id),
+                    Completion::Close { conn } => (conn, None, false),
                 };
                 // The connection may already be gone (closed for its own
                 // reasons while the job ran); its reply is simply dropped.
                 if let Some(conn) = conns.get_mut(&token) {
                     conn.inflight -= 1;
+                    if had_id {
+                        conn.serial = false;
+                    }
                     match bytes {
                         Some(b) if !b.is_empty() => {
                             conn.wbytes += b.len();
@@ -696,13 +746,30 @@ fn reactor_loop(
             break;
         }
 
+        // Every completion harvested above freed an executor-queue slot,
+        // so every connection still holding parked frames gets another
+        // dispatch attempt — not just the one whose completion arrived.
+        // Without this, a queue-full park on a connection with nothing in
+        // flight starves forever: its fd never fires again, and queue
+        // drain driven by *other* connections never touches it.
+        touched.extend(parked_conns.iter().copied());
+
         // Service every connection something happened to: decode newly
         // buffered frames, dispatch to the executor, flush writes, adjust
         // epoll interest, and reap finished connections.
         touched.sort_unstable();
         touched.dedup();
         for token in touched.drain(..) {
-            service_conn(&epoll, &mut conns, token, &jobs, &g_open, &g_fds);
+            service_conn(
+                &epoll,
+                &mut conns,
+                token,
+                &jobs,
+                write_buf,
+                &mut parked_conns,
+                &g_open,
+                &g_fds,
+            );
         }
         g_queue.set(jobs.len() as f64);
 
@@ -789,15 +856,19 @@ fn accept_ready(
 }
 
 /// Decode, dispatch, flush, re-arm interest, and reap one connection.
+#[allow(clippy::too_many_arguments)]
 fn service_conn(
     epoll: &Epoll,
     conns: &mut HashMap<u64, Conn>,
     token: u64,
     jobs: &crossbeam::channel::Sender<Job>,
+    write_buf: usize,
+    parked_conns: &mut HashSet<u64>,
     g_open: &faucets_telemetry::metrics::Gauge,
     g_fds: &faucets_telemetry::metrics::Gauge,
 ) {
     let Some(conn) = conns.get_mut(&token) else {
+        parked_conns.remove(&token);
         return;
     };
     if !conn.dead {
@@ -814,8 +885,20 @@ fn service_conn(
                 }
             }
         }
-        // Hand frames to the executor; a full queue parks the rest.
-        while let Some(payload) = conn.parked.pop_front() {
+        // Hand frames to the executor. Dispatch pauses — frames stay
+        // parked — when the executor queue is full, when the peer has not
+        // drained its reply backlog (piling more replies onto a saturated
+        // write queue is how buffering becomes unbounded), or while an
+        // id-less peer's previous frame is still in flight (its replies
+        // must keep request order).
+        while !conn.parked.is_empty() {
+            if conn.wbytes > write_buf {
+                break;
+            }
+            if conn.serial && conn.inflight > 0 {
+                break;
+            }
+            let payload = conn.parked.pop_front().expect("checked non-empty");
             match jobs.try_send(Job {
                 conn: token,
                 payload,
@@ -834,11 +917,6 @@ fn service_conn(
         if !conn.wbufs.is_empty() {
             conn.flush();
         }
-        if conn.wbytes > WRITE_BUF_CAP {
-            // Slow consumer: replies are piling up faster than the peer
-            // reads them. Cut it loose rather than buffer without bound.
-            conn.dead = true;
-        }
     }
     let finished =
         conn.peer_gone && conn.inflight == 0 && conn.parked.is_empty() && conn.wbufs.is_empty();
@@ -846,14 +924,24 @@ fn service_conn(
         let _ = epoll.remove(conn.stream.as_raw_fd());
         let _ = conn.stream.shutdown(Shutdown::Both);
         conns.remove(&token);
+        parked_conns.remove(&token);
         g_open.add(-1.0);
         g_fds.set(conns.len() as f64);
         return;
     }
-    // Read while the peer may still send and there is parking room; write
-    // while replies are queued.
+    // A connection still holding parked frames must be revisited on the
+    // next pass even if its fd never fires again.
+    if conn.parked.is_empty() {
+        parked_conns.remove(&token);
+    } else {
+        parked_conns.insert(token);
+    }
+    // Read while the peer may still send, there is parking room, and the
+    // peer is draining its replies; write while replies are queued.
     let want = Interest {
-        readable: !conn.peer_gone && conn.parked.len() < PARKED_FRAMES_CAP,
+        readable: !conn.peer_gone
+            && conn.parked.len() < PARKED_FRAMES_CAP
+            && conn.wbytes <= write_buf,
         writable: !conn.wbufs.is_empty(),
     };
     if want != conn.interest {
@@ -968,7 +1056,14 @@ where
 fn encode_reply(token: u64, env: &Envelope<Response>, faults: Option<&FaultPlan>) -> Completion {
     let mut bytes = Vec::new();
     match write_frame_with(&mut bytes, env, faults) {
-        Ok(()) => Completion::Reply { conn: token, bytes },
+        Ok(()) => Completion::Reply {
+            conn: token,
+            bytes,
+            // The reply echoes the request's id; its presence tells the
+            // reactor the peer matches replies by id, so the connection
+            // may dispatch frames concurrently from here on.
+            had_id: env.request_id.is_some(),
+        },
         Err(_) => Completion::Close { conn: token },
     }
 }

@@ -115,7 +115,7 @@ proptest! {
         n in 1usize..16,
         abandon_mask in 0u32..65536,
     ) {
-        let map = PendingMap::new();
+        let map = Arc::new(PendingMap::new());
         let tickets: Vec<_> = (0..n as u64).map(|id| map.register(id)).collect();
         let mut abandoned = Vec::new();
         for (id, ticket) in tickets.into_iter().enumerate() {
@@ -137,6 +137,27 @@ proptest! {
         }
         prop_assert!(map.is_empty());
     }
+}
+
+/// A ticket dropped without `wait` (caller panicked or bailed early)
+/// deregisters its id immediately: the map does not leak the slot, and a
+/// late reply for it is an orphan — never a mis-delivery.
+#[test]
+fn dropped_tickets_abandon_their_ids() {
+    let map = Arc::new(PendingMap::new());
+    let t1 = map.register(1);
+    let t2 = map.register(2);
+    assert_eq!(map.len(), 2);
+    drop(t1);
+    assert_eq!(map.len(), 1, "dropped ticket deregistered its id");
+    assert!(
+        !map.complete(1, payload_for(1)),
+        "late reply for a dropped ticket is an orphan"
+    );
+    assert!(map.complete(2, payload_for(2)));
+    let got = map.wait(t2, Duration::from_secs(1)).unwrap();
+    assert_eq!(got, payload_for(2));
+    assert!(map.is_empty());
 }
 
 /// End-to-end: a real server whose handler stalls each request by a

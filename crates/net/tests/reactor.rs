@@ -234,6 +234,163 @@ fn garbled_replies_poison_the_mux_socket_and_calls_recover() {
     h.shutdown();
 }
 
+/// A frame parked because the executor queue was full — on a connection
+/// with nothing else in flight — is dispatched when the queue drains.
+/// Regression: the reactor only re-serviced a connection for its own fd
+/// events or completions, so such a frame starved until the client's
+/// read timeout while other connections' traffic drained the queue past
+/// it.
+#[test]
+fn queue_full_parked_frames_are_not_starved() {
+    let h = serve_with(
+        "127.0.0.1:0",
+        "starve",
+        ServeOptions {
+            // One worker and a one-slot queue: three concurrent hogs keep
+            // the executor saturated, so the victim's frame must park.
+            workers: 1,
+            queue: 1,
+            ..ServeOptions::default()
+        },
+        |req| {
+            if matches!(&req, Request::Login { user, .. } if user == "hog") {
+                std::thread::sleep(Duration::from_millis(150));
+            }
+            Response::Ok
+        },
+    )
+    .unwrap();
+    let addr = h.addr;
+
+    let hogs: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let req = Request::Login {
+                    user: "hog".into(),
+                    password: String::new(),
+                };
+                for _ in 0..3 {
+                    // Fresh connection per call: each hog's later calls
+                    // enqueue behind the victim, never ahead of it.
+                    call(addr, &req).unwrap();
+                }
+            })
+        })
+        .collect();
+    // Land mid-burst: the worker is busy and the queue slot is taken, so
+    // this frame parks on a connection with zero in-flight jobs. Only the
+    // queue-drain re-service can ever dispatch it.
+    std::thread::sleep(Duration::from_millis(50));
+    let req = Request::VerifyToken {
+        token: faucets_core::auth::SessionToken("t".into()),
+    };
+    let t = Instant::now();
+    let r = call(addr, &req).unwrap();
+    assert!(matches!(r, Response::Ok));
+    assert!(
+        t.elapsed() < Duration::from_secs(8),
+        "parked frame starved: {:?}",
+        t.elapsed()
+    );
+    for hog in hogs {
+        hog.join().unwrap();
+    }
+    h.shutdown();
+}
+
+/// A pipelining client whose replies transiently exceed the per-connection
+/// write buffer is paused — dispatch and reads stop until the backlog
+/// drains — never killed: a batch caller reading at full speed must not be
+/// cut off as a "slow consumer" mid-burst.
+#[test]
+fn reply_bursts_over_the_write_buffer_pause_not_kill() {
+    let big = "x".repeat(64 * 1024);
+    let h = serve_with(
+        "127.0.0.1:0",
+        "burst",
+        ServeOptions {
+            // Far below a single reply: the write queue saturates on the
+            // first completion and stays saturated for the whole burst.
+            write_buf: 32 * 1024,
+            ..ServeOptions::default()
+        },
+        move |_| Response::Error(big.clone()),
+    )
+    .unwrap();
+
+    let mux = Arc::new(MuxPool::new(
+        "burst",
+        MuxConfig {
+            conns_per_peer: 1,
+            ..MuxConfig::default()
+        },
+    ));
+    let opts = CallOptions {
+        mux: Some(mux),
+        timeouts: Timeouts::both(Duration::from_secs(10)),
+        retry: RetryPolicy::none(),
+        ..CallOptions::default()
+    };
+    let reqs: Vec<Request> = (0..32)
+        .map(|i| Request::Login {
+            user: format!("u{i}"),
+            password: String::new(),
+        })
+        .collect();
+    for (i, r) in call_batch(h.addr, &reqs, &opts).into_iter().enumerate() {
+        match r.unwrap_or_else(|e| panic!("slot {i} cut off as a slow consumer: {e}")) {
+            Response::Error(s) => assert_eq!(s.len(), 64 * 1024, "slot {i} truncated"),
+            other => panic!("slot {i}: unexpected {other:?}"),
+        }
+    }
+    h.shutdown();
+}
+
+/// A legacy peer that pipelines frames *without* request ids is owed
+/// replies in request order (the pre-multiplexing wire contract): the
+/// reactor dispatches its frames one at a time instead of letting the
+/// executor pool answer in completion order.
+#[test]
+fn idless_pipelined_frames_answer_in_request_order() {
+    let h = serve_with("127.0.0.1:0", "legacy", ServeOptions::default(), |req| {
+        let Request::Login { user, .. } = req else {
+            return Response::Error("unexpected".into());
+        };
+        let n: u64 = user.trim_start_matches('u').parse().unwrap_or(0);
+        // Later requests finish *faster*: concurrent dispatch would
+        // invert the reply order.
+        std::thread::sleep(Duration::from_millis(80u64.saturating_sub(n * 20)));
+        Response::Error(user)
+    })
+    .unwrap();
+
+    let mut sock = TcpStream::connect(h.addr).unwrap();
+    for i in 0..4 {
+        let env = Envelope {
+            ctx: None,
+            deadline_ms: None,
+            request_id: None,
+            msg: Request::Login {
+                user: format!("u{i}"),
+                password: String::new(),
+            },
+        };
+        write_frame(&mut sock, &env).unwrap();
+    }
+    for i in 0..4 {
+        let env: Envelope<Response> = read_frame(&mut sock).unwrap().expect("reply");
+        match env.msg {
+            Response::Error(tag) => assert_eq!(
+                tag,
+                format!("u{i}"),
+                "id-less pipelined replies must keep request order"
+            ),
+            other => panic!("slot {i}: unexpected {other:?}"),
+        }
+    }
+    h.shutdown();
+}
+
 /// The FD pump is paced by its next due event on a condvar; `shutdown()`
 /// must wake it immediately, not wait out a tick or a heartbeat.
 #[test]
